@@ -1,0 +1,18 @@
+//! Extension ablation (paper sections 6-7 future work): housekeeping
+//! cores absorb CPU-occupation noise but cannot absorb memory-bandwidth
+//! noise, because the contended resource is the socket, not a CPU.
+
+use noiselab_core::experiments::{ablation, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let result = ablation::memory_noise_ablation(Scale::from_env(), false);
+    noiselab_bench::emit("ablation_memory", &result.render());
+    assert!(
+        result.cpu_gain() > result.mem_gain(),
+        "housekeeping should help less against memory noise: cpu {:.1}% vs mem {:.1}%",
+        result.cpu_gain() * 100.0,
+        result.mem_gain() * 100.0
+    );
+    noiselab_bench::finish("ablation_memory", t0);
+}

@@ -1,0 +1,17 @@
+//! The runlevel-3 check of paper section 5.1: disabling the GUI reduces
+//! baseline variability but leaves the mitigation trends unchanged.
+
+use noiselab_core::experiments::{runlevel, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cmp = runlevel::run(Scale::from_env(), false);
+    noiselab_bench::emit("ablation_runlevel3", &cmp.render());
+    assert!(
+        cmp.avg_rl3() <= cmp.avg_rl5() * 1.2,
+        "disabling the GUI should not increase variability: rl3 {:.2} vs rl5 {:.2}",
+        cmp.avg_rl3(),
+        cmp.avg_rl5()
+    );
+    noiselab_bench::finish("ablation_runlevel3", t0);
+}

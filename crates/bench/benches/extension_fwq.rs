@@ -1,0 +1,49 @@
+//! FWQ extension: the classic fixed-work-quantum jitter probe, used
+//! here to cross-validate the noise model — the interference FWQ
+//! detects must be consistent with what the osnoise tracer records in
+//! the same run.
+
+use noiselab_kernel::{Kernel, KernelConfig};
+use noiselab_machine::Machine;
+use noiselab_noise::{install, NoiseProfile, OsNoiseTracer};
+use noiselab_sim::{Rng, SimDuration};
+use noiselab_workloads::fwq::{measure, Fwq};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut kernel = Kernel::new(Machine::intel_9700kf(), KernelConfig::default(), 11);
+    let mut rng = Rng::new(111);
+    let mut profile = NoiseProfile::desktop();
+    profile.anomaly_prob = 1.0;
+    install(&mut kernel, &profile, &mut rng);
+    let (tracer, buffer) = OsNoiseTracer::new();
+    kernel.attach_tracer(Box::new(tracer));
+
+    let report = measure(&mut kernel, &Fwq::default());
+    let trace = buffer.take_trace(0, SimDuration::ZERO);
+    let traced_ms: f64 =
+        trace.events.iter().map(|e| e.duration.nanos()).sum::<u64>() as f64 / 1e6;
+
+    let rendered = format!(
+        "== FWQ cross-validation (Intel, desktop noise + forced anomaly) ==\n\
+         quanta: {} x {:.1}us  disturbed: {} ({:.2}%)\n\
+         FWQ-detected noise: {:.3}ms  max detention: {:.3}ms\n\
+         osnoise-traced noise: {:.3}ms ({} events)\n",
+        report.total_samples,
+        report.min_quantum.as_micros_f64(),
+        report.disturbed_samples,
+        report.disturbed_samples as f64 / report.total_samples as f64 * 100.0,
+        report.total_noise.as_millis_f64(),
+        report.max_detention.as_millis_f64(),
+        traced_ms,
+        trace.events.len()
+    );
+    noiselab_bench::emit("extension_fwq", &rendered);
+    assert!(report.total_noise.nanos() > 0, "FWQ saw no noise");
+    let ratio = traced_ms / report.total_noise.as_millis_f64();
+    assert!(
+        (0.2..20.0).contains(&ratio),
+        "tracer and FWQ disagree wildly: ratio {ratio:.2}"
+    );
+    noiselab_bench::finish("extension_fwq", t0);
+}

@@ -1,0 +1,18 @@
+//! NUMA extension (paper sections 5.1/6): on a 128-core, 8-domain node,
+//! roaming threads under node noise pay cross-NUMA migration penalties
+//! that pinned threads avoid — the regime where the paper expects
+//! thread pinning to become clearly beneficial.
+
+use noiselab_core::experiments::{numa, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let scale = Scale::from_env();
+    let cmp = numa::run(scale.baseline_runs, false);
+    noiselab_bench::emit("extension_numa", &cmp.render());
+    let rm = cmp.row("Rm-OMP").expect("Rm row");
+    let tp = cmp.row("TP-OMP").expect("TP row");
+    assert_eq!(tp.migrations, 0.0, "pinned threads must not migrate");
+    assert!(rm.migrations > 0.0, "roaming threads should migrate under node noise");
+    noiselab_bench::finish("extension_numa", t0);
+}

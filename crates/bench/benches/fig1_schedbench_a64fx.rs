@@ -1,0 +1,20 @@
+//! Regenerates paper Figure 1: schedbench execution-time variability
+//! across schedule methods (st/dy/gd x chunk), on the A64FX with
+//! firmware-reserved OS cores vs without.
+//!
+//! Paper shape: the unreserved system shows much larger spreads.
+
+use noiselab_core::experiments::{fig1, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let fig = fig1::run(Scale::from_env(), false);
+    noiselab_bench::emit("fig1", &fig.render());
+    let reserved = fig1::Fig1::avg_sd(&fig.reserved);
+    let unreserved = fig1::Fig1::avg_sd(&fig.unreserved);
+    assert!(
+        unreserved > reserved * 1.5,
+        "unreserved system should be markedly noisier: {unreserved:.2} vs {reserved:.2} ms"
+    );
+    noiselab_bench::finish("fig1", t0);
+}

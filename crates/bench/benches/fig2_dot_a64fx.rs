@@ -1,0 +1,20 @@
+//! Regenerates paper Figure 2: variability of the Babelstream dot
+//! kernel vs thread count on the two A64FX systems.
+//!
+//! Paper shape: without reserved cores variability explodes at full
+//! 48-core occupancy, when no spare core can absorb OS interference.
+
+use noiselab_core::experiments::{fig2, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let fig = fig2::run(Scale::from_env(), false);
+    noiselab_bench::emit("fig2", &fig.render());
+    let r = fig2::Fig2::full_occupancy_sd(&fig.reserved);
+    let u = fig2::Fig2::full_occupancy_sd(&fig.unreserved);
+    assert!(
+        u > r,
+        "full occupancy on the unreserved system should be noisier: {u:.2} vs {r:.2} ms"
+    );
+    noiselab_bench::finish("fig2", t0);
+}

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the simulation substrate itself:
+//! event-queue throughput, a full scheduler-saturated kernel run, and
+//! one end-to-end workload run. These track the simulator's own
+//! performance (the experiments above run hundreds of thousands of
+//! simulated seconds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noiselab_core::{run_once, ExecConfig, Mitigation, Model, Platform};
+use noiselab_kernel::{Action, Kernel, KernelConfig, ScriptBehavior, ThreadKind, ThreadSpec};
+use noiselab_machine::{Machine, WorkUnit};
+use noiselab_sim::{EventQueue, SimTime};
+use noiselab_workloads::NBody;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime(i * 7 % 9_999), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_saturated_kernel(c: &mut Criterion) {
+    c.bench_function("kernel_16_threads_8_cpus_10ms", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(Machine::intel_9700kf(), KernelConfig::default(), 1);
+            let tids: Vec<_> = (0..16)
+                .map(|i| {
+                    k.spawn(
+                        ThreadSpec::new(format!("w{i}"), ThreadKind::Workload),
+                        Box::new(ScriptBehavior::new(vec![Action::Compute(
+                            WorkUnit::compute(150_000_000.0),
+                        )])),
+                    )
+                })
+                .collect();
+            for t in tids {
+                k.run_until_exit(t, SimTime::from_secs_f64(1.0)).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_run_once(c: &mut Criterion) {
+    let platform = Platform::intel();
+    let w = NBody { bodies: 8_192, steps: 3, sycl_kernel_efficiency: 1.3 };
+    let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
+    let mut seed = 0u64;
+    c.bench_function("run_once_nbody_small_intel", |b| {
+        b.iter(|| {
+            seed += 1;
+            run_once(&platform, &w, &cfg, seed, false, None)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_event_queue, bench_saturated_kernel, bench_run_once
+);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates paper Table 1: average execution time with osnoise
+//! tracing off and on, per workload, on the Intel platform.
+//!
+//! Paper values: N-body 0.4510 -> 0.4540 (+0.67 %), Babelstream
+//! 1.9221 -> 1.9359 (+0.72 %), MiniFE 1.0631 -> 1.0658 (+0.25 %).
+
+use noiselab_core::experiments::{table1, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = table1::run(Scale::from_env());
+    noiselab_bench::emit("table1", &table.render());
+    for r in &table.rows {
+        assert!(
+            r.increase() < 0.02,
+            "tracing overhead for {} is {:.2}%, expected < 2%",
+            r.workload,
+            r.increase() * 100.0
+        );
+    }
+    noiselab_bench::finish("table1", t0);
+}

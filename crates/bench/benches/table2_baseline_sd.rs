@@ -1,0 +1,16 @@
+//! Regenerates paper Table 2: average run-to-run standard deviation
+//! (ms) of baseline executions per mitigation configuration and model,
+//! averaged across workloads and platforms.
+//!
+//! Paper values (ms): OMP 7.77 / 5.99 / 9.99 / 5.90 / 7.46 / 8.69 and
+//! SYCL 7.18 / 7.84 / 5.55 / 6.75 / 7.63 / 5.36 — i.e. both models show
+//! comparable baseline variability, with no mitigation dominating.
+
+use noiselab_core::experiments::{table2, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = table2::run(Scale::from_env());
+    noiselab_bench::emit("table2", &table.render());
+    noiselab_bench::finish("table2", t0);
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Table 3: N-body under noise injection — average
+//! execution time and percentage change vs the matching baseline, per
+//! mitigation, on both platforms.
+//!
+//! Headline paper shapes: housekeeping columns reduce the degradation
+//! monotonically; TP is no better than Rm; SYCL rows degrade far less
+//! than OMP rows; AMD SMT rows degrade less than their non-SMT peers.
+
+use noiselab_core::experiments::{inject, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = inject::run_table(&inject::table3_spec(), Scale::from_env(), false);
+    noiselab_bench::emit("table3", &table.render());
+    noiselab_bench::save_table("table3", &table);
+    noiselab_bench::finish("table3", t0);
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Table 4: Babelstream under noise injection.
+//!
+//! Headline paper shape: the memory-bound workload pays almost nothing
+//! for housekeeping cores, so the HK columns approach the baseline even
+//! under heavy noise (paper: OMP #2 Rm +28.9 % vs RmHK +0.2 %).
+
+use noiselab_core::experiments::{inject, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = inject::run_table(&inject::table4_spec(), Scale::from_env(), false);
+    noiselab_bench::emit("table4", &table.render());
+    noiselab_bench::save_table("table4", &table);
+    noiselab_bench::finish("table4", t0);
+}

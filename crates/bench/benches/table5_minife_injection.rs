@@ -1,0 +1,14 @@
+//! Regenerates paper Table 5: MiniFE under noise injection — the most
+//! noise-amplifying workload (dot-product reductions barrier every few
+//! hundred microseconds), with the largest paper degradations (up to
+//! +118.8 % for TPHK-OMP on AMD).
+
+use noiselab_core::experiments::{inject, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let table = inject::run_table(&inject::table5_spec(), Scale::from_env(), false);
+    noiselab_bench::emit("table5", &table.render());
+    noiselab_bench::save_table("table5", &table);
+    noiselab_bench::finish("table5", t0);
+}

@@ -1,0 +1,36 @@
+//! Regenerates paper Table 6: average relative performance change (%)
+//! under injection per model and mitigation, aggregated over Tables
+//! 3-5. Reuses the cached outcomes of the table3/4/5 benches when
+//! present (cargo bench runs them first alphabetically); otherwise
+//! recomputes at smoke scale.
+//!
+//! Paper values: OMP 42.85/20.43/17.24/49.58/27.73/24.22,
+//! SYCL 19.08/10.52/8.96/22.01/10.92/9.60 — SYCL's average improvement
+//! 16.82 percentage points.
+
+use noiselab_core::experiments::{inject, table6, Scale};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut tables = Vec::new();
+    for (name, spec) in [
+        ("table3", inject::table3_spec()),
+        ("table4", inject::table4_spec()),
+        ("table5", inject::table5_spec()),
+    ] {
+        match noiselab_bench::load_table(name) {
+            Some(t) => tables.push(t),
+            None => {
+                eprintln!("{name} cache missing; recomputing at smoke scale");
+                tables.push(inject::run_table(&spec, Scale::smoke(), true));
+            }
+        }
+    }
+    let summary = table6::Table6::aggregate(&tables);
+    noiselab_bench::emit("table6", &summary.render());
+    assert!(
+        summary.sycl_advantage_points() > 0.0,
+        "SYCL should be more resilient on average (paper: 16.82 points)"
+    );
+    noiselab_bench::finish("table6", t0);
+}

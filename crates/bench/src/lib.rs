@@ -1,0 +1,44 @@
+//! Shared plumbing for the bench targets: result persistence so the
+//! aggregate benches (Tables 6 and 7) can reuse the outcomes of the
+//! per-workload injection benches (Tables 3-5) instead of re-running
+//! them, plus a tee helper writing each rendered table to disk.
+
+use noiselab_core::experiments::inject::InjectionTable;
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where bench results are cached and rendered tables are
+/// written (`NOISELAB_RESULTS`, default `target/noiselab-results`, resolved relative to the bench cwd (the package directory under `cargo bench`)).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("NOISELAB_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/noiselab-results"));
+    fs::create_dir_all(&dir).expect("cannot create results dir");
+    dir
+}
+
+/// Persist an injection table outcome as JSON.
+pub fn save_table(name: &str, table: &InjectionTable) {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string(table).expect("serialise table");
+    fs::write(&path, json).expect("write table cache");
+}
+
+/// Load a previously persisted injection table, if present and parseable.
+pub fn load_table(name: &str) -> Option<InjectionTable> {
+    let path = results_dir().join(format!("{name}.json"));
+    let data = fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+/// Print a rendered table and also write it next to the JSON cache.
+pub fn emit(name: &str, rendered: &str) {
+    println!("{rendered}");
+    let path = results_dir().join(format!("{name}.txt"));
+    fs::write(path, rendered).expect("write rendered table");
+}
+
+/// Wall-clock banner helper.
+pub fn finish(name: &str, t0: std::time::Instant) {
+    println!("[{name}: {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,274 @@
+//! The experiment harness: run a workload under a platform and
+//! execution configuration — baseline, traced, or with noise injection —
+//! and repeat across seeds (in parallel on host threads; each simulated
+//! run stays fully deterministic in its own kernel instance).
+
+use crate::execconfig::{ExecConfig, Model};
+use crate::platform::Platform;
+use noiselab_injector::{spawn_injectors, InjectionConfig};
+use noiselab_kernel::{Kernel, KernelConfig, RunError};
+use noiselab_noise::{install, OsNoiseTracer, RunTrace, TraceSet};
+use noiselab_runtime::{omp, sycl};
+use noiselab_sim::{Rng, SimDuration, SimTime};
+use noiselab_stats::Summary;
+use noiselab_workloads::Workload;
+
+/// Virtual-time safety horizon per run.
+const HORIZON: SimTime = SimTime(600 * noiselab_sim::NANOS_PER_SEC);
+
+/// Outcome of a single run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Workload execution time (spawn of the team to last worker exit).
+    pub exec: SimDuration,
+    /// The osnoise trace, when tracing was enabled.
+    pub trace: Option<RunTrace>,
+    /// Name of the natural anomaly active in this run, if any.
+    pub anomaly: Option<String>,
+}
+
+/// Execute one run. Fully deterministic in `seed`.
+pub fn run_once(
+    platform: &Platform,
+    workload: &dyn Workload,
+    cfg: &ExecConfig,
+    seed: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+) -> RunOutput {
+    // SMT toggling (paper §5): rows without the SMT label run with SMT
+    // disabled at firmware level, so the sibling hardware threads do not
+    // exist — neither for the workload nor for noise to hide on.
+    let mut machine = platform.machine.clone();
+    if !cfg.smt && machine.smt > 1 {
+        machine.smt = 1;
+    }
+    // Per-run machine speed jitter (frequency/thermal/layout effects):
+    // the mitigation-independent component of baseline variability.
+    if platform.run_jitter_sd > 0.0 {
+        let mut jrng = Rng::new(seed ^ 0x51E5_71FF_00AA_22EE);
+        let f = (1.0 + jrng.normal(0.0, platform.run_jitter_sd)).clamp(0.9, 1.1);
+        machine.perf.flops_per_ns *= f;
+        machine.perf.per_core_bw *= f;
+        machine.perf.socket_bw *= f;
+    }
+    let mut kernel = Kernel::new(machine.clone(), KernelConfig::default(), seed);
+
+    // Natural background noise; the anomaly dice use an independent
+    // stream so they do not correlate with intra-run event jitter.
+    let mut noise_rng = Rng::new(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+    let installed = install(&mut kernel, &platform.noise, &mut noise_rng);
+
+    let buffer = if tracing {
+        let (tracer, buffer) = OsNoiseTracer::new();
+        kernel.attach_tracer(Box::new(tracer));
+        Some(buffer)
+    } else {
+        None
+    };
+
+    let nthreads = cfg.nthreads(&machine);
+    let affinities = cfg.affinities(&machine);
+
+    let start_barrier = inject.map(|config| {
+        let bar = kernel.new_barrier(config.lists.len() + nthreads);
+        let _ = spawn_injectors(&mut kernel, config, bar);
+        bar
+    });
+
+    let team = match cfg.model {
+        Model::Omp => {
+            let program = workload.omp_program(nthreads, cfg.schedule);
+            let mut opts = omp::OmpLaunch::new(nthreads, affinities[0]);
+            if affinities.len() > 1 {
+                opts = omp::OmpLaunch::pinned(nthreads, affinities);
+            }
+            opts.start_barrier = start_barrier;
+            omp::launch(&mut kernel, program, opts)
+        }
+        Model::Sycl => {
+            let program = workload.sycl_program(nthreads);
+            let mut opts = sycl::SyclLaunch::new(nthreads, affinities[0]);
+            if affinities.len() > 1 {
+                opts = sycl::SyclLaunch::pinned(nthreads, affinities);
+            }
+            opts.start_barrier = start_barrier;
+            sycl::launch(&mut kernel, program, opts)
+        }
+    };
+
+    let mut end = SimTime::ZERO;
+    for w in &team.workers {
+        match kernel.run_until_exit(*w, HORIZON) {
+            Ok(t) => end = end.max(t),
+            Err(RunError::Horizon(_)) => panic!(
+                "{}/{} run exceeded the {HORIZON} horizon (seed {seed})",
+                workload.name(),
+                cfg.label()
+            ),
+            Err(RunError::Drained) => unreachable!("ticks keep the queue non-empty"),
+        }
+    }
+    let exec = end.since(SimTime::ZERO);
+
+    let trace = buffer.map(|b| {
+        kernel.detach_tracer();
+        b.take_trace(0, exec)
+    });
+
+    RunOutput { exec, trace, anomaly: installed.anomaly }
+}
+
+/// Execute `n_runs` runs with seeds `seed_base..seed_base + n_runs`,
+/// parallelised over host threads. Results are ordered by seed.
+pub fn run_many(
+    platform: &Platform,
+    workload: &(dyn Workload + Sync),
+    cfg: &ExecConfig,
+    n_runs: usize,
+    seed_base: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+) -> Vec<RunOutput> {
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let host_threads = host_threads.min(n_runs.max(1));
+    let results: Vec<std::sync::Mutex<Option<RunOutput>>> =
+        (0..n_runs).map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..host_threads {
+            let results = &results;
+            scope.spawn(move || {
+                let mut i = t;
+                while i < n_runs {
+                    let out =
+                        run_once(platform, workload, cfg, seed_base + i as u64, tracing, inject);
+                    *results[i].lock().unwrap() = Some(out);
+                    i += host_threads;
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            let mut run = m.into_inner().unwrap();
+            run.take().expect("missing run result")
+        })
+        .collect()
+}
+
+/// Baseline measurement of one configuration.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    pub summary: Summary,
+    pub traces: TraceSet,
+    /// Indices of runs with an active natural anomaly.
+    pub anomaly_runs: Vec<usize>,
+}
+
+/// Run the baseline (optionally traced) stage of the pipeline.
+pub fn run_baseline(
+    platform: &Platform,
+    workload: &(dyn Workload + Sync),
+    cfg: &ExecConfig,
+    n_runs: usize,
+    seed_base: u64,
+    tracing: bool,
+) -> Baseline {
+    let outputs = run_many(platform, workload, cfg, n_runs, seed_base, tracing, None);
+    let samples: Vec<f64> = outputs.iter().map(|o| o.exec.as_secs_f64()).collect();
+    let mut traces = TraceSet::default();
+    let mut anomaly_runs = Vec::new();
+    for (i, o) in outputs.into_iter().enumerate() {
+        if o.anomaly.is_some() {
+            anomaly_runs.push(i);
+        }
+        if let Some(mut t) = o.trace {
+            t.run_index = i;
+            traces.runs.push(t);
+        }
+    }
+    Baseline { summary: Summary::of(&samples), traces, anomaly_runs }
+}
+
+/// Run the injection stage: repeat the workload with the injector
+/// replaying `config`.
+pub fn run_injected(
+    platform: &Platform,
+    workload: &(dyn Workload + Sync),
+    cfg: &ExecConfig,
+    config: &InjectionConfig,
+    n_runs: usize,
+    seed_base: u64,
+) -> Summary {
+    let outputs = run_many(platform, workload, cfg, n_runs, seed_base, false, Some(config));
+    let samples: Vec<f64> = outputs.iter().map(|o| o.exec.as_secs_f64()).collect();
+    Summary::of(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execconfig::Mitigation;
+    use noiselab_workloads::NBody;
+
+    // Small but long enough (several ms) to span multiple timer ticks.
+    fn tiny_nbody() -> NBody {
+        NBody { bodies: 4_096, steps: 3, sycl_kernel_efficiency: 1.3 }
+    }
+
+    #[test]
+    fn run_once_is_deterministic() {
+        let p = Platform::intel();
+        let w = tiny_nbody();
+        let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
+        let a = run_once(&p, &w, &cfg, 42, false, None);
+        let b = run_once(&p, &w, &cfg, 42, false, None);
+        assert_eq!(a.exec, b.exec);
+        let c = run_once(&p, &w, &cfg, 43, false, None);
+        assert_ne!(a.exec, c.exec, "different seeds should give different noise");
+    }
+
+    #[test]
+    fn run_many_matches_run_once() {
+        let p = Platform::intel();
+        let w = tiny_nbody();
+        let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
+        let many = run_many(&p, &w, &cfg, 4, 100, false, None);
+        for (i, out) in many.iter().enumerate() {
+            let single = run_once(&p, &w, &cfg, 100 + i as u64, false, None);
+            assert_eq!(out.exec, single.exec, "run {i} differs");
+        }
+    }
+
+    #[test]
+    fn tracing_produces_traces() {
+        let p = Platform::intel();
+        let w = tiny_nbody();
+        let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
+        let base = run_baseline(&p, &w, &cfg, 3, 7, true, );
+        assert_eq!(base.traces.runs.len(), 3);
+        for (i, t) in base.traces.runs.iter().enumerate() {
+            assert_eq!(t.run_index, i);
+            assert!(!t.events.is_empty(), "trace {i} has no events");
+            assert!(t.exec_time > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn sycl_slower_than_omp_raw() {
+        let p = Platform::intel();
+        let w = tiny_nbody();
+        let omp = run_once(&p, &w, &ExecConfig::new(Model::Omp, Mitigation::Rm), 1, false, None);
+        let sycl =
+            run_once(&p, &w, &ExecConfig::new(Model::Sycl, Mitigation::Rm), 1, false, None);
+        assert!(
+            sycl.exec.nanos() as f64 > omp.exec.nanos() as f64 * 1.1,
+            "sycl {} vs omp {}",
+            sycl.exec,
+            omp.exec
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! # noiselab-core
+//!
+//! The experiment harness tying the stack together: evaluation
+//! [`platform`]s, execution configurations ([`execconfig`]: model ×
+//! mitigation × SMT), the run [`harness`] (baseline / traced /
+//! injected), and the per-table experiment definitions in
+//! [`experiments`].
+
+pub mod execconfig;
+pub mod experiments;
+pub mod harness;
+pub mod platform;
+
+pub use execconfig::{ExecConfig, Mitigation, Model};
+pub use harness::{run_baseline, run_injected, run_many, run_once, Baseline, RunOutput};
+pub use platform::Platform;

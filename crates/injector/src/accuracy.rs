@@ -1,0 +1,66 @@
+//! Replication accuracy of the injector (paper Table 7).
+//!
+//! Accuracy is the relative difference between the mean execution time
+//! under injection and the execution time of the recorded anomaly the
+//! configuration was built from: `Avg_exec / Anomaly_exec - 1`. The
+//! paper reports the signed value per trace and the absolute value when
+//! averaging.
+
+use noiselab_sim::SimDuration;
+
+/// Signed replication error: positive means injection ran slower than
+/// the anomaly it replays.
+pub fn replication_error(avg_exec: SimDuration, anomaly_exec: SimDuration) -> f64 {
+    assert!(anomaly_exec > SimDuration::ZERO, "anomaly exec time must be positive");
+    avg_exec.nanos() as f64 / anomaly_exec.nanos() as f64 - 1.0
+}
+
+/// Absolute replication accuracy, the `|Avg/Anomaly - 1|` of the paper.
+pub fn replication_accuracy(avg_exec: SimDuration, anomaly_exec: SimDuration) -> f64 {
+    replication_error(avg_exec, anomaly_exec).abs()
+}
+
+/// Mean absolute accuracy across several (avg, anomaly) pairs.
+pub fn mean_accuracy(pairs: &[(SimDuration, SimDuration)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    pairs.iter().map(|&(a, b)| replication_accuracy(a, b)).sum::<f64>() / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_replication_is_zero() {
+        assert_eq!(replication_error(SimDuration(100), SimDuration(100)), 0.0);
+    }
+
+    #[test]
+    fn signed_error_direction() {
+        assert!(replication_error(SimDuration(110), SimDuration(100)) > 0.0);
+        assert!(replication_error(SimDuration(90), SimDuration(100)) < 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_absolute() {
+        let e = replication_accuracy(SimDuration(90), SimDuration(100));
+        assert!((e - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_over_pairs() {
+        let pairs = [
+            (SimDuration(110), SimDuration(100)), // 0.10
+            (SimDuration(95), SimDuration(100)),  // 0.05
+        ];
+        assert!((mean_accuracy(&pairs) - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_anomaly_panics() {
+        replication_error(SimDuration(1), SimDuration(0));
+    }
+}

@@ -1,0 +1,219 @@
+//! The noise-injection configuration file (paper Fig. 5).
+//!
+//! Each logical CPU present in the refined worst-case trace maps to a
+//! list of noise events annotated with start time (relative to the
+//! synchronised start), duration, and the scheduling policy to replay
+//! under. The file serialises to JSON, as in the paper.
+
+use noiselab_kernel::NoiseClass;
+use noiselab_machine::CpuId;
+use noiselab_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy assigned to a replayed noise event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectPolicy {
+    /// `SCHED_FIFO` — used for events that were IRQ or softirq noise.
+    Fifo,
+    /// `SCHED_OTHER` with the given nice value — used for thread noise.
+    Other { nice: i8 },
+}
+
+impl InjectPolicy {
+    pub fn to_kernel(self) -> noiselab_kernel::Policy {
+        match self {
+            InjectPolicy::Fifo => noiselab_kernel::Policy::Fifo { prio: 50 },
+            InjectPolicy::Other { nice } => noiselab_kernel::Policy::Other { nice },
+        }
+    }
+}
+
+/// One noise event to inject.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseEventSpec {
+    /// Start relative to the synchronised start barrier.
+    pub start: SimTime,
+    pub duration: SimDuration,
+    pub policy: InjectPolicy,
+    /// Originating source, kept for inspection/debugging.
+    pub source: String,
+}
+
+impl NoiseEventSpec {
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+/// The event list for one injector process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuNoiseList {
+    /// The logical CPU the events were observed on. Informational: the
+    /// injector processes deliberately carry *no* affinity (paper §4.3),
+    /// so replay may land elsewhere.
+    pub cpu: CpuId,
+    /// Events sorted by start time.
+    pub events: Vec<NoiseEventSpec>,
+}
+
+/// A complete injection configuration.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InjectionConfig {
+    /// Free-form description of the origin (workload, config, run index).
+    pub origin: String,
+    /// Execution time of the anomalous run this config was derived from;
+    /// the denominator of the accuracy metric (paper Table 7).
+    pub anomaly_exec: SimDuration,
+    pub lists: Vec<CpuNoiseList>,
+}
+
+impl InjectionConfig {
+    /// Total noise duration in the configuration.
+    pub fn total_noise(&self) -> SimDuration {
+        let ns = self
+            .lists
+            .iter()
+            .flat_map(|l| l.events.iter())
+            .map(|e| e.duration.nanos())
+            .sum();
+        SimDuration(ns)
+    }
+
+    /// Number of events across all CPUs.
+    pub fn event_count(&self) -> usize {
+        self.lists.iter().map(|l| l.events.len()).sum()
+    }
+
+    /// Fraction of total noise that replays under `SCHED_FIFO`.
+    pub fn fifo_fraction(&self) -> f64 {
+        let total = self.total_noise().nanos() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let fifo: u64 = self
+            .lists
+            .iter()
+            .flat_map(|l| l.events.iter())
+            .filter(|e| e.policy == InjectPolicy::Fifo)
+            .map(|e| e.duration.nanos())
+            .sum();
+        fifo as f64 / total
+    }
+
+    /// Serialise to the JSON configuration file format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialisation cannot fail")
+    }
+
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Sanity invariants: events sorted, no zero durations.
+    pub fn validate(&self) -> Result<(), String> {
+        for l in &self.lists {
+            let mut prev = SimTime::ZERO;
+            for e in &l.events {
+                if e.duration == SimDuration::ZERO {
+                    return Err(format!("zero-duration event on {}", l.cpu));
+                }
+                if e.start < prev {
+                    return Err(format!("unsorted events on {}", l.cpu));
+                }
+                prev = e.start;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Map an osnoise event class to its replay policy (paper §4.2): thread
+/// noise replays under the default policy; IRQ and softirq noise replay
+/// under real-time FIFO so they preempt the workload as hardware would.
+pub fn policy_for_class(class: NoiseClass, thread_nice: i8) -> InjectPolicy {
+    match class {
+        NoiseClass::Irq | NoiseClass::Softirq => InjectPolicy::Fifo,
+        NoiseClass::Thread => InjectPolicy::Other { nice: thread_nice },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: u64, dur: u64, policy: InjectPolicy) -> NoiseEventSpec {
+        NoiseEventSpec {
+            start: SimTime(start),
+            duration: SimDuration(dur),
+            policy,
+            source: "s".into(),
+        }
+    }
+
+    #[test]
+    fn totals_and_fifo_fraction() {
+        let cfg = InjectionConfig {
+            origin: "test".into(),
+            anomaly_exec: SimDuration(100),
+            lists: vec![CpuNoiseList {
+                cpu: CpuId(0),
+                events: vec![
+                    ev(0, 300, InjectPolicy::Fifo),
+                    ev(500, 700, InjectPolicy::Other { nice: 0 }),
+                ],
+            }],
+        };
+        assert_eq!(cfg.total_noise(), SimDuration(1000));
+        assert_eq!(cfg.event_count(), 2);
+        assert!((cfg.fifo_fraction() - 0.3).abs() < 1e-12);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_unsorted() {
+        let cfg = InjectionConfig {
+            origin: String::new(),
+            anomaly_exec: SimDuration(0),
+            lists: vec![CpuNoiseList {
+                cpu: CpuId(0),
+                events: vec![ev(500, 10, InjectPolicy::Fifo), ev(100, 10, InjectPolicy::Fifo)],
+            }],
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_duration() {
+        let cfg = InjectionConfig {
+            origin: String::new(),
+            anomaly_exec: SimDuration(0),
+            lists: vec![CpuNoiseList { cpu: CpuId(0), events: vec![ev(0, 0, InjectPolicy::Fifo)] }],
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = InjectionConfig {
+            origin: "nbody/intel/Rm-OMP#1".into(),
+            anomaly_exec: SimDuration(123_456_789),
+            lists: vec![CpuNoiseList {
+                cpu: CpuId(3),
+                events: vec![ev(10, 20, InjectPolicy::Other { nice: -5 })],
+            }],
+        };
+        let s = cfg.to_json();
+        let back = InjectionConfig::from_json(&s).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn class_policy_mapping() {
+        assert_eq!(policy_for_class(NoiseClass::Irq, 0), InjectPolicy::Fifo);
+        assert_eq!(policy_for_class(NoiseClass::Softirq, 0), InjectPolicy::Fifo);
+        assert_eq!(
+            policy_for_class(NoiseClass::Thread, -5),
+            InjectPolicy::Other { nice: -5 }
+        );
+    }
+}

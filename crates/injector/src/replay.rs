@@ -1,0 +1,253 @@
+//! Noise replay during workload execution (paper §4.3, Listing 1).
+//!
+//! One injector process is spawned per CPU list in the configuration.
+//! The processes carry **no CPU affinity** — if the workload does not
+//! run on the exact cores of the recorded worst case, the injected noise
+//! still lands wherever the scheduler puts it, which is what lets
+//! housekeeping cores absorb it.
+//!
+//! Every injector and the workload synchronise on a shared start
+//! barrier; after release each injector walks its event list: switch
+//! policy if needed, sleep until the event's start time, then occupy the
+//! CPU for the event's duration.
+
+use crate::config::{CpuNoiseList, InjectPolicy, InjectionConfig};
+use noiselab_kernel::{
+    Action, BarrierId, Behavior, Ctx, Kernel, Policy, ThreadId, ThreadKind, ThreadSpec,
+};
+use noiselab_sim::{SimDuration, SimTime};
+
+/// How long injectors spin at the start barrier before blocking. Short:
+/// the workload may take a while to initialise.
+const START_SPIN: SimDuration = SimDuration(100_000);
+
+enum Phase {
+    /// Raise to real-time priority so the post-barrier start is prompt
+    /// even on a saturated machine.
+    RaisePriority,
+    /// Waiting to synchronise with peers and the workload.
+    AwaitBarrier,
+    /// Walking the event list; `origin` is the barrier release time.
+    Run { origin: Option<SimTime>, idx: usize, policy_set: bool },
+}
+
+/// The behavior of one injector process (paper Listing 1).
+pub struct InjectorProcess {
+    list: CpuNoiseList,
+    start_barrier: BarrierId,
+    phase: Phase,
+    current_policy: InjectPolicy,
+}
+
+impl InjectorProcess {
+    pub fn new(list: CpuNoiseList, start_barrier: BarrierId) -> Self {
+        InjectorProcess {
+            list,
+            start_barrier,
+            phase: Phase::RaisePriority,
+            current_policy: InjectPolicy::Fifo,
+        }
+    }
+}
+
+impl Behavior for InjectorProcess {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        match &mut self.phase {
+            Phase::RaisePriority => {
+                self.phase = Phase::AwaitBarrier;
+                Action::SetPolicy(InjectPolicy::Fifo.to_kernel())
+            }
+            Phase::AwaitBarrier => {
+                self.phase = Phase::Run { origin: None, idx: 0, policy_set: false };
+                Action::Barrier { id: self.start_barrier, spin: START_SPIN }
+            }
+            Phase::Run { origin, idx, policy_set } => {
+                // First step after barrier release: anchor the timeline.
+                let origin = *origin.get_or_insert(ctx.now);
+                let Some(event) = self.list.events.get(*idx) else {
+                    return Action::Exit;
+                };
+                // 1. Match the event's scheduling policy.
+                if !*policy_set && self.current_policy != event.policy {
+                    self.current_policy = event.policy;
+                    *policy_set = true;
+                    return Action::SetPolicy(event.policy.to_kernel());
+                }
+                // 2. Sleep until the event's start time.
+                let at = origin + (event.start - SimTime::ZERO);
+                if ctx.now < at {
+                    *policy_set = true;
+                    return Action::SleepUntil(at);
+                }
+                // 3. Occupy the CPU for the duration (wall occupancy, as
+                // recorded by the tracer), then advance.
+                let dur = event.duration;
+                *idx += 1;
+                *policy_set = false;
+                Action::BurnWall(dur)
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "injector"
+    }
+}
+
+/// Spawn the injector processes for `config` into `kernel`, synchronised
+/// on `start_barrier`. Returns their thread ids.
+///
+/// `start_barrier` must have been created with
+/// `config.lists.len() + <number of workload parties>` parties.
+pub fn spawn_injectors(
+    kernel: &mut Kernel,
+    config: &InjectionConfig,
+    start_barrier: BarrierId,
+) -> Vec<ThreadId> {
+    config
+        .lists
+        .iter()
+        .map(|list| {
+            let spec = ThreadSpec::new(
+                format!("injector/{}", list.cpu.0),
+                ThreadKind::Injector,
+            )
+            // No affinity (paper §4.3): the injector may run anywhere.
+            .policy(Policy::NORMAL);
+            kernel.spawn(spec, Box::new(InjectorProcess::new(list.clone(), start_barrier)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NoiseEventSpec;
+    use noiselab_kernel::{KernelConfig, ScriptBehavior};
+    use noiselab_machine::{CpuId, Machine, PerfModel, CpuSet, WorkUnit};
+
+    fn machine(cores: usize) -> Machine {
+        Machine {
+            name: "t".into(),
+            cores,
+            smt: 1,
+            perf: PerfModel { flops_per_ns: 1.0, smt_factor: 1.0, per_core_bw: 10.0, socket_bw: 40.0 },
+            migration_cost: SimDuration::ZERO,
+            ctx_switch: SimDuration::ZERO,
+            wake_latency: SimDuration::ZERO,
+            tick_period: SimDuration::from_millis(4),
+            reserved_cpus: CpuSet::EMPTY,
+            numa_domains: 1,
+        }
+    }
+
+    fn quiet_cfg() -> KernelConfig {
+        KernelConfig {
+            timer_irq_mean: SimDuration::from_nanos(200),
+            timer_irq_sd: SimDuration::ZERO,
+            softirq_prob: 0.0,
+            ..KernelConfig::default()
+        }
+    }
+
+    fn fifo_event(start_ms: u64, dur_ms: u64) -> NoiseEventSpec {
+        NoiseEventSpec {
+            start: SimTime(start_ms * 1_000_000),
+            duration: SimDuration::from_millis(dur_ms),
+            policy: InjectPolicy::Fifo,
+            source: "test".into(),
+        }
+    }
+
+    /// A 1-CPU machine: a FIFO event injected at +2ms for 3ms must delay
+    /// a 10ms workload to ~13ms.
+    #[test]
+    fn injected_fifo_noise_delays_workload() {
+        let mut k = Kernel::new(machine(1), quiet_cfg(), 1);
+        let bar = k.new_barrier(2); // 1 injector + workload
+        let cfg = InjectionConfig {
+            origin: "t".into(),
+            anomaly_exec: SimDuration::from_millis(13),
+            lists: vec![CpuNoiseList { cpu: CpuId(0), events: vec![fifo_event(2, 3)] }],
+        };
+        let injectors = spawn_injectors(&mut k, &cfg, bar);
+        assert_eq!(injectors.len(), 1);
+        let w = k.spawn(
+            ThreadSpec::new("workload", ThreadKind::Workload),
+            Box::new(ScriptBehavior::new(vec![
+                Action::Barrier { id: bar, spin: SimDuration::from_micros(100) },
+                Action::Compute(WorkUnit::compute(10_000_000.0)),
+            ])),
+        );
+        let end = k
+            .run_until_exit(w, SimTime::from_secs_f64(1.0))
+            .unwrap()
+            .as_secs_f64();
+        assert!((0.0129..0.0133).contains(&end), "end={end}");
+    }
+
+    /// Multiple events replay in order with correct gaps.
+    #[test]
+    fn replays_event_sequence() {
+        let mut k = Kernel::new(machine(1), quiet_cfg(), 1);
+        let bar = k.new_barrier(2);
+        let cfg = InjectionConfig {
+            origin: "t".into(),
+            anomaly_exec: SimDuration::ZERO,
+            lists: vec![CpuNoiseList {
+                cpu: CpuId(0),
+                events: vec![fifo_event(1, 1), fifo_event(4, 2)],
+            }],
+        };
+        let inj = spawn_injectors(&mut k, &cfg, bar);
+        let w = k.spawn(
+            ThreadSpec::new("workload", ThreadKind::Workload),
+            Box::new(ScriptBehavior::new(vec![
+                Action::Barrier { id: bar, spin: SimDuration::from_micros(100) },
+                Action::Compute(WorkUnit::compute(10_000_000.0)),
+            ])),
+        );
+        let e_inj = k
+            .run_until_exit(inj[0], SimTime::from_secs_f64(1.0))
+            .unwrap()
+            .as_secs_f64();
+        // Last event ends at 4+2 = 6 ms after origin.
+        assert!((0.0059..0.0063).contains(&e_inj), "e_inj={e_inj}");
+        let e_w = k.run_until_exit(w, SimTime::from_secs_f64(1.0)).unwrap().as_secs_f64();
+        // 10 ms work + 3 ms stolen.
+        assert!((0.0129..0.0133).contains(&e_w), "e_w={e_w}");
+    }
+
+    /// Injectors with no affinity prefer idle CPUs: on a 2-CPU machine
+    /// with the workload pinned to cpu0, other-policy noise should land
+    /// on cpu1 and barely disturb the workload.
+    #[test]
+    fn unpinned_noise_prefers_idle_cpu() {
+        let mut k = Kernel::new(machine(2), quiet_cfg(), 1);
+        let bar = k.new_barrier(2);
+        let cfg = InjectionConfig {
+            origin: "t".into(),
+            anomaly_exec: SimDuration::ZERO,
+            lists: vec![CpuNoiseList {
+                cpu: CpuId(0),
+                events: vec![NoiseEventSpec {
+                    start: SimTime(2_000_000),
+                    duration: SimDuration::from_millis(5),
+                    policy: InjectPolicy::Other { nice: 0 },
+                    source: "kworker".into(),
+                }],
+            }],
+        };
+        spawn_injectors(&mut k, &cfg, bar);
+        let w = k.spawn(
+            ThreadSpec::new("workload", ThreadKind::Workload)
+                .affinity(CpuSet::single(CpuId(0))),
+            Box::new(ScriptBehavior::new(vec![
+                Action::Barrier { id: bar, spin: SimDuration::from_micros(100) },
+                Action::Compute(WorkUnit::compute(10_000_000.0)),
+            ])),
+        );
+        let e = k.run_until_exit(w, SimTime::from_secs_f64(1.0)).unwrap().as_secs_f64();
+        assert!(e < 0.0105, "noise should have landed on the idle cpu: e={e}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Kernel tunables.
+
+use noiselab_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Scheduler and interrupt-model configuration.
+///
+/// Defaults approximate the Ubuntu 24.04 kernels of the paper's two
+/// platforms with the paper's required overrides already applied (RT
+/// throttling disabled so `SCHED_FIFO` noise can occupy 100 % of a CPU).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// CFS wakeup preemption granularity: a woken fair task preempts the
+    /// running fair task only if its vruntime is at least this much
+    /// smaller.
+    pub wakeup_granularity: SimDuration,
+    /// Minimum on-CPU time before tick-driven fair preemption.
+    pub min_granularity: SimDuration,
+    /// Whether the RT throttling fail-safe is active. The paper disables
+    /// it during injection; we default to disabled for parity.
+    pub rt_throttling: bool,
+    /// Mean service time of the per-tick local timer interrupt.
+    pub timer_irq_mean: SimDuration,
+    /// Standard deviation of the timer interrupt service time.
+    pub timer_irq_sd: SimDuration,
+    /// Probability that a tick raises a follow-on softirq (RCU or SCHED).
+    pub softirq_prob: f64,
+    /// Mean softirq service time.
+    pub softirq_mean: SimDuration,
+    /// Per-recorded-event cost charged to the traced CPU when tracing is
+    /// enabled (buffer write + timestamp), producing the sub-1 % overhead
+    /// of paper Table 1.
+    pub trace_event_overhead: SimDuration,
+    /// Enable idle load balancing (pulling a waiting thread when a CPU
+    /// goes idle). Real kernels always do this; exposed for ablations.
+    pub idle_balance: bool,
+    /// Maximum consecutive instantaneous actions per behavior step, to
+    /// catch runaway behaviors early.
+    pub max_instant_actions: u32,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            wakeup_granularity: SimDuration::from_millis(1),
+            min_granularity: SimDuration::from_millis(3),
+            rt_throttling: false,
+            timer_irq_mean: SimDuration::from_nanos(1_800),
+            timer_irq_sd: SimDuration::from_nanos(600),
+            softirq_prob: 0.25,
+            softirq_mean: SimDuration::from_nanos(2_500),
+            trace_event_overhead: SimDuration::from_nanos(2_000),
+            idle_balance: true,
+            max_instant_actions: 1024,
+        }
+    }
+}

@@ -1,0 +1,1167 @@
+//! The simulated OS kernel: event loop, scheduler, execution rates.
+//!
+//! One [`Kernel`] instance simulates one machine for one run. Threads are
+//! [`Behavior`] state machines (see [`crate::action`]); the kernel
+//! multiplexes them over the machine's logical CPUs with two scheduling
+//! classes (CFS-like fair + FIFO real-time), periodic timer interrupts,
+//! idle load balancing with migration costs, SMT contention and max-min
+//! fair memory-bandwidth sharing.
+//!
+//! Everything is deterministic given the seed: the event queue breaks
+//! timestamp ties by insertion order and all scheduler decisions iterate
+//! in fixed CPU/thread order.
+
+use crate::action::{Action, Behavior, Ctx};
+use crate::config::KernelConfig;
+use crate::cpu::Cpu;
+use crate::ids::{BarrierId, ThreadId, WaitId};
+use crate::policy::Policy;
+use crate::thread::{ActiveCompute, BlockReason, Thread, ThreadKind, ThreadState};
+use crate::trace::{NoiseClass, TraceSink};
+use noiselab_machine::{waterfill, CpuId, CpuSet, Machine, SoloProfile};
+use noiselab_sim::{EventQueue, EventToken, Rng, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum KEvent {
+    /// Thread start (spawn delay elapsed).
+    Start(ThreadId),
+    /// Sleep or delayed wake expired.
+    WakeTimer(ThreadId),
+    /// The running compute finished.
+    ComputeDone(ThreadId),
+    /// A spinning waiter gives up and blocks.
+    SpinExpire(ThreadId),
+    /// Periodic per-CPU timer tick (scheduler tick + timer IRQ).
+    Tick(u32),
+    /// End of an interrupt-service window on a CPU.
+    IrqDone(u32),
+    /// A device interrupt injected by a noise source (e.g. an NVMe or
+    /// NIC interrupt storm).
+    DeviceIrq { cpu: u32, duration: SimDuration, source: Box<str> },
+}
+
+/// Thread creation parameters.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    pub name: String,
+    pub kind: ThreadKind,
+    pub policy: Policy,
+    pub affinity: CpuSet,
+    /// Virtual time at which the thread becomes runnable.
+    pub start: SimTime,
+}
+
+impl ThreadSpec {
+    pub fn new(name: impl Into<String>, kind: ThreadKind) -> Self {
+        ThreadSpec {
+            name: name.into(),
+            kind,
+            policy: Policy::NORMAL,
+            affinity: CpuSet::EMPTY, // replaced by all CPUs at spawn
+            start: SimTime::ZERO,
+        }
+    }
+
+    pub fn policy(mut self, p: Policy) -> Self {
+        self.policy = p;
+        self
+    }
+
+    pub fn affinity(mut self, a: CpuSet) -> Self {
+        self.affinity = a;
+        self
+    }
+
+    pub fn start_at(mut self, t: SimTime) -> Self {
+        self.start = t;
+        self
+    }
+}
+
+/// Errors from the run loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The horizon passed before the condition was met.
+    Horizon(SimTime),
+    /// The event queue drained (cannot happen while ticks are armed).
+    Drained,
+}
+
+struct BarrierState {
+    parties: usize,
+    waiting: Vec<ThreadId>,
+}
+
+struct WaitQueueState {
+    waiters: VecDeque<ThreadId>,
+}
+
+/// The simulated kernel. See module docs.
+pub struct Kernel {
+    pub machine: Machine,
+    pub config: KernelConfig,
+    queue: EventQueue<KEvent>,
+    threads: Vec<Thread>,
+    behaviors: Vec<Option<Box<dyn Behavior>>>,
+    cpus: Vec<Cpu>,
+    barriers: Vec<BarrierState>,
+    waitqs: Vec<WaitQueueState>,
+    rng: Rng,
+    tracer: Option<Box<dyn TraceSink>>,
+    /// Per-CPU trace-write overhead accumulated since the last tick,
+    /// charged inside the next tick's IRQ window.
+    pending_trace_ns: Vec<u64>,
+    /// Alternates softirq attribution between RCU:9 and SCHED:7.
+    softirq_flip: bool,
+    /// Depth guard for the dispatch -> step_behavior recursion.
+    step_depth: u32,
+}
+
+impl Kernel {
+    pub fn new(machine: Machine, config: KernelConfig, seed: u64) -> Self {
+        let n = machine.n_cpus();
+        let mut queue = EventQueue::new();
+        // Stagger per-CPU ticks across the tick period, as on real
+        // systems where CPUs boot at slightly different times.
+        let period = machine.tick_period.nanos();
+        for i in 0..n {
+            let offset = period * (i as u64 + 1) / (n as u64 + 1);
+            queue.schedule(SimTime(offset), KEvent::Tick(i as u32));
+        }
+        Kernel {
+            machine,
+            config,
+            queue,
+            threads: Vec::new(),
+            behaviors: Vec::new(),
+            cpus: (0..n).map(|_| Cpu::new()).collect(),
+            barriers: Vec::new(),
+            waitqs: Vec::new(),
+            rng: Rng::new(seed),
+            tracer: None,
+            pending_trace_ns: vec![0; n],
+            softirq_flip: false,
+            step_depth: 0,
+        }
+    }
+
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Attach an osnoise-style trace sink; tracing stays on until
+    /// [`Self::detach_tracer`].
+    pub fn attach_tracer(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer = Some(sink);
+    }
+
+    pub fn detach_tracer(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take()
+    }
+
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Fork an independent RNG stream (for building workload data etc.).
+    pub fn fork_rng(&mut self, stream: u64) -> Rng {
+        self.rng.fork(stream)
+    }
+
+    /// Create a thread. It becomes runnable at `spec.start`.
+    pub fn spawn(&mut self, mut spec: ThreadSpec, behavior: Box<dyn Behavior>) -> ThreadId {
+        if spec.affinity.is_empty() {
+            spec.affinity = self.machine.all_cpus();
+        }
+        let id = ThreadId(self.threads.len() as u32);
+        let t = Thread::new(id, spec.name, spec.kind, spec.policy, spec.affinity);
+        self.threads.push(t);
+        self.behaviors.push(Some(behavior));
+        let at = spec.start.max(self.now());
+        let token = self.queue.schedule(at, KEvent::Start(id));
+        self.threads[id.index()].timer_token = token;
+        id
+    }
+
+    pub fn new_barrier(&mut self, parties: usize) -> BarrierId {
+        assert!(parties > 0);
+        let id = BarrierId(self.barriers.len() as u32);
+        self.barriers.push(BarrierState { parties, waiting: Vec::new() });
+        id
+    }
+
+    pub fn new_waitq(&mut self) -> WaitId {
+        let id = WaitId(self.waitqs.len() as u32);
+        self.waitqs.push(WaitQueueState { waiters: VecDeque::new() });
+        id
+    }
+
+    #[inline]
+    pub fn thread(&self, tid: ThreadId) -> &Thread {
+        &self.threads[tid.index()]
+    }
+
+    pub fn cpu_stats(&self, cpu: CpuId) -> (u64, u64) {
+        let c = &self.cpus[cpu.index()];
+        (c.busy_ns, c.irq_ns)
+    }
+
+    /// Run until `tid` exits; returns its exit time. Fails if virtual
+    /// time would pass `horizon` first.
+    pub fn run_until_exit(&mut self, tid: ThreadId, horizon: SimTime) -> Result<SimTime, RunError> {
+        loop {
+            if let Some(t) = self.threads[tid.index()].exit_time {
+                return Ok(t);
+            }
+            let Some(next) = self.queue.peek_time() else {
+                return Err(RunError::Drained);
+            };
+            if next > horizon {
+                return Err(RunError::Horizon(horizon));
+            }
+            let (_, ev) = self.queue.pop().unwrap();
+            self.handle(ev);
+        }
+    }
+
+    /// Run until virtual time `until`.
+    pub fn run_until(&mut self, until: SimTime) -> Result<(), RunError> {
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return Err(RunError::Drained);
+            };
+            if next > until {
+                return Ok(());
+            }
+            let (_, ev) = self.queue.pop().unwrap();
+            self.handle(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: KEvent) {
+        match ev {
+            KEvent::Start(tid) | KEvent::WakeTimer(tid) => {
+                self.threads[tid.index()].timer_token = EventToken::NONE;
+                self.wake_thread(tid);
+            }
+            KEvent::ComputeDone(tid) => self.on_compute_done(tid),
+            KEvent::SpinExpire(tid) => self.on_spin_expire(tid),
+            KEvent::Tick(cpu) => self.on_tick(cpu as usize),
+            KEvent::IrqDone(cpu) => self.on_irq_done(cpu as usize),
+            KEvent::DeviceIrq { cpu, duration, source } => {
+                self.on_device_irq(cpu as usize, duration, &source)
+            }
+        }
+    }
+
+    /// Pre-schedule a device interrupt on `cpu` at time `at`. Used by
+    /// noise sources to model interrupt storms; recorded as `irq_noise`.
+    pub fn inject_irq(
+        &mut self,
+        cpu: CpuId,
+        at: SimTime,
+        duration: SimDuration,
+        source: impl Into<Box<str>>,
+    ) {
+        let at = at.max(self.now());
+        self.queue.schedule(
+            at,
+            KEvent::DeviceIrq { cpu: cpu.0, duration, source: source.into() },
+        );
+    }
+
+    fn on_device_irq(&mut self, ci: usize, duration: SimDuration, source: &str) {
+        let now = self.now();
+        let mut stall = duration.nanos();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(CpuId(ci as u32), NoiseClass::Irq, source, None, now, duration);
+            stall += self.config.trace_event_overhead.nanos();
+        }
+        self.cpus[ci].irq_ns += stall;
+        if let Some(tid) = self.cpus[ci].current {
+            self.charge_runtime(tid);
+        }
+        let end = now + SimDuration(stall);
+        if end > self.cpus[ci].irq_until {
+            self.cpus[ci].irq_until = end;
+            self.queue.cancel(self.cpus[ci].irq_token);
+            self.cpus[ci].irq_token = self.queue.schedule(end, KEvent::IrqDone(ci as u32));
+        }
+        if self.cpus[ci].current.is_some() {
+            self.recompute_rates();
+        }
+    }
+
+    fn on_compute_done(&mut self, tid: ThreadId) {
+        let now = self.now();
+        let i = tid.index();
+        self.threads[i].compute_token = EventToken::NONE;
+        if self.threads[i].state != ThreadState::Running {
+            // Stale event (should have been cancelled).
+            debug_assert!(false, "ComputeDone for non-running {tid}");
+            return;
+        }
+        if let Some(c) = self.threads[i].compute.as_mut() {
+            c.advance_to(now);
+            debug_assert!(
+                c.remaining < 1.0 && c.overhead_ns < 1.0,
+                "ComputeDone fired early for {tid}: remaining={} overhead={}",
+                c.remaining,
+                c.overhead_ns
+            );
+        }
+        self.charge_runtime(tid);
+        self.threads[i].compute = None;
+        self.recompute_rates();
+        self.step_behavior(tid);
+    }
+
+    fn on_spin_expire(&mut self, tid: ThreadId) {
+        let now = self.now();
+        let i = tid.index();
+        self.threads[i].spin_token = EventToken::NONE;
+        if !self.threads[i].spinning {
+            return; // already released
+        }
+        // Give up spinning: block off-CPU.
+        self.threads[i].spinning = false;
+        match self.threads[i].state {
+            ThreadState::Running => {
+                let cpu = self.threads[i].cpu.unwrap().index();
+                self.off_cpu(tid, ThreadState::Blocked);
+                self.threads[i].compute = None;
+                self.recompute_rates();
+                self.dispatch(cpu);
+            }
+            ThreadState::Ready => {
+                // Preempted while spinning; remove from the runqueue.
+                let cpu = self.threads[i].cpu.unwrap().index();
+                self.dequeue_ready(cpu, tid);
+                self.threads[i].compute = None;
+                self.threads[i].state = ThreadState::Blocked;
+                self.threads[i].cpu = None;
+                let _ = now;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_tick(&mut self, ci: usize) {
+        let now = self.now();
+        let period = self.machine.tick_period;
+        self.queue.schedule(now + period, KEvent::Tick(ci as u32));
+
+        // --- timer interrupt service -----------------------------------
+        let irq_ns = self
+            .rng
+            .normal_min(
+                self.config.timer_irq_mean.nanos() as f64,
+                self.config.timer_irq_sd.nanos() as f64,
+                200.0,
+            )
+            .round() as u64;
+        let mut stall = irq_ns;
+        let mut trace_events = 0u32;
+        if self.tracer.is_some() {
+            trace_events += 1;
+        }
+
+        let softirq = if self.rng.chance(self.config.softirq_prob) {
+            let s = self.rng.exp(self.config.softirq_mean.nanos() as f64).round().max(200.0) as u64;
+            self.softirq_flip = !self.softirq_flip;
+            if self.tracer.is_some() {
+                trace_events += 1;
+            }
+            Some(s)
+        } else {
+            None
+        };
+
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(
+                CpuId(ci as u32),
+                NoiseClass::Irq,
+                "local_timer:236",
+                None,
+                now,
+                SimDuration(irq_ns),
+            );
+            if let Some(s) = softirq {
+                let src = if self.softirq_flip { "RCU:9" } else { "SCHED:7" };
+                tr.record(
+                    CpuId(ci as u32),
+                    NoiseClass::Softirq,
+                    src,
+                    None,
+                    now + SimDuration(irq_ns),
+                    SimDuration(s),
+                );
+            }
+        }
+        stall += softirq.unwrap_or(0);
+        // Charge deferred trace-write overhead plus this tick's records.
+        if self.tracer.is_some() {
+            let deferred = std::mem::take(&mut self.pending_trace_ns[ci]);
+            stall += deferred + trace_events as u64 * self.config.trace_event_overhead.nanos();
+        }
+
+        self.cpus[ci].irq_ns += stall;
+        let was_busy = self.cpus[ci].current.is_some();
+        if was_busy {
+            // Freeze the running thread's progress for the IRQ window.
+            if let Some(tid) = self.cpus[ci].current {
+                self.charge_runtime(tid);
+            }
+        }
+        let end = now + SimDuration(stall);
+        if end > self.cpus[ci].irq_until {
+            self.cpus[ci].irq_until = end;
+            self.queue.cancel(self.cpus[ci].irq_token);
+            self.cpus[ci].irq_token = self.queue.schedule(end, KEvent::IrqDone(ci as u32));
+        }
+        if was_busy {
+            self.recompute_rates();
+        }
+
+        // --- periodic idle balancing -------------------------------------
+        // An idle CPU re-runs dispatch each tick so it can pull queued
+        // work from loaded CPUs (the tick-driven load balancing of real
+        // kernels).
+        if self.cpus[ci].current.is_none() {
+            self.dispatch(ci);
+        }
+
+        // --- scheduler tick: fair-class preemption ----------------------
+        if let Some(cur) = self.cpus[ci].current {
+            let cur_t = &self.threads[cur.index()];
+            if !cur_t.policy.is_rt() {
+                let ran = now.since(cur_t.on_cpu_since);
+                if ran >= self.config.min_granularity {
+                    if let Some((v, _)) = self.cpus[ci].cfs.peek() {
+                        if v < cur_t.vruntime {
+                            self.preempt_current(ci);
+                            self.dispatch(ci);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_irq_done(&mut self, ci: usize) {
+        self.cpus[ci].irq_token = EventToken::NONE;
+        // Rates were zeroed for this CPU's thread; restore them.
+        self.recompute_rates();
+    }
+
+    // ------------------------------------------------------------------
+    // Wake-up and placement
+    // ------------------------------------------------------------------
+
+    fn wake_thread(&mut self, tid: ThreadId) {
+        let i = tid.index();
+        match self.threads[i].state {
+            ThreadState::New | ThreadState::Sleeping | ThreadState::Blocked => {}
+            // Spurious wake of a runnable/exited thread: ignore.
+            _ => return,
+        }
+        self.threads[i].block_reason = BlockReason::None;
+        let cpu = self.select_rq(tid);
+        if let Some(last) = self.threads[i].last_cpu {
+            if last != cpu {
+                self.threads[i].pending_migration = true;
+            }
+        }
+        self.threads[i].state = ThreadState::Ready;
+        self.threads[i].cpu = Some(cpu);
+        self.enqueue(cpu.index(), tid);
+        self.check_preempt(cpu.index(), tid);
+    }
+
+    /// Wake placement, mirroring Linux `select_idle_sibling`: prefer a
+    /// fully idle physical core (previous CPU first) over an idle CPU
+    /// whose sibling is busy, then the previous CPU if merely idle, then
+    /// any idle CPU, then the least loaded allowed CPU. Deterministic:
+    /// ties break on lowest CPU id. The idle-core preference is what
+    /// routes unpinned noise onto housekeeping cores instead of the SMT
+    /// siblings of busy workload cores.
+    fn select_rq(&self, tid: ThreadId) -> CpuId {
+        let t = &self.threads[tid.index()];
+        let allowed = t.affinity.intersection(self.machine.all_cpus());
+        assert!(!allowed.is_empty(), "thread {} has empty affinity", t.name);
+
+        let is_idle = |c: CpuId| self.cpus[c.index()].nr_running() == 0;
+        let core_idle = |c: CpuId| {
+            is_idle(c)
+                && match self.machine.sibling_of(c) {
+                    Some(sib) => is_idle(sib),
+                    None => true,
+                }
+        };
+
+        if let Some(last) = t.last_cpu {
+            if allowed.contains(last) && core_idle(last) {
+                return last;
+            }
+        }
+        // Any fully idle physical core — preferring the previous NUMA
+        // domain (Linux searches the LLC domain first).
+        let home = t.last_cpu.map(|c| self.machine.domain_of(c));
+        let mut idle_any: Option<CpuId> = None;
+        let mut idle_core_remote: Option<CpuId> = None;
+        for c in allowed.iter() {
+            if !is_idle(c) {
+                continue;
+            }
+            if idle_any.is_none() {
+                idle_any = Some(c);
+            }
+            if core_idle(c) {
+                match home {
+                    Some(h) if self.machine.domain_of(c) != h => {
+                        if idle_core_remote.is_none() {
+                            idle_core_remote = Some(c);
+                        }
+                    }
+                    _ => return c,
+                }
+            }
+        }
+        if let Some(c) = idle_core_remote {
+            return c;
+        }
+        // Previous CPU if idle (cache affinity), else any idle CPU.
+        if let Some(last) = t.last_cpu {
+            if allowed.contains(last) && is_idle(last) {
+                return last;
+            }
+        }
+        if let Some(c) = idle_any {
+            return c;
+        }
+        // Least loaded.
+        let mut best = allowed.first().unwrap();
+        let mut best_load = usize::MAX;
+        for c in allowed.iter() {
+            let load = self.cpus[c.index()].nr_running();
+            if load < best_load {
+                best_load = load;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn enqueue(&mut self, ci: usize, tid: ThreadId) {
+        let i = tid.index();
+        debug_assert_eq!(self.threads[i].state, ThreadState::Ready);
+        match self.threads[i].policy {
+            Policy::Fifo { prio } => self.cpus[ci].rt.enqueue(prio, tid),
+            Policy::Other { .. } => {
+                // Floor the vruntime so sleepers cannot starve the queue.
+                let floor = self.cpus[ci].cfs.min_vruntime;
+                if self.threads[i].vruntime < floor {
+                    self.threads[i].vruntime = floor;
+                }
+                self.cpus[ci].cfs.enqueue(self.threads[i].vruntime, tid);
+            }
+        }
+    }
+
+    fn dequeue_ready(&mut self, ci: usize, tid: ThreadId) {
+        let i = tid.index();
+        let removed = match self.threads[i].policy {
+            Policy::Fifo { .. } => self.cpus[ci].rt.remove(tid),
+            Policy::Other { .. } => self.cpus[ci].cfs.dequeue(self.threads[i].vruntime, tid),
+        };
+        debug_assert!(removed, "thread {tid} not found in runqueue {ci}");
+    }
+
+    /// Should the newly enqueued `tid` preempt the current thread?
+    fn check_preempt(&mut self, ci: usize, tid: ThreadId) {
+        match self.cpus[ci].current {
+            None => self.dispatch(ci),
+            Some(cur) => {
+                // Use up-to-date vruntime for the comparison.
+                self.charge_runtime(cur);
+                let new_t = &self.threads[tid.index()];
+                let cur_t = &self.threads[cur.index()];
+                let should = match (new_t.policy, cur_t.policy) {
+                    (Policy::Fifo { prio: np }, Policy::Fifo { prio: cp }) => np > cp,
+                    (Policy::Fifo { .. }, Policy::Other { .. }) => true,
+                    (Policy::Other { .. }, Policy::Fifo { .. }) => false,
+                    (Policy::Other { .. }, Policy::Other { .. }) => {
+                        new_t.vruntime + self.config.wakeup_granularity.nanos()
+                            < cur_t.vruntime
+                    }
+                };
+                if should {
+                    self.preempt_current(ci);
+                    self.dispatch(ci);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch / deschedule
+    // ------------------------------------------------------------------
+
+    /// Take the current thread off the CPU into `new_state`, charging its
+    /// runtime and recording thread-noise if applicable. Does not requeue.
+    fn off_cpu(&mut self, tid: ThreadId, new_state: ThreadState) {
+        let now = self.now();
+        let i = tid.index();
+        debug_assert_eq!(self.threads[i].state, ThreadState::Running);
+        self.charge_runtime(tid);
+        let cpu = self.threads[i].cpu.expect("running thread without cpu");
+        debug_assert_eq!(self.cpus[cpu.index()].current, Some(tid));
+
+        // osnoise-style thread noise: a non-workload thread leaving the
+        // CPU ends an interference interval.
+        if self.threads[i].kind != ThreadKind::Workload {
+            let start = self.threads[i].on_cpu_since;
+            let dur = now.since(start);
+            if dur > SimDuration::ZERO {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.record(
+                        cpu,
+                        NoiseClass::Thread,
+                        &self.threads[i].name,
+                        Some(tid),
+                        start,
+                        dur,
+                    );
+                    self.pending_trace_ns[cpu.index()] +=
+                        self.config.trace_event_overhead.nanos();
+                }
+            }
+        }
+
+        self.cpus[cpu.index()].current = None;
+        self.threads[i].last_cpu = Some(cpu);
+        self.threads[i].state = new_state;
+        self.threads[i].cpu = if new_state == ThreadState::Ready { Some(cpu) } else { None };
+        // Cancel any pending completion; it will be rescheduled on resume.
+        self.queue.cancel(self.threads[i].compute_token);
+        self.threads[i].compute_token = EventToken::NONE;
+        if let Some(c) = self.threads[i].compute.as_mut() {
+            // Credit progress at the old rate before the thread stops.
+            c.advance_to(now);
+            c.rate = 0.0;
+        }
+    }
+
+    /// Preempt the current thread (stays runnable, requeued here).
+    fn preempt_current(&mut self, ci: usize) {
+        let Some(tid) = self.cpus[ci].current else { return };
+        self.off_cpu(tid, ThreadState::Ready);
+        self.threads[tid.index()].stats.preemptions += 1;
+        self.enqueue(ci, tid);
+        self.recompute_rates();
+    }
+
+    /// Pick and start the next thread on CPU `ci`.
+    fn dispatch(&mut self, ci: usize) {
+        debug_assert!(self.cpus[ci].current.is_none());
+        let next = self.cpus[ci]
+            .rt
+            .pop()
+            .map(|(_, t)| t)
+            .or_else(|| self.cpus[ci].cfs.pop().map(|(_, t)| t))
+            .or_else(|| self.try_steal(ci));
+        let Some(tid) = next else {
+            self.cpus[ci].cfs.refresh_floor(None);
+            return;
+        };
+        let now = self.now();
+        let i = tid.index();
+        debug_assert_eq!(self.threads[i].state, ThreadState::Ready);
+        self.cpus[ci].current = Some(tid);
+        self.threads[i].state = ThreadState::Running;
+        self.threads[i].cpu = Some(CpuId(ci as u32));
+        self.threads[i].on_cpu_since = now;
+        self.threads[i].charged_until = now;
+        self.threads[i].stats.switches += 1;
+
+        let mut overhead = self.machine.ctx_switch.nanos() as f64;
+        if self.threads[i].pending_migration {
+            self.threads[i].pending_migration = false;
+            self.threads[i].stats.migrations += 1;
+            let mut cost = self.machine.migration_cost.nanos() as f64;
+            // Crossing a NUMA domain costs a remote cache refill.
+            if let Some(prev) = self.threads[i].last_cpu {
+                if !self.machine.same_domain(prev, CpuId(ci as u32)) {
+                    cost *= noiselab_machine::machine::NUMA_MIGRATION_FACTOR;
+                    self.threads[i].stats.numa_migrations += 1;
+                }
+            }
+            overhead += cost;
+        }
+        self.threads[i].pending_overhead_ns += overhead;
+        self.threads[i].last_cpu = Some(CpuId(ci as u32));
+
+        if self.threads[i].compute.is_some() {
+            let pending = std::mem::take(&mut self.threads[i].pending_overhead_ns);
+            let c = self.threads[i].compute.as_mut().unwrap();
+            c.overhead_ns += pending;
+            c.last_update = now;
+            self.recompute_rates();
+        } else {
+            self.step_behavior(tid);
+        }
+    }
+
+    /// Idle balancing: pull a waiting thread from the busiest CPU that
+    /// has queued work this CPU is allowed to run.
+    fn try_steal(&mut self, ci: usize) -> Option<ThreadId> {
+        if !self.config.idle_balance {
+            return None;
+        }
+        let this_cpu = CpuId(ci as u32);
+        let mut best: Option<(usize, ThreadId, bool)> = None; // (score, tid, is_rt)
+        for v in 0..self.cpus.len() {
+            if v == ci {
+                continue;
+            }
+            let mut queued = self.cpus[v].rt.len() + self.cpus[v].cfs.len();
+            if queued == 0 {
+                continue;
+            }
+            // NUMA-reluctant balancing: a remote domain only looks
+            // attractive when clearly overloaded (Linux's imbalance
+            // thresholds between sched domains).
+            if !self.machine.same_domain(this_cpu, CpuId(v as u32)) {
+                if queued < 2 {
+                    continue;
+                }
+                queued -= 1;
+            }
+            if let Some((cur_q, _, _)) = best {
+                if queued <= cur_q {
+                    continue;
+                }
+            }
+            // RT first (RT pull), then the CFS tail task.
+            let mut candidate: Option<(ThreadId, bool)> = None;
+            for (_, t) in self.cpus[v].rt.iter() {
+                if self.threads[t.index()].affinity.contains(this_cpu) {
+                    candidate = Some((t, true));
+                    break;
+                }
+            }
+            if candidate.is_none() {
+                for (_, t) in self.cpus[v].cfs.iter().rev() {
+                    if self.threads[t.index()].affinity.contains(this_cpu) {
+                        candidate = Some((t, false));
+                        break;
+                    }
+                }
+            }
+            if let Some((t, rt)) = candidate {
+                best = Some((queued, t, rt));
+            }
+        }
+        let (_, tid, _) = best?;
+        let victim = self.threads[tid.index()].cpu.expect("queued thread without cpu").index();
+        self.dequeue_ready(victim, tid);
+        self.threads[tid.index()].pending_migration = true;
+        self.threads[tid.index()].cpu = Some(this_cpu);
+        Some(tid)
+    }
+
+    // ------------------------------------------------------------------
+    // Behavior stepping
+    // ------------------------------------------------------------------
+
+    /// Ask `tid`'s behavior for actions until one blocks (or the thread
+    /// is descheduled by a side effect of an instant action).
+    fn step_behavior(&mut self, tid: ThreadId) {
+        self.step_depth += 1;
+        assert!(self.step_depth < 256, "behavior recursion too deep");
+        let mut instants = 0u32;
+        loop {
+            let i = tid.index();
+            if self.threads[i].state != ThreadState::Running
+                || self.threads[i].compute.is_some()
+            {
+                break;
+            }
+            let mut b = self.behaviors[i].take().unwrap_or_else(|| {
+                panic!("thread {} has no behavior", self.threads[i].name)
+            });
+            let action = {
+                let mut ctx = Ctx {
+                    now: self.now(),
+                    tid,
+                    cpu: self.threads[i].cpu,
+                    rng: &mut self.rng,
+                };
+                b.next(&mut ctx)
+            };
+            // The behavior slot may be consumed by Exit below.
+            self.behaviors[i] = Some(b);
+            instants += 1;
+            assert!(
+                instants <= self.config.max_instant_actions,
+                "thread {} looped on instant actions",
+                self.threads[i].name
+            );
+            if self.apply_action(tid, action) {
+                break;
+            }
+        }
+        self.step_depth -= 1;
+    }
+
+    /// Apply one action. Returns `true` if the action blocks (stop
+    /// stepping), `false` if it completed instantly.
+    fn apply_action(&mut self, tid: ThreadId, action: Action) -> bool {
+        let now = self.now();
+        let i = tid.index();
+        match action {
+            Action::Compute(w) => {
+                let solo = self.machine.perf.solo(&w);
+                self.install_compute(tid, solo, solo.solo_ns, false);
+                true
+            }
+            Action::Burn(d) => {
+                let ns = d.nanos() as f64;
+                let solo = SoloProfile { solo_ns: ns, cpu_ns: ns, bw_demand: 0.0 };
+                self.install_compute(tid, solo, ns, false);
+                true
+            }
+            Action::BurnWall(d) => {
+                // Occupancy is modelled as pure overhead: it burns at
+                // rate 1 whenever the thread is on-CPU, independent of
+                // SMT contention.
+                let solo = SoloProfile { solo_ns: 1.0, cpu_ns: 0.0, bw_demand: 0.0 };
+                self.threads[i].pending_overhead_ns += d.nanos() as f64;
+                self.install_compute(tid, solo, 0.0, false);
+                true
+            }
+            Action::SleepUntil(t) => {
+                if t <= now {
+                    return false;
+                }
+                let cpu = self.threads[i].cpu.unwrap().index();
+                self.off_cpu(tid, ThreadState::Sleeping);
+                self.threads[i].compute = None;
+                let token = self.queue.schedule(t, KEvent::WakeTimer(tid));
+                self.threads[i].timer_token = token;
+                self.recompute_rates();
+                self.dispatch(cpu);
+                true
+            }
+            Action::SleepFor(d) => self.apply_action(tid, Action::SleepUntil(now + d)),
+            Action::Barrier { id, spin } => self.barrier_arrive(tid, id, spin),
+            Action::WaitOn { wq, spin } => {
+                self.waitqs[wq.0 as usize].waiters.push_back(tid);
+                self.start_waiting(tid, BlockReason::Wait(wq), spin);
+                true
+            }
+            Action::Notify { wq, count } => {
+                for _ in 0..count {
+                    let Some(w) = self.waitqs[wq.0 as usize].waiters.pop_front() else {
+                        break;
+                    };
+                    self.resume_waiter(w);
+                }
+                false
+            }
+            Action::Wake(other) => {
+                match self.threads[other.index()].state {
+                    ThreadState::Sleeping => {
+                        self.queue.cancel(self.threads[other.index()].timer_token);
+                        self.threads[other.index()].timer_token = EventToken::NONE;
+                        self.wake_thread(other);
+                    }
+                    ThreadState::Blocked => {
+                        // Remove from any wait queue it may be in.
+                        if let BlockReason::Wait(wq) = self.threads[other.index()].block_reason {
+                            self.waitqs[wq.0 as usize].waiters.retain(|&t| t != other);
+                        }
+                        self.wake_thread(other);
+                    }
+                    _ => {}
+                }
+                false
+            }
+            Action::SetPolicy(p) => {
+                self.threads[i].policy = p;
+                // A demotion may make a queued task preferable.
+                if let Some(cpu) = self.threads[i].cpu {
+                    self.resched_if_needed(cpu.index());
+                }
+                false
+            }
+            Action::SetAffinity(mask) => {
+                assert!(!mask.intersection(self.machine.all_cpus()).is_empty());
+                self.threads[i].affinity = mask;
+                if let Some(cpu) = self.threads[i].cpu {
+                    if !mask.contains(cpu) && self.threads[i].state == ThreadState::Running {
+                        // Forced migration off this CPU.
+                        let ci = cpu.index();
+                        self.off_cpu(tid, ThreadState::Ready);
+                        let target = self.select_rq(tid);
+                        self.threads[i].pending_migration = true;
+                        self.threads[i].cpu = Some(target);
+                        self.enqueue(target.index(), tid);
+                        self.recompute_rates();
+                        self.dispatch(ci);
+                        self.check_preempt(target.index(), tid);
+                    }
+                }
+                false
+            }
+            Action::Yield => {
+                let cpu = self.threads[i].cpu.unwrap().index();
+                let has_other =
+                    !self.cpus[cpu].rt.is_empty() || !self.cpus[cpu].cfs.is_empty();
+                if !has_other {
+                    return false; // nothing to yield to
+                }
+                self.off_cpu(tid, ThreadState::Ready);
+                self.threads[i].stats.switches += 1;
+                self.enqueue(cpu, tid);
+                self.recompute_rates();
+                self.dispatch(cpu);
+                true
+            }
+            Action::Exit => {
+                let cpu = self.threads[i].cpu.unwrap().index();
+                self.off_cpu(tid, ThreadState::Exited);
+                self.threads[i].compute = None;
+                self.threads[i].exit_time = Some(now);
+                self.queue.cancel(self.threads[i].timer_token);
+                self.queue.cancel(self.threads[i].spin_token);
+                self.behaviors[i] = None;
+                self.recompute_rates();
+                self.dispatch(cpu);
+                true
+            }
+        }
+    }
+
+    /// Re-evaluate whether the current thread on `ci` should yield to a
+    /// queued one (after a policy change).
+    fn resched_if_needed(&mut self, ci: usize) {
+        let Some(cur) = self.cpus[ci].current else { return };
+        let cur_t = &self.threads[cur.index()];
+        let preferred = if let Some((p, _)) = self.cpus[ci].rt.peek() {
+            match cur_t.policy {
+                Policy::Fifo { prio } => p > prio,
+                Policy::Other { .. } => true,
+            }
+        } else {
+            false
+        };
+        if preferred {
+            self.preempt_current(ci);
+            self.dispatch(ci);
+        }
+    }
+
+    fn install_compute(&mut self, tid: ThreadId, solo: SoloProfile, remaining: f64, spin: bool) {
+        let now = self.now();
+        let i = tid.index();
+        debug_assert_eq!(self.threads[i].state, ThreadState::Running);
+        let overhead = std::mem::take(&mut self.threads[i].pending_overhead_ns);
+        self.threads[i].compute = Some(ActiveCompute {
+            solo,
+            remaining,
+            rate: 0.0,
+            last_update: now,
+            overhead_ns: overhead,
+        });
+        self.threads[i].spinning = spin;
+        self.recompute_rates();
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers and wait queues
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if the action blocks.
+    fn barrier_arrive(&mut self, tid: ThreadId, id: BarrierId, spin: SimDuration) -> bool {
+        let b = &mut self.barriers[id.0 as usize];
+        if b.waiting.len() + 1 == b.parties {
+            // Last arrival: release everyone; this thread passes through.
+            let waiters = std::mem::take(&mut b.waiting);
+            for w in waiters {
+                self.resume_waiter(w);
+            }
+            false
+        } else {
+            b.waiting.push(tid);
+            self.start_waiting(tid, BlockReason::Barrier(id), spin);
+            true
+        }
+    }
+
+    /// Begin waiting: spin on-CPU for `spin`, then block.
+    fn start_waiting(&mut self, tid: ThreadId, reason: BlockReason, spin: SimDuration) {
+        let now = self.now();
+        let i = tid.index();
+        self.threads[i].block_reason = reason;
+        if spin > SimDuration::ZERO {
+            // Busy-wait: occupies the CPU (and its SMT capacity).
+            let solo = SoloProfile { solo_ns: f64::INFINITY, cpu_ns: 1.0, bw_demand: 0.0 };
+            self.install_compute(tid, solo, f64::INFINITY, true);
+            let token = self.queue.schedule(now + spin, KEvent::SpinExpire(tid));
+            self.threads[i].spin_token = token;
+        } else {
+            let cpu = self.threads[i].cpu.unwrap().index();
+            self.off_cpu(tid, ThreadState::Blocked);
+            self.threads[i].compute = None;
+            self.recompute_rates();
+            self.dispatch(cpu);
+        }
+    }
+
+    /// A barrier released or a notify arrived for `w`.
+    fn resume_waiter(&mut self, w: ThreadId) {
+        let now = self.now();
+        let i = w.index();
+        self.queue.cancel(self.threads[i].spin_token);
+        self.threads[i].spin_token = EventToken::NONE;
+        self.threads[i].block_reason = BlockReason::None;
+        match self.threads[i].state {
+            ThreadState::Running => {
+                // Spinning: proceeds immediately on its CPU.
+                debug_assert!(self.threads[i].spinning);
+                self.threads[i].spinning = false;
+                self.charge_runtime(w);
+                self.threads[i].compute = None;
+                self.recompute_rates();
+                self.step_behavior(w);
+            }
+            ThreadState::Ready => {
+                // Preempted spinner: clear the spin; it proceeds when
+                // dispatched.
+                self.threads[i].spinning = false;
+                self.threads[i].compute = None;
+            }
+            ThreadState::Blocked => {
+                // Blocked: wake-up latency applies.
+                let token = self
+                    .queue
+                    .schedule(now + self.machine.wake_latency, KEvent::WakeTimer(w));
+                self.threads[i].timer_token = token;
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting and rates
+    // ------------------------------------------------------------------
+
+    /// Charge on-CPU time since `charged_until` to vruntime and stats.
+    fn charge_runtime(&mut self, tid: ThreadId) {
+        let now = self.now();
+        let i = tid.index();
+        if self.threads[i].state != ThreadState::Running {
+            return;
+        }
+        let from = self.threads[i].charged_until.max(self.threads[i].on_cpu_since);
+        let delta = now.since(from);
+        if delta > SimDuration::ZERO {
+            self.threads[i].charge_vruntime(delta);
+            self.threads[i].stats.cpu_ns += delta.nanos();
+            if let Some(cpu) = self.threads[i].cpu {
+                self.cpus[cpu.index()].busy_ns += delta.nanos();
+                if !self.threads[i].policy.is_rt() {
+                    let v = self.threads[i].vruntime;
+                    self.cpus[cpu.index()].cfs.refresh_floor(Some(v));
+                }
+            }
+        }
+        self.threads[i].charged_until = now;
+    }
+
+    /// Recompute execution rates for every running compute and reschedule
+    /// completion events. Called whenever the set of running threads, the
+    /// IRQ state, or SMT occupancy changes.
+    fn recompute_rates(&mut self) {
+        let now = self.now();
+        // Collect running (tid, cpu) pairs with active computes.
+        let mut running: Vec<(usize, usize)> = Vec::with_capacity(self.cpus.len());
+        for (ci, cpu) in self.cpus.iter().enumerate() {
+            if let Some(tid) = cpu.current {
+                if self.threads[tid.index()].compute.is_some() {
+                    running.push((tid.index(), ci));
+                }
+            }
+        }
+        // First pass: advance progress at old rates.
+        for &(ti, _) in &running {
+            let c = self.threads[ti].compute.as_mut().unwrap();
+            c.advance_to(now);
+        }
+        // Compute factors (SMT) and bandwidth demands.
+        let mut factors = vec![0.0f64; running.len()];
+        let mut demands = vec![0.0f64; running.len()];
+        for (k, &(ti, ci)) in running.iter().enumerate() {
+            let cpu_id = CpuId(ci as u32);
+            let mut factor = 1.0;
+            if let Some(sib) = self.machine.sibling_of(cpu_id) {
+                if let Some(sib_cur) = self.cpus[sib.index()].current {
+                    if self.threads[sib_cur.index()].compute.is_some()
+                        && !self.cpus[sib.index()].in_irq(now)
+                    {
+                        factor = self.machine.perf.smt_factor;
+                    }
+                }
+            }
+            if self.cpus[ci].in_irq(now) {
+                factor = 0.0;
+            }
+            factors[k] = factor;
+            let c = self.threads[ti].compute.as_ref().unwrap();
+            if factor > 0.0 && c.solo.bw_demand > 0.0 {
+                // Upper-bound rate if bandwidth were free.
+                let r_up = if c.solo.cpu_ns > 0.0 {
+                    (factor * c.solo.solo_ns / c.solo.cpu_ns).min(1.0)
+                } else {
+                    1.0
+                };
+                demands[k] = c.solo.bw_demand * r_up;
+            }
+        }
+        let allocs = waterfill(&demands, self.machine.perf.socket_bw);
+        // Second pass: set new rates and (re)schedule completions. When
+        // a thread's rate is unchanged and its completion event is still
+        // armed, the previously scheduled event time remains exact, so
+        // skip the heap churn — the dominant cost in steady state.
+        for (k, &(ti, _)) in running.iter().enumerate() {
+            let rate = {
+                let c = self.threads[ti].compute.as_ref().unwrap();
+                self.machine.perf.rate(&c.solo, factors[k], allocs[k])
+            };
+            let c = self.threads[ti].compute.as_mut().unwrap();
+            let unchanged = (c.rate - rate).abs() <= 1e-12 * rate.max(1.0);
+            c.rate = rate;
+            if unchanged && self.threads[ti].compute_token != EventToken::NONE {
+                continue;
+            }
+            let c = self.threads[ti].compute.as_ref().unwrap();
+            let eta = if factors[k] == 0.0 { None } else { c.eta_ns() };
+            let tid = ThreadId(ti as u32);
+            self.queue.cancel(self.threads[ti].compute_token);
+            self.threads[ti].compute_token = match eta {
+                Some(ns) => self
+                    .queue
+                    .schedule(now + SimDuration(ns.max(1)), KEvent::ComputeDone(tid)),
+                None => EventToken::NONE,
+            };
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Scheduling policies and classes.
+//!
+//! The simulated kernel implements the two Linux scheduling classes the
+//! paper's injector relies on:
+//!
+//! * `SCHED_OTHER` — the default fair class (CFS-like, vruntime ordered,
+//!   nice weights). Workload threads and `thread_noise` replay events run
+//!   here.
+//! * `SCHED_FIFO` — real-time, strictly preempts every `SCHED_OTHER` task
+//!   and never time-slices among equal priorities. `irq_noise` and
+//!   `softirq_noise` replay events run here, and (as in the paper) the RT
+//!   throttling fail-safe is disabled so FIFO noise can occupy 100 % of a
+//!   CPU.
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// `SCHED_OTHER` with a nice value in `-20..=19` (lower = heavier).
+    Other { nice: i8 },
+    /// `SCHED_FIFO` with a real-time priority in `1..=99` (higher wins).
+    Fifo { prio: u8 },
+}
+
+impl Policy {
+    /// Default-niceness fair policy.
+    pub const NORMAL: Policy = Policy::Other { nice: 0 };
+
+    #[inline]
+    pub fn is_rt(self) -> bool {
+        matches!(self, Policy::Fifo { .. })
+    }
+
+    /// CFS load weight. Mirrors Linux's `sched_prio_to_weight` shape:
+    /// weight(nice) = 1024 * 1.25^(-nice), so each nice step is ~10 % of
+    /// CPU when competing with a nice-0 task.
+    pub fn weight(self) -> u64 {
+        match self {
+            Policy::Other { nice } => {
+                let w = 1024.0 * 1.25_f64.powi(-(nice as i32));
+                w.round().max(1.0) as u64
+            }
+            // RT tasks do not participate in CFS accounting.
+            Policy::Fifo { .. } => 1024,
+        }
+    }
+
+    /// RT priority for queue ordering (0 for fair tasks).
+    #[inline]
+    pub fn rt_prio(self) -> u8 {
+        match self {
+            Policy::Fifo { prio } => prio,
+            Policy::Other { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_monotone_in_nice() {
+        let w_m5 = Policy::Other { nice: -5 }.weight();
+        let w_0 = Policy::Other { nice: 0 }.weight();
+        let w_5 = Policy::Other { nice: 5 }.weight();
+        assert!(w_m5 > w_0 && w_0 > w_5);
+        assert_eq!(w_0, 1024);
+    }
+
+    #[test]
+    fn nice_step_ratio_about_1_25() {
+        let a = Policy::Other { nice: 0 }.weight() as f64;
+        let b = Policy::Other { nice: 1 }.weight() as f64;
+        assert!((a / b - 1.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn rt_classification() {
+        assert!(Policy::Fifo { prio: 50 }.is_rt());
+        assert!(!Policy::NORMAL.is_rt());
+        assert_eq!(Policy::Fifo { prio: 50 }.rt_prio(), 50);
+        assert_eq!(Policy::NORMAL.rt_prio(), 0);
+    }
+}

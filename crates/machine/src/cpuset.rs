@@ -1,0 +1,204 @@
+//! CPU affinity masks.
+//!
+//! A [`CpuSet`] is a bitmask over logical CPU ids, the simulated analogue
+//! of `cpu_set_t` / `sched_setaffinity` masks. It backs thread pinning
+//! (TP), housekeeping restrictions (HK/HK2) and firmware core reservation
+//! (the A64FX motivation platforms).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Logical CPU identifier (a.k.a. hardware thread). Follows the Linux x86
+/// enumeration convention: cpu `c` and cpu `c + ncores` are SMT siblings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CpuId(pub u32);
+
+impl CpuId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Bitmask of up to 128 logical CPUs (enough for every platform modelled
+/// here; the largest, A64FX, has 50).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct CpuSet(pub u128);
+
+impl CpuSet {
+    pub const EMPTY: CpuSet = CpuSet(0);
+
+    /// Set containing CPUs `0..n`.
+    #[inline]
+    pub fn first_n(n: usize) -> CpuSet {
+        debug_assert!(n <= 128);
+        if n >= 128 {
+            CpuSet(u128::MAX)
+        } else {
+            CpuSet((1u128 << n) - 1)
+        }
+    }
+
+    #[inline]
+    pub fn single(cpu: CpuId) -> CpuSet {
+        CpuSet(1u128 << cpu.0)
+    }
+
+    #[inline]
+    pub fn contains(self, cpu: CpuId) -> bool {
+        self.0 >> cpu.0 & 1 == 1
+    }
+
+    #[inline]
+    pub fn insert(&mut self, cpu: CpuId) {
+        self.0 |= 1u128 << cpu.0;
+    }
+
+    #[inline]
+    pub fn remove(&mut self, cpu: CpuId) {
+        self.0 &= !(1u128 << cpu.0);
+    }
+
+    #[inline]
+    pub fn union(self, other: CpuSet) -> CpuSet {
+        CpuSet(self.0 | other.0)
+    }
+
+    #[inline]
+    pub fn intersection(self, other: CpuSet) -> CpuSet {
+        CpuSet(self.0 & other.0)
+    }
+
+    /// CPUs in `self` but not in `other`.
+    #[inline]
+    pub fn difference(self, other: CpuSet) -> CpuSet {
+        CpuSet(self.0 & !other.0)
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over member CPU ids in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = CpuId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(CpuId(i))
+            }
+        })
+    }
+
+    /// Lowest-numbered member, if any.
+    #[inline]
+    pub fn first(self) -> Option<CpuId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(CpuId(self.0.trailing_zeros()))
+        }
+    }
+
+    /// The `k`-th member in ascending order.
+    pub fn nth(self, k: usize) -> Option<CpuId> {
+        self.iter().nth(k)
+    }
+}
+
+impl FromIterator<CpuId> for CpuSet {
+    fn from_iter<I: IntoIterator<Item = CpuId>>(iter: I) -> Self {
+        let mut s = CpuSet::EMPTY;
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuSet{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_n_has_n_members() {
+        let s = CpuSet::first_n(10);
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(CpuId(0)));
+        assert!(s.contains(CpuId(9)));
+        assert!(!s.contains(CpuId(10)));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = CpuSet::EMPTY;
+        s.insert(CpuId(5));
+        assert!(s.contains(CpuId(5)));
+        s.remove(CpuId(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = CpuSet::first_n(4);
+        let b = CpuSet::first_n(8).difference(CpuSet::first_n(2));
+        assert_eq!(a.intersection(b).len(), 2); // {2,3}
+        assert_eq!(a.union(b).len(), 8);
+        assert_eq!(a.difference(b), CpuSet::first_n(2));
+    }
+
+    #[test]
+    fn iter_ascends() {
+        let s: CpuSet = [CpuId(7), CpuId(2), CpuId(31)].into_iter().collect();
+        let v: Vec<u32> = s.iter().map(|c| c.0).collect();
+        assert_eq!(v, vec![2, 7, 31]);
+    }
+
+    #[test]
+    fn nth_and_first() {
+        let s: CpuSet = [CpuId(3), CpuId(9), CpuId(64)].into_iter().collect();
+        assert_eq!(s.first(), Some(CpuId(3)));
+        assert_eq!(s.nth(2), Some(CpuId(64)));
+        assert_eq!(s.nth(3), None);
+    }
+
+    #[test]
+    fn works_past_64_cpus() {
+        let mut s = CpuSet::EMPTY;
+        s.insert(CpuId(100));
+        assert!(s.contains(CpuId(100)));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Machine topology and platform presets.
+
+use crate::cpuset::{CpuId, CpuSet};
+use crate::perf::PerfModel;
+use noiselab_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A single-socket multicore machine.
+///
+/// Logical CPU numbering follows the Linux x86 convention: with `cores`
+/// physical cores and 2-way SMT, cpus `0..cores` are the first hardware
+/// thread of each core and cpu `c + cores` is the SMT sibling of cpu `c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    pub name: String,
+    /// Physical core count.
+    pub cores: usize,
+    /// SMT ways (1 = no SMT, 2 = two hardware threads per core).
+    pub smt: usize,
+    pub perf: PerfModel,
+    /// Cost of migrating a thread to another core (cache refill etc.),
+    /// charged as unproductive time on arrival.
+    pub migration_cost: SimDuration,
+    /// Context-switch cost charged when a CPU switches threads.
+    pub ctx_switch: SimDuration,
+    /// Latency from wake-up decision to first instruction on a CPU.
+    pub wake_latency: SimDuration,
+    /// Scheduler tick period (4 ms == CONFIG_HZ=250, as on both paper
+    /// platforms' Ubuntu kernels).
+    pub tick_period: SimDuration,
+    /// CPUs reserved for the OS at firmware level and invisible to user
+    /// workloads (the "A64FX:reserved" configuration). Empty on desktop
+    /// platforms.
+    pub reserved_cpus: CpuSet,
+    /// NUMA domains the physical cores are split into (1 = UMA, as on
+    /// all the paper's platforms). Cross-domain migrations pay
+    /// [`Self::NUMA_MIGRATION_FACTOR`] times the migration cost and wake
+    /// placement prefers the previous domain — the mechanism that makes
+    /// thread pinning valuable on large systems (paper §5.1/§6).
+    pub numa_domains: usize,
+}
+
+/// Cross-domain migration cost multiplier (cache refill from a remote
+/// domain plus first-touch penalties).
+pub const NUMA_MIGRATION_FACTOR: f64 = 4.0;
+
+impl Machine {
+    /// Total logical CPU count (including reserved CPUs).
+    #[inline]
+    pub fn n_cpus(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// All logical CPUs.
+    #[inline]
+    pub fn all_cpus(&self) -> CpuSet {
+        CpuSet::first_n(self.n_cpus())
+    }
+
+    /// CPUs available to user workloads (all minus firmware-reserved).
+    #[inline]
+    pub fn user_cpus(&self) -> CpuSet {
+        self.all_cpus().difference(self.reserved_cpus)
+    }
+
+    /// Physical core index of a logical cpu.
+    #[inline]
+    pub fn core_of(&self, cpu: CpuId) -> usize {
+        cpu.index() % self.cores
+    }
+
+    /// The SMT sibling of `cpu`, if the machine has SMT.
+    #[inline]
+    pub fn sibling_of(&self, cpu: CpuId) -> Option<CpuId> {
+        if self.smt < 2 {
+            return None;
+        }
+        let i = cpu.index();
+        Some(if i < self.cores {
+            CpuId((i + self.cores) as u32)
+        } else {
+            CpuId((i - self.cores) as u32)
+        })
+    }
+
+    /// Restrict to the primary hardware thread of each core (SMT "off":
+    /// the paper's non-SMT rows on the AMD platform run one thread per
+    /// physical core).
+    #[inline]
+    pub fn primary_threads(&self) -> CpuSet {
+        CpuSet::first_n(self.cores)
+    }
+
+    /// NUMA domain of a logical cpu (0 on UMA machines).
+    #[inline]
+    pub fn domain_of(&self, cpu: CpuId) -> usize {
+        if self.numa_domains <= 1 {
+            return 0;
+        }
+        self.core_of(cpu) * self.numa_domains / self.cores
+    }
+
+    /// Are two cpus in the same NUMA domain?
+    #[inline]
+    pub fn same_domain(&self, a: CpuId, b: CpuId) -> bool {
+        self.domain_of(a) == self.domain_of(b)
+    }
+
+    /// The AMD Ryzen 9 9950X3D desktop from the paper's evaluation:
+    /// 16 cores / 32 threads, SMT enabled, Ubuntu 24.04 (HZ=250).
+    pub fn amd_9950x3d() -> Machine {
+        Machine {
+            name: "AMD Ryzen 9950X3D".into(),
+            cores: 16,
+            smt: 2,
+            perf: PerfModel {
+                // Sustained double-precision rate per core at ~5.2 GHz.
+                flops_per_ns: 55.0,
+                smt_factor: 0.62,
+                per_core_bw: 32.0,
+                // Dual-channel DDR5-5600, sustained.
+                socket_bw: 64.0,
+            },
+            migration_cost: SimDuration::from_micros(18),
+            ctx_switch: SimDuration::from_micros(3),
+            wake_latency: SimDuration::from_micros(6),
+            tick_period: SimDuration::from_millis(4),
+            reserved_cpus: CpuSet::EMPTY,
+            numa_domains: 1,
+        }
+    }
+
+    /// The Intel i7-9700KF desktop from the paper's evaluation:
+    /// 8 cores, no SMT, fixed 4.7 GHz, Ubuntu 24.04 (HZ=250).
+    pub fn intel_9700kf() -> Machine {
+        Machine {
+            name: "Intel i7 9700KF".into(),
+            cores: 8,
+            smt: 1,
+            perf: PerfModel {
+                flops_per_ns: 30.0,
+                smt_factor: 1.0, // no SMT
+                per_core_bw: 15.0,
+                // Dual-channel DDR4-2666, sustained.
+                socket_bw: 36.0,
+            },
+            migration_cost: SimDuration::from_micros(15),
+            ctx_switch: SimDuration::from_micros(3),
+            wake_latency: SimDuration::from_micros(5),
+            tick_period: SimDuration::from_millis(4),
+            reserved_cpus: CpuSet::EMPTY,
+            numa_domains: 1,
+        }
+    }
+
+    /// Fujitsu A64FX, 48 compute cores, no SMT, HBM2. With
+    /// `reserved = true` two extra cores exist but are firmware-reserved
+    /// for the OS (the BSC "A64FX:reserved" system of the motivation
+    /// section); with `false` all 48 cores are user-visible and OS noise
+    /// shares them (the MACC "A64FX:w/o" system).
+    pub fn a64fx(reserved: bool) -> Machine {
+        let (cores, reserved_cpus, name) = if reserved {
+            // 48 user cores + 2 OS cores, exposed as cpus 48 and 49.
+            (50, [CpuId(48), CpuId(49)].into_iter().collect(), "A64FX:reserved")
+        } else {
+            (48, CpuSet::EMPTY, "A64FX:w/o")
+        };
+        Machine {
+            name: name.into(),
+            cores,
+            smt: 1,
+            perf: PerfModel {
+                // 1.8 GHz, SVE-512; sustained DP per core.
+                flops_per_ns: 20.0,
+                smt_factor: 1.0,
+                per_core_bw: 50.0,
+                // Four HBM2 stacks, sustained.
+                socket_bw: 800.0,
+            },
+            migration_cost: SimDuration::from_micros(25),
+            ctx_switch: SimDuration::from_micros(4),
+            wake_latency: SimDuration::from_micros(7),
+            tick_period: SimDuration::from_millis(4),
+            reserved_cpus,
+            numa_domains: 1,
+        }
+    }
+
+    /// A large dual-socket HPC node in the style of the 128-core EPYC
+    /// systems of the paper's reference [7]: 8 NUMA domains of 16 cores.
+    /// Not part of the paper's evaluation — used by the NUMA extension
+    /// experiment to validate the paper's §5.1/§6 expectation that
+    /// thread pinning becomes beneficial at this scale.
+    pub fn epyc_numa() -> Machine {
+        Machine {
+            name: "EPYC 2x64 NUMA".into(),
+            cores: 128,
+            smt: 1,
+            perf: PerfModel {
+                flops_per_ns: 35.0,
+                smt_factor: 1.0,
+                per_core_bw: 25.0,
+                socket_bw: 300.0,
+            },
+            migration_cost: SimDuration::from_micros(20),
+            ctx_switch: SimDuration::from_micros(3),
+            wake_latency: SimDuration::from_micros(6),
+            tick_period: SimDuration::from_millis(4),
+            reserved_cpus: CpuSet::EMPTY,
+            numa_domains: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amd_topology() {
+        let m = Machine::amd_9950x3d();
+        assert_eq!(m.n_cpus(), 32);
+        assert_eq!(m.core_of(CpuId(3)), 3);
+        assert_eq!(m.core_of(CpuId(19)), 3);
+        assert_eq!(m.sibling_of(CpuId(3)), Some(CpuId(19)));
+        assert_eq!(m.sibling_of(CpuId(19)), Some(CpuId(3)));
+        assert_eq!(m.primary_threads().len(), 16);
+        assert_eq!(m.user_cpus().len(), 32);
+    }
+
+    #[test]
+    fn intel_topology() {
+        let m = Machine::intel_9700kf();
+        assert_eq!(m.n_cpus(), 8);
+        assert_eq!(m.sibling_of(CpuId(0)), None);
+        assert_eq!(m.user_cpus(), CpuSet::first_n(8));
+    }
+
+    #[test]
+    fn a64fx_reserved_hides_os_cores() {
+        let m = Machine::a64fx(true);
+        assert_eq!(m.n_cpus(), 50);
+        assert_eq!(m.user_cpus().len(), 48);
+        assert!(!m.user_cpus().contains(CpuId(48)));
+        assert!(m.reserved_cpus.contains(CpuId(49)));
+
+        let w = Machine::a64fx(false);
+        assert_eq!(w.n_cpus(), 48);
+        assert_eq!(w.user_cpus().len(), 48);
+    }
+}

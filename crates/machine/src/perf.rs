@@ -1,0 +1,207 @@
+//! Roofline execution-rate model.
+//!
+//! Work is expressed machine-independently as a [`WorkUnit`] — a number of
+//! floating-point operations plus the bytes of memory traffic it streams.
+//! The machine converts a unit to a *solo time* (the classic roofline:
+//! limited either by the core's compute rate or by the bandwidth a single
+//! core can draw), and the kernel's contention model then scales execution
+//! down when SMT siblings compete for the core or when the socket's
+//! bandwidth is oversubscribed.
+
+use serde::{Deserialize, Serialize};
+
+/// A quantum of work: `flops` floating point operations performing
+/// `bytes` of memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkUnit {
+    pub flops: f64,
+    pub bytes: f64,
+}
+
+impl WorkUnit {
+    pub const fn new(flops: f64, bytes: f64) -> Self {
+        WorkUnit { flops, bytes }
+    }
+
+    /// Pure compute work (fits in cache / register traffic only).
+    pub const fn compute(flops: f64) -> Self {
+        WorkUnit { flops, bytes: 0.0 }
+    }
+
+    /// Pure streaming work (negligible arithmetic, e.g. STREAM copy).
+    pub const fn stream(bytes: f64) -> Self {
+        WorkUnit { flops: 0.0, bytes }
+    }
+
+    /// Arithmetic intensity in flop/byte. Infinite for pure compute.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+
+    pub fn scaled(&self, k: f64) -> WorkUnit {
+        WorkUnit { flops: self.flops * k, bytes: self.bytes * k }
+    }
+}
+
+impl std::ops::Add for WorkUnit {
+    type Output = WorkUnit;
+    fn add(self, o: WorkUnit) -> WorkUnit {
+        WorkUnit { flops: self.flops + o.flops, bytes: self.bytes + o.bytes }
+    }
+}
+
+/// Per-platform performance parameters. Rates use the convenient identity
+/// 1 GB/s == 1 byte/ns, so all bandwidths are "bytes per nanosecond".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Sustained flops per nanosecond per physical core (single thread).
+    pub flops_per_ns: f64,
+    /// Compute throughput factor for each of two active SMT siblings
+    /// (e.g. 0.62 means two busy siblings each run at 62 % of solo speed;
+    /// combined core throughput 1.24x).
+    pub smt_factor: f64,
+    /// Max bandwidth a single core can draw (bytes/ns = GB/s).
+    pub per_core_bw: f64,
+    /// Socket-wide memory bandwidth (bytes/ns = GB/s).
+    pub socket_bw: f64,
+}
+
+/// The solo execution profile of a work unit on a given machine: how long
+/// it takes alone, how much of that time is compute-limited, and the
+/// bandwidth it draws while running at full speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoloProfile {
+    /// Time to execute alone on an otherwise idle machine (ns).
+    pub solo_ns: f64,
+    /// Pure-compute time component (ns); `<= solo_ns`.
+    pub cpu_ns: f64,
+    /// Bandwidth drawn when running at full rate (bytes/ns).
+    pub bw_demand: f64,
+}
+
+impl PerfModel {
+    /// Roofline solo profile of `w` on one core of this machine.
+    pub fn solo(&self, w: &WorkUnit) -> SoloProfile {
+        let cpu_ns = w.flops / self.flops_per_ns;
+        let mem_ns = w.bytes / self.per_core_bw;
+        let solo_ns = cpu_ns.max(mem_ns).max(1.0); // at least 1 ns
+        let bw_demand = if solo_ns > 0.0 { w.bytes / solo_ns } else { 0.0 };
+        SoloProfile { solo_ns, cpu_ns, bw_demand }
+    }
+
+    /// Execution rate (fraction of solo progress per ns) given a compute
+    /// throughput factor `compute_factor` (1.0 solo, [`Self::smt_factor`]
+    /// when the sibling is busy) and an allocated bandwidth `bw_alloc`.
+    ///
+    /// The rate is limited by whichever resource binds:
+    /// * compute: cannot retire flops faster than the core allows;
+    /// * memory: cannot stream bytes faster than the allocation.
+    pub fn rate(&self, solo: &SoloProfile, compute_factor: f64, bw_alloc: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&compute_factor));
+        let compute_rate = if solo.cpu_ns > 0.0 {
+            // r * cpu_ns/solo_ns flops-per-ns-fraction <= compute_factor
+            compute_factor * solo.solo_ns / solo.cpu_ns
+        } else {
+            f64::INFINITY
+        };
+        let mem_rate = if solo.bw_demand > 0.0 {
+            bw_alloc / solo.bw_demand
+        } else {
+            f64::INFINITY
+        };
+        compute_rate.min(mem_rate).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PerfModel {
+        PerfModel { flops_per_ns: 10.0, smt_factor: 0.6, per_core_bw: 20.0, socket_bw: 60.0 }
+    }
+
+    #[test]
+    fn compute_bound_solo_time() {
+        let m = model();
+        let s = m.solo(&WorkUnit::compute(1000.0));
+        assert_eq!(s.solo_ns, 100.0);
+        assert_eq!(s.cpu_ns, 100.0);
+        assert_eq!(s.bw_demand, 0.0);
+    }
+
+    #[test]
+    fn memory_bound_solo_time() {
+        let m = model();
+        let s = m.solo(&WorkUnit::stream(2000.0));
+        assert_eq!(s.solo_ns, 100.0); // 2000 bytes / 20 B/ns
+        assert_eq!(s.cpu_ns, 0.0);
+        assert_eq!(s.bw_demand, 20.0);
+    }
+
+    #[test]
+    fn roofline_takes_max() {
+        let m = model();
+        // compute 50ns, memory 100ns -> memory bound
+        let s = m.solo(&WorkUnit::new(500.0, 2000.0));
+        assert_eq!(s.solo_ns, 100.0);
+        assert_eq!(s.cpu_ns, 50.0);
+    }
+
+    #[test]
+    fn full_rate_when_uncontended() {
+        let m = model();
+        let s = m.solo(&WorkUnit::new(500.0, 2000.0));
+        assert_eq!(m.rate(&s, 1.0, s.bw_demand), 1.0);
+    }
+
+    #[test]
+    fn smt_halves_compute_bound_rate() {
+        let m = model();
+        let s = m.solo(&WorkUnit::compute(1000.0));
+        let r = m.rate(&s, 0.6, 0.0);
+        assert!((r - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smt_does_not_hurt_memory_bound_much() {
+        let m = model();
+        // memory-bound: cpu_ns is half of solo_ns
+        let s = m.solo(&WorkUnit::new(500.0, 2000.0));
+        // compute factor 0.6 allows rate up to 0.6*100/50 = 1.2 -> clamped 1.0
+        let r = m.rate(&s, 0.6, s.bw_demand);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn bandwidth_starvation_scales_rate() {
+        let m = model();
+        let s = m.solo(&WorkUnit::stream(2000.0));
+        let r = m.rate(&s, 1.0, 10.0); // only half the demand allocated
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_alloc_zero_rate_for_memory_work() {
+        let m = model();
+        let s = m.solo(&WorkUnit::stream(2000.0));
+        assert_eq!(m.rate(&s, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn intensity() {
+        assert_eq!(WorkUnit::new(10.0, 5.0).intensity(), 2.0);
+        assert!(WorkUnit::compute(10.0).intensity().is_infinite());
+    }
+
+    #[test]
+    fn solo_time_floor_one_ns() {
+        let m = model();
+        let s = m.solo(&WorkUnit::compute(0.0));
+        assert_eq!(s.solo_ns, 1.0);
+    }
+}

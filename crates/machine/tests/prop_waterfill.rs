@@ -1,0 +1,83 @@
+//! Property tests for max-min fair bandwidth allocation and the
+//! roofline rate model.
+
+use noiselab_machine::{waterfill, PerfModel, WorkUnit};
+use proptest::prelude::*;
+
+fn demands() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 0..20)
+}
+
+proptest! {
+    /// Core max-min fairness invariants.
+    #[test]
+    fn waterfill_invariants(d in demands(), capacity in 0.0f64..500.0) {
+        let a = waterfill(&d, capacity);
+        prop_assert_eq!(a.len(), d.len());
+        let total: f64 = a.iter().sum();
+        // Never exceed capacity (within fp tolerance).
+        prop_assert!(total <= capacity + 1e-6, "total={total} capacity={capacity}");
+        for i in 0..d.len() {
+            // Never allocate more than demanded, never negative.
+            prop_assert!(a[i] <= d[i] + 1e-9);
+            prop_assert!(a[i] >= -1e-12);
+        }
+        // If demand fits, everyone is fully served.
+        if d.iter().sum::<f64>() <= capacity {
+            for i in 0..d.len() {
+                prop_assert!((a[i] - d[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Max-min property: an under-served flow's allocation is at least
+    /// as large as any other flow's (you cannot help someone without
+    /// hurting someone already no better off).
+    #[test]
+    fn waterfill_max_min(d in demands(), capacity in 0.0f64..500.0) {
+        let a = waterfill(&d, capacity);
+        for i in 0..d.len() {
+            if a[i] + 1e-9 < d[i] {
+                for j in 0..d.len() {
+                    prop_assert!(
+                        a[j] <= a[i] + 1e-6,
+                        "flow {j} got {} while under-served flow {i} got {}",
+                        a[j],
+                        a[i]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Monotone in capacity: more capacity never reduces anyone's share.
+    #[test]
+    fn waterfill_monotone_in_capacity(d in demands(), c1 in 0.0f64..250.0, extra in 0.0f64..250.0) {
+        let a1 = waterfill(&d, c1);
+        let a2 = waterfill(&d, c1 + extra);
+        for i in 0..d.len() {
+            prop_assert!(a2[i] + 1e-6 >= a1[i]);
+        }
+    }
+}
+
+proptest! {
+    /// Roofline rates are always in [0, 1] and solo profiles positive.
+    #[test]
+    fn rate_bounds(
+        flops in 0.0f64..1e9,
+        bytes in 0.0f64..1e9,
+        factor in 0.0f64..1.0,
+        alloc in 0.0f64..100.0,
+    ) {
+        let m = PerfModel { flops_per_ns: 10.0, smt_factor: 0.6, per_core_bw: 20.0, socket_bw: 60.0 };
+        let solo = m.solo(&WorkUnit::new(flops, bytes));
+        prop_assert!(solo.solo_ns >= 1.0);
+        prop_assert!(solo.cpu_ns <= solo.solo_ns + 1e-9);
+        let r = m.rate(&solo, factor, alloc);
+        prop_assert!((0.0..=1.0).contains(&r), "rate={r}");
+        // Full factor and full demand allocation give full rate.
+        let r_full = m.rate(&solo, 1.0, solo.bw_demand);
+        prop_assert!((r_full - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,207 @@
+//! Trace analysis utilities: characterise a collected trace set the way
+//! the paper's §4.1 does before building an injection configuration —
+//! per-class and per-source noise budgets, per-CPU distribution, and
+//! run-to-run spread.
+
+use crate::trace::{RunTrace, TraceSet};
+#[cfg(test)]
+use noiselab_kernel::NoiseClass;
+use noiselab_sim::SimDuration;
+use std::collections::BTreeMap;
+
+/// Per-source aggregate over one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceBudget {
+    pub events: usize,
+    pub total: SimDuration,
+    pub max_event: SimDuration,
+}
+
+/// Characterisation of a single run's noise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    pub exec_time: SimDuration,
+    pub events: usize,
+    /// Total recorded noise per class: `[irq, softirq, thread]`.
+    pub by_class: [SimDuration; 3],
+    /// Noise as a fraction of `exec_time x n_cpus_touched` is workload
+    /// dependent; this simpler figure is total noise / exec time (can
+    /// exceed 1 with many CPUs).
+    pub noise_ratio: f64,
+    pub by_source: BTreeMap<String, SourceBudget>,
+    /// CPU carrying the most noise, with its total.
+    pub busiest_cpu: Option<(u32, SimDuration)>,
+}
+
+/// Summarise a single run.
+pub fn summarize_run(run: &RunTrace) -> RunSummary {
+    let mut by_source: BTreeMap<String, SourceBudget> = BTreeMap::new();
+    let mut per_cpu: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in &run.events {
+        let b = by_source.entry(e.source.clone()).or_insert(SourceBudget {
+            events: 0,
+            total: SimDuration::ZERO,
+            max_event: SimDuration::ZERO,
+        });
+        b.events += 1;
+        b.total += e.duration;
+        b.max_event = b.max_event.max(e.duration);
+        *per_cpu.entry(e.cpu.0).or_insert(0) += e.duration.nanos();
+    }
+    let total: u64 = run.events.iter().map(|e| e.duration.nanos()).sum();
+    RunSummary {
+        exec_time: run.exec_time,
+        events: run.events.len(),
+        by_class: run.noise_by_class(),
+        noise_ratio: if run.exec_time.nanos() > 0 {
+            total as f64 / run.exec_time.nanos() as f64
+        } else {
+            0.0
+        },
+        by_source,
+        busiest_cpu: per_cpu
+            .into_iter()
+            .max_by_key(|&(cpu, ns)| (ns, std::cmp::Reverse(cpu)))
+            .map(|(cpu, ns)| (cpu, SimDuration(ns))),
+    }
+}
+
+/// Characterisation of a whole trace set.
+#[derive(Debug, Clone)]
+pub struct SetSummary {
+    pub runs: usize,
+    pub mean_exec: SimDuration,
+    pub worst_exec: SimDuration,
+    pub worst_index: usize,
+    /// Sources ranked by total noise across all runs.
+    pub top_sources: Vec<(String, SourceBudget)>,
+}
+
+/// Summarise a trace set; `top_k` limits the source ranking.
+pub fn summarize_set(set: &TraceSet, top_k: usize) -> Option<SetSummary> {
+    let worst_index = set.worst_index()?;
+    let mut by_source: BTreeMap<String, SourceBudget> = BTreeMap::new();
+    for run in &set.runs {
+        for e in &run.events {
+            let b = by_source.entry(e.source.clone()).or_insert(SourceBudget {
+                events: 0,
+                total: SimDuration::ZERO,
+                max_event: SimDuration::ZERO,
+            });
+            b.events += 1;
+            b.total += e.duration;
+            b.max_event = b.max_event.max(e.duration);
+        }
+    }
+    let mut top: Vec<(String, SourceBudget)> = by_source.into_iter().collect();
+    top.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(&b.0)));
+    top.truncate(top_k);
+    Some(SetSummary {
+        runs: set.runs.len(),
+        mean_exec: set.mean_exec()?,
+        worst_exec: set.runs[worst_index].exec_time,
+        worst_index,
+        top_sources: top,
+    })
+}
+
+/// Render a set summary as plain text (used by the CLI `analyze`
+/// subcommand).
+pub fn render_set_summary(s: &SetSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} runs, mean exec {:.4}s, worst run #{} at {:.4}s ({:+.1}%)\n",
+        s.runs,
+        s.mean_exec.as_secs_f64(),
+        s.worst_index,
+        s.worst_exec.as_secs_f64(),
+        (s.worst_exec.as_secs_f64() / s.mean_exec.as_secs_f64() - 1.0) * 100.0
+    ));
+    out.push_str("top noise sources (total across runs):\n");
+    for (src, b) in &s.top_sources {
+        out.push_str(&format!(
+            "  {:<28} {:>7} events  {:>10.3}ms total  {:>9.3}ms max\n",
+            src,
+            b.events,
+            b.total.as_millis_f64(),
+            b.max_event.as_millis_f64()
+        ));
+    }
+    out
+}
+
+/// Does this run's noise profile look anomalous relative to the set's
+/// median total noise? (simple 3x heuristic used in reports).
+pub fn is_outlier(run: &RunTrace, set: &TraceSet) -> bool {
+    let total = |r: &RunTrace| -> u64 { r.events.iter().map(|e| e.duration.nanos()).sum() };
+    let mut totals: Vec<u64> = set.runs.iter().map(total).collect();
+    if totals.is_empty() {
+        return false;
+    }
+    totals.sort_unstable();
+    let median = totals[totals.len() / 2];
+    total(run) > median.saturating_mul(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use noiselab_machine::CpuId;
+    use noiselab_sim::SimTime;
+
+    fn ev(cpu: u32, source: &str, dur: u64) -> TraceEvent {
+        TraceEvent {
+            cpu: CpuId(cpu),
+            class: NoiseClass::Thread,
+            source: source.into(),
+            start: SimTime(0),
+            duration: SimDuration(dur),
+        }
+    }
+
+    fn run(idx: usize, exec: u64, events: Vec<TraceEvent>) -> RunTrace {
+        RunTrace { run_index: idx, exec_time: SimDuration(exec), events }
+    }
+
+    #[test]
+    fn run_summary_aggregates() {
+        let r = run(
+            0,
+            1_000_000,
+            vec![ev(0, "kworker", 1_000), ev(1, "kworker", 3_000), ev(1, "Xorg", 500)],
+        );
+        let s = summarize_run(&r);
+        assert_eq!(s.events, 3);
+        assert_eq!(s.by_source["kworker"].events, 2);
+        assert_eq!(s.by_source["kworker"].total, SimDuration(4_000));
+        assert_eq!(s.by_source["kworker"].max_event, SimDuration(3_000));
+        assert_eq!(s.busiest_cpu, Some((1, SimDuration(3_500))));
+        assert!((s.noise_ratio - 0.0045).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_summary_ranks_sources() {
+        let set = TraceSet {
+            runs: vec![
+                run(0, 100, vec![ev(0, "a", 10), ev(0, "b", 100)]),
+                run(1, 300, vec![ev(0, "a", 20)]),
+            ],
+        };
+        let s = summarize_set(&set, 10).unwrap();
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.worst_index, 1);
+        assert_eq!(s.top_sources[0].0, "b");
+        assert_eq!(s.top_sources[1].1.total, SimDuration(30));
+        assert!(render_set_summary(&s).contains("top noise sources"));
+    }
+
+    #[test]
+    fn outlier_detection() {
+        let quiet = run(0, 100, vec![ev(0, "a", 100)]);
+        let loud = run(1, 100, vec![ev(0, "a", 10_000)]);
+        let set = TraceSet { runs: vec![quiet.clone(), quiet.clone(), quiet.clone(), loud.clone()] };
+        assert!(is_outlier(&loud, &set));
+        assert!(!is_outlier(&quiet, &set));
+    }
+}

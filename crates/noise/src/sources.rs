@@ -1,0 +1,639 @@
+//! Natural OS-noise sources.
+//!
+//! These behaviors model the background activity a desktop Linux system
+//! exhibits while a benchmark runs: kworkers flushing writeback queues,
+//! periodic daemons, the GUI stack (when the system is at runlevel 5),
+//! and — rarely — heavy anomalies (a kworker storm from a package
+//! update, or a device interrupt storm). The rare anomalies are what
+//! produce the worst-case outliers the paper's injector later replays.
+//!
+//! Everything is parameterised by [`NoiseProfile`] and driven by the
+//! kernel's deterministic RNG, so a run's noise is a pure function of
+//! the kernel seed.
+
+use noiselab_kernel::{Action, Behavior, Ctx, Kernel, ThreadId, ThreadKind, ThreadSpec};
+use noiselab_machine::{CpuId, CpuSet};
+use noiselab_sim::{Rng, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A recurring short-burst worker thread (kworker-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KworkerSpec {
+    pub name: String,
+    /// Mean inter-arrival of bursts (exponential).
+    pub mean_interval: SimDuration,
+    /// Median burst length (log-normal).
+    pub median_burst: SimDuration,
+    /// Log-normal shape; larger = heavier tail.
+    pub sigma: f64,
+}
+
+/// A periodic background daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonSpec {
+    pub name: String,
+    pub period: SimDuration,
+    /// Uniform jitter applied to each period, as a fraction of it.
+    pub jitter_frac: f64,
+    pub burst_mean: SimDuration,
+    pub burst_sd: SimDuration,
+}
+
+/// What a rare anomaly does when it strikes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// A burst of heavy kworker-style threads (e.g. dirty-page writeback
+    /// or a package-manager scan): `threads` workers, each alternating
+    /// log-normal bursts with exponential gaps, for the whole window.
+    ThreadStorm {
+        threads: usize,
+        median_burst: SimDuration,
+        sigma: f64,
+        mean_gap: SimDuration,
+    },
+    /// A device interrupt storm on `cpus` randomly chosen CPUs with the
+    /// given mean rate and per-interrupt service time.
+    IrqStorm {
+        cpus: usize,
+        mean_interval: SimDuration,
+        service: SimDuration,
+    },
+    /// Memory-bandwidth-consuming noise (the paper's future-work
+    /// extension, §6/§7): `threads` workers continuously streaming
+    /// `bytes_per_burst` of traffic each. Unlike CPU-occupation noise,
+    /// this interferes with memory-bound workloads *even from
+    /// housekeeping cores*, because the contended resource is the
+    /// socket's bandwidth, not a CPU.
+    MemoryHog { threads: usize, bytes_per_burst: f64 },
+    /// Several noise kinds striking together over one shared window —
+    /// real worst-case events (e.g. a package update) combine heavy
+    /// kworker activity with device interrupt storms.
+    Combined(Vec<AnomalyKind>),
+}
+
+/// A rare heavy event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalySpec {
+    pub name: String,
+    pub kind: AnomalyKind,
+    /// Window length is drawn uniformly from this range.
+    pub window: (SimDuration, SimDuration),
+    /// Start offset is drawn uniformly from this range.
+    pub start: (SimDuration, SimDuration),
+}
+
+/// Full description of a platform's background noise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseProfile {
+    pub kworkers: Vec<KworkerSpec>,
+    pub daemons: Vec<DaemonSpec>,
+    /// Probability that a given run contains one anomaly.
+    pub anomaly_prob: f64,
+    /// Candidate anomalies (one picked uniformly when the dice hit,
+    /// unless [`Self::force_all_anomalies`] is set).
+    pub anomalies: Vec<AnomalySpec>,
+    /// Install *every* anomaly in every run (ablation experiments that
+    /// need deterministic worst-case conditions).
+    #[serde(default)]
+    pub force_all_anomalies: bool,
+    /// Affinity of noise *threads* (kworkers, daemons, storms). `None`
+    /// leaves them free to roam — the desktop situation. On the
+    /// A64FX:reserved platform this is the firmware-reserved core set.
+    pub os_affinity: Option<CpuSet>,
+}
+
+impl NoiseProfile {
+    /// Background activity of an idle Ubuntu desktop at runlevel 5
+    /// (GUI active), the configuration of the paper's main experiments.
+    pub fn desktop() -> NoiseProfile {
+        NoiseProfile {
+            kworkers: vec![
+                KworkerSpec {
+                    name: "kworker/u8:2".into(),
+                    mean_interval: SimDuration::from_millis(40),
+                    median_burst: SimDuration::from_micros(35),
+                    sigma: 1.1,
+                },
+                KworkerSpec {
+                    name: "kworker/u8:4".into(),
+                    mean_interval: SimDuration::from_millis(55),
+                    median_burst: SimDuration::from_micros(28),
+                    sigma: 1.2,
+                },
+                KworkerSpec {
+                    name: "kworker/3:1".into(),
+                    mean_interval: SimDuration::from_millis(70),
+                    median_burst: SimDuration::from_micros(20),
+                    sigma: 1.0,
+                },
+            ],
+            daemons: vec![
+                DaemonSpec {
+                    name: "systemd-journald".into(),
+                    period: SimDuration::from_millis(250),
+                    jitter_frac: 0.3,
+                    burst_mean: SimDuration::from_micros(120),
+                    burst_sd: SimDuration::from_micros(40),
+                },
+                DaemonSpec {
+                    name: "irqbalance".into(),
+                    period: SimDuration::from_secs(2),
+                    jitter_frac: 0.1,
+                    burst_mean: SimDuration::from_micros(900),
+                    burst_sd: SimDuration::from_micros(250),
+                },
+                // The GUI stack: compositor frame callbacks and X server
+                // work. Dominant inherent-noise source at runlevel 5.
+                DaemonSpec {
+                    name: "gnome-shell".into(),
+                    period: SimDuration::from_millis(16),
+                    jitter_frac: 0.4,
+                    burst_mean: SimDuration::from_micros(110),
+                    burst_sd: SimDuration::from_micros(60),
+                },
+                DaemonSpec {
+                    name: "Xorg".into(),
+                    period: SimDuration::from_millis(33),
+                    jitter_frac: 0.4,
+                    burst_mean: SimDuration::from_micros(70),
+                    burst_sd: SimDuration::from_micros(30),
+                },
+            ],
+            anomaly_prob: 0.01,
+            anomalies: vec![
+                // Real worst cases mix fair-class kworker pressure with
+                // interrupt-context noise; the interrupt share is what a
+                // dynamic runtime cannot redistribute away.
+                AnomalySpec {
+                    name: "kworker-writeback-storm".into(),
+                    kind: AnomalyKind::Combined(vec![
+                        AnomalyKind::ThreadStorm {
+                            threads: 4,
+                            median_burst: SimDuration::from_millis(3),
+                            sigma: 0.6,
+                            mean_gap: SimDuration::from_micros(600),
+                        },
+                        AnomalyKind::IrqStorm {
+                            cpus: 1,
+                            mean_interval: SimDuration::from_micros(50),
+                            service: SimDuration::from_micros(10),
+                        },
+                    ]),
+                    window: (SimDuration::from_millis(400), SimDuration::from_millis(1_500)),
+                    start: (SimDuration::from_millis(20), SimDuration::from_millis(200)),
+                },
+                AnomalySpec {
+                    name: "packagekitd-scan".into(),
+                    kind: AnomalyKind::ThreadStorm {
+                        threads: 3,
+                        median_burst: SimDuration::from_millis(6),
+                        sigma: 0.5,
+                        mean_gap: SimDuration::from_micros(1_500),
+                    },
+                    window: (SimDuration::from_millis(400), SimDuration::from_millis(1_600)),
+                    start: (SimDuration::from_millis(10), SimDuration::from_millis(150)),
+                },
+                AnomalySpec {
+                    name: "nvme-irq-storm".into(),
+                    kind: AnomalyKind::IrqStorm {
+                        cpus: 3,
+                        mean_interval: SimDuration::from_micros(40),
+                        service: SimDuration::from_micros(12),
+                    },
+                    window: (SimDuration::from_millis(300), SimDuration::from_millis(900)),
+                    start: (SimDuration::from_millis(20), SimDuration::from_millis(250)),
+                },
+            ],
+            force_all_anomalies: false,
+            os_affinity: None,
+        }
+    }
+
+    /// The AMD desktop's noise environment. The paper's AMD worst cases
+    /// reach > 100 % degradation — far heavier anomalies than on the
+    /// Intel box (more cores invite heavier background jobs, e.g. a
+    /// parallel package build), so the anomaly pool scales up.
+    pub fn desktop_amd() -> NoiseProfile {
+        let mut p = Self::desktop();
+        // Concentrated, near-saturating activity on a *minority* of the
+        // cores: that is what amplifies through static-schedule barriers
+        // (every region waits for the slowest core) while a dynamic
+        // runtime can still route around it.
+        p.anomalies = vec![
+            // A device interrupt flood: a few CPUs nearly saturated with
+            // interrupt context. FIFO-class noise is what produces the
+            // paper's AMD extremes — it stalls static schedules outright,
+            // is fully absorbed by enough housekeeping cores, and is
+            // blunted to the SMT factor when free siblings exist.
+            AnomalySpec {
+                name: "nvme-irq-flood".into(),
+                kind: AnomalyKind::IrqStorm {
+                    cpus: 2,
+                    mean_interval: SimDuration::from_micros(55),
+                    service: SimDuration::from_micros(50),
+                },
+                window: (SimDuration::from_millis(700), SimDuration::from_millis(1_400)),
+                start: (SimDuration::from_millis(20), SimDuration::from_millis(150)),
+            },
+            AnomalySpec {
+                name: "kworker-writeback-storm".into(),
+                kind: AnomalyKind::Combined(vec![
+                    AnomalyKind::ThreadStorm {
+                        threads: 4,
+                        median_burst: SimDuration::from_millis(4),
+                        sigma: 0.6,
+                        mean_gap: SimDuration::from_micros(500),
+                    },
+                    AnomalyKind::IrqStorm {
+                        cpus: 2,
+                        mean_interval: SimDuration::from_micros(40),
+                        service: SimDuration::from_micros(12),
+                    },
+                ]),
+                window: (SimDuration::from_millis(400), SimDuration::from_millis(1_200)),
+                start: (SimDuration::from_millis(20), SimDuration::from_millis(200)),
+            },
+            AnomalySpec {
+                name: "packagekitd-scan".into(),
+                kind: AnomalyKind::ThreadStorm {
+                    threads: 3,
+                    median_burst: SimDuration::from_millis(8),
+                    sigma: 0.5,
+                    mean_gap: SimDuration::from_micros(1_000),
+                },
+                window: (SimDuration::from_millis(500), SimDuration::from_millis(1_300)),
+                start: (SimDuration::from_millis(10), SimDuration::from_millis(150)),
+            },
+        ];
+        p
+    }
+
+    /// Runlevel 3 (no GUI): same as desktop minus the GUI daemons.
+    pub fn runlevel3() -> NoiseProfile {
+        let mut p = Self::desktop();
+        p.daemons.retain(|d| d.name != "gnome-shell" && d.name != "Xorg");
+        p
+    }
+
+    /// HPC node profile: fewer daemons, no GUI; `os_affinity` restricts
+    /// noise threads to the given set (the A64FX:reserved situation) or
+    /// leaves them roaming (`None`, the A64FX:w/o situation). Anomaly
+    /// windows are shorter and earlier than on the desktops, matching
+    /// the shorter kernel-dominated runs of the motivation figures.
+    pub fn hpc(os_affinity: Option<CpuSet>) -> NoiseProfile {
+        let mut p = Self::runlevel3();
+        p.anomaly_prob = 0.02;
+        for a in &mut p.anomalies {
+            a.start = (SimDuration::from_millis(5), SimDuration::from_millis(80));
+            a.window = (SimDuration::from_millis(80), SimDuration::from_millis(300));
+        }
+        p.os_affinity = os_affinity;
+        p
+    }
+
+    /// No noise threads at all (unit testing).
+    pub fn silent() -> NoiseProfile {
+        NoiseProfile {
+            kworkers: vec![],
+            daemons: vec![],
+            anomaly_prob: 0.0,
+            anomalies: vec![],
+            force_all_anomalies: false,
+            os_affinity: None,
+        }
+    }
+}
+
+/// What `install` set up for one run.
+#[derive(Debug, Clone)]
+pub struct InstalledNoise {
+    pub threads: Vec<ThreadId>,
+    /// Name of the anomaly active in this run, if any.
+    pub anomaly: Option<String>,
+}
+
+/// Instantiate the profile's sources in `kernel`. `run_rng` decides this
+/// run's anomaly dice and placement (fork it from a stable stream so the
+/// decision is independent of intra-run event randomness).
+pub fn install(kernel: &mut Kernel, profile: &NoiseProfile, run_rng: &mut Rng) -> InstalledNoise {
+    let affinity = profile.os_affinity.unwrap_or(CpuSet::EMPTY); // EMPTY -> all CPUs at spawn
+    let mut threads = Vec::new();
+
+    for kw in &profile.kworkers {
+        let spec = ThreadSpec::new(kw.name.clone(), ThreadKind::Noise)
+            .affinity(affinity)
+            .start_at(SimTime(run_rng.below(kw.mean_interval.nanos().max(1))));
+        let b = KworkerBehavior {
+            mean_interval: kw.mean_interval,
+            median_burst: kw.median_burst,
+            sigma: kw.sigma,
+            burst_next: false,
+        };
+        threads.push(kernel.spawn(spec, Box::new(b)));
+    }
+
+    for d in &profile.daemons {
+        let spec = ThreadSpec::new(d.name.clone(), ThreadKind::Noise)
+            .affinity(affinity)
+            .start_at(SimTime(run_rng.below(d.period.nanos().max(1))));
+        let b = DaemonBehavior {
+            period: d.period,
+            jitter_frac: d.jitter_frac,
+            burst_mean: d.burst_mean,
+            burst_sd: d.burst_sd,
+            burst_next: true,
+        };
+        threads.push(kernel.spawn(spec, Box::new(b)));
+    }
+
+    let mut anomaly = None;
+    if !profile.anomalies.is_empty() {
+        let chosen: Vec<&AnomalySpec> = if profile.force_all_anomalies {
+            profile.anomalies.iter().collect()
+        } else if run_rng.chance(profile.anomaly_prob) {
+            vec![&profile.anomalies[run_rng.index(profile.anomalies.len())]]
+        } else {
+            Vec::new()
+        };
+        for spec in chosen {
+            install_anomaly(kernel, spec, affinity, run_rng, &mut threads);
+            anomaly = Some(match anomaly.take() {
+                None => spec.name.clone(),
+                Some(prev) => format!("{prev}+{}", spec.name),
+            });
+        }
+    }
+
+    InstalledNoise { threads, anomaly }
+}
+
+fn install_anomaly(
+    kernel: &mut Kernel,
+    spec: &AnomalySpec,
+    affinity: CpuSet,
+    run_rng: &mut Rng,
+    threads: &mut Vec<ThreadId>,
+) {
+    let start = SimTime(
+        spec.start.0.nanos() + run_rng.below((spec.start.1.nanos() - spec.start.0.nanos()).max(1)),
+    );
+    let window = SimDuration(
+        spec.window.0.nanos()
+            + run_rng.below((spec.window.1.nanos() - spec.window.0.nanos()).max(1)),
+    );
+    let end = start + window;
+    install_kind(kernel, &spec.kind, &spec.name, start, end, affinity, run_rng, threads);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn install_kind(
+    kernel: &mut Kernel,
+    kind: &AnomalyKind,
+    name: &str,
+    start: SimTime,
+    end: SimTime,
+    affinity: CpuSet,
+    run_rng: &mut Rng,
+    threads: &mut Vec<ThreadId>,
+) {
+    // Per-run unique source tag: real anomaly kworkers carry transient
+    // names, and the injector's average-subtraction must not mistake an
+    // anomaly source for a recurring inherent one.
+    let tag = run_rng.next_u64() & 0xFFFF;
+    match kind {
+        AnomalyKind::ThreadStorm { threads: n, median_burst, sigma, mean_gap } => {
+            for i in 0..*n {
+                let tspec = ThreadSpec::new(
+                    format!("{}-{tag:04x}/{i}", name),
+                    ThreadKind::Noise,
+                )
+                .affinity(affinity)
+                .start_at(start);
+                let b = StormBehavior {
+                    end,
+                    median_burst: *median_burst,
+                    sigma: *sigma,
+                    mean_gap: *mean_gap,
+                    burst_next: true,
+                };
+                threads.push(kernel.spawn(tspec, Box::new(b)));
+            }
+        }
+        AnomalyKind::MemoryHog { threads: n, bytes_per_burst } => {
+            for i in 0..*n {
+                let tspec = ThreadSpec::new(
+                    format!("{}-{tag:04x}/{i}", name),
+                    ThreadKind::Noise,
+                )
+                .affinity(affinity)
+                .start_at(start);
+                let b = MemHogBehavior { end, bytes_per_burst: *bytes_per_burst };
+                threads.push(kernel.spawn(tspec, Box::new(b)));
+            }
+        }
+        AnomalyKind::IrqStorm { cpus, mean_interval, service } => {
+            // Pre-schedule the interrupt series on randomly chosen
+            // CPUs (device IRQs have fixed affinity, as on hardware
+            // without irqbalance intervention). On systems with
+            // firmware-reserved OS cores, interrupt routing is steered
+            // there as well.
+            let pool = if affinity.is_empty() {
+                kernel.machine.all_cpus()
+            } else {
+                affinity.intersection(kernel.machine.all_cpus())
+            };
+            let all: Vec<CpuId> = pool.iter().collect();
+            for _ in 0..*cpus {
+                let cpu = all[run_rng.index(all.len())];
+                let source = format!("{}-{tag:04x}:64", name);
+                let mut t = start;
+                while t < end {
+                    kernel.inject_irq(cpu, t, *service, &*source);
+                    t += SimDuration::from_secs_f64(run_rng.exp(mean_interval.as_secs_f64()));
+                }
+            }
+        }
+        AnomalyKind::Combined(kinds) => {
+            for (j, k) in kinds.iter().enumerate() {
+                let sub = format!("{name}.{j}");
+                install_kind(kernel, k, &sub, start, end, affinity, run_rng, threads);
+            }
+        }
+    }
+}
+
+/// kworker: sleep (exponential), burst (log-normal), repeat forever.
+struct KworkerBehavior {
+    mean_interval: SimDuration,
+    median_burst: SimDuration,
+    sigma: f64,
+    burst_next: bool,
+}
+
+impl Behavior for KworkerBehavior {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        self.burst_next = !self.burst_next;
+        if self.burst_next {
+            let ns = ctx.rng.log_normal(self.median_burst.nanos() as f64, self.sigma);
+            Action::Burn(SimDuration(ns.round().max(500.0) as u64))
+        } else {
+            let gap = ctx.rng.exp(self.mean_interval.as_secs_f64());
+            Action::SleepFor(SimDuration::from_secs_f64(gap))
+        }
+    }
+
+    fn label(&self) -> &str {
+        "kworker"
+    }
+}
+
+/// Periodic daemon: sleep (period +- jitter), burst (normal), repeat.
+struct DaemonBehavior {
+    period: SimDuration,
+    jitter_frac: f64,
+    burst_mean: SimDuration,
+    burst_sd: SimDuration,
+    burst_next: bool,
+}
+
+impl Behavior for DaemonBehavior {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        self.burst_next = !self.burst_next;
+        if self.burst_next {
+            let ns = ctx.rng.normal_min(
+                self.burst_mean.nanos() as f64,
+                self.burst_sd.nanos() as f64,
+                1_000.0,
+            );
+            Action::Burn(SimDuration(ns.round() as u64))
+        } else {
+            let j = 1.0 + self.jitter_frac * (2.0 * ctx.rng.f64() - 1.0);
+            Action::SleepFor(self.period.mul_f64(j.max(0.05)))
+        }
+    }
+
+    fn label(&self) -> &str {
+        "daemon"
+    }
+}
+
+/// Memory-bandwidth hog: streams traffic back to back until the window
+/// closes.
+struct MemHogBehavior {
+    end: SimTime,
+    bytes_per_burst: f64,
+}
+
+impl Behavior for MemHogBehavior {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        if ctx.now >= self.end {
+            return Action::Exit;
+        }
+        Action::Compute(noiselab_machine::WorkUnit::stream(self.bytes_per_burst))
+    }
+
+    fn label(&self) -> &str {
+        "memhog"
+    }
+}
+
+/// Anomaly storm worker: dense bursts until the window closes.
+struct StormBehavior {
+    end: SimTime,
+    median_burst: SimDuration,
+    sigma: f64,
+    mean_gap: SimDuration,
+    burst_next: bool,
+}
+
+impl Behavior for StormBehavior {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        if ctx.now >= self.end {
+            return Action::Exit;
+        }
+        self.burst_next = !self.burst_next;
+        if self.burst_next {
+            let ns = ctx.rng.log_normal(self.median_burst.nanos() as f64, self.sigma);
+            Action::Burn(SimDuration(ns.round().max(1_000.0) as u64))
+        } else {
+            let gap = ctx.rng.exp(self.mean_gap.as_secs_f64());
+            Action::SleepFor(SimDuration::from_secs_f64(gap))
+        }
+    }
+
+    fn label(&self) -> &str {
+        "storm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noiselab_kernel::KernelConfig;
+    use noiselab_machine::Machine;
+
+    fn test_kernel(seed: u64) -> Kernel {
+        Kernel::new(Machine::intel_9700kf(), KernelConfig::default(), seed)
+    }
+
+    #[test]
+    fn silent_profile_installs_nothing() {
+        let mut k = test_kernel(1);
+        let mut rng = Rng::new(9);
+        let installed = install(&mut k, &NoiseProfile::silent(), &mut rng);
+        assert!(installed.threads.is_empty());
+        assert!(installed.anomaly.is_none());
+    }
+
+    #[test]
+    fn desktop_profile_spawns_all_sources() {
+        let mut k = test_kernel(1);
+        let mut rng = Rng::new(9);
+        let p = NoiseProfile::desktop();
+        let installed = install(&mut k, &p, &mut rng);
+        assert_eq!(installed.threads.len(), p.kworkers.len() + p.daemons.len());
+    }
+
+    #[test]
+    fn anomaly_rate_matches_probability() {
+        let p = NoiseProfile { anomaly_prob: 0.3, ..NoiseProfile::desktop() };
+        let mut rng = Rng::new(42);
+        let mut hits = 0;
+        for i in 0..400 {
+            let mut k = test_kernel(i);
+            let mut run_rng = rng.fork(i);
+            if install(&mut k, &p, &mut run_rng).anomaly.is_some() {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / 400.0;
+        assert!((0.2..0.4).contains(&rate), "rate={rate}");
+    }
+
+    #[test]
+    fn runlevel3_strips_gui() {
+        let p = NoiseProfile::runlevel3();
+        assert!(p.daemons.iter().all(|d| d.name != "gnome-shell" && d.name != "Xorg"));
+        assert!(!p.daemons.is_empty());
+    }
+
+    #[test]
+    fn noise_threads_respect_os_affinity() {
+        let reserved: CpuSet = [CpuId(6), CpuId(7)].into_iter().collect();
+        let mut k = test_kernel(3);
+        let mut rng = Rng::new(5);
+        let p = NoiseProfile::hpc(Some(reserved));
+        let installed = install(&mut k, &p, &mut rng);
+        for t in &installed.threads {
+            assert_eq!(k.thread(*t).affinity, reserved);
+        }
+    }
+
+    #[test]
+    fn profile_json_roundtrip() {
+        let p = NoiseProfile::desktop();
+        let s = serde_json::to_string(&p).unwrap();
+        let back: NoiseProfile = serde_json::from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+}

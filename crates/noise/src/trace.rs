@@ -1,0 +1,175 @@
+//! The `osnoise`-style trace data model.
+//!
+//! Mirrors the schema of paper Fig. 3: each event records the logical
+//! CPU, the event type (`irq_noise` / `softirq_noise` / `thread_noise`),
+//! the source (process or interrupt name), the start timestamp relative
+//! to the beginning of the trace, and the duration.
+
+use noiselab_kernel::NoiseClass;
+use noiselab_machine::CpuId;
+use noiselab_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One `osnoise` event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub cpu: CpuId,
+    pub class: NoiseClass,
+    /// Originating source, e.g. `local_timer:236`, `RCU:9`,
+    /// `kworker/13:1`.
+    pub source: String,
+    /// Start time relative to the beginning of the trace.
+    pub start: SimTime,
+    pub duration: SimDuration,
+}
+
+impl TraceEvent {
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// Does this event overlap `other` in time (same CPU not required)?
+    pub fn overlaps(&self, other: &TraceEvent) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// The full trace of one workload execution plus the measured execution
+/// time — the unit the injector's pipeline consumes (1000 of these per
+/// configuration in the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Which repetition produced this trace.
+    pub run_index: usize,
+    /// Workload execution time of this run.
+    pub exec_time: SimDuration,
+    /// All noise events observed during the run, in record order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl RunTrace {
+    /// Total noise duration per class, for quick characterisation.
+    pub fn noise_by_class(&self) -> [SimDuration; 3] {
+        let mut out = [SimDuration::ZERO; 3];
+        for e in &self.events {
+            let idx = match e.class {
+                NoiseClass::Irq => 0,
+                NoiseClass::Softirq => 1,
+                NoiseClass::Thread => 2,
+            };
+            out[idx] += e.duration;
+        }
+        out
+    }
+
+    /// Total noise duration attributed to `source`.
+    pub fn noise_of_source(&self, source: &str) -> SimDuration {
+        self.events
+            .iter()
+            .filter(|e| e.source == source)
+            .map(|e| e.duration)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Distinct sources present in the trace, sorted.
+    pub fn sources(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.events.iter().map(|e| e.source.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// A set of baseline traces for one workload configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    pub runs: Vec<RunTrace>,
+}
+
+impl TraceSet {
+    /// Index of the worst-case (longest) execution.
+    pub fn worst_index(&self) -> Option<usize> {
+        self.runs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, r)| r.exec_time)
+            .map(|(i, _)| i)
+    }
+
+    pub fn worst(&self) -> Option<&RunTrace> {
+        self.worst_index().map(|i| &self.runs[i])
+    }
+
+    /// Mean execution time across runs.
+    pub fn mean_exec(&self) -> Option<SimDuration> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        let total: u64 = self.runs.iter().map(|r| r.exec_time.nanos()).sum();
+        Some(SimDuration(total / self.runs.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cpu: u32, class: NoiseClass, source: &str, start: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            cpu: CpuId(cpu),
+            class,
+            source: source.into(),
+            start: SimTime(start),
+            duration: SimDuration(dur),
+        }
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ev(0, NoiseClass::Irq, "x", 100, 50);
+        let b = ev(0, NoiseClass::Irq, "y", 120, 10);
+        let c = ev(0, NoiseClass::Irq, "z", 150, 10);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // [100,150) vs [150,160): touching, no overlap
+    }
+
+    #[test]
+    fn noise_by_class_partitions() {
+        let t = RunTrace {
+            run_index: 0,
+            exec_time: SimDuration(1_000_000),
+            events: vec![
+                ev(0, NoiseClass::Irq, "local_timer:236", 0, 300),
+                ev(1, NoiseClass::Softirq, "RCU:9", 10, 140),
+                ev(2, NoiseClass::Thread, "kworker/2:1", 20, 3760),
+                ev(3, NoiseClass::Irq, "local_timer:236", 30, 200),
+            ],
+        };
+        let [irq, soft, thr] = t.noise_by_class();
+        assert_eq!(irq, SimDuration(500));
+        assert_eq!(soft, SimDuration(140));
+        assert_eq!(thr, SimDuration(3760));
+        assert_eq!(t.noise_of_source("local_timer:236"), SimDuration(500));
+        assert_eq!(t.sources(), vec!["RCU:9", "kworker/2:1", "local_timer:236"]);
+    }
+
+    #[test]
+    fn worst_index_is_longest_run() {
+        let mk = |i, ns| RunTrace { run_index: i, exec_time: SimDuration(ns), events: vec![] };
+        let set = TraceSet { runs: vec![mk(0, 100), mk(1, 900), mk(2, 300)] };
+        assert_eq!(set.worst_index(), Some(1));
+        assert_eq!(set.mean_exec(), Some(SimDuration(433)));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = RunTrace {
+            run_index: 3,
+            exec_time: SimDuration(42),
+            events: vec![ev(5, NoiseClass::Thread, "kworker/5:0", 255, 310)],
+        };
+        let s = serde_json::to_string(&t).unwrap();
+        let back: RunTrace = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+}

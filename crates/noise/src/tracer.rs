@@ -1,0 +1,106 @@
+//! The `osnoise`-style tracer: a [`TraceSink`] that accumulates
+//! [`TraceEvent`]s for one run.
+//!
+//! Because [`noiselab_kernel::Kernel::attach_tracer`] takes a boxed trait
+//! object, the tracer shares its buffer through an `Rc<RefCell<..>>`
+//! handle so the harness can read the trace after the run without
+//! downcasting.
+
+use crate::trace::{RunTrace, TraceEvent};
+use noiselab_kernel::{NoiseClass, ThreadId, TraceSink};
+use noiselab_machine::CpuId;
+use noiselab_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared buffer handle.
+#[derive(Clone, Default)]
+pub struct TraceBuffer {
+    inner: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl TraceBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the buffer into a [`RunTrace`].
+    pub fn take_trace(&self, run_index: usize, exec_time: SimDuration) -> RunTrace {
+        RunTrace { run_index, exec_time, events: std::mem::take(&mut *self.inner.borrow_mut()) }
+    }
+}
+
+/// The tracer to attach to a kernel. Create with [`OsNoiseTracer::new`],
+/// keep the [`TraceBuffer`] handle, box the tracer into the kernel.
+pub struct OsNoiseTracer {
+    buffer: TraceBuffer,
+}
+
+impl OsNoiseTracer {
+    /// Returns the tracer and the shared buffer handle.
+    pub fn new() -> (OsNoiseTracer, TraceBuffer) {
+        let buffer = TraceBuffer::new();
+        (OsNoiseTracer { buffer: buffer.clone() }, buffer)
+    }
+}
+
+impl TraceSink for OsNoiseTracer {
+    fn record(
+        &mut self,
+        cpu: CpuId,
+        class: NoiseClass,
+        source: &str,
+        _tid: Option<ThreadId>,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        self.buffer.inner.borrow_mut().push(TraceEvent {
+            cpu,
+            class,
+            source: source.to_string(),
+            start,
+            duration,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains() {
+        let (mut tracer, buf) = OsNoiseTracer::new();
+        tracer.record(
+            CpuId(5),
+            NoiseClass::Irq,
+            "local_timer:236",
+            None,
+            SimTime(100),
+            SimDuration(310),
+        );
+        tracer.record(
+            CpuId(1),
+            NoiseClass::Thread,
+            "kworker/u129:5",
+            Some(ThreadId(9)),
+            SimTime(200),
+            SimDuration(5830),
+        );
+        assert_eq!(buf.len(), 2);
+        let trace = buf.take_trace(7, SimDuration(1_000));
+        assert_eq!(trace.run_index, 7);
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].source, "local_timer:236");
+        assert!(buf.is_empty(), "buffer should be drained");
+    }
+}

@@ -1,0 +1,115 @@
+//! Data-parallel program description shared by both runtime models.
+//!
+//! A program is a sequence of *phases* (an OpenMP parallel-for region or
+//! a SYCL kernel). Each phase iterates over `items` work items whose
+//! cost is given by a closure mapping an item range to a [`WorkUnit`].
+//! How items are carved into chunks — and what overhead each chunk and
+//! phase transition carries — is what distinguishes the OpenMP model
+//! from the SYCL model.
+
+use noiselab_machine::WorkUnit;
+use noiselab_sim::SimDuration;
+use std::rc::Rc;
+
+/// Cost function of a phase: `(first_item, n_items) -> WorkUnit`.
+pub type WorkFn = Rc<dyn Fn(usize, usize) -> WorkUnit>;
+
+/// How a phase's items are divided among workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// Pre-partitioned: each worker owns a fixed set of blocks
+    /// (OpenMP `schedule(static[,chunk])`). `chunk = None` gives each
+    /// worker one contiguous block.
+    Static { chunk: Option<usize> },
+    /// First-come-first-served blocks of `chunk` items (OpenMP
+    /// `schedule(dynamic,chunk)`; SYCL work-group dispatch).
+    Dynamic { chunk: usize },
+    /// Exponentially decreasing blocks, floor `min_chunk` (OpenMP
+    /// `schedule(guided)`).
+    Guided { min_chunk: usize },
+}
+
+/// One parallel region / kernel.
+#[derive(Clone)]
+pub struct Phase {
+    pub name: String,
+    pub items: usize,
+    pub policy: ChunkPolicy,
+    pub work: WorkFn,
+}
+
+impl std::fmt::Debug for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phase")
+            .field("name", &self.name)
+            .field("items", &self.items)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+/// A whole workload expressed as phases.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub phases: Vec<Phase>,
+}
+
+impl Program {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, phase: Phase) {
+        self.phases.push(phase);
+    }
+
+    /// Total work of the program executed once by a single worker —
+    /// useful for sanity checks and solo-time estimates.
+    pub fn total_work(&self) -> WorkUnit {
+        let mut acc = WorkUnit::default();
+        for p in &self.phases {
+            acc = acc + (p.work)(0, p.items);
+        }
+        acc
+    }
+}
+
+/// Overheads and waiting behaviour of a runtime implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeParams {
+    /// Unproductive CPU time charged per dispatched chunk (scheduling
+    /// bookkeeping, work-group launch).
+    pub chunk_overhead: SimDuration,
+    /// Serial gap between phases: fork/join cost for OpenMP, kernel
+    /// launch/submission latency for SYCL. Charged on the critical path.
+    pub phase_gap: SimDuration,
+    /// How long workers spin at a phase barrier before blocking.
+    pub barrier_spin: SimDuration,
+    /// One-time per-worker runtime initialisation (pool creation).
+    pub startup: SimDuration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_work_sums_phases() {
+        let mut p = Program::new();
+        p.push(Phase {
+            name: "a".into(),
+            items: 10,
+            policy: ChunkPolicy::Static { chunk: None },
+            work: Rc::new(|_, n| WorkUnit::compute(n as f64 * 5.0)),
+        });
+        p.push(Phase {
+            name: "b".into(),
+            items: 4,
+            policy: ChunkPolicy::Dynamic { chunk: 1 },
+            work: Rc::new(|_, n| WorkUnit::stream(n as f64 * 8.0)),
+        });
+        let w = p.total_work();
+        assert_eq!(w.flops, 50.0);
+        assert_eq!(w.bytes, 32.0);
+    }
+}

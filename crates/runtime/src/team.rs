@@ -1,0 +1,578 @@
+//! The SPMD team engine: executes a [`Program`] with a pool of worker
+//! threads on the simulated kernel.
+//!
+//! Both runtime models are instances of this engine with different
+//! chunking policies and [`RuntimeParams`]; the OpenMP- and SYCL-styled
+//! front ends live in [`crate::omp`] and [`crate::sycl`].
+//!
+//! Execution protocol (every worker, including "worker 0"):
+//!
+//! 1. optional start barrier (synchronisation with noise injectors);
+//! 2. one-time startup burn (runtime/pool initialisation);
+//! 3. per phase: grab chunks per the phase's [`ChunkPolicy`] and execute
+//!    them (each chunk costs its work plus the runtime's chunk
+//!    overhead); when no chunks remain, the *last* worker to finish
+//!    ("the closer") pays the phase gap (fork-join / kernel-launch
+//!    latency) and then releases the phase barrier everyone else waits
+//!    at;
+//! 4. after the final phase, exit.
+//!
+//! The closer advances the shared phase cursor *before* entering the
+//! barrier, so released workers always observe the new phase.
+
+use crate::program::{ChunkPolicy, Phase, Program, RuntimeParams};
+use noiselab_kernel::{
+    Action, BarrierId, Behavior, Ctx, Kernel, Policy, ThreadId, ThreadKind, ThreadSpec,
+};
+use noiselab_machine::CpuSet;
+use noiselab_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Options for spawning a team.
+#[derive(Clone)]
+pub struct TeamOptions {
+    pub nthreads: usize,
+    /// Affinity per worker. One entry = same mask for all (roaming);
+    /// `nthreads` entries = per-worker pinning.
+    pub affinities: Vec<CpuSet>,
+    pub params: RuntimeParams,
+    /// Barrier shared with noise injectors; `None` for baseline runs.
+    pub start_barrier: Option<BarrierId>,
+    pub name_prefix: String,
+    /// Start time of the worker threads.
+    pub start: SimTime,
+}
+
+/// Handle to a spawned team.
+#[derive(Debug, Clone)]
+pub struct TeamHandle {
+    pub workers: Vec<ThreadId>,
+}
+
+impl TeamHandle {
+    /// The thread whose exit marks workload completion (worker 0; all
+    /// workers pass the final barrier together).
+    pub fn main(&self) -> ThreadId {
+        self.workers[0]
+    }
+}
+
+struct SharedState {
+    program: Program,
+    nthreads: usize,
+    params: RuntimeParams,
+    phase_barrier: BarrierId,
+    /// Current phase index.
+    phase: usize,
+    /// Next unclaimed item (dynamic/guided).
+    cursor: usize,
+    /// Workers that found no more chunks in the current phase.
+    finished: usize,
+    /// Flops equivalent of one nanosecond on this machine, to fold chunk
+    /// overhead into the chunk's work unit.
+    flops_per_ns: f64,
+}
+
+impl SharedState {
+    /// Claim the next chunk for `worker`. Static policies use the
+    /// worker-local queue instead.
+    fn claim_dynamic(&mut self) -> Option<(usize, usize)> {
+        let phase = &self.program.phases[self.phase];
+        if self.cursor >= phase.items {
+            return None;
+        }
+        let len = match phase.policy {
+            ChunkPolicy::Dynamic { chunk } => chunk.max(1),
+            ChunkPolicy::Guided { min_chunk } => {
+                let remaining = phase.items - self.cursor;
+                (remaining / (2 * self.nthreads)).max(min_chunk.max(1))
+            }
+            ChunkPolicy::Static { .. } => unreachable!("static chunks are pre-partitioned"),
+        };
+        let start = self.cursor;
+        let len = len.min(phase.items - start);
+        self.cursor += len;
+        Some((start, len))
+    }
+}
+
+enum WState {
+    Startup,
+    /// Filling the local queue / claiming chunks in the current phase.
+    Working { entered_phase: usize },
+    /// This worker closed the phase and owes the phase gap.
+    CloserGap,
+    /// Waiting at the phase barrier.
+    AtBarrier,
+    Done,
+}
+
+struct Worker {
+    shared: Rc<RefCell<SharedState>>,
+    id: usize,
+    state: WState,
+    /// Pre-partitioned blocks for static phases.
+    my_chunks: VecDeque<(usize, usize)>,
+}
+
+impl Worker {
+    /// Build this worker's static block list for the current phase.
+    fn fill_static(&mut self, phase: &Phase, nthreads: usize) {
+        self.my_chunks.clear();
+        match phase.policy {
+            ChunkPolicy::Static { chunk: None } => {
+                // One contiguous block per worker.
+                let base = phase.items / nthreads;
+                let rem = phase.items % nthreads;
+                let start = self.id * base + self.id.min(rem);
+                let len = base + usize::from(self.id < rem);
+                if len > 0 {
+                    self.my_chunks.push_back((start, len));
+                }
+            }
+            ChunkPolicy::Static { chunk: Some(c) } => {
+                let c = c.max(1);
+                let mut block = self.id * c;
+                while block < phase.items {
+                    let len = c.min(phase.items - block);
+                    self.my_chunks.push_back((block, len));
+                    block += c * nthreads;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Next chunk in the current phase, if any.
+    fn next_chunk(&mut self) -> Option<(usize, usize)> {
+        let mut sh = self.shared.borrow_mut();
+        let phase = &sh.program.phases[sh.phase];
+        match phase.policy {
+            ChunkPolicy::Static { .. } => self.my_chunks.pop_front(),
+            _ => sh.claim_dynamic(),
+        }
+    }
+}
+
+impl Behavior for Worker {
+    fn next(&mut self, _ctx: &mut Ctx<'_>) -> Action {
+        loop {
+            match self.state {
+                WState::Startup => {
+                    self.state = WState::Working { entered_phase: usize::MAX };
+                    let startup = self.shared.borrow().params.startup;
+                    if startup > SimDuration::ZERO {
+                        return Action::Burn(startup);
+                    }
+                }
+                WState::Working { entered_phase } => {
+                    let (phase_idx, done_all) = {
+                        let sh = self.shared.borrow();
+                        (sh.phase, sh.phase >= sh.program.phases.len())
+                    };
+                    if done_all {
+                        self.state = WState::Done;
+                        return Action::Exit;
+                    }
+                    if entered_phase != phase_idx {
+                        // First visit to this phase: set up static blocks.
+                        let sh = self.shared.borrow();
+                        let phase = sh.program.phases[phase_idx].clone();
+                        let nthreads = sh.nthreads;
+                        drop(sh);
+                        self.fill_static(&phase, nthreads);
+                        self.state = WState::Working { entered_phase: phase_idx };
+                    }
+                    match self.next_chunk() {
+                        Some((start, len)) => {
+                            let sh = self.shared.borrow();
+                            let phase = &sh.program.phases[phase_idx];
+                            let mut w = (phase.work)(start, len);
+                            let ov = sh.params.chunk_overhead.nanos() as f64;
+                            if ov > 0.0 {
+                                w.flops += ov * sh.flops_per_ns;
+                            }
+                            return Action::Compute(w);
+                        }
+                        None => {
+                            // Phase complete for this worker.
+                            let mut sh = self.shared.borrow_mut();
+                            sh.finished += 1;
+                            let is_closer = sh.finished == sh.nthreads;
+                            if is_closer {
+                                // Advance before anyone is released.
+                                sh.phase += 1;
+                                sh.cursor = 0;
+                                sh.finished = 0;
+                                let gap = sh.params.phase_gap;
+                                drop(sh);
+                                self.state = WState::CloserGap;
+                                if gap > SimDuration::ZERO {
+                                    return Action::Burn(gap);
+                                }
+                                continue;
+                            }
+                            let (bar, spin) = (sh.phase_barrier, sh.params.barrier_spin);
+                            drop(sh);
+                            self.state = WState::AtBarrier;
+                            return Action::Barrier { id: bar, spin };
+                        }
+                    }
+                }
+                WState::CloserGap => {
+                    let (bar, spin) = {
+                        let sh = self.shared.borrow();
+                        (sh.phase_barrier, sh.params.barrier_spin)
+                    };
+                    self.state = WState::AtBarrier;
+                    return Action::Barrier { id: bar, spin };
+                }
+                WState::AtBarrier => {
+                    // Barrier released: re-enter the work loop.
+                    self.state = WState::Working { entered_phase: usize::MAX };
+                }
+                WState::Done => return Action::Exit,
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        "team-worker"
+    }
+}
+
+/// A worker wrapper that first waits on the injector start barrier.
+struct WithStartBarrier {
+    inner: Worker,
+    start_barrier: BarrierId,
+    spin: SimDuration,
+    arrived: bool,
+}
+
+impl Behavior for WithStartBarrier {
+    fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
+        if !self.arrived {
+            self.arrived = true;
+            // Skip the inner StartBarrier placeholder state.
+            self.inner.state = WState::Startup;
+            return Action::Barrier { id: self.start_barrier, spin: self.spin };
+        }
+        self.inner.next(ctx)
+    }
+
+    fn label(&self) -> &str {
+        "team-worker"
+    }
+}
+
+/// Spawn a team executing `program` and return its handle.
+pub fn spawn_team(kernel: &mut Kernel, program: Program, opts: TeamOptions) -> TeamHandle {
+    assert!(opts.nthreads > 0, "team needs at least one thread");
+    assert!(
+        opts.affinities.len() == 1 || opts.affinities.len() == opts.nthreads,
+        "affinities must have 1 or nthreads entries"
+    );
+    let phase_barrier = kernel.new_barrier(opts.nthreads);
+    let shared = Rc::new(RefCell::new(SharedState {
+        program,
+        nthreads: opts.nthreads,
+        params: opts.params.clone(),
+        phase_barrier,
+        phase: 0,
+        cursor: 0,
+        finished: 0,
+        flops_per_ns: kernel.machine.perf.flops_per_ns,
+    }));
+
+    let mut workers = Vec::with_capacity(opts.nthreads);
+    for i in 0..opts.nthreads {
+        let affinity = if opts.affinities.len() == 1 {
+            opts.affinities[0]
+        } else {
+            opts.affinities[i]
+        };
+        let worker = Worker {
+            shared: shared.clone(),
+            id: i,
+            state: WState::Startup,
+            my_chunks: VecDeque::new(),
+        };
+        let behavior: Box<dyn Behavior> = match opts.start_barrier {
+            Some(b) => Box::new(WithStartBarrier {
+                inner: worker,
+                start_barrier: b,
+                spin: opts.params.barrier_spin,
+                arrived: false,
+            }),
+            None => Box::new(worker),
+        };
+        let spec = ThreadSpec::new(format!("{}/{i}", opts.name_prefix), ThreadKind::Workload)
+            .policy(Policy::NORMAL)
+            .affinity(affinity)
+            .start_at(opts.start);
+        workers.push(kernel.spawn(spec, behavior));
+    }
+    TeamHandle { workers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noiselab_kernel::KernelConfig;
+    use noiselab_machine::{CpuId, Machine, PerfModel, WorkUnit};
+
+    fn machine(cores: usize) -> Machine {
+        Machine {
+            name: "t".into(),
+            cores,
+            smt: 1,
+            perf: PerfModel {
+                flops_per_ns: 1.0,
+                smt_factor: 1.0,
+                per_core_bw: 100.0,
+                socket_bw: 400.0,
+            },
+            migration_cost: SimDuration::ZERO,
+            ctx_switch: SimDuration::ZERO,
+            wake_latency: SimDuration::ZERO,
+            tick_period: SimDuration::from_millis(4),
+            reserved_cpus: CpuSet::EMPTY,
+            numa_domains: 1,
+        }
+    }
+
+    fn quiet_cfg() -> KernelConfig {
+        KernelConfig {
+            timer_irq_mean: SimDuration::from_nanos(200),
+            timer_irq_sd: SimDuration::ZERO,
+            softirq_prob: 0.0,
+            ..KernelConfig::default()
+        }
+    }
+
+    fn zero_params() -> RuntimeParams {
+        RuntimeParams {
+            chunk_overhead: SimDuration::ZERO,
+            phase_gap: SimDuration::ZERO,
+            barrier_spin: SimDuration::from_micros(100),
+            startup: SimDuration::ZERO,
+        }
+    }
+
+    fn uniform_program(phases: usize, items: usize, flops_per_item: f64, policy: ChunkPolicy) -> Program {
+        let mut p = Program::new();
+        for i in 0..phases {
+            p.push(Phase {
+                name: format!("p{i}"),
+                items,
+                policy,
+                work: Rc::new(move |_, n| WorkUnit::compute(n as f64 * flops_per_item)),
+            });
+        }
+        p
+    }
+
+    fn run_team(
+        cores: usize,
+        nthreads: usize,
+        program: Program,
+        params: RuntimeParams,
+    ) -> f64 {
+        let mut k = Kernel::new(machine(cores), quiet_cfg(), 1);
+        let team = spawn_team(
+            &mut k,
+            program,
+            TeamOptions {
+                nthreads,
+                affinities: vec![CpuSet::first_n(cores)],
+                params,
+                start_barrier: None,
+                name_prefix: "w".into(),
+                start: SimTime::ZERO,
+            },
+        );
+        let mut end = 0.0f64;
+        for w in &team.workers {
+            end = end.max(
+                k.run_until_exit(*w, SimTime::from_secs_f64(100.0)).unwrap().as_secs_f64(),
+            );
+        }
+        end
+    }
+
+    #[test]
+    fn static_parallel_speedup() {
+        // 4M flops over 4 workers at 1 flop/ns -> ~1 ms each.
+        let p = uniform_program(1, 4_000, 1_000.0, ChunkPolicy::Static { chunk: None });
+        let t = run_team(4, 4, p, zero_params());
+        assert!((0.00095..0.0012).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn dynamic_matches_static_on_uniform_work() {
+        let ps = uniform_program(1, 4_000, 1_000.0, ChunkPolicy::Static { chunk: None });
+        let pd = uniform_program(1, 4_000, 1_000.0, ChunkPolicy::Dynamic { chunk: 125 });
+        let ts = run_team(4, 4, ps, zero_params());
+        let td = run_team(4, 4, pd, zero_params());
+        assert!((td - ts).abs() / ts < 0.05, "ts={ts} td={td}");
+    }
+
+    #[test]
+    fn guided_completes_all_items() {
+        let p = uniform_program(1, 10_000, 100.0, ChunkPolicy::Guided { min_chunk: 16 });
+        let t = run_team(4, 4, p, zero_params());
+        // 1 Gflop... 10_000*100 = 1 Mflop over 4 cores -> ~0.25 ms.
+        assert!((0.00024..0.00035).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn multi_phase_program_barriers_between_phases() {
+        let p = uniform_program(10, 4_000, 100.0, ChunkPolicy::Static { chunk: None });
+        let t = run_team(4, 4, p, zero_params());
+        // 10 phases x 100k flops/worker = 1 ms total.
+        assert!((0.00095..0.0013).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn phase_gap_serialises_between_phases() {
+        let mut params = zero_params();
+        params.phase_gap = SimDuration::from_micros(100);
+        let p = uniform_program(10, 4_000, 100.0, ChunkPolicy::Static { chunk: None });
+        let t = run_team(4, 4, p, params);
+        // 1 ms work + 10 gaps x 100 us = ~2 ms.
+        assert!((0.0019..0.0023).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn chunk_overhead_slows_dynamic_dispatch() {
+        let mut params = zero_params();
+        params.chunk_overhead = SimDuration::from_micros(10);
+        // 400 chunks of 10 items -> 100 chunks per worker -> +1ms each.
+        let p = uniform_program(1, 4_000, 1_000.0, ChunkPolicy::Dynamic { chunk: 10 });
+        let t = run_team(4, 4, p, params);
+        assert!((0.0019..0.0023).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn static_chunked_round_robin_covers_all_items() {
+        // Imbalanced work: item cost grows with index. Static chunk 1
+        // round-robins so workers stay balanced; one contiguous block
+        // per worker would leave worker 3 with ~4x the work.
+        let mk = |policy| {
+            let mut p = Program::new();
+            p.push(Phase {
+                name: "tri".into(),
+                items: 4_000,
+                policy,
+                work: Rc::new(|start, n| {
+                    let mut f = 0.0;
+                    for i in start..start + n {
+                        f += i as f64; // triangular cost
+                    }
+                    WorkUnit::compute(f)
+                }),
+            });
+            p
+        };
+        let t_block = run_team(4, 4, mk(ChunkPolicy::Static { chunk: None }), zero_params());
+        let t_rr = run_team(4, 4, mk(ChunkPolicy::Static { chunk: Some(16) }), zero_params());
+        assert!(t_rr < t_block * 0.75, "round-robin should balance: rr={t_rr} block={t_block}");
+    }
+
+    #[test]
+    fn dynamic_absorbs_imbalance() {
+        let mk = |policy| {
+            let mut p = Program::new();
+            p.push(Phase {
+                name: "tri".into(),
+                items: 4_000,
+                policy,
+                work: Rc::new(|start, n| {
+                    let mut f = 0.0;
+                    for i in start..start + n {
+                        f += i as f64;
+                    }
+                    WorkUnit::compute(f)
+                }),
+            });
+            p
+        };
+        let t_block = run_team(4, 4, mk(ChunkPolicy::Static { chunk: None }), zero_params());
+        let t_dyn = run_team(4, 4, mk(ChunkPolicy::Dynamic { chunk: 32 }), zero_params());
+        assert!(t_dyn < t_block * 0.75, "dyn={t_dyn} block={t_block}");
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let p = uniform_program(1, 2, 1_000.0, ChunkPolicy::Static { chunk: None });
+        let t = run_team(4, 4, p, zero_params());
+        assert!(t > 0.0 && t < 0.001, "t={t}");
+    }
+
+    #[test]
+    fn single_thread_team_runs_serially() {
+        let p = uniform_program(1, 4_000, 1_000.0, ChunkPolicy::Static { chunk: None });
+        let t = run_team(4, 1, p, zero_params());
+        assert!((0.0039..0.0043).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn pinned_team_uses_assigned_cpus() {
+        let mut k = Kernel::new(machine(4), quiet_cfg(), 1);
+        let p = uniform_program(1, 4_000, 1_000.0, ChunkPolicy::Static { chunk: None });
+        let affinities: Vec<CpuSet> = (0..4).map(|i| CpuSet::single(CpuId(i))).collect();
+        let team = spawn_team(
+            &mut k,
+            p,
+            TeamOptions {
+                nthreads: 4,
+                affinities,
+                params: zero_params(),
+                start_barrier: None,
+                name_prefix: "w".into(),
+                start: SimTime::ZERO,
+            },
+        );
+        for w in &team.workers {
+            k.run_until_exit(*w, SimTime::from_secs_f64(1.0)).unwrap();
+            assert_eq!(k.thread(*w).stats.migrations, 0);
+        }
+    }
+
+    #[test]
+    fn start_barrier_gates_execution() {
+        let mut k = Kernel::new(machine(2), quiet_cfg(), 1);
+        let start = k.new_barrier(3); // 2 workers + 1 gate
+        let p = uniform_program(1, 2_000, 1_000.0, ChunkPolicy::Static { chunk: None });
+        let team = spawn_team(
+            &mut k,
+            p,
+            TeamOptions {
+                nthreads: 2,
+                affinities: vec![CpuSet::first_n(2)],
+                params: zero_params(),
+                start_barrier: Some(start),
+                name_prefix: "w".into(),
+                start: SimTime::ZERO,
+            },
+        );
+        // Gate thread releases the barrier at t = 5 ms.
+        use noiselab_kernel::ScriptBehavior;
+        k.spawn(
+            ThreadSpec::new("gate", ThreadKind::Workload)
+                .start_at(SimTime::from_secs_f64(0.005)),
+            Box::new(ScriptBehavior::new(vec![Action::Barrier {
+                id: start,
+                spin: SimDuration::ZERO,
+            }])),
+        );
+        let e = k
+            .run_until_exit(team.main(), SimTime::from_secs_f64(1.0))
+            .unwrap()
+            .as_secs_f64();
+        // 5 ms gate + 1 ms work.
+        assert!((0.0059..0.0063).contains(&e), "e={e}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the runtime engine's chunking policies: every
+//! schedule covers each iteration exactly once, regardless of item
+//! count, thread count and chunk size. Verified by running a real team
+//! on the simulated kernel with a coverage-recording work function.
+
+use noiselab_kernel::{Kernel, KernelConfig};
+use noiselab_machine::{CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_runtime::{spawn_team, ChunkPolicy, Phase, Program, RuntimeParams, TeamOptions};
+use noiselab_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn machine(cores: usize) -> Machine {
+    Machine {
+        name: "t".into(),
+        cores,
+        smt: 1,
+        perf: PerfModel { flops_per_ns: 1.0, smt_factor: 1.0, per_core_bw: 100.0, socket_bw: 400.0 },
+        migration_cost: SimDuration::ZERO,
+        ctx_switch: SimDuration::ZERO,
+        wake_latency: SimDuration::ZERO,
+        tick_period: SimDuration::from_millis(4),
+        reserved_cpus: CpuSet::EMPTY,
+        numa_domains: 1,
+    }
+}
+
+fn quiet() -> KernelConfig {
+    KernelConfig {
+        timer_irq_mean: SimDuration::from_nanos(200),
+        timer_irq_sd: SimDuration::ZERO,
+        softirq_prob: 0.0,
+        ..KernelConfig::default()
+    }
+}
+
+/// Run one phase under `policy` and return per-item visit counts.
+fn coverage(items: usize, nthreads: usize, cores: usize, policy: ChunkPolicy) -> Vec<u32> {
+    let visits = Rc::new(RefCell::new(vec![0u32; items]));
+    let v2 = visits.clone();
+    let mut program = Program::new();
+    program.push(Phase {
+        name: "cov".into(),
+        items,
+        policy,
+        work: Rc::new(move |start, len| {
+            let mut v = v2.borrow_mut();
+            for i in start..start + len {
+                v[i] += 1;
+            }
+            WorkUnit::compute(len as f64 * 100.0)
+        }),
+    });
+    let mut k = Kernel::new(machine(cores), quiet(), 1);
+    let team = spawn_team(
+        &mut k,
+        program,
+        TeamOptions {
+            nthreads,
+            affinities: vec![CpuSet::first_n(cores)],
+            params: RuntimeParams {
+                chunk_overhead: SimDuration::ZERO,
+                phase_gap: SimDuration::ZERO,
+                barrier_spin: SimDuration::from_micros(50),
+                startup: SimDuration::ZERO,
+            },
+            start_barrier: None,
+            name_prefix: "w".into(),
+            start: SimTime::ZERO,
+        },
+    );
+    for w in &team.workers {
+        k.run_until_exit(*w, SimTime::from_secs_f64(100.0)).unwrap();
+    }
+    Rc::try_unwrap(visits).unwrap().into_inner()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn static_block_covers_exactly_once(items in 1usize..2_000, nthreads in 1usize..9) {
+        let cov = coverage(items, nthreads, 8, ChunkPolicy::Static { chunk: None });
+        prop_assert!(cov.iter().all(|&c| c == 1), "items={items} threads={nthreads}");
+    }
+
+    #[test]
+    fn static_chunked_covers_exactly_once(
+        items in 1usize..2_000,
+        nthreads in 1usize..9,
+        chunk in 1usize..130,
+    ) {
+        let cov = coverage(items, nthreads, 8, ChunkPolicy::Static { chunk: Some(chunk) });
+        prop_assert!(cov.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn dynamic_covers_exactly_once(
+        items in 1usize..2_000,
+        nthreads in 1usize..9,
+        chunk in 1usize..130,
+    ) {
+        let cov = coverage(items, nthreads, 8, ChunkPolicy::Dynamic { chunk });
+        prop_assert!(cov.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn guided_covers_exactly_once(
+        items in 1usize..2_000,
+        nthreads in 1usize..9,
+        min_chunk in 1usize..65,
+    ) {
+        let cov = coverage(items, nthreads, 8, ChunkPolicy::Guided { min_chunk });
+        prop_assert!(cov.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,236 @@
+//! Discrete-event queue with stable ordering and O(log n) cancellation.
+//!
+//! Events are ordered by `(time, sequence)` where `sequence` is a
+//! monotonically increasing insertion counter. This makes simulations
+//! fully deterministic: two events scheduled for the same instant fire in
+//! insertion order, independent of heap internals.
+//!
+//! Cancellation is handled lazily through [`EventToken`]s: cancelling marks
+//! the token; stale entries are skipped when popped. This is the standard
+//! technique for simulators where most events (e.g. compute-completion
+//! predictions) are rescheduled many times before they fire.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+impl EventToken {
+    /// A token that never refers to a live event.
+    pub const NONE: EventToken = EventToken(u64::MAX);
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    token: u64,
+    payload: E,
+}
+
+// Ordering: earliest time first, then lowest sequence.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The event queue. `E` is the simulation-specific payload type.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    next_token: u64,
+    /// Tokens that have been cancelled but whose entries are still in the
+    /// heap. Kept as a sorted vec-free bitset-ish structure: we use a
+    /// HashSet-free approach via generation is impossible for arbitrary
+    /// tokens, so a HashSet it is.
+    cancelled: std::collections::HashSet<u64>,
+    now: SimTime,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_token: 0,
+            cancelled: std::collections::HashSet::new(),
+            now: SimTime::ZERO,
+            live: 0,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`. Scheduling in the past
+    /// (before `now`) is a logic error and panics in debug builds; in
+    /// release it fires immediately at `now`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventToken {
+        debug_assert!(
+            at >= self.now,
+            "scheduling event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let token = self.next_token;
+        self.next_token += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time: at, seq, token, payload }));
+        self.live += 1;
+        EventToken(token)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        if token == EventToken::NONE {
+            return;
+        }
+        if self.cancelled.insert(token.0) {
+            self.live = self.live.saturating_sub(1);
+        }
+    }
+
+    /// Pop the next live event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.token) {
+                continue;
+            }
+            self.live -= 1;
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Peek the timestamp of the next live event without firing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop stale heads so peek is accurate.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.token) {
+                let Reverse(entry) = self.heap.pop().unwrap();
+                self.cancelled.remove(&entry.token);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let t1 = q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(20), 2);
+        q.cancel(t1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_safe_after_fire() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(SimTime(10), 1);
+        q.cancel(t);
+        q.cancel(t);
+        assert_eq!(q.pop(), None);
+        let t2 = q.schedule(SimTime(20), 2);
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        q.cancel(t2); // already fired: no-op
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(15), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(15));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(SimTime(5), 1);
+        q.schedule(SimTime(9), 2);
+        q.cancel(t);
+        assert_eq!(q.peek_time(), Some(SimTime(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling event in the past")]
+    fn scheduling_in_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        q.schedule(SimTime(5), ());
+    }
+}

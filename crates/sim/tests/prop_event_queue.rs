@@ -1,0 +1,95 @@
+//! Property tests for the event queue: total ordering, stable ties,
+//! cancellation correctness.
+
+use noiselab_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping returns events in nondecreasing time order, and ties in
+    /// insertion order.
+    #[test]
+    fn pops_are_totally_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert_eq!(t, SimTime(times[idx]));
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(idx > lidx, "tie not in insertion order");
+                }
+            }
+            last = Some((t, idx));
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> =
+            times.iter().enumerate().map(|(i, &t)| q.schedule(SimTime(t), i)).collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, token) in tokens.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(*token);
+            } else {
+                expected.push(i);
+            }
+        }
+        prop_assert_eq!(q.len(), expected.len());
+        let mut seen: Vec<usize> = Vec::new();
+        while let Some((_, idx)) = q.pop() {
+            seen.push(idx);
+        }
+        seen.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected);
+    }
+
+    /// `now` never goes backwards.
+    #[test]
+    fn now_is_monotone(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime(t), ());
+        }
+        let mut prev = SimTime::ZERO;
+        while q.pop().is_some() {
+            prop_assert!(q.now() >= prev);
+            prev = q.now();
+        }
+    }
+}
+
+proptest! {
+    /// The RNG is reproducible and its samplers stay in range.
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = noiselab_sim::Rng::new(seed);
+        let mut b = noiselab_sim::Rng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut r = noiselab_sim::Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.below(n) < n);
+            let f = r.f64();
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!(r.exp(1.5) >= 0.0);
+        }
+    }
+}

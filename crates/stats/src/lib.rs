@@ -1,0 +1,11 @@
+//! # noiselab-stats
+//!
+//! Statistics ([`Summary`]: mean, sample s.d., percentiles, relative
+//! change) and plain-text table rendering used by the experiment
+//! harness and benches to reproduce the paper's tables.
+
+pub mod summary;
+pub mod table;
+
+pub use summary::{percentile, percentile_sorted, Summary};
+pub use table::{fmt_ms, fmt_pct, fmt_secs, TextTable};

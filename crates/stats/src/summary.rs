@@ -1,0 +1,132 @@
+//! Summary statistics over run samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of measurements (execution times in seconds, or
+/// any other scalar).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator).
+    pub sd: f64,
+    pub min: f64,
+    pub max: f64,
+    pub median: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Compute a summary; panics on an empty sample.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "summary of empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Summary {
+            n,
+            mean,
+            sd: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+        }
+    }
+
+    /// Coefficient of variation (sd / mean).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.sd / self.mean
+        }
+    }
+
+    /// Relative change of this summary's mean vs a baseline mean, as a
+    /// fraction (0.25 = +25 %) — the metric of paper Tables 3-6.
+    pub fn relative_change(&self, baseline_mean: f64) -> f64 {
+        assert!(baseline_mean > 0.0);
+        self.mean / baseline_mean - 1.0
+    }
+}
+
+/// Linear-interpolated percentile of a pre-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile of an unsorted slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    percentile_sorted(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.sd - 1.5811388).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_sample_sd_zero() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile_sorted(&sorted, 50.0), 5.0);
+        assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_entry_point() {
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn cv_and_relative_change() {
+        let s = Summary::of(&[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(s.cv(), 0.0);
+        assert!((s.relative_change(1.6) - 0.25).abs() < 1e-12);
+        assert!(s.relative_change(2.5) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Plain-text table rendering for the experiment reports.
+//!
+//! The benches print tables in the same row/column layout as the paper's
+//! Tables 1-7 so the two can be compared side by side in
+//! `EXPERIMENTS.md`.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable { title: title.into(), header: Vec::new(), rows: Vec::new() }
+    }
+
+    pub fn header(mut self, cols: &[&str]) -> Self {
+        self.header = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header));
+            out.push('\n');
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with 3 decimals, like the paper's tables.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Format a fraction as a signed percentage with one decimal, like the
+/// paper's "percentage increase" rows.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:+.1}%", frac * 100.0)
+}
+
+/// Format milliseconds with 2 decimals.
+pub fn fmt_ms(s: f64) -> String {
+    format!("{:.2}", s * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("demo").header(&["cfg", "mean", "sd"]);
+        t.row(&["Rm", "1.234", "0.01"]);
+        t.row(&["RmHK2", "1.3", "0.002"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Header and rows share column positions for the 2nd column.
+        let pos_mean = lines[1].find("mean").unwrap();
+        assert!(lines[3].len() >= pos_mean);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(1.23456), "1.235");
+        assert_eq!(fmt_pct(0.454), "+45.4%");
+        assert_eq!(fmt_pct(-0.017), "-1.7%");
+        assert_eq!(fmt_ms(0.00777), "7.77");
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        let t = TextTable::new("x");
+        assert!(t.is_empty());
+        assert!(t.render().contains("== x =="));
+    }
+}

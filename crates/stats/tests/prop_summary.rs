@@ -1,0 +1,54 @@
+//! Property tests for the statistics module.
+
+use noiselab_stats::{percentile, Summary};
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn summary_bounds(xs in samples()) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.median <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.p99 + 1e-9);
+        prop_assert!(s.sd >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn constant_sample_has_zero_sd(x in 0.0f64..1e6, n in 1usize..50) {
+        let xs = vec![x; n];
+        let s = Summary::of(&xs);
+        // Relative tolerance: the mean of n identical doubles is not
+        // bit-identical to x, so sd is ~ulp-sized rather than zero.
+        prop_assert!(s.sd.abs() < 1e-9 * (1.0 + x.abs()));
+        prop_assert!((s.mean - x).abs() < 1e-9 * (1.0 + x.abs()));
+        prop_assert!((s.median - x).abs() < 1e-9 * (1.0 + x.abs()));
+    }
+
+    /// Shifting every sample shifts the mean and leaves sd unchanged.
+    #[test]
+    fn summary_shift_invariance(xs in samples(), shift in 0.0f64..1e5) {
+        let s1 = Summary::of(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let s2 = Summary::of(&shifted);
+        prop_assert!((s2.mean - s1.mean - shift).abs() < 1e-6 * (1.0 + s1.mean.abs()));
+        prop_assert!((s2.sd - s1.sd).abs() < 1e-6 * (1.0 + s1.sd));
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone(xs in samples(), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&xs, lo);
+        let b = percentile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let s = Summary::of(&xs);
+        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
+    }
+}

@@ -1,0 +1,312 @@
+//! Babelstream: the memory-bandwidth-bound workload.
+//!
+//! Five kernels per iteration — copy, mul, add, triad, dot — streaming
+//! large double-precision arrays. Because the socket's bandwidth
+//! saturates well below the core count, Babelstream loses almost nothing
+//! to housekeeping cores (paper recommendation #2) and its `dot` kernel
+//! (a reduction with a barrier) is the variability probe of Fig. 2.
+//!
+//! [`reference`] implements the real kernels with BabelStream's own
+//! solution check.
+
+use crate::Workload;
+use noiselab_machine::WorkUnit;
+use noiselab_runtime::omp::{OmpProgram, OmpSchedule};
+use noiselab_runtime::sycl::SyclQueue;
+use noiselab_runtime::Program;
+use std::rc::Rc;
+
+const F64_BYTES: f64 = 8.0;
+
+/// The five STREAM-style kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `c[i] = a[i]` — 16 B/elem, 0 flops.
+    Copy,
+    /// `b[i] = scalar * c[i]` — 16 B/elem, 1 flop.
+    Mul,
+    /// `c[i] = a[i] + b[i]` — 24 B/elem, 1 flop.
+    Add,
+    /// `a[i] = b[i] + scalar * c[i]` — 24 B/elem, 2 flops.
+    Triad,
+    /// `sum += a[i] * b[i]` — 16 B/elem, 2 flops, plus a reduction.
+    Dot,
+}
+
+impl Kernel {
+    pub const ALL: [Kernel; 5] = [Kernel::Copy, Kernel::Mul, Kernel::Add, Kernel::Triad, Kernel::Dot];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Copy => "copy",
+            Kernel::Mul => "mul",
+            Kernel::Add => "add",
+            Kernel::Triad => "triad",
+            Kernel::Dot => "dot",
+        }
+    }
+
+    /// (bytes, flops) per element.
+    pub fn per_element(self) -> (f64, f64) {
+        match self {
+            Kernel::Copy => (2.0 * F64_BYTES, 0.0),
+            Kernel::Mul => (2.0 * F64_BYTES, 1.0),
+            Kernel::Add => (3.0 * F64_BYTES, 1.0),
+            Kernel::Triad => (3.0 * F64_BYTES, 2.0),
+            Kernel::Dot => (2.0 * F64_BYTES, 2.0),
+        }
+    }
+}
+
+/// Problem parameters. Defaults calibrated so the Intel OpenMP baseline
+/// lands near the paper's ~1.92 s (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Babelstream {
+    /// Elements per array (BabelStream's ARRAY_SIZE).
+    pub elements: usize,
+    /// Benchmark repetitions (each runs all five kernels).
+    pub iterations: usize,
+    /// Restrict to a subset of kernels (Fig. 2 uses only `dot`).
+    pub kernels: Vec<Kernel>,
+    pub sycl_kernel_efficiency: f64,
+    /// Fraction of STREAM bandwidth the SYCL backend sustains.
+    pub sycl_bandwidth_efficiency: f64,
+}
+
+impl Default for Babelstream {
+    fn default() -> Self {
+        Babelstream {
+            elements: 1 << 23,
+            iterations: 100,
+            kernels: Kernel::ALL.to_vec(),
+            sycl_kernel_efficiency: 1.15,
+            sycl_bandwidth_efficiency: 0.90,
+        }
+    }
+}
+
+impl Babelstream {
+    pub fn small() -> Self {
+        Babelstream { elements: 1 << 18, iterations: 10, ..Default::default() }
+    }
+
+    /// Only the `dot` kernel (motivation Fig. 2).
+    pub fn dot_only(elements: usize, iterations: usize) -> Self {
+        Babelstream {
+            elements,
+            iterations,
+            kernels: vec![Kernel::Dot],
+            ..Default::default()
+        }
+    }
+
+    fn kernel_work(k: Kernel) -> impl Fn(usize, usize) -> WorkUnit + 'static {
+        let (bytes, flops) = k.per_element();
+        move |_start, len| WorkUnit::new(len as f64 * flops, len as f64 * bytes)
+    }
+}
+
+impl Workload for Babelstream {
+    fn name(&self) -> &'static str {
+        "babelstream"
+    }
+
+    fn omp_program(&self, nthreads: usize, schedule: Option<OmpSchedule>) -> Program {
+        let mut b = OmpProgram::new();
+        for it in 0..self.iterations {
+            for &k in &self.kernels {
+                b.parallel_for(
+                    format!("{}[{it}]", k.name()),
+                    self.elements,
+                    schedule,
+                    Rc::new(Self::kernel_work(k)),
+                );
+                if k == Kernel::Dot {
+                    // Serial-ish reduction of per-thread partials.
+                    b.parallel_for(
+                        format!("dot-reduce[{it}]"),
+                        nthreads,
+                        Some(OmpSchedule::Static { chunk: None }),
+                        Rc::new(|_, len| WorkUnit::compute(len as f64 * 400.0)),
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn sycl_program(&self, nthreads: usize) -> Program {
+        let mut q = SyclQueue::new(nthreads, self.sycl_kernel_efficiency)
+            .with_bandwidth_efficiency(self.sycl_bandwidth_efficiency);
+        for it in 0..self.iterations {
+            for &k in &self.kernels {
+                q.submit(
+                    format!("{}[{it}]", k.name()),
+                    self.elements,
+                    1024,
+                    Rc::new(Self::kernel_work(k)),
+                );
+                if k == Kernel::Dot {
+                    q.submit(
+                        format!("dot-reduce[{it}]"),
+                        nthreads,
+                        1,
+                        Rc::new(|_, len| WorkUnit::compute(len as f64 * 400.0)),
+                    );
+                }
+            }
+        }
+        q.finish()
+    }
+}
+
+/// Real kernels with BabelStream's solution check.
+pub mod reference {
+    pub const START_A: f64 = 0.1;
+    pub const START_B: f64 = 0.2;
+    pub const START_C: f64 = 0.0;
+    pub const SCALAR: f64 = 0.4;
+
+    pub struct Arrays {
+        pub a: Vec<f64>,
+        pub b: Vec<f64>,
+        pub c: Vec<f64>,
+    }
+
+    impl Arrays {
+        pub fn new(n: usize) -> Self {
+            Arrays { a: vec![START_A; n], b: vec![START_B; n], c: vec![START_C; n] }
+        }
+
+        pub fn copy(&mut self) {
+            for i in 0..self.a.len() {
+                self.c[i] = self.a[i];
+            }
+        }
+
+        pub fn mul(&mut self) {
+            for i in 0..self.a.len() {
+                self.b[i] = SCALAR * self.c[i];
+            }
+        }
+
+        pub fn add(&mut self) {
+            for i in 0..self.a.len() {
+                self.c[i] = self.a[i] + self.b[i];
+            }
+        }
+
+        pub fn triad(&mut self) {
+            for i in 0..self.a.len() {
+                self.a[i] = self.b[i] + SCALAR * self.c[i];
+            }
+        }
+
+        pub fn dot(&self) -> f64 {
+            self.a.iter().zip(&self.b).map(|(x, y)| x * y).sum()
+        }
+
+        /// Run `iters` full iterations (copy, mul, add, triad, dot);
+        /// returns the last dot value.
+        pub fn run(&mut self, iters: usize) -> f64 {
+            let mut sum = 0.0;
+            for _ in 0..iters {
+                self.copy();
+                self.mul();
+                self.add();
+                self.triad();
+                sum = self.dot();
+            }
+            sum
+        }
+
+        /// BabelStream's closed-form expected values after `iters`
+        /// iterations: returns (gold_a, gold_b, gold_c, gold_dot).
+        pub fn expected(n: usize, iters: usize) -> (f64, f64, f64, f64) {
+            let (mut ga, mut gb, mut gc) = (START_A, START_B, START_C);
+            for _ in 0..iters {
+                gc = ga;
+                gb = SCALAR * gc;
+                gc = ga + gb;
+                ga = gb + SCALAR * gc;
+            }
+            (ga, gb, gc, ga * gb * n as f64)
+        }
+
+        /// Max relative error of the arrays vs the closed form.
+        pub fn check(&self, iters: usize) -> f64 {
+            let n = self.a.len();
+            let (ga, gb, gc, _) = Self::expected(n, iters);
+            let err = |v: &[f64], g: f64| {
+                v.iter().map(|x| ((x - g) / g).abs()).fold(0.0f64, f64::max)
+            };
+            err(&self.a, ga).max(err(&self.b, gb)).max(err(&self.c, gc))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omp_program_phase_count() {
+        let bs = Babelstream::small();
+        let p = bs.omp_program(8, None);
+        // 5 kernels + 1 dot-reduce per iteration.
+        assert_eq!(p.phases.len(), bs.iterations * 6);
+    }
+
+    #[test]
+    fn dot_only_program() {
+        let bs = Babelstream::dot_only(1 << 18, 5);
+        let p = bs.omp_program(4, None);
+        assert_eq!(p.phases.len(), 10); // dot + reduce per iteration
+        assert!(p.phases[0].name.starts_with("dot"));
+    }
+
+    #[test]
+    fn kernels_are_memory_bound() {
+        for k in Kernel::ALL {
+            let (bytes, flops) = k.per_element();
+            assert!(flops / bytes < 0.2, "{} not memory bound", k.name());
+        }
+    }
+
+    #[test]
+    fn sycl_traffic_exceeds_omp_traffic() {
+        let bs = Babelstream::small();
+        let omp = (bs.omp_program(8, None).phases[0].work)(0, 1000);
+        let sycl = (bs.sycl_program(8).phases[0].work)(0, 1000);
+        assert!(sycl.bytes > omp.bytes * 1.05);
+    }
+
+    // --- reference kernels -------------------------------------------------
+
+    #[test]
+    fn reference_matches_closed_form() {
+        let mut arr = reference::Arrays::new(1024);
+        arr.run(10);
+        let err = arr.check(10);
+        assert!(err < 1e-12, "max rel error {err}");
+    }
+
+    #[test]
+    fn reference_dot_matches_expected() {
+        let n = 512;
+        let mut arr = reference::Arrays::new(n);
+        let dot = arr.run(7);
+        let (_, _, _, gold_dot) = reference::Arrays::expected(n, 7);
+        assert!(((dot - gold_dot) / gold_dot).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_single_iteration_values() {
+        let mut arr = reference::Arrays::new(4);
+        arr.run(1);
+        // c = a + b = 0.1 + 0.04; b = 0.4*0.1; a = b + 0.4*c
+        assert!((arr.b[0] - 0.04).abs() < 1e-15);
+        assert!((arr.c[0] - 0.14).abs() < 1e-15);
+        assert!((arr.a[0] - (0.04 + 0.4 * 0.14)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,333 @@
+//! MiniFE: the mixed compute/memory mini-application.
+//!
+//! MiniFE assembles a 27-point finite-element stiffness matrix on a 3-D
+//! brick mesh and solves it with unpreconditioned conjugate gradients.
+//! Per CG iteration: one SpMV (bandwidth-heavy, irregular), two dot
+//! products (reductions — barrier-sensitive) and three AXPYs
+//! (streaming). The dot-product barriers every few hundred
+//! microseconds are why MiniFE shows the largest noise amplification of
+//! the three workloads in the paper (Table 5, up to +118 %).
+//!
+//! [`reference`] is a real sparse CG solver on the same operator, used
+//! to verify convergence behaviour.
+
+use crate::Workload;
+use noiselab_machine::WorkUnit;
+use noiselab_runtime::omp::{OmpProgram, OmpSchedule};
+use noiselab_runtime::sycl::SyclQueue;
+use noiselab_runtime::Program;
+use std::rc::Rc;
+
+/// Cost constants per matrix row / vector element.
+const NNZ_PER_ROW: f64 = 27.0;
+/// SpMV: value (8 B) + column index (4 B) per nonzero, plus x gather
+/// (cache-mixed, ~60 % effective) and y write.
+const SPMV_BYTES_PER_ROW: f64 = NNZ_PER_ROW * (8.0 + 4.0) + 0.6 * NNZ_PER_ROW * 8.0 + 8.0;
+const SPMV_FLOPS_PER_ROW: f64 = 2.0 * NNZ_PER_ROW;
+const DOT_BYTES: f64 = 16.0;
+const DOT_FLOPS: f64 = 2.0;
+const AXPY_BYTES: f64 = 24.0;
+const AXPY_FLOPS: f64 = 2.0;
+/// Assembly: element stiffness computation, compute-heavy.
+const ASSEMBLY_FLOPS_PER_ROW: f64 = 220.0;
+const ASSEMBLY_BYTES_PER_ROW: f64 = 60.0;
+
+/// Problem parameters. Defaults calibrated so the Intel OpenMP baseline
+/// lands near the paper's ~1.06 s (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniFE {
+    /// Grid dimension (rows = nx^3).
+    pub nx: usize,
+    /// CG iterations (MiniFE's default max is 200).
+    pub cg_iterations: usize,
+    pub sycl_kernel_efficiency: f64,
+    pub sycl_bandwidth_efficiency: f64,
+}
+
+impl Default for MiniFE {
+    fn default() -> Self {
+        MiniFE {
+            nx: 72,
+            cg_iterations: 200,
+            sycl_kernel_efficiency: 1.35,
+            sycl_bandwidth_efficiency: 0.55,
+        }
+    }
+}
+
+impl MiniFE {
+    pub fn small() -> Self {
+        MiniFE { nx: 24, cg_iterations: 20, ..Default::default() }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.nx * self.nx * self.nx
+    }
+
+    fn spmv(_s: usize, len: usize) -> WorkUnit {
+        WorkUnit::new(len as f64 * SPMV_FLOPS_PER_ROW, len as f64 * SPMV_BYTES_PER_ROW)
+    }
+
+    fn dot(_s: usize, len: usize) -> WorkUnit {
+        WorkUnit::new(len as f64 * DOT_FLOPS, len as f64 * DOT_BYTES)
+    }
+
+    fn axpy(_s: usize, len: usize) -> WorkUnit {
+        WorkUnit::new(len as f64 * AXPY_FLOPS, len as f64 * AXPY_BYTES)
+    }
+
+    fn assembly(_s: usize, len: usize) -> WorkUnit {
+        WorkUnit::new(len as f64 * ASSEMBLY_FLOPS_PER_ROW, len as f64 * ASSEMBLY_BYTES_PER_ROW)
+    }
+}
+
+impl Workload for MiniFE {
+    fn name(&self) -> &'static str {
+        "minife"
+    }
+
+    fn omp_program(&self, _nthreads: usize, schedule: Option<OmpSchedule>) -> Program {
+        let rows = self.rows();
+        let mut b = OmpProgram::new();
+        b.parallel_for("assembly", rows, schedule, Rc::new(Self::assembly));
+        for it in 0..self.cg_iterations {
+            b.parallel_for(format!("spmv[{it}]"), rows, schedule, Rc::new(Self::spmv));
+            b.parallel_for(format!("dot-pAp[{it}]"), rows, schedule, Rc::new(Self::dot));
+            b.parallel_for(format!("axpy-x[{it}]"), rows, schedule, Rc::new(Self::axpy));
+            b.parallel_for(format!("axpy-r[{it}]"), rows, schedule, Rc::new(Self::axpy));
+            b.parallel_for(format!("dot-rr[{it}]"), rows, schedule, Rc::new(Self::dot));
+            b.parallel_for(format!("axpy-p[{it}]"), rows, schedule, Rc::new(Self::axpy));
+        }
+        b.build()
+    }
+
+    fn sycl_program(&self, nthreads: usize) -> Program {
+        let rows = self.rows();
+        let mut q = SyclQueue::new(nthreads, self.sycl_kernel_efficiency)
+            .with_bandwidth_efficiency(self.sycl_bandwidth_efficiency);
+        q.submit("assembly", rows, 256, Rc::new(Self::assembly));
+        for it in 0..self.cg_iterations {
+            q.submit(format!("spmv[{it}]"), rows, 256, Rc::new(Self::spmv));
+            q.submit(format!("dot-pAp[{it}]"), rows, 256, Rc::new(Self::dot));
+            q.submit(format!("axpy-x[{it}]"), rows, 256, Rc::new(Self::axpy));
+            q.submit(format!("axpy-r[{it}]"), rows, 256, Rc::new(Self::axpy));
+            q.submit(format!("dot-rr[{it}]"), rows, 256, Rc::new(Self::dot));
+            q.submit(format!("axpy-p[{it}]"), rows, 256, Rc::new(Self::axpy));
+        }
+        q.finish()
+    }
+}
+
+/// A real CG solver on the 27-point operator, for verification.
+#[allow(clippy::needless_range_loop)] // index math mirrors the C kernels
+pub mod reference {
+    /// Compressed sparse row matrix.
+    pub struct Csr {
+        pub n: usize,
+        pub row_ptr: Vec<usize>,
+        pub cols: Vec<u32>,
+        pub vals: Vec<f64>,
+    }
+
+    impl Csr {
+        /// 27-point stencil on an nx^3 grid: diagonal 26, neighbours -1
+        /// (a strictly diagonally dominant M-matrix, so CG converges).
+        pub fn stencil27(nx: usize) -> Csr {
+            let n = nx * nx * nx;
+            let idx = |x: usize, y: usize, z: usize| (z * nx + y) * nx + x;
+            let mut row_ptr = Vec::with_capacity(n + 1);
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            row_ptr.push(0);
+            for z in 0..nx {
+                for y in 0..nx {
+                    for x in 0..nx {
+                        let mut neighbours = 0;
+                        for dz in -1i64..=1 {
+                            for dy in -1i64..=1 {
+                                for dx in -1i64..=1 {
+                                    if dx == 0 && dy == 0 && dz == 0 {
+                                        continue;
+                                    }
+                                    let (xx, yy, zz) =
+                                        (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                                    if xx < 0
+                                        || yy < 0
+                                        || zz < 0
+                                        || xx >= nx as i64
+                                        || yy >= nx as i64
+                                        || zz >= nx as i64
+                                    {
+                                        continue;
+                                    }
+                                    cols.push(idx(xx as usize, yy as usize, zz as usize) as u32);
+                                    vals.push(-1.0);
+                                    neighbours += 1;
+                                }
+                            }
+                        }
+                        cols.push(idx(x, y, z) as u32);
+                        vals.push(neighbours as f64 + 1.0); // strictly dominant
+                        row_ptr.push(cols.len());
+                    }
+                }
+            }
+            // Sort each row by column for a canonical layout.
+            let mut m = Csr { n, row_ptr, cols, vals };
+            m.sort_rows();
+            m
+        }
+
+        fn sort_rows(&mut self) {
+            for r in 0..self.n {
+                let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+                let mut pairs: Vec<(u32, f64)> =
+                    self.cols[s..e].iter().copied().zip(self.vals[s..e].iter().copied()).collect();
+                pairs.sort_by_key(|&(c, _)| c);
+                for (k, (c, v)) in pairs.into_iter().enumerate() {
+                    self.cols[s + k] = c;
+                    self.vals[s + k] = v;
+                }
+            }
+        }
+
+        pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+            for r in 0..self.n {
+                let mut acc = 0.0;
+                for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    acc += self.vals[k] * x[self.cols[k] as usize];
+                }
+                y[r] = acc;
+            }
+        }
+
+        /// Is the matrix symmetric? (CG requirement.)
+        pub fn is_symmetric(&self) -> bool {
+            for r in 0..self.n {
+                for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    let c = self.cols[k] as usize;
+                    let v = self.vals[k];
+                    // Find (c, r).
+                    let (s, e) = (self.row_ptr[c], self.row_ptr[c + 1]);
+                    let found = self.cols[s..e]
+                        .binary_search(&(r as u32))
+                        .map(|i| self.vals[s + i])
+                        .unwrap_or(f64::NAN);
+                    if (found - v).abs() > 1e-12 {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    fn dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Unpreconditioned CG; returns (iterations used, final residual
+    /// norm relative to the initial one).
+    pub fn cg(a: &Csr, b: &[f64], x: &mut [f64], max_iter: usize, tol: f64) -> (usize, f64) {
+        let n = a.n;
+        let mut r = vec![0.0; n];
+        let mut p = vec![0.0; n];
+        let mut ap = vec![0.0; n];
+        a.spmv(x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+            p[i] = r[i];
+        }
+        let rr0 = dot(&r, &r);
+        let mut rr = rr0;
+        if rr0 == 0.0 {
+            return (0, 0.0);
+        }
+        for it in 0..max_iter {
+            a.spmv(&p, &mut ap);
+            let alpha = rr / dot(&p, &ap);
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rr_new = dot(&r, &r);
+            if (rr_new / rr0).sqrt() < tol {
+                return (it + 1, (rr_new / rr0).sqrt());
+            }
+            let beta = rr_new / rr;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            rr = rr_new;
+        }
+        (max_iter, (rr / rr0).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_phase_count() {
+        let m = MiniFE::small();
+        let p = m.omp_program(8, None);
+        assert_eq!(p.phases.len(), 1 + m.cg_iterations * 6);
+    }
+
+    #[test]
+    fn spmv_is_memory_bound_dot_is_too() {
+        let w = MiniFE::spmv(0, 1000);
+        assert!(w.intensity() < 0.2);
+        let d = MiniFE::dot(0, 1000);
+        assert!(d.intensity() < 0.2);
+    }
+
+    #[test]
+    fn assembly_is_compute_heavy() {
+        let w = MiniFE::assembly(0, 1000);
+        assert!(w.intensity() > 1.0);
+    }
+
+    #[test]
+    fn rows_is_cubic() {
+        assert_eq!(MiniFE { nx: 10, ..MiniFE::default() }.rows(), 1000);
+    }
+
+    // --- reference solver --------------------------------------------------
+
+    #[test]
+    fn stencil_is_symmetric_dominant() {
+        let m = reference::Csr::stencil27(6);
+        assert_eq!(m.n, 216);
+        assert!(m.is_symmetric());
+        // Interior row has 27 entries.
+        let interior = (3 * 6 + 3) * 6 + 3;
+        assert_eq!(m.row_ptr[interior + 1] - m.row_ptr[interior], 27);
+    }
+
+    #[test]
+    fn cg_converges_on_poisson_like_system() {
+        let m = reference::Csr::stencil27(8);
+        let b = vec![1.0; m.n];
+        let mut x = vec![0.0; m.n];
+        let (iters, res) = reference::cg(&m, &b, &mut x, 500, 1e-10);
+        assert!(res < 1e-10, "residual {res}");
+        assert!(iters < 200, "iters {iters}");
+        // Verify the solution actually satisfies Ax = b.
+        let mut ax = vec![0.0; m.n];
+        m.spmv(&x, &mut ax);
+        let err = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+        assert!(err < 1e-7, "max |Ax-b| = {err}");
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_immediately() {
+        let m = reference::Csr::stencil27(4);
+        let b = vec![0.0; m.n];
+        let mut x = vec![0.0; m.n];
+        let (iters, res) = reference::cg(&m, &b, &mut x, 100, 1e-10);
+        assert_eq!(iters, 0);
+        assert_eq!(res, 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! N-body benchmark (HeCBench `nbody`): the compute-bound workload.
+//!
+//! Two layers:
+//! * [`reference`] — a real all-pairs leapfrog integrator used to verify
+//!   the physics (energy/momentum conservation) at small scale;
+//! * the cost model — per-body force computation is `~20 * n` flops with
+//!   cache-resident position data, which is what makes N-body respond to
+//!   housekeeping cores with a real throughput loss (paper §5.1) and to
+//!   SMT with sub-linear gains.
+
+use crate::Workload;
+use noiselab_machine::WorkUnit;
+use noiselab_runtime::omp::{OmpProgram, OmpSchedule};
+use noiselab_runtime::sycl::SyclQueue;
+use noiselab_runtime::Program;
+use std::rc::Rc;
+
+/// Flops per body-body interaction (3 sub, 3 mul-add for r², rsqrt ~4,
+/// scale + 6 mul-add).
+const FLOPS_PER_INTERACTION: f64 = 20.0;
+/// Integration flops per body (leapfrog update of vel + pos).
+const FLOPS_INTEGRATE: f64 = 12.0;
+/// Bytes streamed per body in integration (pos + vel read/write).
+const BYTES_INTEGRATE: f64 = 96.0;
+/// Bytes per body touched in the force phase — positions are re-read
+/// from cache, so only first-touch traffic counts.
+const BYTES_FORCE: f64 = 8.0;
+
+/// Problem parameters. Defaults are calibrated so the OpenMP baseline on
+/// the Intel platform lands near the paper's ~0.45 s (Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NBody {
+    pub bodies: usize,
+    pub steps: usize,
+    /// SYCL code-generation efficiency factor (paper observes ~1.3x
+    /// longer raw SYCL runtimes on this benchmark).
+    pub sycl_kernel_efficiency: f64,
+}
+
+impl Default for NBody {
+    fn default() -> Self {
+        NBody { bodies: 32_768, steps: 5, sycl_kernel_efficiency: 1.30 }
+    }
+}
+
+impl NBody {
+    /// A reduced-size instance for fast tests.
+    pub fn small() -> Self {
+        NBody { bodies: 2_048, steps: 3, sycl_kernel_efficiency: 1.30 }
+    }
+
+    fn force_work(&self) -> impl Fn(usize, usize) -> WorkUnit + 'static {
+        let n = self.bodies as f64;
+        move |_start, len| {
+            WorkUnit::new(len as f64 * n * FLOPS_PER_INTERACTION, len as f64 * BYTES_FORCE)
+        }
+    }
+
+    fn integrate_work(&self) -> impl Fn(usize, usize) -> WorkUnit + 'static {
+        move |_start, len| {
+            WorkUnit::new(len as f64 * FLOPS_INTEGRATE, len as f64 * BYTES_INTEGRATE)
+        }
+    }
+}
+
+impl Workload for NBody {
+    fn name(&self) -> &'static str {
+        "nbody"
+    }
+
+    fn omp_program(&self, _nthreads: usize, schedule: Option<OmpSchedule>) -> Program {
+        let mut b = OmpProgram::new();
+        for s in 0..self.steps {
+            b.parallel_for(
+                format!("force[{s}]"),
+                self.bodies,
+                schedule,
+                Rc::new(self.force_work()),
+            );
+            b.parallel_for(
+                format!("integrate[{s}]"),
+                self.bodies,
+                schedule,
+                Rc::new(self.integrate_work()),
+            );
+        }
+        b.build()
+    }
+
+    fn sycl_program(&self, nthreads: usize) -> Program {
+        let mut q = SyclQueue::new(nthreads, self.sycl_kernel_efficiency);
+        for s in 0..self.steps {
+            q.submit(format!("force[{s}]"), self.bodies, 256, Rc::new(self.force_work()));
+            q.submit(
+                format!("integrate[{s}]"),
+                self.bodies,
+                256,
+                Rc::new(self.integrate_work()),
+            );
+        }
+        q.finish()
+    }
+}
+
+/// Real all-pairs N-body integrator for verification.
+#[allow(clippy::needless_range_loop)] // index math mirrors the C kernels
+pub mod reference {
+    /// Plain array-of-structs body state.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Body {
+        pub pos: [f64; 3],
+        pub vel: [f64; 3],
+        pub mass: f64,
+    }
+
+    const SOFTENING: f64 = 1e-3;
+    const G: f64 = 1.0;
+
+    /// Deterministic initial condition: bodies on a perturbed lattice
+    /// with small velocities.
+    pub fn init(n: usize, seed: u64) -> Vec<Body> {
+        let mut rng = noiselab_sim::Rng::new(seed);
+        (0..n)
+            .map(|_| Body {
+                pos: [rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)],
+                vel: [
+                    rng.range_f64(-0.01, 0.01),
+                    rng.range_f64(-0.01, 0.01),
+                    rng.range_f64(-0.01, 0.01),
+                ],
+                mass: 1.0 / n as f64,
+            })
+            .collect()
+    }
+
+    /// All-pairs accelerations.
+    pub fn accelerations(bodies: &[Body]) -> Vec<[f64; 3]> {
+        let n = bodies.len();
+        let mut acc = vec![[0.0; 3]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dx = bodies[j].pos[0] - bodies[i].pos[0];
+                let dy = bodies[j].pos[1] - bodies[i].pos[1];
+                let dz = bodies[j].pos[2] - bodies[i].pos[2];
+                let r2 = dx * dx + dy * dy + dz * dz + SOFTENING;
+                let inv_r3 = 1.0 / (r2 * r2.sqrt());
+                let s = G * bodies[j].mass * inv_r3;
+                acc[i][0] += s * dx;
+                acc[i][1] += s * dy;
+                acc[i][2] += s * dz;
+            }
+        }
+        acc
+    }
+
+    /// One leapfrog (kick-drift-kick) step.
+    pub fn step(bodies: &mut [Body], dt: f64) {
+        let acc = accelerations(bodies);
+        for (b, a) in bodies.iter_mut().zip(&acc) {
+            for k in 0..3 {
+                b.vel[k] += 0.5 * dt * a[k];
+                b.pos[k] += dt * b.vel[k];
+            }
+        }
+        let acc2 = accelerations(bodies);
+        for (b, a) in bodies.iter_mut().zip(&acc2) {
+            for k in 0..3 {
+                b.vel[k] += 0.5 * dt * a[k];
+            }
+        }
+    }
+
+    /// Total energy (kinetic + softened potential).
+    pub fn total_energy(bodies: &[Body]) -> f64 {
+        let n = bodies.len();
+        let mut e = 0.0;
+        for i in 0..n {
+            let v2: f64 = bodies[i].vel.iter().map(|v| v * v).sum();
+            e += 0.5 * bodies[i].mass * v2;
+            for j in (i + 1)..n {
+                let dx = bodies[j].pos[0] - bodies[i].pos[0];
+                let dy = bodies[j].pos[1] - bodies[i].pos[1];
+                let dz = bodies[j].pos[2] - bodies[i].pos[2];
+                let r = (dx * dx + dy * dy + dz * dz + SOFTENING).sqrt();
+                e -= G * bodies[i].mass * bodies[j].mass / r;
+            }
+        }
+        e
+    }
+
+    /// Total momentum.
+    pub fn momentum(bodies: &[Body]) -> [f64; 3] {
+        let mut p = [0.0; 3];
+        for b in bodies {
+            for k in 0..3 {
+                p[k] += b.mass * b.vel[k];
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noiselab_runtime::ChunkPolicy;
+
+    #[test]
+    fn omp_program_has_two_phases_per_step() {
+        let nb = NBody::small();
+        let p = nb.omp_program(8, None);
+        assert_eq!(p.phases.len(), nb.steps * 2);
+        assert_eq!(p.phases[0].policy, ChunkPolicy::Static { chunk: None });
+    }
+
+    #[test]
+    fn sycl_program_uses_dynamic_workgroups() {
+        let nb = NBody::small();
+        let p = nb.sycl_program(8);
+        assert_eq!(p.phases.len(), nb.steps * 2);
+        assert!(matches!(p.phases[0].policy, ChunkPolicy::Dynamic { .. }));
+    }
+
+    #[test]
+    fn force_dominates_cost_model() {
+        let nb = NBody::default();
+        let force = (nb.omp_program(8, None).phases[0].work)(0, nb.bodies);
+        let integrate = (nb.omp_program(8, None).phases[1].work)(0, nb.bodies);
+        assert!(force.flops > 100.0 * integrate.flops);
+        assert!(force.intensity() > 100.0, "force phase must be compute-bound");
+    }
+
+    #[test]
+    fn sycl_cost_exceeds_omp_cost() {
+        let nb = NBody::default();
+        let omp = (nb.omp_program(8, None).phases[0].work)(0, nb.bodies);
+        let sycl = (nb.sycl_program(8).phases[0].work)(0, nb.bodies);
+        assert!(sycl.flops > omp.flops * 1.2);
+    }
+
+    // --- reference physics ------------------------------------------------
+
+    #[test]
+    fn reference_conserves_energy() {
+        let mut bodies = reference::init(128, 7);
+        let e0 = reference::total_energy(&bodies);
+        for _ in 0..20 {
+            reference::step(&mut bodies, 1e-3);
+        }
+        let e1 = reference::total_energy(&bodies);
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 1e-4, "energy drift {drift}");
+    }
+
+    #[test]
+    fn reference_conserves_momentum() {
+        let mut bodies = reference::init(64, 3);
+        let p0 = reference::momentum(&bodies);
+        for _ in 0..10 {
+            reference::step(&mut bodies, 1e-3);
+        }
+        let p1 = reference::momentum(&bodies);
+        for k in 0..3 {
+            assert!((p1[k] - p0[k]).abs() < 1e-12, "momentum drift axis {k}");
+        }
+    }
+
+    #[test]
+    fn reference_accelerations_antisymmetric_for_pair() {
+        let bodies = reference::init(2, 1);
+        let acc = reference::accelerations(&bodies);
+        // Equal masses: a_i = -a_j.
+        for (a0, a1) in acc[0].iter().zip(&acc[1]) {
+            assert!((a0 + a1).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! schedbench: the schedule-sensitivity microbenchmark of motivation
+//! Fig. 1.
+//!
+//! A parallel loop whose per-iteration cost is deliberately irregular,
+//! executed under every combination of OpenMP schedule (static, dynamic,
+//! guided) and chunk size. On a system without reserved OS cores its
+//! run-to-run execution time fluctuates strongly; with firmware-reserved
+//! cores it is stable — the paper's motivating observation.
+
+use crate::Workload;
+use noiselab_machine::WorkUnit;
+use noiselab_runtime::omp::{OmpProgram, OmpSchedule};
+use noiselab_runtime::sycl::SyclQueue;
+use noiselab_runtime::Program;
+use std::rc::Rc;
+
+/// Deterministic irregular cost pattern: a cheap integer hash of the
+/// item index picks one of several work levels, giving a rough 1:8
+/// imbalance like schedbench's triangular/random loops.
+fn cost_of(i: usize, base_flops: f64) -> f64 {
+    let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 61; // 0..7
+    base_flops * (1.0 + h as f64)
+}
+
+/// Parameters for the schedbench loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedBench {
+    /// Loop iterations per region.
+    pub items: usize,
+    /// Region repetitions per run.
+    pub repeats: usize,
+    /// Base cost per item in flops.
+    pub base_flops: f64,
+    /// Schedule under test.
+    pub schedule: OmpSchedule,
+}
+
+impl Default for SchedBench {
+    fn default() -> Self {
+        SchedBench {
+            items: 8_192,
+            repeats: 50,
+            base_flops: 40_000.0,
+            schedule: OmpSchedule::Static { chunk: None },
+        }
+    }
+}
+
+impl SchedBench {
+    pub fn with_schedule(schedule: OmpSchedule) -> Self {
+        SchedBench { schedule, ..Default::default() }
+    }
+
+    /// The x-axis labels of Fig. 1: `st`, `dy`, `gd` with chunk sizes.
+    pub fn figure1_configs() -> Vec<(String, OmpSchedule)> {
+        let mut v = Vec::new();
+        for &chunk in &[1usize, 8, 64] {
+            v.push((format!("st:{chunk}"), OmpSchedule::Static { chunk: Some(chunk) }));
+        }
+        for &chunk in &[1usize, 8, 64] {
+            v.push((format!("dy:{chunk}"), OmpSchedule::Dynamic { chunk }));
+        }
+        for &chunk in &[1usize, 8, 64] {
+            v.push((format!("gd:{chunk}"), OmpSchedule::Guided { min_chunk: chunk }));
+        }
+        v
+    }
+
+    fn work(&self) -> impl Fn(usize, usize) -> WorkUnit + 'static {
+        let base = self.base_flops;
+        move |start, len| {
+            let mut f = 0.0;
+            // Aggregate cost over the range; exact per-item irregularity.
+            for i in start..start + len {
+                f += cost_of(i, base);
+            }
+            WorkUnit::new(f, len as f64 * 16.0)
+        }
+    }
+}
+
+impl Workload for SchedBench {
+    fn name(&self) -> &'static str {
+        "schedbench"
+    }
+
+    fn omp_program(&self, _nthreads: usize, schedule: Option<OmpSchedule>) -> Program {
+        let schedule = schedule.or(Some(self.schedule));
+        let mut b = OmpProgram::new();
+        for r in 0..self.repeats {
+            b.parallel_for(format!("loop[{r}]"), self.items, schedule, Rc::new(self.work()));
+        }
+        b.build()
+    }
+
+    fn sycl_program(&self, nthreads: usize) -> Program {
+        let mut q = SyclQueue::new(nthreads, 1.2);
+        for r in 0..self.repeats {
+            q.submit(format!("loop[{r}]"), self.items, 64, Rc::new(self.work()));
+        }
+        q.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_pattern_is_irregular_and_deterministic() {
+        let costs: Vec<f64> = (0..64).map(|i| cost_of(i, 1.0)).collect();
+        let min = costs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = costs.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 8.0);
+        let again: Vec<f64> = (0..64).map(|i| cost_of(i, 1.0)).collect();
+        assert_eq!(costs, again);
+    }
+
+    #[test]
+    fn work_aggregates_range() {
+        let sb = SchedBench::default();
+        let w_all = (sb.work())(0, 100);
+        let w_a = (sb.work())(0, 50);
+        let w_b = (sb.work())(50, 50);
+        assert!((w_all.flops - (w_a.flops + w_b.flops)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure1_has_nine_configs() {
+        let cfgs = SchedBench::figure1_configs();
+        assert_eq!(cfgs.len(), 9);
+        assert_eq!(cfgs[0].0, "st:1");
+        assert_eq!(cfgs[8].0, "gd:64");
+    }
+
+    #[test]
+    fn program_respects_schedule_override() {
+        use noiselab_runtime::ChunkPolicy;
+        let sb = SchedBench::with_schedule(OmpSchedule::Dynamic { chunk: 4 });
+        let p = sb.omp_program(4, None);
+        assert_eq!(p.phases.len(), sb.repeats);
+        assert_eq!(p.phases[0].policy, ChunkPolicy::Dynamic { chunk: 4 });
+    }
+}

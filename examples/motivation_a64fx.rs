@@ -1,0 +1,27 @@
+//! The paper's motivation (§3, Figs. 1-2): two otherwise identical
+//! A64FX systems — one with firmware-reserved OS cores (BSC), one
+//! without (MACC) — show very different run-to-run variability.
+//!
+//! ```sh
+//! cargo run --release --example motivation_a64fx
+//! ```
+
+use noiselab::core::experiments::{fig1, fig2, Scale};
+
+fn main() {
+    // Reduced scale so the demo finishes in ~a minute; the bench
+    // targets run the full version.
+    let scale = Scale { baseline_runs: 12, ..Scale::bench() };
+
+    println!("Figure 1: schedbench across schedules and chunk sizes\n");
+    let f1 = fig1::run(scale, true);
+    print!("{}", f1.render());
+
+    println!("\nFigure 2: Babelstream dot kernel vs thread count\n");
+    let f2 = fig2::run(scale, true);
+    print!("{}", f2.render());
+
+    println!("\nreading guide: the unreserved system (A64FX:w/o) should show");
+    println!("larger s.d. and fatter p90 tails, worst at full occupancy —");
+    println!("with no spare core, OS interference lands on workload cores.");
+}

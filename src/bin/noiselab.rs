@@ -1,0 +1,279 @@
+//! The noiselab command-line tool: drive the paper's pipeline stage by
+//! stage, with JSON artifacts on disk between stages.
+//!
+//! ```text
+//! noiselab baseline --platform intel --workload nbody [--model omp] [--mitigation Rm] [--runs 40]
+//! noiselab trace    --platform intel --workload nbody --out traces.json [--boost 10]
+//! noiselab generate --traces traces.json --out config.json [--merge improved|naive]
+//! noiselab inject   --platform intel --workload nbody --config config.json [--runs 20]
+//! noiselab analyze  --traces traces.json [--top 10]
+//! noiselab report   --what table1|table2|fig1|fig2|merge|memory|runlevel3 [--scale smoke|bench|paper]
+//! ```
+
+use noiselab::core::experiments::{
+    ablation, fig1, fig2, numa, runlevel, suite, table1, table2, Scale,
+};
+use noiselab::core::{run_baseline, run_injected, ExecConfig, Mitigation, Model, Platform};
+use noiselab::injector::{generate, GeneratorOptions, InjectionConfig, MergeStrategy};
+use noiselab::noise::TraceSet;
+use noiselab::workloads::Workload;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+struct Args {
+    cmd: String,
+    opts: HashMap<String, String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut it = std::env::args().skip(1);
+    let cmd = it.next()?;
+    let mut opts = HashMap::new();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--")?.to_string();
+        let value = it.next()?;
+        opts.insert(key, value);
+    }
+    Some(Args { cmd, opts })
+}
+
+impl Args {
+    fn get(&self, key: &str, default: &str) -> String {
+        self.opts.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn required(&self, key: &str) -> Result<String, String> {
+        self.opts.get(key).cloned().ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn platform(&self) -> Result<Platform, String> {
+        match self.get("platform", "intel").as_str() {
+            "intel" => Ok(Platform::intel()),
+            "amd" => Ok(Platform::amd()),
+            "a64fx" => Ok(Platform::a64fx(false)),
+            "a64fx-reserved" => Ok(Platform::a64fx(true)),
+            other => Err(format!("unknown platform '{other}' (intel|amd|a64fx|a64fx-reserved)")),
+        }
+    }
+
+    fn workload(&self, platform: &Platform) -> Result<Box<dyn Workload + Sync>, String> {
+        match self.get("workload", "nbody").as_str() {
+            "nbody" => Ok(Box::new(suite::nbody_for(platform))),
+            "babelstream" => Ok(Box::new(suite::babelstream_for(platform))),
+            "minife" => Ok(Box::new(suite::minife_for(platform))),
+            other => Err(format!("unknown workload '{other}' (nbody|babelstream|minife)")),
+        }
+    }
+
+    fn exec_config(&self) -> Result<ExecConfig, String> {
+        let model = match self.get("model", "omp").as_str() {
+            "omp" => Model::Omp,
+            "sycl" => Model::Sycl,
+            other => return Err(format!("unknown model '{other}' (omp|sycl)")),
+        };
+        let mitigation = match self.get("mitigation", "Rm").as_str() {
+            "Rm" => Mitigation::Rm,
+            "RmHK" => Mitigation::RmHK,
+            "RmHK2" => Mitigation::RmHK2,
+            "TP" => Mitigation::Tp,
+            "TPHK" => Mitigation::TpHK,
+            "TPHK2" => Mitigation::TpHK2,
+            other => {
+                return Err(format!(
+                    "unknown mitigation '{other}' (Rm|RmHK|RmHK2|TP|TPHK|TPHK2)"
+                ))
+            }
+        };
+        let mut cfg = ExecConfig::new(model, mitigation);
+        if self.get("smt", "off") == "on" {
+            cfg = cfg.with_smt();
+        }
+        Ok(cfg)
+    }
+
+    fn runs(&self, default: usize) -> usize {
+        self.get("runs", &default.to_string()).parse().unwrap_or(default)
+    }
+
+    fn seed(&self) -> u64 {
+        self.get("seed", "1").parse().unwrap_or(1)
+    }
+
+    fn scale(&self) -> Scale {
+        match self.get("scale", "bench").as_str() {
+            "smoke" => Scale::smoke(),
+            "paper" => Scale::paper(),
+            _ => Scale::bench(),
+        }
+    }
+}
+
+fn cmd_baseline(args: &Args) -> Result<(), String> {
+    let platform = args.platform()?;
+    let workload = args.workload(&platform)?;
+    let cfg = args.exec_config()?;
+    let runs = args.runs(40);
+    let base = run_baseline(&platform, workload.as_ref(), &cfg, runs, args.seed(), false);
+    println!(
+        "{} {} {}: {} runs, mean {:.4}s, sd {:.2}ms, min {:.4}s, max {:.4}s, p99 {:.4}s",
+        platform.label(),
+        workload.name(),
+        cfg.label(),
+        runs,
+        base.summary.mean,
+        base.summary.sd * 1e3,
+        base.summary.min,
+        base.summary.max,
+        base.summary.p99
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let mut platform = args.platform()?;
+    if let Ok(boost) = args.get("boost", "1").parse::<f64>() {
+        platform.noise.anomaly_prob = (platform.noise.anomaly_prob * boost).min(0.5);
+    }
+    let workload = args.workload(&platform)?;
+    let cfg = args.exec_config()?;
+    let out = args.required("out")?;
+    let runs = args.runs(40);
+    let base = run_baseline(&platform, workload.as_ref(), &cfg, runs, args.seed(), true);
+    let json = serde_json::to_string(&base.traces).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!(
+        "traced {} runs (mean {:.4}s, worst {:.4}s, {} anomalous) -> {}",
+        runs,
+        base.summary.mean,
+        base.summary.max,
+        base.anomaly_runs.len(),
+        out
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let traces_path = args.required("traces")?;
+    let out = args.required("out")?;
+    let data = std::fs::read_to_string(&traces_path).map_err(|e| e.to_string())?;
+    let traces: TraceSet = serde_json::from_str(&data).map_err(|e| e.to_string())?;
+    let merge = match args.get("merge", "improved").as_str() {
+        "naive" => MergeStrategy::NaivePessimistic,
+        _ => MergeStrategy::Improved,
+    };
+    let opts = GeneratorOptions { merge, ..GeneratorOptions::default() };
+    let config = generate(traces_path.clone(), &traces, &opts)
+        .ok_or("trace set is empty".to_string())?;
+    std::fs::write(&out, config.to_json()).map_err(|e| e.to_string())?;
+    println!(
+        "config: {} events on {} cpus, total noise {:.2}ms, {:.0}% FIFO, anomaly {:.4}s -> {}",
+        config.event_count(),
+        config.lists.len(),
+        config.total_noise().as_millis_f64(),
+        config.fifo_fraction() * 100.0,
+        config.anomaly_exec.as_secs_f64(),
+        out
+    );
+    Ok(())
+}
+
+fn cmd_inject(args: &Args) -> Result<(), String> {
+    let platform = args.platform()?;
+    let workload = args.workload(&platform)?;
+    let cfg = args.exec_config()?;
+    let config_path = args.required("config")?;
+    let data = std::fs::read_to_string(&config_path).map_err(|e| e.to_string())?;
+    let config = InjectionConfig::from_json(&data).map_err(|e| e.to_string())?;
+    let runs = args.runs(20);
+    let base = run_baseline(&platform, workload.as_ref(), &cfg, runs, args.seed() + 10_000, false);
+    let inj = run_injected(&platform, workload.as_ref(), &cfg, &config, runs, args.seed());
+    println!(
+        "{} {} {}: baseline {:.4}s -> injected {:.4}s ({:+.1}%), accuracy {:+.1}%",
+        platform.label(),
+        workload.name(),
+        cfg.label(),
+        base.summary.mean,
+        inj.mean,
+        (inj.mean / base.summary.mean - 1.0) * 100.0,
+        (inj.mean / config.anomaly_exec.as_secs_f64() - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let scale = args.scale();
+    match args.get("what", "table1").as_str() {
+        "table1" => print!("{}", table1::run(scale).render()),
+        "table2" => print!("{}", table2::run(scale).render()),
+        "fig1" => print!("{}", fig1::run(scale, false).render()),
+        "fig2" => print!("{}", fig2::run(scale, false).render()),
+        "merge" => print!("{}", ablation::merge_ablation(scale, false).render()),
+        "memory" => print!("{}", ablation::memory_noise_ablation(scale, false).render()),
+        "runlevel3" => print!("{}", runlevel::run(scale, false).render()),
+        "numa" => print!("{}", numa::run(scale.baseline_runs, false).render()),
+        other => {
+            return Err(format!(
+                "unknown report '{other}' (table1|table2|fig1|fig2|merge|memory|runlevel3|numa; \
+                 tables 3-7 via cargo bench)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let traces_path = args.required("traces")?;
+    let data = std::fs::read_to_string(&traces_path).map_err(|e| e.to_string())?;
+    let traces: TraceSet = serde_json::from_str(&data).map_err(|e| e.to_string())?;
+    let top_k: usize = args.get("top", "10").parse().unwrap_or(10);
+    let summary = noiselab::noise::analysis::summarize_set(&traces, top_k)
+        .ok_or("trace set is empty".to_string())?;
+    print!("{}", noiselab::noise::analysis::render_set_summary(&summary));
+    let worst = &traces.runs[summary.worst_index];
+    let ws = noiselab::noise::analysis::summarize_run(worst);
+    let [irq, softirq, thread] = ws.by_class;
+    println!(
+        "worst run: {} events; irq {:.3}ms, softirq {:.3}ms, thread {:.3}ms; \
+         busiest cpu {:?}; outlier: {}",
+        ws.events,
+        irq.as_millis_f64(),
+        softirq.as_millis_f64(),
+        thread.as_millis_f64(),
+        ws.busiest_cpu.map(|(c, d)| format!("cpu{c} ({:.3}ms)", d.as_millis_f64())),
+        noiselab::noise::analysis::is_outlier(worst, &traces)
+    );
+    Ok(())
+}
+
+fn usage() {
+    eprintln!(
+        "noiselab <baseline|trace|generate|inject|analyze|report> [--key value ...]\n\
+         see the module docs (src/bin/noiselab.rs) for the full flag list"
+    );
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match args.cmd.as_str() {
+        "baseline" => cmd_baseline(&args),
+        "trace" => cmd_trace(&args),
+        "generate" => cmd_generate(&args),
+        "inject" => cmd_inject(&args),
+        "analyze" => cmd_analyze(&args),
+        "report" => cmd_report(&args),
+        _ => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
