@@ -21,8 +21,7 @@ fn main() {
 
     let report = measure(&mut kernel, &Fwq::default());
     let trace = buffer.take_trace(0, SimDuration::ZERO);
-    let traced_ms: f64 =
-        trace.events.iter().map(|e| e.duration.nanos()).sum::<u64>() as f64 / 1e6;
+    let traced_ms: f64 = trace.events.iter().map(|e| e.duration.nanos()).sum::<u64>() as f64 / 1e6;
 
     let rendered = format!(
         "== FWQ cross-validation (Intel, desktop noise + forced anomaly) ==\n\

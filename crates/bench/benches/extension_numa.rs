@@ -13,6 +13,9 @@ fn main() {
     let rm = cmp.row("Rm-OMP").expect("Rm row");
     let tp = cmp.row("TP-OMP").expect("TP row");
     assert_eq!(tp.migrations, 0.0, "pinned threads must not migrate");
-    assert!(rm.migrations > 0.0, "roaming threads should migrate under node noise");
+    assert!(
+        rm.migrations > 0.0,
+        "roaming threads should migrate under node noise"
+    );
     noiselab_bench::finish("extension_numa", t0);
 }

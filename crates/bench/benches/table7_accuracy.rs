@@ -23,6 +23,10 @@ fn main() {
     }
     let acc = table7::Table7::from_tables(&tables);
     noiselab_bench::emit("table7", &acc.render());
-    assert_eq!(acc.records.len(), 10, "the paper uses ten worst-case traces");
+    assert_eq!(
+        acc.records.len(),
+        10,
+        "the paper uses ten worst-case traces"
+    );
     noiselab_bench::finish("table7", t0);
 }

@@ -95,7 +95,13 @@ pub struct ExecConfig {
 
 impl ExecConfig {
     pub fn new(model: Model, mitigation: Mitigation) -> Self {
-        ExecConfig { model, mitigation, smt: false, schedule: None, threads: None }
+        ExecConfig {
+            model,
+            mitigation,
+            smt: false,
+            schedule: None,
+            threads: None,
+        }
     }
 
     pub fn with_smt(mut self) -> Self {
@@ -137,7 +143,9 @@ impl ExecConfig {
 
     /// Number of workload threads.
     pub fn nthreads(&self, machine: &Machine) -> usize {
-        self.threads.unwrap_or_else(|| self.workload_cpus(machine).len()).max(1)
+        self.threads
+            .unwrap_or_else(|| self.workload_cpus(machine).len())
+            .max(1)
     }
 
     /// Per-worker affinity masks: one shared mask when roaming, one
@@ -162,9 +170,14 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(ExecConfig::new(Model::Omp, Mitigation::Rm).label(), "Rm-OMP");
         assert_eq!(
-            ExecConfig::new(Model::Sycl, Mitigation::TpHK2).with_smt().label(),
+            ExecConfig::new(Model::Omp, Mitigation::Rm).label(),
+            "Rm-OMP"
+        );
+        assert_eq!(
+            ExecConfig::new(Model::Sycl, Mitigation::TpHK2)
+                .with_smt()
+                .label(),
             "TPHK2-SYCL-SMT"
         );
     }

@@ -41,8 +41,12 @@ pub struct MergeAblation {
 
 impl MergeAblation {
     pub fn render(&self) -> String {
-        let mut t = TextTable::new("Ablation: overlap-merge strategy (paper §5.2)")
-            .header(&["strategy", "accuracy", "FIFO share", "mitigation spread (s)"]);
+        let mut t = TextTable::new("Ablation: overlap-merge strategy (paper §5.2)").header(&[
+            "strategy",
+            "accuracy",
+            "FIFO share",
+            "mitigation spread (s)",
+        ]);
         t.row(&[
             "naive-pessimistic".to_string(),
             format!("{:.2}%", self.naive_accuracy * 100.0),
@@ -102,11 +106,20 @@ pub fn merge_ablation(scale: Scale, small: bool) -> MergeAblation {
     };
     let source = ExecConfig::new(Model::Omp, Mitigation::Rm);
 
-    let traced =
-        run_baseline(&collection, workload.as_ref(), &source, scale.traced_runs, 77, true);
+    let traced = run_baseline(
+        &collection,
+        workload.as_ref(),
+        &source,
+        scale.traced_runs,
+        77,
+        true,
+    );
 
     let eval = |merge: MergeStrategy| -> (f64, f64, f64) {
-        let opts = GeneratorOptions { merge, ..GeneratorOptions::default() };
+        let opts = GeneratorOptions {
+            merge,
+            ..GeneratorOptions::default()
+        };
         let config = generate("merge-ablation", &traced.traces, &opts).expect("non-empty traces");
         let anomaly = config.anomaly_exec.as_secs_f64();
         let mut means = Vec::new();
@@ -163,8 +176,9 @@ impl MemoryNoiseAblation {
     }
 
     pub fn render(&self) -> String {
-        let mut t = TextTable::new("Ablation: CPU-occupation vs memory-bandwidth noise (Babelstream)")
-            .header(&["noise kind", "Rm (s)", "RmHK2 (s)", "HK2 benefit"]);
+        let mut t =
+            TextTable::new("Ablation: CPU-occupation vs memory-bandwidth noise (Babelstream)")
+                .header(&["noise kind", "Rm (s)", "RmHK2 (s)", "HK2 benefit"]);
         t.row(&[
             "cpu storm".to_string(),
             format!("{:.3}", self.cpu_rm),
@@ -206,13 +220,22 @@ pub fn memory_noise_ablation(scale: Scale, small: bool) -> MemoryNoiseAblation {
             mean_interval: SimDuration::from_micros(55),
             service: SimDuration::from_micros(50),
         },
-        window: (SimDuration::from_millis(1_200), SimDuration::from_millis(1_201)),
+        window: (
+            SimDuration::from_millis(1_200),
+            SimDuration::from_millis(1_201),
+        ),
         start: (SimDuration::from_millis(10), SimDuration::from_millis(11)),
     };
     let memhog = AnomalySpec {
         name: "ablation-memhog".into(),
-        kind: AnomalyKind::MemoryHog { threads: 3, bytes_per_burst: 4_000_000.0 },
-        window: (SimDuration::from_millis(1_200), SimDuration::from_millis(1_201)),
+        kind: AnomalyKind::MemoryHog {
+            threads: 3,
+            bytes_per_burst: 4_000_000.0,
+        },
+        window: (
+            SimDuration::from_millis(1_200),
+            SimDuration::from_millis(1_201),
+        ),
         start: (SimDuration::from_millis(10), SimDuration::from_millis(11)),
     };
 
@@ -221,7 +244,14 @@ pub fn memory_noise_ablation(scale: Scale, small: bool) -> MemoryNoiseAblation {
         p.noise.anomaly_prob = 1.0;
         p.noise.anomalies = vec![anomaly.clone()];
         let cfg = ExecConfig::new(Model::Omp, mit);
-        let b = run_baseline(&p, workload.as_ref(), &cfg, scale.inject_runs, 12_345, false);
+        let b = run_baseline(
+            &p,
+            workload.as_ref(),
+            &cfg,
+            scale.inject_runs,
+            12_345,
+            false,
+        );
         b.summary.mean
     };
 
@@ -249,7 +279,12 @@ mod tests {
         };
         assert!(m.render().contains("naive-pessimistic"));
 
-        let a = MemoryNoiseAblation { cpu_rm: 1.2, cpu_hk2: 1.0, mem_rm: 1.3, mem_hk2: 1.28 };
+        let a = MemoryNoiseAblation {
+            cpu_rm: 1.2,
+            cpu_hk2: 1.0,
+            mem_rm: 1.3,
+            mem_hk2: 1.28,
+        };
         assert!(a.cpu_gain() > a.mem_gain());
         assert!(a.render().contains("memory hog"));
     }

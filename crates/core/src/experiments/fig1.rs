@@ -30,11 +30,17 @@ pub struct Fig1 {
 impl Fig1 {
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (name, points) in
-            [("A64FX:reserved", &self.reserved), ("A64FX:w/o", &self.unreserved)]
-        {
-            let mut t = TextTable::new(format!("Figure 1: schedbench on {name}"))
-                .header(&["sched", "median(ms)", "p10(ms)", "p90(ms)", "s.d.(ms)"]);
+        for (name, points) in [
+            ("A64FX:reserved", &self.reserved),
+            ("A64FX:w/o", &self.unreserved),
+        ] {
+            let mut t = TextTable::new(format!("Figure 1: schedbench on {name}")).header(&[
+                "sched",
+                "median(ms)",
+                "p10(ms)",
+                "p90(ms)",
+                "s.d.(ms)",
+            ]);
             for p in points {
                 t.row(&[
                     p.label.clone(),
@@ -47,9 +53,8 @@ impl Fig1 {
             out.push_str(&t.render());
         }
         // Headline comparison.
-        let avg = |ps: &[SpreadPoint]| {
-            ps.iter().map(|p| p.sd_ms).sum::<f64>() / ps.len().max(1) as f64
-        };
+        let avg =
+            |ps: &[SpreadPoint]| ps.iter().map(|p| p.sd_ms).sum::<f64>() / ps.len().max(1) as f64;
         out.push_str(&format!(
             "average s.d.: reserved {:.2} ms vs w/o {:.2} ms\n",
             avg(&self.reserved),
@@ -76,15 +81,8 @@ fn measure(platform: &Platform, scale: Scale, small: bool) -> Vec<SpreadPoint> {
             sb.repeats = 200;
         }
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm).with_schedule(schedule);
-        let raw = crate::harness::run_many(
-            platform,
-            &sb,
-            &cfg,
-            scale.baseline_runs,
-            3_000,
-            false,
-            None,
-        );
+        let raw =
+            crate::harness::run_many(platform, &sb, &cfg, scale.baseline_runs, 3_000, false, None);
         let secs: Vec<f64> = raw.iter().map(|o| o.exec.as_secs_f64()).collect();
         let summary = noiselab_stats::Summary::of(&secs);
         points.push(SpreadPoint {
@@ -121,7 +119,10 @@ mod tests {
             p90_ms: 105.0,
             sd_ms: 2.0,
         };
-        let f = Fig1 { reserved: vec![p.clone()], unreserved: vec![p] };
+        let f = Fig1 {
+            reserved: vec![p.clone()],
+            unreserved: vec![p],
+        };
         let s = f.render();
         assert!(s.contains("A64FX:reserved"));
         assert!(s.contains("A64FX:w/o"));

@@ -28,11 +28,17 @@ pub struct Fig2 {
 impl Fig2 {
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for (name, points) in
-            [("A64FX:reserved", &self.reserved), ("A64FX:w/o", &self.unreserved)]
-        {
-            let mut t = TextTable::new(format!("Figure 2: Babelstream dot on {name}"))
-                .header(&["threads", "median(ms)", "p10(ms)", "p90(ms)", "s.d.(ms)"]);
+        for (name, points) in [
+            ("A64FX:reserved", &self.reserved),
+            ("A64FX:w/o", &self.unreserved),
+        ] {
+            let mut t = TextTable::new(format!("Figure 2: Babelstream dot on {name}")).header(&[
+                "threads",
+                "median(ms)",
+                "p10(ms)",
+                "p90(ms)",
+                "s.d.(ms)",
+            ]);
             for p in points {
                 t.row(&[
                     p.threads.to_string(),
@@ -49,7 +55,11 @@ impl Fig2 {
 
     /// s.d. at the maximum thread count of each system.
     pub fn full_occupancy_sd(points: &[ThreadPoint]) -> f64 {
-        points.iter().max_by_key(|p| p.threads).map(|p| p.sd_ms).unwrap_or(0.0)
+        points
+            .iter()
+            .max_by_key(|p| p.threads)
+            .map(|p| p.sd_ms)
+            .unwrap_or(0.0)
     }
 }
 
@@ -78,7 +88,11 @@ fn measure(platform: &Platform, scale: Scale, small: bool, threads: &[usize]) ->
 
 /// Run the Figure 2 experiment.
 pub fn run(scale: Scale, small: bool) -> Fig2 {
-    let threads: &[usize] = if small { &[12, 48] } else { &[6, 12, 24, 36, 48] };
+    let threads: &[usize] = if small {
+        &[12, 48]
+    } else {
+        &[6, 12, 24, 36, 48]
+    };
     let reserved = scale.boost(&Platform::a64fx(true));
     let unreserved = scale.boost(&Platform::a64fx(false));
     Fig2 {
@@ -106,8 +120,17 @@ mod tests {
 
     #[test]
     fn render_contains_thread_counts() {
-        let p = ThreadPoint { threads: 48, median_ms: 5.0, p10_ms: 4.0, p90_ms: 9.0, sd_ms: 2.0 };
-        let f = Fig2 { reserved: vec![p.clone()], unreserved: vec![p] };
+        let p = ThreadPoint {
+            threads: 48,
+            median_ms: 5.0,
+            p10_ms: 4.0,
+            p90_ms: 9.0,
+            sd_ms: 2.0,
+        };
+        let f = Fig2 {
+            reserved: vec![p.clone()],
+            unreserved: vec![p],
+        };
         assert!(f.render().contains("48"));
     }
 }

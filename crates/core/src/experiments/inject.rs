@@ -90,9 +90,7 @@ impl WorkloadKind {
             (WorkloadKind::NBody, false) => Box::new(suite::nbody_for(platform)),
             (WorkloadKind::NBody, true) => Box::new(suite::small::nbody_for(platform)),
             (WorkloadKind::Babelstream, false) => Box::new(suite::babelstream_for(platform)),
-            (WorkloadKind::Babelstream, true) => {
-                Box::new(suite::small::babelstream_for(platform))
-            }
+            (WorkloadKind::Babelstream, true) => Box::new(suite::small::babelstream_for(platform)),
             (WorkloadKind::MiniFE, false) => Box::new(suite::minife_for(platform)),
             (WorkloadKind::MiniFE, true) => Box::new(suite::small::minife_for(platform)),
         }
@@ -164,8 +162,8 @@ pub struct InjectionTable {
 
 impl InjectionTable {
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(&self.title)
-            .header(&["", "Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2"]);
+        let mut t =
+            TextTable::new(&self.title).header(&["", "Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2"]);
         for block in &self.blocks {
             t.row(&[format!("--- {} ---", block.platform), String::new()]);
             for row in &block.rows {
@@ -216,7 +214,12 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
                 true,
             );
             let cfg = generate(
-                format!("{}/{}/{}", spec.workload.name(), pspec.platform.label(), source.label),
+                format!(
+                    "{}/{}/{}",
+                    spec.workload.name(),
+                    pspec.platform.label(),
+                    source.label
+                ),
                 &traced.traces,
                 &GeneratorOptions::default(),
             )
@@ -258,7 +261,10 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
         for (ri, row) in pspec.rows.iter().enumerate() {
             let base = baseline_for(row.model, row.smt);
             let config = &configs[row.trace];
-            let mut cells = [Cell { base_mean: 0.0, inj_mean: 0.0 }; 6];
+            let mut cells = [Cell {
+                base_mean: 0.0,
+                inj_mean: 0.0,
+            }; 6];
             for (i, &mit) in Mitigation::ALL.iter().enumerate() {
                 let mut cfg = ExecConfig::new(row.model, mit);
                 if row.smt {
@@ -272,7 +278,10 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
                     scale.inject_runs,
                     100_000 + 1_000 * ri as u64 + 50 * i as u64,
                 );
-                cells[i] = Cell { base_mean: base[i], inj_mean: inj.mean };
+                cells[i] = Cell {
+                    base_mean: base[i],
+                    inj_mean: inj.mean,
+                };
             }
             rows.push(RowResult {
                 label: row.label(),
@@ -286,9 +295,9 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
         // --- accuracy: each trace source evaluated on its own config ----
         for (ti, source) in pspec.traces.iter().enumerate() {
             // Find the row + cell matching the source configuration.
-            let matching = rows.iter().find(|r| {
-                r.model == source.cfg.model && r.smt == source.cfg.smt && r.trace == ti
-            });
+            let matching = rows
+                .iter()
+                .find(|r| r.model == source.cfg.model && r.smt == source.cfg.smt && r.trace == ti);
             if let Some(row) = matching {
                 let mit_idx = Mitigation::ALL
                     .iter()
@@ -305,10 +314,18 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
             }
         }
 
-        blocks.push(Block { platform: pspec.platform.label().to_string(), rows });
+        blocks.push(Block {
+            platform: pspec.platform.label().to_string(),
+            rows,
+        });
     }
 
-    InjectionTable { title: spec.title.clone(), workload: spec.workload, blocks, accuracy }
+    InjectionTable {
+        title: spec.title.clone(),
+        workload: spec.workload,
+        blocks,
+        accuracy,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -328,20 +345,52 @@ pub fn table3_spec() -> TableSpec {
                     TraceSource::new(Model::Omp, Mitigation::Tp, false),
                 ],
                 rows: vec![
-                    RowSpec { model: Model::Omp, smt: false, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 0 },
-                    RowSpec { model: Model::Omp, smt: false, trace: 1 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 1 },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 1,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 1,
+                    },
                 ],
             },
             PlatformSpec {
                 platform: Platform::amd(),
                 traces: vec![TraceSource::new(Model::Omp, Mitigation::Rm, true)],
                 rows: vec![
-                    RowSpec { model: Model::Omp, smt: false, trace: 0 },
-                    RowSpec { model: Model::Omp, smt: true, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: true, trace: 0 },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: true,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: true,
+                        trace: 0,
+                    },
                 ],
             },
         ],
@@ -351,8 +400,7 @@ pub fn table3_spec() -> TableSpec {
 /// Table 4: Babelstream under injection.
 pub fn table4_spec() -> TableSpec {
     TableSpec {
-        title: "Table 4: Babelstream — avg exec (s) and change vs baseline under injection"
-            .into(),
+        title: "Table 4: Babelstream — avg exec (s) and change vs baseline under injection".into(),
         workload: WorkloadKind::Babelstream,
         platforms: vec![
             PlatformSpec {
@@ -362,20 +410,52 @@ pub fn table4_spec() -> TableSpec {
                     TraceSource::new(Model::Omp, Mitigation::Tp, false),
                 ],
                 rows: vec![
-                    RowSpec { model: Model::Omp, smt: false, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 0 },
-                    RowSpec { model: Model::Omp, smt: false, trace: 1 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 1 },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 1,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 1,
+                    },
                 ],
             },
             PlatformSpec {
                 platform: Platform::amd(),
                 traces: vec![TraceSource::new(Model::Sycl, Mitigation::Tp, false)],
                 rows: vec![
-                    RowSpec { model: Model::Omp, smt: false, trace: 0 },
-                    RowSpec { model: Model::Omp, smt: true, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: true, trace: 0 },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: true,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: true,
+                        trace: 0,
+                    },
                 ],
             },
         ],
@@ -395,10 +475,26 @@ pub fn table5_spec() -> TableSpec {
                     TraceSource::new(Model::Omp, Mitigation::TpHK2, false),
                 ],
                 rows: vec![
-                    RowSpec { model: Model::Omp, smt: false, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 0 },
-                    RowSpec { model: Model::Omp, smt: false, trace: 1 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 1 },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 1,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 1,
+                    },
                 ],
             },
             PlatformSpec {
@@ -408,14 +504,46 @@ pub fn table5_spec() -> TableSpec {
                     TraceSource::new(Model::Sycl, Mitigation::RmHK2, false),
                 ],
                 rows: vec![
-                    RowSpec { model: Model::Omp, smt: false, trace: 0 },
-                    RowSpec { model: Model::Omp, smt: true, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 0 },
-                    RowSpec { model: Model::Sycl, smt: true, trace: 0 },
-                    RowSpec { model: Model::Omp, smt: false, trace: 1 },
-                    RowSpec { model: Model::Omp, smt: true, trace: 1 },
-                    RowSpec { model: Model::Sycl, smt: false, trace: 1 },
-                    RowSpec { model: Model::Sycl, smt: true, trace: 1 },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: true,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: true,
+                        trace: 0,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: false,
+                        trace: 1,
+                    },
+                    RowSpec {
+                        model: Model::Omp,
+                        smt: true,
+                        trace: 1,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: false,
+                        trace: 1,
+                    },
+                    RowSpec {
+                        model: Model::Sycl,
+                        smt: true,
+                        trace: 1,
+                    },
                 ],
             },
         ],
@@ -454,13 +582,22 @@ mod tests {
 
     #[test]
     fn trace_source_labels() {
-        assert_eq!(TraceSource::new(Model::Omp, Mitigation::Rm, true).label, "Rm-SMT-OMP");
-        assert_eq!(TraceSource::new(Model::Sycl, Mitigation::TpHK2, false).label, "TPHK2-SYCL");
+        assert_eq!(
+            TraceSource::new(Model::Omp, Mitigation::Rm, true).label,
+            "Rm-SMT-OMP"
+        );
+        assert_eq!(
+            TraceSource::new(Model::Sycl, Mitigation::TpHK2, false).label,
+            "TPHK2-SYCL"
+        );
     }
 
     #[test]
     fn cell_pct() {
-        let c = Cell { base_mean: 1.0, inj_mean: 1.25 };
+        let c = Cell {
+            base_mean: 1.0,
+            inj_mean: 1.25,
+        };
         assert!((c.pct() - 0.25).abs() < 1e-12);
     }
 }

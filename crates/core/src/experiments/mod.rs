@@ -38,17 +38,32 @@ pub struct Scale {
 impl Scale {
     /// Minimal scale for integration tests.
     pub fn smoke() -> Scale {
-        Scale { traced_runs: 10, baseline_runs: 8, inject_runs: 5, anomaly_boost: 30.0 }
+        Scale {
+            traced_runs: 10,
+            baseline_runs: 8,
+            inject_runs: 5,
+            anomaly_boost: 30.0,
+        }
     }
 
     /// Default scale for `cargo bench`.
     pub fn bench() -> Scale {
-        Scale { traced_runs: 30, baseline_runs: 20, inject_runs: 12, anomaly_boost: 10.0 }
+        Scale {
+            traced_runs: 30,
+            baseline_runs: 20,
+            inject_runs: 12,
+            anomaly_boost: 10.0,
+        }
     }
 
     /// The paper's replication counts.
     pub fn paper() -> Scale {
-        Scale { traced_runs: 1000, baseline_runs: 1000, inject_runs: 200, anomaly_boost: 1.0 }
+        Scale {
+            traced_runs: 1000,
+            baseline_runs: 1000,
+            inject_runs: 200,
+            anomaly_boost: 1.0,
+        }
     }
 
     /// Scale selected by `NOISELAB_SCALE` (default: bench).
@@ -74,7 +89,10 @@ mod tests {
 
     #[test]
     fn boost_caps_probability() {
-        let s = Scale { anomaly_boost: 1000.0, ..Scale::smoke() };
+        let s = Scale {
+            anomaly_boost: 1000.0,
+            ..Scale::smoke()
+        };
         let p = s.boost(&Platform::intel());
         assert!(p.noise.anomaly_prob <= 0.5);
     }

@@ -33,7 +33,11 @@ pub fn numa_platform() -> Platform {
         window: (SimDuration::from_millis(50), SimDuration::from_millis(300)),
         start: (SimDuration::from_millis(2), SimDuration::from_millis(10)),
     }];
-    Platform { machine: Machine::epyc_numa(), noise, run_jitter_sd: 0.001 }
+    Platform {
+        machine: Machine::epyc_numa(),
+        noise,
+        run_jitter_sd: 0.001,
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -52,10 +56,15 @@ pub struct NumaComparison {
 
 impl NumaComparison {
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(
-            "NUMA extension: N-body on a 128-core 8-domain node under node noise",
-        )
-        .header(&["config", "mean (s)", "s.d. (ms)", "migr/run", "cross-NUMA/run"]);
+        let mut t =
+            TextTable::new("NUMA extension: N-body on a 128-core 8-domain node under node noise")
+                .header(&[
+                    "config",
+                    "mean (s)",
+                    "s.d. (ms)",
+                    "migr/run",
+                    "cross-NUMA/run",
+                ]);
         for r in &self.rows {
             t.row(&[
                 r.label.clone(),
@@ -82,23 +91,24 @@ impl NumaComparison {
 pub fn run(runs: usize, small: bool) -> NumaComparison {
     let platform = numa_platform();
     let workload = if small {
-        NBody { bodies: 48_000, steps: 3, sycl_kernel_efficiency: 1.3 }
+        NBody {
+            bodies: 48_000,
+            steps: 3,
+            sycl_kernel_efficiency: 1.3,
+        }
     } else {
-        NBody { bodies: 120_000, steps: 5, sycl_kernel_efficiency: 1.3 }
+        NBody {
+            bodies: 120_000,
+            steps: 5,
+            sycl_kernel_efficiency: 1.3,
+        }
     };
 
     let mut rows = Vec::new();
     for (label, mitigation) in [("Rm-OMP", Mitigation::Rm), ("TP-OMP", Mitigation::Tp)] {
         let cfg = ExecConfig::new(Model::Omp, mitigation);
-        let outputs = crate::harness::run_many(
-            &platform,
-            &workload,
-            &cfg,
-            runs,
-            77_000,
-            false,
-            None,
-        );
+        let outputs =
+            crate::harness::run_many(&platform, &workload, &cfg, runs, 77_000, false, None);
         let secs: Vec<f64> = outputs.iter().map(|o| o.exec.as_secs_f64()).collect();
         let summary = noiselab_stats::Summary::of(&secs);
         // Migration counts need kernel introspection; probe a few seeds

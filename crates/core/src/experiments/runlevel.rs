@@ -66,8 +66,22 @@ pub fn run(scale: Scale, small: bool) -> RunlevelComparison {
     let mut rows = Vec::new();
     for mit in Mitigation::ALL {
         let cfg = ExecConfig::new(Model::Omp, mit);
-        let b5 = run_baseline(&rl5, workload.as_ref(), &cfg, scale.baseline_runs, 4_500, false);
-        let b3 = run_baseline(&rl3, workload.as_ref(), &cfg, scale.baseline_runs, 4_500, false);
+        let b5 = run_baseline(
+            &rl5,
+            workload.as_ref(),
+            &cfg,
+            scale.baseline_runs,
+            4_500,
+            false,
+        );
+        let b3 = run_baseline(
+            &rl3,
+            workload.as_ref(),
+            &cfg,
+            scale.baseline_runs,
+            4_500,
+            false,
+        );
         rows.push(RunlevelRow {
             mitigation: mit,
             sd_rl5_ms: b5.summary.sd * 1e3,
@@ -84,7 +98,11 @@ mod tests {
     #[test]
     fn render_shape() {
         let c = RunlevelComparison {
-            rows: vec![RunlevelRow { mitigation: Mitigation::Rm, sd_rl5_ms: 7.0, sd_rl3_ms: 5.0 }],
+            rows: vec![RunlevelRow {
+                mitigation: Mitigation::Rm,
+                sd_rl5_ms: 7.0,
+                sd_rl3_ms: 5.0,
+            }],
         };
         let s = c.render();
         assert!(s.contains("runlevel 3"));

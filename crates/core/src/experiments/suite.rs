@@ -16,7 +16,10 @@ fn is_amd(platform: &Platform) -> bool {
 /// N-body sized to the platform (Intel ~0.45 s, AMD ~0.67 s OMP-Rm).
 pub fn nbody_for(platform: &Platform) -> NBody {
     if is_amd(platform) {
-        NBody { bodies: 76_800, ..NBody::default() }
+        NBody {
+            bodies: 76_800,
+            ..NBody::default()
+        }
     } else {
         NBody::default()
     }
@@ -25,18 +28,30 @@ pub fn nbody_for(platform: &Platform) -> NBody {
 /// Babelstream sized to the platform (Intel ~1.9 s, AMD ~0.79 s OMP-Rm).
 pub fn babelstream_for(platform: &Platform) -> Babelstream {
     if is_amd(platform) {
-        Babelstream { elements: 5_280_000, ..Babelstream::default() }
+        Babelstream {
+            elements: 5_280_000,
+            ..Babelstream::default()
+        }
     } else {
-        Babelstream { elements: 7_100_000, ..Babelstream::default() }
+        Babelstream {
+            elements: 7_100_000,
+            ..Babelstream::default()
+        }
     }
 }
 
 /// MiniFE sized to the platform (Intel ~1.06 s, AMD ~0.72 s OMP-Rm).
 pub fn minife_for(platform: &Platform) -> MiniFE {
     if is_amd(platform) {
-        MiniFE { nx: 74, ..MiniFE::default() }
+        MiniFE {
+            nx: 74,
+            ..MiniFE::default()
+        }
     } else {
-        MiniFE { nx: 70, ..MiniFE::default() }
+        MiniFE {
+            nx: 70,
+            ..MiniFE::default()
+        }
     }
 }
 

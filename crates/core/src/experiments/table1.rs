@@ -57,11 +57,33 @@ pub fn run(scale: Scale) -> Table1 {
     let mut rows = Vec::new();
     for w in &workloads {
         // Same seeds for off/on: the only difference is the tracer.
-        let off = run_many(&platform, w.as_ref(), &cfg, scale.baseline_runs, 1000, false, None);
-        let on = run_many(&platform, w.as_ref(), &cfg, scale.baseline_runs, 1000, true, None);
-        let off_mean = Summary::of(&off.iter().map(|o| o.exec.as_secs_f64()).collect::<Vec<_>>()).mean;
-        let on_mean = Summary::of(&on.iter().map(|o| o.exec.as_secs_f64()).collect::<Vec<_>>()).mean;
-        rows.push(Row { workload: w.name().to_string(), off_mean, on_mean });
+        let off = run_many(
+            &platform,
+            w.as_ref(),
+            &cfg,
+            scale.baseline_runs,
+            1000,
+            false,
+            None,
+        );
+        let on = run_many(
+            &platform,
+            w.as_ref(),
+            &cfg,
+            scale.baseline_runs,
+            1000,
+            true,
+            None,
+        );
+        let off_mean =
+            Summary::of(&off.iter().map(|o| o.exec.as_secs_f64()).collect::<Vec<_>>()).mean;
+        let on_mean =
+            Summary::of(&on.iter().map(|o| o.exec.as_secs_f64()).collect::<Vec<_>>()).mean;
+        rows.push(Row {
+            workload: w.name().to_string(),
+            off_mean,
+            on_mean,
+        });
     }
     Table1 { rows }
 }
@@ -90,7 +112,11 @@ mod tests {
     #[test]
     fn render_shape() {
         let t = Table1 {
-            rows: vec![Row { workload: "nbody".into(), off_mean: 0.45, on_mean: 0.453 }],
+            rows: vec![Row {
+                workload: "nbody".into(),
+                off_mean: 0.45,
+                on_mean: 0.453,
+            }],
         };
         let s = t.render();
         assert!(s.contains("nbody"));

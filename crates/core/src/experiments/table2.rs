@@ -6,7 +6,7 @@ use crate::execconfig::{ExecConfig, Mitigation, Model};
 use crate::experiments::{suite, Scale};
 use crate::harness::run_baseline;
 use crate::platform::Platform;
-use noiselab_stats::{TextTable};
+use noiselab_stats::TextTable;
 use noiselab_workloads::Workload;
 
 #[derive(Debug, Clone)]
@@ -63,9 +63,8 @@ pub fn run(scale: Scale) -> Table2 {
                     // Seeds vary per workload and model (independent
                     // anomaly dice) but are shared across mitigations
                     // (paired columns).
-                    let seed = 9_000
-                        + 10_000 * wi as u64
-                        + 100_000 * matches!(model, Model::Sycl) as u64;
+                    let seed =
+                        9_000 + 10_000 * wi as u64 + 100_000 * matches!(model, Model::Sycl) as u64;
                     let base = run_baseline(
                         &platform,
                         w.as_ref(),
@@ -97,7 +96,10 @@ mod tests {
 
     #[test]
     fn render_has_all_columns() {
-        let t = Table2 { omp: [7.8, 6.0, 10.0, 5.9, 7.5, 8.7], sycl: [7.2, 7.8, 5.6, 6.8, 7.6, 5.4] };
+        let t = Table2 {
+            omp: [7.8, 6.0, 10.0, 5.9, 7.5, 8.7],
+            sycl: [7.2, 7.8, 5.6, 6.8, 7.6, 5.4],
+        };
         let s = t.render();
         assert!(s.contains("RmHK2"));
         assert!(s.contains("7.80"));

@@ -37,7 +37,10 @@ impl Table6 {
             }
             out
         };
-        Table6 { omp: avg(0), sycl: avg(1) }
+        Table6 {
+            omp: avg(0),
+            sycl: avg(1),
+        }
     }
 
     /// The paper's headline: SYCL's average improvement over OMP in
@@ -49,8 +52,9 @@ impl Table6 {
     }
 
     pub fn render(&self) -> String {
-        let mut t = TextTable::new("Table 6: average relative performance change (%) under injection")
-            .header(&["", "Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2"]);
+        let mut t =
+            TextTable::new("Table 6: average relative performance change (%) under injection")
+                .header(&["", "Rm", "RmHK", "RmHK2", "TP", "TPHK", "TPHK2"]);
         let fmt = |xs: &[f64; 6]| xs.iter().map(|x| format!("{x:.2}")).collect::<Vec<_>>();
         let mut row = vec!["OMP".to_string()];
         row.extend(fmt(&self.omp));
@@ -73,8 +77,10 @@ mod tests {
     use crate::experiments::inject::{Block, Cell, RowResult, WorkloadKind};
 
     fn table_with(model: Model, pcts: [f64; 6]) -> InjectionTable {
-        let cells =
-            pcts.map(|p| Cell { base_mean: 1.0, inj_mean: 1.0 + p });
+        let cells = pcts.map(|p| Cell {
+            base_mean: 1.0,
+            inj_mean: 1.0 + p,
+        });
         InjectionTable {
             title: "t".into(),
             workload: WorkloadKind::NBody,

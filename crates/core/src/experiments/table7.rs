@@ -12,7 +12,9 @@ pub struct Table7 {
 
 impl Table7 {
     pub fn from_tables(tables: &[crate::experiments::inject::InjectionTable]) -> Table7 {
-        Table7 { records: tables.iter().flat_map(|t| t.accuracy.clone()).collect() }
+        Table7 {
+            records: tables.iter().flat_map(|t| t.accuracy.clone()).collect(),
+        }
     }
 
     /// Mean absolute accuracy (the paper reports 8.57 %).
@@ -51,7 +53,11 @@ mod tests {
     fn mean_abs_uses_absolute_values() {
         let t = Table7 {
             records: vec![
-                AccuracyRecord { workload: "N-body".into(), config_label: "Rm-OMP".into(), error: 0.04 },
+                AccuracyRecord {
+                    workload: "N-body".into(),
+                    config_label: "Rm-OMP".into(),
+                    error: 0.04,
+                },
                 AccuracyRecord {
                     workload: "Babelstream".into(),
                     config_label: "TP-OMP".into(),

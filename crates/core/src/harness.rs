@@ -27,11 +27,34 @@ pub struct RunOutput {
     pub anomaly: Option<String>,
 }
 
-/// Execute one run. Fully deterministic in `seed`.
+/// Execute one run with the default kernel configuration. Fully
+/// deterministic in `seed`.
 pub fn run_once(
     platform: &Platform,
     workload: &dyn Workload,
     cfg: &ExecConfig,
+    seed: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+) -> RunOutput {
+    run_once_with(
+        platform,
+        workload,
+        cfg,
+        &KernelConfig::default(),
+        seed,
+        tracing,
+        inject,
+    )
+}
+
+/// Execute one run under an explicit [`KernelConfig`] — the entry point
+/// for kernel ablations such as the eager-vs-tickless equivalence suite.
+pub fn run_once_with(
+    platform: &Platform,
+    workload: &dyn Workload,
+    cfg: &ExecConfig,
+    kconfig: &KernelConfig,
     seed: u64,
     tracing: bool,
     inject: Option<&InjectionConfig>,
@@ -52,7 +75,7 @@ pub fn run_once(
         machine.perf.per_core_bw *= f;
         machine.perf.socket_bw *= f;
     }
-    let mut kernel = Kernel::new(machine.clone(), KernelConfig::default(), seed);
+    let mut kernel = Kernel::new(machine.clone(), kconfig.clone(), seed);
 
     // Natural background noise; the anomaly dice use an independent
     // stream so they do not correlate with intra-run event jitter.
@@ -106,7 +129,11 @@ pub fn run_once(
                 workload.name(),
                 cfg.label()
             ),
-            Err(RunError::Drained) => unreachable!("ticks keep the queue non-empty"),
+            Err(RunError::Drained) => panic!(
+                "{}/{} deadlocked: event queue drained with worker {w} alive (seed {seed})",
+                workload.name(),
+                cfg.label()
+            ),
         }
     }
     let exec = end.since(SimTime::ZERO);
@@ -116,7 +143,11 @@ pub fn run_once(
         b.take_trace(0, exec)
     });
 
-    RunOutput { exec, trace, anomaly: installed.anomaly }
+    RunOutput {
+        exec,
+        trace,
+        anomaly: installed.anomaly,
+    }
 }
 
 /// Execute `n_runs` runs with seeds `seed_base..seed_base + n_runs`,
@@ -130,21 +161,32 @@ pub fn run_many(
     tracing: bool,
     inject: Option<&InjectionConfig>,
 ) -> Vec<RunOutput> {
-    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let host_threads = host_threads.min(n_runs.max(1));
-    let results: Vec<std::sync::Mutex<Option<RunOutput>>> =
-        (0..n_runs).map(|_| std::sync::Mutex::new(None)).collect();
+    if n_runs == 0 {
+        return Vec::new();
+    }
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let host_threads = host_threads.min(n_runs);
+    let mut results: Vec<Option<RunOutput>> = Vec::new();
+    results.resize_with(n_runs, || None);
 
+    // Hand each host thread a contiguous, exclusively owned chunk of the
+    // result vector: no locks, and results land already ordered by seed.
+    let chunk = n_runs.div_ceil(host_threads);
     std::thread::scope(|scope| {
-        for t in 0..host_threads {
-            let results = &results;
+        for (t, out) in results.chunks_mut(chunk).enumerate() {
             scope.spawn(move || {
-                let mut i = t;
-                while i < n_runs {
-                    let out =
-                        run_once(platform, workload, cfg, seed_base + i as u64, tracing, inject);
-                    *results[i].lock().unwrap() = Some(out);
-                    i += host_threads;
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let i = t * chunk + j;
+                    *slot = Some(run_once(
+                        platform,
+                        workload,
+                        cfg,
+                        seed_base + i as u64,
+                        tracing,
+                        inject,
+                    ));
                 }
             });
         }
@@ -152,10 +194,7 @@ pub fn run_many(
 
     results
         .into_iter()
-        .map(|m| {
-            let mut run = m.into_inner().unwrap();
-            run.take().expect("missing run result")
-        })
+        .map(|r| r.expect("missing run result"))
         .collect()
 }
 
@@ -190,7 +229,11 @@ pub fn run_baseline(
             traces.runs.push(t);
         }
     }
-    Baseline { summary: Summary::of(&samples), traces, anomaly_runs }
+    Baseline {
+        summary: Summary::of(&samples),
+        traces,
+        anomaly_runs,
+    }
 }
 
 /// Run the injection stage: repeat the workload with the injector
@@ -203,7 +246,15 @@ pub fn run_injected(
     n_runs: usize,
     seed_base: u64,
 ) -> Summary {
-    let outputs = run_many(platform, workload, cfg, n_runs, seed_base, false, Some(config));
+    let outputs = run_many(
+        platform,
+        workload,
+        cfg,
+        n_runs,
+        seed_base,
+        false,
+        Some(config),
+    );
     let samples: Vec<f64> = outputs.iter().map(|o| o.exec.as_secs_f64()).collect();
     Summary::of(&samples)
 }
@@ -216,7 +267,11 @@ mod tests {
 
     // Small but long enough (several ms) to span multiple timer ticks.
     fn tiny_nbody() -> NBody {
-        NBody { bodies: 4_096, steps: 3, sycl_kernel_efficiency: 1.3 }
+        NBody {
+            bodies: 4_096,
+            steps: 3,
+            sycl_kernel_efficiency: 1.3,
+        }
     }
 
     #[test]
@@ -228,7 +283,10 @@ mod tests {
         let b = run_once(&p, &w, &cfg, 42, false, None);
         assert_eq!(a.exec, b.exec);
         let c = run_once(&p, &w, &cfg, 43, false, None);
-        assert_ne!(a.exec, c.exec, "different seeds should give different noise");
+        assert_ne!(
+            a.exec, c.exec,
+            "different seeds should give different noise"
+        );
     }
 
     #[test]
@@ -248,7 +306,7 @@ mod tests {
         let p = Platform::intel();
         let w = tiny_nbody();
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
-        let base = run_baseline(&p, &w, &cfg, 3, 7, true, );
+        let base = run_baseline(&p, &w, &cfg, 3, 7, true);
         assert_eq!(base.traces.runs.len(), 3);
         for (i, t) in base.traces.runs.iter().enumerate() {
             assert_eq!(t.run_index, i);
@@ -261,9 +319,22 @@ mod tests {
     fn sycl_slower_than_omp_raw() {
         let p = Platform::intel();
         let w = tiny_nbody();
-        let omp = run_once(&p, &w, &ExecConfig::new(Model::Omp, Mitigation::Rm), 1, false, None);
-        let sycl =
-            run_once(&p, &w, &ExecConfig::new(Model::Sycl, Mitigation::Rm), 1, false, None);
+        let omp = run_once(
+            &p,
+            &w,
+            &ExecConfig::new(Model::Omp, Mitigation::Rm),
+            1,
+            false,
+            None,
+        );
+        let sycl = run_once(
+            &p,
+            &w,
+            &ExecConfig::new(Model::Sycl, Mitigation::Rm),
+            1,
+            false,
+            None,
+        );
         assert!(
             sycl.exec.nanos() as f64 > omp.exec.nanos() as f64 * 1.1,
             "sycl {} vs omp {}",

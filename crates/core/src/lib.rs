@@ -12,5 +12,7 @@ pub mod harness;
 pub mod platform;
 
 pub use execconfig::{ExecConfig, Mitigation, Model};
-pub use harness::{run_baseline, run_injected, run_many, run_once, Baseline, RunOutput};
+pub use harness::{
+    run_baseline, run_injected, run_many, run_once, run_once_with, Baseline, RunOutput,
+};
 pub use platform::Platform;

@@ -56,7 +56,11 @@ impl Platform {
     /// system). Motivation Figs. 1-2.
     pub fn a64fx(reserved: bool) -> Platform {
         let machine = Machine::a64fx(reserved);
-        let os_affinity = if reserved { Some(machine.reserved_cpus) } else { None };
+        let os_affinity = if reserved {
+            Some(machine.reserved_cpus)
+        } else {
+            None
+        };
         Platform {
             machine,
             noise: NoiseProfile::hpc(os_affinity),
@@ -81,7 +85,10 @@ mod tests {
         assert_eq!(Platform::amd().machine.smt, 2);
         let reserved = Platform::a64fx(true);
         assert!(reserved.noise.os_affinity.is_some());
-        assert_eq!(reserved.noise.os_affinity.unwrap(), reserved.machine.reserved_cpus);
+        assert_eq!(
+            reserved.noise.os_affinity.unwrap(),
+            reserved.machine.reserved_cpus
+        );
         assert!(Platform::a64fx(false).noise.os_affinity.is_none());
     }
 

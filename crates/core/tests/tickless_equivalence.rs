@@ -1,0 +1,145 @@
+//! Determinism-equivalence gate for the tickless-idle kernel: for every
+//! workload × runtime model × platform cell, an eager-tick run and a
+//! tickless run at the same seed must produce identical execution times
+//! and identical busy-CPU traces. This is what licenses shipping
+//! tickless as the default for paper-scale (1000-run) replication.
+
+use noiselab_core::harness::run_once_with;
+use noiselab_core::{ExecConfig, Mitigation, Model, Platform};
+use noiselab_kernel::KernelConfig;
+use noiselab_workloads::{Babelstream, MiniFE, NBody, Workload};
+
+fn eager() -> KernelConfig {
+    KernelConfig {
+        tickless: false,
+        ..KernelConfig::default()
+    }
+}
+
+fn tickless() -> KernelConfig {
+    let cfg = KernelConfig::default();
+    assert!(cfg.tickless, "tickless must be the default kernel mode");
+    cfg
+}
+
+fn platforms() -> Vec<(&'static str, Platform)> {
+    vec![
+        ("intel", Platform::intel()),
+        ("amd", Platform::amd()),
+        ("a64fx", Platform::a64fx(false)),
+    ]
+}
+
+/// Scaled-down instances of the paper's three core workloads — small
+/// enough for a test matrix, long enough to span many timer ticks.
+fn workloads() -> Vec<(&'static str, Box<dyn Workload + Sync>)> {
+    vec![
+        (
+            "nbody",
+            Box::new(NBody {
+                bodies: 2_048,
+                steps: 2,
+                sycl_kernel_efficiency: 1.3,
+            }),
+        ),
+        (
+            "babelstream",
+            Box::new(Babelstream {
+                elements: 200_000,
+                iterations: 3,
+                ..Babelstream::default()
+            }),
+        ),
+        (
+            "minife",
+            Box::new(MiniFE {
+                nx: 16,
+                cg_iterations: 6,
+                ..MiniFE::default()
+            }),
+        ),
+    ]
+}
+
+fn assert_cell_equivalent(
+    platform: &Platform,
+    pname: &str,
+    workload: &dyn Workload,
+    wname: &str,
+    cfg: &ExecConfig,
+    seed: u64,
+) {
+    let e = run_once_with(platform, workload, cfg, &eager(), seed, true, None);
+    let t = run_once_with(platform, workload, cfg, &tickless(), seed, true, None);
+    assert_eq!(
+        e.exec,
+        t.exec,
+        "exec time diverged: {pname}/{wname}/{} seed {seed}",
+        cfg.label()
+    );
+    // Busy CPUs must record exactly the same noise events; idle CPUs
+    // record none in either mode, so the whole trace must match.
+    assert_eq!(
+        e.trace,
+        t.trace,
+        "trace diverged: {pname}/{wname}/{} seed {seed}",
+        cfg.label()
+    );
+    assert_eq!(
+        e.anomaly, t.anomaly,
+        "anomaly diverged: {pname}/{wname} seed {seed}"
+    );
+}
+
+#[test]
+fn every_cell_is_equivalent_omp() {
+    for (pname, p) in platforms() {
+        for (wname, w) in workloads() {
+            let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
+            assert_cell_equivalent(&p, pname, w.as_ref(), wname, &cfg, 21);
+        }
+    }
+}
+
+#[test]
+fn every_cell_is_equivalent_sycl() {
+    for (pname, p) in platforms() {
+        for (wname, w) in workloads() {
+            let cfg = ExecConfig::new(Model::Sycl, Mitigation::Rm);
+            assert_cell_equivalent(&p, pname, w.as_ref(), wname, &cfg, 22);
+        }
+    }
+}
+
+#[test]
+fn mitigations_and_smt_cells_are_equivalent() {
+    // The mitigation axis changes which CPUs idle (housekeeping sets,
+    // SMT siblings) — exactly the CPUs whose ticks park. Cover the
+    // remaining configuration shapes on one platform/workload.
+    let p = Platform::intel();
+    let w = NBody {
+        bodies: 2_048,
+        steps: 2,
+        sycl_kernel_efficiency: 1.3,
+    };
+    for mitigation in [Mitigation::RmHK, Mitigation::Tp, Mitigation::TpHK] {
+        let cfg = ExecConfig::new(Model::Omp, mitigation);
+        assert_cell_equivalent(&p, "intel", &w, "nbody", &cfg, 23);
+    }
+    let smt = ExecConfig::new(Model::Omp, Mitigation::Rm).with_smt();
+    assert_cell_equivalent(&p, "intel", &w, "nbody", &smt, 24);
+}
+
+#[test]
+fn equivalence_holds_across_seeds() {
+    let p = Platform::amd();
+    let w = NBody {
+        bodies: 2_048,
+        steps: 2,
+        sycl_kernel_efficiency: 1.3,
+    };
+    let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
+    for seed in 100..110 {
+        assert_cell_equivalent(&p, "amd", &w, "nbody", &cfg, seed);
+    }
+}

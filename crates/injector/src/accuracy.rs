@@ -11,7 +11,10 @@ use noiselab_sim::SimDuration;
 /// Signed replication error: positive means injection ran slower than
 /// the anomaly it replays.
 pub fn replication_error(avg_exec: SimDuration, anomaly_exec: SimDuration) -> f64 {
-    assert!(anomaly_exec > SimDuration::ZERO, "anomaly exec time must be positive");
+    assert!(
+        anomaly_exec > SimDuration::ZERO,
+        "anomaly exec time must be positive"
+    );
     avg_exec.nanos() as f64 / anomaly_exec.nanos() as f64 - 1.0
 }
 
@@ -25,7 +28,11 @@ pub fn mean_accuracy(pairs: &[(SimDuration, SimDuration)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    pairs.iter().map(|&(a, b)| replication_accuracy(a, b)).sum::<f64>() / pairs.len() as f64
+    pairs
+        .iter()
+        .map(|&(a, b)| replication_accuracy(a, b))
+        .sum::<f64>()
+        / pairs.len() as f64
 }
 
 #[cfg(test)]

@@ -176,7 +176,10 @@ mod tests {
             anomaly_exec: SimDuration(0),
             lists: vec![CpuNoiseList {
                 cpu: CpuId(0),
-                events: vec![ev(500, 10, InjectPolicy::Fifo), ev(100, 10, InjectPolicy::Fifo)],
+                events: vec![
+                    ev(500, 10, InjectPolicy::Fifo),
+                    ev(100, 10, InjectPolicy::Fifo),
+                ],
             }],
         };
         assert!(cfg.validate().is_err());
@@ -187,7 +190,10 @@ mod tests {
         let cfg = InjectionConfig {
             origin: String::new(),
             anomaly_exec: SimDuration(0),
-            lists: vec![CpuNoiseList { cpu: CpuId(0), events: vec![ev(0, 0, InjectPolicy::Fifo)] }],
+            lists: vec![CpuNoiseList {
+                cpu: CpuId(0),
+                events: vec![ev(0, 0, InjectPolicy::Fifo)],
+            }],
         };
         assert!(cfg.validate().is_err());
     }

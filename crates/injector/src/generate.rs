@@ -20,7 +20,9 @@
 //!    interrupt-based and thread-based noise separate and boosts the
 //!    priority of thread-based noise (restoring accuracy to 5.70 %).
 
-use crate::config::{policy_for_class, CpuNoiseList, InjectPolicy, InjectionConfig, NoiseEventSpec};
+use crate::config::{
+    policy_for_class, CpuNoiseList, InjectPolicy, InjectionConfig, NoiseEventSpec,
+};
 use noiselab_kernel::NoiseClass;
 use noiselab_machine::CpuId;
 use noiselab_noise::{RunTrace, TraceEvent, TraceSet};
@@ -184,10 +186,17 @@ pub fn build_config(
             MergeStrategy::Improved => merge_by_category(&events, opts.thread_nice()),
         };
         if !merged.is_empty() {
-            lists.push(CpuNoiseList { cpu: CpuId(cpu), events: merged });
+            lists.push(CpuNoiseList {
+                cpu: CpuId(cpu),
+                events: merged,
+            });
         }
     }
-    InjectionConfig { origin: origin.into(), anomaly_exec, lists }
+    InjectionConfig {
+        origin: origin.into(),
+        anomaly_exec,
+        lists,
+    }
 }
 
 /// The complete pipeline: statistics → worst-case selection → delta
@@ -291,7 +300,11 @@ mod tests {
     }
 
     fn run(idx: usize, exec_ns: u64, events: Vec<TraceEvent>) -> RunTrace {
-        RunTrace { run_index: idx, exec_time: SimDuration(exec_ns), events }
+        RunTrace {
+            run_index: idx,
+            exec_time: SimDuration(exec_ns),
+            events,
+        }
     }
 
     #[test]
@@ -324,7 +337,11 @@ mod tests {
         let mut stats = BTreeMap::new();
         stats.insert(
             "kworker".to_string(),
-            SourceStats { avg_count: 1.0, avg_duration: SimDuration(200), total_count: 2 },
+            SourceStats {
+                avg_count: 1.0,
+                avg_duration: SimDuration(200),
+                total_count: 2,
+            },
         );
         let worst = run(
             0,
@@ -344,7 +361,11 @@ mod tests {
         let mut stats = BTreeMap::new();
         stats.insert(
             "kworker".to_string(),
-            SourceStats { avg_count: 1.0, avg_duration: SimDuration(1000), total_count: 1 },
+            SourceStats {
+                avg_count: 1.0,
+                avg_duration: SimDuration(1000),
+                total_count: 1,
+            },
         );
         let worst = run(0, 1000, vec![ev(0, NoiseClass::Thread, "kworker", 0, 4000)]);
         let res = subtract_average(&worst, &stats, SimDuration(100));
@@ -359,7 +380,11 @@ mod tests {
         let mut stats = BTreeMap::new();
         stats.insert(
             "a".to_string(),
-            SourceStats { avg_count: 2.0, avg_duration: SimDuration(100), total_count: 4 },
+            SourceStats {
+                avg_count: 2.0,
+                avg_duration: SimDuration(100),
+                total_count: 4,
+            },
         );
         let worst = run(
             0,
@@ -400,9 +425,14 @@ mod tests {
         let merged = merge_by_category(&events, -5);
         // Thread chain merged (0..2550 overlap), IRQ separate.
         assert_eq!(merged.len(), 2);
-        let fair: Vec<_> =
-            merged.iter().filter(|e| matches!(e.policy, InjectPolicy::Other { .. })).collect();
-        let rt: Vec<_> = merged.iter().filter(|e| e.policy == InjectPolicy::Fifo).collect();
+        let fair: Vec<_> = merged
+            .iter()
+            .filter(|e| matches!(e.policy, InjectPolicy::Other { .. }))
+            .collect();
+        let rt: Vec<_> = merged
+            .iter()
+            .filter(|e| e.policy == InjectPolicy::Fifo)
+            .collect();
         assert_eq!(fair.len(), 1);
         assert_eq!(fair[0].policy, InjectPolicy::Other { nice: -5 });
         assert_eq!(fair[0].duration, SimDuration(2550));
@@ -428,8 +458,16 @@ mod tests {
         // average frequency that rounds to zero and survive subtraction.
         let set = TraceSet {
             runs: vec![
-                run(0, 1_000, vec![ev(0, NoiseClass::Thread, "kworker", 10, 200)]),
-                run(1, 1_010, vec![ev(0, NoiseClass::Thread, "kworker", 12, 190)]),
+                run(
+                    0,
+                    1_000,
+                    vec![ev(0, NoiseClass::Thread, "kworker", 10, 200)],
+                ),
+                run(
+                    1,
+                    1_010,
+                    vec![ev(0, NoiseClass::Thread, "kworker", 12, 190)],
+                ),
                 run(2, 990, vec![ev(0, NoiseClass::Thread, "kworker", 9, 205)]),
                 run(
                     3,

@@ -28,7 +28,11 @@ enum Phase {
     /// Waiting to synchronise with peers and the workload.
     AwaitBarrier,
     /// Walking the event list; `origin` is the barrier release time.
-    Run { origin: Option<SimTime>, idx: usize, policy_set: bool },
+    Run {
+        origin: Option<SimTime>,
+        idx: usize,
+        policy_set: bool,
+    },
 }
 
 /// The behavior of one injector process (paper Listing 1).
@@ -58,10 +62,21 @@ impl Behavior for InjectorProcess {
                 Action::SetPolicy(InjectPolicy::Fifo.to_kernel())
             }
             Phase::AwaitBarrier => {
-                self.phase = Phase::Run { origin: None, idx: 0, policy_set: false };
-                Action::Barrier { id: self.start_barrier, spin: START_SPIN }
+                self.phase = Phase::Run {
+                    origin: None,
+                    idx: 0,
+                    policy_set: false,
+                };
+                Action::Barrier {
+                    id: self.start_barrier,
+                    spin: START_SPIN,
+                }
             }
-            Phase::Run { origin, idx, policy_set } => {
+            Phase::Run {
+                origin,
+                idx,
+                policy_set,
+            } => {
                 // First step after barrier release: anchor the timeline.
                 let origin = *origin.get_or_insert(ctx.now);
                 let Some(event) = self.list.events.get(*idx) else {
@@ -108,13 +123,13 @@ pub fn spawn_injectors(
         .lists
         .iter()
         .map(|list| {
-            let spec = ThreadSpec::new(
-                format!("injector/{}", list.cpu.0),
-                ThreadKind::Injector,
+            let spec = ThreadSpec::new(format!("injector/{}", list.cpu.0), ThreadKind::Injector)
+                // No affinity (paper §4.3): the injector may run anywhere.
+                .policy(Policy::NORMAL);
+            kernel.spawn(
+                spec,
+                Box::new(InjectorProcess::new(list.clone(), start_barrier)),
             )
-            // No affinity (paper §4.3): the injector may run anywhere.
-            .policy(Policy::NORMAL);
-            kernel.spawn(spec, Box::new(InjectorProcess::new(list.clone(), start_barrier)))
         })
         .collect()
 }
@@ -124,14 +139,19 @@ mod tests {
     use super::*;
     use crate::config::NoiseEventSpec;
     use noiselab_kernel::{KernelConfig, ScriptBehavior};
-    use noiselab_machine::{CpuId, Machine, PerfModel, CpuSet, WorkUnit};
+    use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
 
     fn machine(cores: usize) -> Machine {
         Machine {
             name: "t".into(),
             cores,
             smt: 1,
-            perf: PerfModel { flops_per_ns: 1.0, smt_factor: 1.0, per_core_bw: 10.0, socket_bw: 40.0 },
+            perf: PerfModel {
+                flops_per_ns: 1.0,
+                smt_factor: 1.0,
+                per_core_bw: 10.0,
+                socket_bw: 40.0,
+            },
             migration_cost: SimDuration::ZERO,
             ctx_switch: SimDuration::ZERO,
             wake_latency: SimDuration::ZERO,
@@ -168,14 +188,20 @@ mod tests {
         let cfg = InjectionConfig {
             origin: "t".into(),
             anomaly_exec: SimDuration::from_millis(13),
-            lists: vec![CpuNoiseList { cpu: CpuId(0), events: vec![fifo_event(2, 3)] }],
+            lists: vec![CpuNoiseList {
+                cpu: CpuId(0),
+                events: vec![fifo_event(2, 3)],
+            }],
         };
         let injectors = spawn_injectors(&mut k, &cfg, bar);
         assert_eq!(injectors.len(), 1);
         let w = k.spawn(
             ThreadSpec::new("workload", ThreadKind::Workload),
             Box::new(ScriptBehavior::new(vec![
-                Action::Barrier { id: bar, spin: SimDuration::from_micros(100) },
+                Action::Barrier {
+                    id: bar,
+                    spin: SimDuration::from_micros(100),
+                },
                 Action::Compute(WorkUnit::compute(10_000_000.0)),
             ])),
         );
@@ -203,7 +229,10 @@ mod tests {
         let w = k.spawn(
             ThreadSpec::new("workload", ThreadKind::Workload),
             Box::new(ScriptBehavior::new(vec![
-                Action::Barrier { id: bar, spin: SimDuration::from_micros(100) },
+                Action::Barrier {
+                    id: bar,
+                    spin: SimDuration::from_micros(100),
+                },
                 Action::Compute(WorkUnit::compute(10_000_000.0)),
             ])),
         );
@@ -213,7 +242,10 @@ mod tests {
             .as_secs_f64();
         // Last event ends at 4+2 = 6 ms after origin.
         assert!((0.0059..0.0063).contains(&e_inj), "e_inj={e_inj}");
-        let e_w = k.run_until_exit(w, SimTime::from_secs_f64(1.0)).unwrap().as_secs_f64();
+        let e_w = k
+            .run_until_exit(w, SimTime::from_secs_f64(1.0))
+            .unwrap()
+            .as_secs_f64();
         // 10 ms work + 3 ms stolen.
         assert!((0.0129..0.0133).contains(&e_w), "e_w={e_w}");
     }
@@ -240,14 +272,22 @@ mod tests {
         };
         spawn_injectors(&mut k, &cfg, bar);
         let w = k.spawn(
-            ThreadSpec::new("workload", ThreadKind::Workload)
-                .affinity(CpuSet::single(CpuId(0))),
+            ThreadSpec::new("workload", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),
             Box::new(ScriptBehavior::new(vec![
-                Action::Barrier { id: bar, spin: SimDuration::from_micros(100) },
+                Action::Barrier {
+                    id: bar,
+                    spin: SimDuration::from_micros(100),
+                },
                 Action::Compute(WorkUnit::compute(10_000_000.0)),
             ])),
         );
-        let e = k.run_until_exit(w, SimTime::from_secs_f64(1.0)).unwrap().as_secs_f64();
-        assert!(e < 0.0105, "noise should have landed on the idle cpu: e={e}");
+        let e = k
+            .run_until_exit(w, SimTime::from_secs_f64(1.0))
+            .unwrap()
+            .as_secs_f64();
+        assert!(
+            e < 0.0105,
+            "noise should have landed on the idle cpu: e={e}"
+        );
     }
 }

@@ -38,7 +38,10 @@ fn event_strategy() -> impl Strategy<Value = TraceEvent> {
 
 fn traceset_strategy() -> impl Strategy<Value = TraceSet> {
     proptest::collection::vec(
-        (proptest::collection::vec(event_strategy(), 0..30), 1_000u64..10_000_000),
+        (
+            proptest::collection::vec(event_strategy(), 0..30),
+            1_000u64..10_000_000,
+        ),
         1..8,
     )
     .prop_map(|runs| TraceSet {

@@ -106,7 +106,9 @@ pub struct ScriptBehavior {
 
 impl ScriptBehavior {
     pub fn new(actions: Vec<Action>) -> Self {
-        ScriptBehavior { actions: actions.into_iter() }
+        ScriptBehavior {
+            actions: actions.into_iter(),
+        }
     }
 }
 

@@ -34,6 +34,15 @@ pub struct KernelConfig {
     /// Enable idle load balancing (pulling a waiting thread when a CPU
     /// goes idle). Real kernels always do this; exposed for ablations.
     pub idle_balance: bool,
+    /// Tickless idle (NO_HZ): an idle CPU parks its timer tick instead
+    /// of re-arming it every period, and is re-kicked when it gets work
+    /// (or when queued work it could pull appears elsewhere). Ticks stay
+    /// on the same per-CPU grid in both modes, and idle ticks are
+    /// side-effect-free in both modes, so busy-CPU behaviour — noise
+    /// draws, traces, preemption — is identical with the flag on or off;
+    /// only the simulator's own event count changes. Exposed so the
+    /// equivalence suite can run both modes at the same seed.
+    pub tickless: bool,
     /// Maximum consecutive instantaneous actions per behavior step, to
     /// catch runaway behaviors early.
     pub max_instant_actions: u32,
@@ -51,6 +60,7 @@ impl Default for KernelConfig {
             softirq_mean: SimDuration::from_nanos(2_500),
             trace_event_overhead: SimDuration::from_nanos(2_000),
             idle_balance: true,
+            tickless: true,
             max_instant_actions: 1024,
         }
     }

@@ -137,6 +137,10 @@ pub struct Cpu {
     pub busy_ns: u64,
     /// Accumulated interrupt time.
     pub irq_ns: u64,
+    /// Whether a `Tick` event for this CPU is pending in the event
+    /// queue. Under tickless idle a parked CPU has no pending tick and
+    /// must be re-armed when it gets (or could pull) work.
+    pub tick_armed: bool,
 }
 
 impl Cpu {
@@ -149,6 +153,7 @@ impl Cpu {
             irq_token: EventToken::NONE,
             busy_ns: 0,
             irq_ns: 0,
+            tick_armed: false,
         }
     }
 

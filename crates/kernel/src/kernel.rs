@@ -18,7 +18,7 @@ use crate::ids::{BarrierId, ThreadId, WaitId};
 use crate::policy::Policy;
 use crate::thread::{ActiveCompute, BlockReason, Thread, ThreadKind, ThreadState};
 use crate::trace::{NoiseClass, TraceSink};
-use noiselab_machine::{waterfill, CpuId, CpuSet, Machine, SoloProfile};
+use noiselab_machine::{waterfill_into, CpuId, CpuSet, Machine, SoloProfile};
 use noiselab_sim::{EventQueue, EventToken, Rng, SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -39,7 +39,11 @@ enum KEvent {
     IrqDone(u32),
     /// A device interrupt injected by a noise source (e.g. an NVMe or
     /// NIC interrupt storm).
-    DeviceIrq { cpu: u32, duration: SimDuration, source: Box<str> },
+    DeviceIrq {
+        cpu: u32,
+        duration: SimDuration,
+        source: Box<str>,
+    },
 }
 
 /// Thread creation parameters.
@@ -85,7 +89,10 @@ impl ThreadSpec {
 pub enum RunError {
     /// The horizon passed before the condition was met.
     Horizon(SimTime),
-    /// The event queue drained (cannot happen while ticks are armed).
+    /// The event queue drained before the condition was met. With eager
+    /// ticks this cannot happen; under tickless idle it means every CPU
+    /// parked with no timer, compute or wake event pending — i.e. the
+    /// simulated system deadlocked.
     Drained,
 }
 
@@ -96,6 +103,18 @@ struct BarrierState {
 
 struct WaitQueueState {
     waiters: VecDeque<ThreadId>,
+}
+
+/// Reusable buffers for [`Kernel::recompute_rates`], so the steady-state
+/// hot path makes no heap allocations.
+#[derive(Default)]
+struct RateScratch {
+    /// Running `(thread index, cpu index)` pairs with active computes.
+    running: Vec<(usize, usize)>,
+    factors: Vec<f64>,
+    demands: Vec<f64>,
+    allocs: Vec<f64>,
+    order: Vec<usize>,
 }
 
 /// The simulated kernel. See module docs.
@@ -117,18 +136,35 @@ pub struct Kernel {
     softirq_flip: bool,
     /// Depth guard for the dispatch -> step_behavior recursion.
     step_depth: u32,
+    /// Threads sitting in some CPU's runqueue (not running). Lets the
+    /// tickless arming hook skip the per-CPU pullability scan in the
+    /// common queues-empty case.
+    queued_total: usize,
+    /// Set by `enqueue`, cleared by the idle-balance kick in `handle`.
+    /// A parked CPU's pullable set can only grow through an enqueue (it
+    /// parked precisely because nothing was pullable), so events that
+    /// enqueued nothing can skip the kick scan entirely.
+    kick_pending: bool,
+    scratch: RateScratch,
 }
 
 impl Kernel {
     pub fn new(machine: Machine, config: KernelConfig, seed: u64) -> Self {
         let n = machine.n_cpus();
         let mut queue = EventQueue::new();
-        // Stagger per-CPU ticks across the tick period, as on real
-        // systems where CPUs boot at slightly different times.
-        let period = machine.tick_period.nanos();
-        for i in 0..n {
-            let offset = period * (i as u64 + 1) / (n as u64 + 1);
-            queue.schedule(SimTime(offset), KEvent::Tick(i as u32));
+        let mut cpus: Vec<Cpu> = (0..n).map(|_| Cpu::new()).collect();
+        // Ticks live on a fixed per-CPU grid staggered across the tick
+        // period, as on real systems where CPUs boot at slightly
+        // different times. Eager mode arms every CPU at boot; tickless
+        // CPUs start parked and are armed when they first get work (at
+        // the same grid instants, so busy-CPU ticks coincide exactly).
+        if !config.tickless {
+            let period = machine.tick_period.nanos();
+            for (i, cpu) in cpus.iter_mut().enumerate() {
+                let offset = period * (i as u64 + 1) / (n as u64 + 1);
+                queue.schedule(SimTime(offset), KEvent::Tick(i as u32));
+                cpu.tick_armed = true;
+            }
         }
         Kernel {
             machine,
@@ -136,7 +172,7 @@ impl Kernel {
             queue,
             threads: Vec::new(),
             behaviors: Vec::new(),
-            cpus: (0..n).map(|_| Cpu::new()).collect(),
+            cpus,
             barriers: Vec::new(),
             waitqs: Vec::new(),
             rng: Rng::new(seed),
@@ -144,6 +180,9 @@ impl Kernel {
             pending_trace_ns: vec![0; n],
             softirq_flip: false,
             step_depth: 0,
+            queued_total: 0,
+            kick_pending: false,
+            scratch: RateScratch::default(),
         }
     }
 
@@ -189,13 +228,18 @@ impl Kernel {
     pub fn new_barrier(&mut self, parties: usize) -> BarrierId {
         assert!(parties > 0);
         let id = BarrierId(self.barriers.len() as u32);
-        self.barriers.push(BarrierState { parties, waiting: Vec::new() });
+        self.barriers.push(BarrierState {
+            parties,
+            waiting: Vec::new(),
+        });
         id
     }
 
     pub fn new_waitq(&mut self) -> WaitId {
         let id = WaitId(self.waitqs.len() as u32);
-        self.waitqs.push(WaitQueueState { waiters: VecDeque::new() });
+        self.waitqs.push(WaitQueueState {
+            waiters: VecDeque::new(),
+        });
         id
     }
 
@@ -227,11 +271,13 @@ impl Kernel {
         }
     }
 
-    /// Run until virtual time `until`.
+    /// Run until virtual time `until`. A drained queue also returns
+    /// `Ok`: with every tick parked and no event pending, no state can
+    /// change before `until` (or ever).
     pub fn run_until(&mut self, until: SimTime) -> Result<(), RunError> {
         loop {
             let Some(next) = self.queue.peek_time() else {
-                return Err(RunError::Drained);
+                return Ok(());
             };
             if next > until {
                 return Ok(());
@@ -255,8 +301,25 @@ impl Kernel {
             KEvent::SpinExpire(tid) => self.on_spin_expire(tid),
             KEvent::Tick(cpu) => self.on_tick(cpu as usize),
             KEvent::IrqDone(cpu) => self.on_irq_done(cpu as usize),
-            KEvent::DeviceIrq { cpu, duration, source } => {
-                self.on_device_irq(cpu as usize, duration, &source)
+            KEvent::DeviceIrq {
+                cpu,
+                duration,
+                source,
+            } => self.on_device_irq(cpu as usize, duration, &source),
+        }
+        // Tickless idle-balance kick: if the event enqueued work that a
+        // parked CPU could pull, re-arm that CPU so it gets the same
+        // tick (at the same grid instant) an eager kernel would have
+        // used to pull it. Events that enqueued nothing cannot have made
+        // a parked CPU pullable, so they skip the scan.
+        if self.config.tickless && std::mem::take(&mut self.kick_pending) && self.queued_total > 0 {
+            for ci in 0..self.cpus.len() {
+                if !self.cpus[ci].tick_armed
+                    && self.cpus[ci].current.is_none()
+                    && self.any_pullable(ci)
+                {
+                    self.arm_tick(ci);
+                }
             }
         }
     }
@@ -273,7 +336,11 @@ impl Kernel {
         let at = at.max(self.now());
         self.queue.schedule(
             at,
-            KEvent::DeviceIrq { cpu: cpu.0, duration, source: source.into() },
+            KEvent::DeviceIrq {
+                cpu: cpu.0,
+                duration,
+                source: source.into(),
+            },
         );
     }
 
@@ -281,7 +348,14 @@ impl Kernel {
         let now = self.now();
         let mut stall = duration.nanos();
         if let Some(tr) = self.tracer.as_mut() {
-            tr.record(CpuId(ci as u32), NoiseClass::Irq, source, None, now, duration);
+            tr.record(
+                CpuId(ci as u32),
+                NoiseClass::Irq,
+                source,
+                None,
+                now,
+                duration,
+            );
             stall += self.config.trace_event_overhead.nanos();
         }
         self.cpus[ci].irq_ns += stall;
@@ -295,7 +369,7 @@ impl Kernel {
             self.cpus[ci].irq_token = self.queue.schedule(end, KEvent::IrqDone(ci as u32));
         }
         if self.cpus[ci].current.is_some() {
-            self.recompute_rates();
+            self.recompute_rates_for(ci);
         }
     }
 
@@ -319,7 +393,11 @@ impl Kernel {
         }
         self.charge_runtime(tid);
         self.threads[i].compute = None;
-        self.recompute_rates();
+        let cpu = self.threads[i]
+            .cpu
+            .expect("running thread without cpu")
+            .index();
+        self.recompute_rates_for(cpu);
         self.step_behavior(tid);
     }
 
@@ -337,7 +415,7 @@ impl Kernel {
                 let cpu = self.threads[i].cpu.unwrap().index();
                 self.off_cpu(tid, ThreadState::Blocked);
                 self.threads[i].compute = None;
-                self.recompute_rates();
+                self.recompute_rates_for(cpu);
                 self.dispatch(cpu);
             }
             ThreadState::Ready => {
@@ -355,86 +433,93 @@ impl Kernel {
 
     fn on_tick(&mut self, ci: usize) {
         let now = self.now();
-        let period = self.machine.tick_period;
-        self.queue.schedule(now + period, KEvent::Tick(ci as u32));
+        self.cpus[ci].tick_armed = false;
 
-        // --- timer interrupt service -----------------------------------
-        let irq_ns = self
-            .rng
-            .normal_min(
-                self.config.timer_irq_mean.nanos() as f64,
-                self.config.timer_irq_sd.nanos() as f64,
-                200.0,
-            )
-            .round() as u64;
-        let mut stall = irq_ns;
-        let mut trace_events = 0u32;
-        if self.tracer.is_some() {
-            trace_events += 1;
-        }
-
-        let softirq = if self.rng.chance(self.config.softirq_prob) {
-            let s = self.rng.exp(self.config.softirq_mean.nanos() as f64).round().max(200.0) as u64;
-            self.softirq_flip = !self.softirq_flip;
+        if self.cpus[ci].current.is_some() {
+            // --- timer interrupt service (busy CPU) ---------------------
+            // Only busy CPUs take the timer IRQ and its noise draws, so
+            // the RNG stream and traces are identical whether or not
+            // idle CPUs tick.
+            let irq_ns = self
+                .rng
+                .normal_min(
+                    self.config.timer_irq_mean.nanos() as f64,
+                    self.config.timer_irq_sd.nanos() as f64,
+                    200.0,
+                )
+                .round() as u64;
+            let mut stall = irq_ns;
+            let mut trace_events = 0u32;
             if self.tracer.is_some() {
                 trace_events += 1;
             }
-            Some(s)
-        } else {
-            None
-        };
 
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.record(
-                CpuId(ci as u32),
-                NoiseClass::Irq,
-                "local_timer:236",
-                None,
-                now,
-                SimDuration(irq_ns),
-            );
-            if let Some(s) = softirq {
-                let src = if self.softirq_flip { "RCU:9" } else { "SCHED:7" };
+            let softirq = if self.rng.chance(self.config.softirq_prob) {
+                let s = self
+                    .rng
+                    .exp(self.config.softirq_mean.nanos() as f64)
+                    .round()
+                    .max(200.0) as u64;
+                self.softirq_flip = !self.softirq_flip;
+                if self.tracer.is_some() {
+                    trace_events += 1;
+                }
+                Some(s)
+            } else {
+                None
+            };
+
+            if let Some(tr) = self.tracer.as_mut() {
                 tr.record(
                     CpuId(ci as u32),
-                    NoiseClass::Softirq,
-                    src,
+                    NoiseClass::Irq,
+                    "local_timer:236",
                     None,
-                    now + SimDuration(irq_ns),
-                    SimDuration(s),
+                    now,
+                    SimDuration(irq_ns),
                 );
+                if let Some(s) = softirq {
+                    let src = if self.softirq_flip {
+                        "RCU:9"
+                    } else {
+                        "SCHED:7"
+                    };
+                    tr.record(
+                        CpuId(ci as u32),
+                        NoiseClass::Softirq,
+                        src,
+                        None,
+                        now + SimDuration(irq_ns),
+                        SimDuration(s),
+                    );
+                }
             }
-        }
-        stall += softirq.unwrap_or(0);
-        // Charge deferred trace-write overhead plus this tick's records.
-        if self.tracer.is_some() {
-            let deferred = std::mem::take(&mut self.pending_trace_ns[ci]);
-            stall += deferred + trace_events as u64 * self.config.trace_event_overhead.nanos();
-        }
+            stall += softirq.unwrap_or(0);
+            // Charge deferred trace-write overhead plus this tick's records.
+            if self.tracer.is_some() {
+                let deferred = std::mem::take(&mut self.pending_trace_ns[ci]);
+                stall += deferred + trace_events as u64 * self.config.trace_event_overhead.nanos();
+            }
 
-        self.cpus[ci].irq_ns += stall;
-        let was_busy = self.cpus[ci].current.is_some();
-        if was_busy {
+            self.cpus[ci].irq_ns += stall;
             // Freeze the running thread's progress for the IRQ window.
             if let Some(tid) = self.cpus[ci].current {
                 self.charge_runtime(tid);
             }
-        }
-        let end = now + SimDuration(stall);
-        if end > self.cpus[ci].irq_until {
-            self.cpus[ci].irq_until = end;
-            self.queue.cancel(self.cpus[ci].irq_token);
-            self.cpus[ci].irq_token = self.queue.schedule(end, KEvent::IrqDone(ci as u32));
-        }
-        if was_busy {
-            self.recompute_rates();
-        }
-
-        // --- periodic idle balancing -------------------------------------
-        // An idle CPU re-runs dispatch each tick so it can pull queued
-        // work from loaded CPUs (the tick-driven load balancing of real
-        // kernels).
-        if self.cpus[ci].current.is_none() {
+            let end = now + SimDuration(stall);
+            if end > self.cpus[ci].irq_until {
+                self.cpus[ci].irq_until = end;
+                self.queue.cancel(self.cpus[ci].irq_token);
+                self.cpus[ci].irq_token = self.queue.schedule(end, KEvent::IrqDone(ci as u32));
+            }
+            self.recompute_rates_for(ci);
+        } else {
+            // --- periodic idle balancing --------------------------------
+            // An idle CPU's tick is a pure dispatch attempt so it can
+            // pull queued work from loaded CPUs (the tick-driven load
+            // balancing of real kernels). No IRQ is modelled and no
+            // noise is drawn: the idle tick must be side-effect-free so
+            // that parking it (tickless) cannot change busy-CPU state.
             self.dispatch(ci);
         }
 
@@ -453,12 +538,62 @@ impl Kernel {
                 }
             }
         }
+
+        // --- re-arm or park ---------------------------------------------
+        // Eager mode always re-arms. Tickless keeps ticking while the
+        // CPU is busy or there is queued work it could still pull;
+        // otherwise the tick parks until dispatch or the idle-balance
+        // kick in `handle` re-arms it.
+        if !self.config.tickless || self.cpus[ci].current.is_some() || self.any_pullable(ci) {
+            self.arm_tick(ci);
+        }
+    }
+
+    /// Schedule the next tick for `ci` at the first point of its fixed
+    /// grid strictly after `now`, unless one is already pending. The
+    /// grid (boot offset + k * period) is mode-independent, so a CPU
+    /// re-armed after parking ticks at exactly the instants it would
+    /// have ticked at had it never parked.
+    fn arm_tick(&mut self, ci: usize) {
+        if self.cpus[ci].tick_armed {
+            return;
+        }
+        let period = self.machine.tick_period.nanos();
+        let n = self.cpus.len() as u64;
+        let offset = period * (ci as u64 + 1) / (n + 1);
+        let now = self.now().0;
+        let next = if now < offset {
+            offset
+        } else {
+            offset + ((now - offset) / period + 1) * period
+        };
+        self.queue.schedule(SimTime(next), KEvent::Tick(ci as u32));
+        self.cpus[ci].tick_armed = true;
+    }
+
+    /// Whether an idle-balance pull on `ci` could ever succeed: some
+    /// queued thread's affinity admits this CPU. Deliberately looser
+    /// than [`Self::try_steal`]'s NUMA thresholds — the CPU keeps
+    /// ticking until the pull actually succeeds, exactly as an eager
+    /// kernel would keep attempting it every tick.
+    fn any_pullable(&self, ci: usize) -> bool {
+        if !self.config.idle_balance || self.queued_total == 0 {
+            return false;
+        }
+        let me = CpuId(ci as u32);
+        self.cpus.iter().any(|c| {
+            c.rt.iter()
+                .any(|(_, t)| self.threads[t.index()].affinity.contains(me))
+                || c.cfs
+                    .iter()
+                    .any(|(_, t)| self.threads[t.index()].affinity.contains(me))
+        })
     }
 
     fn on_irq_done(&mut self, ci: usize) {
         self.cpus[ci].irq_token = EventToken::NONE;
         // Rates were zeroed for this CPU's thread; restore them.
-        self.recompute_rates();
+        self.recompute_rates_for(ci);
     }
 
     // ------------------------------------------------------------------
@@ -573,6 +708,8 @@ impl Kernel {
                 self.cpus[ci].cfs.enqueue(self.threads[i].vruntime, tid);
             }
         }
+        self.queued_total += 1;
+        self.kick_pending = true;
     }
 
     fn dequeue_ready(&mut self, ci: usize, tid: ThreadId) {
@@ -582,6 +719,9 @@ impl Kernel {
             Policy::Other { .. } => self.cpus[ci].cfs.dequeue(self.threads[i].vruntime, tid),
         };
         debug_assert!(removed, "thread {tid} not found in runqueue {ci}");
+        if removed {
+            self.queued_total -= 1;
+        }
     }
 
     /// Should the newly enqueued `tid` preempt the current thread?
@@ -598,8 +738,7 @@ impl Kernel {
                     (Policy::Fifo { .. }, Policy::Other { .. }) => true,
                     (Policy::Other { .. }, Policy::Fifo { .. }) => false,
                     (Policy::Other { .. }, Policy::Other { .. }) => {
-                        new_t.vruntime + self.config.wakeup_granularity.nanos()
-                            < cur_t.vruntime
+                        new_t.vruntime + self.config.wakeup_granularity.nanos() < cur_t.vruntime
                     }
                 };
                 if should {
@@ -639,8 +778,7 @@ impl Kernel {
                         start,
                         dur,
                     );
-                    self.pending_trace_ns[cpu.index()] +=
-                        self.config.trace_event_overhead.nanos();
+                    self.pending_trace_ns[cpu.index()] += self.config.trace_event_overhead.nanos();
                 }
             }
         }
@@ -648,7 +786,11 @@ impl Kernel {
         self.cpus[cpu.index()].current = None;
         self.threads[i].last_cpu = Some(cpu);
         self.threads[i].state = new_state;
-        self.threads[i].cpu = if new_state == ThreadState::Ready { Some(cpu) } else { None };
+        self.threads[i].cpu = if new_state == ThreadState::Ready {
+            Some(cpu)
+        } else {
+            None
+        };
         // Cancel any pending completion; it will be rescheduled on resume.
         self.queue.cancel(self.threads[i].compute_token);
         self.threads[i].compute_token = EventToken::NONE;
@@ -661,22 +803,27 @@ impl Kernel {
 
     /// Preempt the current thread (stays runnable, requeued here).
     fn preempt_current(&mut self, ci: usize) {
-        let Some(tid) = self.cpus[ci].current else { return };
+        let Some(tid) = self.cpus[ci].current else {
+            return;
+        };
         self.off_cpu(tid, ThreadState::Ready);
         self.threads[tid.index()].stats.preemptions += 1;
         self.enqueue(ci, tid);
-        self.recompute_rates();
+        self.recompute_rates_for(ci);
     }
 
     /// Pick and start the next thread on CPU `ci`.
     fn dispatch(&mut self, ci: usize) {
         debug_assert!(self.cpus[ci].current.is_none());
-        let next = self.cpus[ci]
+        let local = self.cpus[ci]
             .rt
             .pop()
             .map(|(_, t)| t)
-            .or_else(|| self.cpus[ci].cfs.pop().map(|(_, t)| t))
-            .or_else(|| self.try_steal(ci));
+            .or_else(|| self.cpus[ci].cfs.pop().map(|(_, t)| t));
+        if local.is_some() {
+            self.queued_total -= 1;
+        }
+        let next = local.or_else(|| self.try_steal(ci));
         let Some(tid) = next else {
             self.cpus[ci].cfs.refresh_floor(None);
             return;
@@ -685,6 +832,8 @@ impl Kernel {
         let i = tid.index();
         debug_assert_eq!(self.threads[i].state, ThreadState::Ready);
         self.cpus[ci].current = Some(tid);
+        // A busy CPU always ticks; re-arm if this CPU had parked.
+        self.arm_tick(ci);
         self.threads[i].state = ThreadState::Running;
         self.threads[i].cpu = Some(CpuId(ci as u32));
         self.threads[i].on_cpu_since = now;
@@ -713,7 +862,7 @@ impl Kernel {
             let c = self.threads[i].compute.as_mut().unwrap();
             c.overhead_ns += pending;
             c.last_update = now;
-            self.recompute_rates();
+            self.recompute_rates_for(ci);
         } else {
             self.step_behavior(tid);
         }
@@ -770,7 +919,10 @@ impl Kernel {
             }
         }
         let (_, tid, _) = best?;
-        let victim = self.threads[tid.index()].cpu.expect("queued thread without cpu").index();
+        let victim = self.threads[tid.index()]
+            .cpu
+            .expect("queued thread without cpu")
+            .index();
         self.dequeue_ready(victim, tid);
         self.threads[tid.index()].pending_migration = true;
         self.threads[tid.index()].cpu = Some(this_cpu);
@@ -789,14 +941,12 @@ impl Kernel {
         let mut instants = 0u32;
         loop {
             let i = tid.index();
-            if self.threads[i].state != ThreadState::Running
-                || self.threads[i].compute.is_some()
-            {
+            if self.threads[i].state != ThreadState::Running || self.threads[i].compute.is_some() {
                 break;
             }
-            let mut b = self.behaviors[i].take().unwrap_or_else(|| {
-                panic!("thread {} has no behavior", self.threads[i].name)
-            });
+            let mut b = self.behaviors[i]
+                .take()
+                .unwrap_or_else(|| panic!("thread {} has no behavior", self.threads[i].name));
             let action = {
                 let mut ctx = Ctx {
                     now: self.now(),
@@ -834,7 +984,11 @@ impl Kernel {
             }
             Action::Burn(d) => {
                 let ns = d.nanos() as f64;
-                let solo = SoloProfile { solo_ns: ns, cpu_ns: ns, bw_demand: 0.0 };
+                let solo = SoloProfile {
+                    solo_ns: ns,
+                    cpu_ns: ns,
+                    bw_demand: 0.0,
+                };
                 self.install_compute(tid, solo, ns, false);
                 true
             }
@@ -842,7 +996,11 @@ impl Kernel {
                 // Occupancy is modelled as pure overhead: it burns at
                 // rate 1 whenever the thread is on-CPU, independent of
                 // SMT contention.
-                let solo = SoloProfile { solo_ns: 1.0, cpu_ns: 0.0, bw_demand: 0.0 };
+                let solo = SoloProfile {
+                    solo_ns: 1.0,
+                    cpu_ns: 0.0,
+                    bw_demand: 0.0,
+                };
                 self.threads[i].pending_overhead_ns += d.nanos() as f64;
                 self.install_compute(tid, solo, 0.0, false);
                 true
@@ -856,7 +1014,7 @@ impl Kernel {
                 self.threads[i].compute = None;
                 let token = self.queue.schedule(t, KEvent::WakeTimer(tid));
                 self.threads[i].timer_token = token;
-                self.recompute_rates();
+                self.recompute_rates_for(cpu);
                 self.dispatch(cpu);
                 true
             }
@@ -914,7 +1072,7 @@ impl Kernel {
                         self.threads[i].pending_migration = true;
                         self.threads[i].cpu = Some(target);
                         self.enqueue(target.index(), tid);
-                        self.recompute_rates();
+                        self.recompute_rates_for(ci);
                         self.dispatch(ci);
                         self.check_preempt(target.index(), tid);
                     }
@@ -923,15 +1081,14 @@ impl Kernel {
             }
             Action::Yield => {
                 let cpu = self.threads[i].cpu.unwrap().index();
-                let has_other =
-                    !self.cpus[cpu].rt.is_empty() || !self.cpus[cpu].cfs.is_empty();
+                let has_other = !self.cpus[cpu].rt.is_empty() || !self.cpus[cpu].cfs.is_empty();
                 if !has_other {
                     return false; // nothing to yield to
                 }
                 self.off_cpu(tid, ThreadState::Ready);
                 self.threads[i].stats.switches += 1;
                 self.enqueue(cpu, tid);
-                self.recompute_rates();
+                self.recompute_rates_for(cpu);
                 self.dispatch(cpu);
                 true
             }
@@ -943,7 +1100,7 @@ impl Kernel {
                 self.queue.cancel(self.threads[i].timer_token);
                 self.queue.cancel(self.threads[i].spin_token);
                 self.behaviors[i] = None;
-                self.recompute_rates();
+                self.recompute_rates_for(cpu);
                 self.dispatch(cpu);
                 true
             }
@@ -953,7 +1110,9 @@ impl Kernel {
     /// Re-evaluate whether the current thread on `ci` should yield to a
     /// queued one (after a policy change).
     fn resched_if_needed(&mut self, ci: usize) {
-        let Some(cur) = self.cpus[ci].current else { return };
+        let Some(cur) = self.cpus[ci].current else {
+            return;
+        };
         let cur_t = &self.threads[cur.index()];
         let preferred = if let Some((p, _)) = self.cpus[ci].rt.peek() {
             match cur_t.policy {
@@ -982,7 +1141,11 @@ impl Kernel {
             overhead_ns: overhead,
         });
         self.threads[i].spinning = spin;
-        self.recompute_rates();
+        let cpu = self.threads[i]
+            .cpu
+            .expect("running thread without cpu")
+            .index();
+        self.recompute_rates_for(cpu);
     }
 
     // ------------------------------------------------------------------
@@ -1013,7 +1176,11 @@ impl Kernel {
         self.threads[i].block_reason = reason;
         if spin > SimDuration::ZERO {
             // Busy-wait: occupies the CPU (and its SMT capacity).
-            let solo = SoloProfile { solo_ns: f64::INFINITY, cpu_ns: 1.0, bw_demand: 0.0 };
+            let solo = SoloProfile {
+                solo_ns: f64::INFINITY,
+                cpu_ns: 1.0,
+                bw_demand: 0.0,
+            };
             self.install_compute(tid, solo, f64::INFINITY, true);
             let token = self.queue.schedule(now + spin, KEvent::SpinExpire(tid));
             self.threads[i].spin_token = token;
@@ -1021,7 +1188,7 @@ impl Kernel {
             let cpu = self.threads[i].cpu.unwrap().index();
             self.off_cpu(tid, ThreadState::Blocked);
             self.threads[i].compute = None;
-            self.recompute_rates();
+            self.recompute_rates_for(cpu);
             self.dispatch(cpu);
         }
     }
@@ -1040,7 +1207,11 @@ impl Kernel {
                 self.threads[i].spinning = false;
                 self.charge_runtime(w);
                 self.threads[i].compute = None;
-                self.recompute_rates();
+                let cpu = self.threads[i]
+                    .cpu
+                    .expect("running thread without cpu")
+                    .index();
+                self.recompute_rates_for(cpu);
                 self.step_behavior(w);
             }
             ThreadState::Ready => {
@@ -1071,7 +1242,9 @@ impl Kernel {
         if self.threads[i].state != ThreadState::Running {
             return;
         }
-        let from = self.threads[i].charged_until.max(self.threads[i].on_cpu_since);
+        let from = self.threads[i]
+            .charged_until
+            .max(self.threads[i].on_cpu_since);
         let delta = now.since(from);
         if delta > SimDuration::ZERO {
             self.threads[i].charge_vruntime(delta);
@@ -1087,44 +1260,125 @@ impl Kernel {
         self.threads[i].charged_until = now;
     }
 
+    /// SMT/IRQ throughput factor for the compute running on `ci`.
+    fn compute_factor(&self, ci: usize, now: SimTime) -> f64 {
+        let mut factor = 1.0;
+        if let Some(sib) = self.machine.sibling_of(CpuId(ci as u32)) {
+            if let Some(sib_cur) = self.cpus[sib.index()].current {
+                if self.threads[sib_cur.index()].compute.is_some()
+                    && !self.cpus[sib.index()].in_irq(now)
+                {
+                    factor = self.machine.perf.smt_factor;
+                }
+            }
+        }
+        if self.cpus[ci].in_irq(now) {
+            factor = 0.0;
+        }
+        factor
+    }
+
+    /// Set `tid`'s rate and (re)schedule its completion. When the rate is
+    /// unchanged and the completion event is still armed, the previously
+    /// scheduled event time remains exact, so skip the heap churn — the
+    /// dominant cost in steady state.
+    fn apply_rate(&mut self, ti: usize, factor: f64, rate: f64, now: SimTime) {
+        let c = self.threads[ti].compute.as_mut().unwrap();
+        let unchanged = (c.rate - rate).abs() <= 1e-12 * rate.max(1.0);
+        c.rate = rate;
+        if unchanged && self.threads[ti].compute_token != EventToken::NONE {
+            return;
+        }
+        let c = self.threads[ti].compute.as_ref().unwrap();
+        let eta = if factor == 0.0 { None } else { c.eta_ns() };
+        let tid = ThreadId(ti as u32);
+        self.queue.cancel(self.threads[ti].compute_token);
+        self.threads[ti].compute_token = match eta {
+            Some(ns) => self
+                .queue
+                .schedule(now + SimDuration(ns.max(1)), KEvent::ComputeDone(tid)),
+            None => EventToken::NONE,
+        };
+    }
+
+    /// Does any running compute demand memory bandwidth? When none does,
+    /// the water-fill couples nothing and rate changes stay local to a
+    /// CPU and its SMT sibling.
+    fn bw_demand_active(&self) -> bool {
+        self.cpus.iter().any(|c| {
+            c.current.is_some_and(|t| {
+                self.threads[t.index()]
+                    .compute
+                    .as_ref()
+                    .is_some_and(|cm| cm.solo.bw_demand > 0.0)
+            })
+        })
+    }
+
+    /// Recompute rates after a change confined to CPU `ci` (its current
+    /// thread, compute, or IRQ window changed). When no running compute
+    /// demands bandwidth, only `ci` and its SMT sibling can be affected,
+    /// so the global pass — with its all-CPU scan and water-fill — is
+    /// skipped. Falls back to [`Self::recompute_rates`] otherwise; both
+    /// paths produce bit-identical rates.
+    fn recompute_rates_for(&mut self, ci: usize) {
+        if self.bw_demand_active() {
+            self.recompute_rates();
+            return;
+        }
+        let now = self.now();
+        let sib = self.machine.sibling_of(CpuId(ci as u32)).map(|c| c.index());
+        for cpu in [Some(ci), sib].into_iter().flatten() {
+            let Some(tid) = self.cpus[cpu].current else {
+                continue;
+            };
+            let ti = tid.index();
+            if self.threads[ti].compute.is_none() {
+                continue;
+            }
+            self.threads[ti].compute.as_mut().unwrap().advance_to(now);
+            let factor = self.compute_factor(cpu, now);
+            let rate = {
+                let c = self.threads[ti].compute.as_ref().unwrap();
+                // No bandwidth demand anywhere, so the allocation is 0.
+                self.machine.perf.rate(&c.solo, factor, 0.0)
+            };
+            self.apply_rate(ti, factor, rate, now);
+        }
+    }
+
     /// Recompute execution rates for every running compute and reschedule
     /// completion events. Called whenever the set of running threads, the
-    /// IRQ state, or SMT occupancy changes.
+    /// IRQ state, or SMT occupancy changes in a way that is not confined
+    /// to one CPU (see [`Self::recompute_rates_for`]).
     fn recompute_rates(&mut self) {
         let now = self.now();
-        // Collect running (tid, cpu) pairs with active computes.
-        let mut running: Vec<(usize, usize)> = Vec::with_capacity(self.cpus.len());
+        // Collect running (tid, cpu) pairs with active computes into the
+        // reusable scratch, keeping the hot path allocation-free.
+        self.scratch.running.clear();
         for (ci, cpu) in self.cpus.iter().enumerate() {
             if let Some(tid) = cpu.current {
                 if self.threads[tid.index()].compute.is_some() {
-                    running.push((tid.index(), ci));
+                    self.scratch.running.push((tid.index(), ci));
                 }
             }
         }
+        let n = self.scratch.running.len();
         // First pass: advance progress at old rates.
-        for &(ti, _) in &running {
-            let c = self.threads[ti].compute.as_mut().unwrap();
-            c.advance_to(now);
+        for k in 0..n {
+            let (ti, _) = self.scratch.running[k];
+            self.threads[ti].compute.as_mut().unwrap().advance_to(now);
         }
         // Compute factors (SMT) and bandwidth demands.
-        let mut factors = vec![0.0f64; running.len()];
-        let mut demands = vec![0.0f64; running.len()];
-        for (k, &(ti, ci)) in running.iter().enumerate() {
-            let cpu_id = CpuId(ci as u32);
-            let mut factor = 1.0;
-            if let Some(sib) = self.machine.sibling_of(cpu_id) {
-                if let Some(sib_cur) = self.cpus[sib.index()].current {
-                    if self.threads[sib_cur.index()].compute.is_some()
-                        && !self.cpus[sib.index()].in_irq(now)
-                    {
-                        factor = self.machine.perf.smt_factor;
-                    }
-                }
-            }
-            if self.cpus[ci].in_irq(now) {
-                factor = 0.0;
-            }
-            factors[k] = factor;
+        self.scratch.factors.clear();
+        self.scratch.factors.resize(n, 0.0);
+        self.scratch.demands.clear();
+        self.scratch.demands.resize(n, 0.0);
+        let mut any_demand = false;
+        for k in 0..n {
+            let (ti, ci) = self.scratch.running[k];
+            let factor = self.compute_factor(ci, now);
+            self.scratch.factors[k] = factor;
             let c = self.threads[ti].compute.as_ref().unwrap();
             if factor > 0.0 && c.solo.bw_demand > 0.0 {
                 // Upper-bound rate if bandwidth were free.
@@ -1133,35 +1387,33 @@ impl Kernel {
                 } else {
                     1.0
                 };
-                demands[k] = c.solo.bw_demand * r_up;
+                self.scratch.demands[k] = c.solo.bw_demand * r_up;
+                any_demand = true;
             }
         }
-        let allocs = waterfill(&demands, self.machine.perf.socket_bw);
-        // Second pass: set new rates and (re)schedule completions. When
-        // a thread's rate is unchanged and its completion event is still
-        // armed, the previously scheduled event time remains exact, so
-        // skip the heap churn — the dominant cost in steady state.
-        for (k, &(ti, _)) in running.iter().enumerate() {
+        // Water-fill only when some compute actually wants bandwidth;
+        // with all-zero demands every allocation is zero anyway.
+        if any_demand {
+            waterfill_into(
+                &self.scratch.demands,
+                self.machine.perf.socket_bw,
+                &mut self.scratch.allocs,
+                &mut self.scratch.order,
+            );
+        } else {
+            self.scratch.allocs.clear();
+            self.scratch.allocs.resize(n, 0.0);
+        }
+        // Second pass: set new rates and (re)schedule completions.
+        for k in 0..n {
+            let (ti, _) = self.scratch.running[k];
+            let factor = self.scratch.factors[k];
+            let alloc = self.scratch.allocs[k];
             let rate = {
                 let c = self.threads[ti].compute.as_ref().unwrap();
-                self.machine.perf.rate(&c.solo, factors[k], allocs[k])
+                self.machine.perf.rate(&c.solo, factor, alloc)
             };
-            let c = self.threads[ti].compute.as_mut().unwrap();
-            let unchanged = (c.rate - rate).abs() <= 1e-12 * rate.max(1.0);
-            c.rate = rate;
-            if unchanged && self.threads[ti].compute_token != EventToken::NONE {
-                continue;
-            }
-            let c = self.threads[ti].compute.as_ref().unwrap();
-            let eta = if factors[k] == 0.0 { None } else { c.eta_ns() };
-            let tid = ThreadId(ti as u32);
-            self.queue.cancel(self.threads[ti].compute_token);
-            self.threads[ti].compute_token = match eta {
-                Some(ns) => self
-                    .queue
-                    .schedule(now + SimDuration(ns.max(1)), KEvent::ComputeDone(tid)),
-                None => EventToken::NONE,
-            };
+            self.apply_rate(ti, factor, rate, now);
         }
     }
 }

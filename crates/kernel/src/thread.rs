@@ -154,7 +154,13 @@ pub struct Thread {
 }
 
 impl Thread {
-    pub fn new(id: ThreadId, name: String, kind: ThreadKind, policy: Policy, affinity: CpuSet) -> Self {
+    pub fn new(
+        id: ThreadId,
+        name: String,
+        kind: ThreadKind,
+        policy: Policy,
+        affinity: CpuSet,
+    ) -> Self {
         Thread {
             id,
             name,
@@ -198,7 +204,11 @@ mod tests {
 
     fn compute(remaining: f64, rate: f64) -> ActiveCompute {
         ActiveCompute {
-            solo: SoloProfile { solo_ns: remaining, cpu_ns: remaining, bw_demand: 0.0 },
+            solo: SoloProfile {
+                solo_ns: remaining,
+                cpu_ns: remaining,
+                bw_demand: 0.0,
+            },
             remaining,
             rate,
             last_update: SimTime::ZERO,

@@ -48,10 +48,17 @@ fn horizon() -> SimTime {
 }
 
 /// Spawn a thread that computes `flops` then exits.
-fn spawn_compute(k: &mut Kernel, name: &str, flops: f64, policy: Policy) -> noiselab_kernel::ThreadId {
+fn spawn_compute(
+    k: &mut Kernel,
+    name: &str,
+    flops: f64,
+    policy: Policy,
+) -> noiselab_kernel::ThreadId {
     k.spawn(
         ThreadSpec::new(name, ThreadKind::Workload).policy(policy),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(flops))])),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(flops),
+        )])),
     )
 }
 
@@ -94,12 +101,14 @@ fn two_fair_threads_one_cpu_share_equally() {
 fn fifo_preempts_fair_immediately_and_runs_to_completion() {
     let mut k = kernel(1, 1);
     let w = spawn_compute(&mut k, "w", 10_000_000.0, Policy::NORMAL); // 10 ms
-    // FIFO noise arrives at t=2ms, burns 5 ms of CPU.
+                                                                      // FIFO noise arrives at t=2ms, burns 5 ms of CPU.
     let n = k.spawn(
         ThreadSpec::new("noise", ThreadKind::Noise)
             .policy(Policy::Fifo { prio: 50 })
             .start_at(SimTime::from_secs_f64(0.002)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(5))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(5),
+        )])),
     );
     let en = k.run_until_exit(n, horizon()).unwrap().as_secs_f64();
     let ew = k.run_until_exit(w, horizon()).unwrap().as_secs_f64();
@@ -114,13 +123,17 @@ fn higher_fifo_prio_preempts_lower() {
     let mut k = kernel(1, 1);
     let low = k.spawn(
         ThreadSpec::new("low", ThreadKind::Noise).policy(Policy::Fifo { prio: 10 }),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(10))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(10),
+        )])),
     );
     let high = k.spawn(
         ThreadSpec::new("high", ThreadKind::Noise)
             .policy(Policy::Fifo { prio: 60 })
             .start_at(SimTime::from_secs_f64(0.001)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(2))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(2),
+        )])),
     );
     let eh = k.run_until_exit(high, horizon()).unwrap().as_secs_f64();
     let el = k.run_until_exit(low, horizon()).unwrap().as_secs_f64();
@@ -133,13 +146,17 @@ fn equal_fifo_prio_does_not_preempt() {
     let mut k = kernel(1, 1);
     let first = k.spawn(
         ThreadSpec::new("first", ThreadKind::Noise).policy(Policy::Fifo { prio: 50 }),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(4))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(4),
+        )])),
     );
     let second = k.spawn(
         ThreadSpec::new("second", ThreadKind::Noise)
             .policy(Policy::Fifo { prio: 50 })
             .start_at(SimTime::from_secs_f64(0.001)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(1))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(1),
+        )])),
     );
     let e1 = k.run_until_exit(first, horizon()).unwrap().as_secs_f64();
     let e2 = k.run_until_exit(second, horizon()).unwrap().as_secs_f64();
@@ -152,14 +169,16 @@ fn smt_siblings_slow_each_other() {
     // 2 cores x 2 SMT. Pin both threads to siblings of core 0.
     let mut k = kernel(2, 2);
     let a = k.spawn(
-        ThreadSpec::new("a", ThreadKind::Workload)
-            .affinity(CpuSet::single(CpuId(0))),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(1_000_000.0))])),
+        ThreadSpec::new("a", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(1_000_000.0),
+        )])),
     );
     let b = k.spawn(
-        ThreadSpec::new("b", ThreadKind::Workload)
-            .affinity(CpuSet::single(CpuId(2))), // sibling of cpu0 (2 cores)
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(1_000_000.0))])),
+        ThreadSpec::new("b", ThreadKind::Workload).affinity(CpuSet::single(CpuId(2))), // sibling of cpu0 (2 cores)
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(1_000_000.0),
+        )])),
     );
     let ea = k.run_until_exit(a, horizon()).unwrap().as_secs_f64();
     let eb = k.run_until_exit(b, horizon()).unwrap().as_secs_f64();
@@ -178,9 +197,11 @@ fn bandwidth_contention_scales_memory_bound_threads() {
             k.spawn(
                 ThreadSpec::new(format!("s{i}"), ThreadKind::Workload)
                     .affinity(CpuSet::single(CpuId(i))),
-                Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::stream(
-                    10_000_000.0, // 1 ms solo at 10 B/ns
-                ))])),
+                Box::new(ScriptBehavior::new(vec![Action::Compute(
+                    WorkUnit::stream(
+                        10_000_000.0, // 1 ms solo at 10 B/ns
+                    ),
+                )])),
             )
         })
         .collect();
@@ -196,7 +217,9 @@ fn compute_bound_threads_unaffected_by_bandwidth() {
     let a = spawn_compute(&mut k, "c", 1_000_000.0, Policy::NORMAL);
     let s = k.spawn(
         ThreadSpec::new("s", ThreadKind::Workload),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::stream(50_000_000.0))])),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::stream(50_000_000.0),
+        )])),
     );
     let ea = k.run_until_exit(a, horizon()).unwrap().as_secs_f64();
     assert!((0.00095..0.00106).contains(&ea), "ea={ea}");
@@ -212,7 +235,10 @@ fn barrier_releases_all_parties() {
             ThreadSpec::new(name, ThreadKind::Workload),
             Box::new(ScriptBehavior::new(vec![
                 Action::Compute(WorkUnit::compute(work)),
-                Action::Barrier { id: bar, spin: SimDuration::from_millis(1) },
+                Action::Barrier {
+                    id: bar,
+                    spin: SimDuration::from_millis(1),
+                },
                 Action::Compute(WorkUnit::compute(1_000_000.0)),
             ])),
         )
@@ -238,16 +264,19 @@ fn barrier_blocked_waiter_wakes_with_latency() {
     let early = k.spawn(
         ThreadSpec::new("early", ThreadKind::Workload),
         Box::new(ScriptBehavior::new(vec![
-            Action::Barrier { id: bar, spin: SimDuration::ZERO },
+            Action::Barrier {
+                id: bar,
+                spin: SimDuration::ZERO,
+            },
             Action::Compute(WorkUnit::compute(1_000.0)),
         ])),
     );
     let late = k.spawn(
-        ThreadSpec::new("late", ThreadKind::Workload)
-            .start_at(SimTime::from_secs_f64(0.003)),
-        Box::new(ScriptBehavior::new(vec![
-            Action::Barrier { id: bar, spin: SimDuration::ZERO },
-        ])),
+        ThreadSpec::new("late", ThreadKind::Workload).start_at(SimTime::from_secs_f64(0.003)),
+        Box::new(ScriptBehavior::new(vec![Action::Barrier {
+            id: bar,
+            spin: SimDuration::ZERO,
+        }])),
     );
     let ee = k.run_until_exit(early, horizon()).unwrap().as_secs_f64();
     let el = k.run_until_exit(late, horizon()).unwrap().as_secs_f64();
@@ -261,17 +290,21 @@ fn waitq_notify_wakes_fifo_order() {
     let wq = k.new_waitq();
     let w1 = k.spawn(
         ThreadSpec::new("w1", ThreadKind::Workload),
-        Box::new(ScriptBehavior::new(vec![Action::WaitOn { wq, spin: SimDuration::ZERO }])),
+        Box::new(ScriptBehavior::new(vec![Action::WaitOn {
+            wq,
+            spin: SimDuration::ZERO,
+        }])),
     );
     let w2 = k.spawn(
-        ThreadSpec::new("w2", ThreadKind::Workload)
-            .start_at(SimTime(1000)),
-        Box::new(ScriptBehavior::new(vec![Action::WaitOn { wq, spin: SimDuration::ZERO }])),
+        ThreadSpec::new("w2", ThreadKind::Workload).start_at(SimTime(1000)),
+        Box::new(ScriptBehavior::new(vec![Action::WaitOn {
+            wq,
+            spin: SimDuration::ZERO,
+        }])),
     );
     // Notifier wakes exactly one at t=1ms, then the other at t=2ms.
     let _n = k.spawn(
-        ThreadSpec::new("n", ThreadKind::Workload)
-            .start_at(SimTime::from_secs_f64(0.001)),
+        ThreadSpec::new("n", ThreadKind::Workload).start_at(SimTime::from_secs_f64(0.001)),
         Box::new(ScriptBehavior::new(vec![
             Action::Notify { wq, count: 1 },
             Action::SleepFor(SimDuration::from_millis(1)),
@@ -289,9 +322,10 @@ fn waitq_notify_wakes_fifo_order() {
 fn pinned_thread_never_migrates() {
     let mut k = kernel(2, 1);
     let pinned = k.spawn(
-        ThreadSpec::new("pinned", ThreadKind::Workload)
-            .affinity(CpuSet::single(CpuId(0))),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(10_000_000.0))])),
+        ThreadSpec::new("pinned", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(10_000_000.0),
+        )])),
     );
     // A FIFO hog occupies cpu0 for 5 ms; cpu1 stays idle but the pinned
     // thread cannot move there.
@@ -300,7 +334,9 @@ fn pinned_thread_never_migrates() {
             .policy(Policy::Fifo { prio: 50 })
             .affinity(CpuSet::single(CpuId(0)))
             .start_at(SimTime::from_secs_f64(0.001)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(5))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(5),
+        )])),
     );
     let e = k.run_until_exit(pinned, horizon()).unwrap();
     let t = e.as_secs_f64();
@@ -313,14 +349,18 @@ fn roaming_thread_escapes_to_idle_cpu() {
     let mut k = kernel(2, 1);
     let roam = k.spawn(
         ThreadSpec::new("roam", ThreadKind::Workload),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(10_000_000.0))])),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(10_000_000.0),
+        )])),
     );
     let _hog = k.spawn(
         ThreadSpec::new("hog", ThreadKind::Noise)
             .policy(Policy::Fifo { prio: 50 })
             .affinity(CpuSet::single(CpuId(0)))
             .start_at(SimTime::from_secs_f64(0.001)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(5))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(5),
+        )])),
     );
     let e = k.run_until_exit(roam, horizon()).unwrap().as_secs_f64();
     // Escapes to cpu1 at the next idle-balance tick (within 4 ms of the
@@ -334,8 +374,7 @@ fn roaming_thread_escapes_to_idle_cpu() {
 fn set_affinity_forces_migration() {
     let mut k = kernel(2, 1);
     let t = k.spawn(
-        ThreadSpec::new("t", ThreadKind::Workload)
-            .affinity(CpuSet::single(CpuId(0))),
+        ThreadSpec::new("t", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),
         Box::new(ScriptBehavior::new(vec![
             Action::Compute(WorkUnit::compute(1_000_000.0)),
             Action::SetAffinity(CpuSet::single(CpuId(1))),
@@ -364,7 +403,9 @@ fn set_policy_demotion_yields_to_rt() {
         ThreadSpec::new("rt", ThreadKind::Noise)
             .policy(Policy::Fifo { prio: 10 })
             .start_at(SimTime::from_secs_f64(0.0005)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(2))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(2),
+        )])),
     );
     let ert = k.run_until_exit(rt, horizon()).unwrap().as_secs_f64();
     let ed = k.run_until_exit(demoter, horizon()).unwrap().as_secs_f64();
@@ -413,7 +454,10 @@ fn determinism_same_seed_same_times() {
                     ThreadSpec::new(format!("w{i}"), ThreadKind::Workload),
                     Box::new(ScriptBehavior::new(vec![
                         Action::Compute(WorkUnit::new(2_000_000.0, 1_000_000.0)),
-                        Action::Barrier { id: bar, spin: SimDuration::from_micros(50) },
+                        Action::Barrier {
+                            id: bar,
+                            spin: SimDuration::from_micros(50),
+                        },
                         Action::Compute(WorkUnit::compute(1_000_000.0)),
                     ])),
                 )
@@ -430,7 +474,11 @@ fn determinism_same_seed_same_times() {
             .collect()
     };
     assert_eq!(run(7), run(7));
-    assert_ne!(run(7), run(8), "different seeds should differ via IRQ jitter");
+    assert_ne!(
+        run(7),
+        run(8),
+        "different seeds should differ via IRQ jitter"
+    );
 }
 
 #[test]
@@ -438,9 +486,10 @@ fn exited_thread_frees_cpu() {
     let mut k = kernel(1, 1);
     let a = spawn_compute(&mut k, "a", 1_000_000.0, Policy::NORMAL);
     let b = k.spawn(
-        ThreadSpec::new("b", ThreadKind::Workload)
-            .start_at(SimTime::from_secs_f64(0.0005)),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(1_000_000.0))])),
+        ThreadSpec::new("b", ThreadKind::Workload).start_at(SimTime::from_secs_f64(0.0005)),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(1_000_000.0),
+        )])),
     );
     let ea = k.run_until_exit(a, horizon()).unwrap().as_secs_f64();
     let eb = k.run_until_exit(b, horizon()).unwrap().as_secs_f64();
@@ -469,7 +518,9 @@ fn tracer_records_timer_irqs() {
     k2.attach_tracer(Box::new(sink));
     let t2 = k2.spawn(
         ThreadSpec::new("w", ThreadKind::Workload),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(20_000_000.0))])),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(20_000_000.0),
+        )])),
     );
     k2.run_until_exit(t2, horizon()).unwrap();
     // 20 ms on 2 cpus at 4 ms ticks -> ~10 tick IRQs total.
@@ -496,7 +547,9 @@ fn thread_noise_interval_traced() {
             _start: SimTime,
             duration: SimDuration,
         ) {
-            self.0.borrow_mut().push((class, source.to_string(), duration.nanos()));
+            self.0
+                .borrow_mut()
+                .push((class, source.to_string(), duration.nanos()));
         }
     }
 
@@ -505,9 +558,10 @@ fn thread_noise_interval_traced() {
     k.attach_tracer(Box::new(Shared(store.clone())));
     let w = spawn_compute(&mut k, "w", 5_000_000.0, Policy::NORMAL);
     let noise = k.spawn(
-        ThreadSpec::new("kworker/0:1", ThreadKind::Noise)
-            .start_at(SimTime::from_secs_f64(0.001)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_micros(500))])),
+        ThreadSpec::new("kworker/0:1", ThreadKind::Noise).start_at(SimTime::from_secs_f64(0.001)),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_micros(500),
+        )])),
     );
     k.run_until_exit(w, horizon()).unwrap();
     // The interval is recorded when the kworker deschedules (exits).
@@ -533,27 +587,41 @@ fn burnwall_duration_is_wall_time_under_smt() {
     let mut k = kernel(2, 2);
     let wall = k.spawn(
         ThreadSpec::new("wall", ThreadKind::Injector).affinity(CpuSet::single(CpuId(0))),
-        Box::new(ScriptBehavior::new(vec![Action::BurnWall(SimDuration::from_millis(4))])),
+        Box::new(ScriptBehavior::new(vec![Action::BurnWall(
+            SimDuration::from_millis(4),
+        )])),
     );
     let _sibling_load = k.spawn(
         ThreadSpec::new("load", ThreadKind::Workload).affinity(CpuSet::single(CpuId(2))),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(20_000_000.0))])),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(20_000_000.0),
+        )])),
     );
     let e = k.run_until_exit(wall, horizon()).unwrap().as_secs_f64();
-    assert!((0.0039..0.0043).contains(&e), "BurnWall stretched under SMT: {e}");
+    assert!(
+        (0.0039..0.0043).contains(&e),
+        "BurnWall stretched under SMT: {e}"
+    );
 
     let mut k2 = kernel(2, 2);
     let burn = k2.spawn(
         ThreadSpec::new("burn", ThreadKind::Injector).affinity(CpuSet::single(CpuId(0))),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(4))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(4),
+        )])),
     );
     let _sibling_load2 = k2.spawn(
         ThreadSpec::new("load", ThreadKind::Workload).affinity(CpuSet::single(CpuId(2))),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(20_000_000.0))])),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(20_000_000.0),
+        )])),
     );
     let e2 = k2.run_until_exit(burn, horizon()).unwrap().as_secs_f64();
     // smt_factor 0.5 -> 4 ms of CPU work takes ~8 ms of wall time.
-    assert!((0.0078..0.0084).contains(&e2), "Burn should stretch under SMT: {e2}");
+    assert!(
+        (0.0078..0.0084).contains(&e2),
+        "Burn should stretch under SMT: {e2}"
+    );
 }
 
 #[test]
@@ -561,14 +629,18 @@ fn burnwall_pauses_while_preempted() {
     let mut k = kernel(1, 1);
     let wall = k.spawn(
         ThreadSpec::new("wall", ThreadKind::Injector),
-        Box::new(ScriptBehavior::new(vec![Action::BurnWall(SimDuration::from_millis(6))])),
+        Box::new(ScriptBehavior::new(vec![Action::BurnWall(
+            SimDuration::from_millis(6),
+        )])),
     );
     // A FIFO hog takes the CPU from 1 ms to 4 ms.
     let _hog = k.spawn(
         ThreadSpec::new("hog", ThreadKind::Noise)
             .policy(Policy::Fifo { prio: 50 })
             .start_at(SimTime::from_secs_f64(0.001)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(3))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(3),
+        )])),
     );
     let e = k.run_until_exit(wall, horizon()).unwrap().as_secs_f64();
     // 6 ms occupancy + 3 ms preempted = ~9 ms.
@@ -593,7 +665,9 @@ fn device_irq_stalls_running_thread_and_is_traced() {
             _start: SimTime,
             duration: SimDuration,
         ) {
-            self.0.borrow_mut().push((class, source.to_string(), duration.nanos()));
+            self.0
+                .borrow_mut()
+                .push((class, source.to_string(), duration.nanos()));
         }
     }
 
@@ -623,16 +697,23 @@ fn wake_placement_prefers_fully_idle_core() {
     let mut k = kernel(2, 2);
     let _busy = k.spawn(
         ThreadSpec::new("busy", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(WorkUnit::compute(20_000_000.0))])),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(20_000_000.0),
+        )])),
     );
     let newcomer = k.spawn(
         ThreadSpec::new("new", ThreadKind::Noise).start_at(SimTime::from_secs_f64(0.001)),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(2))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(2),
+        )])),
     );
     let e = k.run_until_exit(newcomer, horizon()).unwrap().as_secs_f64();
     // On a fully idle core it runs at full speed: 1 ms + 2 ms = 3 ms.
     // On the busy sibling it would take ~5 ms (smt factor 0.5).
-    assert!((0.0029..0.0033).contains(&e), "placed on busy sibling? e={e}");
+    assert!(
+        (0.0029..0.0033).contains(&e),
+        "placed on busy sibling? e={e}"
+    );
     // And the pinned thread must not have been slowed at all.
 }
 
@@ -644,10 +725,15 @@ fn rt_throttling_disabled_allows_full_occupancy() {
     let w = spawn_compute(&mut k, "w", 1_000_000.0, Policy::NORMAL);
     let _hog = k.spawn(
         ThreadSpec::new("hog", ThreadKind::Noise).policy(Policy::Fifo { prio: 50 }),
-        Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(50))])),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(50),
+        )])),
     );
     let e = k.run_until_exit(w, horizon()).unwrap().as_secs_f64();
-    assert!(e > 0.050, "fair thread ran before the FIFO hog finished: {e}");
+    assert!(
+        e > 0.050,
+        "fair thread ran before the FIFO hog finished: {e}"
+    );
 }
 
 #[test]

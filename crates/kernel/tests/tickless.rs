@@ -1,0 +1,258 @@
+//! Tickless-idle (NO_HZ) behaviour: parked CPUs must change nothing
+//! observable — exec times, traces and noise accounting match an eager
+//! kernel at the same seed — while the event count drops.
+
+use noiselab_kernel::{
+    Action, Kernel, KernelConfig, NoiseClass, Policy, ScriptBehavior, ThreadId, ThreadKind,
+    ThreadSpec, TraceSink,
+};
+use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn machine(cores: usize, smt: usize) -> Machine {
+    Machine {
+        name: "t".into(),
+        cores,
+        smt,
+        perf: PerfModel {
+            flops_per_ns: 1.0,
+            smt_factor: 0.5,
+            per_core_bw: 10.0,
+            socket_bw: 20.0,
+        },
+        migration_cost: SimDuration::from_nanos(500),
+        ctx_switch: SimDuration::from_nanos(300),
+        wake_latency: SimDuration::from_nanos(700),
+        tick_period: SimDuration::from_millis(4),
+        reserved_cpus: CpuSet::EMPTY,
+        numa_domains: 1,
+    }
+}
+
+fn config(tickless: bool) -> KernelConfig {
+    KernelConfig {
+        tickless,
+        ..KernelConfig::default()
+    }
+}
+
+fn horizon() -> SimTime {
+    SimTime::from_secs_f64(100.0)
+}
+
+/// One recorded trace event: (cpu, class, source, start, duration).
+type TraceTuple = (u32, NoiseClass, String, u64, u64);
+
+/// A trace sink recording full event tuples for comparison across runs.
+#[derive(Default)]
+struct Recorder(Rc<RefCell<Vec<TraceTuple>>>);
+
+impl TraceSink for Recorder {
+    fn record(
+        &mut self,
+        cpu: CpuId,
+        class: NoiseClass,
+        source: &str,
+        _tid: Option<ThreadId>,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        self.0
+            .borrow_mut()
+            .push((cpu.0, class, source.to_string(), start.0, duration.nanos()));
+    }
+}
+
+/// A mixed scenario: barriers, sleeps, pinned + roaming threads, FIFO
+/// noise and a device IRQ, leaving several CPUs idle for long spans.
+fn run_scenario(tickless: bool, seed: u64, traced: bool) -> (Vec<u64>, Vec<TraceTuple>) {
+    let mut k = Kernel::new(machine(4, 2), config(tickless), seed);
+    let store = Rc::new(RefCell::new(Vec::new()));
+    if traced {
+        k.attach_tracer(Box::new(Recorder(store.clone())));
+    }
+    let bar = k.new_barrier(2);
+    let a = k.spawn(
+        ThreadSpec::new("a", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),
+        Box::new(ScriptBehavior::new(vec![
+            Action::Compute(WorkUnit::compute(6_000_000.0)),
+            Action::Barrier {
+                id: bar,
+                spin: SimDuration::from_micros(50),
+            },
+            Action::Compute(WorkUnit::new(2_000_000.0, 5_000_000.0)),
+        ])),
+    );
+    let b = k.spawn(
+        ThreadSpec::new("b", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![
+            Action::SleepFor(SimDuration::from_millis(2)),
+            Action::Compute(WorkUnit::compute(3_000_000.0)),
+            Action::Barrier {
+                id: bar,
+                spin: SimDuration::from_micros(50),
+            },
+            Action::Compute(WorkUnit::compute(1_000_000.0)),
+        ])),
+    );
+    let n = k.spawn(
+        ThreadSpec::new("noise", ThreadKind::Noise)
+            .policy(Policy::Fifo { prio: 50 })
+            .affinity(CpuSet::single(CpuId(0)))
+            .start_at(SimTime::from_secs_f64(0.003)),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(2),
+        )])),
+    );
+    k.inject_irq(
+        CpuId(1),
+        SimTime::from_secs_f64(0.001),
+        SimDuration::from_micros(800),
+        "nic:77",
+    );
+    let ends: Vec<u64> = [a, b, n]
+        .iter()
+        .map(|&t| k.run_until_exit(t, horizon()).expect("run failed").nanos())
+        .collect();
+    let events = store.borrow().clone();
+    (ends, events)
+}
+
+#[test]
+fn tickless_matches_eager_exec_times_and_traces() {
+    for seed in [1, 7, 42, 1234] {
+        let (eager_ends, eager_tr) = run_scenario(false, seed, true);
+        let (tickless_ends, tickless_tr) = run_scenario(true, seed, true);
+        assert_eq!(
+            eager_ends, tickless_ends,
+            "exec times diverged at seed {seed}"
+        );
+        assert_eq!(eager_tr, tickless_tr, "traces diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn idle_machine_parks_all_ticks() {
+    // After the only thread exits, a tickless kernel has nothing left to
+    // do: the queue drains and virtual time stops advancing, instead of
+    // ticking every CPU forever.
+    let mut k = Kernel::new(machine(4, 1), config(true), 9);
+    let t = k.spawn(
+        ThreadSpec::new("w", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(1_000_000.0),
+        )])),
+    );
+    k.run_until_exit(t, horizon()).unwrap();
+    k.run_until(SimTime::from_secs_f64(50.0)).unwrap();
+    assert!(
+        k.now() < SimTime::from_secs_f64(1.0),
+        "idle kernel kept processing events until {}",
+        k.now()
+    );
+}
+
+#[test]
+fn eager_kernel_keeps_ticking_when_idle() {
+    // Control for the test above: with tickless off, ticks carry virtual
+    // time forward indefinitely.
+    let mut k = Kernel::new(machine(4, 1), config(false), 9);
+    let t = k.spawn(
+        ThreadSpec::new("w", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(1_000_000.0),
+        )])),
+    );
+    k.run_until_exit(t, horizon()).unwrap();
+    k.run_until(SimTime::from_secs_f64(2.0)).unwrap();
+    assert!(
+        k.now() > SimTime::from_secs_f64(1.9),
+        "eager ticks stopped at {}",
+        k.now()
+    );
+}
+
+#[test]
+fn parked_cpu_still_pulls_queued_work() {
+    // One CPU is hogged by FIFO noise; a fair thread queued behind it
+    // must escape to another (parked, tickless) CPU via idle balancing.
+    let mut k = Kernel::new(machine(2, 1), config(true), 5);
+    let roam = k.spawn(
+        ThreadSpec::new("roam", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(10_000_000.0),
+        )])),
+    );
+    let _hog = k.spawn(
+        ThreadSpec::new("hog", ThreadKind::Noise)
+            .policy(Policy::Fifo { prio: 50 })
+            .affinity(CpuSet::single(CpuId(0)))
+            .start_at(SimTime::from_secs_f64(0.001)),
+        Box::new(ScriptBehavior::new(vec![Action::Burn(
+            SimDuration::from_millis(5),
+        )])),
+    );
+    let e = k.run_until_exit(roam, horizon()).unwrap().as_secs_f64();
+    assert!(e < 0.0125, "queued thread starved on a parked CPU: e={e}");
+    assert!(k.thread(roam).stats.migrations >= 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random workloads never starve under tickless idle, and finish at
+    /// exactly the same virtual times as under eager ticks.
+    #[test]
+    fn no_runnable_thread_starves_with_parked_ticks(
+        seed in 0u64..1_000_000,
+        nthreads in 1usize..10,
+        shape in 0u8..8,
+    ) {
+        let build = |tickless: bool| -> Vec<u64> {
+            let mut k = Kernel::new(machine(4, 2), config(tickless), seed);
+            let tids: Vec<ThreadId> = (0..nthreads)
+                .map(|i| {
+                    // Derived deterministically from the proptest inputs.
+                    let mix = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64);
+                    let flops = 200_000.0 + (mix % 4_000_000) as f64;
+                    let start = SimTime((mix >> 8) % 5_000_000);
+                    let affinity = if shape & 1 == 0 {
+                        CpuSet::EMPTY // all CPUs
+                    } else {
+                        CpuSet::single(CpuId((mix % 8) as u32))
+                    };
+                    let policy = if shape & 2 != 0 && i % 3 == 0 {
+                        Policy::Fifo { prio: 10 + (mix % 50) as u8 }
+                    } else {
+                        Policy::NORMAL
+                    };
+                    let mut actions = vec![Action::Compute(WorkUnit::compute(flops))];
+                    if shape & 4 != 0 {
+                        actions.push(Action::SleepFor(SimDuration::from_micros(300)));
+                        actions.push(Action::Compute(WorkUnit::compute(flops / 2.0)));
+                    }
+                    k.spawn(
+                        ThreadSpec::new(format!("w{i}"), ThreadKind::Workload)
+                            .policy(policy)
+                            .affinity(affinity)
+                            .start_at(start),
+                        Box::new(ScriptBehavior::new(actions)),
+                    )
+                })
+                .collect();
+            tids.iter()
+                .map(|&t| {
+                    k.run_until_exit(t, horizon())
+                        .expect("thread starved or deadlocked")
+                        .nanos()
+                })
+                .collect()
+        };
+        let eager = build(false);
+        let tickless = build(true);
+        prop_assert_eq!(eager, tickless);
+    }
+}

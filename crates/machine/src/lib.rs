@@ -17,4 +17,4 @@ pub mod waterfill;
 pub use cpuset::{CpuId, CpuSet};
 pub use machine::Machine;
 pub use perf::{PerfModel, SoloProfile, WorkUnit};
-pub use waterfill::waterfill;
+pub use waterfill::{waterfill, waterfill_into};

@@ -161,7 +161,11 @@ impl Machine {
     pub fn a64fx(reserved: bool) -> Machine {
         let (cores, reserved_cpus, name) = if reserved {
             // 48 user cores + 2 OS cores, exposed as cpus 48 and 49.
-            (50, [CpuId(48), CpuId(49)].into_iter().collect(), "A64FX:reserved")
+            (
+                50,
+                [CpuId(48), CpuId(49)].into_iter().collect(),
+                "A64FX:reserved",
+            )
         } else {
             (48, CpuSet::EMPTY, "A64FX:w/o")
         };

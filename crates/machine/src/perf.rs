@@ -43,14 +43,20 @@ impl WorkUnit {
     }
 
     pub fn scaled(&self, k: f64) -> WorkUnit {
-        WorkUnit { flops: self.flops * k, bytes: self.bytes * k }
+        WorkUnit {
+            flops: self.flops * k,
+            bytes: self.bytes * k,
+        }
     }
 }
 
 impl std::ops::Add for WorkUnit {
     type Output = WorkUnit;
     fn add(self, o: WorkUnit) -> WorkUnit {
-        WorkUnit { flops: self.flops + o.flops, bytes: self.bytes + o.bytes }
+        WorkUnit {
+            flops: self.flops + o.flops,
+            bytes: self.bytes + o.bytes,
+        }
     }
 }
 
@@ -89,8 +95,16 @@ impl PerfModel {
         let cpu_ns = w.flops / self.flops_per_ns;
         let mem_ns = w.bytes / self.per_core_bw;
         let solo_ns = cpu_ns.max(mem_ns).max(1.0); // at least 1 ns
-        let bw_demand = if solo_ns > 0.0 { w.bytes / solo_ns } else { 0.0 };
-        SoloProfile { solo_ns, cpu_ns, bw_demand }
+        let bw_demand = if solo_ns > 0.0 {
+            w.bytes / solo_ns
+        } else {
+            0.0
+        };
+        SoloProfile {
+            solo_ns,
+            cpu_ns,
+            bw_demand,
+        }
     }
 
     /// Execution rate (fraction of solo progress per ns) given a compute
@@ -122,7 +136,12 @@ mod tests {
     use super::*;
 
     fn model() -> PerfModel {
-        PerfModel { flops_per_ns: 10.0, smt_factor: 0.6, per_core_bw: 20.0, socket_bw: 60.0 }
+        PerfModel {
+            flops_per_ns: 10.0,
+            smt_factor: 0.6,
+            per_core_bw: 20.0,
+            socket_bw: 60.0,
+        }
     }
 
     #[test]

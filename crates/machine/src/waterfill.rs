@@ -18,23 +18,43 @@
 /// * max-min fairness: you cannot raise any `a[i]` without lowering some
 ///   `a[j] <= a[i]`.
 pub fn waterfill(demands: &[f64], capacity: f64) -> Vec<f64> {
+    let mut alloc = Vec::new();
+    let mut order = Vec::new();
+    waterfill_into(demands, capacity, &mut alloc, &mut order);
+    alloc
+}
+
+/// Scratch-buffer variant of [`waterfill`] for hot paths: writes the
+/// allocations into `alloc` (cleared first) and uses `order` as index
+/// scratch, so steady-state callers make no allocations once the
+/// buffers have grown to the working-set size. Produces bit-identical
+/// results to [`waterfill`].
+pub fn waterfill_into(
+    demands: &[f64],
+    capacity: f64,
+    alloc: &mut Vec<f64>,
+    order: &mut Vec<usize>,
+) {
     debug_assert!(capacity >= 0.0);
     debug_assert!(demands.iter().all(|&d| d >= 0.0));
     let n = demands.len();
+    alloc.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let total: f64 = demands.iter().sum();
     if total <= capacity {
-        return demands.to_vec();
+        alloc.extend_from_slice(demands);
+        return;
     }
 
     // Sort indices by demand ascending; satisfy small demands fully while
     // they fit under the running fair share.
-    let mut order: Vec<usize> = (0..n).collect();
+    order.clear();
+    order.extend(0..n);
     order.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).unwrap().then(a.cmp(&b)));
 
-    let mut alloc = vec![0.0; n];
+    alloc.resize(n, 0.0);
     let mut remaining = capacity;
     let mut left = n;
     for (rank, &i) in order.iter().enumerate() {
@@ -48,11 +68,10 @@ pub fn waterfill(demands: &[f64], capacity: f64) -> Vec<f64> {
             for &j in &order[rank..] {
                 alloc[j] = share;
             }
-            return alloc;
+            return;
         }
         left -= 1;
     }
-    alloc
 }
 
 #[cfg(test)]

@@ -161,7 +161,11 @@ mod tests {
     }
 
     fn run(idx: usize, exec: u64, events: Vec<TraceEvent>) -> RunTrace {
-        RunTrace { run_index: idx, exec_time: SimDuration(exec), events }
+        RunTrace {
+            run_index: idx,
+            exec_time: SimDuration(exec),
+            events,
+        }
     }
 
     #[test]
@@ -169,7 +173,11 @@ mod tests {
         let r = run(
             0,
             1_000_000,
-            vec![ev(0, "kworker", 1_000), ev(1, "kworker", 3_000), ev(1, "Xorg", 500)],
+            vec![
+                ev(0, "kworker", 1_000),
+                ev(1, "kworker", 3_000),
+                ev(1, "Xorg", 500),
+            ],
         );
         let s = summarize_run(&r);
         assert_eq!(s.events, 3);
@@ -200,7 +208,9 @@ mod tests {
     fn outlier_detection() {
         let quiet = run(0, 100, vec![ev(0, "a", 100)]);
         let loud = run(1, 100, vec![ev(0, "a", 10_000)]);
-        let set = TraceSet { runs: vec![quiet.clone(), quiet.clone(), quiet.clone(), loud.clone()] };
+        let set = TraceSet {
+            runs: vec![quiet.clone(), quiet.clone(), quiet.clone(), loud.clone()],
+        };
         assert!(is_outlier(&loud, &set));
         assert!(!is_outlier(&quiet, &set));
     }

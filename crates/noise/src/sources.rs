@@ -64,7 +64,10 @@ pub enum AnomalyKind {
     /// this interferes with memory-bound workloads *even from
     /// housekeeping cores*, because the contended resource is the
     /// socket's bandwidth, not a CPU.
-    MemoryHog { threads: usize, bytes_per_burst: f64 },
+    MemoryHog {
+        threads: usize,
+        bytes_per_burst: f64,
+    },
     /// Several noise kinds striking together over one shared window —
     /// real worst-case events (e.g. a package update) combine heavy
     /// kworker activity with device interrupt storms.
@@ -179,7 +182,10 @@ impl NoiseProfile {
                             service: SimDuration::from_micros(10),
                         },
                     ]),
-                    window: (SimDuration::from_millis(400), SimDuration::from_millis(1_500)),
+                    window: (
+                        SimDuration::from_millis(400),
+                        SimDuration::from_millis(1_500),
+                    ),
                     start: (SimDuration::from_millis(20), SimDuration::from_millis(200)),
                 },
                 AnomalySpec {
@@ -190,7 +196,10 @@ impl NoiseProfile {
                         sigma: 0.5,
                         mean_gap: SimDuration::from_micros(1_500),
                     },
-                    window: (SimDuration::from_millis(400), SimDuration::from_millis(1_600)),
+                    window: (
+                        SimDuration::from_millis(400),
+                        SimDuration::from_millis(1_600),
+                    ),
                     start: (SimDuration::from_millis(10), SimDuration::from_millis(150)),
                 },
                 AnomalySpec {
@@ -232,7 +241,10 @@ impl NoiseProfile {
                     mean_interval: SimDuration::from_micros(55),
                     service: SimDuration::from_micros(50),
                 },
-                window: (SimDuration::from_millis(700), SimDuration::from_millis(1_400)),
+                window: (
+                    SimDuration::from_millis(700),
+                    SimDuration::from_millis(1_400),
+                ),
                 start: (SimDuration::from_millis(20), SimDuration::from_millis(150)),
             },
             AnomalySpec {
@@ -250,7 +262,10 @@ impl NoiseProfile {
                         service: SimDuration::from_micros(12),
                     },
                 ]),
-                window: (SimDuration::from_millis(400), SimDuration::from_millis(1_200)),
+                window: (
+                    SimDuration::from_millis(400),
+                    SimDuration::from_millis(1_200),
+                ),
                 start: (SimDuration::from_millis(20), SimDuration::from_millis(200)),
             },
             AnomalySpec {
@@ -261,7 +276,10 @@ impl NoiseProfile {
                     sigma: 0.5,
                     mean_gap: SimDuration::from_micros(1_000),
                 },
-                window: (SimDuration::from_millis(500), SimDuration::from_millis(1_300)),
+                window: (
+                    SimDuration::from_millis(500),
+                    SimDuration::from_millis(1_300),
+                ),
                 start: (SimDuration::from_millis(10), SimDuration::from_millis(150)),
             },
         ];
@@ -271,7 +289,8 @@ impl NoiseProfile {
     /// Runlevel 3 (no GUI): same as desktop minus the GUI daemons.
     pub fn runlevel3() -> NoiseProfile {
         let mut p = Self::desktop();
-        p.daemons.retain(|d| d.name != "gnome-shell" && d.name != "Xorg");
+        p.daemons
+            .retain(|d| d.name != "gnome-shell" && d.name != "Xorg");
         p
     }
 
@@ -382,7 +401,9 @@ fn install_anomaly(
             + run_rng.below((spec.window.1.nanos() - spec.window.0.nanos()).max(1)),
     );
     let end = start + window;
-    install_kind(kernel, &spec.kind, &spec.name, start, end, affinity, run_rng, threads);
+    install_kind(
+        kernel, &spec.kind, &spec.name, start, end, affinity, run_rng, threads,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -401,14 +422,16 @@ fn install_kind(
     // anomaly source for a recurring inherent one.
     let tag = run_rng.next_u64() & 0xFFFF;
     match kind {
-        AnomalyKind::ThreadStorm { threads: n, median_burst, sigma, mean_gap } => {
+        AnomalyKind::ThreadStorm {
+            threads: n,
+            median_burst,
+            sigma,
+            mean_gap,
+        } => {
             for i in 0..*n {
-                let tspec = ThreadSpec::new(
-                    format!("{}-{tag:04x}/{i}", name),
-                    ThreadKind::Noise,
-                )
-                .affinity(affinity)
-                .start_at(start);
+                let tspec = ThreadSpec::new(format!("{}-{tag:04x}/{i}", name), ThreadKind::Noise)
+                    .affinity(affinity)
+                    .start_at(start);
                 let b = StormBehavior {
                     end,
                     median_burst: *median_burst,
@@ -419,19 +442,26 @@ fn install_kind(
                 threads.push(kernel.spawn(tspec, Box::new(b)));
             }
         }
-        AnomalyKind::MemoryHog { threads: n, bytes_per_burst } => {
+        AnomalyKind::MemoryHog {
+            threads: n,
+            bytes_per_burst,
+        } => {
             for i in 0..*n {
-                let tspec = ThreadSpec::new(
-                    format!("{}-{tag:04x}/{i}", name),
-                    ThreadKind::Noise,
-                )
-                .affinity(affinity)
-                .start_at(start);
-                let b = MemHogBehavior { end, bytes_per_burst: *bytes_per_burst };
+                let tspec = ThreadSpec::new(format!("{}-{tag:04x}/{i}", name), ThreadKind::Noise)
+                    .affinity(affinity)
+                    .start_at(start);
+                let b = MemHogBehavior {
+                    end,
+                    bytes_per_burst: *bytes_per_burst,
+                };
                 threads.push(kernel.spawn(tspec, Box::new(b)));
             }
         }
-        AnomalyKind::IrqStorm { cpus, mean_interval, service } => {
+        AnomalyKind::IrqStorm {
+            cpus,
+            mean_interval,
+            service,
+        } => {
             // Pre-schedule the interrupt series on randomly chosen
             // CPUs (device IRQs have fixed affinity, as on hardware
             // without irqbalance intervention). On systems with
@@ -474,7 +504,9 @@ impl Behavior for KworkerBehavior {
     fn next(&mut self, ctx: &mut Ctx<'_>) -> Action {
         self.burst_next = !self.burst_next;
         if self.burst_next {
-            let ns = ctx.rng.log_normal(self.median_burst.nanos() as f64, self.sigma);
+            let ns = ctx
+                .rng
+                .log_normal(self.median_burst.nanos() as f64, self.sigma);
             Action::Burn(SimDuration(ns.round().max(500.0) as u64))
         } else {
             let gap = ctx.rng.exp(self.mean_interval.as_secs_f64());
@@ -553,7 +585,9 @@ impl Behavior for StormBehavior {
         }
         self.burst_next = !self.burst_next;
         if self.burst_next {
-            let ns = ctx.rng.log_normal(self.median_burst.nanos() as f64, self.sigma);
+            let ns = ctx
+                .rng
+                .log_normal(self.median_burst.nanos() as f64, self.sigma);
             Action::Burn(SimDuration(ns.round().max(1_000.0) as u64))
         } else {
             let gap = ctx.rng.exp(self.mean_gap.as_secs_f64());
@@ -596,7 +630,10 @@ mod tests {
 
     #[test]
     fn anomaly_rate_matches_probability() {
-        let p = NoiseProfile { anomaly_prob: 0.3, ..NoiseProfile::desktop() };
+        let p = NoiseProfile {
+            anomaly_prob: 0.3,
+            ..NoiseProfile::desktop()
+        };
         let mut rng = Rng::new(42);
         let mut hits = 0;
         for i in 0..400 {
@@ -613,7 +650,10 @@ mod tests {
     #[test]
     fn runlevel3_strips_gui() {
         let p = NoiseProfile::runlevel3();
-        assert!(p.daemons.iter().all(|d| d.name != "gnome-shell" && d.name != "Xorg"));
+        assert!(p
+            .daemons
+            .iter()
+            .all(|d| d.name != "gnome-shell" && d.name != "Xorg"));
         assert!(!p.daemons.is_empty());
     }
 

@@ -155,8 +155,14 @@ mod tests {
 
     #[test]
     fn worst_index_is_longest_run() {
-        let mk = |i, ns| RunTrace { run_index: i, exec_time: SimDuration(ns), events: vec![] };
-        let set = TraceSet { runs: vec![mk(0, 100), mk(1, 900), mk(2, 300)] };
+        let mk = |i, ns| RunTrace {
+            run_index: i,
+            exec_time: SimDuration(ns),
+            events: vec![],
+        };
+        let set = TraceSet {
+            runs: vec![mk(0, 100), mk(1, 900), mk(2, 300)],
+        };
         assert_eq!(set.worst_index(), Some(1));
         assert_eq!(set.mean_exec(), Some(SimDuration(433)));
     }

@@ -35,7 +35,11 @@ impl TraceBuffer {
 
     /// Drain the buffer into a [`RunTrace`].
     pub fn take_trace(&self, run_index: usize, exec_time: SimDuration) -> RunTrace {
-        RunTrace { run_index, exec_time, events: std::mem::take(&mut *self.inner.borrow_mut()) }
+        RunTrace {
+            run_index,
+            exec_time,
+            events: std::mem::take(&mut *self.inner.borrow_mut()),
+        }
     }
 }
 
@@ -49,7 +53,12 @@ impl OsNoiseTracer {
     /// Returns the tracer and the shared buffer handle.
     pub fn new() -> (OsNoiseTracer, TraceBuffer) {
         let buffer = TraceBuffer::new();
-        (OsNoiseTracer { buffer: buffer.clone() }, buffer)
+        (
+            OsNoiseTracer {
+                buffer: buffer.clone(),
+            },
+            buffer,
+        )
     }
 }
 

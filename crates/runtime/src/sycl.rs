@@ -98,7 +98,10 @@ impl SyclQueue {
         let bw_scale = 1.0 / self.bandwidth_efficiency;
         let scaled: WorkFn = Rc::new(move |start, n| {
             let w = work(start, n);
-            WorkUnit { flops: w.flops * eff, bytes: w.bytes * bw_scale }
+            WorkUnit {
+                flops: w.flops * eff,
+                bytes: w.bytes * bw_scale,
+            }
         });
 
         self.program.push(Phase {
@@ -172,7 +175,12 @@ mod tests {
     #[test]
     fn submit_batches_workgroups() {
         let mut q = SyclQueue::new(4, 1.0);
-        q.submit("k", 32_768, 256, Rc::new(|_, n| WorkUnit::compute(n as f64)));
+        q.submit(
+            "k",
+            32_768,
+            256,
+            Rc::new(|_, n| WorkUnit::compute(n as f64)),
+        );
         let p = q.finish();
         assert_eq!(p.phases.len(), 1);
         // 128 wgs into ~32 batches -> 4 wgs/batch -> 1024 items.
@@ -185,7 +193,12 @@ mod tests {
     #[test]
     fn efficiency_scales_flops_not_bytes() {
         let mut q = SyclQueue::new(4, 1.5);
-        q.submit("k", 100, 10, Rc::new(|_, n| WorkUnit::new(n as f64, n as f64 * 8.0)));
+        q.submit(
+            "k",
+            100,
+            10,
+            Rc::new(|_, n| WorkUnit::new(n as f64, n as f64 * 8.0)),
+        );
         let p = q.finish();
         let w = (p.phases[0].work)(0, 100);
         assert_eq!(w.flops, 150.0);
@@ -195,7 +208,12 @@ mod tests {
     #[test]
     fn bandwidth_efficiency_inflates_bytes() {
         let mut q = SyclQueue::new(4, 1.0).with_bandwidth_efficiency(0.8);
-        q.submit("k", 100, 10, Rc::new(|_, n| WorkUnit::new(n as f64, n as f64 * 8.0)));
+        q.submit(
+            "k",
+            100,
+            10,
+            Rc::new(|_, n| WorkUnit::new(n as f64, n as f64 * 8.0)),
+        );
         let p = q.finish();
         let w = (p.phases[0].work)(0, 100);
         assert_eq!(w.flops, 100.0);

@@ -101,7 +101,9 @@ impl SharedState {
 enum WState {
     Startup,
     /// Filling the local queue / claiming chunks in the current phase.
-    Working { entered_phase: usize },
+    Working {
+        entered_phase: usize,
+    },
     /// This worker closed the phase and owes the phase gap.
     CloserGap,
     /// Waiting at the phase barrier.
@@ -161,7 +163,9 @@ impl Behavior for Worker {
         loop {
             match self.state {
                 WState::Startup => {
-                    self.state = WState::Working { entered_phase: usize::MAX };
+                    self.state = WState::Working {
+                        entered_phase: usize::MAX,
+                    };
                     let startup = self.shared.borrow().params.startup;
                     if startup > SimDuration::ZERO {
                         return Action::Burn(startup);
@@ -183,7 +187,9 @@ impl Behavior for Worker {
                         let nthreads = sh.nthreads;
                         drop(sh);
                         self.fill_static(&phase, nthreads);
-                        self.state = WState::Working { entered_phase: phase_idx };
+                        self.state = WState::Working {
+                            entered_phase: phase_idx,
+                        };
                     }
                     match self.next_chunk() {
                         Some((start, len)) => {
@@ -231,7 +237,9 @@ impl Behavior for Worker {
                 }
                 WState::AtBarrier => {
                     // Barrier released: re-enter the work loop.
-                    self.state = WState::Working { entered_phase: usize::MAX };
+                    self.state = WState::Working {
+                        entered_phase: usize::MAX,
+                    };
                 }
                 WState::Done => return Action::Exit,
             }
@@ -257,7 +265,10 @@ impl Behavior for WithStartBarrier {
             self.arrived = true;
             // Skip the inner StartBarrier placeholder state.
             self.inner.state = WState::Startup;
-            return Action::Barrier { id: self.start_barrier, spin: self.spin };
+            return Action::Barrier {
+                id: self.start_barrier,
+                spin: self.spin,
+            };
         }
         self.inner.next(ctx)
     }
@@ -361,7 +372,12 @@ mod tests {
         }
     }
 
-    fn uniform_program(phases: usize, items: usize, flops_per_item: f64, policy: ChunkPolicy) -> Program {
+    fn uniform_program(
+        phases: usize,
+        items: usize,
+        flops_per_item: f64,
+        policy: ChunkPolicy,
+    ) -> Program {
         let mut p = Program::new();
         for i in 0..phases {
             p.push(Phase {
@@ -374,12 +390,7 @@ mod tests {
         p
     }
 
-    fn run_team(
-        cores: usize,
-        nthreads: usize,
-        program: Program,
-        params: RuntimeParams,
-    ) -> f64 {
+    fn run_team(cores: usize, nthreads: usize, program: Program, params: RuntimeParams) -> f64 {
         let mut k = Kernel::new(machine(cores), quiet_cfg(), 1);
         let team = spawn_team(
             &mut k,
@@ -396,7 +407,9 @@ mod tests {
         let mut end = 0.0f64;
         for w in &team.workers {
             end = end.max(
-                k.run_until_exit(*w, SimTime::from_secs_f64(100.0)).unwrap().as_secs_f64(),
+                k.run_until_exit(*w, SimTime::from_secs_f64(100.0))
+                    .unwrap()
+                    .as_secs_f64(),
             );
         }
         end
@@ -477,8 +490,16 @@ mod tests {
             p
         };
         let t_block = run_team(4, 4, mk(ChunkPolicy::Static { chunk: None }), zero_params());
-        let t_rr = run_team(4, 4, mk(ChunkPolicy::Static { chunk: Some(16) }), zero_params());
-        assert!(t_rr < t_block * 0.75, "round-robin should balance: rr={t_rr} block={t_block}");
+        let t_rr = run_team(
+            4,
+            4,
+            mk(ChunkPolicy::Static { chunk: Some(16) }),
+            zero_params(),
+        );
+        assert!(
+            t_rr < t_block * 0.75,
+            "round-robin should balance: rr={t_rr} block={t_block}"
+        );
     }
 
     #[test]
@@ -561,8 +582,7 @@ mod tests {
         // Gate thread releases the barrier at t = 5 ms.
         use noiselab_kernel::ScriptBehavior;
         k.spawn(
-            ThreadSpec::new("gate", ThreadKind::Workload)
-                .start_at(SimTime::from_secs_f64(0.005)),
+            ThreadSpec::new("gate", ThreadKind::Workload).start_at(SimTime::from_secs_f64(0.005)),
             Box::new(ScriptBehavior::new(vec![Action::Barrier {
                 id: start,
                 spin: SimDuration::ZERO,

@@ -16,7 +16,12 @@ fn machine(cores: usize) -> Machine {
         name: "t".into(),
         cores,
         smt: 1,
-        perf: PerfModel { flops_per_ns: 1.0, smt_factor: 1.0, per_core_bw: 100.0, socket_bw: 400.0 },
+        perf: PerfModel {
+            flops_per_ns: 1.0,
+            smt_factor: 1.0,
+            per_core_bw: 100.0,
+            socket_bw: 400.0,
+        },
         migration_cost: SimDuration::ZERO,
         ctx_switch: SimDuration::ZERO,
         wake_latency: SimDuration::ZERO,

@@ -1,4 +1,4 @@
-//! Discrete-event queue with stable ordering and O(log n) cancellation.
+//! Discrete-event queue with stable ordering and O(1) cancellation.
 //!
 //! Events are ordered by `(time, sequence)` where `sequence` is a
 //! monotonically increasing insertion counter. This makes simulations
@@ -15,18 +15,52 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Identifies a scheduled event so it can be cancelled.
+///
+/// Packs a slot index (low 32 bits) and that slot's generation stamp
+/// (high 32 bits). Slots are recycled once their heap entry is gone;
+/// the generation bump at recycle time makes stale tokens inert, so a
+/// caller holding a token for an event that already fired cannot
+/// accidentally cancel the slot's next occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
 
 impl EventToken {
     /// A token that never refers to a live event.
     pub const NONE: EventToken = EventToken(u64::MAX);
+
+    #[inline]
+    fn pack(slot: u32, gen: u32) -> EventToken {
+        EventToken(slot as u64 | ((gen as u64) << 32))
+    }
+
+    #[inline]
+    fn unpack(self) -> (u32, u32) {
+        (self.0 as u32, (self.0 >> 32) as u32)
+    }
+}
+
+/// Per-slot bookkeeping for the token table.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// No heap entry references this slot; it is on the free list.
+    Free,
+    /// The slot's heap entry is pending and will fire.
+    Scheduled,
+    /// The slot's heap entry is pending but was cancelled; it will be
+    /// dropped when it surfaces (or at the next compaction).
+    Cancelled,
+}
+
+#[derive(Clone, Copy)]
+struct Slot {
+    gen: u32,
+    state: SlotState,
 }
 
 struct Entry<E> {
     time: SimTime,
     seq: u64,
-    token: u64,
+    token: EventToken,
     payload: E,
 }
 
@@ -52,12 +86,11 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
-    next_token: u64,
-    /// Tokens that have been cancelled but whose entries are still in the
-    /// heap. Kept as a sorted vec-free bitset-ish structure: we use a
-    /// HashSet-free approach via generation is impossible for arbitrary
-    /// tokens, so a HashSet it is.
-    cancelled: std::collections::HashSet<u64>,
+    /// Token table: `slots[s]` tracks the state and generation of slot
+    /// `s`. Cancellation and liveness checks are a single indexed load —
+    /// no hashing on the schedule/cancel/pop hot paths.
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     now: SimTime,
     live: usize,
 }
@@ -73,8 +106,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            next_token: 0,
-            cancelled: std::collections::HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             now: SimTime::ZERO,
             live: 0,
         }
@@ -107,13 +140,31 @@ impl<E> EventQueue<E> {
             self.now
         );
         let at = at.max(self.now);
-        let token = self.next_token;
-        self.next_token += 1;
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    state: SlotState::Free,
+                });
+                s
+            }
+        };
+        let entry = &mut self.slots[slot as usize];
+        debug_assert!(entry.state == SlotState::Free);
+        entry.state = SlotState::Scheduled;
+        let token = EventToken::pack(slot, entry.gen);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time: at, seq, token, payload }));
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            token,
+            payload,
+        }));
         self.live += 1;
-        EventToken(token)
+        token
     }
 
     /// Cancel a previously scheduled event. Cancelling an already-fired or
@@ -122,21 +173,35 @@ impl<E> EventQueue<E> {
         if token == EventToken::NONE {
             return;
         }
-        if self.cancelled.insert(token.0) {
-            self.live = self.live.saturating_sub(1);
+        let (slot, gen) = token.unpack();
+        let Some(entry) = self.slots.get_mut(slot as usize) else {
+            return;
+        };
+        if entry.gen == gen && entry.state == SlotState::Scheduled {
+            entry.state = SlotState::Cancelled;
+            self.live -= 1;
+            self.maybe_compact();
         }
+    }
+
+    /// Cancel `token` (if still pending) and schedule `payload` at `at`,
+    /// returning the replacement's token. The single entry point for
+    /// re-prediction churn (compute-completion updates), so callers
+    /// cannot forget the cancel half and leak live duplicates.
+    pub fn reschedule(&mut self, token: EventToken, at: SimTime, payload: E) -> EventToken {
+        self.cancel(token);
+        self.schedule(at, payload)
     }
 
     /// Pop the next live event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.token) {
-                continue;
+            if self.release(entry.token) {
+                self.live -= 1;
+                debug_assert!(entry.time >= self.now);
+                self.now = entry.time;
+                return Some((entry.time, entry.payload));
             }
-            self.live -= 1;
-            debug_assert!(entry.time >= self.now);
-            self.now = entry.time;
-            return Some((entry.time, entry.payload));
         }
         None
     }
@@ -145,14 +210,53 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop stale heads so peek is accurate.
         while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.token) {
+            let (slot, _) = entry.token.unpack();
+            if self.slots[slot as usize].state == SlotState::Cancelled {
                 let Reverse(entry) = self.heap.pop().unwrap();
-                self.cancelled.remove(&entry.token);
+                self.release(entry.token);
             } else {
                 return Some(entry.time);
             }
         }
         None
+    }
+
+    /// Retire the heap entry for `token`, recycling its slot. Returns
+    /// true when the entry was live (scheduled, not cancelled).
+    #[inline]
+    fn release(&mut self, token: EventToken) -> bool {
+        let (slot, gen) = token.unpack();
+        let entry = &mut self.slots[slot as usize];
+        // Each slot has exactly one heap entry per generation, so a
+        // surfaced entry's generation always matches its slot's.
+        debug_assert!(entry.gen == gen && entry.state != SlotState::Free);
+        let was_live = entry.state == SlotState::Scheduled;
+        entry.state = SlotState::Free;
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free.push(slot);
+        was_live
+    }
+
+    /// Rebuild the heap without cancelled entries once they dominate it.
+    /// Reschedule-heavy phases (compute re-prediction on every dispatch)
+    /// would otherwise grow the heap — and every push/pop's `log n` —
+    /// without bound. Amortised O(1): a rebuild costs O(n) and only
+    /// happens after Ω(n) cancellations.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() < 64 || self.heap.len() < 2 * self.live {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut kept = Vec::with_capacity(self.live);
+        for Reverse(entry) in entries {
+            let (slot, _) = entry.token.unpack();
+            if self.slots[slot as usize].state == SlotState::Cancelled {
+                self.release(entry.token);
+            } else {
+                kept.push(Reverse(entry));
+            }
+        }
+        self.heap = BinaryHeap::from(kept);
     }
 }
 
@@ -232,5 +336,85 @@ mod tests {
         q.schedule(SimTime(10), ());
         q.pop();
         q.schedule(SimTime(5), ());
+    }
+
+    #[test]
+    fn stale_token_does_not_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let t1 = q.schedule(SimTime(10), 1);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        // t1's slot is recycled for the next event.
+        let t2 = q.schedule(SimTime(20), 2);
+        q.cancel(t1); // stale: generation mismatch, must be a no-op
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        let _ = t2;
+    }
+
+    #[test]
+    fn reschedule_replaces_pending_event() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(SimTime(50), "old");
+        let t2 = q.reschedule(t, SimTime(10), "new");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime(10), "new")));
+        assert_eq!(q.pop(), None);
+        q.cancel(t2); // fired already: no-op
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reschedule_of_fired_token_just_schedules() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(SimTime(5), 1);
+        assert_eq!(q.pop(), Some((SimTime(5), 1)));
+        let _ = q.reschedule(t, SimTime(9), 2);
+        assert_eq!(q.pop(), Some((SimTime(9), 2)));
+    }
+
+    #[test]
+    fn compaction_bounds_heap_garbage() {
+        let mut q = EventQueue::new();
+        // A long cancel/schedule churn: without compaction the heap
+        // would hold every dead entry until pop time.
+        let mut token = EventToken::NONE;
+        for i in 0..10_000u64 {
+            token = q.reschedule(token, SimTime(1_000_000 + i), i);
+        }
+        assert_eq!(q.len(), 1);
+        assert!(
+            q.heap.len() <= 128,
+            "heap kept {} entries for 1 live event",
+            q.heap.len()
+        );
+        // Slots are recycled rather than leaked.
+        assert!(
+            q.slots.len() <= 128,
+            "token table grew to {}",
+            q.slots.len()
+        );
+        assert_eq!(q.pop().map(|(_, v)| v), Some(9_999));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_cancel_pop_stress_keeps_counts_consistent() {
+        let mut q = EventQueue::new();
+        let mut tokens = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..40u64 {
+                tokens.push(q.schedule(SimTime(round * 1000 + i * 13 % 997), (round, i)));
+            }
+            // Cancel every third token ever issued (mostly stale).
+            for t in tokens.iter().step_by(3) {
+                q.cancel(*t);
+            }
+            for _ in 0..20 {
+                q.pop();
+            }
+        }
+        while q.pop().is_some() {}
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
     }
 }

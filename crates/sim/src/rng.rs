@@ -35,7 +35,10 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, spare_normal: None }
+        Rng {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derive an independent child generator; used to give every noise

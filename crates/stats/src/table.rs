@@ -14,7 +14,11 @@ pub struct TextTable {
 
 impl TextTable {
     pub fn new(title: impl Into<String>) -> Self {
-        TextTable { title: title.into(), header: Vec::new(), rows: Vec::new() }
+        TextTable {
+            title: title.into(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     pub fn header(mut self, cols: &[&str]) -> Self {
@@ -23,7 +27,8 @@ impl TextTable {
     }
 
     pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 

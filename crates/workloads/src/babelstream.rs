@@ -34,7 +34,13 @@ pub enum Kernel {
 }
 
 impl Kernel {
-    pub const ALL: [Kernel; 5] = [Kernel::Copy, Kernel::Mul, Kernel::Add, Kernel::Triad, Kernel::Dot];
+    pub const ALL: [Kernel; 5] = [
+        Kernel::Copy,
+        Kernel::Mul,
+        Kernel::Add,
+        Kernel::Triad,
+        Kernel::Dot,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -87,7 +93,11 @@ impl Default for Babelstream {
 
 impl Babelstream {
     pub fn small() -> Self {
-        Babelstream { elements: 1 << 18, iterations: 10, ..Default::default() }
+        Babelstream {
+            elements: 1 << 18,
+            iterations: 10,
+            ..Default::default()
+        }
     }
 
     /// Only the `dot` kernel (motivation Fig. 2).
@@ -175,7 +185,11 @@ pub mod reference {
 
     impl Arrays {
         pub fn new(n: usize) -> Self {
-            Arrays { a: vec![START_A; n], b: vec![START_B; n], c: vec![START_C; n] }
+            Arrays {
+                a: vec![START_A; n],
+                b: vec![START_B; n],
+                c: vec![START_C; n],
+            }
         }
 
         pub fn copy(&mut self) {
@@ -237,9 +251,8 @@ pub mod reference {
         pub fn check(&self, iters: usize) -> f64 {
             let n = self.a.len();
             let (ga, gb, gc, _) = Self::expected(n, iters);
-            let err = |v: &[f64], g: f64| {
-                v.iter().map(|x| ((x - g) / g).abs()).fold(0.0f64, f64::max)
-            };
+            let err =
+                |v: &[f64], g: f64| v.iter().map(|x| ((x - g) / g).abs()).fold(0.0f64, f64::max);
             err(&self.a, ga).max(err(&self.b, gb)).max(err(&self.c, gc))
         }
     }

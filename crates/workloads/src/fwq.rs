@@ -31,7 +31,10 @@ pub struct Fwq {
 impl Default for Fwq {
     fn default() -> Self {
         // ~100 us quanta on the Intel preset, 2000 samples ~ 0.2 s.
-        Fwq { quantum_flops: 3_000_000.0, samples: 2_000 }
+        Fwq {
+            quantum_flops: 3_000_000.0,
+            samples: 2_000,
+        }
     }
 }
 
@@ -161,7 +164,10 @@ mod tests {
     #[test]
     fn quiet_system_shows_little_noise() {
         let mut k = quiet_kernel(1);
-        let fwq = Fwq { quantum_flops: 3_000_000.0, samples: 200 };
+        let fwq = Fwq {
+            quantum_flops: 3_000_000.0,
+            samples: 200,
+        };
         let report = measure(&mut k, &fwq);
         assert_eq!(report.total_samples, 200 * 8);
         // ~100 us quanta.
@@ -185,9 +191,14 @@ mod tests {
                 .policy(Policy::Fifo { prio: 50 })
                 .affinity(CpuSet::single(CpuId(3)))
                 .start_at(SimTime::from_secs_f64(0.010)),
-            Box::new(ScriptBehavior::new(vec![Action::Burn(SimDuration::from_millis(5))])),
+            Box::new(ScriptBehavior::new(vec![Action::Burn(
+                SimDuration::from_millis(5),
+            )])),
         );
-        let fwq = Fwq { quantum_flops: 3_000_000.0, samples: 300 };
+        let fwq = Fwq {
+            quantum_flops: 3_000_000.0,
+            samples: 300,
+        };
         let report = measure(&mut k, &fwq);
         // The 5 ms detention must be visible.
         assert!(
@@ -215,7 +226,10 @@ mod tests {
         let (tracer, buffer) = OsNoiseTracer::new();
         k.attach_tracer(Box::new(tracer));
 
-        let fwq = Fwq { quantum_flops: 3_000_000.0, samples: 1_000 };
+        let fwq = Fwq {
+            quantum_flops: 3_000_000.0,
+            samples: 1_000,
+        };
         let report = measure(&mut k, &fwq);
         let trace = buffer.take_trace(0, SimDuration::ZERO);
         let traced_total: u64 = trace.events.iter().map(|e| e.duration.nanos()).sum();

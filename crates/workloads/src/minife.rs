@@ -57,7 +57,11 @@ impl Default for MiniFE {
 
 impl MiniFE {
     pub fn small() -> Self {
-        MiniFE { nx: 24, cg_iterations: 20, ..Default::default() }
+        MiniFE {
+            nx: 24,
+            cg_iterations: 20,
+            ..Default::default()
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -65,7 +69,10 @@ impl MiniFE {
     }
 
     fn spmv(_s: usize, len: usize) -> WorkUnit {
-        WorkUnit::new(len as f64 * SPMV_FLOPS_PER_ROW, len as f64 * SPMV_BYTES_PER_ROW)
+        WorkUnit::new(
+            len as f64 * SPMV_FLOPS_PER_ROW,
+            len as f64 * SPMV_BYTES_PER_ROW,
+        )
     }
 
     fn dot(_s: usize, len: usize) -> WorkUnit {
@@ -77,7 +84,10 @@ impl MiniFE {
     }
 
     fn assembly(_s: usize, len: usize) -> WorkUnit {
-        WorkUnit::new(len as f64 * ASSEMBLY_FLOPS_PER_ROW, len as f64 * ASSEMBLY_BYTES_PER_ROW)
+        WorkUnit::new(
+            len as f64 * ASSEMBLY_FLOPS_PER_ROW,
+            len as f64 * ASSEMBLY_BYTES_PER_ROW,
+        )
     }
 }
 
@@ -173,7 +183,12 @@ pub mod reference {
                 }
             }
             // Sort each row by column for a canonical layout.
-            let mut m = Csr { n, row_ptr, cols, vals };
+            let mut m = Csr {
+                n,
+                row_ptr,
+                cols,
+                vals,
+            };
             m.sort_rows();
             m
         }
@@ -181,8 +196,11 @@ pub mod reference {
         fn sort_rows(&mut self) {
             for r in 0..self.n {
                 let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
-                let mut pairs: Vec<(u32, f64)> =
-                    self.cols[s..e].iter().copied().zip(self.vals[s..e].iter().copied()).collect();
+                let mut pairs: Vec<(u32, f64)> = self.cols[s..e]
+                    .iter()
+                    .copied()
+                    .zip(self.vals[s..e].iter().copied())
+                    .collect();
                 pairs.sort_by_key(|&(c, _)| c);
                 for (k, (c, v)) in pairs.into_iter().enumerate() {
                     self.cols[s + k] = c;
@@ -291,7 +309,14 @@ mod tests {
 
     #[test]
     fn rows_is_cubic() {
-        assert_eq!(MiniFE { nx: 10, ..MiniFE::default() }.rows(), 1000);
+        assert_eq!(
+            MiniFE {
+                nx: 10,
+                ..MiniFE::default()
+            }
+            .rows(),
+            1000
+        );
     }
 
     // --- reference solver --------------------------------------------------
@@ -317,7 +342,11 @@ mod tests {
         // Verify the solution actually satisfies Ax = b.
         let mut ax = vec![0.0; m.n];
         m.spmv(&x, &mut ax);
-        let err = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max);
+        let err = ax
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f64, f64::max);
         assert!(err < 1e-7, "max |Ax-b| = {err}");
     }
 

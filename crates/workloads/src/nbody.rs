@@ -39,27 +39,36 @@ pub struct NBody {
 
 impl Default for NBody {
     fn default() -> Self {
-        NBody { bodies: 32_768, steps: 5, sycl_kernel_efficiency: 1.30 }
+        NBody {
+            bodies: 32_768,
+            steps: 5,
+            sycl_kernel_efficiency: 1.30,
+        }
     }
 }
 
 impl NBody {
     /// A reduced-size instance for fast tests.
     pub fn small() -> Self {
-        NBody { bodies: 2_048, steps: 3, sycl_kernel_efficiency: 1.30 }
+        NBody {
+            bodies: 2_048,
+            steps: 3,
+            sycl_kernel_efficiency: 1.30,
+        }
     }
 
     fn force_work(&self) -> impl Fn(usize, usize) -> WorkUnit + 'static {
         let n = self.bodies as f64;
         move |_start, len| {
-            WorkUnit::new(len as f64 * n * FLOPS_PER_INTERACTION, len as f64 * BYTES_FORCE)
+            WorkUnit::new(
+                len as f64 * n * FLOPS_PER_INTERACTION,
+                len as f64 * BYTES_FORCE,
+            )
         }
     }
 
     fn integrate_work(&self) -> impl Fn(usize, usize) -> WorkUnit + 'static {
-        move |_start, len| {
-            WorkUnit::new(len as f64 * FLOPS_INTEGRATE, len as f64 * BYTES_INTEGRATE)
-        }
+        move |_start, len| WorkUnit::new(len as f64 * FLOPS_INTEGRATE, len as f64 * BYTES_INTEGRATE)
     }
 }
 
@@ -90,7 +99,12 @@ impl Workload for NBody {
     fn sycl_program(&self, nthreads: usize) -> Program {
         let mut q = SyclQueue::new(nthreads, self.sycl_kernel_efficiency);
         for s in 0..self.steps {
-            q.submit(format!("force[{s}]"), self.bodies, 256, Rc::new(self.force_work()));
+            q.submit(
+                format!("force[{s}]"),
+                self.bodies,
+                256,
+                Rc::new(self.force_work()),
+            );
             q.submit(
                 format!("integrate[{s}]"),
                 self.bodies,
@@ -122,7 +136,11 @@ pub mod reference {
         let mut rng = noiselab_sim::Rng::new(seed);
         (0..n)
             .map(|_| Body {
-                pos: [rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)],
+                pos: [
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                    rng.range_f64(-1.0, 1.0),
+                ],
                 vel: [
                     rng.range_f64(-0.01, 0.01),
                     rng.range_f64(-0.01, 0.01),
@@ -230,7 +248,10 @@ mod tests {
         let force = (nb.omp_program(8, None).phases[0].work)(0, nb.bodies);
         let integrate = (nb.omp_program(8, None).phases[1].work)(0, nb.bodies);
         assert!(force.flops > 100.0 * integrate.flops);
-        assert!(force.intensity() > 100.0, "force phase must be compute-bound");
+        assert!(
+            force.intensity() > 100.0,
+            "force phase must be compute-bound"
+        );
     }
 
     #[test]

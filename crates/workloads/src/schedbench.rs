@@ -48,20 +48,29 @@ impl Default for SchedBench {
 
 impl SchedBench {
     pub fn with_schedule(schedule: OmpSchedule) -> Self {
-        SchedBench { schedule, ..Default::default() }
+        SchedBench {
+            schedule,
+            ..Default::default()
+        }
     }
 
     /// The x-axis labels of Fig. 1: `st`, `dy`, `gd` with chunk sizes.
     pub fn figure1_configs() -> Vec<(String, OmpSchedule)> {
         let mut v = Vec::new();
         for &chunk in &[1usize, 8, 64] {
-            v.push((format!("st:{chunk}"), OmpSchedule::Static { chunk: Some(chunk) }));
+            v.push((
+                format!("st:{chunk}"),
+                OmpSchedule::Static { chunk: Some(chunk) },
+            ));
         }
         for &chunk in &[1usize, 8, 64] {
             v.push((format!("dy:{chunk}"), OmpSchedule::Dynamic { chunk }));
         }
         for &chunk in &[1usize, 8, 64] {
-            v.push((format!("gd:{chunk}"), OmpSchedule::Guided { min_chunk: chunk }));
+            v.push((
+                format!("gd:{chunk}"),
+                OmpSchedule::Guided { min_chunk: chunk },
+            ));
         }
         v
     }
@@ -88,7 +97,12 @@ impl Workload for SchedBench {
         let schedule = schedule.or(Some(self.schedule));
         let mut b = OmpProgram::new();
         for r in 0..self.repeats {
-            b.parallel_for(format!("loop[{r}]"), self.items, schedule, Rc::new(self.work()));
+            b.parallel_for(
+                format!("loop[{r}]"),
+                self.items,
+                schedule,
+                Rc::new(self.work()),
+            );
         }
         b.build()
     }

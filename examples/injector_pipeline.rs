@@ -18,7 +18,11 @@ use noiselab::workloads::MiniFE;
 fn main() {
     let mut platform = Platform::intel();
     platform.noise.anomaly_prob = 0.25;
-    let workload = MiniFE { nx: 48, cg_iterations: 100, ..Default::default() };
+    let workload = MiniFE {
+        nx: 48,
+        cg_iterations: 100,
+        ..Default::default()
+    };
     let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
 
     // ---- Stage 1: trace collection -------------------------------------
@@ -48,7 +52,12 @@ fn main() {
     let mut by_count: Vec<_> = stats.iter().collect();
     by_count.sort_by(|a, b| b.1.avg_count.partial_cmp(&a.1.avg_count).unwrap());
     for (src, s) in by_count.iter().take(6) {
-        println!("  {:<22} {:>8.1}/run  {:>9.2}us", src, s.avg_count, s.avg_duration.as_micros_f64());
+        println!(
+            "  {:<22} {:>8.1}/run  {:>9.2}us",
+            src,
+            s.avg_count,
+            s.avg_duration.as_micros_f64()
+        );
     }
 
     let opts = GeneratorOptions::default();
@@ -68,7 +77,10 @@ fn main() {
         "pipeline-naive",
         worst.exec_time,
         residual,
-        &GeneratorOptions { merge: MergeStrategy::NaivePessimistic, ..opts },
+        &GeneratorOptions {
+            merge: MergeStrategy::NaivePessimistic,
+            ..opts
+        },
     );
     println!(
         "improved merge: {} events, {:.0}% FIFO | naive merge: {} events, {:.0}% FIFO",

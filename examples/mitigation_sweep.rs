@@ -42,8 +42,13 @@ fn main() {
         config.event_count()
     );
 
-    let mut table = TextTable::new("mitigation sweep under worst-case injection")
-        .header(&["config", "baseline", "injected", "degradation", "base sd(ms)"]);
+    let mut table = TextTable::new("mitigation sweep under worst-case injection").header(&[
+        "config",
+        "baseline",
+        "injected",
+        "degradation",
+        "base sd(ms)",
+    ]);
     for model in [Model::Omp, Model::Sycl] {
         for mit in Mitigation::ALL {
             let cfg = ExecConfig::new(model, mit);

@@ -11,7 +11,10 @@ use noiselab::core::experiments::{fig1, fig2, Scale};
 fn main() {
     // Reduced scale so the demo finishes in ~a minute; the bench
     // targets run the full version.
-    let scale = Scale { baseline_runs: 12, ..Scale::bench() };
+    let scale = Scale {
+        baseline_runs: 12,
+        ..Scale::bench()
+    };
 
     println!("Figure 1: schedbench across schedules and chunk sizes\n");
     let f1 = fig1::run(scale, true);

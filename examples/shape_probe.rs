@@ -13,7 +13,12 @@ fn main() {
         let t3 = inject::run_table(&inject::table3_spec(), scale, false);
         println!("{}\n[{:.1}s]", t3.render(), t0.elapsed().as_secs_f64());
         for a in &t3.accuracy {
-            println!("accuracy {} {}: {:+.2}%", a.workload, a.config_label, a.error * 100.0);
+            println!(
+                "accuracy {} {}: {:+.2}%",
+                a.workload,
+                a.config_label,
+                a.error * 100.0
+            );
         }
     }
     if which == "fig1" || which == "all" {

@@ -39,11 +39,17 @@ fn parse_args() -> Option<Args> {
 
 impl Args {
     fn get(&self, key: &str, default: &str) -> String {
-        self.opts.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.opts
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn required(&self, key: &str) -> Result<String, String> {
-        self.opts.get(key).cloned().ok_or_else(|| format!("missing required --{key}"))
+        self.opts
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required --{key}"))
     }
 
     fn platform(&self) -> Result<Platform, String> {
@@ -52,7 +58,9 @@ impl Args {
             "amd" => Ok(Platform::amd()),
             "a64fx" => Ok(Platform::a64fx(false)),
             "a64fx-reserved" => Ok(Platform::a64fx(true)),
-            other => Err(format!("unknown platform '{other}' (intel|amd|a64fx|a64fx-reserved)")),
+            other => Err(format!(
+                "unknown platform '{other}' (intel|amd|a64fx|a64fx-reserved)"
+            )),
         }
     }
 
@@ -61,7 +69,9 @@ impl Args {
             "nbody" => Ok(Box::new(suite::nbody_for(platform))),
             "babelstream" => Ok(Box::new(suite::babelstream_for(platform))),
             "minife" => Ok(Box::new(suite::minife_for(platform))),
-            other => Err(format!("unknown workload '{other}' (nbody|babelstream|minife)")),
+            other => Err(format!(
+                "unknown workload '{other}' (nbody|babelstream|minife)"
+            )),
         }
     }
 
@@ -92,7 +102,9 @@ impl Args {
     }
 
     fn runs(&self, default: usize) -> usize {
-        self.get("runs", &default.to_string()).parse().unwrap_or(default)
+        self.get("runs", &default.to_string())
+            .parse()
+            .unwrap_or(default)
     }
 
     fn seed(&self) -> u64 {
@@ -161,9 +173,12 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
         "naive" => MergeStrategy::NaivePessimistic,
         _ => MergeStrategy::Improved,
     };
-    let opts = GeneratorOptions { merge, ..GeneratorOptions::default() };
-    let config = generate(traces_path.clone(), &traces, &opts)
-        .ok_or("trace set is empty".to_string())?;
+    let opts = GeneratorOptions {
+        merge,
+        ..GeneratorOptions::default()
+    };
+    let config =
+        generate(traces_path.clone(), &traces, &opts).ok_or("trace set is empty".to_string())?;
     std::fs::write(&out, config.to_json()).map_err(|e| e.to_string())?;
     println!(
         "config: {} events on {} cpus, total noise {:.2}ms, {:.0}% FIFO, anomaly {:.4}s -> {}",
@@ -185,8 +200,22 @@ fn cmd_inject(args: &Args) -> Result<(), String> {
     let data = std::fs::read_to_string(&config_path).map_err(|e| e.to_string())?;
     let config = InjectionConfig::from_json(&data).map_err(|e| e.to_string())?;
     let runs = args.runs(20);
-    let base = run_baseline(&platform, workload.as_ref(), &cfg, runs, args.seed() + 10_000, false);
-    let inj = run_injected(&platform, workload.as_ref(), &cfg, &config, runs, args.seed());
+    let base = run_baseline(
+        &platform,
+        workload.as_ref(),
+        &cfg,
+        runs,
+        args.seed() + 10_000,
+        false,
+    );
+    let inj = run_injected(
+        &platform,
+        workload.as_ref(),
+        &cfg,
+        &config,
+        runs,
+        args.seed(),
+    );
     println!(
         "{} {} {}: baseline {:.4}s -> injected {:.4}s ({:+.1}%), accuracy {:+.1}%",
         platform.label(),
@@ -228,7 +257,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let top_k: usize = args.get("top", "10").parse().unwrap_or(10);
     let summary = noiselab::noise::analysis::summarize_set(&traces, top_k)
         .ok_or("trace set is empty".to_string())?;
-    print!("{}", noiselab::noise::analysis::render_set_summary(&summary));
+    print!(
+        "{}",
+        noiselab::noise::analysis::render_set_summary(&summary)
+    );
     let worst = &traces.runs[summary.worst_index];
     let ws = noiselab::noise::analysis::summarize_run(worst);
     let [irq, softirq, thread] = ws.by_class;
@@ -239,7 +271,8 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         irq.as_millis_f64(),
         softirq.as_millis_f64(),
         thread.as_millis_f64(),
-        ws.busiest_cpu.map(|(c, d)| format!("cpu{c} ({:.3}ms)", d.as_millis_f64())),
+        ws.busiest_cpu
+            .map(|(c, d)| format!("cpu{c} ({:.3}ms)", d.as_millis_f64())),
         noiselab::noise::analysis::is_outlier(worst, &traces)
     );
     Ok(())

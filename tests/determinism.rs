@@ -6,7 +6,11 @@ use noiselab::injector::{generate, GeneratorOptions};
 use noiselab::workloads::{Babelstream, NBody};
 
 fn nbody() -> NBody {
-    NBody { bodies: 8_192, steps: 2, sycl_kernel_efficiency: 1.3 }
+    NBody {
+        bodies: 8_192,
+        steps: 2,
+        sycl_kernel_efficiency: 1.3,
+    }
 }
 
 #[test]
@@ -40,9 +44,14 @@ fn different_seeds_differ() {
     let p = Platform::intel();
     let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
     let w = nbody();
-    let times: Vec<_> = (0..5).map(|s| run_once(&p, &w, &cfg, s, false, None).exec).collect();
+    let times: Vec<_> = (0..5)
+        .map(|s| run_once(&p, &w, &cfg, s, false, None).exec)
+        .collect();
     let distinct: std::collections::BTreeSet<_> = times.iter().map(|t| t.nanos()).collect();
-    assert!(distinct.len() >= 4, "seeds produce too-similar runs: {times:?}");
+    assert!(
+        distinct.len() >= 4,
+        "seeds produce too-similar runs: {times:?}"
+    );
 }
 
 #[test]
@@ -50,7 +59,11 @@ fn config_generation_is_deterministic() {
     let mut p = Platform::intel();
     p.noise.anomaly_prob = 1.0;
     let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
-    let w = Babelstream { elements: 1 << 18, iterations: 10, ..Default::default() };
+    let w = Babelstream {
+        elements: 1 << 18,
+        iterations: 10,
+        ..Default::default()
+    };
 
     let collect = || {
         let mut set = noiselab::noise::TraceSet::default();

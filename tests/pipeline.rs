@@ -12,7 +12,11 @@ use noiselab::sim::SimDuration;
 use noiselab::workloads::NBody;
 
 fn fast_nbody() -> NBody {
-    NBody { bodies: 8_192, steps: 3, sycl_kernel_efficiency: 1.3 }
+    NBody {
+        bodies: 8_192,
+        steps: 3,
+        sycl_kernel_efficiency: 1.3,
+    }
 }
 
 /// A platform whose every run contains a deterministic CPU storm, so
@@ -48,7 +52,10 @@ fn full_pipeline_trace_generate_inject() {
     // Stage 2: configuration generation.
     let config = generate("it", &traced.traces, &GeneratorOptions::default()).unwrap();
     config.validate().unwrap();
-    assert!(config.event_count() > 0, "storm must survive delta subtraction");
+    assert!(
+        config.event_count() > 0,
+        "storm must survive delta subtraction"
+    );
     assert!(config.anomaly_exec > SimDuration::ZERO);
 
     // Stage 3: injection measurably slows the workload vs a quiet

@@ -1,0 +1,525 @@
+//! Derive macros for the offline vendored serde stand-in.
+//!
+//! Implemented without `syn`/`quote` (no registry access): the item is
+//! parsed directly from the `proc_macro::TokenStream` and the impls are
+//! emitted as strings. Supports the shapes this workspace actually
+//! derives on:
+//!
+//! * named-field structs, with `#[serde(default)]` on fields;
+//! * tuple newtype structs (serialized transparently, matching serde's
+//!   default newtype behaviour and `#[serde(transparent)]`);
+//! * multi-field tuple structs (as arrays);
+//! * enums with unit / newtype / tuple / struct variants, externally
+//!   tagged (serde's default representation).
+//!
+//! Generics and other serde attributes are intentionally unsupported
+//! and panic at expansion time rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: Option<String>,
+    ty: String,
+    default: bool,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Struct(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: TokenIter = input.into_iter().peekable();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute (doc comment, #[serde(...)], #[repr], ...).
+                // Nothing at item level changes our output: transparent on a
+                // newtype matches the default newtype behaviour anyway.
+                skip_attribute(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                skip_vis_restriction(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                it.next();
+                return parse_struct(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                it.next();
+                return parse_enum(&mut it);
+            }
+            other => panic!("serde derive: unexpected token {other:?}"),
+        }
+    }
+}
+
+fn parse_struct(it: &mut TokenIter) -> Item {
+    let name = expect_ident(it);
+    reject_generics(it, &name);
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            Item {
+                name,
+                body: Body::NamedStruct(fields),
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = parse_tuple_fields(g.stream());
+            Item {
+                name,
+                body: Body::TupleStruct(fields),
+            }
+        }
+        other => panic!("serde derive: expected struct body for `{name}`, found {other:?}"),
+    }
+}
+
+fn parse_enum(it: &mut TokenIter) -> Item {
+    let name = expect_ident(it);
+    reject_generics(it, &name);
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+    };
+    let mut vit: TokenIter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    while vit.peek().is_some() {
+        while matches!(vit.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            skip_attribute(&mut vit);
+        }
+        if vit.peek().is_none() {
+            break;
+        }
+        let vname = expect_ident(&mut vit);
+        let kind = match vit.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                vit.next();
+                VariantKind::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                vit.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name: vname, kind });
+        // Skip an optional discriminant and the trailing comma.
+        for tt in vit.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    Item {
+        name,
+        body: Body::Enum(variants),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut it: TokenIter = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let mut default = false;
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if attribute_has_serde_word(&mut it, "default") {
+                default = true;
+            }
+        }
+        if it.peek().is_none() {
+            break;
+        }
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            skip_vis_restriction(&mut it);
+        }
+        let name = expect_ident(&mut it);
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        let ty = collect_type(&mut it);
+        fields.push(Field {
+            name: Some(name),
+            ty,
+            default,
+        });
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+    }
+    fields
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> Vec<Field> {
+    let mut it: TokenIter = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    while it.peek().is_some() {
+        let mut default = false;
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if attribute_has_serde_word(&mut it, "default") {
+                default = true;
+            }
+        }
+        if it.peek().is_none() {
+            break;
+        }
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            skip_vis_restriction(&mut it);
+        }
+        let ty = collect_type(&mut it);
+        fields.push(Field {
+            name: None,
+            ty,
+            default,
+        });
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+    }
+    fields
+}
+
+/// Collect a type's tokens up to a top-level comma, tracking `<`/`>`
+/// depth so commas inside generic arguments are not split points
+/// (delimiters like `(...)` are already nested as `Group`s).
+fn collect_type(it: &mut TokenIter) -> String {
+    let mut out = String::new();
+    let mut angle: i64 = 0;
+    while let Some(tt) = it.peek() {
+        if angle == 0 {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        let tt = it.next().unwrap();
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                _ => {}
+            }
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&tt.to_string());
+    }
+    out
+}
+
+fn expect_ident(it: &mut TokenIter) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut TokenIter, name: &str) {
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic type `{name}` is not supported by the vendored stub");
+    }
+}
+
+/// Consume one `#[...]` attribute (the leading `#` must be next).
+fn skip_attribute(it: &mut TokenIter) {
+    it.next(); // '#'
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => drop(g),
+        other => panic!("serde derive: malformed attribute, found {other:?}"),
+    }
+}
+
+/// Consume one attribute; return true when it is `#[serde(...)]`
+/// containing `word` as an identifier.
+fn attribute_has_serde_word(it: &mut TokenIter, word: &str) -> bool {
+    it.next(); // '#'
+    let group = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => panic!("serde derive: malformed attribute, found {other:?}"),
+    };
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == word)),
+        _ => false,
+    }
+}
+
+/// After `pub`, consume a `(crate)` / `(super)` / `(self)` / `(in ...)`
+/// restriction if present — but not a parenthesised tuple type.
+fn skip_vis_restriction(it: &mut TokenIter) {
+    if let Some(TokenTree::Group(g)) = it.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            let first = g.stream().into_iter().next();
+            if matches!(&first, Some(TokenTree::Ident(id))
+                if matches!(id.to_string().as_str(), "crate" | "super" | "self" | "in"))
+            {
+                it.next();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::NamedStruct(fields) => {
+            body.push_str("::serde::Value::Object(vec![\n");
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                body.push_str(&format!(
+                    "(\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})),\n"
+                ));
+            }
+            body.push_str("])");
+        }
+        Body::TupleStruct(fields) if fields.len() == 1 => {
+            body.push_str("::serde::Serialize::to_value(&self.0)");
+        }
+        Body::TupleStruct(fields) => {
+            body.push_str("::serde::Value::Array(vec![\n");
+            for i in 0..fields.len() {
+                body.push_str(&format!("::serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            body.push_str("])");
+        }
+        Body::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let fnames: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                        let items: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            fnames.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn missing_field_expr(item: &str, f: &Field) -> String {
+    let fname = f.name.as_deref().unwrap_or("?");
+    if f.default {
+        "::std::default::Default::default()".to_string()
+    } else if f.ty.starts_with("Option") || f.ty.starts_with(":: std :: option :: Option") {
+        "::std::option::Option::None".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::new(\"missing field `{fname}` in {item}\"))"
+        )
+    }
+}
+
+/// `name: match __field(obj, "name") {{ Some(x) => from_value(x)?, None => ... }},`
+fn named_field_init(item: &str, f: &Field) -> String {
+    let fname = f.name.as_deref().unwrap();
+    format!(
+        "{fname}: match ::serde::__field(__obj, \"{fname}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {},\n}},\n",
+        missing_field_expr(item, f)
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.body {
+        Body::NamedStruct(fields) => {
+            body.push_str(&format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}\"))?;\n"
+            ));
+            body.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&named_field_init(name, f));
+            }
+            body.push_str("})");
+        }
+        Body::TupleStruct(fields) if fields.len() == 1 => {
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ));
+        }
+        Body::TupleStruct(fields) => {
+            let n = fields.len();
+            body.push_str(&format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}\")); }}\n"
+            ));
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            body.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+        }
+        Body::Enum(variants) => {
+            body.push_str("match __v {\n");
+            // Unit variants: externally tagged as a bare string.
+            body.push_str("::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    body.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n"
+            ));
+            // Data variants: single-entry object {"Variant": payload}.
+            body.push_str(
+                "::serde::Value::Object(__fields) if __fields.len() == 1 => {\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(fields) if fields.len() == 1 => {
+                        body.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::new(\"expected array for {name}::{vname}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::new(\"wrong arity for {name}::{vname}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&named_field_init(&format!("{name}::{vname}"), f));
+                        }
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::new(\"expected object for {name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}},\n"
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => ::std::result::Result::Err(::serde::DeError::new(format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n"
+            ));
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::DeError::new(\"expected string or single-key object for {name}\")),\n}}"
+            ));
+        }
+    }
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

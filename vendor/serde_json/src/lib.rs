@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde_json`, layered on the vendored `serde`
+//! crate's [`serde::Value`] model and its JSON writer/parser.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::write_json(&value.to_value(), false))
+}
+
+/// Serialize to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::write_json(&value.to_value(), true))
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::parse_json(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trip_via_json() {
+        let v: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), u64::MAX)];
+        let s = super::to_string(&v).unwrap();
+        let back: Vec<(String, u64)> = super::from_str(&s).unwrap();
+        assert_eq!(v, back);
+        let pretty = super::to_string_pretty(&v).unwrap();
+        let back2: Vec<(String, u64)> = super::from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let err = super::from_str::<u64>("not json").unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}
