@@ -155,7 +155,7 @@ fn bench_run_once(c: &mut Criterion) {
     c.bench_function("run_once_nbody_small_intel", |b| {
         b.iter(|| {
             seed += 1;
-            run_once(&platform, &w, &cfg, seed, false, None)
+            run_once(&platform, &w, &cfg, seed, false, None).expect("bench run failed")
         })
     });
 }

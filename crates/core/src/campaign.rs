@@ -1,0 +1,331 @@
+//! Checkpointed campaign driver: sweep a list of execution-config cells
+//! over many seeds, survive crashes, and resume from the last completed
+//! cell with bit-identical results.
+//!
+//! The state file is plain JSON written atomically (tmp + rename) after
+//! every completed cell. Samples are stored as `f64` and serialised
+//! with Rust's shortest-roundtrip float formatting, so a resumed
+//! campaign reproduces the uninterrupted campaign bit for bit. A
+//! fingerprint of the campaign inputs is embedded in the checkpoint;
+//! resuming with different inputs is refused rather than silently
+//! mixing incompatible measurements.
+
+use crate::execconfig::ExecConfig;
+use crate::failure::{RetryPolicy, RunFailure};
+use crate::harness::run_many_faulted;
+use crate::platform::Platform;
+use noiselab_kernel::FaultPlan;
+use noiselab_stats::Summary;
+use noiselab_workloads::Workload;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything a campaign invocation needs. The same plan (minus
+/// `limit`) must be passed when resuming from a checkpoint.
+pub struct CampaignPlan<'a> {
+    pub platform: &'a Platform,
+    pub workload: &'a (dyn Workload + Sync),
+    /// (label, config) cells, executed in order.
+    pub cells: Vec<(String, ExecConfig)>,
+    pub runs_per_cell: usize,
+    pub seed_base: u64,
+    pub faults: Option<FaultPlan>,
+    pub retry: RetryPolicy,
+    /// Checkpoint file; `None` runs without persistence.
+    pub checkpoint: Option<PathBuf>,
+    /// Execute at most this many cells in this invocation — the hook
+    /// the kill/resume tests (and staged manual campaigns) use.
+    pub limit: Option<usize>,
+}
+
+impl CampaignPlan<'_> {
+    /// Identity of the campaign's inputs. Two plans with the same
+    /// fingerprint produce the same measurements cell for cell.
+    pub fn fingerprint(&self) -> String {
+        let faults = self
+            .faults
+            .as_ref()
+            .map(|f| serde_json::to_string(f).unwrap_or_default())
+            .unwrap_or_else(|| "none".into());
+        let cells: Vec<&str> = self.cells.iter().map(|(l, _)| l.as_str()).collect();
+        format!(
+            "v1|{}|{}|[{}]|runs={}|seeds={}|faults={}|retries={}",
+            self.platform.label(),
+            self.workload.name(),
+            cells.join(","),
+            self.runs_per_cell,
+            self.seed_base,
+            faults,
+            self.retry.max_retries,
+        )
+    }
+}
+
+/// Identity of one completed cell inside a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellKey {
+    pub label: String,
+    /// First seed of the cell's seed range.
+    pub seed: u64,
+}
+
+/// A failed run: the seed that ran and why it produced no measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    pub seed: u64,
+    pub cause: RunFailure,
+}
+
+/// Results of one completed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    pub key: CellKey,
+    /// Execution times (seconds) of the successful runs, seed order.
+    pub samples: Vec<f64>,
+    pub failures: Vec<FailureRecord>,
+    /// Total attempts consumed including retries.
+    pub attempts: u64,
+}
+
+/// The serialised campaign state — the unit of checkpoint/resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignState {
+    pub fingerprint: String,
+    pub cells: Vec<CellRecord>,
+}
+
+impl CampaignState {
+    pub fn load(path: &Path) -> io::Result<CampaignState> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt checkpoint {}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Atomic save: a crash mid-write leaves the previous checkpoint
+    /// intact, never a torn file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Condense the state into per-cell summaries and failure counts.
+    pub fn report(&self, total_cells: usize) -> CampaignReport {
+        let cells: Vec<CellReport> = self
+            .cells
+            .iter()
+            .map(|c| CellReport {
+                label: c.key.label.clone(),
+                summary: Summary::try_of(&c.samples),
+                ok: c.samples.len(),
+                failed: c.failures.len(),
+            })
+            .collect();
+        let total_ok = cells.iter().map(|c| c.ok).sum();
+        let total_failed = cells.iter().map(|c| c.failed).sum();
+        CampaignReport {
+            complete: self.cells.len() >= total_cells,
+            cells,
+            total_ok,
+            total_failed,
+        }
+    }
+}
+
+/// One cell of a [`CampaignReport`]. `summary` is `None` when every run
+/// of the cell failed — still reported, never silently dropped.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    pub label: String,
+    pub summary: Option<Summary>,
+    pub ok: usize,
+    pub failed: usize,
+}
+
+/// Human-readable rollup of a (possibly partial) campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    pub complete: bool,
+    pub cells: Vec<CellReport>,
+    pub total_ok: usize,
+    pub total_failed: usize,
+}
+
+/// Render a campaign report as plain text (used by `noiselab campaign`).
+pub fn render_campaign_report(r: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "campaign {}: {} cell(s), {} ok run(s), {} failed run(s)\n",
+        if r.complete { "complete" } else { "PARTIAL" },
+        r.cells.len(),
+        r.total_ok,
+        r.total_failed
+    ));
+    for c in &r.cells {
+        match &c.summary {
+            Some(s) => out.push_str(&format!(
+                "  {:<24} mean {:.6}s  sd {:.6}s  n={} ({} failed)\n",
+                c.label, s.mean, s.sd, c.ok, c.failed
+            )),
+            None => out.push_str(&format!(
+                "  {:<24} NO DATA — all {} run(s) failed\n",
+                c.label, c.failed
+            )),
+        }
+    }
+    out
+}
+
+/// Run (or resume) a campaign. Completed cells found in the checkpoint
+/// are skipped; each newly completed cell is checkpointed before the
+/// next starts, so the process can be killed at any point and resumed
+/// from the last completed (config, seed) cell.
+pub fn run_campaign(plan: &CampaignPlan) -> io::Result<CampaignState> {
+    let fingerprint = plan.fingerprint();
+    let mut state = match &plan.checkpoint {
+        Some(path) if path.exists() => {
+            let loaded = CampaignState::load(path)?;
+            if loaded.fingerprint != fingerprint {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint {} belongs to a different campaign \
+                         (fingerprint mismatch); refusing to resume",
+                        path.display()
+                    ),
+                ));
+            }
+            eprintln!(
+                "noiselab: resuming campaign from {} ({} of {} cells done)",
+                path.display(),
+                loaded.cells.len(),
+                plan.cells.len()
+            );
+            loaded
+        }
+        _ => CampaignState {
+            fingerprint,
+            cells: Vec::new(),
+        },
+    };
+
+    let done = state.cells.len();
+    let stop = plan
+        .limit
+        .map_or(plan.cells.len(), |lim| (done + lim).min(plan.cells.len()));
+    for (i, (label, cfg)) in plan.cells.iter().enumerate().take(stop).skip(done) {
+        // Each cell owns a disjoint seed range, fixed by its position:
+        // resume order cannot change which seeds a cell runs.
+        let seed = plan.seed_base + (i * plan.runs_per_cell) as u64;
+        let ledger = run_many_faulted(
+            plan.platform,
+            plan.workload,
+            cfg,
+            plan.runs_per_cell,
+            seed,
+            false,
+            None,
+            plan.faults.as_ref(),
+            plan.retry,
+        );
+        state.cells.push(CellRecord {
+            key: CellKey {
+                label: label.clone(),
+                seed,
+            },
+            samples: ledger.samples(),
+            failures: ledger
+                .failures()
+                .into_iter()
+                .map(|(seed, cause)| FailureRecord { seed, cause })
+                .collect(),
+            attempts: ledger.records.iter().map(|r| r.attempts as u64).sum(),
+        });
+        if let Some(path) = &plan.checkpoint {
+            state.save(path)?;
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, seed: u64, samples: Vec<f64>, failed: usize) -> CellRecord {
+        CellRecord {
+            key: CellKey {
+                label: label.into(),
+                seed,
+            },
+            samples,
+            failures: (0..failed)
+                .map(|i| FailureRecord {
+                    seed: seed + i as u64,
+                    cause: RunFailure::Deadlock,
+                })
+                .collect(),
+            attempts: 0,
+        }
+    }
+
+    #[test]
+    fn state_json_roundtrip_is_exact() {
+        let state = CampaignState {
+            fingerprint: "v1|x".into(),
+            cells: vec![
+                record("omp/RM", 100, vec![0.1234567890123, 2.5e-3], 1),
+                record("sycl/RM", 110, vec![], 3),
+            ],
+        };
+        let text = serde_json::to_string_pretty(&state).unwrap();
+        let back: CampaignState = serde_json::from_str(&text).unwrap();
+        assert_eq!(state, back);
+        // Shortest-roundtrip float formatting: bit-exact samples.
+        assert_eq!(
+            state.cells[0].samples[0].to_bits(),
+            back.cells[0].samples[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn report_counts_and_renders_empty_cells() {
+        let state = CampaignState {
+            fingerprint: "f".into(),
+            cells: vec![
+                record("a", 0, vec![1.0, 2.0], 1),
+                record("b", 10, vec![], 4),
+            ],
+        };
+        let r = state.report(3);
+        assert!(!r.complete);
+        assert_eq!(r.total_ok, 2);
+        assert_eq!(r.total_failed, 5);
+        assert!(r.cells[1].summary.is_none());
+        let text = render_campaign_report(&r);
+        assert!(text.contains("PARTIAL"));
+        assert!(text.contains("NO DATA"));
+    }
+
+    #[test]
+    fn save_is_atomic_and_loadable() {
+        let dir = std::env::temp_dir().join("noiselab-campaign-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let state = CampaignState {
+            fingerprint: "f".into(),
+            cells: vec![record("a", 0, vec![1.0], 0)],
+        };
+        state.save(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        assert_eq!(CampaignState::load(&path).unwrap(), state);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -133,7 +133,7 @@ pub fn merge_ablation(scale: Scale, small: bool) -> MergeAblation {
                 scale.inject_runs,
                 200_000 + i as u64 * 97,
             );
-            means.push(s.mean);
+            means.push(s.summary.mean);
         }
         // Accuracy on the source configuration (Rm).
         let accuracy = (means[0] / anomaly - 1.0).abs();

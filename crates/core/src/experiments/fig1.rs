@@ -81,9 +81,12 @@ fn measure(platform: &Platform, scale: Scale, small: bool) -> Vec<SpreadPoint> {
             sb.repeats = 200;
         }
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm).with_schedule(schedule);
-        let raw =
+        let ledger =
             crate::harness::run_many(platform, &sb, &cfg, scale.baseline_runs, 3_000, false, None);
-        let secs: Vec<f64> = raw.iter().map(|o| o.exec.as_secs_f64()).collect();
+        let secs = ledger.samples();
+        for (seed, cause) in ledger.failures() {
+            eprintln!("fig1: run seed {seed} failed ({cause}); excluded from spread");
+        }
         let summary = noiselab_stats::Summary::of(&secs);
         points.push(SpreadPoint {
             label,

@@ -72,8 +72,11 @@ fn measure(platform: &Platform, scale: Scale, small: bool, threads: &[usize]) ->
     let mut points = Vec::new();
     for &n in threads {
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm).with_threads(n);
-        let raw = run_many(platform, &bs, &cfg, scale.baseline_runs, 4_000, false, None);
-        let secs: Vec<f64> = raw.iter().map(|o| o.exec.as_secs_f64()).collect();
+        let ledger = run_many(platform, &bs, &cfg, scale.baseline_runs, 4_000, false, None);
+        let secs = ledger.samples();
+        for (seed, cause) in ledger.failures() {
+            eprintln!("fig2: run seed {seed} failed ({cause}); excluded from spread");
+        }
         let summary = Summary::of(&secs);
         points.push(ThreadPoint {
             threads: n,

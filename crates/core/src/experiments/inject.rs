@@ -158,6 +158,10 @@ pub struct InjectionTable {
     pub workload: WorkloadKind,
     pub blocks: Vec<Block>,
     pub accuracy: Vec<AccuracyRecord>,
+    /// Runs across all stages that produced no measurement (absent in
+    /// reports produced before fault tracking existed).
+    #[serde(default)]
+    pub failed_runs: usize,
 }
 
 impl InjectionTable {
@@ -175,7 +179,14 @@ impl InjectionTable {
                 t.row(&pcts);
             }
         }
-        t.render()
+        let mut out = t.render();
+        if self.failed_runs > 0 {
+            out.push_str(&format!(
+                "note: {} run(s) failed and were excluded\n",
+                self.failed_runs
+            ));
+        }
+        out
     }
 
     /// All (model, mitigation, pct) samples, for the Table 6 summary.
@@ -196,6 +207,8 @@ impl InjectionTable {
 pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable {
     let mut blocks = Vec::new();
     let mut accuracy = Vec::new();
+    // Cell: both the baseline closure and the row loop below add to it.
+    let failed_runs = std::cell::Cell::new(0usize);
 
     for (pi, pspec) in spec.platforms.iter().enumerate() {
         let workload = spec.workload.instantiate(&pspec.platform, small);
@@ -224,6 +237,7 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
                 &GeneratorOptions::default(),
             )
             .expect("trace collection cannot be empty");
+            failed_runs.set(failed_runs.get() + traced.failures.len());
             configs.push(cfg);
         }
 
@@ -250,6 +264,7 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
                     50_000 + i as u64 * 500,
                     false,
                 );
+                failed_runs.set(failed_runs.get() + b.failures.len());
                 means[i] = b.summary.mean;
             }
             baselines.insert(key, means);
@@ -278,9 +293,10 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
                     scale.inject_runs,
                     100_000 + 1_000 * ri as u64 + 50 * i as u64,
                 );
+                failed_runs.set(failed_runs.get() + inj.failures.len());
                 cells[i] = Cell {
                     base_mean: base[i],
-                    inj_mean: inj.mean,
+                    inj_mean: inj.summary.mean,
                 };
             }
             rows.push(RowResult {
@@ -325,6 +341,7 @@ pub fn run_table(spec: &TableSpec, scale: Scale, small: bool) -> InjectionTable 
         workload: spec.workload,
         blocks,
         accuracy,
+        failed_runs: failed_runs.get(),
     }
 }
 

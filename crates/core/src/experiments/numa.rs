@@ -107,9 +107,12 @@ pub fn run(runs: usize, small: bool) -> NumaComparison {
     let mut rows = Vec::new();
     for (label, mitigation) in [("Rm-OMP", Mitigation::Rm), ("TP-OMP", Mitigation::Tp)] {
         let cfg = ExecConfig::new(Model::Omp, mitigation);
-        let outputs =
+        let ledger =
             crate::harness::run_many(&platform, &workload, &cfg, runs, 77_000, false, None);
-        let secs: Vec<f64> = outputs.iter().map(|o| o.exec.as_secs_f64()).collect();
+        let secs = ledger.samples();
+        for (seed, cause) in ledger.failures() {
+            eprintln!("numa: run seed {seed} failed ({cause}); excluded from comparison");
+        }
         let summary = noiselab_stats::Summary::of(&secs);
         // Migration counts need kernel introspection; probe a few seeds
         // with counters via the dedicated probe below.
@@ -157,9 +160,12 @@ fn migration_probe(
     }
     let team = omp::launch(&mut kernel, program, opts);
     for w in &team.workers {
-        kernel
-            .run_until_exit(*w, SimTime::from_secs_f64(600.0))
-            .expect("numa probe run");
+        if let Err(e) = kernel.run_until_exit(*w, SimTime::from_secs_f64(600.0)) {
+            // A failed probe contributes zero counts rather than killing
+            // the whole comparison; the main measurement is unaffected.
+            eprintln!("numa: migration probe seed {seed} failed ({e:?}); counting zero");
+            return (0.0, 0.0);
+        }
     }
     let (mut migr, mut numa) = (0u64, 0u64);
     for w in &team.workers {

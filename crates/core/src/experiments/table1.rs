@@ -15,6 +15,8 @@ pub struct Row {
     pub workload: String,
     pub off_mean: f64,
     pub on_mean: f64,
+    /// Runs (off + on) that produced no measurement.
+    pub failed: usize,
 }
 
 impl Row {
@@ -40,7 +42,12 @@ impl Table1 {
                 fmt_pct(r.increase()),
             ]);
         }
-        t.render()
+        let mut out = t.render();
+        let failed: usize = self.rows.iter().map(|r| r.failed).sum();
+        if failed > 0 {
+            out.push_str(&format!("note: {failed} run(s) failed and were excluded\n"));
+        }
+        out
     }
 }
 
@@ -75,14 +82,14 @@ pub fn run(scale: Scale) -> Table1 {
             true,
             None,
         );
-        let off_mean =
-            Summary::of(&off.iter().map(|o| o.exec.as_secs_f64()).collect::<Vec<_>>()).mean;
-        let on_mean =
-            Summary::of(&on.iter().map(|o| o.exec.as_secs_f64()).collect::<Vec<_>>()).mean;
+        let failed = off.failed_count() + on.failed_count();
+        let off_mean = Summary::of(&off.samples()).mean;
+        let on_mean = Summary::of(&on.samples()).mean;
         rows.push(Row {
             workload: w.name().to_string(),
             off_mean,
             on_mean,
+            failed,
         });
     }
     Table1 { rows }
@@ -99,11 +106,10 @@ mod tests {
         let platform = Platform::intel();
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
         let w = suite::small::minife_for(&platform);
-        let off = run_many(&platform, &w, &cfg, 6, 500, false, None);
-        let on = run_many(&platform, &w, &cfg, 6, 500, true, None);
-        let off_mean: f64 =
-            off.iter().map(|o| o.exec.as_secs_f64()).sum::<f64>() / off.len() as f64;
-        let on_mean: f64 = on.iter().map(|o| o.exec.as_secs_f64()).sum::<f64>() / on.len() as f64;
+        let off = run_many(&platform, &w, &cfg, 6, 500, false, None).samples();
+        let on = run_many(&platform, &w, &cfg, 6, 500, true, None).samples();
+        let off_mean: f64 = off.iter().sum::<f64>() / off.len() as f64;
+        let on_mean: f64 = on.iter().sum::<f64>() / on.len() as f64;
         let inc = on_mean / off_mean - 1.0;
         assert!(inc < 0.02, "tracing overhead {inc}");
         assert!(inc > -0.01, "tracing made runs faster? {inc}");
@@ -116,6 +122,7 @@ mod tests {
                 workload: "nbody".into(),
                 off_mean: 0.45,
                 on_mean: 0.453,
+                failed: 0,
             }],
         };
         let s = t.render();

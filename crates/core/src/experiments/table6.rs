@@ -84,6 +84,7 @@ mod tests {
         InjectionTable {
             title: "t".into(),
             workload: WorkloadKind::NBody,
+            failed_runs: 0,
             blocks: vec![Block {
                 platform: "p".into(),
                 rows: vec![RowResult {

@@ -1,0 +1,129 @@
+//! Typed run-failure taxonomy and the retry policy.
+//!
+//! A failed run is data, not a process-ending event: the harness maps
+//! every way a simulated run can go wrong onto [`RunFailure`], and
+//! `run_many` collects per-run `Result`s into a ledger instead of
+//! panicking (gem5's standardized-simulation effort and Pac-Sim treat
+//! partial results the same way). The paper-scale campaigns can then
+//! report exactly which (seed, cause) pairs were lost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a single run produced no usable measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunFailure {
+    /// Virtual time passed the safety horizon before the team exited.
+    Horizon { limit_secs: f64 },
+    /// The event queue drained with workers still alive: the simulated
+    /// system deadlocked (e.g. peers waiting on a dead thread).
+    Deadlock,
+    /// A fault plan tore down a workload thread mid-region; any
+    /// measurement from the surviving threads is invalid.
+    WorkloadAborted { thread: String },
+    /// The run panicked on the host — a harness/workload bug, contained
+    /// by `catch_unwind` so the rest of the campaign continues.
+    Panic { message: String },
+}
+
+impl RunFailure {
+    /// Stable short cause tag, used in ledgers and checkpoints.
+    pub fn cause(&self) -> &'static str {
+        match self {
+            RunFailure::Horizon { .. } => "horizon",
+            RunFailure::Deadlock => "deadlock",
+            RunFailure::WorkloadAborted { .. } => "workload-aborted",
+            RunFailure::Panic { .. } => "panic",
+        }
+    }
+}
+
+impl fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunFailure::Horizon { limit_secs } => {
+                write!(f, "exceeded the {limit_secs}s virtual-time horizon")
+            }
+            RunFailure::Deadlock => write!(f, "deadlocked (event queue drained)"),
+            RunFailure::WorkloadAborted { thread } => {
+                write!(f, "workload thread '{thread}' aborted mid-region")
+            }
+            RunFailure::Panic { message } => write!(f, "panicked: {message}"),
+        }
+    }
+}
+
+/// Bounded, deterministic retry-with-reseed. `max_retries == 0` (the
+/// default) means a failure is final. Reseeding is a pure function of
+/// the original seed and the attempt number, so a retried campaign is
+/// exactly reproducible and the ledger records how many attempts each
+/// cell consumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    pub fn none() -> Self {
+        RetryPolicy::default()
+    }
+
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy { max_retries }
+    }
+
+    /// The seed used for retry `attempt` (1-based) of `seed`. Odd
+    /// multiplier keeps distinct attempts distinct for every seed.
+    pub fn reseed(seed: u64, attempt: u32) -> u64 {
+        seed ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_tags_are_stable() {
+        assert_eq!(RunFailure::Horizon { limit_secs: 600.0 }.cause(), "horizon");
+        assert_eq!(RunFailure::Deadlock.cause(), "deadlock");
+        assert_eq!(
+            RunFailure::WorkloadAborted {
+                thread: "omp-3".into()
+            }
+            .cause(),
+            "workload-aborted"
+        );
+        assert_eq!(
+            RunFailure::Panic {
+                message: "x".into()
+            }
+            .cause(),
+            "panic"
+        );
+    }
+
+    #[test]
+    fn failure_json_roundtrip() {
+        for f in [
+            RunFailure::Horizon { limit_secs: 600.0 },
+            RunFailure::Deadlock,
+            RunFailure::WorkloadAborted { thread: "w".into() },
+            RunFailure::Panic {
+                message: "boom".into(),
+            },
+        ] {
+            let s = serde_json::to_string(&f).unwrap();
+            let back: RunFailure = serde_json::from_str(&s).unwrap();
+            assert_eq!(f, back);
+        }
+    }
+
+    #[test]
+    fn reseed_is_deterministic_and_distinct() {
+        assert_eq!(RetryPolicy::reseed(42, 1), RetryPolicy::reseed(42, 1));
+        assert_ne!(RetryPolicy::reseed(42, 1), 42);
+        assert_ne!(RetryPolicy::reseed(42, 1), RetryPolicy::reseed(42, 2));
+        assert_ne!(RetryPolicy::reseed(42, 1), RetryPolicy::reseed(43, 1));
+    }
+}

@@ -1,20 +1,34 @@
 //! The experiment harness: run a workload under a platform and
-//! execution configuration — baseline, traced, or with noise injection —
-//! and repeat across seeds (in parallel on host threads; each simulated
-//! run stays fully deterministic in its own kernel instance).
+//! execution configuration — baseline, traced, with noise injection, or
+//! under a fault plan — and repeat across seeds (in parallel on host
+//! threads; each simulated run stays fully deterministic in its own
+//! kernel instance).
+//!
+//! Crash-proofing: a single run returns `Result<RunOutput, RunFailure>`
+//! instead of panicking, `run_many` contains host panics with
+//! `catch_unwind` so one bad run cannot poison a campaign, and the
+//! [`RunLedger`] it returns records exactly which (seed, cause) pairs
+//! produced no measurement.
 
 use crate::execconfig::{ExecConfig, Model};
+use crate::failure::{RetryPolicy, RunFailure};
 use crate::platform::Platform;
 use noiselab_injector::{spawn_injectors, InjectionConfig};
-use noiselab_kernel::{Kernel, KernelConfig, RunError};
+use noiselab_kernel::{FaultPlan, Kernel, KernelConfig, RunError};
 use noiselab_noise::{install, OsNoiseTracer, RunTrace, TraceSet};
 use noiselab_runtime::{omp, sycl};
 use noiselab_sim::{Rng, SimDuration, SimTime};
 use noiselab_stats::Summary;
 use noiselab_workloads::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Virtual-time safety horizon per run.
 const HORIZON: SimTime = SimTime(600 * noiselab_sim::NANOS_PER_SEC);
+
+/// Stream constant separating the harness fault RNG from all other
+/// per-seed streams (noise, jitter). Also used to mix the run seed into
+/// the plan seed so the same plan fires on different runs of a campaign.
+const FAULT_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Outcome of a single run.
 #[derive(Debug, Clone)]
@@ -36,7 +50,7 @@ pub fn run_once(
     seed: u64,
     tracing: bool,
     inject: Option<&InjectionConfig>,
-) -> RunOutput {
+) -> Result<RunOutput, RunFailure> {
     run_once_with(
         platform,
         workload,
@@ -58,7 +72,27 @@ pub fn run_once_with(
     seed: u64,
     tracing: bool,
     inject: Option<&InjectionConfig>,
-) -> RunOutput {
+) -> Result<RunOutput, RunFailure> {
+    run_once_faulted(
+        platform, workload, cfg, kconfig, seed, tracing, inject, None,
+    )
+}
+
+/// Execute one run with an optional [`FaultPlan`] active. The fault RNG
+/// is a separate stream derived from `plan.seed ^ f(seed)`, so a `None`
+/// plan (or a no-op plan) leaves the run bit-identical to the unfaulted
+/// harness, and the same (plan, seed) pair always fails the same way.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_faulted(
+    platform: &Platform,
+    workload: &dyn Workload,
+    cfg: &ExecConfig,
+    kconfig: &KernelConfig,
+    seed: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+    faults: Option<&FaultPlan>,
+) -> Result<RunOutput, RunFailure> {
     // SMT toggling (paper §5): rows without the SMT label run with SMT
     // disabled at firmware level, so the sibling hardware threads do not
     // exist — neither for the workload nor for noise to hide on.
@@ -90,6 +124,14 @@ pub fn run_once_with(
         None
     };
 
+    // Fault injection shares no RNG state with the streams above: an
+    // absent or no-op plan leaves the event sequence untouched.
+    let mut fault_rng = faults.map(|plan| {
+        let mut frng = Rng::new(plan.seed ^ seed.wrapping_mul(FAULT_STREAM));
+        kernel.install_faults(plan, frng.fork(0));
+        frng
+    });
+
     let nthreads = cfg.nthreads(&machine);
     let affinities = cfg.affinities(&machine);
 
@@ -120,21 +162,49 @@ pub fn run_once_with(
         }
     };
 
+    // Thread-abort faults need the spawned team: draw the victim and
+    // abort time now, from the same fault stream (fork keeps the draw
+    // independent of how many spurious-IRQ draws the install consumed).
+    if let (Some(frng), Some(plan)) = (fault_rng.as_mut(), faults) {
+        if let Some(ab) = &plan.abort {
+            let mut arng = frng.fork(1);
+            if ab.prob > 0.0 && arng.chance(ab.prob) && !team.workers.is_empty() {
+                let victim = team.workers[arng.index(team.workers.len())];
+                let lo = ab.window.0.nanos();
+                let hi = ab.window.1.nanos().max(lo + 1);
+                let at = SimTime(lo + arng.below(hi - lo));
+                kernel.schedule_abort(victim, at);
+            }
+        }
+    }
+
     let mut end = SimTime::ZERO;
+    let mut failure: Option<RunFailure> = None;
     for w in &team.workers {
         match kernel.run_until_exit(*w, HORIZON) {
             Ok(t) => end = end.max(t),
-            Err(RunError::Horizon(_)) => panic!(
-                "{}/{} run exceeded the {HORIZON} horizon (seed {seed})",
-                workload.name(),
-                cfg.label()
-            ),
-            Err(RunError::Drained) => panic!(
-                "{}/{} deadlocked: event queue drained with worker {w} alive (seed {seed})",
-                workload.name(),
-                cfg.label()
-            ),
+            Err(RunError::Horizon(_)) => {
+                failure = Some(RunFailure::Horizon {
+                    limit_secs: HORIZON.0 as f64 / noiselab_sim::NANOS_PER_SEC as f64,
+                });
+                break;
+            }
+            Err(RunError::Drained) => {
+                failure = Some(RunFailure::Deadlock);
+                break;
+            }
         }
+    }
+    // An aborted workload thread invalidates the measurement even when
+    // every surviving worker ran to completion, and it is the root cause
+    // behind any Drained/Horizon error its blocked peers produced.
+    if let Some(&tid) = kernel.aborted_threads().first() {
+        return Err(RunFailure::WorkloadAborted {
+            thread: kernel.thread(tid).name.clone(),
+        });
+    }
+    if let Some(f) = failure {
+        return Err(f);
     }
     let exec = end.since(SimTime::ZERO);
 
@@ -143,15 +213,116 @@ pub fn run_once_with(
         b.take_trace(0, exec)
     });
 
-    RunOutput {
+    Ok(RunOutput {
         exec,
         trace,
         anomaly: installed.anomaly,
+    })
+}
+
+/// One row of a [`RunLedger`]: the original seed, how many attempts were
+/// consumed (1 = no retry), and the final outcome.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    pub seed: u64,
+    pub attempts: u32,
+    pub result: Result<RunOutput, RunFailure>,
+}
+
+/// Per-run results of a multi-run campaign stage, ordered by seed.
+/// Failed runs stay in the ledger as typed causes instead of aborting
+/// the stage.
+#[derive(Debug, Clone, Default)]
+pub struct RunLedger {
+    pub records: Vec<RunRecord>,
+}
+
+impl RunLedger {
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Successful outputs, in seed order.
+    pub fn outputs(&self) -> impl Iterator<Item = &RunOutput> {
+        self.records.iter().filter_map(|r| r.result.as_ref().ok())
+    }
+
+    /// Execution times (seconds) of the successful runs.
+    pub fn samples(&self) -> Vec<f64> {
+        self.outputs().map(|o| o.exec.as_secs_f64()).collect()
+    }
+
+    /// The (seed, cause) pairs that produced no measurement.
+    pub fn failures(&self) -> Vec<(u64, RunFailure)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.result.as_ref().err().map(|f| (r.seed, f.clone())))
+            .collect()
+    }
+
+    pub fn ok_count(&self) -> usize {
+        self.records.iter().filter(|r| r.result.is_ok()).count()
+    }
+
+    pub fn failed_count(&self) -> usize {
+        self.records.len() - self.ok_count()
+    }
+
+    /// Unwrap every record, panicking with the full failure list —
+    /// for stages where a failure indicates a harness bug rather than
+    /// an injected fault.
+    pub fn expect_all(self, context: &str) -> Vec<RunOutput> {
+        let failures = self.failures();
+        if !failures.is_empty() {
+            panic!("{context}: {} run(s) failed: {failures:?}", failures.len());
+        }
+        self.records
+            .into_iter()
+            .map(|r| r.result.expect("checked above"))
+            .collect()
+    }
+}
+
+/// Number of host threads `run_many` uses: the `NOISELAB_HOST_THREADS`
+/// env var when set to a positive integer, else the detected host
+/// parallelism, else a documented fallback of 4. Malformed values are
+/// ignored with a note on stderr rather than silently coerced.
+fn host_threads() -> usize {
+    if let Ok(v) = std::env::var("NOISELAB_HOST_THREADS") {
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!(
+                "noiselab: ignoring malformed NOISELAB_HOST_THREADS={v:?} \
+                 (want a positive integer); auto-detecting"
+            ),
+        }
+    }
+    match std::thread::available_parallelism() {
+        Ok(n) => n.get(),
+        Err(e) => {
+            eprintln!("noiselab: available_parallelism failed ({e}); using 4 host threads");
+            4
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
 /// Execute `n_runs` runs with seeds `seed_base..seed_base + n_runs`,
-/// parallelised over host threads. Results are ordered by seed.
+/// parallelised over host threads. Records are ordered by seed; failed
+/// runs appear in the ledger instead of panicking the harness.
 pub fn run_many(
     platform: &Platform,
     workload: &(dyn Workload + Sync),
@@ -160,42 +331,115 @@ pub fn run_many(
     seed_base: u64,
     tracing: bool,
     inject: Option<&InjectionConfig>,
-) -> Vec<RunOutput> {
+) -> RunLedger {
+    run_many_faulted(
+        platform,
+        workload,
+        cfg,
+        n_runs,
+        seed_base,
+        tracing,
+        inject,
+        None,
+        RetryPolicy::none(),
+    )
+}
+
+/// [`run_many`] with a fault plan and a bounded deterministic retry
+/// policy. Host panics inside a run are caught per run and recorded as
+/// [`RunFailure::Panic`]; a retried run re-executes with
+/// [`RetryPolicy::reseed`] so the whole ledger is a pure function of
+/// its inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_many_faulted(
+    platform: &Platform,
+    workload: &(dyn Workload + Sync),
+    cfg: &ExecConfig,
+    n_runs: usize,
+    seed_base: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+    faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
+) -> RunLedger {
     if n_runs == 0 {
-        return Vec::new();
+        return RunLedger::default();
     }
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let host_threads = host_threads.min(n_runs);
-    let mut results: Vec<Option<RunOutput>> = Vec::new();
+    let kconfig = KernelConfig::default();
+    let host_threads = host_threads().min(n_runs);
+    let mut results: Vec<Option<RunRecord>> = Vec::new();
     results.resize_with(n_runs, || None);
+
+    let attempt_run = |seed: u64| -> Result<RunOutput, RunFailure> {
+        catch_unwind(AssertUnwindSafe(|| {
+            run_once_faulted(
+                platform, workload, cfg, &kconfig, seed, tracing, inject, faults,
+            )
+        }))
+        .unwrap_or_else(|payload| {
+            Err(RunFailure::Panic {
+                message: panic_message(payload),
+            })
+        })
+    };
 
     // Hand each host thread a contiguous, exclusively owned chunk of the
     // result vector: no locks, and results land already ordered by seed.
     let chunk = n_runs.div_ceil(host_threads);
+    let attempt_run = &attempt_run;
     std::thread::scope(|scope| {
         for (t, out) in results.chunks_mut(chunk).enumerate() {
             scope.spawn(move || {
                 for (j, slot) in out.iter_mut().enumerate() {
                     let i = t * chunk + j;
-                    *slot = Some(run_once(
-                        platform,
-                        workload,
-                        cfg,
-                        seed_base + i as u64,
-                        tracing,
-                        inject,
-                    ));
+                    let seed = seed_base + i as u64;
+                    let mut attempts = 1u32;
+                    let mut result = attempt_run(seed);
+                    while result.is_err() && attempts <= retry.max_retries {
+                        let reseed = RetryPolicy::reseed(seed, attempts);
+                        eprintln!(
+                            "noiselab: run seed {seed} failed ({}); retry {attempts}/{} \
+                             with seed {reseed}",
+                            result.as_ref().err().map(|f| f.cause()).unwrap_or("?"),
+                            retry.max_retries
+                        );
+                        result = attempt_run(reseed);
+                        attempts += 1;
+                    }
+                    *slot = Some(RunRecord {
+                        seed,
+                        attempts,
+                        result,
+                    });
                 }
             });
         }
     });
 
-    results
+    // Every slot is written by its owning chunk above; an empty slot can
+    // only mean a harness bug, which we record instead of unwrapping so
+    // the rest of the campaign's results survive.
+    let records = results
         .into_iter()
-        .map(|r| r.expect("missing run result"))
-        .collect()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| {
+                let seed = seed_base + i as u64;
+                eprintln!(
+                    "noiselab: internal error: no result recorded for seed {seed}; \
+                     counting it as a failed run"
+                );
+                RunRecord {
+                    seed,
+                    attempts: 0,
+                    result: Err(RunFailure::Panic {
+                        message: "host thread produced no result".into(),
+                    }),
+                }
+            })
+        })
+        .collect();
+    RunLedger { records }
 }
 
 /// Baseline measurement of one configuration.
@@ -205,9 +449,12 @@ pub struct Baseline {
     pub traces: TraceSet,
     /// Indices of runs with an active natural anomaly.
     pub anomaly_runs: Vec<usize>,
+    /// Seeds (with causes) that produced no measurement.
+    pub failures: Vec<(u64, RunFailure)>,
 }
 
-/// Run the baseline (optionally traced) stage of the pipeline.
+/// Run the baseline (optionally traced) stage of the pipeline. Panics
+/// only if *every* run failed (there is no baseline to report).
 pub fn run_baseline(
     platform: &Platform,
     workload: &(dyn Workload + Sync),
@@ -216,11 +463,19 @@ pub fn run_baseline(
     seed_base: u64,
     tracing: bool,
 ) -> Baseline {
-    let outputs = run_many(platform, workload, cfg, n_runs, seed_base, tracing, None);
-    let samples: Vec<f64> = outputs.iter().map(|o| o.exec.as_secs_f64()).collect();
+    let ledger = run_many(platform, workload, cfg, n_runs, seed_base, tracing, None);
+    let samples = ledger.samples();
+    let failures = ledger.failures();
+    assert!(
+        !samples.is_empty(),
+        "baseline {}/{}: all {n_runs} runs failed: {failures:?}",
+        workload.name(),
+        cfg.label()
+    );
     let mut traces = TraceSet::default();
     let mut anomaly_runs = Vec::new();
-    for (i, o) in outputs.into_iter().enumerate() {
+    for (i, record) in ledger.records.into_iter().enumerate() {
+        let Ok(o) = record.result else { continue };
         if o.anomaly.is_some() {
             anomaly_runs.push(i);
         }
@@ -233,11 +488,20 @@ pub fn run_baseline(
         summary: Summary::of(&samples),
         traces,
         anomaly_runs,
+        failures,
     }
 }
 
+/// Result of the injection stage: the replayed-noise summary plus the
+/// runs that produced no measurement.
+#[derive(Debug, Clone)]
+pub struct Injected {
+    pub summary: Summary,
+    pub failures: Vec<(u64, RunFailure)>,
+}
+
 /// Run the injection stage: repeat the workload with the injector
-/// replaying `config`.
+/// replaying `config`. Panics only if every run failed.
 pub fn run_injected(
     platform: &Platform,
     workload: &(dyn Workload + Sync),
@@ -245,8 +509,8 @@ pub fn run_injected(
     config: &InjectionConfig,
     n_runs: usize,
     seed_base: u64,
-) -> Summary {
-    let outputs = run_many(
+) -> Injected {
+    let ledger = run_many(
         platform,
         workload,
         cfg,
@@ -255,8 +519,18 @@ pub fn run_injected(
         false,
         Some(config),
     );
-    let samples: Vec<f64> = outputs.iter().map(|o| o.exec.as_secs_f64()).collect();
-    Summary::of(&samples)
+    let samples = ledger.samples();
+    let failures = ledger.failures();
+    assert!(
+        !samples.is_empty(),
+        "injected {}/{}: all {n_runs} runs failed: {failures:?}",
+        workload.name(),
+        cfg.label()
+    );
+    Injected {
+        summary: Summary::of(&samples),
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -279,10 +553,10 @@ mod tests {
         let p = Platform::intel();
         let w = tiny_nbody();
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
-        let a = run_once(&p, &w, &cfg, 42, false, None);
-        let b = run_once(&p, &w, &cfg, 42, false, None);
+        let a = run_once(&p, &w, &cfg, 42, false, None).unwrap();
+        let b = run_once(&p, &w, &cfg, 42, false, None).unwrap();
         assert_eq!(a.exec, b.exec);
-        let c = run_once(&p, &w, &cfg, 43, false, None);
+        let c = run_once(&p, &w, &cfg, 43, false, None).unwrap();
         assert_ne!(
             a.exec, c.exec,
             "different seeds should give different noise"
@@ -295,10 +569,29 @@ mod tests {
         let w = tiny_nbody();
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
         let many = run_many(&p, &w, &cfg, 4, 100, false, None);
-        for (i, out) in many.iter().enumerate() {
-            let single = run_once(&p, &w, &cfg, 100 + i as u64, false, None);
+        assert_eq!(many.failed_count(), 0);
+        for (i, record) in many.records.iter().enumerate() {
+            assert_eq!(record.seed, 100 + i as u64);
+            assert_eq!(record.attempts, 1);
+            let out = record.result.as_ref().unwrap();
+            let single = run_once(&p, &w, &cfg, 100 + i as u64, false, None).unwrap();
             assert_eq!(out.exec, single.exec, "run {i} differs");
         }
+    }
+
+    #[test]
+    fn noop_fault_plan_is_bit_identical() {
+        let p = Platform::intel();
+        let w = tiny_nbody();
+        let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
+        let kc = KernelConfig::default();
+        let plain = run_once(&p, &w, &cfg, 11, false, None).unwrap();
+        let noop = FaultPlan {
+            seed: 999,
+            ..FaultPlan::default()
+        };
+        let faulted = run_once_faulted(&p, &w, &cfg, &kc, 11, false, None, Some(&noop)).unwrap();
+        assert_eq!(plain.exec, faulted.exec, "no-op plan must not perturb runs");
     }
 
     #[test]
@@ -308,6 +601,7 @@ mod tests {
         let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
         let base = run_baseline(&p, &w, &cfg, 3, 7, true);
         assert_eq!(base.traces.runs.len(), 3);
+        assert!(base.failures.is_empty());
         for (i, t) in base.traces.runs.iter().enumerate() {
             assert_eq!(t.run_index, i);
             assert!(!t.events.is_empty(), "trace {i} has no events");
@@ -326,7 +620,8 @@ mod tests {
             1,
             false,
             None,
-        );
+        )
+        .unwrap();
         let sycl = run_once(
             &p,
             &w,
@@ -334,12 +629,25 @@ mod tests {
             1,
             false,
             None,
-        );
+        )
+        .unwrap();
         assert!(
             sycl.exec.nanos() as f64 > omp.exec.nanos() as f64 * 1.1,
             "sycl {} vs omp {}",
             sycl.exec,
             omp.exec
         );
+    }
+
+    #[test]
+    fn host_threads_env_override_is_validated() {
+        // Serialise against other tests touching the var (none today,
+        // but the lock costs nothing).
+        std::env::set_var("NOISELAB_HOST_THREADS", "3");
+        assert_eq!(host_threads(), 3);
+        std::env::set_var("NOISELAB_HOST_THREADS", "zero");
+        let auto = host_threads();
+        assert!(auto >= 1, "malformed value must fall back to detection");
+        std::env::remove_var("NOISELAB_HOST_THREADS");
     }
 }

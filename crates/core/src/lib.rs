@@ -3,16 +3,25 @@
 //! The experiment harness tying the stack together: evaluation
 //! [`platform`]s, execution configurations ([`execconfig`]: model ×
 //! mitigation × SMT), the run [`harness`] (baseline / traced /
-//! injected), and the per-table experiment definitions in
-//! [`experiments`].
+//! injected / faulted), the typed run-[`failure`] taxonomy, the
+//! checkpointed [`campaign`] driver, and the per-table experiment
+//! definitions in [`experiments`].
 
+pub mod campaign;
 pub mod execconfig;
 pub mod experiments;
+pub mod failure;
 pub mod harness;
 pub mod platform;
 
+pub use campaign::{
+    run_campaign, CampaignPlan, CampaignReport, CampaignState, CellKey, CellRecord, CellReport,
+    FailureRecord,
+};
 pub use execconfig::{ExecConfig, Mitigation, Model};
+pub use failure::{RetryPolicy, RunFailure};
 pub use harness::{
-    run_baseline, run_injected, run_many, run_once, run_once_with, Baseline, RunOutput,
+    run_baseline, run_injected, run_many, run_many_faulted, run_once, run_once_faulted,
+    run_once_with, Baseline, Injected, RunLedger, RunOutput, RunRecord,
 };
 pub use platform::Platform;

@@ -1,0 +1,317 @@
+//! Resilience suite: the campaign harness must survive injected
+//! crashes, host panics, and being killed mid-campaign — and come back
+//! with exactly the same numbers.
+//!
+//! This is the fault-injection gate CI runs: a ~5 % crashy 200-run
+//! campaign must complete without panicking and report exactly the
+//! failed (seed, cause) pairs; a checkpoint-interrupted campaign must
+//! resume bit-identical to an uninterrupted one.
+
+use noiselab_core::campaign::{run_campaign, CampaignPlan, CampaignState};
+use noiselab_core::{
+    run_many_faulted, run_once, run_once_faulted, ExecConfig, Mitigation, Model, Platform,
+    RetryPolicy, RunFailure,
+};
+use noiselab_kernel::{FaultPlan, KernelConfig};
+use noiselab_runtime::{omp::OmpSchedule, Program};
+use noiselab_workloads::{NBody, Workload};
+use std::path::PathBuf;
+
+fn tiny_nbody() -> NBody {
+    NBody {
+        bodies: 4_096,
+        steps: 2,
+        sycl_kernel_efficiency: 1.3,
+    }
+}
+
+fn cfg() -> ExecConfig {
+    ExecConfig::new(Model::Omp, Mitigation::Rm)
+}
+
+/// ~5 % of runs lose one workload thread inside the first 2 ms.
+fn crashy() -> FaultPlan {
+    FaultPlan::crashy(0xC0FFEE, 0.05, 2)
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("noiselab-resilience");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir.join(name)
+}
+
+// ---------------------------------------------------------------------
+// Crashy campaigns.
+// ---------------------------------------------------------------------
+
+#[test]
+fn crashy_campaign_completes_and_reports_failures() {
+    let p = Platform::intel();
+    let w = tiny_nbody();
+    let plan = crashy();
+
+    let ledger = run_many_faulted(
+        &p,
+        &w,
+        &cfg(),
+        200,
+        9_000,
+        false,
+        None,
+        Some(&plan),
+        RetryPolicy::none(),
+    );
+    assert_eq!(ledger.len(), 200);
+    assert_eq!(ledger.ok_count() + ledger.failed_count(), 200);
+
+    let failures = ledger.failures();
+    assert!(
+        (2..=25).contains(&failures.len()),
+        "~5% of 200 runs should crash, got {}",
+        failures.len()
+    );
+    for (seed, cause) in &failures {
+        assert!((9_000..9_200).contains(seed));
+        assert!(
+            matches!(cause, RunFailure::WorkloadAborted { .. }),
+            "seed {seed}: unexpected cause {cause}"
+        );
+    }
+    // Survivors are untouched by the plan: bit-identical to unfaulted
+    // runs at the same seeds.
+    for record in ledger.records.iter().take(20) {
+        if let Ok(out) = &record.result {
+            let plain = run_once(&p, &w, &cfg(), record.seed, false, None).unwrap();
+            assert_eq!(out.exec, plain.exec, "seed {} perturbed", record.seed);
+        }
+    }
+}
+
+#[test]
+fn crashy_campaign_is_deterministic() {
+    let p = Platform::intel();
+    let w = tiny_nbody();
+    let plan = crashy();
+    let run = || {
+        run_many_faulted(
+            &p,
+            &w,
+            &cfg(),
+            60,
+            500,
+            false,
+            None,
+            Some(&plan),
+            RetryPolicy::none(),
+        )
+        .failures()
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.is_empty(), "expected at least one crash in 60 runs");
+    assert_eq!(a, b, "same plan + seeds must fail identically");
+}
+
+#[test]
+fn retry_with_reseed_recovers_crashed_runs_deterministically() {
+    let p = Platform::intel();
+    let w = tiny_nbody();
+    let plan = crashy();
+    let run = |retry| run_many_faulted(&p, &w, &cfg(), 60, 500, false, None, Some(&plan), retry);
+    let no_retry = run(RetryPolicy::none());
+    let with_retry = run(RetryPolicy::retries(3));
+    assert!(no_retry.failed_count() > 0);
+    // With a fresh seed per attempt and a 5 % crash rate, 3 retries
+    // recover everything at this scale.
+    assert_eq!(with_retry.failed_count(), 0, "retries should recover");
+    for record in &with_retry.records {
+        let crashed_first = no_retry
+            .records
+            .iter()
+            .find(|r| r.seed == record.seed)
+            .is_some_and(|r| r.result.is_err());
+        if crashed_first {
+            assert!(
+                record.attempts > 1,
+                "seed {} should have retried",
+                record.seed
+            );
+            // The recovered measurement equals a plain run at the
+            // deterministic reseed.
+            let reseed = RetryPolicy::reseed(record.seed, record.attempts - 1);
+            let expect = run_once_faulted(
+                &p,
+                &w,
+                &cfg(),
+                &KernelConfig::default(),
+                reseed,
+                false,
+                None,
+                Some(&plan),
+            );
+            assert_eq!(record.result.as_ref().unwrap().exec, expect.unwrap().exec);
+        } else {
+            assert_eq!(record.attempts, 1);
+        }
+    }
+    // Retried ledgers are reproducible too.
+    let again = run(RetryPolicy::retries(3));
+    let execs = |l: &noiselab_core::RunLedger| {
+        l.records
+            .iter()
+            .map(|r| r.result.as_ref().unwrap().exec)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(execs(&with_retry), execs(&again));
+}
+
+// ---------------------------------------------------------------------
+// Host-panic containment.
+// ---------------------------------------------------------------------
+
+/// A workload whose OpenMP lowering panics — the deliberately crashing
+/// workload of the CI gate. The harness must contain it.
+struct PanickingWorkload;
+
+impl Workload for PanickingWorkload {
+    fn name(&self) -> &'static str {
+        "panicker"
+    }
+    fn omp_program(&self, _nthreads: usize, _schedule: Option<OmpSchedule>) -> Program {
+        panic!("deliberate workload bug for the resilience gate")
+    }
+    fn sycl_program(&self, _nthreads: usize) -> Program {
+        panic!("deliberate workload bug for the resilience gate")
+    }
+}
+
+#[test]
+fn host_panic_is_contained_as_a_failed_run() {
+    let p = Platform::intel();
+    let ledger = noiselab_core::run_many(&p, &PanickingWorkload, &cfg(), 4, 0, false, None);
+    assert_eq!(ledger.len(), 4);
+    assert_eq!(ledger.ok_count(), 0);
+    for (_, cause) in ledger.failures() {
+        match cause {
+            RunFailure::Panic { message } => {
+                assert!(message.contains("deliberate workload bug"), "{message}");
+            }
+            other => panic!("expected Panic, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn mixed_fleet_panics_do_not_poison_good_runs() {
+    // Half the host threads hit the panicking workload, the other runs
+    // must still produce measurements (no propagation across runs).
+    let p = Platform::intel();
+    let w = tiny_nbody();
+    let good = noiselab_core::run_many(&p, &w, &cfg(), 3, 40, false, None);
+    let bad = noiselab_core::run_many(&p, &PanickingWorkload, &cfg(), 3, 40, false, None);
+    assert_eq!(good.ok_count(), 3);
+    assert_eq!(bad.ok_count(), 0);
+    for (i, r) in good.records.iter().enumerate() {
+        let single = run_once(&p, &w, &cfg(), 40 + i as u64, false, None).unwrap();
+        assert_eq!(r.result.as_ref().unwrap().exec, single.exec);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint / resume.
+// ---------------------------------------------------------------------
+
+fn campaign_cells() -> Vec<(String, ExecConfig)> {
+    vec![
+        ("omp/RM".into(), ExecConfig::new(Model::Omp, Mitigation::Rm)),
+        ("omp/TP".into(), ExecConfig::new(Model::Omp, Mitigation::Tp)),
+        (
+            "sycl/RM".into(),
+            ExecConfig::new(Model::Sycl, Mitigation::Rm),
+        ),
+        (
+            "omp/RMHK".into(),
+            ExecConfig::new(Model::Omp, Mitigation::RmHK),
+        ),
+    ]
+}
+
+fn plan<'a>(
+    p: &'a Platform,
+    w: &'a (dyn Workload + Sync),
+    checkpoint: Option<PathBuf>,
+    limit: Option<usize>,
+) -> CampaignPlan<'a> {
+    CampaignPlan {
+        platform: p,
+        workload: w,
+        cells: campaign_cells(),
+        runs_per_cell: 12,
+        seed_base: 31_000,
+        faults: Some(crashy()),
+        retry: RetryPolicy::none(),
+        checkpoint,
+        limit,
+    }
+}
+
+#[test]
+fn interrupted_campaign_resumes_bit_identical() {
+    let p = Platform::intel();
+    let w = tiny_nbody();
+
+    // Reference: uninterrupted, no checkpointing.
+    let reference = run_campaign(&plan(&p, &w, None, None)).unwrap();
+    assert_eq!(reference.cells.len(), 4);
+
+    // Interrupted: run 2 cells, "crash" (drop everything), then resume
+    // from the checkpoint file only.
+    let ckpt = tmp_path("resume.json");
+    std::fs::remove_file(&ckpt).ok();
+    let partial = run_campaign(&plan(&p, &w, Some(ckpt.clone()), Some(2))).unwrap();
+    assert_eq!(partial.cells.len(), 2);
+    drop(partial);
+
+    let on_disk = CampaignState::load(&ckpt).unwrap();
+    assert_eq!(on_disk.cells.len(), 2, "checkpoint holds completed cells");
+
+    let resumed = run_campaign(&plan(&p, &w, Some(ckpt.clone()), None)).unwrap();
+    assert_eq!(resumed.cells.len(), 4);
+
+    // Bit-identical: every sample, failure, and key matches the
+    // uninterrupted campaign exactly (f64s compared exactly via
+    // PartialEq on the whole state).
+    assert_eq!(resumed, reference);
+    for (a, b) in resumed.cells.iter().zip(&reference.cells) {
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn campaign_reports_failed_cells_and_counts() {
+    let p = Platform::intel();
+    let w = tiny_nbody();
+    let state = run_campaign(&plan(&p, &w, None, None)).unwrap();
+    let report = state.report(4);
+    assert!(report.complete);
+    assert_eq!(report.total_ok + report.total_failed, 4 * 12);
+    let text = noiselab_core::campaign::render_campaign_report(&report);
+    assert!(text.contains("campaign complete"), "{text}");
+}
+
+#[test]
+fn resume_with_different_inputs_is_refused() {
+    let p = Platform::intel();
+    let w = tiny_nbody();
+    let ckpt = tmp_path("mismatch.json");
+    std::fs::remove_file(&ckpt).ok();
+    run_campaign(&plan(&p, &w, Some(ckpt.clone()), Some(1))).unwrap();
+
+    let mut other = plan(&p, &w, Some(ckpt.clone()), None);
+    other.runs_per_cell = 13; // different campaign identity
+    let err = run_campaign(&other).expect_err("fingerprint mismatch must refuse");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    std::fs::remove_file(&ckpt).ok();
+}

@@ -69,8 +69,8 @@ fn assert_cell_equivalent(
     cfg: &ExecConfig,
     seed: u64,
 ) {
-    let e = run_once_with(platform, workload, cfg, &eager(), seed, true, None);
-    let t = run_once_with(platform, workload, cfg, &tickless(), seed, true, None);
+    let e = run_once_with(platform, workload, cfg, &eager(), seed, true, None).unwrap();
+    let t = run_once_with(platform, workload, cfg, &tickless(), seed, true, None).unwrap();
     assert_eq!(
         e.exec,
         t.exec,

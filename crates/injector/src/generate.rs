@@ -300,11 +300,7 @@ mod tests {
     }
 
     fn run(idx: usize, exec_ns: u64, events: Vec<TraceEvent>) -> RunTrace {
-        RunTrace {
-            run_index: idx,
-            exec_time: SimDuration(exec_ns),
-            events,
-        }
+        RunTrace::new(idx, SimDuration(exec_ns), events)
     }
 
     #[test]

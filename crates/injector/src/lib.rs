@@ -33,19 +33,19 @@
 //!     start: SimTime(start),
 //!     duration: SimDuration(dur),
 //! };
-//! let quiet = |i: usize| RunTrace {
-//!     run_index: i,
-//!     exec_time: SimDuration(1_000_000),
-//!     events: vec![event("kworker/0:1", 10_000, 20_000)],
-//! };
-//! let worst = RunTrace {
-//!     run_index: 4,
-//!     exec_time: SimDuration(6_000_000),
-//!     events: vec![
+//! let quiet = |i: usize| RunTrace::new(
+//!     i,
+//!     SimDuration(1_000_000),
+//!     vec![event("kworker/0:1", 10_000, 20_000)],
+//! );
+//! let worst = RunTrace::new(
+//!     4,
+//!     SimDuration(6_000_000),
+//!     vec![
 //!         event("kworker/0:1", 10_000, 20_000),
 //!         event("update-storm", 50_000, 5_000_000),
 //!     ],
-//! };
+//! );
 //! let traces = TraceSet { runs: vec![quiet(0), quiet(1), quiet(2), quiet(3), worst] };
 //! let config = generate("doc", &traces, &GeneratorOptions::default()).unwrap();
 //! // The recurring kworker noise is subtracted as inherent (it will

@@ -48,11 +48,7 @@ fn traceset_strategy() -> impl Strategy<Value = TraceSet> {
         runs: runs
             .into_iter()
             .enumerate()
-            .map(|(i, (events, exec))| RunTrace {
-                run_index: i,
-                exec_time: SimDuration(exec),
-                events,
-            })
+            .map(|(i, (events, exec))| RunTrace::new(i, SimDuration(exec), events))
             .collect(),
     })
 }

@@ -14,6 +14,7 @@
 use crate::action::{Action, Behavior, Ctx};
 use crate::config::KernelConfig;
 use crate::cpu::Cpu;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::ids::{BarrierId, ThreadId, WaitId};
 use crate::policy::Policy;
 use crate::thread::{ActiveCompute, BlockReason, Thread, ThreadKind, ThreadState};
@@ -44,6 +45,9 @@ enum KEvent {
         duration: SimDuration,
         source: Box<str>,
     },
+    /// Fault injection: tear the thread down mid-region, as if it
+    /// crashed. See [`Kernel::schedule_abort`].
+    Abort(ThreadId),
 }
 
 /// Thread creation parameters.
@@ -146,6 +150,12 @@ pub struct Kernel {
     /// enqueued nothing can skip the kick scan entirely.
     kick_pending: bool,
     scratch: RateScratch,
+    /// Installed fault plan state, if any. Faults draw from their own
+    /// RNG stream so a `None` here (or an all-zero plan) leaves the
+    /// event sequence bit-identical to an unfaulted run.
+    faults: Option<FaultState>,
+    /// Threads torn down by [`Self::schedule_abort`], in abort order.
+    aborted: Vec<ThreadId>,
 }
 
 impl Kernel {
@@ -183,6 +193,8 @@ impl Kernel {
             queued_total: 0,
             kick_pending: false,
             scratch: RateScratch::default(),
+            faults: None,
+            aborted: Vec::new(),
         }
     }
 
@@ -208,6 +220,67 @@ impl Kernel {
     /// Fork an independent RNG stream (for building workload data etc.).
     pub fn fork_rng(&mut self, stream: u64) -> Rng {
         self.rng.fork(stream)
+    }
+
+    /// Install a fault plan, driven by the given dedicated RNG stream.
+    /// Pre-schedules the plan's spurious interrupts and CPU stall
+    /// through [`Self::inject_irq`]; lost/late ticks are drawn lazily
+    /// at tick service/arming time. Thread aborts are *not* scheduled
+    /// here — the caller picks victims (it knows the team membership)
+    /// and uses [`Self::schedule_abort`].
+    pub fn install_faults(&mut self, plan: &FaultPlan, mut rng: Rng) {
+        let n = self.machine.n_cpus() as u64;
+        let mut stats = FaultStats::default();
+        if let Some(sp) = &plan.spurious {
+            if sp.rate_per_sec > 0.0 {
+                // Poisson arrivals over the window, uniform over CPUs.
+                let mean_gap = 1e9 / sp.rate_per_sec;
+                let mut t = rng.exp(mean_gap);
+                while t < sp.window.nanos() as f64 {
+                    let cpu = CpuId(rng.below(n) as u32);
+                    let service =
+                        SimDuration(rng.exp(sp.service_mean.nanos() as f64).max(200.0) as u64);
+                    self.inject_irq(cpu, SimTime(t as u64), service, "fault:spurious-irq");
+                    stats.spurious_irqs += 1;
+                    t += rng.exp(mean_gap);
+                }
+            }
+        }
+        if let Some(st) = &plan.stall {
+            let cpu = CpuId(rng.below(n) as u32);
+            let start = rng.range_f64(st.start.0.nanos() as f64, st.start.1.nanos() as f64);
+            let dur = rng.range_f64(st.duration.0.nanos() as f64, st.duration.1.nanos() as f64);
+            self.inject_irq(
+                cpu,
+                SimTime(start as u64),
+                SimDuration(dur.max(1.0) as u64),
+                "fault:cpu-stall",
+            );
+            stats.stall_windows += 1;
+        }
+        let mut state = FaultState::new(plan, rng);
+        state.stats = stats;
+        self.faults = Some(state);
+    }
+
+    /// Schedule `tid` to be forcibly torn down at `at` (clamped to now),
+    /// as if the thread crashed mid-region. The teardown goes through
+    /// the ordinary descheduling paths; peers blocked on the dead
+    /// thread will deadlock, which [`Self::run_until_exit`] reports as
+    /// [`RunError::Drained`].
+    pub fn schedule_abort(&mut self, tid: ThreadId, at: SimTime) {
+        let at = at.max(self.now());
+        self.queue.schedule(at, KEvent::Abort(tid));
+    }
+
+    /// Threads torn down by [`Self::schedule_abort`], in abort order.
+    pub fn aborted_threads(&self) -> &[ThreadId] {
+        &self.aborted
+    }
+
+    /// Fault delivery counters, when a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats)
     }
 
     /// Create a thread. It becomes runnable at `spec.start`.
@@ -306,6 +379,7 @@ impl Kernel {
                 duration,
                 source,
             } => self.on_device_irq(cpu as usize, duration, &source),
+            KEvent::Abort(tid) => self.force_abort(tid),
         }
         // Tickless idle-balance kick: if the event enqueued work that a
         // parked CPU could pull, re-arm that CPU so it gets the same
@@ -435,6 +509,17 @@ impl Kernel {
         let now = self.now();
         self.cpus[ci].tick_armed = false;
 
+        // Fault hook: a lost timer interrupt. The handler never runs —
+        // no IRQ service, no noise draws, no preemption check — but the
+        // hardware timer keeps its grid, so the CPU re-arms (or parks)
+        // exactly as it would after a serviced tick.
+        if self.fault_lost_tick() {
+            if !self.config.tickless || self.cpus[ci].current.is_some() || self.any_pullable(ci) {
+                self.arm_tick(ci);
+            }
+            return;
+        }
+
         if self.cpus[ci].current.is_some() {
             // --- timer interrupt service (busy CPU) ---------------------
             // Only busy CPUs take the timer IRQ and its noise draws, so
@@ -562,13 +647,45 @@ impl Kernel {
         let n = self.cpus.len() as u64;
         let offset = period * (ci as u64 + 1) / (n + 1);
         let now = self.now().0;
-        let next = if now < offset {
+        let mut next = if now < offset {
             offset
         } else {
             offset + ((now - offset) / period + 1) * period
         };
+        // Fault hook: a late timer expiry pushes this tick off its grid
+        // slot by a bounded random delay.
+        next += self.fault_tick_delay();
         self.queue.schedule(SimTime(next), KEvent::Tick(ci as u32));
         self.cpus[ci].tick_armed = true;
+    }
+
+    /// Draw the lost-tick dice from the fault stream. A plan with a
+    /// zero probability draws nothing, so plans differing only in other
+    /// fault knobs keep their streams aligned.
+    #[inline]
+    fn fault_lost_tick(&mut self) -> bool {
+        let Some(f) = self.faults.as_mut() else {
+            return false;
+        };
+        if f.lost_tick_prob <= 0.0 || !f.rng.chance(f.lost_tick_prob) {
+            return false;
+        }
+        f.stats.lost_ticks += 1;
+        true
+    }
+
+    /// Draw the late-tick delay (ns) from the fault stream; zero when
+    /// the tick fires on its grid slot.
+    #[inline]
+    fn fault_tick_delay(&mut self) -> u64 {
+        let Some(f) = self.faults.as_mut() else {
+            return 0;
+        };
+        if f.late_tick_prob <= 0.0 || !f.rng.chance(f.late_tick_prob) {
+            return 0;
+        }
+        f.stats.late_ticks += 1;
+        1 + f.rng.below(f.late_tick_max_ns.max(1))
     }
 
     /// Whether an idle-balance pull on `ci` could ever succeed: some
@@ -594,6 +711,76 @@ impl Kernel {
         self.cpus[ci].irq_token = EventToken::NONE;
         // Rates were zeroed for this CPU's thread; restore them.
         self.recompute_rates_for(ci);
+    }
+
+    /// Fault injection: tear `tid` down mid-region as if it crashed.
+    /// The thread exits through the ordinary descheduling paths from
+    /// whatever state it is in; it is removed from runqueues, wait
+    /// queues and barrier arrival lists, so peers that depend on it
+    /// block forever (the deadlock the harness then reports).
+    fn force_abort(&mut self, tid: ThreadId) {
+        let now = self.now();
+        let i = tid.index();
+        if self.threads[i].state == ThreadState::Exited {
+            return; // already exited (or aborted twice)
+        }
+        // A dead thread never arrives at its barrier or wait queue.
+        match self.threads[i].block_reason {
+            BlockReason::Barrier(b) => self.barriers[b.0 as usize].waiting.retain(|&t| t != tid),
+            BlockReason::Wait(wq) => self.waitqs[wq.0 as usize].waiters.retain(|&t| t != tid),
+            BlockReason::None | BlockReason::Direct => {}
+        }
+        match self.threads[i].state {
+            ThreadState::Running => {
+                let cpu = self.threads[i]
+                    .cpu
+                    .expect("running thread without cpu")
+                    .index();
+                self.off_cpu(tid, ThreadState::Exited);
+                self.threads[i].compute = None;
+                self.seal_aborted(tid, now);
+                self.recompute_rates_for(cpu);
+                self.dispatch(cpu);
+            }
+            ThreadState::Ready => {
+                let cpu = self.threads[i]
+                    .cpu
+                    .expect("ready thread without cpu")
+                    .index();
+                self.dequeue_ready(cpu, tid);
+                self.threads[i].state = ThreadState::Exited;
+                self.threads[i].cpu = None;
+                self.threads[i].compute = None;
+                self.seal_aborted(tid, now);
+            }
+            ThreadState::New | ThreadState::Sleeping | ThreadState::Blocked => {
+                self.threads[i].state = ThreadState::Exited;
+                self.threads[i].cpu = None;
+                self.threads[i].compute = None;
+                self.seal_aborted(tid, now);
+            }
+            ThreadState::Exited => unreachable!(),
+        }
+    }
+
+    /// Common tail of [`Self::force_abort`]: cancel pending events,
+    /// stamp the exit, drop the behavior, and record the casualty.
+    fn seal_aborted(&mut self, tid: ThreadId, now: SimTime) {
+        let i = tid.index();
+        self.queue.cancel(self.threads[i].timer_token);
+        self.queue.cancel(self.threads[i].compute_token);
+        self.queue.cancel(self.threads[i].spin_token);
+        self.threads[i].timer_token = EventToken::NONE;
+        self.threads[i].compute_token = EventToken::NONE;
+        self.threads[i].spin_token = EventToken::NONE;
+        self.threads[i].spinning = false;
+        self.threads[i].block_reason = BlockReason::None;
+        self.threads[i].exit_time = Some(now);
+        self.behaviors[i] = None;
+        self.aborted.push(tid);
+        if let Some(f) = self.faults.as_mut() {
+            f.stats.aborted_threads += 1;
+        }
     }
 
     // ------------------------------------------------------------------

@@ -41,6 +41,7 @@
 pub mod action;
 pub mod config;
 pub mod cpu;
+pub mod fault;
 pub mod ids;
 pub mod kernel;
 pub mod policy;
@@ -49,6 +50,7 @@ pub mod trace;
 
 pub use action::{Action, Behavior, Ctx, FnBehavior, ScriptBehavior};
 pub use config::KernelConfig;
+pub use fault::{CpuStallSpec, FaultPlan, FaultStats, SpuriousIrqSpec, ThreadAbortSpec};
 pub use ids::{BarrierId, ThreadId, WaitId};
 pub use kernel::{Kernel, RunError, ThreadSpec};
 pub use policy::Policy;

@@ -1,0 +1,313 @@
+//! Fault-injection semantics: installing a no-op plan changes nothing,
+//! faults are deterministic in the fault seed, each fault kind is
+//! observable through the ordinary event-engine paths, and an aborted
+//! thread leaves its barrier peers deadlocked (the condition the
+//! harness maps to a typed run failure).
+
+use noiselab_kernel::{
+    Action, CpuStallSpec, FaultPlan, Kernel, KernelConfig, NoiseClass, ScriptBehavior,
+    SpuriousIrqSpec, ThreadId, ThreadKind, ThreadSpec, TraceSink,
+};
+use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_sim::{Rng, SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn machine(cores: usize, smt: usize) -> Machine {
+    Machine {
+        name: "f".into(),
+        cores,
+        smt,
+        perf: PerfModel {
+            flops_per_ns: 1.0,
+            smt_factor: 0.5,
+            per_core_bw: 10.0,
+            socket_bw: 20.0,
+        },
+        migration_cost: SimDuration::from_nanos(500),
+        ctx_switch: SimDuration::from_nanos(300),
+        wake_latency: SimDuration::from_nanos(700),
+        tick_period: SimDuration::from_millis(4),
+        reserved_cpus: CpuSet::EMPTY,
+        numa_domains: 1,
+    }
+}
+
+fn horizon() -> SimTime {
+    SimTime::from_secs_f64(100.0)
+}
+
+type TraceTuple = (u32, NoiseClass, String, u64, u64);
+
+#[derive(Default)]
+struct Recorder(Rc<RefCell<Vec<TraceTuple>>>);
+
+impl TraceSink for Recorder {
+    fn record(
+        &mut self,
+        cpu: CpuId,
+        class: NoiseClass,
+        source: &str,
+        _tid: Option<ThreadId>,
+        start: SimTime,
+        duration: SimDuration,
+    ) {
+        self.0
+            .borrow_mut()
+            .push((cpu.0, class, source.to_string(), start.0, duration.nanos()));
+    }
+}
+
+/// Two workers meeting at a barrier, one pinned, plus FIFO noise — the
+/// common scenario all fault tests run under.
+fn run_scenario(seed: u64, plan: Option<&FaultPlan>) -> (Vec<u64>, Vec<TraceTuple>) {
+    let mut k = Kernel::new(machine(4, 1), KernelConfig::default(), seed);
+    if let Some(p) = plan {
+        k.install_faults(p, Rng::new(p.seed ^ seed));
+    }
+    let store = Rc::new(RefCell::new(Vec::new()));
+    k.attach_tracer(Box::new(Recorder(store.clone())));
+    let bar = k.new_barrier(2);
+    let a = k.spawn(
+        ThreadSpec::new("a", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),
+        Box::new(ScriptBehavior::new(vec![
+            Action::Compute(WorkUnit::compute(6_000_000.0)),
+            Action::Barrier {
+                id: bar,
+                spin: SimDuration::from_micros(50),
+            },
+            Action::Compute(WorkUnit::compute(2_000_000.0)),
+        ])),
+    );
+    let b = k.spawn(
+        ThreadSpec::new("b", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![
+            Action::SleepFor(SimDuration::from_millis(2)),
+            Action::Compute(WorkUnit::compute(3_000_000.0)),
+            Action::Barrier {
+                id: bar,
+                spin: SimDuration::from_micros(50),
+            },
+            Action::Compute(WorkUnit::compute(1_000_000.0)),
+        ])),
+    );
+    let ends: Vec<u64> = [a, b]
+        .iter()
+        .map(|&t| k.run_until_exit(t, horizon()).expect("run failed").nanos())
+        .collect();
+    let events = store.borrow().clone();
+    (ends, events)
+}
+
+#[test]
+fn noop_plan_is_bit_identical_to_no_plan() {
+    for seed in [1, 7, 42] {
+        let (bare_ends, bare_tr) = run_scenario(seed, None);
+        let plan = FaultPlan::default();
+        let (noop_ends, noop_tr) = run_scenario(seed, Some(&plan));
+        assert_eq!(bare_ends, noop_ends, "exec diverged at seed {seed}");
+        assert_eq!(bare_tr, noop_tr, "traces diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn same_plan_and_seed_is_deterministic() {
+    let plan = FaultPlan {
+        seed: 99,
+        lost_tick_prob: 0.2,
+        late_tick_prob: 0.2,
+        late_tick_max: SimDuration::from_micros(300),
+        spurious: Some(SpuriousIrqSpec {
+            rate_per_sec: 500.0,
+            service_mean: SimDuration::from_micros(30),
+            window: SimDuration::from_millis(20),
+        }),
+        ..FaultPlan::default()
+    };
+    let (a_ends, a_tr) = run_scenario(5, Some(&plan));
+    let (b_ends, b_tr) = run_scenario(5, Some(&plan));
+    assert_eq!(a_ends, b_ends);
+    assert_eq!(a_tr, b_tr);
+}
+
+#[test]
+fn lost_ticks_are_counted_and_survivable() {
+    let plan = FaultPlan {
+        seed: 3,
+        lost_tick_prob: 0.5,
+        ..FaultPlan::default()
+    };
+    let mut k = Kernel::new(machine(2, 1), KernelConfig::default(), 11);
+    k.install_faults(&plan, Rng::new(plan.seed));
+    let t = k.spawn(
+        ThreadSpec::new("w", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(40_000_000.0),
+        )])),
+    );
+    k.run_until_exit(t, horizon()).expect("run failed");
+    let stats = k.fault_stats().unwrap();
+    assert!(stats.lost_ticks > 0, "no ticks lost at prob 0.5");
+    assert_eq!(stats.aborted_threads, 0);
+}
+
+#[test]
+fn late_ticks_are_counted() {
+    let plan = FaultPlan {
+        seed: 4,
+        late_tick_prob: 1.0,
+        late_tick_max: SimDuration::from_micros(500),
+        ..FaultPlan::default()
+    };
+    let mut k = Kernel::new(machine(2, 1), KernelConfig::default(), 12);
+    k.install_faults(&plan, Rng::new(plan.seed));
+    let t = k.spawn(
+        ThreadSpec::new("w", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(40_000_000.0),
+        )])),
+    );
+    k.run_until_exit(t, horizon()).expect("run failed");
+    assert!(k.fault_stats().unwrap().late_ticks > 0);
+}
+
+#[test]
+fn spurious_irqs_appear_in_trace_and_slow_the_run() {
+    let quiet = run_scenario(21, None);
+    let plan = FaultPlan {
+        seed: 8,
+        spurious: Some(SpuriousIrqSpec {
+            rate_per_sec: 20_000.0,
+            service_mean: SimDuration::from_micros(50),
+            window: SimDuration::from_millis(30),
+        }),
+        ..FaultPlan::default()
+    };
+    let noisy = run_scenario(21, Some(&plan));
+    assert!(
+        noisy.1.iter().any(|e| e.2 == "fault:spurious-irq"),
+        "spurious IRQs missing from trace"
+    );
+    let quiet_end: u64 = *quiet.0.iter().max().unwrap();
+    let noisy_end: u64 = *noisy.0.iter().max().unwrap();
+    assert!(
+        noisy_end > quiet_end,
+        "spurious IRQ storm did not extend execution ({noisy_end} <= {quiet_end})"
+    );
+}
+
+#[test]
+fn cpu_stall_blocks_progress_for_its_window() {
+    // Single CPU: the stall must hit the workload.
+    let plan = FaultPlan {
+        seed: 2,
+        stall: Some(CpuStallSpec {
+            start: (SimDuration::from_millis(1), SimDuration::from_millis(2)),
+            duration: (SimDuration::from_millis(10), SimDuration::from_millis(11)),
+        }),
+        ..FaultPlan::default()
+    };
+    let solo = {
+        let mut k = Kernel::new(machine(1, 1), KernelConfig::default(), 30);
+        let t = k.spawn(
+            ThreadSpec::new("w", ThreadKind::Workload),
+            Box::new(ScriptBehavior::new(vec![Action::Compute(
+                WorkUnit::compute(5_000_000.0),
+            )])),
+        );
+        k.run_until_exit(t, horizon()).unwrap().nanos()
+    };
+    let stalled = {
+        let mut k = Kernel::new(machine(1, 1), KernelConfig::default(), 30);
+        k.install_faults(&plan, Rng::new(plan.seed));
+        let t = k.spawn(
+            ThreadSpec::new("w", ThreadKind::Workload),
+            Box::new(ScriptBehavior::new(vec![Action::Compute(
+                WorkUnit::compute(5_000_000.0),
+            )])),
+        );
+        k.run_until_exit(t, horizon()).unwrap().nanos()
+    };
+    assert_eq!(
+        {
+            let mut k = Kernel::new(machine(1, 1), KernelConfig::default(), 30);
+            k.install_faults(&plan, Rng::new(plan.seed));
+            k.fault_stats().unwrap().stall_windows
+        },
+        1
+    );
+    assert!(
+        stalled >= solo + 9_000_000,
+        "stall window not charged: stalled={stalled} solo={solo}"
+    );
+}
+
+#[test]
+fn aborted_thread_exits_and_peers_deadlock() {
+    let mut k = Kernel::new(machine(4, 1), KernelConfig::default(), 17);
+    let bar = k.new_barrier(2);
+    let mk_worker = || {
+        ScriptBehavior::new(vec![
+            Action::Compute(WorkUnit::compute(6_000_000.0)),
+            Action::Barrier {
+                id: bar,
+                spin: SimDuration::from_micros(50),
+            },
+            Action::Compute(WorkUnit::compute(2_000_000.0)),
+        ])
+    };
+    let victim = k.spawn(
+        ThreadSpec::new("victim", ThreadKind::Workload),
+        Box::new(mk_worker()),
+    );
+    let peer = k.spawn(
+        ThreadSpec::new("peer", ThreadKind::Workload),
+        Box::new(mk_worker()),
+    );
+    // Abort the victim mid-compute, well before the barrier.
+    let abort_at = SimTime(1_000_000);
+    k.schedule_abort(victim, abort_at);
+    let vt = k.run_until_exit(victim, horizon()).expect("victim exit");
+    assert_eq!(vt, abort_at, "victim should exit exactly at the abort");
+    assert_eq!(k.aborted_threads(), &[victim]);
+    // The peer waits forever at the barrier: under the tickless kernel
+    // the queue eventually drains.
+    let err = k.run_until_exit(peer, horizon()).unwrap_err();
+    assert_eq!(err, noiselab_kernel::RunError::Drained);
+}
+
+#[test]
+fn abort_is_harmless_after_exit_and_while_blocked() {
+    let mut k = Kernel::new(machine(2, 1), KernelConfig::default(), 23);
+    let t = k.spawn(
+        ThreadSpec::new("w", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![
+            Action::SleepFor(SimDuration::from_millis(3)),
+            Action::Compute(WorkUnit::compute(1_000_000.0)),
+        ])),
+    );
+    // First abort lands while the thread sleeps; the second is a stale
+    // duplicate that must be ignored.
+    k.schedule_abort(t, SimTime(1_000_000));
+    k.schedule_abort(t, SimTime(2_000_000));
+    let end = k.run_until_exit(t, horizon()).expect("exit");
+    assert_eq!(end, SimTime(1_000_000));
+    assert_eq!(k.aborted_threads(), &[t]);
+}
+
+#[test]
+fn crashy_plan_abort_rate_is_roughly_requested() {
+    // The harness draws the abort dice per run; emulate 400 draws.
+    let plan = FaultPlan::crashy(41, 0.05, 50);
+    let spec = plan.abort.as_ref().unwrap();
+    let hits = (0..400u64)
+        .filter(|&run_seed| {
+            let mut rng = Rng::new(plan.seed ^ run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            rng.chance(spec.prob)
+        })
+        .count();
+    assert!(
+        (8..=35).contains(&hits),
+        "abort rate wildly off: {hits}/400 at p=0.05"
+    );
+}

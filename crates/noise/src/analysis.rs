@@ -31,6 +31,11 @@ pub struct RunSummary {
     pub by_source: BTreeMap<String, SourceBudget>,
     /// CPU carrying the most noise, with its total.
     pub busiest_cpu: Option<(u32, SimDuration)>,
+    /// Events the tracer ring buffer dropped; budgets above
+    /// under-report interference by roughly `1 - completeness`.
+    pub dropped_events: u64,
+    /// Fraction of emitted events recorded (1.0 for intact traces).
+    pub completeness: f64,
 }
 
 /// Summarise a single run.
@@ -63,6 +68,8 @@ pub fn summarize_run(run: &RunTrace) -> RunSummary {
             .into_iter()
             .max_by_key(|&(cpu, ns)| (ns, std::cmp::Reverse(cpu)))
             .map(|(cpu, ns)| (cpu, SimDuration(ns))),
+        dropped_events: run.dropped_events,
+        completeness: run.completeness(),
     }
 }
 
@@ -75,6 +82,10 @@ pub struct SetSummary {
     pub worst_index: usize,
     /// Sources ranked by total noise across all runs.
     pub top_sources: Vec<(String, SourceBudget)>,
+    /// Runs whose traces were truncated by the ring buffer. Their
+    /// contribution to the source ranking is an under-estimate, and
+    /// they are excluded from worst-case selection when possible.
+    pub degraded_runs: usize,
 }
 
 /// Summarise a trace set; `top_k` limits the source ranking.
@@ -102,6 +113,7 @@ pub fn summarize_set(set: &TraceSet, top_k: usize) -> Option<SetSummary> {
         worst_exec: set.runs[worst_index].exec_time,
         worst_index,
         top_sources: top,
+        degraded_runs: set.degraded_count(),
     })
 }
 
@@ -117,6 +129,13 @@ pub fn render_set_summary(s: &SetSummary) -> String {
         s.worst_exec.as_secs_f64(),
         (s.worst_exec.as_secs_f64() / s.mean_exec.as_secs_f64() - 1.0) * 100.0
     ));
+    if s.degraded_runs > 0 {
+        out.push_str(&format!(
+            "warning: {} of {} traces degraded (ring-buffer drops); \
+             source totals under-report noise\n",
+            s.degraded_runs, s.runs
+        ));
+    }
     out.push_str("top noise sources (total across runs):\n");
     for (src, b) in &s.top_sources {
         out.push_str(&format!(
@@ -161,11 +180,7 @@ mod tests {
     }
 
     fn run(idx: usize, exec: u64, events: Vec<TraceEvent>) -> RunTrace {
-        RunTrace {
-            run_index: idx,
-            exec_time: SimDuration(exec),
-            events,
-        }
+        RunTrace::new(idx, SimDuration(exec), events)
     }
 
     #[test]
@@ -186,6 +201,26 @@ mod tests {
         assert_eq!(s.by_source["kworker"].max_event, SimDuration(3_000));
         assert_eq!(s.busiest_cpu, Some((1, SimDuration(3_500))));
         assert!((s.noise_ratio - 0.0045).abs() < 1e-9);
+        assert_eq!(s.dropped_events, 0);
+        assert_eq!(s.completeness, 1.0);
+    }
+
+    #[test]
+    fn degraded_runs_surface_in_summaries() {
+        let mut degraded = run(0, 200, vec![ev(0, "a", 10)]);
+        degraded.dropped_events = 30;
+        degraded.degraded = true;
+        let set = TraceSet {
+            runs: vec![run(1, 100, vec![ev(0, "a", 10)]), degraded.clone()],
+        };
+        let rs = summarize_run(&degraded);
+        assert_eq!(rs.dropped_events, 30);
+        assert!((rs.completeness - 1.0 / 31.0).abs() < 1e-12);
+        let s = summarize_set(&set, 10).unwrap();
+        assert_eq!(s.degraded_runs, 1);
+        // Worst-case selection skips the degraded (longer) run.
+        assert_eq!(s.worst_index, 0);
+        assert!(render_set_summary(&s).contains("degraded"));
     }
 
     #[test]

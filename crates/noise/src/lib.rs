@@ -19,4 +19,4 @@ pub use sources::{
     install, AnomalyKind, AnomalySpec, DaemonSpec, InstalledNoise, KworkerSpec, NoiseProfile,
 };
 pub use trace::{RunTrace, TraceEvent, TraceSet};
-pub use tracer::{OsNoiseTracer, TraceBuffer};
+pub use tracer::{OsNoiseTracer, TraceBuffer, DEFAULT_TRACE_CAPACITY};

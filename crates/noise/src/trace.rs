@@ -45,9 +45,45 @@ pub struct RunTrace {
     pub exec_time: SimDuration,
     /// All noise events observed during the run, in record order.
     pub events: Vec<TraceEvent>,
+    /// Events the bounded tracer ring buffer could not record (like a
+    /// real ftrace buffer under pressure). Zero for intact traces.
+    #[serde(default)]
+    pub dropped_events: u64,
+    /// Per-CPU breakdown of `dropped_events` as `(cpu, dropped)` pairs,
+    /// only for CPUs that dropped anything.
+    #[serde(default)]
+    pub dropped_by_cpu: Vec<(u32, u64)>,
+    /// True when the ring buffer overflowed: per-source noise totals
+    /// under-report actual interference, so analysis and worst-case
+    /// selection down-weight this trace.
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 impl RunTrace {
+    /// An intact (no drops) trace.
+    pub fn new(run_index: usize, exec_time: SimDuration, events: Vec<TraceEvent>) -> RunTrace {
+        RunTrace {
+            run_index,
+            exec_time,
+            events,
+            dropped_events: 0,
+            dropped_by_cpu: Vec::new(),
+            degraded: false,
+        }
+    }
+
+    /// Fraction of emitted events actually recorded, in `[0, 1]`.
+    pub fn completeness(&self) -> f64 {
+        let recorded = self.events.len() as u64;
+        let emitted = recorded + self.dropped_events;
+        if emitted == 0 {
+            1.0
+        } else {
+            recorded as f64 / emitted as f64
+        }
+    }
+
     /// Total noise duration per class, for quick characterisation.
     pub fn noise_by_class(&self) -> [SimDuration; 3] {
         let mut out = [SimDuration::ZERO; 3];
@@ -87,13 +123,25 @@ pub struct TraceSet {
 }
 
 impl TraceSet {
-    /// Index of the worst-case (longest) execution.
+    /// Index of the worst-case (longest) execution. Degraded traces
+    /// (truncated by the tracer ring buffer) are only considered when
+    /// every trace in the set is degraded: a truncated trace would
+    /// feed the injection generator an under-reported noise profile.
     pub fn worst_index(&self) -> Option<usize> {
-        self.runs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, r)| r.exec_time)
-            .map(|(i, _)| i)
+        let pick = |degraded_ok: bool| {
+            self.runs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| degraded_ok || !r.degraded)
+                .max_by_key(|(_, r)| r.exec_time)
+                .map(|(i, _)| i)
+        };
+        pick(false).or_else(|| pick(true))
+    }
+
+    /// How many traces in the set are degraded.
+    pub fn degraded_count(&self) -> usize {
+        self.runs.iter().filter(|r| r.degraded).count()
     }
 
     pub fn worst(&self) -> Option<&RunTrace> {
@@ -135,16 +183,16 @@ mod tests {
 
     #[test]
     fn noise_by_class_partitions() {
-        let t = RunTrace {
-            run_index: 0,
-            exec_time: SimDuration(1_000_000),
-            events: vec![
+        let t = RunTrace::new(
+            0,
+            SimDuration(1_000_000),
+            vec![
                 ev(0, NoiseClass::Irq, "local_timer:236", 0, 300),
                 ev(1, NoiseClass::Softirq, "RCU:9", 10, 140),
                 ev(2, NoiseClass::Thread, "kworker/2:1", 20, 3760),
                 ev(3, NoiseClass::Irq, "local_timer:236", 30, 200),
             ],
-        };
+        );
         let [irq, soft, thr] = t.noise_by_class();
         assert_eq!(irq, SimDuration(500));
         assert_eq!(soft, SimDuration(140));
@@ -155,11 +203,7 @@ mod tests {
 
     #[test]
     fn worst_index_is_longest_run() {
-        let mk = |i, ns| RunTrace {
-            run_index: i,
-            exec_time: SimDuration(ns),
-            events: vec![],
-        };
+        let mk = |i, ns| RunTrace::new(i, SimDuration(ns), vec![]);
         let set = TraceSet {
             runs: vec![mk(0, 100), mk(1, 900), mk(2, 300)],
         };
@@ -168,14 +212,61 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip() {
-        let t = RunTrace {
-            run_index: 3,
-            exec_time: SimDuration(42),
-            events: vec![ev(5, NoiseClass::Thread, "kworker/5:0", 255, 310)],
+    fn worst_index_skips_degraded_traces() {
+        let mk = |i, ns, degraded| {
+            let mut t = RunTrace::new(i, SimDuration(ns), vec![]);
+            if degraded {
+                t.dropped_events = 10;
+                t.degraded = true;
+            }
+            t
         };
+        // The longest run is degraded: the intact runner-up wins.
+        let set = TraceSet {
+            runs: vec![mk(0, 100, false), mk(1, 900, true), mk(2, 300, false)],
+        };
+        assert_eq!(set.worst_index(), Some(2));
+        assert_eq!(set.degraded_count(), 1);
+        // All degraded: fall back to the longest anyway.
+        let all = TraceSet {
+            runs: vec![mk(0, 100, true), mk(1, 900, true)],
+        };
+        assert_eq!(all.worst_index(), Some(1));
+    }
+
+    #[test]
+    fn completeness_reflects_drops() {
+        let mut t = RunTrace::new(0, SimDuration(1), vec![ev(0, NoiseClass::Irq, "x", 0, 1)]);
+        assert_eq!(t.completeness(), 1.0);
+        t.dropped_events = 3;
+        t.degraded = true;
+        assert_eq!(t.completeness(), 0.25);
+        let empty = RunTrace::new(0, SimDuration(1), vec![]);
+        assert_eq!(empty.completeness(), 1.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = RunTrace::new(
+            3,
+            SimDuration(42),
+            vec![ev(5, NoiseClass::Thread, "kworker/5:0", 255, 310)],
+        );
+        t.dropped_events = 2;
+        t.dropped_by_cpu = vec![(5, 2)];
+        t.degraded = true;
         let s = serde_json::to_string(&t).unwrap();
         let back: RunTrace = serde_json::from_str(&s).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn old_trace_json_still_deserialises() {
+        // Traces serialised before drop accounting existed have no
+        // dropped/degraded fields; they read back as intact.
+        let s = r#"{"run_index":1,"exec_time":99,"events":[]}"#;
+        let t: RunTrace = serde_json::from_str(s).unwrap();
+        assert_eq!(t.dropped_events, 0);
+        assert!(!t.degraded);
     }
 }

@@ -1,6 +1,14 @@
 //! The `osnoise`-style tracer: a [`TraceSink`] that accumulates
 //! [`TraceEvent`]s for one run.
 //!
+//! Like the real ftrace ring buffer, the tracer's capacity is bounded:
+//! once full, further events are *dropped* and counted per CPU instead
+//! of recorded, and the resulting [`RunTrace`] is flagged degraded so
+//! analysis can down-weight it. Dropping cannot change simulated
+//! timing — the kernel charges `trace_event_overhead` for every record
+//! call independent of what the sink does with it — so bounding the
+//! buffer never perturbs a run, it only truncates its observation.
+//!
 //! Because [`noiselab_kernel::Kernel::attach_tracer`] takes a boxed trait
 //! object, the tracer shares its buffer through an `Rc<RefCell<..>>`
 //! handle so the harness can read the trace after the run without
@@ -13,10 +21,30 @@ use noiselab_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// Default ring-buffer capacity (events). Far above what any natural
+/// run in this workspace emits (tens of thousands), so only fault
+/// plans or deliberately tiny buffers cause drops.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
+
+struct BufferInner {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// Per-CPU drop counters, grown on demand (index = cpu id).
+    dropped: Vec<u64>,
+    /// Everything `record` was asked to store, recorded or not.
+    emitted: u64,
+}
+
 /// Shared buffer handle.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct TraceBuffer {
-    inner: Rc<RefCell<Vec<TraceEvent>>>,
+    inner: Rc<RefCell<BufferInner>>,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl TraceBuffer {
@@ -24,21 +52,59 @@ impl TraceBuffer {
         Self::default()
     }
 
+    /// A buffer that records at most `capacity` events and counts the
+    /// rest as dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            inner: Rc::new(RefCell::new(BufferInner {
+                events: Vec::new(),
+                capacity,
+                dropped: Vec::new(),
+                emitted: 0,
+            })),
+        }
+    }
+
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.inner.borrow().events.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drain the buffer into a [`RunTrace`].
+    /// Total events offered to the buffer (recorded + dropped).
+    pub fn emitted(&self) -> u64 {
+        self.inner.borrow().emitted
+    }
+
+    /// Total events dropped on overflow.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped.iter().sum()
+    }
+
+    /// Drain the buffer into a [`RunTrace`], carrying the drop
+    /// accounting; counters reset for the next run.
     pub fn take_trace(&self, run_index: usize, exec_time: SimDuration) -> RunTrace {
+        let mut b = self.inner.borrow_mut();
+        let dropped_by_cpu: Vec<(u32, u64)> = b
+            .dropped
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(cpu, &d)| (cpu as u32, d))
+            .collect();
+        let dropped_events: u64 = dropped_by_cpu.iter().map(|&(_, d)| d).sum();
+        b.dropped.clear();
+        b.emitted = 0;
         RunTrace {
             run_index,
             exec_time,
-            events: std::mem::take(&mut *self.inner.borrow_mut()),
+            events: std::mem::take(&mut b.events),
+            dropped_events,
+            dropped_by_cpu,
+            degraded: dropped_events > 0,
         }
     }
 }
@@ -50,9 +116,15 @@ pub struct OsNoiseTracer {
 }
 
 impl OsNoiseTracer {
-    /// Returns the tracer and the shared buffer handle.
+    /// Returns the tracer and the shared buffer handle, at the default
+    /// capacity.
     pub fn new() -> (OsNoiseTracer, TraceBuffer) {
-        let buffer = TraceBuffer::new();
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A tracer whose ring buffer holds at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> (OsNoiseTracer, TraceBuffer) {
+        let buffer = TraceBuffer::with_capacity(capacity);
         (
             OsNoiseTracer {
                 buffer: buffer.clone(),
@@ -72,13 +144,23 @@ impl TraceSink for OsNoiseTracer {
         start: SimTime,
         duration: SimDuration,
     ) {
-        self.buffer.inner.borrow_mut().push(TraceEvent {
-            cpu,
-            class,
-            source: source.to_string(),
-            start,
-            duration,
-        });
+        let mut b = self.buffer.inner.borrow_mut();
+        b.emitted += 1;
+        if b.events.len() < b.capacity {
+            b.events.push(TraceEvent {
+                cpu,
+                class,
+                source: source.to_string(),
+                start,
+                duration,
+            });
+        } else {
+            let ci = cpu.0 as usize;
+            if b.dropped.len() <= ci {
+                b.dropped.resize(ci + 1, 0);
+            }
+            b.dropped[ci] += 1;
+        }
     }
 }
 
@@ -106,10 +188,40 @@ mod tests {
             SimDuration(5830),
         );
         assert_eq!(buf.len(), 2);
+        assert_eq!(buf.emitted(), 2);
+        assert_eq!(buf.dropped(), 0);
         let trace = buf.take_trace(7, SimDuration(1_000));
         assert_eq!(trace.run_index, 7);
         assert_eq!(trace.events.len(), 2);
         assert_eq!(trace.events[0].source, "local_timer:236");
+        assert!(!trace.degraded);
         assert!(buf.is_empty(), "buffer should be drained");
+    }
+
+    #[test]
+    fn overflow_drops_and_flags_degraded() {
+        let (mut tracer, buf) = OsNoiseTracer::with_capacity(3);
+        for i in 0..10u32 {
+            tracer.record(
+                CpuId(i % 2),
+                NoiseClass::Irq,
+                "nic:77",
+                None,
+                SimTime(i as u64 * 100),
+                SimDuration(10),
+            );
+        }
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.emitted(), 10);
+        assert_eq!(buf.dropped(), 7);
+        let trace = buf.take_trace(0, SimDuration(1_000));
+        assert!(trace.degraded);
+        assert_eq!(trace.dropped_events, 7);
+        assert_eq!(trace.events.len() as u64 + trace.dropped_events, 10);
+        // Records 0..3 hit CPUs 0,1,0; drops 3..10 hit 1,0,1,0,1,0,1.
+        assert_eq!(trace.dropped_by_cpu, vec![(0, 3), (1, 4)]);
+        // Counters reset after draining.
+        assert_eq!(buf.emitted(), 0);
+        assert_eq!(buf.dropped(), 0);
     }
 }

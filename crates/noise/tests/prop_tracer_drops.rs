@@ -1,0 +1,103 @@
+//! Property: the bounded tracer's drop accounting conserves events —
+//! `recorded + dropped == emitted` — for any buffer capacity and any
+//! event stream, including the streams produced by kernel fault plans,
+//! and the degraded flag is set exactly when something was dropped.
+
+use noiselab_kernel::{
+    Action, FaultPlan, Kernel, KernelConfig, ScriptBehavior, SpuriousIrqSpec, ThreadKind,
+    ThreadSpec,
+};
+use noiselab_machine::{CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_noise::OsNoiseTracer;
+use noiselab_sim::{Rng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn machine(cores: usize) -> Machine {
+    Machine {
+        name: "p".into(),
+        cores,
+        smt: 1,
+        perf: PerfModel {
+            flops_per_ns: 1.0,
+            smt_factor: 0.5,
+            per_core_bw: 10.0,
+            socket_bw: 20.0,
+        },
+        migration_cost: SimDuration::from_nanos(500),
+        ctx_switch: SimDuration::from_nanos(300),
+        wake_latency: SimDuration::from_nanos(700),
+        tick_period: SimDuration::from_millis(1),
+        reserved_cpus: CpuSet::EMPTY,
+        numa_domains: 1,
+    }
+}
+
+/// Run a faulted, traced workload with the given buffer capacity;
+/// return (recorded, dropped, emitted, degraded, per-CPU drop sum).
+fn run_traced(
+    capacity: usize,
+    seed: u64,
+    fault_seed: u64,
+    rate: f64,
+) -> (u64, u64, u64, bool, u64) {
+    let mut k = Kernel::new(machine(2), KernelConfig::default(), seed);
+    let plan = FaultPlan {
+        seed: fault_seed,
+        lost_tick_prob: 0.1,
+        spurious: Some(SpuriousIrqSpec {
+            rate_per_sec: rate,
+            service_mean: SimDuration::from_micros(10),
+            window: SimDuration::from_millis(20),
+        }),
+        ..FaultPlan::default()
+    };
+    k.install_faults(&plan, Rng::new(fault_seed ^ seed));
+    let (tracer, buf) = OsNoiseTracer::with_capacity(capacity);
+    k.attach_tracer(Box::new(tracer));
+    let t = k.spawn(
+        ThreadSpec::new("w", ThreadKind::Workload),
+        Box::new(ScriptBehavior::new(vec![Action::Compute(
+            WorkUnit::compute(15_000_000.0),
+        )])),
+    );
+    k.run_until_exit(t, SimTime::from_secs_f64(10.0))
+        .expect("faulted run failed");
+    let emitted = buf.emitted();
+    let trace = buf.take_trace(0, SimDuration(1));
+    let per_cpu: u64 = trace.dropped_by_cpu.iter().map(|&(_, d)| d).sum();
+    (
+        trace.events.len() as u64,
+        trace.dropped_events,
+        emitted,
+        trace.degraded,
+        per_cpu,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn drop_accounting_conserves_events(
+        capacity in 0usize..600,
+        seed in 1u64..500,
+        fault_seed in 1u64..500,
+        rate in 1_000.0f64..80_000.0,
+    ) {
+        let (recorded, dropped, emitted, degraded, per_cpu) =
+            run_traced(capacity, seed, fault_seed, rate);
+        prop_assert_eq!(recorded + dropped, emitted);
+        prop_assert_eq!(per_cpu, dropped);
+        prop_assert_eq!(degraded, dropped > 0);
+        prop_assert!(recorded as usize <= capacity);
+    }
+}
+
+#[test]
+fn unbounded_enough_buffer_never_degrades() {
+    let (recorded, dropped, emitted, degraded, _) = run_traced(1 << 20, 7, 9, 20_000.0);
+    assert_eq!(dropped, 0);
+    assert_eq!(recorded, emitted);
+    assert!(!degraded);
+    assert!(recorded > 0, "faulted traced run should emit events");
+}

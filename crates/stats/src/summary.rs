@@ -42,6 +42,16 @@ impl Summary {
         }
     }
 
+    /// Compute a summary, or `None` for an empty sample — the shape
+    /// campaign cells need when every run of a cell failed.
+    pub fn try_of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            None
+        } else {
+            Some(Summary::of(samples))
+        }
+    }
+
     /// Coefficient of variation (sd / mean).
     pub fn cv(&self) -> f64 {
         if self.mean == 0.0 {
@@ -128,5 +138,11 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_sample_panics() {
         Summary::of(&[]);
+    }
+
+    #[test]
+    fn try_of_handles_empty() {
+        assert!(Summary::try_of(&[]).is_none());
+        assert_eq!(Summary::try_of(&[7.0]).unwrap().mean, 7.0);
     }
 }

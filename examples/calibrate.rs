@@ -9,7 +9,7 @@ use noiselab::workloads::{Babelstream, MiniFE, NBody, Workload};
 fn probe(platform: &Platform, w: &dyn Workload, model: Model, paper: f64) {
     let cfg = ExecConfig::new(model, Mitigation::Rm);
     let t0 = std::time::Instant::now();
-    let out = run_once(platform, w, &cfg, 1, false, None);
+    let out = run_once(platform, w, &cfg, 1, false, None).expect("calibration run failed");
     let wall = t0.elapsed().as_secs_f64();
     println!(
         "{:<22} {:<11} {:>6} sim={:.3}s paper={:.3}s ratio={:.2} wall={:.2}s",

@@ -105,9 +105,9 @@ fn main() {
         let inj = run_injected(&quiet, &workload, &cfg, config, 10, 800);
         println!(
             "{name:<9} injected mean {:.3}s ({:+.1}% vs baseline, accuracy {:+.1}% vs anomaly)",
-            inj.mean,
-            (inj.mean / base.summary.mean - 1.0) * 100.0,
-            (inj.mean / config.anomaly_exec.as_secs_f64() - 1.0) * 100.0
+            inj.summary.mean,
+            (inj.summary.mean / base.summary.mean - 1.0) * 100.0,
+            (inj.summary.mean / config.anomaly_exec.as_secs_f64() - 1.0) * 100.0
         );
     }
 }

@@ -57,8 +57,8 @@ fn main() {
             table.row(&[
                 cfg.label(),
                 fmt_secs(base.summary.mean),
-                fmt_secs(inj.mean),
-                fmt_pct(inj.mean / base.summary.mean - 1.0),
+                fmt_secs(inj.summary.mean),
+                fmt_pct(inj.summary.mean / base.summary.mean - 1.0),
                 format!("{:.2}", base.summary.sd * 1e3),
             ]);
         }

@@ -53,12 +53,12 @@ fn main() {
     println!(
         "un-injected mean {:.3}s -> injected mean {:.3}s ({:+.1}%)",
         base.summary.mean,
-        injected.mean,
-        (injected.mean / base.summary.mean - 1.0) * 100.0
+        injected.summary.mean,
+        (injected.summary.mean / base.summary.mean - 1.0) * 100.0
     );
     println!(
         "replication accuracy vs recorded anomaly ({:.3}s): {:+.1}%",
         config.anomaly_exec.as_secs_f64(),
-        (injected.mean / config.anomaly_exec.as_secs_f64() - 1.0) * 100.0
+        (injected.summary.mean / config.anomaly_exec.as_secs_f64() - 1.0) * 100.0
     );
 }

@@ -8,7 +8,14 @@
 //! noiselab inject   --platform intel --workload nbody --config config.json [--runs 20]
 //! noiselab analyze  --traces traces.json [--top 10]
 //! noiselab report   --what table1|table2|fig1|fig2|merge|memory|runlevel3 [--scale smoke|bench|paper]
+//! noiselab campaign --platform intel --workload nbody [--runs 20] [--checkpoint state.json]
+//!                   [--resume true] [--crash-prob 0.05] [--crash-window-ms 2]
+//!                   [--fault-seed 1] [--retries 0] [--limit N]
 //! ```
+//!
+//! `campaign` sweeps every model x mitigation cell, checkpointing after
+//! each completed cell; a killed campaign resumes bit-identical with
+//! `--resume true` and the same flags.
 
 use noiselab::core::experiments::{
     ablation, fig1, fig2, numa, runlevel, suite, table1, table2, Scale,
@@ -222,10 +229,13 @@ fn cmd_inject(args: &Args) -> Result<(), String> {
         workload.name(),
         cfg.label(),
         base.summary.mean,
-        inj.mean,
-        (inj.mean / base.summary.mean - 1.0) * 100.0,
-        (inj.mean / config.anomaly_exec.as_secs_f64() - 1.0) * 100.0
+        inj.summary.mean,
+        (inj.summary.mean / base.summary.mean - 1.0) * 100.0,
+        (inj.summary.mean / config.anomaly_exec.as_secs_f64() - 1.0) * 100.0
     );
+    for (seed, cause) in base.failures.iter().chain(&inj.failures) {
+        println!("  failed run: seed {seed}: {cause}");
+    }
     Ok(())
 }
 
@@ -245,6 +255,74 @@ fn cmd_report(args: &Args) -> Result<(), String> {
                 "unknown report '{other}' (table1|table2|fig1|fig2|merge|memory|runlevel3|numa; \
                  tables 3-7 via cargo bench)"
             ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    use noiselab::core::campaign::{render_campaign_report, run_campaign, CampaignPlan};
+    use noiselab::core::RetryPolicy;
+    use noiselab::kernel::FaultPlan;
+
+    let platform = args.platform()?;
+    let workload = args.workload(&platform)?;
+    let runs = args.runs(20);
+    let checkpoint = args.opts.get("checkpoint").map(std::path::PathBuf::from);
+    if args.get("resume", "false") == "true" && checkpoint.is_none() {
+        return Err("--resume true requires --checkpoint <path>".into());
+    }
+    if args.get("resume", "false") != "true" {
+        // A fresh campaign must not silently continue an old one.
+        if let Some(p) = &checkpoint {
+            if p.exists() {
+                return Err(format!(
+                    "checkpoint {} already exists; pass --resume true to continue it \
+                     or delete it to start over",
+                    p.display()
+                ));
+            }
+        }
+    }
+
+    // Optional fault plan: --crash-prob p (per-run thread-abort
+    // probability) with --crash-window-ms w, plus --fault-seed.
+    let crash_prob: f64 = args.get("crash-prob", "0").parse().unwrap_or(0.0);
+    let fault_seed: u64 = args.get("fault-seed", "1").parse().unwrap_or(1);
+    let window_ms: u64 = args.get("crash-window-ms", "2").parse().unwrap_or(2);
+    let faults = (crash_prob > 0.0).then(|| FaultPlan::crashy(fault_seed, crash_prob, window_ms));
+    let retry = RetryPolicy::retries(args.get("retries", "0").parse().unwrap_or(0));
+
+    let cells: Vec<(String, ExecConfig)> = Mitigation::ALL
+        .iter()
+        .flat_map(|&mit| {
+            [Model::Omp, Model::Sycl].map(|model| {
+                let cfg = ExecConfig::new(model, mit);
+                (cfg.label(), cfg)
+            })
+        })
+        .collect();
+    let n_cells = cells.len();
+
+    let plan = CampaignPlan {
+        platform: &platform,
+        workload: workload.as_ref(),
+        cells,
+        runs_per_cell: runs,
+        seed_base: args.seed(),
+        faults,
+        retry,
+        checkpoint,
+        limit: args.opts.get("limit").and_then(|v| v.parse().ok()),
+    };
+    let state = run_campaign(&plan).map_err(|e| e.to_string())?;
+    print!("{}", render_campaign_report(&state.report(n_cells)));
+    for cell in &state.cells {
+        for f in &cell.failures {
+            println!(
+                "  {}: failed run seed {}: {}",
+                cell.key.label, f.seed, f.cause
+            );
         }
     }
     Ok(())
@@ -280,7 +358,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "noiselab <baseline|trace|generate|inject|analyze|report> [--key value ...]\n\
+        "noiselab <baseline|trace|generate|inject|analyze|report|campaign> [--key value ...]\n\
          see the module docs (src/bin/noiselab.rs) for the full flag list"
     );
 }
@@ -297,6 +375,7 @@ fn main() -> ExitCode {
         "inject" => cmd_inject(&args),
         "analyze" => cmd_analyze(&args),
         "report" => cmd_report(&args),
+        "campaign" => cmd_campaign(&args),
         _ => {
             usage();
             return ExitCode::FAILURE;

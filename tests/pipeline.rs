@@ -64,9 +64,9 @@ fn full_pipeline_trace_generate_inject() {
     let base = run_baseline(&quiet, &w, &cfg, 5, 300, false);
     let injected = run_injected(&quiet, &w, &cfg, &config, 5, 400);
     assert!(
-        injected.mean > base.summary.mean * 1.02,
+        injected.summary.mean > base.summary.mean * 1.02,
         "injection should slow the workload: {} vs {}",
-        injected.mean,
+        injected.summary.mean,
         base.summary.mean
     );
 }
@@ -132,7 +132,7 @@ fn injection_config_roundtrips_through_json_file() {
     let quiet = Platform::intel();
     let a = run_injected(&quiet, &w, &cfg, &config, 3, 1_000);
     let b = run_injected(&quiet, &w, &cfg, &back, 3, 1_000);
-    assert_eq!(a.mean, b.mean);
+    assert_eq!(a.summary.mean, b.summary.mean);
 }
 
 #[test]
@@ -161,7 +161,7 @@ fn per_platform_suite_baselines_match_paper_scale() {
         (Box::new(suite::minife_for(&intel)), 1.059, Model::Omp),
     ] {
         let cfg = ExecConfig::new(model, Mitigation::Rm);
-        let out = run_once(&intel, w.as_ref(), &cfg, 5, false, None);
+        let out = run_once(&intel, w.as_ref(), &cfg, 5, false, None).unwrap();
         let ratio = out.exec.as_secs_f64() / paper;
         assert!(
             (0.85..1.25).contains(&ratio),
