@@ -1,0 +1,122 @@
+//! # noiselab-audit
+//!
+//! The determinism auditor: a dependency-free static-analysis pass that
+//! walks the workspace's deterministic crates and enforces the
+//! determinism contract — no std hash iteration, no wall-clock reads,
+//! no entropy-seeded RNGs, no host threads outside the harness, no
+//! `static mut`, no `.unwrap()`/`.expect()` on I/O or parse paths.
+//!
+//! The paper's methodology (and every guarantee this repo has shipped —
+//! tickless/eager bit-identity, no-op fault plans, bit-identical
+//! checkpoint resume) rests on runs being a pure function of the seed.
+//! Example-based tests prove those properties hold *today*; this pass
+//! keeps future PRs from quietly breaking them. Escape hatches are
+//! explicit and reviewed: `// audit:allow(<rule>): <reason>` on (or
+//! directly above) the offending line.
+//!
+//! The runtime counterpart — the event-stream sanitizer and the
+//! dual-run divergence bisector — lives in `noiselab-kernel` and
+//! `noiselab-core`; both are driven by `noiselab audit`.
+//!
+//! ```
+//! use noiselab_audit::{scan_source, RuleId};
+//! let v = scan_source("demo.rs", "let t = std::time::Instant::now();", &RuleId::ALL, false);
+//! assert_eq!(v[0].rule, RuleId::WallClock);
+//! ```
+
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+
+pub use policy::{CratePolicy, POLICIES};
+pub use report::AuditReport;
+pub use rules::{scan_source, RuleId, Violation};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Sweep the whole workspace rooted at `root` under [`POLICIES`].
+/// Missing crates are an error (the policy table and the workspace must
+/// agree), missing optional dirs (a crate without `benches/`) are not.
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    for policy in POLICIES {
+        let crate_dir = root.join(policy.root);
+        if !crate_dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "policy names crate {} at {} but the directory is missing",
+                    policy.name,
+                    crate_dir.display()
+                ),
+            ));
+        }
+        report.crates_scanned += 1;
+        for dir in policy.dirs {
+            let d = crate_dir.join(dir);
+            if !d.is_dir() {
+                continue;
+            }
+            let mut files = Vec::new();
+            collect_rs_files(&d, &mut files)?;
+            // Deterministic sweep order, like everything else here.
+            files.sort();
+            for f in files {
+                let src = std::fs::read_to_string(&f)?;
+                let rel = f
+                    .strip_prefix(root)
+                    .unwrap_or(&f)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let crate_rel = f
+                    .strip_prefix(&crate_dir)
+                    .unwrap_or(&f)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let host_ok = policy.host_thread_approved.contains(&crate_rel.as_str());
+                report.files_scanned += 1;
+                report
+                    .violations
+                    .extend(scan_source(&rel, &src, policy.rules, host_ok));
+            }
+        }
+    }
+    report.violations.sort_by_key(|v| (v.file.clone(), v.line));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_table_is_internally_consistent() {
+        let mut names = std::collections::BTreeSet::new();
+        for p in POLICIES {
+            assert!(names.insert(p.name), "duplicate policy row for {}", p.name);
+            assert!(!p.rules.is_empty(), "{}: empty rule set", p.name);
+            assert!(!p.dirs.is_empty(), "{}: no swept dirs", p.name);
+        }
+    }
+
+    #[test]
+    fn missing_crate_is_an_error() {
+        let err = audit_workspace(Path::new("/nonexistent-root")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

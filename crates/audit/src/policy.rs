@@ -1,0 +1,116 @@
+//! Per-crate audit policy: which crates are under the determinism
+//! contract, which of their directories are swept, which rules apply,
+//! and which files are approved exceptions.
+//!
+//! The table is deliberately explicit — adding a crate to the workspace
+//! does not silently put it under (or outside) the contract; someone
+//! has to write the policy row and the reviewer sees it.
+
+use crate::rules::RuleId;
+
+/// Policy row for one crate.
+#[derive(Debug, Clone)]
+pub struct CratePolicy {
+    /// Crate name as it appears in diagnostics.
+    pub name: &'static str,
+    /// Workspace-relative crate directory.
+    pub root: &'static str,
+    /// Crate-relative directories swept (recursively).
+    pub dirs: &'static [&'static str],
+    /// Rules enforced in this crate.
+    pub rules: &'static [RuleId],
+    /// Crate-relative files where host-thread creation is approved
+    /// (the harness's host-thread module).
+    pub host_thread_approved: &'static [&'static str],
+}
+
+/// Every rule, for the fully deterministic crates.
+const ALL: &[RuleId] = &RuleId::ALL;
+
+/// The bench crate runs on the host by design (criterion timing), so
+/// wall-clock reads are routed through its single annotated
+/// `wall_clock()` helper rather than banned outright; host threads and
+/// panic paths in bench targets are out of scope.
+const BENCH_RULES: &[RuleId] = &[
+    RuleId::HashIteration,
+    RuleId::WallClock,
+    RuleId::Entropy,
+    RuleId::StaticMut,
+];
+
+/// The determinism contract: the crates whose simulated results must be
+/// a pure function of the seed, plus the bench crate's narrower sweep.
+pub const POLICIES: &[CratePolicy] = &[
+    CratePolicy {
+        name: "noiselab-sim",
+        root: "crates/sim",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-machine",
+        root: "crates/machine",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-kernel",
+        root: "crates/kernel",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-noise",
+        root: "crates/noise",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-injector",
+        root: "crates/injector",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-runtime",
+        root: "crates/runtime",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-workloads",
+        root: "crates/workloads",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-stats",
+        root: "crates/stats",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-core",
+        root: "crates/core",
+        dirs: &["src"],
+        rules: ALL,
+        // run_many's fan-out over host threads lives here, and only
+        // here: each simulated run stays a pure function of its seed.
+        host_thread_approved: &["src/harness.rs"],
+    },
+    CratePolicy {
+        name: "noiselab-bench",
+        root: "crates/bench",
+        dirs: &["src", "benches"],
+        rules: BENCH_RULES,
+        host_thread_approved: &[],
+    },
+];

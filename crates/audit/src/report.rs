@@ -1,0 +1,125 @@
+//! Human and machine-readable rendering of an audit run.
+
+use crate::rules::Violation;
+
+/// Result of sweeping the workspace (or one source string).
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Files swept, in sweep order.
+    pub files_scanned: usize,
+    /// Crates swept.
+    pub crates_scanned: usize,
+    /// Unsuppressed violations, ordered by (file, line).
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// `file:line: rule: message` diagnostics plus a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    suggestion: {}\n",
+                v.file,
+                v.line,
+                v.rule.name(),
+                v.message,
+                v.rule.suggestion()
+            ));
+        }
+        out.push_str(&format!(
+            "audit: {} crate(s), {} file(s) swept, {} violation(s)\n",
+            self.crates_scanned,
+            self.files_scanned,
+            self.violations.len()
+        ));
+        out
+    }
+
+    /// Machine-readable JSON (hand-rolled: the auditor is
+    /// dependency-free and its output schema is flat).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"crates_scanned\": {},\n  \"files_scanned\": {},\n  \"clean\": {},\n",
+            self.crates_scanned,
+            self.files_scanned,
+            self.clean()
+        ));
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \
+                 \"suggestion\": {}}}{}\n",
+                json_str(&v.file),
+                v.line,
+                json_str(v.rule.name()),
+                json_str(&v.message),
+                json_str(v.rule.suggestion()),
+                if i + 1 == self.violations.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let report = AuditReport {
+            files_scanned: 1,
+            crates_scanned: 1,
+            violations: vec![Violation {
+                file: "a \"b\".rs".into(),
+                line: 3,
+                rule: RuleId::WallClock,
+                message: "x\ny".into(),
+            }],
+        };
+        let json = report.render_json();
+        assert!(json.contains("\\\"b\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"clean\": false"));
+        let human = report.render_human();
+        assert!(human.contains("a \"b\".rs:3: [wall-clock]"));
+    }
+
+    #[test]
+    fn clean_report_renders_empty_array() {
+        let report = AuditReport::default();
+        assert!(report.clean());
+        assert!(report.render_json().contains("\"violations\": [\n  ]"));
+    }
+}

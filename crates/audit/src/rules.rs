@@ -1,0 +1,493 @@
+//! The determinism ruleset and the token-level checkers behind it.
+//!
+//! Every rule is a pure function over the lexed token stream of one
+//! file. Rules never fire inside string literals or comments (the
+//! lexer already stripped those), and the panic-path rule additionally
+//! skips `#[cfg(test)]` / `#[test]` regions — test code is allowed to
+//! unwrap.
+
+use crate::lexer::{test_regions, Comment, Lexed, TokKind, Token};
+
+/// Stable identifiers for the rules; these names are what the
+/// `// audit:allow(<rule>): <reason>` grammar refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// `HashMap` / `HashSet`: std hash iteration order is seeded per
+    /// process (`RandomState`), so any iteration over them is a
+    /// nondeterminism hazard.
+    HashIteration,
+    /// `Instant::now` / `SystemTime`: wall-clock reads leak host time
+    /// into simulated results.
+    WallClock,
+    /// `thread_rng` / `from_entropy` / `OsRng` / `RandomState` /
+    /// `getrandom`: entropy-seeded RNG construction.
+    Entropy,
+    /// `thread::spawn` / `thread::scope` / `available_parallelism`
+    /// outside the harness's approved host-thread module.
+    HostThread,
+    /// `static mut`: shared mutable state with no ordering guarantee.
+    StaticMut,
+    /// `.unwrap()` / `.expect()` on an I/O or parse path in non-test
+    /// code: crashes where a typed error belongs.
+    PanicPath,
+    /// A malformed `audit:allow` annotation (unknown rule, missing
+    /// reason). Not suppressible.
+    BadAllow,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 6] = [
+        RuleId::HashIteration,
+        RuleId::WallClock,
+        RuleId::Entropy,
+        RuleId::HostThread,
+        RuleId::StaticMut,
+        RuleId::PanicPath,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::HashIteration => "hash-iteration",
+            RuleId::WallClock => "wall-clock",
+            RuleId::Entropy => "entropy",
+            RuleId::HostThread => "host-thread",
+            RuleId::StaticMut => "static-mut",
+            RuleId::PanicPath => "panic-path",
+            RuleId::BadAllow => "bad-allow",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == s)
+    }
+
+    pub fn suggestion(self) -> &'static str {
+        match self {
+            RuleId::HashIteration => {
+                "use BTreeMap/BTreeSet (ordered) or a Vec keyed by dense ids; \
+                 std hash iteration order is RandomState-seeded per process"
+            }
+            RuleId::WallClock => {
+                "route through noiselab_sim::SimTime (virtual time) or the bench \
+                 crate's wall_clock() helper if this is host-side timing"
+            }
+            RuleId::Entropy => {
+                "seed a noiselab_sim::Rng from the run seed (Rng::new / Rng::fork); \
+                 entropy-seeded streams are unreproducible"
+            }
+            RuleId::HostThread => {
+                "host threads belong to the harness's approved module \
+                 (crates/core/src/harness.rs); simulated work uses Kernel::spawn"
+            }
+            RuleId::StaticMut => {
+                "replace with a const, a thread_local, or state owned by the \
+                 Kernel/harness; static mut has no deterministic ordering"
+            }
+            RuleId::PanicPath => {
+                "return a typed error (io::Error / serde error / RunFailure) \
+                 instead of unwrapping an I/O or parse result"
+            }
+            RuleId::BadAllow => {
+                "write `// audit:allow(<rule>): <reason>` with a known rule \
+                 name and a non-empty reason"
+            }
+        }
+    }
+}
+
+/// One diagnostic: file, line, rule, message, suggestion.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: u32,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+/// A parsed `audit:allow` annotation.
+#[derive(Debug, Clone)]
+struct Allow {
+    line: u32,
+    rule: Option<RuleId>,
+    raw_rule: String,
+    reason: String,
+    used: bool,
+}
+
+/// Markers that put a statement on an "I/O or parse path" for the
+/// panic-path rule: an `.unwrap()`/`.expect()` in the same statement as
+/// one of these (called or path-qualified) is a violation.
+const IO_PARSE_MARKERS: &[&str] = &[
+    "read_to_string",
+    "read",
+    "read_dir",
+    "write",
+    "write_all",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir_all",
+    "rename",
+    "copy",
+    "canonicalize",
+    "metadata",
+    "open",
+    "from_str",
+    "from_json",
+    "to_json",
+    "from_reader",
+    "from_slice",
+    "to_string_pretty",
+    "to_writer",
+    "parse",
+    "var",
+    "stdin",
+    "stdout",
+    "File",
+    "fs",
+    "env",
+    "serde_json",
+];
+
+/// Parse every `audit:allow(<rule>): <reason>` annotation out of the
+/// comment stream. Malformed annotations surface as [`RuleId::BadAllow`]
+/// violations immediately.
+fn parse_allows(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("audit:allow") else {
+            continue;
+        };
+        let rest = &c.text[pos + "audit:allow".len()..];
+        let Some(open) = rest.find('(') else {
+            bad.push(Violation {
+                file: file.to_string(),
+                line: c.line,
+                rule: RuleId::BadAllow,
+                message: "audit:allow without a (rule) argument".into(),
+            });
+            continue;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            bad.push(Violation {
+                file: file.to_string(),
+                line: c.line,
+                rule: RuleId::BadAllow,
+                message: "audit:allow with an unclosed (rule) argument".into(),
+            });
+            continue;
+        };
+        let raw_rule = rest[open + 1..open + close].trim().to_string();
+        let after = &rest[open + close + 1..];
+        let reason = after
+            .trim_start()
+            .strip_prefix(':')
+            .map(|r| r.trim().trim_end_matches("*/").trim().to_string())
+            .unwrap_or_default();
+        let rule = RuleId::from_name(&raw_rule);
+        if rule.is_none() {
+            bad.push(Violation {
+                file: file.to_string(),
+                line: c.line,
+                rule: RuleId::BadAllow,
+                message: format!("audit:allow names unknown rule '{raw_rule}'"),
+            });
+        }
+        if reason.is_empty() {
+            bad.push(Violation {
+                file: file.to_string(),
+                line: c.line,
+                rule: RuleId::BadAllow,
+                message: format!(
+                    "audit:allow({raw_rule}) carries no reason; write \
+                     `audit:allow({raw_rule}): <why this is safe>`"
+                ),
+            });
+        }
+        allows.push(Allow {
+            line: c.line,
+            rule,
+            raw_rule,
+            reason,
+            used: false,
+        });
+    }
+    allows
+}
+
+/// Scan one file's source under the given rule set. `host_thread_ok`
+/// marks the file as an approved host-thread module (the harness).
+pub fn scan_source(
+    file: &str,
+    src: &str,
+    rules: &[RuleId],
+    host_thread_ok: bool,
+) -> Vec<Violation> {
+    let lexed: Lexed = crate::lexer::lex(src);
+    let in_test = test_regions(&lexed.tokens);
+    let mut out = Vec::new();
+    let mut allows = parse_allows(&lexed.comments, file, &mut out);
+
+    let toks = &lexed.tokens;
+    let mut raw: Vec<Violation> = Vec::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            // static-mut is the only two-keyword rule; both tokens are
+            // idents, so the ident-only loop covers everything.
+            continue;
+        }
+        let enabled = |r: RuleId| rules.contains(&r);
+        match t.text.as_str() {
+            "HashMap" | "HashSet" if enabled(RuleId::HashIteration) => {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::HashIteration,
+                    message: format!("use of {} in a deterministic crate", t.text),
+                });
+            }
+            "Instant" if enabled(RuleId::WallClock) && matches_path_call(toks, i, "now") => {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::WallClock,
+                    message: "wall-clock read via Instant::now()".into(),
+                });
+            }
+            "SystemTime" if enabled(RuleId::WallClock) => {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::WallClock,
+                    message: "wall-clock read via SystemTime".into(),
+                });
+            }
+            "thread_rng" | "from_entropy" | "OsRng" | "RandomState" | "getrandom"
+                if enabled(RuleId::Entropy) =>
+            {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::Entropy,
+                    message: format!("entropy-seeded RNG construction via {}", t.text),
+                });
+            }
+            "thread"
+                if enabled(RuleId::HostThread)
+                    && !host_thread_ok
+                    && (matches_path_call(toks, i, "spawn")
+                        || matches_path_call(toks, i, "scope")) =>
+            {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::HostThread,
+                    message: "host thread creation outside the approved harness module".into(),
+                });
+            }
+            "available_parallelism" if enabled(RuleId::HostThread) && !host_thread_ok => {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::HostThread,
+                    message: "host-parallelism probe outside the approved harness module".into(),
+                });
+            }
+            "static"
+                if enabled(RuleId::StaticMut)
+                    && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) =>
+            {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::StaticMut,
+                    message: "static mut item".into(),
+                });
+            }
+            "unwrap" | "expect"
+                if enabled(RuleId::PanicPath)
+                    && !in_test.get(i).copied().unwrap_or(false)
+                    && is_method_call(toks, i)
+                    && statement_has_io_marker(toks, i) =>
+            {
+                raw.push(Violation {
+                    file: file.into(),
+                    line: t.line,
+                    rule: RuleId::PanicPath,
+                    message: format!(".{}() on an I/O or parse path", t.text),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Apply allow annotations: same line or the line directly above.
+    for v in raw {
+        let allowed = allows
+            .iter_mut()
+            .find(|a| a.rule == Some(v.rule) && (a.line == v.line || a.line + 1 == v.line));
+        match allowed {
+            Some(a) if !a.reason.is_empty() => a.used = true,
+            Some(a) => {
+                // Reasonless allow: the BadAllow diagnostic already
+                // queued covers it; still suppress the duplicate.
+                a.used = true;
+            }
+            None => out.push(v),
+        }
+    }
+
+    // An allow that matched nothing is itself suspicious: it will
+    // silently mask a future violation on that line.
+    for a in &allows {
+        if !a.used && a.rule.is_some() {
+            out.push(Violation {
+                file: file.into(),
+                line: a.line,
+                rule: RuleId::BadAllow,
+                message: format!(
+                    "unused audit:allow({}) — no matching violation on this or the next line",
+                    a.raw_rule
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
+    out
+}
+
+/// `ident :: name` (possibly `ident::name(`): the path-call shape for
+/// `Instant::now` and `thread::spawn`.
+fn matches_path_call(toks: &[Token], i: usize, name: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident(name))
+}
+
+/// `.unwrap(` / `.expect(`: a method call, not a stray identifier.
+fn is_method_call(toks: &[Token], i: usize) -> bool {
+    i > 0 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// Does the statement containing token `i` mention an I/O or parse
+/// marker? The statement start is the nearest `;`, `{` or `}` looking
+/// backwards — a deliberately local heuristic: `fs::read(..).unwrap()`
+/// is flagged, `cpu.expect("running thread without cpu")` is not.
+fn statement_has_io_marker(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => break,
+            TokKind::Ident => {
+                let name = toks[j].text.as_str();
+                if IO_PARSE_MARKERS.contains(&name) {
+                    // Require a call or path use so that a local named
+                    // `parse` in an unrelated expression does not trip.
+                    let next = toks.get(j + 1);
+                    let is_use = next.is_some_and(|t| t.is_punct('(') || t.is_punct(':'));
+                    if is_use {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_source("t.rs", src, &RuleId::ALL, false)
+    }
+
+    #[test]
+    fn hashmap_is_flagged() {
+        let v = scan("use std::collections::HashMap;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::HashIteration);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn instant_type_mention_is_fine_but_now_is_not() {
+        assert!(scan("fn f(t: std::time::Instant) {}\n").is_empty());
+        let v = scan("let t = std::time::Instant::now();\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::WallClock);
+    }
+
+    #[test]
+    fn kernel_spawn_is_not_host_thread() {
+        assert!(scan("let id = kernel.spawn(spec, behavior);\n").is_empty());
+        let v = scan("std::thread::spawn(|| {});\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::HostThread);
+    }
+
+    #[test]
+    fn approved_module_may_spawn() {
+        let v = scan_source(
+            "harness.rs",
+            "std::thread::scope(|s| { s.spawn(|| {}); });\n",
+            &RuleId::ALL,
+            true,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn panic_path_needs_io_marker_and_non_test_code() {
+        let v = scan("let x = std::fs::read_to_string(p).unwrap();\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::PanicPath);
+        // No marker in statement: invariant unwraps stay legal.
+        assert!(scan("let c = cpu.expect(\"running thread without cpu\");\n").is_empty());
+        // Same unwrap inside a test region: exempt.
+        let test_src = "#[cfg(test)]\nmod tests {\n fn t() { std::fs::read(p).unwrap(); }\n}\n";
+        assert!(scan(test_src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "let t = std::time::Instant::now(); // audit:allow(wall-clock): bench banner\n";
+        assert!(scan(src).is_empty());
+        let above =
+            "// audit:allow(wall-clock): bench banner\nlet t = std::time::Instant::now();\n";
+        assert!(scan(above).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_bad_allow() {
+        let src = "let t = std::time::Instant::now(); // audit:allow(wall-clock)\n";
+        let v = scan(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, RuleId::BadAllow);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_bad_allow() {
+        let v = scan("// audit:allow(no-such-rule): whatever\n");
+        assert!(v.iter().any(|v| v.rule == RuleId::BadAllow), "{v:?}");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let v = scan("// audit:allow(wall-clock): stale annotation\nlet x = 1;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::BadAllow);
+        assert!(v[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn static_mut_is_flagged() {
+        let v = scan("static mut COUNTER: u64 = 0;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleId::StaticMut);
+    }
+}

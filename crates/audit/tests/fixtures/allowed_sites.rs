@@ -1,0 +1,20 @@
+// Allowlisted variants: every violation carries a reasoned annotation,
+// so this file sweeps clean.
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now() // audit:allow(wall-clock): host-side bench banner only
+}
+
+// audit:allow(hash-iteration): keys are sorted before any iteration
+use std::collections::HashMap;
+
+pub fn load(path: &str) -> u64 {
+    // audit:allow(panic-path): demo binary, failure is the right UX
+    let text = std::fs::read_to_string(path).unwrap();
+    text.len() as u64
+}
+
+pub fn make_map() {
+    // audit:allow(hash-iteration): never iterated, lookup-only table
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = m;
+}

@@ -1,0 +1,10 @@
+// Known-bad annotations: reasonless, unknown-rule, and stale allows.
+pub fn reasonless() -> std::time::Instant {
+    std::time::Instant::now() // audit:allow(wall-clock)
+}
+
+// audit:allow(no-such-rule): the rule name does not exist
+pub fn unknown_rule() {}
+
+// audit:allow(entropy): stale — nothing on this or the next line uses entropy
+pub fn stale_allow() {}

@@ -1,0 +1,7 @@
+// Known-bad: entropy-seeded RNG construction.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let seeded = SmallRng::from_entropy();
+    let _ = seeded;
+    rng.gen()
+}

@@ -1,0 +1,11 @@
+// Known-bad: std hash collections in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut m: std::collections::HashSet<u32> = Default::default();
+    for &x in xs {
+        m.insert(x);
+    }
+    // Iteration order here is RandomState-seeded: nondeterministic.
+    m.into_iter().map(|x| (x, 1)).collect()
+}

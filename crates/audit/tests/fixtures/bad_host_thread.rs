@@ -1,0 +1,8 @@
+// Known-bad: host thread creation outside the approved harness module.
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    std::thread::scope(|s| {
+        let _ = s;
+    });
+    let _ = h.join();
+}

@@ -1,0 +1,6 @@
+// Known-bad: unwrap/expect on I/O and parse paths in non-test code.
+pub fn load(path: &str) -> u64 {
+    let text = std::fs::read_to_string(path).unwrap();
+    let n: u64 = text.trim().parse().expect("malformed count file");
+    n
+}

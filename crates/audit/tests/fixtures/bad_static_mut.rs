@@ -1,0 +1,2 @@
+// Known-bad: shared mutable state with no ordering guarantee.
+pub static mut RUN_COUNTER: u64 = 0;

@@ -1,0 +1,7 @@
+// Known-bad: wall-clock reads in a deterministic crate.
+pub fn stamp() -> u64 {
+    let t0 = std::time::Instant::now();
+    let epoch = std::time::SystemTime::UNIX_EPOCH;
+    let _ = epoch;
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,14 @@
+// Clean: lookalikes that must NOT trip the rules.
+pub fn lookalikes(kernel: &mut Kernel, cpu: Option<CpuId>) {
+    // Simulated spawn, not a host thread.
+    let tid = kernel.spawn(spec(), behavior());
+    // Invariant expect with no I/O in the statement: legal.
+    let c = cpu.expect("running thread without cpu");
+    // Instant as a type mention (no ::now call): legal.
+    let keep: Option<std::time::Instant> = None;
+    // Words inside strings and comments never count: HashMap,
+    // Instant::now(), thread_rng, static mut.
+    let s = "Instant::now() and HashMap live happily in a string";
+    let r = r#"so does thread_rng in a raw string"#;
+    let _ = (tid, c, keep, s, r);
+}

@@ -1,0 +1,14 @@
+// Clean: the panic-path rule exempts test code by construction.
+pub fn double(x: u64) -> u64 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let text = std::fs::read_to_string("fixture.json").unwrap();
+        let n: u64 = text.trim().parse().expect("test fixture");
+        assert_eq!(super::double(n), n * 2);
+    }
+}

@@ -5,7 +5,7 @@
 use noiselab_core::experiments::{ablation, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let result = ablation::memory_noise_ablation(Scale::from_env(), false);
     noiselab_bench::emit("ablation_memory", &result.render());
     assert!(

@@ -8,7 +8,7 @@
 use noiselab_core::experiments::{ablation, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let result = ablation::merge_ablation(Scale::from_env(), false);
     noiselab_bench::emit("ablation_merge", &result.render());
     assert!(

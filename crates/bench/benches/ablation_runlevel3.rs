@@ -4,7 +4,7 @@
 use noiselab_core::experiments::{runlevel, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let cmp = runlevel::run(Scale::from_env(), false);
     noiselab_bench::emit("ablation_runlevel3", &cmp.render());
     assert!(

@@ -10,7 +10,7 @@ use noiselab_sim::{Rng, SimDuration};
 use noiselab_workloads::fwq::{measure, Fwq};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let mut kernel = Kernel::new(Machine::intel_9700kf(), KernelConfig::default(), 11);
     let mut rng = Rng::new(111);
     let mut profile = NoiseProfile::desktop();

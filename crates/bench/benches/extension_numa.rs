@@ -6,7 +6,7 @@
 use noiselab_core::experiments::{numa, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let scale = Scale::from_env();
     let cmp = numa::run(scale.baseline_runs, false);
     noiselab_bench::emit("extension_numa", &cmp.render());

@@ -7,7 +7,7 @@
 use noiselab_core::experiments::{fig1, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let fig = fig1::run(Scale::from_env(), false);
     noiselab_bench::emit("fig1", &fig.render());
     let reserved = fig1::Fig1::avg_sd(&fig.reserved);

@@ -7,7 +7,7 @@
 use noiselab_core::experiments::{fig2, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let fig = fig2::run(Scale::from_env(), false);
     noiselab_bench::emit("fig2", &fig.render());
     let r = fig2::Fig2::full_occupancy_sd(&fig.reserved);

@@ -7,7 +7,7 @@
 use noiselab_core::experiments::{table1, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let table = table1::run(Scale::from_env());
     noiselab_bench::emit("table1", &table.render());
     for r in &table.rows {

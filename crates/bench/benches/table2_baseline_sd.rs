@@ -9,7 +9,7 @@
 use noiselab_core::experiments::{table2, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let table = table2::run(Scale::from_env());
     noiselab_bench::emit("table2", &table.render());
     noiselab_bench::finish("table2", t0);

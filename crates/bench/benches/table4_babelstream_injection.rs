@@ -7,7 +7,7 @@
 use noiselab_core::experiments::{inject, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let table = inject::run_table(&inject::table4_spec(), Scale::from_env(), false);
     noiselab_bench::emit("table4", &table.render());
     noiselab_bench::save_table("table4", &table);

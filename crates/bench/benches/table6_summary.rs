@@ -11,7 +11,7 @@
 use noiselab_core::experiments::{inject, table6, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let mut tables = Vec::new();
     for (name, spec) in [
         ("table3", inject::table3_spec()),

@@ -6,7 +6,7 @@
 use noiselab_core::experiments::{inject, table7, Scale};
 
 fn main() {
-    let t0 = std::time::Instant::now();
+    let t0 = noiselab_bench::wall_clock();
     let mut tables = Vec::new();
     for (name, spec) in [
         ("table3", inject::table3_spec()),

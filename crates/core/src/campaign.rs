@@ -37,6 +37,11 @@ pub struct CampaignPlan<'a> {
     /// Execute at most this many cells in this invocation — the hook
     /// the kill/resume tests (and staged manual campaigns) use.
     pub limit: Option<usize>,
+    /// On resume, re-execute the last completed cell and require its
+    /// event-stream hash (and samples) to match the checkpoint bit for
+    /// bit before continuing — catches a changed binary, platform or
+    /// toolchain masquerading as the same campaign.
+    pub verify_resume: bool,
 }
 
 impl CampaignPlan<'_> {
@@ -50,7 +55,7 @@ impl CampaignPlan<'_> {
             .unwrap_or_else(|| "none".into());
         let cells: Vec<&str> = self.cells.iter().map(|(l, _)| l.as_str()).collect();
         format!(
-            "v1|{}|{}|[{}]|runs={}|seeds={}|faults={}|retries={}",
+            "v2|{}|{}|[{}]|runs={}|seeds={}|faults={}|retries={}",
             self.platform.label(),
             self.workload.name(),
             cells.join(","),
@@ -86,6 +91,9 @@ pub struct CellRecord {
     pub failures: Vec<FailureRecord>,
     /// Total attempts consumed including retries.
     pub attempts: u64,
+    /// [`crate::harness::RunLedger::stream_hash`] of the cell's runs:
+    /// the determinism fingerprint `verify_resume` checks.
+    pub stream_hash: u64,
 }
 
 /// The serialised campaign state — the unit of checkpoint/resume.
@@ -217,42 +225,76 @@ pub fn run_campaign(plan: &CampaignPlan) -> io::Result<CampaignState> {
     };
 
     let done = state.cells.len();
+
+    // Resume verification: replay the last completed cell and demand
+    // bit-identity with the checkpoint before trusting (or extending)
+    // it. Catches resumes under a different binary, toolchain or host
+    // float environment that the input fingerprint cannot see.
+    if plan.verify_resume && done > 0 {
+        let i = done - 1;
+        let (label, cfg) = &plan.cells[i];
+        let replayed = run_cell(plan, i, label, cfg);
+        let recorded = &state.cells[i];
+        if replayed.stream_hash != recorded.stream_hash || replayed.samples != recorded.samples {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "resume verification failed for cell {:?}: re-run stream hash \
+                     {:016x} != checkpointed {:016x}; the checkpoint was produced \
+                     by a different binary or environment",
+                    recorded.key.label, replayed.stream_hash, recorded.stream_hash
+                ),
+            ));
+        }
+        eprintln!(
+            "noiselab: resume verified: cell {:?} re-ran bit-identical \
+             (stream hash {:016x})",
+            recorded.key.label, recorded.stream_hash
+        );
+    }
+
     let stop = plan
         .limit
         .map_or(plan.cells.len(), |lim| (done + lim).min(plan.cells.len()));
     for (i, (label, cfg)) in plan.cells.iter().enumerate().take(stop).skip(done) {
-        // Each cell owns a disjoint seed range, fixed by its position:
-        // resume order cannot change which seeds a cell runs.
-        let seed = plan.seed_base + (i * plan.runs_per_cell) as u64;
-        let ledger = run_many_faulted(
-            plan.platform,
-            plan.workload,
-            cfg,
-            plan.runs_per_cell,
-            seed,
-            false,
-            None,
-            plan.faults.as_ref(),
-            plan.retry,
-        );
-        state.cells.push(CellRecord {
-            key: CellKey {
-                label: label.clone(),
-                seed,
-            },
-            samples: ledger.samples(),
-            failures: ledger
-                .failures()
-                .into_iter()
-                .map(|(seed, cause)| FailureRecord { seed, cause })
-                .collect(),
-            attempts: ledger.records.iter().map(|r| r.attempts as u64).sum(),
-        });
+        state.cells.push(run_cell(plan, i, label, cfg));
         if let Some(path) = &plan.checkpoint {
             state.save(path)?;
         }
     }
     Ok(state)
+}
+
+/// Execute one campaign cell. Each cell owns a disjoint seed range,
+/// fixed by its position: resume order cannot change which seeds a cell
+/// runs, and a re-run of the same cell is bit-identical.
+fn run_cell(plan: &CampaignPlan, i: usize, label: &str, cfg: &ExecConfig) -> CellRecord {
+    let seed = plan.seed_base + (i * plan.runs_per_cell) as u64;
+    let ledger = run_many_faulted(
+        plan.platform,
+        plan.workload,
+        cfg,
+        plan.runs_per_cell,
+        seed,
+        false,
+        None,
+        plan.faults.as_ref(),
+        plan.retry,
+    );
+    CellRecord {
+        key: CellKey {
+            label: label.to_string(),
+            seed,
+        },
+        samples: ledger.samples(),
+        failures: ledger
+            .failures()
+            .into_iter()
+            .map(|(seed, cause)| FailureRecord { seed, cause })
+            .collect(),
+        attempts: ledger.records.iter().map(|r| r.attempts as u64).sum(),
+        stream_hash: ledger.stream_hash(),
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +315,7 @@ mod tests {
                 })
                 .collect(),
             attempts: 0,
+            stream_hash: 0xDEAD_BEEF ^ seed,
         }
     }
 

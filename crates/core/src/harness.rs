@@ -14,7 +14,9 @@ use crate::execconfig::{ExecConfig, Model};
 use crate::failure::{RetryPolicy, RunFailure};
 use crate::platform::Platform;
 use noiselab_injector::{spawn_injectors, InjectionConfig};
-use noiselab_kernel::{FaultPlan, Kernel, KernelConfig, RunError};
+use noiselab_kernel::{
+    FaultPlan, Kernel, KernelConfig, RunError, SanitizerConfig, SanitizerReport,
+};
 use noiselab_noise::{install, OsNoiseTracer, RunTrace, TraceSet};
 use noiselab_runtime::{omp, sycl};
 use noiselab_sim::{Rng, SimDuration, SimTime};
@@ -39,6 +41,10 @@ pub struct RunOutput {
     pub trace: Option<RunTrace>,
     /// Name of the natural anomaly active in this run, if any.
     pub anomaly: Option<String>,
+    /// FNV-1a hash of the full dispatched event stream: the run's
+    /// determinism fingerprint. Two runs of the same inputs must agree
+    /// on it bit for bit (see `noiselab_kernel::sanitize`).
+    pub stream_hash: u64,
 }
 
 /// Execute one run with the default kernel configuration. Fully
@@ -93,6 +99,37 @@ pub fn run_once_faulted(
     inject: Option<&InjectionConfig>,
     faults: Option<&FaultPlan>,
 ) -> Result<RunOutput, RunFailure> {
+    run_once_observed(
+        platform,
+        workload,
+        cfg,
+        kconfig,
+        seed,
+        tracing,
+        inject,
+        faults,
+        SanitizerConfig::hash_only(),
+    )
+    .map(|(out, _)| out)
+}
+
+/// [`run_once_faulted`] with an explicit [`SanitizerConfig`], returning
+/// the sanitizer report alongside the run output — the entry point for
+/// the dual-run divergence pipeline (see [`crate::divergence`]). The
+/// sanitizer is a pure observer unless `sanitizer.perturb_at` is armed,
+/// in which case the run's event stream is deliberately forked.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_observed(
+    platform: &Platform,
+    workload: &dyn Workload,
+    cfg: &ExecConfig,
+    kconfig: &KernelConfig,
+    seed: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+    faults: Option<&FaultPlan>,
+    sanitizer: SanitizerConfig,
+) -> Result<(RunOutput, SanitizerReport), RunFailure> {
     // SMT toggling (paper §5): rows without the SMT label run with SMT
     // disabled at firmware level, so the sibling hardware threads do not
     // exist — neither for the workload nor for noise to hide on.
@@ -110,6 +147,7 @@ pub fn run_once_faulted(
         machine.perf.socket_bw *= f;
     }
     let mut kernel = Kernel::new(machine.clone(), kconfig.clone(), seed);
+    kernel.attach_sanitizer(sanitizer);
 
     // Natural background noise; the anomaly dice use an independent
     // stream so they do not correlate with intra-run event jitter.
@@ -213,11 +251,18 @@ pub fn run_once_faulted(
         b.take_trace(0, exec)
     });
 
-    Ok(RunOutput {
-        exec,
-        trace,
-        anomaly: installed.anomaly,
-    })
+    let report = kernel
+        .take_sanitizer_report()
+        .expect("sanitizer attached at kernel construction");
+    Ok((
+        RunOutput {
+            exec,
+            trace,
+            anomaly: installed.anomaly,
+            stream_hash: report.hash,
+        },
+        report,
+    ))
 }
 
 /// One row of a [`RunLedger`]: the original seed, how many attempts were
@@ -266,6 +311,25 @@ impl RunLedger {
 
     pub fn ok_count(&self) -> usize {
         self.records.iter().filter(|r| r.result.is_ok()).count()
+    }
+
+    /// Determinism fingerprint of the whole ledger: FNV-1a over every
+    /// record's (seed, attempts, outcome) — the per-run event-stream
+    /// hash for successes, the cause string for failures. Two ledgers
+    /// of the same inputs must agree bit for bit; the campaign driver
+    /// checkpoints this and re-verifies it on resume.
+    pub fn stream_hash(&self) -> u64 {
+        use noiselab_kernel::sanitize::fnv1a_extend;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for r in &self.records {
+            h = fnv1a_extend(h, &r.seed.to_le_bytes());
+            h = fnv1a_extend(h, &r.attempts.to_le_bytes());
+            match &r.result {
+                Ok(o) => h = fnv1a_extend(h, &o.stream_hash.to_le_bytes()),
+                Err(f) => h = fnv1a_extend(h, f.cause().as_bytes()),
+            }
+        }
+        h
     }
 
     pub fn failed_count(&self) -> usize {
@@ -556,11 +620,16 @@ mod tests {
         let a = run_once(&p, &w, &cfg, 42, false, None).unwrap();
         let b = run_once(&p, &w, &cfg, 42, false, None).unwrap();
         assert_eq!(a.exec, b.exec);
+        assert_eq!(
+            a.stream_hash, b.stream_hash,
+            "same seed must dispatch a bit-identical event stream"
+        );
         let c = run_once(&p, &w, &cfg, 43, false, None).unwrap();
         assert_ne!(
             a.exec, c.exec,
             "different seeds should give different noise"
         );
+        assert_ne!(a.stream_hash, c.stream_hash);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! [`platform`]s, execution configurations ([`execconfig`]: model ×
 //! mitigation × SMT), the run [`harness`] (baseline / traced /
 //! injected / faulted), the typed run-[`failure`] taxonomy, the
-//! checkpointed [`campaign`] driver, and the per-table experiment
-//! definitions in [`experiments`].
+//! checkpointed [`campaign`] driver, the dual-run [`divergence`]
+//! bisector behind the determinism contract, and the per-table
+//! experiment definitions in [`experiments`].
 
 pub mod campaign;
+pub mod divergence;
 pub mod execconfig;
 pub mod experiments;
 pub mod failure;
@@ -18,10 +20,14 @@ pub use campaign::{
     run_campaign, CampaignPlan, CampaignReport, CampaignState, CellKey, CellRecord, CellReport,
     FailureRecord,
 };
+pub use divergence::{
+    dual_run, dual_run_harness, DivergenceReport, DivergentEvent, DualRunOutcome, StreamRunner,
+    DEFAULT_CADENCE,
+};
 pub use execconfig::{ExecConfig, Mitigation, Model};
 pub use failure::{RetryPolicy, RunFailure};
 pub use harness::{
     run_baseline, run_injected, run_many, run_many_faulted, run_once, run_once_faulted,
-    run_once_with, Baseline, Injected, RunLedger, RunOutput, RunRecord,
+    run_once_observed, run_once_with, Baseline, Injected, RunLedger, RunOutput, RunRecord,
 };
 pub use platform::Platform;

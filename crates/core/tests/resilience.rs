@@ -251,6 +251,7 @@ fn plan<'a>(
         retry: RetryPolicy::none(),
         checkpoint,
         limit,
+        verify_resume: false,
     }
 }
 
@@ -313,5 +314,43 @@ fn resume_with_different_inputs_is_refused() {
     other.runs_per_cell = 13; // different campaign identity
     let err = run_campaign(&other).expect_err("fingerprint mismatch must refuse");
     assert!(err.to_string().contains("fingerprint"), "{err}");
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn verified_resume_passes_and_catches_tampering() {
+    let p = Platform::intel();
+    let w = tiny_nbody();
+    let ckpt = tmp_path("verify.json");
+    std::fs::remove_file(&ckpt).ok();
+
+    // Two cells done, then "crash".
+    run_campaign(&plan(&p, &w, Some(ckpt.clone()), Some(2))).unwrap();
+
+    // Honest resume with verification on: the last completed cell
+    // re-runs bit-identical and the campaign finishes.
+    let mut verified = plan(&p, &w, Some(ckpt.clone()), None);
+    verified.verify_resume = true;
+    let resumed = run_campaign(&verified).unwrap();
+    assert_eq!(resumed.cells.len(), 4);
+    assert!(
+        resumed.cells.iter().all(|c| c.stream_hash != 0),
+        "every cell must carry its event-stream hash"
+    );
+
+    // Tamper with the checkpointed stream hash of the last completed
+    // cell: a verified resume must refuse it.
+    std::fs::remove_file(&ckpt).ok();
+    run_campaign(&plan(&p, &w, Some(ckpt.clone()), Some(2))).unwrap();
+    let mut state = CampaignState::load(&ckpt).unwrap();
+    state.cells.last_mut().unwrap().stream_hash ^= 1;
+    state.save(&ckpt).unwrap();
+    let mut tampered = plan(&p, &w, Some(ckpt.clone()), None);
+    tampered.verify_resume = true;
+    let err = run_campaign(&tampered).expect_err("hash mismatch must refuse resume");
+    assert!(
+        err.to_string().contains("resume verification failed"),
+        "{err}"
+    );
     std::fs::remove_file(&ckpt).ok();
 }

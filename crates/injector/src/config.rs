@@ -101,8 +101,8 @@ impl InjectionConfig {
     }
 
     /// Serialise to the JSON configuration file format.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config serialisation cannot fail")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
@@ -208,7 +208,7 @@ mod tests {
                 events: vec![ev(10, 20, InjectPolicy::Other { nice: -5 })],
             }],
         };
-        let s = cfg.to_json();
+        let s = cfg.to_json().unwrap();
         let back = InjectionConfig::from_json(&s).unwrap();
         assert_eq!(cfg, back);
     }

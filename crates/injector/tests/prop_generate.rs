@@ -168,7 +168,7 @@ proptest! {
     fn config_json_roundtrip(set in traceset_strategy()) {
         let opts = GeneratorOptions::default();
         if let Some(config) = noiselab_injector::generate("prop", &set, &opts) {
-            let json = config.to_json();
+            let json = config.to_json().unwrap();
             let back = noiselab_injector::InjectionConfig::from_json(&json).unwrap();
             prop_assert_eq!(config, back);
         }

@@ -17,6 +17,7 @@ use crate::cpu::Cpu;
 use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::ids::{BarrierId, ThreadId, WaitId};
 use crate::policy::Policy;
+use crate::sanitize::{EventKind, EventRecord, EventSanitizer, SanitizerConfig, SanitizerReport};
 use crate::thread::{ActiveCompute, BlockReason, Thread, ThreadKind, ThreadState};
 use crate::trace::{NoiseClass, TraceSink};
 use noiselab_machine::{waterfill_into, CpuId, CpuSet, Machine, SoloProfile};
@@ -156,6 +157,10 @@ pub struct Kernel {
     faults: Option<FaultState>,
     /// Threads torn down by [`Self::schedule_abort`], in abort order.
     aborted: Vec<ThreadId>,
+    /// Event-stream sanitizer, folding every dispatched event into a
+    /// running hash (see [`crate::sanitize`]). A pure observer unless
+    /// its chaos hook is armed.
+    sanitizer: Option<EventSanitizer>,
 }
 
 impl Kernel {
@@ -195,6 +200,7 @@ impl Kernel {
             scratch: RateScratch::default(),
             faults: None,
             aborted: Vec::new(),
+            sanitizer: None,
         }
     }
 
@@ -215,6 +221,23 @@ impl Kernel {
 
     pub fn tracing(&self) -> bool {
         self.tracer.is_some()
+    }
+
+    /// Attach an event-stream sanitizer. Every subsequently dispatched
+    /// event is folded into its running hash; with the default config
+    /// this never changes the simulation.
+    pub fn attach_sanitizer(&mut self, config: SanitizerConfig) {
+        self.sanitizer = Some(EventSanitizer::new(config));
+    }
+
+    /// Running event-stream hash, if a sanitizer is attached.
+    pub fn stream_hash(&self) -> Option<u64> {
+        self.sanitizer.as_ref().map(|s| s.hash())
+    }
+
+    /// Detach the sanitizer and return its report.
+    pub fn take_sanitizer_report(&mut self) -> Option<SanitizerReport> {
+        self.sanitizer.take().map(|s| s.into_report())
     }
 
     /// Fork an independent RNG stream (for building workload data etc.).
@@ -365,6 +388,9 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: KEvent) {
+        if self.sanitizer.is_some() {
+            self.observe_event(&ev);
+        }
         match ev {
             KEvent::Start(tid) | KEvent::WakeTimer(tid) => {
                 self.threads[tid.index()].timer_token = EventToken::NONE;
@@ -395,6 +421,97 @@ impl Kernel {
                     self.arm_tick(ci);
                 }
             }
+        }
+    }
+
+    /// Fold a dispatched event into the attached sanitizer, firing its
+    /// chaos hook (one synthetic device IRQ, now) when armed.
+    fn observe_event(&mut self, ev: &KEvent) {
+        let now = self.now();
+        let rec = match ev {
+            KEvent::Start(tid) => EventRecord {
+                kind: EventKind::Start,
+                cpu: None,
+                thread: Some(tid.0),
+                time: now,
+                duration_ns: 0,
+                source: None,
+            },
+            KEvent::WakeTimer(tid) => EventRecord {
+                kind: EventKind::WakeTimer,
+                cpu: None,
+                thread: Some(tid.0),
+                time: now,
+                duration_ns: 0,
+                source: None,
+            },
+            KEvent::ComputeDone(tid) => EventRecord {
+                kind: EventKind::ComputeDone,
+                cpu: None,
+                thread: Some(tid.0),
+                time: now,
+                duration_ns: 0,
+                source: None,
+            },
+            KEvent::SpinExpire(tid) => EventRecord {
+                kind: EventKind::SpinExpire,
+                cpu: None,
+                thread: Some(tid.0),
+                time: now,
+                duration_ns: 0,
+                source: None,
+            },
+            KEvent::Tick(cpu) => EventRecord {
+                kind: EventKind::Tick,
+                cpu: Some(*cpu),
+                thread: None,
+                time: now,
+                duration_ns: 0,
+                source: None,
+            },
+            KEvent::IrqDone(cpu) => EventRecord {
+                kind: EventKind::IrqDone,
+                cpu: Some(*cpu),
+                thread: None,
+                time: now,
+                duration_ns: 0,
+                source: None,
+            },
+            KEvent::DeviceIrq {
+                cpu,
+                duration,
+                source,
+            } => EventRecord {
+                kind: EventKind::DeviceIrq,
+                cpu: Some(*cpu),
+                thread: None,
+                time: now,
+                duration_ns: duration.nanos(),
+                source: Some(source),
+            },
+            KEvent::Abort(tid) => EventRecord {
+                kind: EventKind::Abort,
+                cpu: None,
+                thread: Some(tid.0),
+                time: now,
+                duration_ns: 0,
+                source: None,
+            },
+        };
+        let perturb = self
+            .sanitizer
+            .as_mut()
+            .map(|s| s.observe(&rec))
+            .unwrap_or(false);
+        if perturb {
+            self.queue.schedule(
+                now,
+                KEvent::DeviceIrq {
+                    cpu: 0,
+                    duration: SimDuration(1_000),
+                    source: "sanitizer:perturb".into(),
+                },
+            );
         }
     }
 

@@ -45,6 +45,7 @@ pub mod fault;
 pub mod ids;
 pub mod kernel;
 pub mod policy;
+pub mod sanitize;
 pub mod thread;
 pub mod trace;
 
@@ -54,5 +55,9 @@ pub use fault::{CpuStallSpec, FaultPlan, FaultStats, SpuriousIrqSpec, ThreadAbor
 pub use ids::{BarrierId, ThreadId, WaitId};
 pub use kernel::{Kernel, RunError, ThreadSpec};
 pub use policy::Policy;
+pub use sanitize::{
+    EventKind, EventRecord, EventSanitizer, HashCheckpoint, LoggedEvent, SanitizerConfig,
+    SanitizerReport,
+};
 pub use thread::{ThreadKind, ThreadState};
 pub use trace::{NoiseClass, RecordedEvent, TraceSink, VecSink};

@@ -92,7 +92,7 @@ fn main() {
 
     // The configuration file of paper Fig. 5.
     let path = std::env::temp_dir().join("noiselab_injection_config.json");
-    std::fs::write(&path, improved.to_json()).expect("write config");
+    std::fs::write(&path, improved.to_json().expect("serialise config")).expect("write config");
     println!("configuration written to {}", path.display());
     let reloaded = InjectionConfig::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(reloaded, improved);

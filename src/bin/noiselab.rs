@@ -10,12 +10,26 @@
 //! noiselab report   --what table1|table2|fig1|fig2|merge|memory|runlevel3 [--scale smoke|bench|paper]
 //! noiselab campaign --platform intel --workload nbody [--runs 20] [--checkpoint state.json]
 //!                   [--resume true] [--crash-prob 0.05] [--crash-window-ms 2]
-//!                   [--fault-seed 1] [--retries 0] [--limit N]
+//!                   [--fault-seed 1] [--retries 0] [--limit N] [--verify-resume true]
+//! noiselab audit    [--static] [--dual-run] [--json] [--root .]
+//!                   [--platform intel] [--workload nbody] [--model omp] [--mitigation Rm]
+//!                   [--seed 1] [--perturb N] [--cadence 64]
 //! ```
 //!
 //! `campaign` sweeps every model x mitigation cell, checkpointing after
 //! each completed cell; a killed campaign resumes bit-identical with
-//! `--resume true` and the same flags.
+//! `--resume true` and the same flags (`--verify-resume true`, the
+//! default, re-runs the last completed cell and requires its event
+//! stream hash to match the checkpoint before continuing).
+//!
+//! `audit` enforces the determinism contract: `--static` sweeps the
+//! deterministic crates for nondeterminism (HashMap iteration, wall
+//! clocks, entropy, host threads, static mut, unwrap on I/O paths) and
+//! fails on any unannotated violation; `--dual-run` executes the same
+//! cell twice and bisects the event streams, naming the first divergent
+//! event if they differ (`--perturb N` deliberately forks run B after
+//! event N to exercise the pipeline). Flags given without a value
+//! (`--static --json`) are booleans.
 
 use noiselab::core::experiments::{
     ablation, fig1, fig2, numa, runlevel, suite, table1, table2, Scale,
@@ -33,12 +47,17 @@ struct Args {
 }
 
 fn parse_args() -> Option<Args> {
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     let cmd = it.next()?;
     let mut opts = HashMap::new();
     while let Some(key) = it.next() {
         let key = key.strip_prefix("--")?.to_string();
-        let value = it.next()?;
+        // A flag followed by another flag (or the end of the line) is a
+        // bare boolean: `--static --json` means static=true json=true.
+        let value = match it.peek() {
+            Some(next) if !next.starts_with("--") => it.next()?,
+            _ => "true".to_string(),
+        };
         opts.insert(key, value);
     }
     Some(Args { cmd, opts })
@@ -186,7 +205,8 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     };
     let config =
         generate(traces_path.clone(), &traces, &opts).ok_or("trace set is empty".to_string())?;
-    std::fs::write(&out, config.to_json()).map_err(|e| e.to_string())?;
+    let json = config.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
     println!(
         "config: {} events on {} cpus, total noise {:.2}ms, {:.0}% FIFO, anomaly {:.4}s -> {}",
         config.event_count(),
@@ -314,6 +334,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         retry,
         checkpoint,
         limit: args.opts.get("limit").and_then(|v| v.parse().ok()),
+        verify_resume: args.get("verify-resume", "true") == "true",
     };
     let state = run_campaign(&plan).map_err(|e| e.to_string())?;
     print!("{}", render_campaign_report(&state.report(n_cells)));
@@ -323,6 +344,84 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
                 "  {}: failed run seed {}: {}",
                 cell.key.label, f.seed, f.cause
             );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    use noiselab::audit::audit_workspace;
+    use noiselab::core::divergence::{dual_run_harness, DualRunOutcome, DEFAULT_CADENCE};
+
+    let json = args.get("json", "false") == "true";
+    let want_static = args.get("static", "false") == "true";
+    let want_dual = args.get("dual-run", "false") == "true";
+    // Bare `noiselab audit` runs the static pass.
+    let want_static = want_static || !want_dual;
+
+    if want_static {
+        let root = std::path::PathBuf::from(args.get("root", "."));
+        let report = audit_workspace(&root).map_err(|e| format!("audit: {e}"))?;
+        if json {
+            println!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_human());
+        }
+        if !report.clean() {
+            return Err(format!(
+                "audit: {} unannotated determinism violation(s)",
+                report.violations.len()
+            ));
+        }
+    }
+
+    if want_dual {
+        let platform = args.platform()?;
+        let workload = args.workload(&platform)?;
+        let cfg = args.exec_config()?;
+        let perturb = args.opts.get("perturb").and_then(|v| v.parse().ok());
+        let cadence = args
+            .get("cadence", &DEFAULT_CADENCE.to_string())
+            .parse()
+            .unwrap_or(DEFAULT_CADENCE);
+        let outcome = dual_run_harness(
+            &platform,
+            workload.as_ref(),
+            &cfg,
+            args.seed(),
+            perturb,
+            cadence,
+        )?;
+        match outcome {
+            DualRunOutcome::Identical { events, hash } => {
+                if json {
+                    println!(
+                        "{{\"dual_run\": \"identical\", \"events\": {events}, \
+                         \"hash\": \"{hash:016x}\"}}"
+                    );
+                } else {
+                    println!("dual run identical: {events} events, stream hash {hash:016x}");
+                }
+            }
+            DualRunOutcome::Diverged(report) => {
+                if json {
+                    println!(
+                        "{{\"dual_run\": \"diverged\", \"hash_a\": \"{:016x}\", \
+                         \"hash_b\": \"{:016x}\", \"events_a\": {}, \"events_b\": {}, \
+                         \"first_index\": {}, \"first_a\": {:?}, \"first_b\": {:?}}}",
+                        report.hash_a,
+                        report.hash_b,
+                        report.events_a,
+                        report.events_b,
+                        report.first_a.index,
+                        report.first_a.digest,
+                        report.first_b.digest,
+                    );
+                } else {
+                    println!("{}", report.render());
+                }
+                return Err("audit: dual run diverged".into());
+            }
         }
     }
     Ok(())
@@ -358,7 +457,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "noiselab <baseline|trace|generate|inject|analyze|report|campaign> [--key value ...]\n\
+        "noiselab <baseline|trace|generate|inject|analyze|report|campaign|audit> [--key value ...]\n\
          see the module docs (src/bin/noiselab.rs) for the full flag list"
     );
 }
@@ -376,6 +475,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "report" => cmd_report(&args),
         "campaign" => cmd_campaign(&args),
+        "audit" => cmd_audit(&args),
         _ => {
             usage();
             return ExitCode::FAILURE;

@@ -4,6 +4,7 @@
 //! individual crates for details; `noiselab_core::prelude` is the usual
 //! entry point.
 
+pub use noiselab_audit as audit;
 pub use noiselab_core as core;
 pub use noiselab_injector as injector;
 pub use noiselab_kernel as kernel;

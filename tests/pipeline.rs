@@ -124,7 +124,7 @@ fn injection_config_roundtrips_through_json_file() {
     let traced = run_baseline(&platform, &w, &cfg, 4, 900, true);
     let config = generate("rt", &traced.traces, &GeneratorOptions::default()).unwrap();
 
-    let json = config.to_json();
+    let json = config.to_json().unwrap();
     let back = noiselab::injector::InjectionConfig::from_json(&json).unwrap();
     assert_eq!(config, back);
 
