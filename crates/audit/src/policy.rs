@@ -107,6 +107,16 @@ pub const POLICIES: &[CratePolicy] = &[
         host_thread_approved: &["src/harness.rs"],
     },
     CratePolicy {
+        name: "noiselab-telemetry",
+        root: "crates/telemetry",
+        dirs: &["src"],
+        // Fully deterministic except the workspace's single annotated
+        // wall-clock site (`profile::wall_clock`), which the host-time
+        // profiler and bench banners route through.
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
         name: "noiselab-bench",
         root: "crates/bench",
         dirs: &["src", "benches"],

@@ -13,11 +13,11 @@ use std::fs;
 use std::io;
 use std::path::PathBuf;
 
-/// The bench harness's one approved wall-clock read: host-side timing
-/// banners around table regeneration. Simulated time never touches
-/// this — it lives in `noiselab_sim::SimTime`.
+/// Host-side timing for bench banners, routed through the workspace's
+/// single audited wall-clock site in `noiselab_telemetry`. Simulated
+/// time never touches this — it lives in `noiselab_sim::SimTime`.
 pub fn wall_clock() -> std::time::Instant {
-    std::time::Instant::now() // audit:allow(wall-clock): host-side bench timing banner only
+    noiselab_telemetry::wall_clock()
 }
 
 /// Directory where bench results are cached and rendered tables are

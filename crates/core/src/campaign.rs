@@ -12,10 +12,11 @@
 
 use crate::execconfig::ExecConfig;
 use crate::failure::{RetryPolicy, RunFailure};
-use crate::harness::run_many_faulted;
+use crate::harness::run_many_instrumented;
 use crate::platform::Platform;
 use noiselab_kernel::FaultPlan;
 use noiselab_stats::Summary;
+use noiselab_telemetry::{MetricsSnapshot, TelemetryConfig};
 use noiselab_workloads::Workload;
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -94,6 +95,12 @@ pub struct CellRecord {
     /// [`crate::harness::RunLedger::stream_hash`] of the cell's runs:
     /// the determinism fingerprint `verify_resume` checks.
     pub stream_hash: u64,
+    /// Exact aggregate of the cell's per-run metrics snapshots
+    /// (counters summed, histograms merged bucket-wise, gauges averaged
+    /// over runs). Defaults to empty when loading checkpoints written
+    /// before the telemetry layer existed.
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
 }
 
 /// The serialised campaign state — the unit of checkpoint/resume.
@@ -270,7 +277,9 @@ pub fn run_campaign(plan: &CampaignPlan) -> io::Result<CampaignState> {
 /// runs, and a re-run of the same cell is bit-identical.
 fn run_cell(plan: &CampaignPlan, i: usize, label: &str, cfg: &ExecConfig) -> CellRecord {
     let seed = plan.seed_base + (i * plan.runs_per_cell) as u64;
-    let ledger = run_many_faulted(
+    // Metrics-only telemetry: per-run counters/histograms aggregate
+    // into the cell record without storing any timeline.
+    let ledger = run_many_instrumented(
         plan.platform,
         plan.workload,
         cfg,
@@ -280,8 +289,15 @@ fn run_cell(plan: &CampaignPlan, i: usize, label: &str, cfg: &ExecConfig) -> Cel
         None,
         plan.faults.as_ref(),
         plan.retry,
+        Some(TelemetryConfig::metrics_only()),
     );
-    CellRecord {
+    let mut metrics = MetricsSnapshot::default();
+    for out in ledger.outputs() {
+        if let Some(m) = &out.metrics {
+            metrics.merge(m);
+        }
+    }
+    let cell = CellRecord {
         key: CellKey {
             label: label.to_string(),
             seed,
@@ -294,7 +310,22 @@ fn run_cell(plan: &CampaignPlan, i: usize, label: &str, cfg: &ExecConfig) -> Cel
             .collect(),
         attempts: ledger.records.iter().map(|r| r.attempts as u64).sum(),
         stream_hash: ledger.stream_hash(),
-    }
+        metrics,
+    };
+    // One status line per completed cell so long campaigns show
+    // progress without a log scrape.
+    let total = plan.runs_per_cell as u64;
+    eprintln!(
+        "noiselab: cell {}/{} [{}] runs {}/{} retries {} degraded {}",
+        i + 1,
+        plan.cells.len(),
+        label,
+        cell.samples.len(),
+        total,
+        cell.attempts.saturating_sub(total),
+        cell.metrics.counter("trace.degraded_runs"),
+    );
+    cell
 }
 
 #[cfg(test)]
@@ -316,6 +347,7 @@ mod tests {
                 .collect(),
             attempts: 0,
             stream_hash: 0xDEAD_BEEF ^ seed,
+            metrics: MetricsSnapshot::default(),
         }
     }
 

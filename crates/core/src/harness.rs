@@ -21,6 +21,9 @@ use noiselab_noise::{install, OsNoiseTracer, RunTrace, TraceSet};
 use noiselab_runtime::{omp, sycl};
 use noiselab_sim::{Rng, SimDuration, SimTime};
 use noiselab_stats::Summary;
+use noiselab_telemetry::{
+    MetricsSnapshot, PhaseProfiler, Telemetry, TelemetryConfig, TelemetryReport,
+};
 use noiselab_workloads::Workload;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -45,6 +48,10 @@ pub struct RunOutput {
     /// determinism fingerprint. Two runs of the same inputs must agree
     /// on it bit for bit (see `noiselab_kernel::sanitize`).
     pub stream_hash: u64,
+    /// Per-run metrics snapshot, when telemetry was attached. Absent
+    /// (not empty) on uninstrumented runs so existing consumers pay
+    /// nothing.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Execute one run with the default kernel configuration. Fully
@@ -130,6 +137,80 @@ pub fn run_once_observed(
     faults: Option<&FaultPlan>,
     sanitizer: SanitizerConfig,
 ) -> Result<(RunOutput, SanitizerReport), RunFailure> {
+    run_once_instrumented(
+        platform,
+        workload,
+        cfg,
+        kconfig,
+        seed,
+        tracing,
+        inject,
+        faults,
+        Observe {
+            sanitizer,
+            ..Observe::default()
+        },
+    )
+    .map(|r| (r.output, r.sanitizer))
+}
+
+/// Observation attachments for one run. Everything here is provably
+/// pure: the purity suite asserts a run's `stream_hash` and `exec` are
+/// bit-identical whatever combination is attached.
+pub struct Observe {
+    /// Event-stream sanitizer configuration (hash-only by default).
+    pub sanitizer: SanitizerConfig,
+    /// Attach a telemetry recorder (spans + metrics) with this
+    /// configuration.
+    pub telemetry: Option<TelemetryConfig>,
+    /// Attach this host-time phase profiler to the kernel and bracket
+    /// the harness stats phase with it.
+    pub profiler: Option<PhaseProfiler>,
+}
+
+impl Default for Observe {
+    fn default() -> Self {
+        Observe {
+            sanitizer: SanitizerConfig::hash_only(),
+            telemetry: None,
+            profiler: None,
+        }
+    }
+}
+
+impl Observe {
+    /// Telemetry with the given configuration, default everything else.
+    pub fn telemetry(cfg: TelemetryConfig) -> Self {
+        Observe {
+            telemetry: Some(cfg),
+            ..Observe::default()
+        }
+    }
+}
+
+/// Everything an instrumented run hands back.
+pub struct InstrumentedRun {
+    pub output: RunOutput,
+    pub sanitizer: SanitizerReport,
+    /// Present when [`Observe::telemetry`] was set.
+    pub telemetry: Option<TelemetryReport>,
+}
+
+/// The fully-instrumented single-run entry point every other
+/// `run_once_*` delegates to: sanitizer always, telemetry recorder and
+/// host-time profiler on request.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_instrumented(
+    platform: &Platform,
+    workload: &dyn Workload,
+    cfg: &ExecConfig,
+    kconfig: &KernelConfig,
+    seed: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+    faults: Option<&FaultPlan>,
+    observe: Observe,
+) -> Result<InstrumentedRun, RunFailure> {
     // SMT toggling (paper §5): rows without the SMT label run with SMT
     // disabled at firmware level, so the sibling hardware threads do not
     // exist — neither for the workload nor for noise to hide on.
@@ -147,7 +228,17 @@ pub fn run_once_observed(
         machine.perf.socket_bw *= f;
     }
     let mut kernel = Kernel::new(machine.clone(), kconfig.clone(), seed);
-    kernel.attach_sanitizer(sanitizer);
+    kernel.attach_sanitizer(observe.sanitizer);
+
+    // Telemetry and profiling are write-only observers: attaching them
+    // cannot perturb the simulation (the purity suite proves it).
+    let telemetry = observe.telemetry.map(Telemetry::new);
+    if let Some(tele) = &telemetry {
+        kernel.attach_observer(tele.observer());
+    }
+    if let Some(prof) = &observe.profiler {
+        kernel.attach_host_profiler(prof.hook());
+    }
 
     // Natural background noise; the anomaly dice use an independent
     // stream so they do not correlate with intra-run event jitter.
@@ -246,23 +337,46 @@ pub fn run_once_observed(
     }
     let exec = end.since(SimTime::ZERO);
 
+    // Post-run bookkeeping is the harness's "stats" phase in the
+    // host-time profile.
+    if let Some(prof) = &observe.profiler {
+        prof.enter(noiselab_kernel::Phase::Stats);
+    }
     let trace = buffer.map(|b| {
         kernel.detach_tracer();
-        b.take_trace(0, exec)
+        // Surface the tracer's ring-buffer accounting through the
+        // metrics registry before the drain resets it.
+        if let Some(tele) = &telemetry {
+            tele.counter_add("trace.emitted", b.emitted());
+            tele.counter_add("trace.dropped", b.dropped());
+        }
+        let tr = b.take_trace(0, exec);
+        if let Some(tele) = &telemetry {
+            if tr.degraded {
+                tele.counter_add("trace.degraded_runs", 1);
+            }
+        }
+        tr
     });
 
     let report = kernel
         .take_sanitizer_report()
         .expect("sanitizer attached at kernel construction");
-    Ok((
-        RunOutput {
+    let tele_report = telemetry.map(|tele| tele.take_report(end));
+    if let Some(prof) = &observe.profiler {
+        prof.exit(noiselab_kernel::Phase::Stats);
+    }
+    Ok(InstrumentedRun {
+        output: RunOutput {
             exec,
             trace,
             anomaly: installed.anomaly,
             stream_hash: report.hash,
+            metrics: tele_report.as_ref().map(|r| r.metrics.clone()),
         },
-        report,
-    ))
+        sanitizer: report,
+        telemetry: tele_report,
+    })
 }
 
 /// One row of a [`RunLedger`]: the original seed, how many attempts were
@@ -426,6 +540,28 @@ pub fn run_many_faulted(
     faults: Option<&FaultPlan>,
     retry: RetryPolicy,
 ) -> RunLedger {
+    run_many_instrumented(
+        platform, workload, cfg, n_runs, seed_base, tracing, inject, faults, retry, None,
+    )
+}
+
+/// [`run_many_faulted`] with an optional per-run telemetry attachment
+/// (typically [`TelemetryConfig::metrics_only`]); each run gets its own
+/// recorder and its [`RunOutput::metrics`] snapshot filled in, ready
+/// for exact per-cell aggregation by the campaign driver.
+#[allow(clippy::too_many_arguments)]
+pub fn run_many_instrumented(
+    platform: &Platform,
+    workload: &(dyn Workload + Sync),
+    cfg: &ExecConfig,
+    n_runs: usize,
+    seed_base: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+    faults: Option<&FaultPlan>,
+    retry: RetryPolicy,
+    telemetry: Option<TelemetryConfig>,
+) -> RunLedger {
     if n_runs == 0 {
         return RunLedger::default();
     }
@@ -436,9 +572,14 @@ pub fn run_many_faulted(
 
     let attempt_run = |seed: u64| -> Result<RunOutput, RunFailure> {
         catch_unwind(AssertUnwindSafe(|| {
-            run_once_faulted(
-                platform, workload, cfg, &kconfig, seed, tracing, inject, faults,
+            let observe = Observe {
+                telemetry,
+                ..Observe::default()
+            };
+            run_once_instrumented(
+                platform, workload, cfg, &kconfig, seed, tracing, inject, faults, observe,
             )
+            .map(|r| r.output)
         }))
         .unwrap_or_else(|payload| {
             Err(RunFailure::Panic {

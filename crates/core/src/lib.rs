@@ -14,6 +14,7 @@ pub mod execconfig;
 pub mod experiments;
 pub mod failure;
 pub mod harness;
+pub mod overhead;
 pub mod platform;
 
 pub use campaign::{
@@ -27,7 +28,9 @@ pub use divergence::{
 pub use execconfig::{ExecConfig, Mitigation, Model};
 pub use failure::{RetryPolicy, RunFailure};
 pub use harness::{
-    run_baseline, run_injected, run_many, run_many_faulted, run_once, run_once_faulted,
-    run_once_observed, run_once_with, Baseline, Injected, RunLedger, RunOutput, RunRecord,
+    run_baseline, run_injected, run_many, run_many_faulted, run_many_instrumented, run_once,
+    run_once_faulted, run_once_instrumented, run_once_observed, run_once_with, Baseline, Injected,
+    InstrumentedRun, Observe, RunLedger, RunOutput, RunRecord,
 };
+pub use overhead::{measure_overhead, OverheadReport, OverheadRow};
 pub use platform::Platform;

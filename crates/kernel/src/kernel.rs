@@ -16,6 +16,7 @@ use crate::config::KernelConfig;
 use crate::cpu::Cpu;
 use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::ids::{BarrierId, ThreadId, WaitId};
+use crate::observe::{HostProfiler, KernelObserver, Phase, SchedRecord};
 use crate::policy::Policy;
 use crate::sanitize::{EventKind, EventRecord, EventSanitizer, SanitizerConfig, SanitizerReport};
 use crate::thread::{ActiveCompute, BlockReason, Thread, ThreadKind, ThreadState};
@@ -161,6 +162,12 @@ pub struct Kernel {
     /// running hash (see [`crate::sanitize`]). A pure observer unless
     /// its chaos hook is armed.
     sanitizer: Option<EventSanitizer>,
+    /// Telemetry observer receiving dispatch and scheduling records
+    /// (see [`crate::observe`]). Always a pure observer.
+    observer: Option<Box<dyn KernelObserver>>,
+    /// Host-time phase profiler; the kernel only announces boundaries,
+    /// it never reads a clock itself.
+    profiler: Option<Box<dyn HostProfiler>>,
 }
 
 impl Kernel {
@@ -201,6 +208,8 @@ impl Kernel {
             faults: None,
             aborted: Vec::new(),
             sanitizer: None,
+            observer: None,
+            profiler: None,
         }
     }
 
@@ -238,6 +247,40 @@ impl Kernel {
     /// Detach the sanitizer and return its report.
     pub fn take_sanitizer_report(&mut self) -> Option<SanitizerReport> {
         self.sanitizer.take().map(|s| s.into_report())
+    }
+
+    /// Attach a telemetry observer. It receives every dispatched event
+    /// and every scheduling record until [`Self::detach_observer`];
+    /// observers are pure, so this never changes the simulation.
+    pub fn attach_observer(&mut self, obs: Box<dyn KernelObserver>) {
+        self.observer = Some(obs);
+    }
+
+    pub fn detach_observer(&mut self) -> Option<Box<dyn KernelObserver>> {
+        self.observer.take()
+    }
+
+    /// Attach a host-time phase profiler (see [`crate::observe`]).
+    pub fn attach_host_profiler(&mut self, prof: Box<dyn HostProfiler>) {
+        self.profiler = Some(prof);
+    }
+
+    pub fn detach_host_profiler(&mut self) -> Option<Box<dyn HostProfiler>> {
+        self.profiler.take()
+    }
+
+    #[inline]
+    fn prof_enter(&mut self, phase: Phase) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.enter(phase);
+        }
+    }
+
+    #[inline]
+    fn prof_exit(&mut self, phase: Phase) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.exit(phase);
+        }
     }
 
     /// Fork an independent RNG stream (for building workload data etc.).
@@ -388,7 +431,8 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, ev: KEvent) {
-        if self.sanitizer.is_some() {
+        self.prof_enter(Phase::Dispatch);
+        if self.sanitizer.is_some() || self.observer.is_some() {
             self.observe_event(&ev);
         }
         match ev {
@@ -422,9 +466,11 @@ impl Kernel {
                 }
             }
         }
+        self.prof_exit(Phase::Dispatch);
     }
 
-    /// Fold a dispatched event into the attached sanitizer, firing its
+    /// Feed a dispatched event to the attached telemetry observer and
+    /// fold it into the attached sanitizer, firing the sanitizer's
     /// chaos hook (one synthetic device IRQ, now) when armed.
     fn observe_event(&mut self, ev: &KEvent) {
         let now = self.now();
@@ -498,6 +544,9 @@ impl Kernel {
                 source: None,
             },
         };
+        if let Some(obs) = self.observer.as_mut() {
+            obs.event(&rec);
+        }
         let perturb = self
             .sanitizer
             .as_mut()
@@ -538,6 +587,9 @@ impl Kernel {
     fn on_device_irq(&mut self, ci: usize, duration: SimDuration, source: &str) {
         let now = self.now();
         let mut stall = duration.nanos();
+        if self.tracer.is_some() {
+            self.prof_enter(Phase::Tracer);
+        }
         if let Some(tr) = self.tracer.as_mut() {
             tr.record(
                 CpuId(ci as u32),
@@ -548,6 +600,16 @@ impl Kernel {
                 duration,
             );
             stall += self.config.trace_event_overhead.nanos();
+            self.prof_exit(Phase::Tracer);
+        }
+        if let Some(obs) = self.observer.as_mut() {
+            obs.sched(&SchedRecord::IrqSpan {
+                cpu: ci as u32,
+                time: now,
+                duration_ns: stall,
+                source,
+                softirq: false,
+            });
         }
         self.cpus[ci].irq_ns += stall;
         if let Some(tid) = self.cpus[ci].current {
@@ -671,6 +733,9 @@ impl Kernel {
                 None
             };
 
+            if self.tracer.is_some() {
+                self.prof_enter(Phase::Tracer);
+            }
             if let Some(tr) = self.tracer.as_mut() {
                 tr.record(
                     CpuId(ci as u32),
@@ -694,6 +759,30 @@ impl Kernel {
                         now + SimDuration(irq_ns),
                         SimDuration(s),
                     );
+                }
+                self.prof_exit(Phase::Tracer);
+            }
+            if let Some(obs) = self.observer.as_mut() {
+                obs.sched(&SchedRecord::IrqSpan {
+                    cpu: ci as u32,
+                    time: now,
+                    duration_ns: irq_ns,
+                    source: "local_timer:236",
+                    softirq: false,
+                });
+                if let Some(s) = softirq {
+                    let src = if self.softirq_flip {
+                        "RCU:9"
+                    } else {
+                        "SCHED:7"
+                    };
+                    obs.sched(&SchedRecord::IrqSpan {
+                        cpu: ci as u32,
+                        time: now + SimDuration(irq_ns),
+                        duration_ns: s,
+                        source: src,
+                        softirq: true,
+                    });
                 }
             }
             stall += softirq.unwrap_or(0);
@@ -1014,6 +1103,15 @@ impl Kernel {
         }
         self.queued_total += 1;
         self.kick_pending = true;
+        if let Some(obs) = self.observer.as_mut() {
+            let depth = (self.cpus[ci].rt.len() + self.cpus[ci].cfs.len()) as u32;
+            obs.sched(&SchedRecord::Enqueue {
+                cpu: ci as u32,
+                thread: tid.0,
+                time: self.queue.now(),
+                depth,
+            });
+        }
     }
 
     fn dequeue_ready(&mut self, ci: usize, tid: ThreadId) {
@@ -1073,6 +1171,9 @@ impl Kernel {
             let start = self.threads[i].on_cpu_since;
             let dur = now.since(start);
             if dur > SimDuration::ZERO {
+                if self.tracer.is_some() {
+                    self.prof_enter(Phase::Tracer);
+                }
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.record(
                         cpu,
@@ -1083,8 +1184,18 @@ impl Kernel {
                         dur,
                     );
                     self.pending_trace_ns[cpu.index()] += self.config.trace_event_overhead.nanos();
+                    self.prof_exit(Phase::Tracer);
                 }
             }
+        }
+
+        if let Some(obs) = self.observer.as_mut() {
+            obs.sched(&SchedRecord::SwitchOut {
+                cpu: cpu.0,
+                thread: tid.0,
+                time: now,
+                state: new_state,
+            });
         }
 
         self.cpus[cpu.index()].current = None;
@@ -1112,6 +1223,13 @@ impl Kernel {
         };
         self.off_cpu(tid, ThreadState::Ready);
         self.threads[tid.index()].stats.preemptions += 1;
+        if let Some(obs) = self.observer.as_mut() {
+            obs.sched(&SchedRecord::Preempt {
+                cpu: ci as u32,
+                thread: tid.0,
+                time: self.queue.now(),
+            });
+        }
         self.enqueue(ci, tid);
         self.recompute_rates_for(ci);
     }
@@ -1119,6 +1237,7 @@ impl Kernel {
     /// Pick and start the next thread on CPU `ci`.
     fn dispatch(&mut self, ci: usize) {
         debug_assert!(self.cpus[ci].current.is_none());
+        self.prof_enter(Phase::Scheduler);
         let local = self.cpus[ci]
             .rt
             .pop()
@@ -1130,6 +1249,7 @@ impl Kernel {
         let next = local.or_else(|| self.try_steal(ci));
         let Some(tid) = next else {
             self.cpus[ci].cfs.refresh_floor(None);
+            self.prof_exit(Phase::Scheduler);
             return;
         };
         let now = self.now();
@@ -1149,17 +1269,40 @@ impl Kernel {
             self.threads[i].pending_migration = false;
             self.threads[i].stats.migrations += 1;
             let mut cost = self.machine.migration_cost.nanos() as f64;
+            let mut cross_numa = false;
             // Crossing a NUMA domain costs a remote cache refill.
             if let Some(prev) = self.threads[i].last_cpu {
                 if !self.machine.same_domain(prev, CpuId(ci as u32)) {
                     cost *= noiselab_machine::machine::NUMA_MIGRATION_FACTOR;
                     self.threads[i].stats.numa_migrations += 1;
+                    cross_numa = true;
                 }
+            }
+            if let Some(obs) = self.observer.as_mut() {
+                obs.sched(&SchedRecord::Migrate {
+                    thread: tid.0,
+                    to_cpu: ci as u32,
+                    time: now,
+                    cross_numa,
+                });
             }
             overhead += cost;
         }
         self.threads[i].pending_overhead_ns += overhead;
         self.threads[i].last_cpu = Some(CpuId(ci as u32));
+
+        if let Some(obs) = self.observer.as_mut() {
+            let runq_depth = (self.cpus[ci].rt.len() + self.cpus[ci].cfs.len()) as u32;
+            obs.sched(&SchedRecord::SwitchIn {
+                cpu: ci as u32,
+                thread: tid.0,
+                name: &self.threads[i].name,
+                kind: self.threads[i].kind,
+                time: now,
+                runq_depth,
+            });
+        }
+        self.prof_exit(Phase::Scheduler);
 
         if self.threads[i].compute.is_some() {
             let pending = std::mem::take(&mut self.threads[i].pending_overhead_ns);
@@ -1358,6 +1501,13 @@ impl Kernel {
             }
             Action::SetPolicy(p) => {
                 self.threads[i].policy = p;
+                if let Some(obs) = self.observer.as_mut() {
+                    obs.sched(&SchedRecord::PolicySwitch {
+                        thread: tid.0,
+                        time: now,
+                        rt: p.is_rt(),
+                    });
+                }
                 // A demotion may make a queued task preferable.
                 if let Some(cpu) = self.threads[i].cpu {
                     self.resched_if_needed(cpu.index());

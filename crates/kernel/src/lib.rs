@@ -44,6 +44,7 @@ pub mod cpu;
 pub mod fault;
 pub mod ids;
 pub mod kernel;
+pub mod observe;
 pub mod policy;
 pub mod sanitize;
 pub mod thread;
@@ -54,6 +55,7 @@ pub use config::KernelConfig;
 pub use fault::{CpuStallSpec, FaultPlan, FaultStats, SpuriousIrqSpec, ThreadAbortSpec};
 pub use ids::{BarrierId, ThreadId, WaitId};
 pub use kernel::{Kernel, RunError, ThreadSpec};
+pub use observe::{HostProfiler, KernelObserver, Phase, SchedRecord};
 pub use policy::Policy;
 pub use sanitize::{
     EventKind, EventRecord, EventSanitizer, HashCheckpoint, LoggedEvent, SanitizerConfig,

@@ -1,0 +1,163 @@
+//! Telemetry observer hooks.
+//!
+//! Two thin traits let the telemetry layer watch the kernel without the
+//! kernel depending on it (the same cycle-avoiding pattern as
+//! [`crate::trace::TraceSink`]):
+//!
+//! * [`KernelObserver`] receives virtual-time scheduling records —
+//!   context switches, migrations, preemptions, enqueues, IRQ/softirq
+//!   service windows and policy switches — plus every dispatched event
+//!   (the same [`EventRecord`] stream the sanitizer folds). Observers
+//!   are pure: no method returns a value the kernel reads, so attaching
+//!   one cannot perturb the simulation. The purity property test in
+//!   `noiselab-core` proves it by `stream_hash` equality.
+//! * [`HostProfiler`] receives host-time phase boundaries (event
+//!   dispatch, scheduler, tracer). The kernel never reads a clock — it
+//!   only announces phase entry/exit; the boxed implementation in
+//!   `noiselab-telemetry` reads the single audited `wall_clock()` site.
+//!
+//! Every call site is guarded by an `Option` check, so a kernel with no
+//! observer attached pays one branch per hook and nothing else.
+
+use crate::sanitize::EventRecord;
+use crate::thread::{ThreadKind, ThreadState};
+use noiselab_sim::SimTime;
+
+/// One scheduling-layer occurrence, flattened for observation. Borrowed
+/// string fields keep the hooks allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub enum SchedRecord<'a> {
+    /// A thread went on-CPU.
+    SwitchIn {
+        cpu: u32,
+        thread: u32,
+        /// Thread name, for span labels.
+        name: &'a str,
+        kind: ThreadKind,
+        time: SimTime,
+        /// Threads left queued on this CPU after the pick.
+        runq_depth: u32,
+    },
+    /// A thread left its CPU into `state`.
+    SwitchOut {
+        cpu: u32,
+        thread: u32,
+        time: SimTime,
+        state: ThreadState,
+    },
+    /// The current thread was involuntarily descheduled (stays ready).
+    Preempt {
+        cpu: u32,
+        thread: u32,
+        time: SimTime,
+    },
+    /// A thread was placed in a runqueue; `depth` counts queued threads
+    /// on that CPU after insertion.
+    Enqueue {
+        cpu: u32,
+        thread: u32,
+        time: SimTime,
+        depth: u32,
+    },
+    /// A thread is being pulled onto `to_cpu` from another CPU.
+    Migrate {
+        thread: u32,
+        to_cpu: u32,
+        time: SimTime,
+        cross_numa: bool,
+    },
+    /// An IRQ or softirq service window occupied `cpu` for
+    /// `duration_ns` starting at `time`.
+    IrqSpan {
+        cpu: u32,
+        time: SimTime,
+        duration_ns: u64,
+        source: &'a str,
+        softirq: bool,
+    },
+    /// A thread changed scheduling class.
+    PolicySwitch {
+        thread: u32,
+        time: SimTime,
+        rt: bool,
+    },
+}
+
+/// A pure observer of kernel activity. Both methods default to no-ops
+/// so an implementation can subscribe to only one stream.
+pub trait KernelObserver {
+    /// Called at the single dispatch point, with the same record the
+    /// sanitizer hashes.
+    fn event(&mut self, rec: &EventRecord<'_>) {
+        let _ = rec;
+    }
+
+    /// Called at each scheduling-layer hook.
+    fn sched(&mut self, rec: &SchedRecord<'_>) {
+        let _ = rec;
+    }
+}
+
+/// Host-time phases the kernel announces to an attached
+/// [`HostProfiler`]. Phases nest (dispatch contains scheduler contains
+/// tracer); implementations attribute self-time with a stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Handling one popped event (the whole of `Kernel::handle`).
+    Dispatch,
+    /// Picking the next thread in `Kernel::dispatch`.
+    Scheduler,
+    /// Writing records into the attached trace sink.
+    Tracer,
+    /// Statistics/summary computation (announced by the harness, not
+    /// the kernel).
+    Stats,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 4] = [
+        Phase::Dispatch,
+        Phase::Scheduler,
+        Phase::Tracer,
+        Phase::Stats,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Dispatch => "dispatch",
+            Phase::Scheduler => "scheduler",
+            Phase::Tracer => "tracer",
+            Phase::Stats => "stats",
+        }
+    }
+
+    /// Dense index for per-phase accumulator arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Dispatch => 0,
+            Phase::Scheduler => 1,
+            Phase::Tracer => 2,
+            Phase::Stats => 3,
+        }
+    }
+}
+
+/// Receives phase boundaries. The kernel guarantees every `enter` is
+/// matched by an `exit` of the same phase in LIFO order.
+pub trait HostProfiler {
+    fn enter(&mut self, phase: Phase);
+    fn exit(&mut self, phase: Phase);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_and_indices_are_stable() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert!(!p.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Log2-bucketed histograms.
+//!
+//! The telemetry layer records heavy-tailed quantities (preemption
+//! latencies, IRQ service times, runqueue depths) into fixed-size
+//! histograms whose bucket `b` covers values with bit length `b`, i.e.
+//! `[2^(b-1), 2^b)` for `b >= 1` and exactly `{0}` for `b = 0`. That
+//! gives 65 buckets for the full `u64` range, constant-time recording,
+//! exact merging across runs (bucket-wise addition — the property that
+//! makes per-cell campaign aggregation lossless), and quantile
+//! estimates within a factor of two, which is all a dashboard needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: bit lengths 0..=64.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Log2Hist {
+    /// `counts[b]` = samples with bit length `b`.
+    pub counts: Vec<u64>,
+    pub count: u64,
+    /// Exact running sum (not bucket-approximated).
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist::new()
+    }
+}
+
+impl Log2Hist {
+    pub fn new() -> Self {
+        Log2Hist {
+            counts: vec![0; LOG2_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of a value: its bit length.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Lower edge of bucket `b` (inclusive).
+    pub fn bucket_lo(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Upper edge of bucket `b` (inclusive).
+    pub fn bucket_hi(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bucket-wise merge; exact (merging run histograms equals the
+    /// histogram of the concatenated runs).
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate in `[0, 1]`: the geometric midpoint of the
+    /// bucket holding the q-th sample, clamped to the observed
+    /// min/max. Within a factor of two of the true quantile.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max as f64;
+        }
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = Self::bucket_lo(b) as f64;
+                let hi = Self::bucket_hi(b) as f64;
+                let mid = if b == 0 { 0.0 } else { (lo * hi).sqrt() };
+                return mid.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// One-line rendering: `n=1234 mean=5.1us p50=4.2us p99=33us`.
+    pub fn render_ns(&self) -> String {
+        if self.count == 0 {
+            return "n=0".to_string();
+        }
+        format!(
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            fmt_ns(self.mean()),
+            fmt_ns(self.quantile(0.50)),
+            fmt_ns(self.quantile(0.99)),
+            fmt_ns(self.max as f64),
+        )
+    }
+}
+
+/// Format a nanosecond quantity with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 64);
+        for b in 0..LOG2_BUCKETS {
+            let lo = Log2Hist::bucket_lo(b);
+            let hi = Log2Hist::bucket_hi(b);
+            assert!(lo <= hi);
+            assert_eq!(Log2Hist::bucket_of(lo), b);
+            assert_eq!(Log2Hist::bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_moments() {
+        let mut h = Log2Hist::new();
+        for v in [0u64, 1, 5, 1000, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1013);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert!((h.mean() - 202.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        let mut both = Log2Hist::new();
+        for v in [3u64, 70, 900] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn quantiles_stay_within_a_factor_of_two() {
+        let mut h = Log2Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50);
+        assert!((250.0..=1000.0).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((495.0..=1000.0).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn empty_hist_is_harmless() {
+        let h = Log2Hist::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.render_ns(), "n=0");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Log2Hist::new();
+        h.record(42);
+        h.record(7);
+        let json = serde_json::to_string(&h).expect("serialize");
+        let back: Log2Hist = serde_json::from_str(&json).expect("parse");
+        assert_eq!(h, back);
+    }
+}

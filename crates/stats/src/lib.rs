@@ -4,8 +4,10 @@
 //! change) and plain-text table rendering used by the experiment
 //! harness and benches to reproduce the paper's tables.
 
+pub mod hist;
 pub mod summary;
 pub mod table;
 
+pub use hist::{fmt_ns, Log2Hist, LOG2_BUCKETS};
 pub use summary::{percentile, percentile_sorted, Summary};
 pub use table::{fmt_ms, fmt_pct, fmt_secs, TextTable};

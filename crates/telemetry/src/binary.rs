@@ -1,0 +1,284 @@
+//! Compact self-describing binary timeline format ("NLTB").
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic   4 bytes  b"NLTB"
+//! version 1 byte   (currently 1)
+//! schema  varint len + UTF-8 bytes — a human-readable field map, so a
+//!         decoder (or a person with xxd) can recover the layout from
+//!         the file alone
+//! strings varint count, then per string: varint len + UTF-8 bytes
+//! spans   varint count, then per span:
+//!           varint cpu, varint thread+1 (0 = none), varint name index,
+//!           1 byte category tag, varint start ns, varint duration ns
+//! instants varint count, then per mark:
+//!           varint cpu, varint name index, varint time ns
+//! counters varint count, then per sample:
+//!           varint cpu, varint time ns, varint depth
+//! ```
+//!
+//! Varints make quiet timelines a few bytes per event; the golden
+//! fixture test in `tests/golden_binary.rs` pins the exact encoding so
+//! a format change must update the fixture (and bump the version).
+
+use crate::recorder::{CounterSample, InstantMark, Span, SpanCat, TelemetryReport};
+use noiselab_sim::SimTime;
+
+pub const MAGIC: &[u8; 4] = b"NLTB";
+pub const VERSION: u8 = 1;
+
+/// The schema string embedded in every file.
+pub const SCHEMA: &str = "strings[len,bytes];spans[cpu,thread+1,name,cat:u8,start,dur];\
+                          instants[cpu,name,time];counters[cpu,time,depth]";
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode the timeline sections of a report.
+pub fn encode(report: &TelemetryReport) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    put_str(&mut out, SCHEMA);
+    put_varint(&mut out, report.strings.len() as u64);
+    for s in &report.strings {
+        put_str(&mut out, s);
+    }
+    put_varint(&mut out, report.spans.len() as u64);
+    for sp in &report.spans {
+        put_varint(&mut out, sp.cpu as u64);
+        put_varint(&mut out, sp.thread.map(|t| t as u64 + 1).unwrap_or(0));
+        put_varint(&mut out, sp.name as u64);
+        out.push(sp.cat.tag());
+        put_varint(&mut out, sp.start.0);
+        put_varint(&mut out, sp.dur_ns);
+    }
+    put_varint(&mut out, report.instants.len() as u64);
+    for m in &report.instants {
+        put_varint(&mut out, m.cpu as u64);
+        put_varint(&mut out, m.name as u64);
+        put_varint(&mut out, m.time.0);
+    }
+    put_varint(&mut out, report.counters.len() as u64);
+    for c in &report.counters {
+        put_varint(&mut out, c.cpu as u64);
+        put_varint(&mut out, c.time.0);
+        put_varint(&mut out, c.depth as u64);
+    }
+    out
+}
+
+/// A decoded timeline (the binary format carries no metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryTrace {
+    pub schema: String,
+    pub strings: Vec<String>,
+    pub spans: Vec<Span>,
+    pub instants: Vec<InstantMark>,
+    pub counters: Vec<CounterSample>,
+}
+
+/// Decode error with byte offset context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        let Some(&b) = self.buf.get(self.pos) else {
+            return self.err("unexpected end of input");
+        };
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return self.err("varint overflows u64");
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.varint()? as usize;
+        if self.pos + len > self.buf.len() {
+            return self.err(format!("string of {len} bytes overruns input"));
+        }
+        let bytes = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => self.err("string is not valid UTF-8"),
+        }
+    }
+}
+
+/// Decode an NLTB buffer.
+pub fn decode(buf: &[u8]) -> Result<BinaryTrace, DecodeError> {
+    let mut r = Reader { buf, pos: 0 };
+    if buf.len() < 5 || &buf[0..4] != MAGIC {
+        return r.err("missing NLTB magic");
+    }
+    r.pos = 4;
+    let version = r.byte()?;
+    if version != VERSION {
+        return r.err(format!(
+            "unsupported version {version} (expected {VERSION})"
+        ));
+    }
+    let schema = r.string()?;
+    let n_strings = r.varint()? as usize;
+    let mut strings = Vec::with_capacity(n_strings.min(1 << 16));
+    for _ in 0..n_strings {
+        strings.push(r.string()?);
+    }
+    let n_spans = r.varint()? as usize;
+    let mut spans = Vec::with_capacity(n_spans.min(1 << 16));
+    for _ in 0..n_spans {
+        let cpu = r.varint()? as u32;
+        let thread = match r.varint()? {
+            0 => None,
+            t => Some((t - 1) as u32),
+        };
+        let name = r.varint()? as u32;
+        let tag = r.byte()?;
+        let Some(cat) = SpanCat::from_tag(tag) else {
+            return r.err(format!("unknown span category tag {tag}"));
+        };
+        let start = SimTime(r.varint()?);
+        let dur_ns = r.varint()?;
+        if name as usize >= strings.len() {
+            return r.err(format!("span name index {name} out of range"));
+        }
+        spans.push(Span {
+            cpu,
+            thread,
+            name,
+            cat,
+            start,
+            dur_ns,
+        });
+    }
+    let n_instants = r.varint()? as usize;
+    let mut instants = Vec::with_capacity(n_instants.min(1 << 16));
+    for _ in 0..n_instants {
+        let cpu = r.varint()? as u32;
+        let name = r.varint()? as u32;
+        let time = SimTime(r.varint()?);
+        if name as usize >= strings.len() {
+            return r.err(format!("instant name index {name} out of range"));
+        }
+        instants.push(InstantMark { cpu, name, time });
+    }
+    let n_counters = r.varint()? as usize;
+    let mut counters = Vec::with_capacity(n_counters.min(1 << 16));
+    for _ in 0..n_counters {
+        let cpu = r.varint()? as u32;
+        let time = SimTime(r.varint()?);
+        let depth = r.varint()? as u32;
+        counters.push(CounterSample { cpu, time, depth });
+    }
+    if r.pos != buf.len() {
+        return r.err(format!("{} trailing bytes", buf.len() - r.pos));
+    }
+    Ok(BinaryTrace {
+        schema,
+        strings,
+        spans,
+        instants,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varints_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader { buf: &buf, pos: 0 };
+            assert_eq!(r.varint().expect("decode"), v);
+            assert_eq!(r.pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_with_offset() {
+        let report = TelemetryReport {
+            spans: vec![Span {
+                cpu: 0,
+                thread: Some(1),
+                name: 0,
+                cat: SpanCat::Run,
+                start: SimTime(100),
+                dur_ns: 50,
+            }],
+            instants: Vec::new(),
+            counters: Vec::new(),
+            strings: vec!["w".to_string()],
+            n_cpus: 1,
+            end: SimTime(200),
+            dropped: 0,
+            metrics: crate::metrics::MetricsSnapshot::default(),
+        };
+        let bytes = encode(&report);
+        assert!(decode(&bytes).is_ok());
+        let err = decode(&bytes[..bytes.len() - 3]).expect_err("truncated");
+        assert!(err.offset > 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(decode(b"NOPE\x01").is_err());
+        assert!(decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the "JSON Array Format" of the Trace Event specification,
+//! which Perfetto (ui.perfetto.dev) and chrome://tracing load
+//! directly: one named thread track per logical CPU under a single
+//! process, `X` (complete) events for spans, `i` (instant) events for
+//! migrations/preemptions, and `C` (counter) events for runqueue
+//! depth. Timestamps are microseconds; virtual nanoseconds map to
+//! fractional `ts` values, which both viewers accept.
+//!
+//! The document is assembled as a `serde::Value` tree and written by
+//! the same JSON writer every other artifact in the workspace uses, so
+//! output is valid JSON by construction and byte-stable across runs.
+
+use crate::recorder::TelemetryReport;
+use serde::Value;
+
+/// Microseconds from virtual nanoseconds.
+fn us(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1_000.0)
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+/// Render a report as Chrome trace-event JSON. `label` names the
+/// process track (platform/workload/seed description).
+pub fn chrome_trace(report: &TelemetryReport, label: &str) -> String {
+    let mut events: Vec<Value> = Vec::new();
+
+    events.push(obj(vec![
+        ("ph", s("M")),
+        ("pid", Value::UInt(0)),
+        ("tid", Value::UInt(0)),
+        ("name", s("process_name")),
+        ("args", obj(vec![("name", s(label))])),
+    ]));
+    for cpu in 0..report.n_cpus {
+        events.push(obj(vec![
+            ("ph", s("M")),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(cpu as u128)),
+            ("name", s("thread_name")),
+            ("args", obj(vec![("name", s(&format!("cpu{cpu}")))])),
+        ]));
+        events.push(obj(vec![
+            ("ph", s("M")),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(cpu as u128)),
+            ("name", s("thread_sort_index")),
+            ("args", obj(vec![("sort_index", Value::UInt(cpu as u128))])),
+        ]));
+    }
+
+    for sp in &report.spans {
+        let name = report
+            .strings
+            .get(sp.name as usize)
+            .map(String::as_str)
+            .unwrap_or("?");
+        let mut args = vec![("cat", s(sp.cat.name()))];
+        if let Some(tid) = sp.thread {
+            args.push(("thread", Value::UInt(tid as u128)));
+        }
+        events.push(obj(vec![
+            ("ph", s("X")),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(sp.cpu as u128)),
+            ("ts", us(sp.start.0)),
+            ("dur", us(sp.dur_ns)),
+            ("name", s(name)),
+            ("cat", s(sp.cat.name())),
+            ("args", obj(args)),
+        ]));
+    }
+
+    for m in &report.instants {
+        let name = report
+            .strings
+            .get(m.name as usize)
+            .map(String::as_str)
+            .unwrap_or("?");
+        events.push(obj(vec![
+            ("ph", s("i")),
+            ("pid", Value::UInt(0)),
+            ("tid", Value::UInt(m.cpu as u128)),
+            ("ts", us(m.time.0)),
+            ("name", s(name)),
+            ("cat", s("sched")),
+            ("s", s("t")),
+        ]));
+    }
+
+    for c in &report.counters {
+        events.push(obj(vec![
+            ("ph", s("C")),
+            ("pid", Value::UInt(0)),
+            ("ts", us(c.time.0)),
+            ("name", s(&format!("runq_depth.cpu{}", c.cpu))),
+            ("args", obj(vec![("depth", Value::UInt(c.depth as u128))])),
+        ]));
+    }
+
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", s("ns")),
+    ]);
+    serde::write_json(&doc, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Telemetry, TelemetryConfig};
+    use noiselab_kernel::{SchedRecord, ThreadKind, ThreadState};
+    use noiselab_sim::SimTime;
+
+    #[test]
+    fn exported_json_parses_and_has_cpu_tracks() {
+        let tele = Telemetry::new(TelemetryConfig::default());
+        {
+            let mut obs = tele.observer();
+            obs.sched(&SchedRecord::SwitchIn {
+                cpu: 2,
+                thread: 7,
+                name: "worker-7",
+                kind: ThreadKind::Workload,
+                time: SimTime(1_500),
+                runq_depth: 0,
+            });
+            obs.sched(&SchedRecord::SwitchOut {
+                cpu: 2,
+                thread: 7,
+                time: SimTime(4_500),
+                state: ThreadState::Exited,
+            });
+        }
+        let rep = tele.take_report(SimTime(5_000));
+        let json = chrome_trace(&rep, "test run");
+        let v = serde::parse_json(&json).expect("valid JSON");
+        let evs = v
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("array");
+        // process_name + 3 cpu tracks * 2 metadata + 1 span.
+        assert!(evs.len() >= 8, "{} events", evs.len());
+        let span = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("one X event");
+        assert_eq!(span.get("name").and_then(|n| n.as_str()), Some("worker-7"));
+        match span.get("ts") {
+            Some(Value::Float(ts)) => assert!((ts - 1.5).abs() < 1e-9),
+            other => panic!("ts not a float: {other:?}"),
+        }
+    }
+}

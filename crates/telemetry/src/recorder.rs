@@ -1,0 +1,639 @@
+//! The span recorder: a pure [`KernelObserver`] that turns scheduling
+//! records into virtual-time spans, instants and counter samples, and
+//! feeds the metrics registry.
+//!
+//! Because [`noiselab_kernel::Kernel::attach_observer`] takes a boxed
+//! trait object, the recorder shares its state through an
+//! `Rc<RefCell<..>>` handle (the same pattern as the noise tracer's
+//! `TraceBuffer`), so the harness can snapshot metrics and take the
+//! timeline after the run without downcasting.
+//!
+//! Spans are keyed by logical CPU (one timeline track per CPU) and
+//! carry the occupying thread where applicable. Span and instant names
+//! are interned into a string table so the recording path allocates
+//! only the first time a name is seen.
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use noiselab_kernel::{EventRecord, KernelObserver, SchedRecord, ThreadKind, ThreadState};
+use noiselab_sim::SimTime;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Default cap on stored spans/instants/samples per collection. Far
+/// above what paper-scale runs emit; hitting it increments a drop
+/// counter instead of growing without bound (mirroring the tracer's
+/// bounded ring buffer).
+pub const DEFAULT_MAX_EVENTS: usize = 1 << 20;
+
+/// Telemetry configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Cap on stored spans, instants and counter samples (each).
+    pub max_events: usize,
+    /// Record the timeline (spans/instants/counter samples). Metrics
+    /// are always on; campaigns disable the timeline to keep memory
+    /// flat while still aggregating metrics.
+    pub timeline: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            max_events: DEFAULT_MAX_EVENTS,
+            timeline: true,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Metrics only — the campaign-aggregation mode.
+    pub fn metrics_only() -> Self {
+        TelemetryConfig {
+            max_events: DEFAULT_MAX_EVENTS,
+            timeline: false,
+        }
+    }
+}
+
+/// Span category; doubles as the Chrome trace-event `cat` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanCat {
+    /// A workload thread on-CPU.
+    Run,
+    /// A noise/injector thread on-CPU.
+    Noise,
+    /// Hardware interrupt service.
+    Irq,
+    /// Softirq service.
+    Softirq,
+}
+
+impl SpanCat {
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanCat::Run => "run",
+            SpanCat::Noise => "noise",
+            SpanCat::Irq => "irq",
+            SpanCat::Softirq => "softirq",
+        }
+    }
+
+    pub fn tag(self) -> u8 {
+        match self {
+            SpanCat::Run => 0,
+            SpanCat::Noise => 1,
+            SpanCat::Irq => 2,
+            SpanCat::Softirq => 3,
+        }
+    }
+
+    pub fn from_tag(t: u8) -> Option<SpanCat> {
+        match t {
+            0 => Some(SpanCat::Run),
+            1 => Some(SpanCat::Noise),
+            2 => Some(SpanCat::Irq),
+            3 => Some(SpanCat::Softirq),
+            _ => None,
+        }
+    }
+}
+
+/// A closed virtual-time span on one CPU track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    pub cpu: u32,
+    /// Occupying thread for run/noise spans.
+    pub thread: Option<u32>,
+    /// Index into the report's string table.
+    pub name: u32,
+    pub cat: SpanCat,
+    pub start: SimTime,
+    pub dur_ns: u64,
+}
+
+/// A point event (migration, preemption, policy switch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantMark {
+    pub cpu: u32,
+    pub name: u32,
+    pub time: SimTime,
+}
+
+/// One runqueue-depth sample on a CPU's counter track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    pub cpu: u32,
+    pub time: SimTime,
+    pub depth: u32,
+}
+
+/// Everything a finished recorder hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    pub spans: Vec<Span>,
+    pub instants: Vec<InstantMark>,
+    pub counters: Vec<CounterSample>,
+    /// Interned span/instant names; `Span::name` indexes this.
+    pub strings: Vec<String>,
+    /// Highest CPU index seen, plus one.
+    pub n_cpus: u32,
+    /// End of the observed window (run exit time).
+    pub end: SimTime,
+    /// Events not stored because a collection hit its cap.
+    pub dropped: u64,
+    pub metrics: MetricsSnapshot,
+}
+
+struct OpenSpan {
+    thread: u32,
+    name: u32,
+    cat: SpanCat,
+    start: SimTime,
+}
+
+struct Inner {
+    cfg: TelemetryConfig,
+    spans: Vec<Span>,
+    instants: Vec<InstantMark>,
+    counters: Vec<CounterSample>,
+    strings: Vec<String>,
+    intern: BTreeMap<String, u32>,
+    /// Per-CPU currently-open run/noise span.
+    open: Vec<Option<OpenSpan>>,
+    /// Per-CPU on-CPU nanoseconds (run + noise spans), kept outside the
+    /// span store so utilization survives metrics-only mode and caps.
+    busy: Vec<u64>,
+    /// Enqueue time per thread, consumed at switch-in for the
+    /// scheduling-latency histogram.
+    enqueued_at: BTreeMap<u32, SimTime>,
+    n_cpus: u32,
+    dropped: u64,
+    metrics: MetricsRegistry,
+}
+
+impl Inner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.intern.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u32;
+        self.strings.push(s.to_string());
+        self.intern.insert(s.to_string(), i);
+        i
+    }
+
+    fn saw_cpu(&mut self, cpu: u32) {
+        self.n_cpus = self.n_cpus.max(cpu + 1);
+        if self.open.len() <= cpu as usize {
+            self.open.resize_with(cpu as usize + 1, || None);
+            self.busy.resize(cpu as usize + 1, 0);
+        }
+    }
+
+    fn push_span(&mut self, s: Span) {
+        if !self.cfg.timeline {
+            return;
+        }
+        if self.spans.len() >= self.cfg.max_events {
+            self.dropped += 1;
+        } else {
+            self.spans.push(s);
+        }
+    }
+
+    fn push_instant(&mut self, cpu: u32, name: &'static str, time: SimTime) {
+        if !self.cfg.timeline {
+            return;
+        }
+        if self.instants.len() >= self.cfg.max_events {
+            self.dropped += 1;
+        } else {
+            let name = self.intern(name);
+            self.instants.push(InstantMark { cpu, name, time });
+        }
+    }
+
+    fn close_open(&mut self, cpu: u32, end: SimTime) {
+        let Some(open) = self.open[cpu as usize].take() else {
+            return;
+        };
+        let dur_ns = end.since(open.start).nanos();
+        let hist = match open.cat {
+            SpanCat::Run => "run.span_ns",
+            _ => "noise.span_ns",
+        };
+        self.metrics.hist_record(hist, dur_ns);
+        self.busy[cpu as usize] += dur_ns;
+        self.push_span(Span {
+            cpu,
+            thread: Some(open.thread),
+            name: open.name,
+            cat: open.cat,
+            start: open.start,
+            dur_ns,
+        });
+    }
+
+    fn sched(&mut self, rec: &SchedRecord<'_>) {
+        match *rec {
+            SchedRecord::SwitchIn {
+                cpu,
+                thread,
+                name,
+                kind,
+                time,
+                runq_depth,
+            } => {
+                self.saw_cpu(cpu);
+                // Defensive: a switch-in over a still-open span closes it.
+                self.close_open(cpu, time);
+                self.metrics.counter_add("sched.context_switches", 1);
+                self.metrics
+                    .hist_record("sched.runq_depth", runq_depth as u64);
+                if let Some(enq) = self.enqueued_at.remove(&thread) {
+                    self.metrics
+                        .hist_record("sched.latency_ns", time.since(enq).nanos());
+                }
+                let cat = if kind == ThreadKind::Workload {
+                    SpanCat::Run
+                } else {
+                    SpanCat::Noise
+                };
+                let name = self.intern(name);
+                self.open[cpu as usize] = Some(OpenSpan {
+                    thread,
+                    name,
+                    cat,
+                    start: time,
+                });
+            }
+            SchedRecord::SwitchOut {
+                cpu, time, state, ..
+            } => {
+                self.saw_cpu(cpu);
+                self.close_open(cpu, time);
+                if state == ThreadState::Blocked {
+                    self.metrics.counter_add("sched.blocks", 1);
+                }
+            }
+            SchedRecord::Preempt { cpu, time, .. } => {
+                self.saw_cpu(cpu);
+                self.metrics.counter_add("sched.preemptions", 1);
+                self.push_instant(cpu, "preempt", time);
+            }
+            SchedRecord::Enqueue {
+                cpu,
+                thread,
+                time,
+                depth,
+            } => {
+                self.saw_cpu(cpu);
+                self.metrics.counter_add("sched.enqueues", 1);
+                self.enqueued_at.insert(thread, time);
+                if self.cfg.timeline {
+                    if self.counters.len() >= self.cfg.max_events {
+                        self.dropped += 1;
+                    } else {
+                        self.counters.push(CounterSample { cpu, time, depth });
+                    }
+                }
+            }
+            SchedRecord::Migrate {
+                to_cpu,
+                time,
+                cross_numa,
+                ..
+            } => {
+                self.saw_cpu(to_cpu);
+                self.metrics.counter_add("sched.migrations", 1);
+                if cross_numa {
+                    self.metrics.counter_add("sched.numa_migrations", 1);
+                    self.push_instant(to_cpu, "migrate-numa", time);
+                } else {
+                    self.push_instant(to_cpu, "migrate", time);
+                }
+            }
+            SchedRecord::IrqSpan {
+                cpu,
+                time,
+                duration_ns,
+                source,
+                softirq,
+            } => {
+                self.saw_cpu(cpu);
+                let counter = if softirq {
+                    "irq.softirq"
+                } else if source == "local_timer:236" {
+                    "irq.timer"
+                } else {
+                    "irq.device"
+                };
+                self.metrics.counter_add(counter, 1);
+                self.metrics.hist_record("irq.service_ns", duration_ns);
+                let cat = if softirq {
+                    SpanCat::Softirq
+                } else {
+                    SpanCat::Irq
+                };
+                let name = self.intern(source);
+                self.push_span(Span {
+                    cpu,
+                    thread: None,
+                    name,
+                    cat,
+                    start: time,
+                    dur_ns: duration_ns,
+                });
+            }
+            SchedRecord::PolicySwitch { time, .. } => {
+                self.metrics.counter_add("sched.policy_switches", 1);
+                self.push_instant(0, "policy-switch", time);
+            }
+        }
+    }
+
+    fn finish(&mut self, end: SimTime) -> TelemetryReport {
+        for cpu in 0..self.open.len() as u32 {
+            self.close_open(cpu, end);
+        }
+        // Per-CPU utilization: busy (run + noise span) time over the
+        // observed window.
+        let window = end.0.max(1) as f64;
+        if self.n_cpus > 0 {
+            let utils: Vec<f64> = self.busy.iter().map(|&b| b as f64 / window).collect();
+            let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+            let max = utils.iter().cloned().fold(0.0, f64::max);
+            self.metrics.gauge_set("cpu.util.mean", mean);
+            self.metrics.gauge_set("cpu.util.max", max);
+        }
+        if self.dropped > 0 {
+            self.metrics.counter_add("telemetry.dropped", self.dropped);
+        }
+        TelemetryReport {
+            spans: std::mem::take(&mut self.spans),
+            instants: std::mem::take(&mut self.instants),
+            counters: std::mem::take(&mut self.counters),
+            strings: self.strings.clone(),
+            n_cpus: self.n_cpus,
+            end,
+            dropped: self.dropped,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+/// Shared telemetry pipeline handle for one run. Hand
+/// [`Telemetry::observer`] to the kernel, run, then call
+/// [`Telemetry::take_report`].
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                spans: Vec::new(),
+                instants: Vec::new(),
+                counters: Vec::new(),
+                strings: Vec::new(),
+                intern: BTreeMap::new(),
+                open: Vec::new(),
+                enqueued_at: BTreeMap::new(),
+                busy: Vec::new(),
+                n_cpus: 0,
+                dropped: 0,
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// The boxed observer to attach to a kernel. Cloning the handle
+    /// first keeps this end readable after the kernel takes the box.
+    pub fn observer(&self) -> Box<dyn KernelObserver> {
+        Box::new(Recorder {
+            inner: Rc::clone(&self.inner),
+        })
+    }
+
+    /// Add to a counter from outside the kernel (e.g. the harness
+    /// surfacing tracer ring-buffer drops).
+    pub fn counter_add(&self, name: &'static str, n: u64) {
+        self.inner.borrow_mut().metrics.counter_add(name, n);
+    }
+
+    pub fn gauge_set(&self, name: &'static str, v: f64) {
+        self.inner.borrow_mut().metrics.gauge_set(name, v);
+    }
+
+    /// Close open spans at `end`, compute utilization gauges, and take
+    /// the report. The handle is spent afterwards (collections empty).
+    pub fn take_report(&self, end: SimTime) -> TelemetryReport {
+        self.inner.borrow_mut().finish(end)
+    }
+}
+
+/// The boxed observer end of a [`Telemetry`] handle.
+struct Recorder {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl KernelObserver for Recorder {
+    fn event(&mut self, _rec: &EventRecord<'_>) {
+        self.inner
+            .borrow_mut()
+            .metrics
+            .counter_add("kernel.events", 1);
+    }
+
+    fn sched(&mut self, rec: &SchedRecord<'_>) {
+        self.inner.borrow_mut().sched(rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(tele: &Telemetry, recs: &[SchedRecord<'_>]) {
+        let mut obs = tele.observer();
+        for r in recs {
+            obs.sched(r);
+        }
+    }
+
+    #[test]
+    fn switch_pairs_become_spans_with_latency() {
+        let tele = Telemetry::new(TelemetryConfig::default());
+        feed(
+            &tele,
+            &[
+                SchedRecord::Enqueue {
+                    cpu: 0,
+                    thread: 3,
+                    time: SimTime(100),
+                    depth: 1,
+                },
+                SchedRecord::SwitchIn {
+                    cpu: 0,
+                    thread: 3,
+                    name: "worker-3",
+                    kind: ThreadKind::Workload,
+                    time: SimTime(400),
+                    runq_depth: 0,
+                },
+                SchedRecord::SwitchOut {
+                    cpu: 0,
+                    thread: 3,
+                    time: SimTime(1400),
+                    state: ThreadState::Sleeping,
+                },
+            ],
+        );
+        let rep = tele.take_report(SimTime(2000));
+        assert_eq!(rep.spans.len(), 1);
+        let s = &rep.spans[0];
+        assert_eq!(s.cpu, 0);
+        assert_eq!(s.thread, Some(3));
+        assert_eq!(s.cat, SpanCat::Run);
+        assert_eq!(s.dur_ns, 1000);
+        assert_eq!(rep.strings[s.name as usize], "worker-3");
+        let lat = rep.metrics.hist("sched.latency_ns").expect("latency hist");
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.min, 300);
+        assert_eq!(rep.metrics.counter("sched.context_switches"), 1);
+        assert_eq!(rep.counters.len(), 1);
+        assert_eq!(rep.n_cpus, 1);
+    }
+
+    #[test]
+    fn noise_and_irq_spans_are_classified() {
+        let tele = Telemetry::new(TelemetryConfig::default());
+        feed(
+            &tele,
+            &[
+                SchedRecord::SwitchIn {
+                    cpu: 1,
+                    thread: 9,
+                    name: "kworker/1:1",
+                    kind: ThreadKind::Noise,
+                    time: SimTime(0),
+                    runq_depth: 2,
+                },
+                SchedRecord::IrqSpan {
+                    cpu: 1,
+                    time: SimTime(500),
+                    duration_ns: 2400,
+                    source: "local_timer:236",
+                    softirq: false,
+                },
+                SchedRecord::IrqSpan {
+                    cpu: 1,
+                    time: SimTime(2900),
+                    duration_ns: 800,
+                    source: "RCU:9",
+                    softirq: true,
+                },
+                SchedRecord::SwitchOut {
+                    cpu: 1,
+                    thread: 9,
+                    time: SimTime(5000),
+                    state: ThreadState::Ready,
+                },
+            ],
+        );
+        let rep = tele.take_report(SimTime(10_000));
+        assert_eq!(rep.spans.len(), 3);
+        assert_eq!(rep.metrics.counter("irq.timer"), 1);
+        assert_eq!(rep.metrics.counter("irq.softirq"), 1);
+        let cats: Vec<SpanCat> = rep.spans.iter().map(|s| s.cat).collect();
+        assert!(cats.contains(&SpanCat::Noise));
+        assert!(cats.contains(&SpanCat::Irq));
+        assert!(cats.contains(&SpanCat::Softirq));
+        assert_eq!(rep.n_cpus, 2);
+    }
+
+    #[test]
+    fn open_span_is_closed_at_report_end() {
+        let tele = Telemetry::new(TelemetryConfig::default());
+        feed(
+            &tele,
+            &[SchedRecord::SwitchIn {
+                cpu: 0,
+                thread: 0,
+                name: "main",
+                kind: ThreadKind::Workload,
+                time: SimTime(100),
+                runq_depth: 0,
+            }],
+        );
+        let rep = tele.take_report(SimTime(600));
+        assert_eq!(rep.spans.len(), 1);
+        assert_eq!(rep.spans[0].dur_ns, 500);
+        let util = rep.metrics.gauge("cpu.util.mean").expect("util gauge");
+        assert!(util > 0.8, "util={util}");
+    }
+
+    #[test]
+    fn event_cap_counts_drops_instead_of_growing() {
+        let tele = Telemetry::new(TelemetryConfig {
+            max_events: 2,
+            timeline: true,
+        });
+        for i in 0..5u64 {
+            feed(
+                &tele,
+                &[SchedRecord::IrqSpan {
+                    cpu: 0,
+                    time: SimTime(i * 100),
+                    duration_ns: 10,
+                    source: "nvme0q7:130",
+                    softirq: false,
+                }],
+            );
+        }
+        let rep = tele.take_report(SimTime(1000));
+        assert_eq!(rep.spans.len(), 2);
+        assert_eq!(rep.dropped, 3);
+        assert_eq!(rep.metrics.counter("telemetry.dropped"), 3);
+        // Metrics keep counting past the cap.
+        assert_eq!(rep.metrics.counter("irq.device"), 5);
+    }
+
+    #[test]
+    fn metrics_only_mode_stores_no_timeline() {
+        let tele = Telemetry::new(TelemetryConfig::metrics_only());
+        feed(
+            &tele,
+            &[
+                SchedRecord::SwitchIn {
+                    cpu: 0,
+                    thread: 1,
+                    name: "w",
+                    kind: ThreadKind::Workload,
+                    time: SimTime(0),
+                    runq_depth: 0,
+                },
+                SchedRecord::SwitchOut {
+                    cpu: 0,
+                    thread: 1,
+                    time: SimTime(100),
+                    state: ThreadState::Exited,
+                },
+            ],
+        );
+        let rep = tele.take_report(SimTime(100));
+        assert!(rep.spans.is_empty());
+        assert_eq!(rep.metrics.counter("sched.context_switches"), 1);
+        assert_eq!(rep.metrics.hist("run.span_ns").map(|h| h.count), Some(1));
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared fixture for the golden exporter tests: a small, fully
+//! deterministic telemetry report exercising every record kind (run
+//! and noise spans, hard and soft IRQ spans, preemption / migration /
+//! policy-switch instants, runqueue counter samples) across two CPUs.
+//!
+//! Both golden tests regenerate their fixture from this report when
+//! run with `UPDATE_GOLDEN=1`, so the fixture and the builder can
+//! never drift apart silently.
+
+use noiselab_kernel::{SchedRecord, ThreadKind, ThreadState};
+use noiselab_sim::SimTime;
+use noiselab_telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
+use std::path::PathBuf;
+
+pub fn fixture_report() -> TelemetryReport {
+    let tele = Telemetry::new(TelemetryConfig::default());
+    {
+        let mut obs = tele.observer();
+        for rec in [
+            SchedRecord::Enqueue {
+                cpu: 0,
+                thread: 1,
+                time: SimTime(100),
+                depth: 1,
+            },
+            SchedRecord::SwitchIn {
+                cpu: 0,
+                thread: 1,
+                name: "omp-worker-1",
+                kind: ThreadKind::Workload,
+                time: SimTime(250),
+                runq_depth: 1,
+            },
+            SchedRecord::IrqSpan {
+                cpu: 0,
+                time: SimTime(1_000),
+                duration_ns: 300,
+                source: "local_timer:236",
+                softirq: false,
+            },
+            SchedRecord::Preempt {
+                cpu: 0,
+                thread: 1,
+                time: SimTime(2_000),
+            },
+            SchedRecord::SwitchOut {
+                cpu: 0,
+                thread: 1,
+                time: SimTime(2_000),
+                state: ThreadState::Ready,
+            },
+            SchedRecord::SwitchIn {
+                cpu: 1,
+                thread: 5,
+                name: "osnoise/5",
+                kind: ThreadKind::Noise,
+                time: SimTime(500),
+                runq_depth: 0,
+            },
+            SchedRecord::IrqSpan {
+                cpu: 1,
+                time: SimTime(900),
+                duration_ns: 150,
+                source: "RCU:9",
+                softirq: true,
+            },
+            SchedRecord::Migrate {
+                thread: 1,
+                to_cpu: 1,
+                time: SimTime(2_100),
+                cross_numa: true,
+            },
+            SchedRecord::SwitchOut {
+                cpu: 1,
+                thread: 5,
+                time: SimTime(2_500),
+                state: ThreadState::Blocked,
+            },
+            SchedRecord::PolicySwitch {
+                thread: 5,
+                time: SimTime(2_600),
+                rt: true,
+            },
+        ] {
+            obs.sched(&rec);
+        }
+    }
+    tele.take_report(SimTime(3_000))
+}
+
+/// Path of a fixture file under this crate's `tests/fixtures/`.
+pub fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// True when the caller asked to rewrite fixtures
+/// (`UPDATE_GOLDEN=1 cargo test -p noiselab-telemetry`).
+pub fn update_golden() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some()
+}

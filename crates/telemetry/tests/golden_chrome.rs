@@ -1,0 +1,120 @@
+//! Golden test for the Chrome trace-event exporter: the JSON emitted
+//! for the shared fixture report is pinned byte-for-byte in
+//! `tests/fixtures/golden_trace.json`, and every event is validated
+//! against the trace-event schema Perfetto expects. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p noiselab-telemetry` after a
+//! deliberate format change.
+
+mod common;
+
+use noiselab_telemetry::chrome_trace;
+use serde::Value;
+
+const FIXTURE: &str = "golden_trace.json";
+
+fn golden() -> String {
+    let json = chrome_trace(&common::fixture_report(), "golden fixture");
+    let path = common::fixture_path(FIXTURE);
+    if common::update_golden() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &json).expect("write fixture");
+    }
+    json
+}
+
+#[test]
+fn chrome_export_matches_golden_fixture() {
+    let json = golden();
+    let want = std::fs::read_to_string(common::fixture_path(FIXTURE))
+        .expect("fixture missing — regenerate with UPDATE_GOLDEN=1 cargo test");
+    assert_eq!(
+        json, want,
+        "Chrome trace output drifted from the golden fixture; if the \
+         change is deliberate, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_export_satisfies_trace_event_schema() {
+    let json = golden();
+    let doc = serde::parse_json(&json).expect("exporter emits valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(|v| v.as_str()),
+        Some("ns")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut phases = std::collections::BTreeMap::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .expect("every event has a ph");
+        *phases.entry(ph.to_string()).or_insert(0u32) += 1;
+        // Required by the trace-event format for every phase we emit.
+        assert!(ev.get("pid").is_some(), "missing pid: {ev:?}");
+        assert!(ev.get("name").is_some(), "missing name: {ev:?}");
+        match ph {
+            "M" => assert!(ev.get("args").is_some(), "metadata needs args: {ev:?}"),
+            "X" => {
+                assert!(ev.get("ts").is_some() && ev.get("dur").is_some());
+                assert!(ev.get("tid").is_some());
+                let cat = ev.get("cat").and_then(|v| v.as_str()).expect("span cat");
+                assert!(["run", "noise", "irq", "softirq"].contains(&cat));
+            }
+            "i" => {
+                assert!(ev.get("ts").is_some());
+                assert_eq!(ev.get("s").and_then(|v| v.as_str()), Some("t"));
+            }
+            "C" => assert!(ev.get("ts").is_some() && ev.get("args").is_some()),
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+
+    // The fixture report spans 2 CPUs: a named, sorted thread track per
+    // CPU plus the process-name track.
+    let track_names: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|v| v.as_str()) == Some("M")
+                && e.get("name").and_then(|v| v.as_str()) == Some("thread_name")
+        })
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert_eq!(track_names, ["cpu0", "cpu1"]);
+    assert_eq!(phases.get("X"), Some(&4), "2 run/noise + 2 irq spans");
+    assert_eq!(phases.get("i"), Some(&3), "preempt + migrate + policy");
+    assert_eq!(phases.get("C"), Some(&1), "one runq-depth sample");
+
+    // Instant marks carry the interned names the recorder assigns.
+    let instant_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+        .filter_map(|e| e.get("name")?.as_str())
+        .collect();
+    assert_eq!(instant_names, ["preempt", "migrate-numa", "policy-switch"]);
+
+    // Span tracks: fixture puts the workload span on cpu0 (tid 0) and
+    // the noise span on cpu1 (tid 1).
+    let span_on = |name: &str| {
+        events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                    && e.get("name").and_then(|v| v.as_str()) == Some(name)
+            })
+            .unwrap_or_else(|| panic!("span {name} missing"))
+    };
+    match span_on("omp-worker-1").get("tid") {
+        Some(Value::UInt(0)) => {}
+        other => panic!("workload span on wrong track: {other:?}"),
+    }
+    match span_on("osnoise/5").get("tid") {
+        Some(Value::UInt(1)) => {}
+        other => panic!("noise span on wrong track: {other:?}"),
+    }
+}

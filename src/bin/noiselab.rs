@@ -4,6 +4,8 @@
 //! ```text
 //! noiselab baseline --platform intel --workload nbody [--model omp] [--mitigation Rm] [--runs 40]
 //! noiselab trace    --platform intel --workload nbody --out traces.json [--boost 10]
+//! noiselab trace    --run <seed> --out trace.json [--binary trace.nltb]   # Perfetto timeline
+//! noiselab metrics  [--runs 5] [--tracing true] [--json] [--profile] [--overhead [--reps 3]]
 //! noiselab generate --traces traces.json --out config.json [--merge improved|naive]
 //! noiselab inject   --platform intel --workload nbody --config config.json [--runs 20]
 //! noiselab analyze  --traces traces.json [--top 10]
@@ -15,6 +17,14 @@
 //!                   [--platform intel] [--workload nbody] [--model omp] [--mitigation Rm]
 //!                   [--seed 1] [--perturb N] [--cadence 64]
 //! ```
+//!
+//! `trace --run <seed>` runs one seed with the telemetry recorder and
+//! writes a Chrome trace-event JSON timeline (one track per logical
+//! CPU) loadable in ui.perfetto.dev or chrome://tracing; `--binary`
+//! additionally writes the compact NLTB timeline. `metrics` aggregates
+//! the metrics registry over a few runs; `--profile` adds the host-time
+//! phase profile and `--overhead` the Table-1-style observation
+//! overhead report.
 //!
 //! `campaign` sweeps every model x mitigation cell, checkpointing after
 //! each completed cell; a killed campaign resumes bit-identical with
@@ -167,7 +177,64 @@ fn cmd_baseline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `trace --run <seed>`: run one seed with the telemetry recorder and
+/// export a Perfetto-loadable Chrome trace (and optionally the compact
+/// NLTB binary timeline).
+fn cmd_trace_timeline(args: &Args, run_seed: u64) -> Result<(), String> {
+    use noiselab::core::{run_once_instrumented, Observe};
+    use noiselab::kernel::KernelConfig;
+    use noiselab::telemetry::{chrome_trace, encode, TelemetryConfig};
+
+    let platform = args.platform()?;
+    let workload = args.workload(&platform)?;
+    let cfg = args.exec_config()?;
+    let out = args.required("out")?;
+    let run = run_once_instrumented(
+        &platform,
+        workload.as_ref(),
+        &cfg,
+        &KernelConfig::default(),
+        run_seed,
+        false,
+        None,
+        None,
+        Observe::telemetry(TelemetryConfig::default()),
+    )
+    .map_err(|e| format!("run failed: {e}"))?;
+    let report = run.telemetry.expect("telemetry was attached");
+    let label = format!(
+        "{} {} {} seed {}",
+        platform.label(),
+        workload.name(),
+        cfg.label(),
+        run_seed
+    );
+    std::fs::write(&out, chrome_trace(&report, &label)).map_err(|e| e.to_string())?;
+    if let Some(bin) = args.opts.get("binary") {
+        std::fs::write(bin, encode(&report)).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "{label}: exec {:.4}s, {} spans, {} instants on {} cpus ({} dropped) -> {} \
+         (load in ui.perfetto.dev)",
+        run.output.exec.as_secs_f64(),
+        report.spans.len(),
+        report.instants.len(),
+        report.n_cpus,
+        report.dropped,
+        out
+    );
+    Ok(())
+}
+
 fn cmd_trace(args: &Args) -> Result<(), String> {
+    // `--run <seed>` switches to single-run timeline export; without it
+    // this is the legacy TraceSet pipeline stage `generate` consumes.
+    if let Some(seed) = args.opts.get("run") {
+        let seed = seed
+            .parse()
+            .map_err(|_| format!("--run wants a seed (got {seed:?})"))?;
+        return cmd_trace_timeline(args, seed);
+    }
     let mut platform = args.platform()?;
     if let Ok(boost) = args.get("boost", "1").parse::<f64>() {
         platform.noise.anomaly_prob = (platform.noise.anomaly_prob * boost).min(0.5);
@@ -349,6 +416,106 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `metrics`: aggregate the telemetry metrics registry over a few runs
+/// (counters summed, histograms merged, gauges averaged), optionally
+/// with the host-time phase profile or the full observation-overhead
+/// report.
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    use noiselab::core::RetryPolicy;
+    use noiselab::core::{measure_overhead, run_many_instrumented, run_once_instrumented, Observe};
+    use noiselab::kernel::KernelConfig;
+    use noiselab::telemetry::{MetricsSnapshot, PhaseProfiler, TelemetryConfig};
+
+    let platform = args.platform()?;
+    let workload = args.workload(&platform)?;
+    let cfg = args.exec_config()?;
+    let json = args.get("json", "false") == "true";
+
+    if args.get("overhead", "false") == "true" {
+        let reps: u32 = args.get("reps", "3").parse().unwrap_or(3);
+        let report = measure_overhead(&platform, workload.as_ref(), &cfg, args.seed(), reps)
+            .map_err(|e| format!("run failed: {e}"))?;
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            );
+        } else {
+            print!("{}", report.render());
+        }
+        return Ok(());
+    }
+
+    let runs = args.runs(5);
+    let tracing = args.get("tracing", "false") == "true";
+    let ledger = run_many_instrumented(
+        &platform,
+        workload.as_ref(),
+        &cfg,
+        runs,
+        args.seed(),
+        tracing,
+        None,
+        None,
+        RetryPolicy::none(),
+        Some(TelemetryConfig::metrics_only()),
+    );
+    let mut merged = MetricsSnapshot::default();
+    for out in ledger.outputs() {
+        if let Some(m) = &out.metrics {
+            merged.merge(m);
+        }
+    }
+    if merged.runs == 0 {
+        return Err(format!("all {runs} runs failed: {:?}", ledger.failures()));
+    }
+
+    let profile = if args.get("profile", "false") == "true" {
+        let profiler = PhaseProfiler::new();
+        run_once_instrumented(
+            &platform,
+            workload.as_ref(),
+            &cfg,
+            &KernelConfig::default(),
+            args.seed(),
+            tracing,
+            None,
+            None,
+            Observe {
+                telemetry: Some(TelemetryConfig::metrics_only()),
+                profiler: Some(profiler.clone()),
+                ..Observe::default()
+            },
+        )
+        .map_err(|e| format!("profiled run failed: {e}"))?;
+        Some(profiler.report())
+    } else {
+        None
+    };
+
+    if json {
+        use serde::Serialize as _;
+        let mut doc = vec![("metrics".to_string(), merged.to_value())];
+        if let Some(p) = &profile {
+            doc.push(("profile".to_string(), p.to_value()));
+        }
+        println!("{}", serde::write_json(&serde::Value::Object(doc), true));
+    } else {
+        println!(
+            "{} {} {}: {} run(s)",
+            platform.label(),
+            workload.name(),
+            cfg.label(),
+            merged.runs
+        );
+        print!("{}", merged.render());
+        if let Some(p) = &profile {
+            print!("{}", p.render());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_audit(args: &Args) -> Result<(), String> {
     use noiselab::audit::audit_workspace;
     use noiselab::core::divergence::{dual_run_harness, DualRunOutcome, DEFAULT_CADENCE};
@@ -457,7 +624,8 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "noiselab <baseline|trace|generate|inject|analyze|report|campaign|audit> [--key value ...]\n\
+        "noiselab <baseline|trace|generate|inject|analyze|report|campaign|metrics|audit> \
+         [--key value ...]\n\
          see the module docs (src/bin/noiselab.rs) for the full flag list"
     );
 }
@@ -475,6 +643,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "report" => cmd_report(&args),
         "campaign" => cmd_campaign(&args),
+        "metrics" => cmd_metrics(&args),
         "audit" => cmd_audit(&args),
         _ => {
             usage();

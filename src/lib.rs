@@ -13,4 +13,5 @@ pub use noiselab_noise as noise;
 pub use noiselab_runtime as runtime;
 pub use noiselab_sim as sim;
 pub use noiselab_stats as stats;
+pub use noiselab_telemetry as telemetry;
 pub use noiselab_workloads as workloads;
