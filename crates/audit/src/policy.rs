@@ -117,6 +117,22 @@ pub const POLICIES: &[CratePolicy] = &[
         host_thread_approved: &[],
     },
     CratePolicy {
+        name: "noiselab-conform",
+        root: "crates/conform",
+        dirs: &["src"],
+        // The conformance suite replays the kernel's own record stream;
+        // a nondeterministic oracle would make shrunk repros worthless.
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
+        name: "noiselab-testutil",
+        root: "crates/testutil",
+        dirs: &["src"],
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
         name: "noiselab-bench",
         root: "crates/bench",
         dirs: &["src", "benches"],

@@ -1,0 +1,346 @@
+//! The coverage-guided conformance fuzzer.
+//!
+//! Deterministic campaign loop: generate or mutate a scenario, run it
+//! through the production kernel, check it (differential oracle for
+//! oracle-eligible scenarios, metamorphic invariants for everything),
+//! and keep scenarios whose decision-point coverage signature sets a
+//! bit no previous scenario set. Failures are shrunk to minimal
+//! scenarios and reported with replayable `// conform:repro` lines.
+//!
+//! The whole campaign is a pure function of [`FuzzConfig`]: same seed,
+//! same iteration count, same result — failures reproduce exactly on
+//! any machine.
+
+use crate::coverage::{CoverageMap, Signature};
+use crate::invariants::{check_invariants, InvariantStats};
+use crate::oracle::{check_oracle, OracleStats, Violation};
+use crate::record::Mutation;
+use crate::runner::{run, RunOutcome};
+use crate::scenario::Scenario;
+use crate::shrink::shrink;
+use noiselab_sim::Rng;
+use std::path::{Path, PathBuf};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    pub iterations: u64,
+    pub seed: u64,
+    /// Directory for the minimized on-disk corpus (loaded before the
+    /// campaign, rewritten after). `None` keeps the corpus in memory.
+    pub corpus_dir: Option<PathBuf>,
+    /// Apply an intentional scheduler bug to every recorded stream
+    /// before checking (mutation-testing mode: the campaign *should*
+    /// fail).
+    pub mutation: Option<Mutation>,
+    /// Maximum checker re-runs the shrinker may spend per failure.
+    pub shrink_budget: u32,
+    /// Stop after this many distinct shrunk failures.
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            iterations: 500,
+            seed: 0xC0DE,
+            corpus_dir: None,
+            mutation: None,
+            shrink_budget: 300,
+            max_failures: 5,
+        }
+    }
+}
+
+/// A shrunk failing scenario plus the first check it violates.
+#[derive(Debug)]
+pub struct Failure {
+    pub scenario: Scenario,
+    pub violation: Violation,
+    pub mutation: Option<Mutation>,
+}
+
+impl Failure {
+    /// The replayable one-liner for bug reports and regression tests.
+    pub fn repro(&self) -> String {
+        self.scenario.repro_line()
+    }
+}
+
+/// Campaign results.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    pub iterations: u64,
+    /// Scenarios replayed through the differential oracle.
+    pub oracle_runs: u64,
+    pub oracle: OracleStats,
+    pub invariants: InvariantStats,
+    pub coverage_bits: u32,
+    pub corpus_len: usize,
+    pub failures: Vec<Failure>,
+    /// Non-fatal campaign notes (corpus I/O problems and the like).
+    pub notes: Vec<String>,
+}
+
+impl FuzzReport {
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Check one already-executed outcome against the applicable checkers.
+fn check_out(
+    sc: &Scenario,
+    mut out: RunOutcome,
+    mutation: Option<Mutation>,
+    oracle_acc: Option<&mut (u64, OracleStats)>,
+    inv_acc: Option<&mut InvariantStats>,
+) -> Option<Violation> {
+    if let Some(m) = mutation {
+        let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+        let n_cpus = out.topo.n_cpus() as u32;
+        if !m.apply(&mut out.records, &masks, n_cpus) {
+            return None; // nothing to mutate: not a meaningful mutant
+        }
+    }
+    if sc.is_oracle_eligible() {
+        match check_oracle(&out) {
+            Ok(stats) => {
+                if let Some((runs, acc)) = oracle_acc {
+                    *runs += 1;
+                    acc.switch_ins += stats.switch_ins;
+                    acc.placements += stats.placements;
+                    acc.wake_checks += stats.wake_checks;
+                    acc.tick_checks += stats.tick_checks;
+                    acc.steals += stats.steals;
+                }
+            }
+            Err(v) => return Some(v),
+        }
+    }
+    let inv = check_invariants(&out, sc.fairness_probe);
+    if let Some(acc) = inv_acc {
+        acc.stints += inv.stats.stints;
+        acc.irq_spans += inv.stats.irq_spans;
+        acc.stable_instants += inv.stats.stable_instants;
+        acc.affinity_checks += inv.stats.affinity_checks;
+        acc.fairness_samples += inv.stats.fairness_samples;
+    }
+    inv.violations.into_iter().next()
+}
+
+/// Run and check one scenario. Returns the first violation, if any.
+///
+/// Oracle-eligible scenarios go through both the differential oracle
+/// and the invariants; everything else through the invariants alone.
+/// `mutation` perturbs the recorded stream first; a stream with
+/// nowhere to apply it checks clean.
+pub fn check_scenario(sc: &Scenario, mutation: Option<Mutation>) -> Option<Violation> {
+    check_out(sc, run(sc), mutation, None, None)
+}
+
+/// Run a full campaign.
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    let mut rng = Rng::new(cfg.seed);
+    let mut map = CoverageMap::new();
+    let mut corpus: Vec<Scenario> = Vec::new();
+    let mut oracle_acc = (0u64, OracleStats::default());
+    let mut inv_acc = InvariantStats::default();
+
+    if let Some(dir) = &cfg.corpus_dir {
+        match load_corpus(dir) {
+            Ok(loaded) => {
+                for sc in loaded {
+                    let out = run(&sc);
+                    if map.merge(&Signature::of(&out.records)) > 0 {
+                        corpus.push(sc);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => report.notes.push(format!("corpus load: {e}")),
+        }
+    }
+
+    for i in 0..cfg.iterations {
+        report.iterations = i + 1;
+        let full = rng.chance(0.5);
+        let sc = if corpus.is_empty() || rng.chance(0.5) {
+            Scenario::generate(&mut rng, full)
+        } else {
+            let base = &corpus[rng.index(corpus.len())];
+            base.mutate(&mut rng, full)
+        };
+
+        let out = run(&sc);
+        // Coverage is taken over the pristine stream, before any
+        // mutation-testing perturbation.
+        if map.merge(&Signature::of(&out.records)) > 0 {
+            corpus.push(sc.clone());
+        }
+
+        let violation = check_out(
+            &sc,
+            out,
+            cfg.mutation,
+            Some(&mut oracle_acc),
+            Some(&mut inv_acc),
+        );
+        if let Some(v) = violation {
+            let mutation = cfg.mutation;
+            let mut fails = |c: &Scenario| check_scenario(c, mutation).is_some();
+            let small = shrink(&sc, &mut fails, cfg.shrink_budget);
+            let violation = check_scenario(&small, mutation).unwrap_or(v);
+            if !report.failures.iter().any(|f| f.scenario == small) {
+                report.failures.push(Failure {
+                    scenario: small,
+                    violation,
+                    mutation,
+                });
+            }
+            if report.failures.len() >= cfg.max_failures {
+                break;
+            }
+        }
+    }
+
+    report.oracle_runs = oracle_acc.0;
+    report.oracle = oracle_acc.1;
+    report.invariants = inv_acc;
+    report.coverage_bits = map.count();
+    report.corpus_len = corpus.len();
+    if let Some(dir) = &cfg.corpus_dir {
+        match save_minimized_corpus(dir, &corpus) {
+            Ok(kept) => report.corpus_len = kept,
+            Err(e) => report.notes.push(format!("corpus save: {e}")),
+        }
+    }
+    report
+}
+
+/// Load every `*.json` scenario in a corpus directory (sorted for
+/// determinism). Unparseable files are skipped.
+pub fn load_corpus(dir: &Path) -> std::io::Result<Vec<Scenario>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let text = std::fs::read_to_string(&f)?;
+        if let Ok(sc) = serde_json::from_str::<Scenario>(&text) {
+            out.push(sc);
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrite the corpus directory with a greedily minimized set: replay
+/// entries in order, keep only those that still add coverage.
+pub fn save_minimized_corpus(dir: &Path, corpus: &[Scenario]) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    // Clear previous entries so the directory *is* the minimized set.
+    for e in std::fs::read_dir(dir)?.flatten() {
+        let p = e.path();
+        if p.extension().is_some_and(|x| x == "json") {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+    let mut map = CoverageMap::new();
+    let mut kept = 0usize;
+    for sc in corpus {
+        let out = run(sc);
+        if map.merge(&Signature::of(&out.records)) == 0 {
+            continue;
+        }
+        let name = format!("case-{kept:04}.json");
+        let json = serde_json::to_string(sc).map_err(std::io::Error::other)?;
+        std::fs::write(dir.join(name), json)?;
+        kept += 1;
+    }
+    Ok(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_campaign_finds_no_failures_and_builds_coverage() {
+        let report = fuzz(&FuzzConfig {
+            iterations: 120,
+            seed: 7,
+            ..FuzzConfig::default()
+        });
+        assert!(
+            report.ok(),
+            "unexpected failure: {} ({})",
+            report.failures[0].violation,
+            report.failures[0].repro()
+        );
+        assert!(report.coverage_bits > 30, "{}", report.coverage_bits);
+        assert!(report.corpus_len > 0);
+        assert!(report.oracle_runs > 20);
+        assert!(report.oracle.switch_ins > 200);
+        assert!(report.invariants.stints > 200);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let cfg = FuzzConfig {
+            iterations: 40,
+            seed: 99,
+            ..FuzzConfig::default()
+        };
+        let a = fuzz(&cfg);
+        let b = fuzz(&cfg);
+        assert_eq!(a.coverage_bits, b.coverage_bits);
+        assert_eq!(a.corpus_len, b.corpus_len);
+        assert_eq!(a.oracle.switch_ins, b.oracle.switch_ins);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn mutation_campaign_fails_with_a_shrunk_repro() {
+        let report = fuzz(&FuzzConfig {
+            iterations: 60,
+            seed: 3,
+            mutation: Some(Mutation::GhostRun),
+            max_failures: 1,
+            ..FuzzConfig::default()
+        });
+        assert!(!report.ok(), "seeded bug escaped the campaign");
+        let f = &report.failures[0];
+        assert!(f.repro().contains("conform:repro"));
+        // The shrunk repro must still fail when replayed.
+        let back = Scenario::from_repro_line(&f.repro()).unwrap();
+        assert!(check_scenario(&back, Some(Mutation::GhostRun)).is_some());
+    }
+
+    #[test]
+    fn corpus_round_trips_minimized() {
+        let dir = std::env::temp_dir().join(format!("conform-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = fuzz(&FuzzConfig {
+            iterations: 60,
+            seed: 11,
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        });
+        assert!(report.ok());
+        let saved = load_corpus(&dir).unwrap();
+        assert_eq!(saved.len(), report.corpus_len);
+        assert!(!saved.is_empty());
+        // Reloading must seed coverage rather than duplicate entries.
+        let report2 = fuzz(&FuzzConfig {
+            iterations: 10,
+            seed: 12,
+            corpus_dir: Some(dir.clone()),
+            ..FuzzConfig::default()
+        });
+        assert!(report2.ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,586 @@
+//! Metamorphic scheduler invariants.
+//!
+//! Unlike the differential oracle (which requires oracle-eligible
+//! scenarios), these checks hold for *every* scenario the fuzzer can
+//! generate — yields, barriers, nice values, policy switches, faults
+//! and all — because they assert properties of the record stream and
+//! the kernel's own accounting rather than replaying exact vruntime
+//! arithmetic:
+//!
+//! 1. **Conservation** — per-CPU on-CPU stints never overlap, and when
+//!    every thread has exited their sum equals the kernel's charged
+//!    `busy_ns` exactly; the sum of emitted IRQ spans always equals the
+//!    kernel's `irq_ns` exactly (osnoise accounting: irq + noise +
+//!    useful + idle partitions wall time).
+//! 2. **Work conservation** — at every stable instant (whenever
+//!    virtual time advances), no CPU sits idle with threads in its
+//!    runqueues.
+//! 3. **RT supremacy** — at every stable instant, a queued `SCHED_FIFO`
+//!    thread never waits behind a lower-priority runner: FIFO-over-
+//!    OTHER preemption latency is exactly zero, and FIFO-over-FIFO
+//!    respects priority.
+//! 4. **Affinity** — no enqueue, switch-in or migration ever lands a
+//!    thread on a CPU outside its affinity mask.
+//! 5. **Bounded fairness** — in fairness-probe scenarios (equal-weight
+//!    CPU hogs pinned to one CPU), cumulative on-CPU time across live
+//!    threads never spreads beyond a few scheduling quanta.
+
+use crate::oracle::Violation;
+use crate::record::Rec;
+use crate::runner::{RunOutcome, SchedParams};
+use noiselab_kernel::Policy;
+
+/// How many checks actually fired (so tests can prove the invariants
+/// were exercised, not vacuously skipped).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvariantStats {
+    pub stints: u64,
+    pub irq_spans: u64,
+    pub stable_instants: u64,
+    pub affinity_checks: u64,
+    pub fairness_samples: u64,
+}
+
+/// Everything the invariant pass produces.
+#[derive(Debug, Default)]
+pub struct InvariantOutcome {
+    pub violations: Vec<Violation>,
+    pub stats: InvariantStats,
+}
+
+/// Maximum tolerated cumulative on-CPU spread between equal-weight
+/// CPU-bound threads sharing one CPU: a few full scheduling quanta
+/// (tick + minimum granularity + wakeup granularity), with headroom
+/// for the staggered first round.
+pub fn fairness_bound_ns(p: &SchedParams) -> u64 {
+    3 * (p.tick_ns + p.min_granularity_ns + p.wakeup_granularity_ns)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum RtClass {
+    Fair,
+    /// FIFO at a statically known priority.
+    Rt(u8),
+    /// FIFO after a mid-run policy switch: priority unknown to the
+    /// checker (the record only says "became RT"), so it is excluded
+    /// from FIFO-vs-FIFO comparisons but still outranks fair threads.
+    RtUnknown,
+}
+
+struct Track {
+    class: RtClass,
+    /// CPU the thread is currently queued on.
+    queued_on: Option<u32>,
+    /// CPU the thread is currently running on.
+    running_on: Option<u32>,
+    /// Start of the current on-CPU stint.
+    stint_start: u64,
+    /// Total completed on-CPU nanoseconds.
+    cum_ns: u64,
+    exited: bool,
+}
+
+/// Run every metamorphic invariant over one recorded outcome.
+/// `fairness_probe` marks scenarios shaped for invariant 5.
+pub fn check_invariants(out: &RunOutcome, fairness_probe: bool) -> InvariantOutcome {
+    let mut res = InvariantOutcome::default();
+    let n_cpus = out.topo.n_cpus();
+    let mut threads: Vec<Track> = out
+        .threads
+        .iter()
+        .map(|m| Track {
+            class: match m.policy {
+                Policy::Fifo { prio } => RtClass::Rt(prio),
+                Policy::Other { .. } => RtClass::Fair,
+            },
+            queued_on: None,
+            running_on: None,
+            stint_start: 0,
+            cum_ns: 0,
+            exited: false,
+        })
+        .collect();
+    let mut running: Vec<Option<u32>> = vec![None; n_cpus];
+    let mut queues: Vec<Vec<u32>> = vec![Vec::new(); n_cpus];
+    let mut stint_ns: Vec<u64> = vec![0; n_cpus];
+    let mut irq_ns: Vec<u64> = vec![0; n_cpus];
+    let fairness_bound = fairness_bound_ns(&out.params);
+    let mut cur_time = 0u64;
+
+    let fail = |res: &mut InvariantOutcome, index: Option<usize>, time: u64, what: String| {
+        res.violations.push(Violation { index, time, what });
+    };
+
+    for (idx, rec) in out.records.iter().enumerate() {
+        let time = rec.time();
+        // A corrupt (or deliberately mutated) stream may name CPUs or
+        // threads that do not exist; that is itself a violation, not a
+        // crash.
+        let (rec_cpu, rec_thread) = match *rec {
+            Rec::SwitchIn { cpu, thread, .. }
+            | Rec::SwitchOut { cpu, thread, .. }
+            | Rec::Preempt { cpu, thread, .. }
+            | Rec::Enqueue { cpu, thread, .. }
+            | Rec::Dequeue { cpu, thread, .. } => (Some(cpu), Some(thread)),
+            Rec::Migrate { thread, to_cpu, .. } => (Some(to_cpu), Some(thread)),
+            Rec::IrqSpan { cpu, .. } | Rec::Decision { cpu, .. } => (Some(cpu), None),
+            Rec::PolicySwitch { thread, .. } => (None, Some(thread)),
+        };
+        if rec_cpu.is_some_and(|c| c as usize >= n_cpus)
+            || rec_thread.is_some_and(|t| t as usize >= threads.len())
+        {
+            fail(
+                &mut res,
+                Some(idx),
+                time,
+                format!("record names a CPU or thread outside the machine: {rec:?}"),
+            );
+            continue;
+        }
+        if time > cur_time {
+            // The previous instant's state is now stable: check the
+            // point-in-time invariants.
+            stable_instant_checks(
+                &mut res,
+                &threads,
+                &running,
+                &queues,
+                cur_time,
+                fairness_probe,
+                fairness_bound,
+            );
+            cur_time = time;
+        }
+        match *rec {
+            Rec::Enqueue { cpu, thread, .. } => {
+                res.stats.affinity_checks += 1;
+                if out.threads[thread as usize].affinity & (1u64 << cpu) == 0 {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("thread {thread} enqueued on cpu {cpu} outside its affinity"),
+                    );
+                }
+                let t = &mut threads[thread as usize];
+                t.queued_on = Some(cpu);
+                if !queues[cpu as usize].contains(&thread) {
+                    queues[cpu as usize].push(thread);
+                }
+            }
+            Rec::Dequeue { cpu, thread, .. } => {
+                threads[thread as usize].queued_on = None;
+                queues[cpu as usize].retain(|&t| t != thread);
+            }
+            Rec::SwitchIn { cpu, thread, .. } => {
+                res.stats.affinity_checks += 1;
+                if out.threads[thread as usize].affinity & (1u64 << cpu) == 0 {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("thread {thread} switched in on cpu {cpu} outside its affinity"),
+                    );
+                }
+                if let Some(other) = running[cpu as usize] {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!(
+                            "overlapping stints on cpu {cpu}: thread {thread} switched in while \
+                             thread {other} still running"
+                        ),
+                    );
+                }
+                running[cpu as usize] = Some(thread);
+                let t = &mut threads[thread as usize];
+                t.queued_on = None;
+                t.running_on = Some(cpu);
+                t.stint_start = time;
+                queues[cpu as usize].retain(|&q| q != thread);
+            }
+            Rec::SwitchOut {
+                cpu, thread, state, ..
+            } => {
+                if running[cpu as usize] != Some(thread) {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("switch-out of thread {thread} that is not running on cpu {cpu}"),
+                    );
+                } else if time < threads[thread as usize].stint_start {
+                    // Only reachable on corrupt streams (a mutation can
+                    // push a ghost switch-in past its switch-out).
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("switch-out of thread {thread} predates its switch-in"),
+                    );
+                } else {
+                    running[cpu as usize] = None;
+                    let t = &mut threads[thread as usize];
+                    let dur = time - t.stint_start;
+                    t.cum_ns += dur;
+                    t.running_on = None;
+                    stint_ns[cpu as usize] += dur;
+                    res.stats.stints += 1;
+                    if state == noiselab_kernel::ThreadState::Exited {
+                        t.exited = true;
+                    }
+                }
+            }
+            Rec::Preempt { .. } => {}
+            Rec::Migrate { thread, to_cpu, .. } => {
+                res.stats.affinity_checks += 1;
+                if out.threads[thread as usize].affinity & (1u64 << to_cpu) == 0 {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("thread {thread} migrated to cpu {to_cpu} outside its affinity"),
+                    );
+                }
+                // A steal: the thread leaves a foreign runqueue now;
+                // the stealer's switch-in follows. A wake migration
+                // (already queued on `to_cpu`) needs no bookkeeping.
+                let t = &mut threads[thread as usize];
+                if let Some(from) = t.queued_on {
+                    if from != to_cpu {
+                        queues[from as usize].retain(|&q| q != thread);
+                        t.queued_on = None;
+                    }
+                }
+            }
+            Rec::IrqSpan {
+                cpu, duration_ns, ..
+            } => {
+                irq_ns[cpu as usize] += duration_ns;
+                res.stats.irq_spans += 1;
+            }
+            Rec::PolicySwitch { thread, rt, .. } => {
+                threads[thread as usize].class = if rt {
+                    RtClass::RtUnknown
+                } else {
+                    RtClass::Fair
+                };
+            }
+            Rec::Decision { .. } => {}
+        }
+    }
+    stable_instant_checks(
+        &mut res,
+        &threads,
+        &running,
+        &queues,
+        cur_time,
+        fairness_probe,
+        fairness_bound,
+    );
+
+    // Conservation against the kernel's own per-CPU accounting.
+    for c in 0..n_cpus {
+        if irq_ns[c] != out.cpu_irq[c] {
+            res.violations.push(Violation {
+                index: None,
+                time: cur_time,
+                what: format!(
+                    "cpu {c}: IRQ spans sum to {} ns but the kernel charged {} ns",
+                    irq_ns[c], out.cpu_irq[c]
+                ),
+            });
+        }
+        if out.all_exited && stint_ns[c] != out.cpu_busy[c] {
+            res.violations.push(Violation {
+                index: None,
+                time: cur_time,
+                what: format!(
+                    "cpu {c}: on-CPU stints sum to {} ns but the kernel charged {} ns busy",
+                    stint_ns[c], out.cpu_busy[c]
+                ),
+            });
+        }
+    }
+    res
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stable_instant_checks(
+    res: &mut InvariantOutcome,
+    threads: &[Track],
+    running: &[Option<u32>],
+    queues: &[Vec<u32>],
+    time: u64,
+    fairness_probe: bool,
+    fairness_bound: u64,
+) {
+    res.stats.stable_instants += 1;
+    for (c, q) in queues.iter().enumerate() {
+        if running[c].is_none() && !q.is_empty() {
+            res.violations.push(Violation {
+                index: None,
+                time,
+                what: format!(
+                    "work conservation: cpu {c} idle with {} thread(s) queued ({:?})",
+                    q.len(),
+                    q
+                ),
+            });
+        }
+        // RT supremacy: the best queued FIFO thread never outranks the
+        // runner.
+        let best_queued: Option<RtClass> = q
+            .iter()
+            .filter_map(|&t| match threads[t as usize].class {
+                RtClass::Fair => None,
+                rt => Some(rt),
+            })
+            .fold(None, |acc, rt| {
+                Some(match (acc, rt) {
+                    (None, rt) => rt,
+                    (Some(RtClass::Rt(a)), RtClass::Rt(b)) => RtClass::Rt(a.max(b)),
+                    (Some(_), RtClass::RtUnknown) | (Some(RtClass::RtUnknown), _) => {
+                        RtClass::RtUnknown
+                    }
+                    (Some(acc), _) => acc,
+                })
+            });
+        if let Some(queued_rt) = best_queued {
+            match running[c].map(|t| threads[t as usize].class) {
+                Some(RtClass::Fair) => res.violations.push(Violation {
+                    index: None,
+                    time,
+                    what: format!(
+                        "rt supremacy: cpu {c} runs a fair thread while a FIFO thread waits"
+                    ),
+                }),
+                Some(RtClass::Rt(run_prio)) => {
+                    if let RtClass::Rt(qp) = queued_rt {
+                        if qp > run_prio {
+                            res.violations.push(Violation {
+                                index: None,
+                                time,
+                                what: format!(
+                                    "rt supremacy: cpu {c} runs FIFO prio {run_prio} while \
+                                     prio {qp} waits"
+                                ),
+                            });
+                        }
+                    }
+                }
+                // Unknown-priority runner or an idle CPU: the idle case
+                // is already a work-conservation violation above.
+                _ => {}
+            }
+        }
+    }
+    if fairness_probe {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        let mut live = 0;
+        for t in threads {
+            if t.exited {
+                continue;
+            }
+            let cum = t.cum_ns
+                + t.running_on
+                    .map_or(0, |_| time.saturating_sub(t.stint_start));
+            lo = lo.min(cum);
+            hi = hi.max(cum);
+            live += 1;
+        }
+        if live >= 2 {
+            res.stats.fairness_samples += 1;
+            if hi - lo > fairness_bound {
+                res.violations.push(Violation {
+                    index: None,
+                    time,
+                    what: format!(
+                        "fairness: cumulative on-CPU spread {} ns exceeds bound {} ns",
+                        hi - lo,
+                        fairness_bound
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Mutation;
+    use crate::runner::run;
+    use crate::scenario::Scenario;
+    use noiselab_kernel::{ThreadKind, ThreadState};
+    use noiselab_sim::Rng;
+
+    #[test]
+    fn clean_runs_satisfy_every_invariant() {
+        let mut rng = Rng::new(0x1B4);
+        let mut stats = InvariantStats::default();
+        for _ in 0..40 {
+            let sc = Scenario::generate(&mut rng, true);
+            let out = run(&sc);
+            let r = check_invariants(&out, sc.fairness_probe);
+            assert!(
+                r.violations.is_empty(),
+                "{}\n{}",
+                r.violations[0],
+                sc.repro_line()
+            );
+            stats.stints += r.stats.stints;
+            stats.irq_spans += r.stats.irq_spans;
+            stats.fairness_samples += r.stats.fairness_samples;
+        }
+        assert!(stats.stints > 300, "{stats:?}");
+        assert!(stats.irq_spans > 100, "{stats:?}");
+        assert!(stats.fairness_samples > 50, "{stats:?}");
+    }
+
+    #[test]
+    fn dropped_irq_span_breaks_conservation() {
+        let mut rng = Rng::new(0xD50);
+        for _ in 0..10 {
+            let sc = Scenario::generate(&mut rng, false);
+            let mut out = run(&sc);
+            let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+            if Mutation::DropIrqSpan.apply(&mut out.records, &masks, out.topo.n_cpus() as u32) {
+                let r = check_invariants(&out, false);
+                assert!(
+                    r.violations.iter().any(|v| v.what.contains("IRQ spans")),
+                    "dropped span not caught"
+                );
+                return;
+            }
+        }
+        panic!("no scenario produced a timer span");
+    }
+
+    #[test]
+    fn ghost_run_breaks_stint_accounting() {
+        let mut rng = Rng::new(0x6057);
+        let sc = Scenario::generate(&mut rng, false);
+        let mut out = run(&sc);
+        let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+        assert!(Mutation::GhostRun.apply(&mut out.records, &masks, out.topo.n_cpus() as u32));
+        let r = check_invariants(&out, false);
+        assert!(!r.violations.is_empty(), "ghost switch-in not caught");
+    }
+
+    #[test]
+    fn affinity_break_is_caught() {
+        let mut rng = Rng::new(0xAF1);
+        for _ in 0..30 {
+            let sc = Scenario::generate(&mut rng, false);
+            let mut out = run(&sc);
+            let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+            if Mutation::AffinityBreak.apply(&mut out.records, &masks, out.topo.n_cpus() as u32) {
+                let r = check_invariants(&out, false);
+                assert!(
+                    r.violations.iter().any(|v| v.what.contains("affinity")),
+                    "affinity break not caught"
+                );
+                return;
+            }
+        }
+        panic!("no scenario had a pinned thread to break");
+    }
+
+    /// Synthetic stream: a FIFO thread waits while a fair thread runs.
+    #[test]
+    fn rt_supremacy_violation_on_synthetic_stream() {
+        let out = synthetic_outcome(
+            vec![
+                Rec::SwitchIn {
+                    cpu: 0,
+                    thread: 0,
+                    kind: ThreadKind::Workload,
+                    time: 0,
+                    runq_depth: 0,
+                },
+                Rec::Enqueue {
+                    cpu: 0,
+                    thread: 1,
+                    time: 10,
+                    depth: 1,
+                },
+                // Time advances with the FIFO thread still queued.
+                Rec::SwitchOut {
+                    cpu: 0,
+                    thread: 0,
+                    time: 1_000,
+                    state: ThreadState::Exited,
+                },
+            ],
+            vec![Policy::Other { nice: 0 }, Policy::Fifo { prio: 3 }],
+        );
+        let r = check_invariants(&out, false);
+        assert!(
+            r.violations.iter().any(|v| v.what.contains("rt supremacy")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    /// Synthetic stream: a CPU goes idle with work queued.
+    #[test]
+    fn work_conservation_violation_on_synthetic_stream() {
+        let out = synthetic_outcome(
+            vec![
+                Rec::Enqueue {
+                    cpu: 0,
+                    thread: 0,
+                    time: 0,
+                    depth: 1,
+                },
+                Rec::IrqSpan {
+                    cpu: 0,
+                    time: 500,
+                    duration_ns: 0,
+                    timer: false,
+                    softirq: false,
+                },
+            ],
+            vec![Policy::Other { nice: 0 }],
+        );
+        let r = check_invariants(&out, false);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.what.contains("work conservation")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    fn synthetic_outcome(records: Vec<Rec>, policies: Vec<Policy>) -> RunOutcome {
+        use crate::runner::{SchedParams, ThreadMeta, Topo};
+        RunOutcome {
+            records,
+            threads: policies
+                .into_iter()
+                .map(|policy| ThreadMeta {
+                    policy,
+                    affinity: u64::MAX,
+                    exited: false,
+                })
+                .collect(),
+            topo: Topo {
+                cores: 1,
+                smt: 1,
+                numa: 1,
+            },
+            params: SchedParams {
+                wakeup_granularity_ns: 1_000_000,
+                min_granularity_ns: 3_000_000,
+                tick_ns: 1_000_000,
+            },
+            cpu_busy: vec![0],
+            cpu_irq: vec![0],
+            all_exited: false,
+        }
+    }
+}

@@ -1,0 +1,850 @@
+//! The differential scheduling oracle.
+//!
+//! A deliberately naive, obviously-correct re-implementation of the
+//! production scheduler's decision rules, run over the recorded
+//! scheduling stream of an oracle-eligible scenario (see
+//! [`crate::scenario::Scenario::is_oracle_eligible`]). The oracle keeps
+//! its own copy of every runqueue, vruntime and CFS floor, derived
+//! *only* from the record stream and first principles:
+//!
+//! * a weight-1024 thread's vruntime advances exactly one nanosecond
+//!   per on-CPU wall nanosecond, so `v(t) = v_in + (t - t_in)` between
+//!   the visible charge instants (switch-out, IRQ service, and the
+//!   wake-path preemption check — all of which emit records);
+//! * every `SwitchIn` must name the thread an exhaustive argmin scan
+//!   of the oracle's queue picks (highest-priority earliest-arrival
+//!   FIFO task, else smallest `(vruntime, tid)` fair task, else the
+//!   brute-force steal choice);
+//! * every wake placement must equal a from-scratch replay of the
+//!   `select_idle_sibling`-style placement walk;
+//! * every preemption decision (wake and tick) must match the naive
+//!   predicate evaluated on oracle state.
+//!
+//! Because each decision is re-derived exhaustively (O(n²) scans, no
+//! incremental state), agreement on every record proves the production
+//! scheduler's per-CPU execution traces are identical to the reference
+//! scheduler's, by induction over the stream.
+
+use crate::record::Rec;
+use crate::runner::{RunOutcome, SchedParams, Topo};
+use noiselab_kernel::{DecisionPoint, Policy, ThreadState};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conformance failure: the production stream disagreed with the
+/// oracle (or an invariant) at one record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Index into the record stream, when attributable to one record.
+    pub index: Option<usize>,
+    /// Virtual time of the offending record (ns).
+    pub time: u64,
+    pub what: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "record #{i} @ {} ns: {}", self.time, self.what),
+            None => write!(f, "@ {} ns: {}", self.time, self.what),
+        }
+    }
+}
+
+/// Counters proving the oracle actually exercised its checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OracleStats {
+    pub switch_ins: u64,
+    pub placements: u64,
+    pub wake_checks: u64,
+    pub tick_checks: u64,
+    pub steals: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Loc {
+    Off,
+    Queued(u32),
+    Running(u32),
+}
+
+struct OThread {
+    rt_prio: u8,
+    fair: bool,
+    affinity: u64,
+    vruntime: u64,
+    last_cpu: Option<u32>,
+    loc: Loc,
+    t_in: u64,
+    charged_until: u64,
+}
+
+#[derive(Default)]
+struct OCpu {
+    running: Option<u32>,
+    /// FIFO tasks in arrival order (pick = max prio, earliest arrival).
+    rt: Vec<u32>,
+    /// Fair tasks keyed by frozen enqueue `(vruntime, tid)`.
+    cfs: BTreeSet<(u64, u32)>,
+    /// CFS `min_vruntime` floor, replayed from charge instants.
+    floor: u64,
+}
+
+struct Oracle<'a> {
+    topo: Topo,
+    params: SchedParams,
+    threads: Vec<OThread>,
+    cpus: Vec<OCpu>,
+    recs: &'a [Rec],
+    /// `(cpu, point, time)` of the last placement decision.
+    pending_place: Option<(u32, DecisionPoint, u64)>,
+    /// `(cpu, woken tid, time)` awaiting a wake-preemption decision.
+    pending_wake: Option<(u32, u32, u64)>,
+    /// `(cpu, point, time)` of the last pick decision.
+    pending_pick: Option<(u32, DecisionPoint, u64)>,
+    /// `(victim's thread, stealing cpu)` dequeued by a steal decision.
+    stolen: Option<(u32, u32)>,
+    /// Indices of `TickPreempt` decisions sanctioned by the lookahead.
+    sanctioned_ticks: BTreeSet<usize>,
+    stats: OracleStats,
+}
+
+/// Replay the record stream of an oracle-eligible run and verify every
+/// scheduling decision against the naive reference scheduler.
+pub fn check_oracle(out: &RunOutcome) -> Result<OracleStats, Violation> {
+    let threads = out
+        .threads
+        .iter()
+        .map(|m| OThread {
+            rt_prio: match m.policy {
+                Policy::Fifo { prio } => prio,
+                Policy::Other { .. } => 0,
+            },
+            fair: !m.policy.is_rt(),
+            affinity: m.affinity,
+            vruntime: 0,
+            last_cpu: None,
+            loc: Loc::Off,
+            t_in: 0,
+            charged_until: 0,
+        })
+        .collect();
+    let mut o = Oracle {
+        topo: out.topo,
+        params: out.params,
+        threads,
+        cpus: (0..out.topo.n_cpus()).map(|_| OCpu::default()).collect(),
+        recs: &out.records,
+        pending_place: None,
+        pending_wake: None,
+        pending_pick: None,
+        stolen: None,
+        sanctioned_ticks: BTreeSet::new(),
+        stats: OracleStats::default(),
+    };
+    for idx in 0..out.records.len() {
+        o.step(idx)?;
+    }
+    Ok(o.stats)
+}
+
+impl Oracle<'_> {
+    fn fail(&self, idx: usize, what: impl Into<String>) -> Violation {
+        Violation {
+            index: Some(idx),
+            time: self.recs[idx].time(),
+            what: what.into(),
+        }
+    }
+
+    /// Charge the running thread `tid` up to `time`, mirroring
+    /// `charge_runtime`: weight-1024 vruntime advances by wall delta,
+    /// and a fair charge refreshes the CFS floor with
+    /// `min(leftmost queued key, running vruntime)`.
+    fn charge(&mut self, tid: u32, time: u64) {
+        let t = &mut self.threads[tid as usize];
+        let Loc::Running(cpu) = t.loc else { return };
+        let from = t.charged_until.max(t.t_in);
+        if time > from {
+            t.vruntime += time - from;
+            if t.fair {
+                let v = t.vruntime;
+                let q = &mut self.cpus[cpu as usize];
+                let candidate = match q.cfs.iter().next() {
+                    Some(&(k, _)) => k.min(v),
+                    None => v,
+                };
+                q.floor = q.floor.max(candidate);
+            }
+        }
+        self.threads[tid as usize].charged_until = time;
+    }
+
+    fn queue_len(&self, cpu: u32) -> u32 {
+        let q = &self.cpus[cpu as usize];
+        (q.rt.len() + q.cfs.len()) as u32
+    }
+
+    fn nr_running(&self, cpu: u32) -> usize {
+        let q = &self.cpus[cpu as usize];
+        usize::from(q.running.is_some()) + q.rt.len() + q.cfs.len()
+    }
+
+    fn allowed(&self, tid: u32, cpu: u32) -> bool {
+        self.threads[tid as usize].affinity & (1u64 << cpu) != 0
+    }
+
+    /// Naive replay of the production wake placement.
+    fn naive_select_rq(&self, tid: u32) -> (u32, DecisionPoint) {
+        let t = &self.threads[tid as usize];
+        let n = self.topo.n_cpus() as u32;
+        let allowed: Vec<u32> = (0..n).filter(|c| t.affinity & (1u64 << c) != 0).collect();
+        let is_idle = |c: u32| self.nr_running(c) == 0;
+        let core_idle = |c: u32| {
+            is_idle(c)
+                && match self.topo.sibling_of(c) {
+                    Some(sib) => is_idle(sib),
+                    None => true,
+                }
+        };
+        if let Some(last) = t.last_cpu {
+            if allowed.contains(&last) && core_idle(last) {
+                return (last, DecisionPoint::PlaceLastCore);
+            }
+        }
+        let home = t.last_cpu.map(|c| self.topo.domain_of(c));
+        let mut idle_any: Option<u32> = None;
+        let mut idle_core_remote: Option<u32> = None;
+        for &c in &allowed {
+            if !is_idle(c) {
+                continue;
+            }
+            if idle_any.is_none() {
+                idle_any = Some(c);
+            }
+            if core_idle(c) {
+                match home {
+                    Some(h) if self.topo.domain_of(c) != h => {
+                        if idle_core_remote.is_none() {
+                            idle_core_remote = Some(c);
+                        }
+                    }
+                    _ => return (c, DecisionPoint::PlaceHomeIdleCore),
+                }
+            }
+        }
+        if let Some(c) = idle_core_remote {
+            return (c, DecisionPoint::PlaceRemoteIdleCore);
+        }
+        if let Some(last) = t.last_cpu {
+            if allowed.contains(&last) && is_idle(last) {
+                return (last, DecisionPoint::PlaceLastIdle);
+            }
+        }
+        if let Some(c) = idle_any {
+            return (c, DecisionPoint::PlaceAnyIdle);
+        }
+        let mut best = allowed[0];
+        let mut best_load = usize::MAX;
+        for &c in &allowed {
+            let load = self.nr_running(c);
+            if load < best_load {
+                best_load = load;
+                best = c;
+            }
+        }
+        (best, DecisionPoint::PlaceLeastLoaded)
+    }
+
+    /// Naive replay of idle-balance victim selection. Returns the
+    /// stolen thread and whether it came off an RT queue.
+    fn naive_try_steal(&self, ci: u32) -> Option<(u32, bool)> {
+        let mut best: Option<(usize, u32, bool)> = None;
+        for v in 0..self.topo.n_cpus() as u32 {
+            if v == ci {
+                continue;
+            }
+            let q = &self.cpus[v as usize];
+            let mut queued = q.rt.len() + q.cfs.len();
+            if queued == 0 {
+                continue;
+            }
+            if !self.topo.same_domain(ci, v) {
+                if queued < 2 {
+                    continue;
+                }
+                queued -= 1;
+            }
+            if let Some((cur_q, _, _)) = best {
+                if queued <= cur_q {
+                    continue;
+                }
+            }
+            let mut candidate: Option<(u32, bool)> = None;
+            for &t in &q.rt {
+                if self.allowed(t, ci) {
+                    candidate = Some((t, true));
+                    break;
+                }
+            }
+            if candidate.is_none() {
+                for &(_, t) in q.cfs.iter().rev() {
+                    if self.allowed(t, ci) {
+                        candidate = Some((t, false));
+                        break;
+                    }
+                }
+            }
+            if let Some((t, rt)) = candidate {
+                best = Some((queued, t, rt));
+            }
+        }
+        best.map(|(_, t, rt)| (t, rt))
+    }
+
+    /// The naive local pick: highest-priority earliest-arrival FIFO
+    /// task, else the smallest `(vruntime, tid)` fair task.
+    fn naive_pick(&self, cpu: u32) -> Option<(u32, bool)> {
+        let q = &self.cpus[cpu as usize];
+        if !q.rt.is_empty() {
+            let mut best = q.rt[0];
+            for &t in &q.rt[1..] {
+                if self.threads[t as usize].rt_prio > self.threads[best as usize].rt_prio {
+                    best = t;
+                }
+            }
+            return Some((best, true));
+        }
+        q.cfs.iter().next().map(|&(_, t)| (t, false))
+    }
+
+    fn enqueue_into(&mut self, cpu: u32, tid: u32) {
+        let fair = self.threads[tid as usize].fair;
+        if fair {
+            let floor = self.cpus[cpu as usize].floor;
+            let t = &mut self.threads[tid as usize];
+            if t.vruntime < floor {
+                t.vruntime = floor;
+            }
+            let key = (t.vruntime, tid);
+            self.cpus[cpu as usize].cfs.insert(key);
+        } else {
+            self.cpus[cpu as usize].rt.push(tid);
+        }
+        self.threads[tid as usize].loc = Loc::Queued(cpu);
+    }
+
+    fn remove_queued(&mut self, cpu: u32, tid: u32) -> bool {
+        let fair = self.threads[tid as usize].fair;
+        let q = &mut self.cpus[cpu as usize];
+        let removed = if fair {
+            q.cfs.remove(&(self.threads[tid as usize].vruntime, tid))
+        } else {
+            let pos = q.rt.iter().position(|&t| t == tid);
+            match pos {
+                Some(p) => {
+                    q.rt.remove(p);
+                    true
+                }
+                None => false,
+            }
+        };
+        if removed {
+            self.threads[tid as usize].loc = Loc::Off;
+        }
+        removed
+    }
+
+    fn step(&mut self, idx: usize) -> Result<(), Violation> {
+        // A corrupt (or deliberately mutated) stream may name CPUs or
+        // threads that do not exist; report it rather than panic.
+        let (rec_cpu, rec_thread) = match self.recs[idx] {
+            Rec::SwitchIn { cpu, thread, .. }
+            | Rec::SwitchOut { cpu, thread, .. }
+            | Rec::Preempt { cpu, thread, .. }
+            | Rec::Enqueue { cpu, thread, .. }
+            | Rec::Dequeue { cpu, thread, .. } => (Some(cpu), Some(thread)),
+            Rec::Migrate { thread, to_cpu, .. } => (Some(to_cpu), Some(thread)),
+            Rec::IrqSpan { cpu, .. } | Rec::Decision { cpu, .. } => (Some(cpu), None),
+            Rec::PolicySwitch { thread, .. } => (None, Some(thread)),
+        };
+        if rec_cpu.is_some_and(|c| c as usize >= self.cpus.len())
+            || rec_thread.is_some_and(|t| t as usize >= self.threads.len())
+        {
+            return Err(self.fail(idx, "record names a CPU or thread outside the machine"));
+        }
+        match self.recs[idx].clone() {
+            Rec::Decision { cpu, time, point } => self.on_decision(idx, cpu, time, point),
+            Rec::Enqueue {
+                cpu,
+                thread,
+                time,
+                depth,
+            } => self.on_enqueue(idx, cpu, thread, time, depth),
+            Rec::Dequeue { cpu, thread, .. } => {
+                if !self.remove_queued(cpu, thread) {
+                    return Err(self.fail(idx, format!("dequeue of unqueued thread {thread}")));
+                }
+                Ok(())
+            }
+            Rec::SwitchIn {
+                cpu,
+                thread,
+                time,
+                runq_depth,
+                ..
+            } => self.on_switch_in(idx, cpu, thread, time, runq_depth),
+            Rec::SwitchOut {
+                cpu,
+                thread,
+                time,
+                state,
+            } => self.on_switch_out(idx, cpu, thread, time, state),
+            Rec::Preempt { cpu, thread, .. } => {
+                // Sanity only: the preempted thread must have just left
+                // this CPU (SwitchOut(Ready) precedes).
+                if self.threads[thread as usize].loc != Loc::Off
+                    || self.cpus[cpu as usize].running.is_some()
+                {
+                    return Err(self.fail(idx, format!("preempt of thread {thread} not off-cpu")));
+                }
+                Ok(())
+            }
+            Rec::Migrate {
+                thread,
+                to_cpu,
+                cross_numa,
+                ..
+            } => self.on_migrate(idx, thread, to_cpu, cross_numa),
+            Rec::IrqSpan {
+                cpu,
+                time,
+                timer,
+                softirq,
+                ..
+            } => self.on_irq_span(idx, cpu, time, timer, softirq),
+            Rec::PolicySwitch { thread, rt, .. } => {
+                // Not generated in oracle-eligible scenarios; tracked
+                // defensively so a stray record cannot corrupt state.
+                self.threads[thread as usize].fair = !rt;
+                Ok(())
+            }
+        }
+    }
+
+    fn on_decision(
+        &mut self,
+        idx: usize,
+        cpu: u32,
+        time: u64,
+        point: DecisionPoint,
+    ) -> Result<(), Violation> {
+        use DecisionPoint as D;
+        match point {
+            D::PlaceLastCore
+            | D::PlaceHomeIdleCore
+            | D::PlaceRemoteIdleCore
+            | D::PlaceLastIdle
+            | D::PlaceAnyIdle
+            | D::PlaceLeastLoaded => {
+                self.pending_place = Some((cpu, point, time));
+            }
+            D::WakePreempt | D::WakeNoPreempt => {
+                let Some((wcpu, woken, wtime)) = self.pending_wake.take() else {
+                    return Err(self.fail(idx, "wake decision without a preceding enqueue"));
+                };
+                if wcpu != cpu || wtime != time {
+                    return Err(self.fail(idx, "wake decision does not match the last enqueue"));
+                }
+                let Some(cur) = self.cpus[cpu as usize].running else {
+                    return Err(self.fail(idx, "wake decision on an idle cpu"));
+                };
+                let new_t = &self.threads[woken as usize];
+                let cur_t = &self.threads[cur as usize];
+                let should = match (new_t.fair, cur_t.fair) {
+                    (false, false) => new_t.rt_prio > cur_t.rt_prio,
+                    (false, true) => true,
+                    (true, false) => false,
+                    (true, true) => {
+                        new_t.vruntime + self.params.wakeup_granularity_ns < cur_t.vruntime
+                    }
+                };
+                let claimed = point == D::WakePreempt;
+                if claimed != should {
+                    return Err(self.fail(
+                        idx,
+                        format!(
+                            "wake of thread {woken} (v={}) vs current {cur} (v={}): kernel says \
+                             preempt={claimed}, oracle says {should}",
+                            new_t.vruntime, cur_t.vruntime
+                        ),
+                    ));
+                }
+                self.stats.wake_checks += 1;
+            }
+            D::TickPreempt => {
+                if !self.sanctioned_ticks.remove(&idx) {
+                    return Err(
+                        self.fail(idx, "tick preemption without a sanctioning timer interrupt")
+                    );
+                }
+            }
+            D::PickNone => {
+                if self.queue_len(cpu) != 0 {
+                    return Err(self.fail(
+                        idx,
+                        format!(
+                            "cpu {cpu} went idle with {} thread(s) queued",
+                            self.queue_len(cpu)
+                        ),
+                    ));
+                }
+            }
+            D::PickRt | D::PickFair | D::PickSteal => {
+                self.pending_pick = Some((cpu, point, time));
+            }
+            D::StealNone => {
+                if let Some((t, _)) = self.naive_try_steal(cpu) {
+                    return Err(self.fail(
+                        idx,
+                        format!("kernel found no steal victim; oracle would steal thread {t}"),
+                    ));
+                }
+            }
+            D::StealRt | D::StealFair => {
+                let Some((t, rt)) = self.naive_try_steal(cpu) else {
+                    return Err(self.fail(idx, "kernel stole; oracle finds no eligible victim"));
+                };
+                let claimed_rt = point == D::StealRt;
+                if rt != claimed_rt {
+                    return Err(self.fail(
+                        idx,
+                        format!("steal class mismatch: kernel rt={claimed_rt}, oracle rt={rt}"),
+                    ));
+                }
+                let Loc::Queued(victim) = self.threads[t as usize].loc else {
+                    return Err(self.fail(idx, format!("oracle steal choice {t} not queued")));
+                };
+                self.remove_queued(victim, t);
+                self.stolen = Some((t, cpu));
+                self.stats.steals += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_enqueue(
+        &mut self,
+        idx: usize,
+        cpu: u32,
+        thread: u32,
+        time: u64,
+        depth: u32,
+    ) -> Result<(), Violation> {
+        let requeue = idx > 0
+            && matches!(
+                self.recs[idx - 1],
+                Rec::Preempt { thread: t, time: pt, .. } if t == thread && pt == time
+            );
+        if self.threads[thread as usize].loc != Loc::Off {
+            return Err(self.fail(idx, format!("thread {thread} enqueued twice")));
+        }
+        if !self.allowed(thread, cpu) {
+            return Err(self.fail(
+                idx,
+                format!("thread {thread} enqueued on cpu {cpu} outside its affinity mask"),
+            ));
+        }
+        if !requeue {
+            // Wake path: the placement must match the oracle's replay,
+            // and the decision record must have announced that branch.
+            let (exp_cpu, exp_point) = self.naive_select_rq(thread);
+            if cpu != exp_cpu {
+                return Err(self.fail(
+                    idx,
+                    format!("thread {thread} placed on cpu {cpu}; oracle places on {exp_cpu}"),
+                ));
+            }
+            match self.pending_place.take() {
+                Some((pcpu, ppoint, ptime)) if pcpu == cpu && ptime == time => {
+                    if ppoint != exp_point {
+                        return Err(self.fail(
+                            idx,
+                            format!(
+                                "placement branch mismatch: kernel {}, oracle {}",
+                                ppoint.name(),
+                                exp_point.name()
+                            ),
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(self.fail(idx, "wake enqueue without a placement decision"));
+                }
+            }
+            self.stats.placements += 1;
+        }
+        self.enqueue_into(cpu, thread);
+        if depth != self.queue_len(cpu) {
+            return Err(self.fail(
+                idx,
+                format!(
+                    "enqueue depth {depth} != oracle queue length {}",
+                    self.queue_len(cpu)
+                ),
+            ));
+        }
+        if !requeue {
+            // `check_preempt` charges the current thread before
+            // deciding; replay that charge (floor refresh included).
+            if let Some(cur) = self.cpus[cpu as usize].running {
+                self.charge(cur, time);
+                self.pending_wake = Some((cpu, thread, time));
+            } else {
+                self.pending_wake = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_switch_in(
+        &mut self,
+        idx: usize,
+        cpu: u32,
+        thread: u32,
+        time: u64,
+        runq_depth: u32,
+    ) -> Result<(), Violation> {
+        let Some((pcpu, point, ptime)) = self.pending_pick.take() else {
+            return Err(self.fail(idx, "switch-in without a pick decision"));
+        };
+        if pcpu != cpu || ptime != time {
+            return Err(self.fail(idx, "switch-in does not match the last pick decision"));
+        }
+        if self.cpus[cpu as usize].running.is_some() {
+            return Err(self.fail(idx, format!("cpu {cpu} switch-in while already busy")));
+        }
+        if point == DecisionPoint::PickSteal {
+            let Some((stid, scpu)) = self.stolen.take() else {
+                return Err(self.fail(idx, "steal pick without a steal decision"));
+            };
+            if stid != thread || scpu != cpu {
+                return Err(self.fail(
+                    idx,
+                    format!("kernel stole thread {thread}; oracle stole {stid}"),
+                ));
+            }
+            if self.queue_len(cpu) != 0 {
+                return Err(self.fail(idx, "steal pick with non-empty local queues"));
+            }
+        } else {
+            let Some((exp, exp_rt)) = self.naive_pick(cpu) else {
+                return Err(self.fail(idx, format!("cpu {cpu} picked from empty oracle queues")));
+            };
+            if exp != thread {
+                return Err(self.fail(
+                    idx,
+                    format!("cpu {cpu} picked thread {thread}; oracle picks {exp}"),
+                ));
+            }
+            let claimed_rt = point == DecisionPoint::PickRt;
+            if exp_rt != claimed_rt {
+                return Err(self.fail(idx, "pick class mismatch (rt vs fair)"));
+            }
+            let Loc::Queued(qcpu) = self.threads[thread as usize].loc else {
+                return Err(self.fail(idx, format!("picked thread {thread} not queued")));
+            };
+            if qcpu != cpu {
+                return Err(self.fail(idx, "local pick from a foreign queue"));
+            }
+            self.remove_queued(cpu, thread);
+        }
+        if runq_depth != self.queue_len(cpu) {
+            return Err(self.fail(
+                idx,
+                format!(
+                    "switch-in runq depth {runq_depth} != oracle {}",
+                    self.queue_len(cpu)
+                ),
+            ));
+        }
+        let t = &mut self.threads[thread as usize];
+        t.loc = Loc::Running(cpu);
+        t.t_in = time;
+        t.charged_until = time;
+        t.last_cpu = Some(cpu);
+        self.cpus[cpu as usize].running = Some(thread);
+        self.stats.switch_ins += 1;
+        Ok(())
+    }
+
+    fn on_switch_out(
+        &mut self,
+        idx: usize,
+        cpu: u32,
+        thread: u32,
+        time: u64,
+        _state: ThreadState,
+    ) -> Result<(), Violation> {
+        if self.cpus[cpu as usize].running != Some(thread) {
+            return Err(self.fail(
+                idx,
+                format!("switch-out of thread {thread} not running on cpu {cpu}"),
+            ));
+        }
+        self.charge(thread, time);
+        self.cpus[cpu as usize].running = None;
+        let t = &mut self.threads[thread as usize];
+        t.loc = Loc::Off;
+        t.last_cpu = Some(cpu);
+        Ok(())
+    }
+
+    fn on_migrate(
+        &mut self,
+        idx: usize,
+        thread: u32,
+        to_cpu: u32,
+        cross_numa: bool,
+    ) -> Result<(), Violation> {
+        if !self.allowed(thread, to_cpu) {
+            return Err(self.fail(
+                idx,
+                format!("thread {thread} migrated to cpu {to_cpu} outside its affinity"),
+            ));
+        }
+        let expected = self.threads[thread as usize]
+            .last_cpu
+            .is_some_and(|p| !self.topo.same_domain(p, to_cpu));
+        if cross_numa != expected {
+            return Err(self.fail(
+                idx,
+                format!("cross-numa flag {cross_numa}; oracle expects {expected}"),
+            ));
+        }
+        let stolen_here = self.stolen.is_some_and(|(t, c)| t == thread && c == to_cpu);
+        let queued_here = self.threads[thread as usize].loc == Loc::Queued(to_cpu);
+        if !stolen_here && !queued_here {
+            return Err(self.fail(
+                idx,
+                format!("migrate of thread {thread} that is neither stolen nor queued on target"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn on_irq_span(
+        &mut self,
+        idx: usize,
+        cpu: u32,
+        time: u64,
+        timer: bool,
+        softirq: bool,
+    ) -> Result<(), Violation> {
+        // Softirq spans ride the same tick service; the kernel's single
+        // charge happened at the tick instant (the timer span), so they
+        // must not charge again at their later start time.
+        if !softirq {
+            if let Some(cur) = self.cpus[cpu as usize].running {
+                self.charge(cur, time);
+            }
+        }
+        if timer {
+            // The scheduler tick runs right after IRQ service: replay
+            // the fair-preemption predicate and cross-check it against
+            // the (possible) TickPreempt decision that follows.
+            let Some(cur) = self.cpus[cpu as usize].running else {
+                return Err(self.fail(idx, "timer IRQ span on an idle cpu"));
+            };
+            let cur_t = &self.threads[cur as usize];
+            let should = cur_t.fair
+                && time.saturating_sub(cur_t.t_in) >= self.params.min_granularity_ns
+                && self.cpus[cpu as usize]
+                    .cfs
+                    .iter()
+                    .next()
+                    .is_some_and(|&(k, _)| k < cur_t.vruntime);
+            let mut j = idx + 1;
+            while matches!(
+                self.recs.get(j),
+                Some(Rec::IrqSpan { cpu: c, softirq: true, .. }) if *c == cpu
+            ) {
+                j += 1;
+            }
+            let claimed = matches!(
+                self.recs.get(j),
+                Some(Rec::Decision { cpu: c, time: t, point: DecisionPoint::TickPreempt })
+                    if *c == cpu && *t == time
+            );
+            if claimed != should {
+                return Err(self.fail(
+                    idx,
+                    format!(
+                        "scheduler tick on cpu {cpu}: kernel preempt={claimed}, oracle \
+                         says {should} (ran {} ns, v={})",
+                        time.saturating_sub(cur_t.t_in),
+                        cur_t.vruntime
+                    ),
+                ));
+            }
+            if claimed {
+                self.sanctioned_ticks.insert(j);
+            }
+            self.stats.tick_checks += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+    use crate::scenario::Scenario;
+    use noiselab_sim::Rng;
+
+    #[test]
+    fn oracle_agrees_with_production_scheduler_across_seeds() {
+        let mut rng = Rng::new(0xE11617);
+        let mut total = OracleStats::default();
+        for _ in 0..60 {
+            let sc = Scenario::generate(&mut rng, false);
+            assert!(sc.is_oracle_eligible());
+            let out = run(&sc);
+            let stats = match check_oracle(&out) {
+                Ok(s) => s,
+                Err(v) => panic!("oracle divergence: {v}\n{}", sc.repro_line()),
+            };
+            total.switch_ins += stats.switch_ins;
+            total.placements += stats.placements;
+            total.wake_checks += stats.wake_checks;
+            total.tick_checks += stats.tick_checks;
+            total.steals += stats.steals;
+        }
+        // The sweep must actually exercise the interesting paths.
+        assert!(total.switch_ins > 500, "{total:?}");
+        assert!(total.placements > 200, "{total:?}");
+        assert!(total.wake_checks > 20, "{total:?}");
+        assert!(total.tick_checks > 50, "{total:?}");
+    }
+
+    #[test]
+    fn oracle_catches_a_swapped_pick() {
+        let mut rng = Rng::new(0xBAD);
+        // Find a scenario with at least two switch-ins on one CPU.
+        for _ in 0..20 {
+            let sc = Scenario::generate(&mut rng, false);
+            let mut out = run(&sc);
+            if crate::record::Mutation::SwapPick.apply(
+                &mut out.records,
+                &out.threads.iter().map(|t| t.affinity).collect::<Vec<_>>(),
+                out.topo.n_cpus() as u32,
+            ) {
+                let err = check_oracle(&out).expect_err("swapped pick must be caught");
+                assert!(err.index.is_some(), "{err}");
+                return;
+            }
+        }
+        panic!("no scenario offered a swap site");
+    }
+}

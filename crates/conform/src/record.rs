@@ -1,0 +1,394 @@
+//! Owned scheduling records, the recording observer, and the
+//! mutation-test stream transforms.
+//!
+//! The kernel's [`SchedRecord`] borrows string fields to stay
+//! allocation-free on the hot path; the conformance suite needs an
+//! owned, indexable copy of the whole stream to replay it through the
+//! oracle and invariants (with lookahead). [`Rec`] is that copy, with
+//! the only string field (`source`) collapsed to the one bit the
+//! checkers need: whether the span was the local timer interrupt.
+//!
+//! [`Mutation`] simulates an intentionally buggy scheduler by
+//! perturbing a recorded stream before it reaches the checkers — the
+//! suite's mutation tests prove each seeded bug is caught by at least
+//! one oracle or invariant check.
+
+use noiselab_kernel::{DecisionPoint, KernelObserver, SchedRecord, ThreadKind, ThreadState};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Source label of the periodic timer interrupt in kernel IRQ spans.
+pub const TIMER_SOURCE: &str = "local_timer:236";
+
+/// An owned mirror of [`SchedRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rec {
+    SwitchIn {
+        cpu: u32,
+        thread: u32,
+        kind: ThreadKind,
+        time: u64,
+        runq_depth: u32,
+    },
+    SwitchOut {
+        cpu: u32,
+        thread: u32,
+        time: u64,
+        state: ThreadState,
+    },
+    Preempt {
+        cpu: u32,
+        thread: u32,
+        time: u64,
+    },
+    Enqueue {
+        cpu: u32,
+        thread: u32,
+        time: u64,
+        depth: u32,
+    },
+    Dequeue {
+        cpu: u32,
+        thread: u32,
+        time: u64,
+    },
+    Migrate {
+        thread: u32,
+        to_cpu: u32,
+        time: u64,
+        cross_numa: bool,
+    },
+    IrqSpan {
+        cpu: u32,
+        time: u64,
+        duration_ns: u64,
+        timer: bool,
+        softirq: bool,
+    },
+    PolicySwitch {
+        thread: u32,
+        time: u64,
+        rt: bool,
+    },
+    Decision {
+        cpu: u32,
+        time: u64,
+        point: DecisionPoint,
+    },
+}
+
+impl Rec {
+    pub fn time(&self) -> u64 {
+        match *self {
+            Rec::SwitchIn { time, .. }
+            | Rec::SwitchOut { time, .. }
+            | Rec::Preempt { time, .. }
+            | Rec::Enqueue { time, .. }
+            | Rec::Dequeue { time, .. }
+            | Rec::Migrate { time, .. }
+            | Rec::IrqSpan { time, .. }
+            | Rec::PolicySwitch { time, .. }
+            | Rec::Decision { time, .. } => time,
+        }
+    }
+
+    fn from_sched(rec: &SchedRecord<'_>) -> Rec {
+        match *rec {
+            SchedRecord::SwitchIn {
+                cpu,
+                thread,
+                kind,
+                time,
+                runq_depth,
+                ..
+            } => Rec::SwitchIn {
+                cpu,
+                thread,
+                kind,
+                time: time.0,
+                runq_depth,
+            },
+            SchedRecord::SwitchOut {
+                cpu,
+                thread,
+                time,
+                state,
+            } => Rec::SwitchOut {
+                cpu,
+                thread,
+                time: time.0,
+                state,
+            },
+            SchedRecord::Preempt { cpu, thread, time } => Rec::Preempt {
+                cpu,
+                thread,
+                time: time.0,
+            },
+            SchedRecord::Enqueue {
+                cpu,
+                thread,
+                time,
+                depth,
+            } => Rec::Enqueue {
+                cpu,
+                thread,
+                time: time.0,
+                depth,
+            },
+            SchedRecord::Dequeue { cpu, thread, time } => Rec::Dequeue {
+                cpu,
+                thread,
+                time: time.0,
+            },
+            SchedRecord::Migrate {
+                thread,
+                to_cpu,
+                time,
+                cross_numa,
+            } => Rec::Migrate {
+                thread,
+                to_cpu,
+                time: time.0,
+                cross_numa,
+            },
+            SchedRecord::IrqSpan {
+                cpu,
+                time,
+                duration_ns,
+                source,
+                softirq,
+            } => Rec::IrqSpan {
+                cpu,
+                time: time.0,
+                duration_ns,
+                timer: source == TIMER_SOURCE,
+                softirq,
+            },
+            SchedRecord::PolicySwitch { thread, time, rt } => Rec::PolicySwitch {
+                thread,
+                time: time.0,
+                rt,
+            },
+            SchedRecord::Decision { cpu, time, point } => Rec::Decision {
+                cpu,
+                time: time.0,
+                point,
+            },
+        }
+    }
+}
+
+/// A [`KernelObserver`] that copies every scheduling record into a
+/// shared vector.
+pub struct Recording {
+    out: Rc<RefCell<Vec<Rec>>>,
+}
+
+impl Recording {
+    /// A fresh recorder plus the store it writes into.
+    pub fn new() -> (Recording, Rc<RefCell<Vec<Rec>>>) {
+        let store = Rc::new(RefCell::new(Vec::new()));
+        (Recording { out: store.clone() }, store)
+    }
+}
+
+impl KernelObserver for Recording {
+    fn sched(&mut self, rec: &SchedRecord<'_>) {
+        self.out.borrow_mut().push(Rec::from_sched(rec));
+    }
+}
+
+/// An intentionally seeded scheduler bug, expressed as a perturbation
+/// of the recorded stream (as if a buggy scheduler had produced it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Swap the threads of the first two fair picks on one CPU: the
+    /// scheduler "picked the wrong task". Caught by the oracle's
+    /// argmin-vruntime pick check.
+    SwapPick,
+    /// Drop one timer IRQ span: interrupt time goes unaccounted.
+    /// Caught by the osnoise conservation invariant (record sum vs
+    /// kernel `irq_ns`).
+    DropIrqSpan,
+    /// Re-route the first pinned thread's first enqueue to a CPU
+    /// outside its affinity mask. Caught by the affinity invariant.
+    AffinityBreak,
+    /// Duplicate a switch-in without an intervening switch-out: two
+    /// threads "running" on one CPU. Caught by the stint-overlap check
+    /// of the conservation invariant.
+    GhostRun,
+}
+
+impl Mutation {
+    pub const ALL: [Mutation; 4] = [
+        Mutation::SwapPick,
+        Mutation::DropIrqSpan,
+        Mutation::AffinityBreak,
+        Mutation::GhostRun,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::SwapPick => "swap-pick",
+            Mutation::DropIrqSpan => "drop-irq-span",
+            Mutation::AffinityBreak => "affinity-break",
+            Mutation::GhostRun => "ghost-run",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Mutation> {
+        Mutation::ALL.iter().copied().find(|m| m.name() == name)
+    }
+
+    /// Apply the perturbation. `affinity` holds one mask per thread and
+    /// `n_cpus` bounds the re-route targets. Returns `true` if the
+    /// stream offered an application site (a stream without one yields
+    /// no mutant and the caller should try another scenario).
+    pub fn apply(self, recs: &mut Vec<Rec>, affinity: &[u64], n_cpus: u32) -> bool {
+        match self {
+            Mutation::SwapPick => {
+                // Two switch-ins of different threads on the same CPU.
+                let mut first: Option<(usize, u32, u32)> = None;
+                for (i, r) in recs.iter().enumerate() {
+                    if let Rec::SwitchIn { cpu, thread, .. } = *r {
+                        match first {
+                            None => first = Some((i, cpu, thread)),
+                            Some((j, c0, t0)) if c0 == cpu && t0 != thread => {
+                                let (a, b) = (j, i);
+                                let (ta, tb) = (t0, thread);
+                                set_switch_in_thread(&mut recs[a], tb);
+                                set_switch_in_thread(&mut recs[b], ta);
+                                return true;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                false
+            }
+            Mutation::DropIrqSpan => {
+                let pos = recs
+                    .iter()
+                    .position(|r| matches!(r, Rec::IrqSpan { timer: true, .. }));
+                match pos {
+                    Some(i) => {
+                        recs.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Mutation::AffinityBreak => {
+                for r in recs.iter_mut() {
+                    if let Rec::Enqueue { cpu, thread, .. } = r {
+                        let mask = affinity.get(*thread as usize).copied().unwrap_or(u64::MAX);
+                        if let Some(bad) = (0..n_cpus).find(|c| mask & (1 << c) == 0) {
+                            *cpu = bad;
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Mutation::GhostRun => {
+                let pos = recs.iter().position(|r| matches!(r, Rec::SwitchIn { .. }));
+                match pos {
+                    Some(i) => {
+                        let mut ghost = recs[i].clone();
+                        if let Rec::SwitchIn { time, .. } = &mut ghost {
+                            *time += 1;
+                        }
+                        recs.insert(i + 1, ghost);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+fn set_switch_in_thread(rec: &mut Rec, tid: u32) {
+    if let Rec::SwitchIn { thread, .. } = rec {
+        *thread = tid;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Rec> {
+        vec![
+            Rec::Enqueue {
+                cpu: 0,
+                thread: 0,
+                time: 0,
+                depth: 1,
+            },
+            Rec::SwitchIn {
+                cpu: 0,
+                thread: 0,
+                kind: ThreadKind::Workload,
+                time: 0,
+                runq_depth: 0,
+            },
+            Rec::IrqSpan {
+                cpu: 0,
+                time: 50,
+                duration_ns: 10,
+                timer: true,
+                softirq: false,
+            },
+            Rec::SwitchOut {
+                cpu: 0,
+                thread: 0,
+                time: 100,
+                state: ThreadState::Exited,
+            },
+            Rec::SwitchIn {
+                cpu: 0,
+                thread: 1,
+                kind: ThreadKind::Workload,
+                time: 100,
+                runq_depth: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn swap_pick_swaps_two_switch_ins() {
+        let mut recs = sample();
+        assert!(Mutation::SwapPick.apply(&mut recs, &[3, 3], 2));
+        assert!(matches!(recs[1], Rec::SwitchIn { thread: 1, .. }));
+        assert!(matches!(recs[4], Rec::SwitchIn { thread: 0, .. }));
+    }
+
+    #[test]
+    fn drop_irq_span_removes_exactly_one_timer_span() {
+        let mut recs = sample();
+        assert!(Mutation::DropIrqSpan.apply(&mut recs, &[3, 3], 2));
+        assert!(recs.iter().all(|r| !matches!(r, Rec::IrqSpan { .. })));
+    }
+
+    #[test]
+    fn affinity_break_needs_a_pinned_thread() {
+        let mut recs = sample();
+        // Fully permissive masks: no site to break.
+        assert!(!Mutation::AffinityBreak.apply(&mut recs.clone(), &[3, 3], 2));
+        // Thread 0 pinned to cpu 1 (mask 0b10): enqueue re-routed to 0.
+        assert!(Mutation::AffinityBreak.apply(&mut recs, &[2, 3], 2));
+        assert!(matches!(recs[0], Rec::Enqueue { cpu: 0, .. }));
+    }
+
+    #[test]
+    fn ghost_run_duplicates_a_switch_in() {
+        let mut recs = sample();
+        assert!(Mutation::GhostRun.apply(&mut recs, &[3, 3], 2));
+        let ins = recs
+            .iter()
+            .filter(|r| matches!(r, Rec::SwitchIn { .. }))
+            .count();
+        assert_eq!(ins, 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Rendering fuzz-campaign results for humans, CI logs and `--json`.
+
+use crate::fuzz::FuzzReport;
+use serde::{Serialize, Value};
+use std::fmt::Write as _;
+
+/// Human-readable campaign summary (the `noiselab conform` default).
+pub fn render_text(r: &FuzzReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "conformance campaign: {} scenario(s)", r.iterations);
+    let _ = writeln!(
+        s,
+        "  oracle        {} eligible run(s): {} switch-ins, {} placements, {} wake checks, \
+         {} tick checks, {} steals",
+        r.oracle_runs,
+        r.oracle.switch_ins,
+        r.oracle.placements,
+        r.oracle.wake_checks,
+        r.oracle.tick_checks,
+        r.oracle.steals
+    );
+    let _ = writeln!(
+        s,
+        "  invariants    {} stints, {} irq spans, {} stable instants, {} affinity checks, \
+         {} fairness samples",
+        r.invariants.stints,
+        r.invariants.irq_spans,
+        r.invariants.stable_instants,
+        r.invariants.affinity_checks,
+        r.invariants.fairness_samples
+    );
+    let _ = writeln!(
+        s,
+        "  coverage      {} signature bit(s), corpus {} case(s)",
+        r.coverage_bits, r.corpus_len
+    );
+    for note in &r.notes {
+        let _ = writeln!(s, "  note          {note}");
+    }
+    if r.failures.is_empty() {
+        let _ = writeln!(s, "  verdict       PASS");
+    } else {
+        let _ = writeln!(s, "  verdict       FAIL ({} failure(s))", r.failures.len());
+        for (i, f) in r.failures.iter().enumerate() {
+            let _ = writeln!(s, "  failure #{i}: {}", f.violation);
+            if let Some(m) = f.mutation {
+                let _ = writeln!(s, "    seeded mutation: {}", m.name());
+            }
+            let _ = writeln!(s, "    {}", f.repro());
+        }
+    }
+    s
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Machine-readable campaign summary (the `--json` flag).
+pub fn render_json(r: &FuzzReport) -> String {
+    let failures: Vec<Value> = r
+        .failures
+        .iter()
+        .map(|f| {
+            obj(vec![
+                ("violation", Value::Str(f.violation.to_string())),
+                (
+                    "mutation",
+                    match f.mutation {
+                        Some(m) => Value::Str(m.name().to_string()),
+                        None => Value::Null,
+                    },
+                ),
+                ("repro", Value::Str(f.repro())),
+                ("scenario", f.scenario.to_value()),
+            ])
+        })
+        .collect();
+    let v = obj(vec![
+        ("iterations", r.iterations.to_value()),
+        (
+            "oracle",
+            obj(vec![
+                ("runs", r.oracle_runs.to_value()),
+                ("switch_ins", r.oracle.switch_ins.to_value()),
+                ("placements", r.oracle.placements.to_value()),
+                ("wake_checks", r.oracle.wake_checks.to_value()),
+                ("tick_checks", r.oracle.tick_checks.to_value()),
+                ("steals", r.oracle.steals.to_value()),
+            ]),
+        ),
+        (
+            "invariants",
+            obj(vec![
+                ("stints", r.invariants.stints.to_value()),
+                ("irq_spans", r.invariants.irq_spans.to_value()),
+                ("stable_instants", r.invariants.stable_instants.to_value()),
+                ("affinity_checks", r.invariants.affinity_checks.to_value()),
+                ("fairness_samples", r.invariants.fairness_samples.to_value()),
+            ]),
+        ),
+        ("coverage_bits", r.coverage_bits.to_value()),
+        ("corpus_len", (r.corpus_len as u64).to_value()),
+        (
+            "notes",
+            Value::Array(r.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+        ),
+        ("ok", Value::Bool(r.ok())),
+        ("failures", Value::Array(failures)),
+    ]);
+    serde_json::to_string_pretty(&v).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{fuzz, FuzzConfig};
+    use crate::record::Mutation;
+
+    #[test]
+    fn text_and_json_render_pass_and_fail() {
+        let pass = fuzz(&FuzzConfig {
+            iterations: 15,
+            seed: 5,
+            ..FuzzConfig::default()
+        });
+        let t = render_text(&pass);
+        assert!(t.contains("verdict       PASS"), "{t}");
+        let j: Value = serde_json::from_str(&render_json(&pass)).unwrap();
+        assert_eq!(j.get("ok"), Some(&Value::Bool(true)));
+
+        let fail = fuzz(&FuzzConfig {
+            iterations: 30,
+            seed: 5,
+            mutation: Some(Mutation::GhostRun),
+            max_failures: 1,
+            ..FuzzConfig::default()
+        });
+        assert!(!fail.ok());
+        let t = render_text(&fail);
+        assert!(t.contains("FAIL"), "{t}");
+        assert!(t.contains("conform:repro"), "{t}");
+        let j: Value = serde_json::from_str(&render_json(&fail)).unwrap();
+        assert_eq!(j.get("ok"), Some(&Value::Bool(false)));
+        let fails = j.get("failures").and_then(|f| f.as_array());
+        assert!(fails.is_some_and(|a| !a.is_empty()));
+    }
+}

@@ -1,0 +1,329 @@
+//! Build and run a kernel from a [`Scenario`], capturing the full
+//! scheduling-record stream plus the kernel's own accounting for
+//! cross-checking.
+
+use crate::record::{Rec, Recording};
+use crate::scenario::{Scenario, Step};
+use noiselab_kernel::{
+    Action, FaultPlan, Kernel, KernelConfig, Policy, ScriptBehavior, SpuriousIrqSpec, ThreadKind,
+    ThreadSpec,
+};
+use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Static facts about one scenario thread, for the checkers.
+#[derive(Debug, Clone)]
+pub struct ThreadMeta {
+    pub policy: Policy,
+    /// Affinity as a bitmask over logical CPUs.
+    pub affinity: u64,
+    pub exited: bool,
+}
+
+/// Machine shape, duplicated so the oracle can replicate topology
+/// queries (`sibling_of`, `domain_of`) without holding the machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Topo {
+    pub cores: usize,
+    pub smt: usize,
+    pub numa: usize,
+}
+
+impl Topo {
+    pub fn n_cpus(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// Mirror of `Machine::sibling_of`.
+    pub fn sibling_of(&self, cpu: u32) -> Option<u32> {
+        if self.smt < 2 {
+            return None;
+        }
+        let i = cpu as usize;
+        Some(if i < self.cores {
+            (i + self.cores) as u32
+        } else {
+            (i - self.cores) as u32
+        })
+    }
+
+    /// Mirror of `Machine::domain_of`.
+    pub fn domain_of(&self, cpu: u32) -> usize {
+        if self.numa <= 1 {
+            return 0;
+        }
+        (cpu as usize % self.cores) * self.numa / self.cores
+    }
+
+    pub fn same_domain(&self, a: u32, b: u32) -> bool {
+        self.domain_of(a) == self.domain_of(b)
+    }
+}
+
+/// Scheduler tunables the checkers replicate decisions against.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedParams {
+    pub wakeup_granularity_ns: u64,
+    pub min_granularity_ns: u64,
+    pub tick_ns: u64,
+}
+
+/// Everything one conformance run produces.
+pub struct RunOutcome {
+    pub records: Vec<Rec>,
+    pub threads: Vec<ThreadMeta>,
+    pub topo: Topo,
+    pub params: SchedParams,
+    /// Kernel-side per-CPU accounting: charged busy ns.
+    pub cpu_busy: Vec<u64>,
+    /// Kernel-side per-CPU accounting: IRQ/softirq stall ns.
+    pub cpu_irq: Vec<u64>,
+    /// True when every thread exited before the horizon (the kernel's
+    /// charge-based accounting is then complete and exactly
+    /// cross-checkable against the record stream).
+    pub all_exited: bool,
+}
+
+fn step_to_action(step: &Step, barriers: &BTreeMap<u32, noiselab_kernel::BarrierId>) -> Action {
+    match step {
+        Step::Burn { us } => Action::Burn(SimDuration::from_micros(*us)),
+        Step::Compute { kflops } => Action::Compute(WorkUnit::compute(*kflops as f64 * 1_000.0)),
+        Step::Sleep { us } => Action::SleepFor(SimDuration::from_micros(*us)),
+        Step::Yield => Action::Yield,
+        Step::Barrier { id, spin_us } => Action::Barrier {
+            id: barriers[id],
+            spin: SimDuration::from_micros(*spin_us),
+        },
+        Step::SetPolicy { rt_prio, nice } => Action::SetPolicy(if *rt_prio > 0 {
+            Policy::Fifo { prio: *rt_prio }
+        } else {
+            Policy::Other { nice: *nice }
+        }),
+    }
+}
+
+/// Execute a scenario and collect the evidence for the checkers.
+pub fn run(sc: &Scenario) -> RunOutcome {
+    let machine = Machine {
+        name: "conform".into(),
+        cores: sc.cores,
+        smt: sc.smt,
+        perf: PerfModel {
+            flops_per_ns: 1.0,
+            smt_factor: 0.5,
+            per_core_bw: 10.0,
+            socket_bw: 20.0,
+        },
+        migration_cost: SimDuration::from_nanos(500),
+        ctx_switch: SimDuration::from_nanos(300),
+        wake_latency: SimDuration::from_nanos(700),
+        tick_period: SimDuration::from_micros(sc.tick_us),
+        reserved_cpus: CpuSet::EMPTY,
+        numa_domains: sc.numa,
+    };
+    let config = KernelConfig {
+        tickless: sc.tickless,
+        ..KernelConfig::default()
+    };
+    let params = SchedParams {
+        wakeup_granularity_ns: config.wakeup_granularity.nanos(),
+        min_granularity_ns: config.min_granularity.nanos(),
+        tick_ns: machine.tick_period.nanos(),
+    };
+    let topo = Topo {
+        cores: sc.cores,
+        smt: sc.smt,
+        numa: sc.numa,
+    };
+    let n_cpus = machine.n_cpus();
+
+    let mut kernel = Kernel::new(machine, config, sc.seed);
+    let (recording, store) = Recording::new();
+    kernel.attach_observer(Box::new(recording));
+
+    // Barriers: one kernel barrier per scenario id, with the party
+    // count equal to the number of threads referencing it.
+    let mut parties: BTreeMap<u32, usize> = BTreeMap::new();
+    for t in &sc.threads {
+        let mut seen = Vec::new();
+        for s in &t.steps {
+            if let Step::Barrier { id, .. } = s {
+                if !seen.contains(id) {
+                    seen.push(*id);
+                }
+            }
+        }
+        for id in seen {
+            *parties.entry(id).or_insert(0) += 1;
+        }
+    }
+    let barriers: BTreeMap<u32, noiselab_kernel::BarrierId> = parties
+        .into_iter()
+        .map(|(id, n)| (id, kernel.new_barrier(n)))
+        .collect();
+
+    let mut tids = Vec::with_capacity(sc.threads.len());
+    for (i, plan) in sc.threads.iter().enumerate() {
+        let policy = if plan.rt_prio > 0 {
+            Policy::Fifo { prio: plan.rt_prio }
+        } else {
+            Policy::Other { nice: plan.nice }
+        };
+        let affinity = match &plan.pin {
+            Some(cpus) => {
+                let mut set = CpuSet::EMPTY;
+                for c in cpus {
+                    set.insert(CpuId(*c));
+                }
+                set
+            }
+            None => CpuSet::EMPTY, // spawn() widens to all CPUs
+        };
+        let spec = ThreadSpec::new(format!("conform-{i}"), ThreadKind::Workload)
+            .policy(policy)
+            .affinity(affinity)
+            .start_at(SimTime(plan.start_us * 1_000));
+        let actions: Vec<Action> = plan
+            .steps
+            .iter()
+            .map(|s| step_to_action(s, &barriers))
+            .collect();
+        tids.push(kernel.spawn(spec, Box::new(ScriptBehavior::new(actions))));
+    }
+
+    for irq in &sc.irqs {
+        kernel.inject_irq(
+            CpuId(irq.cpu),
+            SimTime(irq.at_us * 1_000),
+            SimDuration(irq.dur_ns),
+            "conform:nic",
+        );
+    }
+
+    let knobs = &sc.faults;
+    if knobs.lost_tick_prob > 0.0 || knobs.spurious_per_sec > 0.0 {
+        let plan = FaultPlan {
+            seed: sc.seed ^ 0x5EED,
+            lost_tick_prob: knobs.lost_tick_prob,
+            spurious: (knobs.spurious_per_sec > 0.0).then(|| SpuriousIrqSpec {
+                rate_per_sec: knobs.spurious_per_sec,
+                service_mean: SimDuration::from_micros(30),
+                window: SimDuration(sc.horizon_us * 1_000),
+            }),
+            ..FaultPlan::default()
+        };
+        let rng = kernel.fork_rng(0xC0F0);
+        kernel.install_faults(&plan, rng);
+    }
+    for abort in &knobs.aborts {
+        kernel.schedule_abort(tids[abort.thread as usize], SimTime(abort.at_us * 1_000));
+    }
+
+    // A drained queue is fine (all work done and ticks parked); the
+    // checkers judge the stream either way.
+    let _ = kernel.run_until(SimTime(sc.horizon_us * 1_000));
+
+    let threads: Vec<ThreadMeta> = tids
+        .iter()
+        .zip(&sc.threads)
+        .map(|(&tid, plan)| {
+            let t = kernel.thread(tid);
+            let mask = t.affinity.iter().fold(0u64, |m, c| m | 1u64 << c.index());
+            // Spawn-time policy: scripts may switch policy mid-run; the
+            // checkers track PolicySwitch records from here.
+            let policy = if plan.rt_prio > 0 {
+                Policy::Fifo { prio: plan.rt_prio }
+            } else {
+                Policy::Other { nice: plan.nice }
+            };
+            ThreadMeta {
+                policy,
+                affinity: mask,
+                exited: t.exit_time.is_some(),
+            }
+        })
+        .collect();
+    let all_exited = threads.iter().all(|t| t.exited);
+
+    let (cpu_busy, cpu_irq): (Vec<u64>, Vec<u64>) = (0..n_cpus)
+        .map(|c| kernel.cpu_stats(CpuId(c as u32)))
+        .unzip();
+
+    let records = store.borrow().clone();
+    RunOutcome {
+        records,
+        threads,
+        topo,
+        params,
+        cpu_busy,
+        cpu_irq,
+        all_exited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noiselab_sim::Rng;
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut rng = Rng::new(42);
+        let sc = Scenario::generate(&mut rng, true);
+        let a = run(&sc);
+        let b = run(&sc);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.cpu_busy, b.cpu_busy);
+        assert_eq!(a.cpu_irq, b.cpu_irq);
+    }
+
+    #[test]
+    fn generated_scenarios_finish_within_horizon() {
+        let mut rng = Rng::new(9);
+        for _ in 0..25 {
+            let sc = Scenario::generate(&mut rng, false);
+            let out = run(&sc);
+            // Eligible scenarios have no barriers, so nothing can
+            // deadlock; the sanitized horizon must be generous enough.
+            if sc.faults.aborts.is_empty() {
+                assert!(out.all_exited, "{}", sc.repro_line());
+            }
+            assert!(!out.records.is_empty());
+        }
+    }
+
+    #[test]
+    fn topo_mirrors_machine_topology() {
+        let t = Topo {
+            cores: 4,
+            smt: 2,
+            numa: 2,
+        };
+        let m = Machine {
+            name: "x".into(),
+            cores: 4,
+            smt: 2,
+            perf: PerfModel {
+                flops_per_ns: 1.0,
+                smt_factor: 0.5,
+                per_core_bw: 10.0,
+                socket_bw: 20.0,
+            },
+            migration_cost: SimDuration::ZERO,
+            ctx_switch: SimDuration::ZERO,
+            wake_latency: SimDuration::ZERO,
+            tick_period: SimDuration::from_millis(1),
+            reserved_cpus: CpuSet::EMPTY,
+            numa_domains: 2,
+        };
+        for c in 0..8u32 {
+            assert_eq!(
+                t.sibling_of(c),
+                m.sibling_of(CpuId(c)).map(|s| s.0),
+                "sibling of {c}"
+            );
+            assert_eq!(t.domain_of(c), m.domain_of(CpuId(c)), "domain of {c}");
+        }
+    }
+}

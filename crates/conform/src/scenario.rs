@@ -1,0 +1,646 @@
+//! Fuzzable scheduler scenarios.
+//!
+//! A [`Scenario`] is a complete, serialisable description of one
+//! conformance run: machine topology, per-thread scripts, injected
+//! device interrupts and fault knobs. Scenarios come in two flavours:
+//!
+//! * **oracle-eligible** — every `SCHED_OTHER` thread runs at nice 0
+//!   and every work step is followed by a sleep (or is the last step),
+//!   so a thread's vruntime advances exactly one nanosecond per on-CPU
+//!   wall nanosecond and every vruntime-charge instant coincides with
+//!   an observable [`noiselab_kernel::SchedRecord`]. These scenarios
+//!   run through the differential oracle, which re-derives every
+//!   scheduling decision from first principles.
+//! * **full** — arbitrary nice values, yields, barriers and policy
+//!   switches. These are checked by the metamorphic invariants only.
+//!
+//! Both flavours are generated and mutated deterministically from a
+//! seed, and every scenario round-trips through a single-line JSON
+//! repro string (`// conform:repro {...}`) so a fuzzer failure can be
+//! pasted straight into a test or `noiselab conform --replay`.
+
+use noiselab_sim::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Marker prefix of a replayable repro line.
+pub const REPRO_MARKER: &str = "conform:repro";
+
+/// Hard cap on simulated CPUs in generated scenarios (keeps runs fast
+/// and within `CpuSet`'s 64-bit mask).
+pub const MAX_CORES: usize = 4;
+
+/// One conformance scenario: everything needed to reproduce a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Kernel RNG seed (timer-IRQ noise, softirq draws).
+    pub seed: u64,
+    pub cores: usize,
+    pub smt: usize,
+    /// NUMA domains (1 = UMA).
+    pub numa: usize,
+    pub tickless: bool,
+    pub tick_us: u64,
+    pub horizon_us: u64,
+    /// Marks a fairness-probe scenario: equal-weight CPU-bound threads
+    /// pinned to CPU 0, asserted to stay within a bounded vruntime
+    /// spread.
+    #[serde(default)]
+    pub fairness_probe: bool,
+    pub threads: Vec<ThreadPlan>,
+    #[serde(default)]
+    pub irqs: Vec<IrqPlan>,
+    #[serde(default)]
+    pub faults: FaultKnobs,
+}
+
+/// One simulated thread: policy, pinning, start time and script.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadPlan {
+    /// `SCHED_FIFO` priority; 0 means `SCHED_OTHER`.
+    #[serde(default)]
+    pub rt_prio: u8,
+    /// Nice value when `rt_prio == 0`.
+    #[serde(default)]
+    pub nice: i8,
+    /// CPUs the thread may run on; `None` = unpinned.
+    #[serde(default)]
+    pub pin: Option<Vec<u32>>,
+    #[serde(default)]
+    pub start_us: u64,
+    pub steps: Vec<Step>,
+}
+
+/// One scripted action. The kernel appends an implicit `Exit`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// Occupy the CPU for `us` microseconds of CPU time.
+    Burn { us: u64 },
+    /// Execute `kflops` kiloflops of roofline compute.
+    Compute { kflops: u64 },
+    /// Sleep for `us` microseconds.
+    Sleep { us: u64 },
+    /// Give up the CPU, staying runnable (full mode only).
+    Yield,
+    /// Meet barrier `id`, spinning up to `spin_us` first (full mode).
+    Barrier { id: u32, spin_us: u64 },
+    /// Switch own scheduling policy (full mode only).
+    SetPolicy { rt_prio: u8, nice: i8 },
+}
+
+/// A pre-scheduled device interrupt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrqPlan {
+    pub cpu: u32,
+    pub at_us: u64,
+    pub dur_ns: u64,
+}
+
+/// Deterministic fault-plan knobs folded into the fuzz space.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultKnobs {
+    /// Per-tick probability that the timer interrupt is lost.
+    #[serde(default)]
+    pub lost_tick_prob: f64,
+    /// Spurious device-IRQ arrival rate (per simulated second).
+    #[serde(default)]
+    pub spurious_per_sec: f64,
+    /// Threads torn down mid-run: `(thread index, abort time)`.
+    #[serde(default)]
+    pub aborts: Vec<AbortPlan>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbortPlan {
+    pub thread: u32,
+    pub at_us: u64,
+}
+
+impl Scenario {
+    pub fn n_cpus(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// Can the differential oracle replay this scenario exactly?
+    ///
+    /// Requires: every fair thread at nice 0 (weight 1024, so vruntime
+    /// advances 1 ns per charged ns with no integer-division residue),
+    /// and scripts built only from work steps each followed by a sleep
+    /// (or terminal) — then every vruntime charge instant coincides
+    /// with an emitted scheduling record and the oracle can replay the
+    /// CFS floor exactly. Yields, barriers and policy switches have
+    /// hidden charge points and disqualify a scenario.
+    pub fn is_oracle_eligible(&self) -> bool {
+        self.threads.iter().all(|t| {
+            (t.rt_prio > 0 || t.nice == 0)
+                && t.steps.iter().enumerate().all(|(i, s)| match s {
+                    Step::Burn { .. } | Step::Compute { .. } => match t.steps.get(i + 1) {
+                        None => true,
+                        Some(Step::Sleep { us }) => *us >= 1,
+                        Some(_) => false,
+                    },
+                    Step::Sleep { us } => *us >= 1,
+                    Step::Yield | Step::Barrier { .. } | Step::SetPolicy { .. } => false,
+                })
+        })
+    }
+
+    /// One-line replayable repro string.
+    pub fn repro_line(&self) -> String {
+        let json = serde_json::to_string(self).unwrap_or_else(|e| {
+            // A scenario is a tree of plain values; serialisation cannot
+            // fail short of allocation failure.
+            format!("{{\"error\":\"{e}\"}}")
+        });
+        format!("// {REPRO_MARKER} {json}")
+    }
+
+    /// Parse a repro line (tolerates surrounding text and the comment
+    /// prefix; also accepts bare JSON).
+    pub fn from_repro_line(line: &str) -> Result<Scenario, String> {
+        let json = match line.find(REPRO_MARKER) {
+            Some(pos) => &line[pos + REPRO_MARKER.len()..],
+            None => line,
+        };
+        serde_json::from_str(json.trim()).map_err(|e| format!("bad repro line: {e}"))
+    }
+
+    /// Generate a fresh scenario. `full` widens the space beyond the
+    /// oracle-eligible subset (nice values, yields, barriers, policy
+    /// switches, fairness probes).
+    pub fn generate(rng: &mut Rng, full: bool) -> Scenario {
+        if full && rng.chance(0.2) {
+            return Self::generate_fairness_probe(rng);
+        }
+        let cores = 1 + rng.index(MAX_CORES);
+        let smt = 1 + rng.index(2);
+        let numa = if cores >= 2 && rng.chance(0.3) { 2 } else { 1 };
+        let n_cpus = cores * smt;
+
+        let n_threads = 2 + rng.index(5);
+        let mut threads = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            threads.push(Self::gen_thread(rng, n_cpus, full));
+        }
+        if full {
+            Self::maybe_add_barrier_group(rng, &mut threads);
+        }
+
+        let mut irqs = Vec::new();
+        for _ in 0..rng.index(6) {
+            irqs.push(IrqPlan {
+                cpu: rng.below(n_cpus as u64) as u32,
+                at_us: rng.below(20_000),
+                dur_ns: 5_000 + rng.below(295_000),
+            });
+        }
+
+        let mut faults = FaultKnobs::default();
+        if rng.chance(0.1) {
+            faults.lost_tick_prob = 0.1;
+        }
+        if rng.chance(0.1) {
+            faults.spurious_per_sec = 1_000.0 + rng.range_f64(0.0, 3_000.0);
+        }
+        if rng.chance(0.1) {
+            faults.aborts.push(AbortPlan {
+                thread: rng.below(n_threads as u64) as u32,
+                at_us: rng.below(10_000),
+            });
+        }
+
+        let mut sc = Scenario {
+            seed: rng.next_u64(),
+            cores,
+            smt,
+            numa,
+            tickless: rng.chance(0.5),
+            tick_us: if rng.chance(0.5) { 1_000 } else { 4_000 },
+            horizon_us: 0,
+            fairness_probe: false,
+            threads,
+            irqs,
+            faults,
+        };
+        sc.sanitize();
+        sc
+    }
+
+    /// Equal-weight CPU-bound threads pinned to CPU 0: the fairness
+    /// invariant's qualifying shape.
+    fn generate_fairness_probe(rng: &mut Rng) -> Scenario {
+        let n = 2 + rng.index(3);
+        let burn = 8_000 + rng.below(12_000);
+        let threads = (0..n)
+            .map(|_| ThreadPlan {
+                rt_prio: 0,
+                nice: 0,
+                pin: Some(vec![0]),
+                start_us: 0,
+                steps: vec![Step::Burn { us: burn }],
+            })
+            .collect();
+        let mut sc = Scenario {
+            seed: rng.next_u64(),
+            cores: 1 + rng.index(2),
+            smt: 1,
+            numa: 1,
+            tickless: rng.chance(0.5),
+            tick_us: 1_000,
+            horizon_us: 0,
+            fairness_probe: true,
+            threads,
+            irqs: Vec::new(),
+            faults: FaultKnobs::default(),
+        };
+        sc.sanitize();
+        sc
+    }
+
+    fn gen_thread(rng: &mut Rng, n_cpus: usize, full: bool) -> ThreadPlan {
+        let rt_prio = if rng.chance(0.2) {
+            1 + rng.below(5) as u8
+        } else {
+            0
+        };
+        let nice = if full && rt_prio == 0 && rng.chance(0.3) {
+            rng.below(7) as i8 - 3
+        } else {
+            0
+        };
+        let pin = if rng.chance(0.3) {
+            let k = 1 + rng.index(n_cpus);
+            let mut cpus: Vec<u32> = (0..n_cpus as u32).collect();
+            rng.shuffle(&mut cpus);
+            cpus.truncate(k);
+            cpus.sort_unstable();
+            Some(cpus)
+        } else {
+            None
+        };
+
+        let mut steps = Vec::new();
+        let pairs = 1 + rng.index(3);
+        for i in 0..pairs {
+            if full && rng.chance(0.15) {
+                steps.push(Step::Yield);
+            }
+            if rng.chance(0.8) {
+                steps.push(Step::Burn {
+                    us: 50 + rng.below(1_950),
+                });
+            } else {
+                steps.push(Step::Compute {
+                    kflops: 50 + rng.below(1_950),
+                });
+            }
+            let last = i == pairs - 1;
+            if !last || rng.chance(0.5) {
+                steps.push(Step::Sleep {
+                    us: 100 + rng.below(2_900),
+                });
+            }
+        }
+        if full && rt_prio == 0 && rng.chance(0.1) {
+            let mid = steps.len() / 2;
+            steps.insert(
+                mid,
+                Step::SetPolicy {
+                    rt_prio: if rng.chance(0.5) {
+                        1 + rng.below(3) as u8
+                    } else {
+                        0
+                    },
+                    nice: 0,
+                },
+            );
+        }
+        ThreadPlan {
+            rt_prio,
+            nice,
+            pin,
+            start_us: rng.below(3_000),
+            steps,
+        }
+    }
+
+    /// With some probability, rewrite a few threads into a consistent
+    /// barrier group (same id, same number of rounds each).
+    fn maybe_add_barrier_group(rng: &mut Rng, threads: &mut [ThreadPlan]) {
+        if threads.len() < 2 || !rng.chance(0.3) {
+            return;
+        }
+        let parties = 2 + rng.index(threads.len() - 1);
+        let rounds = 1 + rng.index(2);
+        for t in threads.iter_mut().take(parties) {
+            let mut steps = Vec::new();
+            for _ in 0..rounds {
+                steps.push(Step::Burn {
+                    us: 100 + rng.below(1_900),
+                });
+                steps.push(Step::Barrier {
+                    id: 0,
+                    spin_us: rng.below(100),
+                });
+            }
+            t.steps = steps;
+            t.rt_prio = 0;
+        }
+    }
+
+    /// Derive one mutant: a structural tweak of an existing scenario.
+    pub fn mutate(&self, rng: &mut Rng, full: bool) -> Scenario {
+        let mut sc = self.clone();
+        match rng.index(7) {
+            0 => sc.seed = rng.next_u64(),
+            1 => sc.tickless = !sc.tickless,
+            2 => {
+                let n = sc.n_cpus();
+                sc.threads.push(Self::gen_thread(rng, n, full));
+            }
+            3 => {
+                if sc.threads.len() > 1 {
+                    let i = rng.index(sc.threads.len());
+                    sc.threads.remove(i);
+                }
+            }
+            4 => {
+                let n = sc.n_cpus() as u64;
+                sc.irqs.push(IrqPlan {
+                    cpu: rng.below(n) as u32,
+                    at_us: rng.below(20_000),
+                    dur_ns: 5_000 + rng.below(295_000),
+                });
+            }
+            5 => {
+                let i = rng.index(sc.threads.len());
+                let t = &mut sc.threads[i];
+                for s in &mut t.steps {
+                    match s {
+                        Step::Burn { us } | Step::Sleep { us } => {
+                            *us = (*us * (50 + rng.below(150)) / 100).max(1)
+                        }
+                        Step::Compute { kflops } => {
+                            *kflops = (*kflops * (50 + rng.below(150)) / 100).max(1)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {
+                let i = rng.index(sc.threads.len());
+                sc.threads[i].rt_prio = if rng.chance(0.5) {
+                    0
+                } else {
+                    1 + rng.below(5) as u8
+                };
+            }
+        }
+        sc.sanitize();
+        sc
+    }
+
+    /// Does the scenario match the shape the bounded-fairness
+    /// invariant is sound for: two or more equal-weight `SCHED_OTHER`
+    /// threads, all pinned to CPU 0, each burning the same amount from
+    /// t = 0, with no interrupts or faults?
+    pub fn has_fairness_probe_shape(&self) -> bool {
+        if self.threads.len() < 2 || !self.irqs.is_empty() {
+            return false;
+        }
+        let f = &self.faults;
+        if f.lost_tick_prob > 0.0 || f.spurious_per_sec > 0.0 || !f.aborts.is_empty() {
+            return false;
+        }
+        let burn = match self.threads[0].steps.as_slice() {
+            [Step::Burn { us }] => *us,
+            _ => return false,
+        };
+        self.threads.iter().all(|t| {
+            t.rt_prio == 0
+                && t.nice == 0
+                && t.pin.as_deref() == Some(&[0])
+                && t.start_us == 0
+                && matches!(t.steps.as_slice(), [Step::Burn { us }] if *us == burn)
+        })
+    }
+
+    /// Re-establish structural validity after generation, mutation or
+    /// shrinking: clamp topology, fix pins and abort targets, make
+    /// barrier groups consistent, and recompute a horizon generous
+    /// enough for everything to finish.
+    pub fn sanitize(&mut self) {
+        self.cores = self.cores.clamp(1, MAX_CORES);
+        self.smt = self.smt.clamp(1, 2);
+        self.numa = self.numa.clamp(1, self.cores.max(1));
+        self.tick_us = self.tick_us.clamp(100, 10_000);
+        if self.threads.is_empty() {
+            self.threads.push(ThreadPlan {
+                rt_prio: 0,
+                nice: 0,
+                pin: None,
+                start_us: 0,
+                steps: vec![Step::Burn { us: 100 }],
+            });
+        }
+        let n_cpus = self.n_cpus() as u32;
+        for t in &mut self.threads {
+            if let Some(pin) = &mut t.pin {
+                pin.retain(|c| *c < n_cpus);
+                pin.sort_unstable();
+                pin.dedup();
+                if pin.is_empty() {
+                    t.pin = None;
+                }
+            }
+        }
+        self.irqs.retain(|i| i.cpu < n_cpus);
+        let n_threads = self.threads.len() as u32;
+        self.faults.aborts.retain(|a| a.thread < n_threads);
+
+        // Barrier groups: every id must be referenced by >= 2 threads,
+        // each the same number of times; otherwise strip the steps.
+        let mut ids: Vec<u32> = self
+            .threads
+            .iter()
+            .flat_map(|t| t.steps.iter())
+            .filter_map(|s| match s {
+                Step::Barrier { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            let counts: Vec<usize> = self
+                .threads
+                .iter()
+                .map(|t| {
+                    t.steps
+                        .iter()
+                        .filter(|s| matches!(s, Step::Barrier { id: i, .. } if *i == id))
+                        .count()
+                })
+                .filter(|&c| c > 0)
+                .collect();
+            let consistent = counts.len() >= 2 && counts.windows(2).all(|w| w[0] == w[1]);
+            if !consistent {
+                for t in &mut self.threads {
+                    t.steps
+                        .retain(|s| !matches!(s, Step::Barrier { id: i, .. } if *i == id));
+                }
+            }
+        }
+
+        // The fairness invariant only applies to the exact probe shape;
+        // mutation or shrinking may have broken it, and a stale flag
+        // would assert fairness over unequal-weight threads.
+        self.fairness_probe = self.fairness_probe && self.has_fairness_probe_shape();
+
+        // Horizon: generous over the worst serialisation of all work on
+        // one SMT-contended CPU plus sleeps, spins and IRQ service.
+        let mut work_us: u64 = 0;
+        let mut sleep_us: u64 = 0;
+        let mut start_max: u64 = 0;
+        for t in &self.threads {
+            start_max = start_max.max(t.start_us);
+            for s in &t.steps {
+                match s {
+                    Step::Burn { us } => work_us += us,
+                    Step::Compute { kflops } => work_us += kflops, // 1 kflop ~= 1 us at 1 flop/ns
+                    Step::Sleep { us } => sleep_us += us,
+                    Step::Barrier { spin_us, .. } => work_us += spin_us,
+                    Step::Yield | Step::SetPolicy { .. } => {}
+                }
+            }
+        }
+        let irq_us: u64 = self.irqs.iter().map(|i| i.dur_ns / 1_000 + 1).sum();
+        self.horizon_us = 20_000 + start_max + 4 * work_us + sleep_us + irq_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_line_round_trips() {
+        let mut rng = Rng::new(7);
+        for _ in 0..20 {
+            let sc = Scenario::generate(&mut rng, true);
+            let line = sc.repro_line();
+            assert!(line.starts_with("// conform:repro {"));
+            let back = Scenario::from_repro_line(&line).unwrap();
+            assert_eq!(back, sc);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |seed| {
+            let mut rng = Rng::new(seed);
+            (0..10)
+                .map(|_| Scenario::generate(&mut rng, true))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(3), gen(3));
+        assert_ne!(gen(3), gen(4));
+    }
+
+    #[test]
+    fn eligible_generation_stays_eligible() {
+        let mut rng = Rng::new(11);
+        for _ in 0..50 {
+            let sc = Scenario::generate(&mut rng, false);
+            assert!(sc.is_oracle_eligible(), "{}", sc.repro_line());
+        }
+    }
+
+    #[test]
+    fn eligibility_rejects_hidden_charge_shapes() {
+        let base = ThreadPlan {
+            rt_prio: 0,
+            nice: 0,
+            pin: None,
+            start_us: 0,
+            steps: vec![Step::Burn { us: 10 }, Step::Burn { us: 10 }],
+        };
+        let sc = |t: ThreadPlan| Scenario {
+            seed: 0,
+            cores: 1,
+            smt: 1,
+            numa: 1,
+            tickless: true,
+            tick_us: 1_000,
+            horizon_us: 1_000,
+            fairness_probe: false,
+            threads: vec![t],
+            irqs: Vec::new(),
+            faults: FaultKnobs::default(),
+        };
+        // Back-to-back work steps hide a charge at the first completion.
+        assert!(!sc(base.clone()).is_oracle_eligible());
+        let mut ok = base.clone();
+        ok.steps = vec![Step::Burn { us: 10 }, Step::Sleep { us: 10 }];
+        assert!(sc(ok).is_oracle_eligible());
+        let mut niced = base;
+        niced.steps = vec![Step::Burn { us: 10 }];
+        niced.nice = 2;
+        assert!(!sc(niced).is_oracle_eligible());
+    }
+
+    #[test]
+    fn sanitize_repairs_broken_barrier_groups_and_pins() {
+        let mut sc = Scenario {
+            seed: 0,
+            cores: 9, // clamped
+            smt: 1,
+            numa: 1,
+            tickless: false,
+            tick_us: 1_000,
+            horizon_us: 0,
+            fairness_probe: false,
+            threads: vec![
+                ThreadPlan {
+                    rt_prio: 0,
+                    nice: 0,
+                    pin: Some(vec![63]), // out of range -> unpinned
+                    start_us: 0,
+                    steps: vec![
+                        Step::Burn { us: 10 },
+                        Step::Barrier { id: 5, spin_us: 0 }, // sole party
+                    ],
+                },
+                ThreadPlan {
+                    rt_prio: 0,
+                    nice: 0,
+                    pin: None,
+                    start_us: 0,
+                    steps: vec![Step::Burn { us: 10 }],
+                },
+            ],
+            irqs: vec![IrqPlan {
+                cpu: 40,
+                at_us: 0,
+                dur_ns: 100,
+            }],
+            faults: FaultKnobs {
+                lost_tick_prob: 0.0,
+                spurious_per_sec: 0.0,
+                aborts: vec![AbortPlan {
+                    thread: 9,
+                    at_us: 0,
+                }],
+            },
+        };
+        sc.sanitize();
+        assert_eq!(sc.cores, MAX_CORES);
+        assert_eq!(sc.threads[0].pin, None);
+        assert!(sc.threads[0]
+            .steps
+            .iter()
+            .all(|s| !matches!(s, Step::Barrier { .. })));
+        assert!(sc.irqs.is_empty());
+        assert!(sc.faults.aborts.is_empty());
+        assert!(sc.horizon_us >= 20_000);
+    }
+}

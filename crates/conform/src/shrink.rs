@@ -1,0 +1,217 @@
+//! Failure shrinking: reduce a failing scenario to a minimal
+//! replayable repro.
+//!
+//! Classic greedy delta-debugging over the scenario structure: try a
+//! round of simplifications (drop a thread, drop an IRQ, drop fault
+//! knobs, truncate scripts, halve durations, flatten topology), keep
+//! any candidate that still fails, and repeat to a fixpoint or until
+//! the re-run budget is spent. Every accepted candidate is
+//! [`Scenario::sanitize`]d first so shrinking can never manufacture a
+//! structurally invalid scenario that "fails" for the wrong reason.
+
+use crate::scenario::{Scenario, Step};
+
+/// Shrink `sc` against `still_fails`, re-running at most `budget`
+/// candidates. Returns the smallest failing scenario found (possibly
+/// the input itself).
+pub fn shrink(
+    sc: &Scenario,
+    still_fails: &mut dyn FnMut(&Scenario) -> bool,
+    budget: u32,
+) -> Scenario {
+    let mut best = sc.clone();
+    let mut runs = 0u32;
+    loop {
+        let mut improved = false;
+        for mut cand in candidates(&best) {
+            if runs >= budget {
+                return best;
+            }
+            cand.sanitize();
+            if cand == best {
+                continue;
+            }
+            runs += 1;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break; // restart candidate generation from the new best
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// One round of candidate simplifications, most aggressive first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Drop one thread (highest index first keeps abort indices simple).
+    if sc.threads.len() > 1 {
+        for i in (0..sc.threads.len()).rev() {
+            let mut c = sc.clone();
+            c.threads.remove(i);
+            let i = i as u32;
+            c.faults.aborts.retain(|a| a.thread != i);
+            for a in &mut c.faults.aborts {
+                if a.thread > i {
+                    a.thread -= 1;
+                }
+            }
+            out.push(c);
+        }
+    }
+
+    // Drop one injected IRQ.
+    for i in 0..sc.irqs.len() {
+        let mut c = sc.clone();
+        c.irqs.remove(i);
+        out.push(c);
+    }
+
+    // Drop fault knobs.
+    if sc.faults.lost_tick_prob > 0.0 {
+        let mut c = sc.clone();
+        c.faults.lost_tick_prob = 0.0;
+        out.push(c);
+    }
+    if sc.faults.spurious_per_sec > 0.0 {
+        let mut c = sc.clone();
+        c.faults.spurious_per_sec = 0.0;
+        out.push(c);
+    }
+    for i in 0..sc.faults.aborts.len() {
+        let mut c = sc.clone();
+        c.faults.aborts.remove(i);
+        out.push(c);
+    }
+
+    // Truncate one thread's script by its last step.
+    for (i, t) in sc.threads.iter().enumerate() {
+        if t.steps.len() > 1 {
+            let mut c = sc.clone();
+            c.threads[i].steps.pop();
+            out.push(c);
+        }
+    }
+
+    // Halve every duration in one thread's script.
+    for i in 0..sc.threads.len() {
+        let mut c = sc.clone();
+        let mut changed = false;
+        for s in &mut c.threads[i].steps {
+            match s {
+                Step::Burn { us } | Step::Sleep { us } if *us > 1 => {
+                    *us /= 2;
+                    changed = true;
+                }
+                Step::Compute { kflops } if *kflops > 1 => {
+                    *kflops /= 2;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if changed {
+            out.push(c);
+        }
+    }
+
+    // Flatten topology.
+    if sc.smt > 1 {
+        let mut c = sc.clone();
+        c.smt = 1;
+        out.push(c);
+    }
+    if sc.numa > 1 {
+        let mut c = sc.clone();
+        c.numa = 1;
+        out.push(c);
+    }
+    if sc.cores > 1 {
+        let mut c = sc.clone();
+        c.cores -= 1;
+        out.push(c);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{AbortPlan, FaultKnobs, IrqPlan, ThreadPlan};
+    use noiselab_sim::Rng;
+
+    #[test]
+    fn shrinks_to_a_single_small_thread_when_anything_fails() {
+        // Failure predicate "always fails": the shrinker should reach
+        // rock bottom — one thread, minimal script, no IRQs/faults.
+        let mut rng = Rng::new(77);
+        let sc = Scenario::generate(&mut rng, true);
+        let small = shrink(&sc, &mut |_| true, 500);
+        assert_eq!(small.threads.len(), 1);
+        assert!(small.irqs.is_empty());
+        assert!(small.faults.aborts.is_empty());
+        assert_eq!(small.cores, 1);
+        assert_eq!(small.smt, 1);
+    }
+
+    #[test]
+    fn preserves_the_failure_trigger() {
+        // Failure depends on a specific thread count: shrinking must
+        // not cross below it.
+        let mut rng = Rng::new(78);
+        let sc = Scenario::generate(&mut rng, true);
+        let small = shrink(&sc, &mut |c| c.threads.len() >= 2, 500);
+        assert_eq!(small.threads.len(), 2);
+    }
+
+    #[test]
+    fn abort_indices_survive_thread_removal() {
+        let mut sc = Scenario {
+            seed: 1,
+            cores: 1,
+            smt: 1,
+            numa: 1,
+            tickless: true,
+            tick_us: 1_000,
+            horizon_us: 0,
+            fairness_probe: false,
+            threads: (0..3)
+                .map(|_| ThreadPlan {
+                    rt_prio: 0,
+                    nice: 0,
+                    pin: None,
+                    start_us: 0,
+                    steps: vec![Step::Burn { us: 100 }],
+                })
+                .collect(),
+            irqs: vec![IrqPlan {
+                cpu: 0,
+                at_us: 0,
+                dur_ns: 1_000,
+            }],
+            faults: FaultKnobs {
+                lost_tick_prob: 0.0,
+                spurious_per_sec: 0.0,
+                aborts: vec![AbortPlan {
+                    thread: 2,
+                    at_us: 50,
+                }],
+            },
+        };
+        sc.sanitize();
+        // Require the abort to survive: only thread removals that keep
+        // a valid abort target are acceptable.
+        let small = shrink(&sc, &mut |c| !c.faults.aborts.is_empty(), 500);
+        let target = small.faults.aborts[0].thread as usize;
+        assert!(
+            target < small.threads.len(),
+            "abort target {target} out of range for {} threads",
+            small.threads.len()
+        );
+    }
+}

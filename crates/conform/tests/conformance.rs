@@ -1,0 +1,156 @@
+//! The conformance suite's acceptance tests: trace-identical
+//! scheduling under the differential oracle across a large fuzzed
+//! sweep, all metamorphic invariants holding for arbitrary scenarios,
+//! and every seeded scheduler bug (mutation test) caught by at least
+//! one checker with a shrunk, replayable repro.
+
+use noiselab_conform::{
+    check_invariants, check_oracle, check_scenario, fuzz, run, FuzzConfig, Mutation, OracleStats,
+    Scenario,
+};
+use noiselab_sim::Rng;
+
+/// The oracle replays every scheduling decision of a large seeded
+/// sweep and must agree with the production kernel on all of them.
+/// (CI additionally runs `noiselab conform --fuzz 10000` for the
+/// paper-scale campaign; this test keeps a dense always-on core.)
+#[test]
+fn oracle_proves_trace_identical_scheduling_across_fuzzed_scenarios() {
+    let mut rng = Rng::new(0x0AC1E);
+    let mut total = OracleStats::default();
+    for i in 0..250 {
+        let sc = Scenario::generate(&mut rng, false);
+        assert!(sc.is_oracle_eligible(), "generator broke eligibility");
+        let out = run(&sc);
+        match check_oracle(&out) {
+            Ok(stats) => {
+                total.switch_ins += stats.switch_ins;
+                total.placements += stats.placements;
+                total.wake_checks += stats.wake_checks;
+                total.tick_checks += stats.tick_checks;
+                total.steals += stats.steals;
+            }
+            Err(v) => panic!(
+                "scenario {i} diverged from the oracle: {v}\n{}",
+                sc.repro_line()
+            ),
+        }
+        // Invariants hold on eligible scenarios too.
+        let inv = check_invariants(&out, false);
+        assert!(
+            inv.violations.is_empty(),
+            "scenario {i}: {}\n{}",
+            inv.violations[0],
+            sc.repro_line()
+        );
+    }
+    // The sweep must genuinely exercise each decision family.
+    assert!(total.switch_ins > 2_000, "{total:?}");
+    assert!(total.placements > 1_000, "{total:?}");
+    assert!(total.wake_checks > 100, "{total:?}");
+    assert!(total.tick_checks > 200, "{total:?}");
+    assert!(total.steals > 10, "{total:?}");
+}
+
+/// Full-space scenarios (nice values, yields, barriers, policy
+/// switches, faults) satisfy every metamorphic invariant.
+#[test]
+fn full_scenarios_hold_all_invariants() {
+    let mut rng = Rng::new(0xF011);
+    for i in 0..120 {
+        let sc = Scenario::generate(&mut rng, true);
+        let out = run(&sc);
+        let inv = check_invariants(&out, sc.fairness_probe);
+        assert!(
+            inv.violations.is_empty(),
+            "scenario {i}: {}\n{}",
+            inv.violations[0],
+            sc.repro_line()
+        );
+    }
+}
+
+/// Mutation testing: each intentionally seeded scheduler bug must be
+/// caught by at least one checker, and the shrunk repro must replay
+/// and still fail — the acceptance criterion for the whole suite.
+#[test]
+fn every_seeded_mutation_is_caught_with_a_replayable_repro() {
+    for &mutation in Mutation::ALL.iter() {
+        let report = fuzz(&FuzzConfig {
+            iterations: 80,
+            seed: 0xB06 ^ mutation.name().len() as u64,
+            mutation: Some(mutation),
+            max_failures: 1,
+            ..FuzzConfig::default()
+        });
+        assert!(
+            !report.ok(),
+            "seeded bug `{}` escaped an 80-scenario campaign",
+            mutation.name()
+        );
+        let failure = &report.failures[0];
+        let repro = failure.repro();
+        assert!(
+            repro.contains("conform:repro"),
+            "failure lacks a repro line: {repro}"
+        );
+        // The one-liner replays into an identical scenario that still
+        // trips a checker under the same mutation.
+        let replayed = Scenario::from_repro_line(&repro)
+            .unwrap_or_else(|e| panic!("unparseable repro for `{}`: {e}", mutation.name()));
+        assert_eq!(&replayed, &failure.scenario);
+        let v = check_scenario(&replayed, Some(mutation));
+        assert!(
+            v.is_some(),
+            "shrunk repro for `{}` no longer fails: {repro}",
+            mutation.name()
+        );
+    }
+}
+
+/// A clean campaign (no seeded bug) over the mixed scenario space must
+/// pass, accumulate coverage, and keep a nonempty corpus.
+#[test]
+fn clean_mixed_campaign_passes_with_coverage() {
+    let report = fuzz(&FuzzConfig {
+        iterations: 150,
+        seed: 0xC1EA,
+        ..FuzzConfig::default()
+    });
+    assert!(
+        report.ok(),
+        "clean campaign failed: {} ({})",
+        report.failures[0].violation,
+        report.failures[0].repro()
+    );
+    assert!(report.coverage_bits >= 40, "{}", report.coverage_bits);
+    assert!(report.corpus_len >= 5, "{}", report.corpus_len);
+    assert!(report.oracle_runs >= 30, "{}", report.oracle_runs);
+}
+
+/// The fairness probe is not vacuous: an unfair spread on the same
+/// probe shape is rejected.
+#[test]
+fn fairness_probes_exercise_the_bound() {
+    let mut rng = Rng::new(0xFA12);
+    let mut samples = 0;
+    for _ in 0..60 {
+        let sc = Scenario::generate(&mut rng, true);
+        if !sc.fairness_probe {
+            continue;
+        }
+        let out = run(&sc);
+        let inv = check_invariants(&out, true);
+        assert!(
+            inv.violations.is_empty(),
+            "{}\n{}",
+            inv.violations[0],
+            sc.repro_line()
+        );
+        samples += inv.stats.fairness_samples;
+    }
+    assert!(
+        samples > 100,
+        "fairness invariant barely sampled: {samples}"
+    );
+}

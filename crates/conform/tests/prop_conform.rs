@@ -1,0 +1,58 @@
+//! Property tests over the conformance scenario space.
+//!
+//! The PR gate runs a modest number of cases per property; the nightly
+//! CI job widens the sweep via `PROPTEST_CASES`. Past failures are
+//! pinned in `proptest-regressions/` and replay before every sweep.
+
+use noiselab_conform::{check_scenario, Scenario};
+use noiselab_sim::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated scenario — oracle-eligible or full — passes the
+    /// differential oracle (when eligible) and all metamorphic
+    /// invariants.
+    #[test]
+    fn generated_scenarios_check_clean(seed in any::<u64>(), full in any::<bool>()) {
+        let mut rng = Rng::new(seed);
+        let sc = Scenario::generate(&mut rng, full);
+        let v = check_scenario(&sc, None);
+        prop_assert!(v.is_none(), "violation {:?}\n{}", v, sc.repro_line());
+    }
+
+    /// Structural mutation preserves validity: mutants of a clean
+    /// scenario are themselves clean (the scheduler has no bug for
+    /// them to find, and sanitize keeps them well-formed).
+    #[test]
+    fn mutated_scenarios_check_clean(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let sc = Scenario::generate(&mut rng, true);
+        let mut mrng = Rng::new(seed ^ 0x5A5A);
+        let m = sc.mutate(&mut mrng, true);
+        let v = check_scenario(&m, None);
+        prop_assert!(v.is_none(), "violation {:?}\n{}", v, m.repro_line());
+    }
+
+    /// The repro one-liner is a faithful round trip for any scenario.
+    #[test]
+    fn repro_lines_round_trip(seed in any::<u64>(), full in any::<bool>()) {
+        let mut rng = Rng::new(seed);
+        let sc = Scenario::generate(&mut rng, full);
+        let back = Scenario::from_repro_line(&sc.repro_line());
+        prop_assert!(back.is_ok(), "{:?}", back.err());
+        prop_assert_eq!(back.unwrap(), sc);
+    }
+
+    /// `sanitize` is idempotent: generated scenarios are already
+    /// sanitized, so a second pass changes nothing.
+    #[test]
+    fn sanitize_is_idempotent(seed in any::<u64>(), full in any::<bool>()) {
+        let mut rng = Rng::new(seed);
+        let sc = Scenario::generate(&mut rng, full);
+        let mut again = sc.clone();
+        again.sanitize();
+        prop_assert_eq!(again, sc);
+    }
+}

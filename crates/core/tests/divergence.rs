@@ -7,11 +7,7 @@ use noiselab_core::{ExecConfig, Mitigation, Model, Platform};
 use noiselab_workloads::NBody;
 
 fn tiny_nbody() -> NBody {
-    NBody {
-        bodies: 4_096,
-        steps: 3,
-        sycl_kernel_efficiency: 1.3,
-    }
+    noiselab_testutil::tiny_nbody(3)
 }
 
 #[test]

@@ -12,32 +12,18 @@ use noiselab_core::{
     run_many_faulted, run_once, run_once_faulted, ExecConfig, Mitigation, Model, Platform,
     RetryPolicy, RunFailure,
 };
-use noiselab_kernel::{FaultPlan, KernelConfig};
+use noiselab_kernel::KernelConfig;
 use noiselab_runtime::{omp::OmpSchedule, Program};
+use noiselab_testutil::{crashy_plan as crashy, omp_rm as cfg};
 use noiselab_workloads::{NBody, Workload};
 use std::path::PathBuf;
 
 fn tiny_nbody() -> NBody {
-    NBody {
-        bodies: 4_096,
-        steps: 2,
-        sycl_kernel_efficiency: 1.3,
-    }
-}
-
-fn cfg() -> ExecConfig {
-    ExecConfig::new(Model::Omp, Mitigation::Rm)
-}
-
-/// ~5 % of runs lose one workload thread inside the first 2 ms.
-fn crashy() -> FaultPlan {
-    FaultPlan::crashy(0xC0FFEE, 0.05, 2)
+    noiselab_testutil::tiny_nbody(2)
 }
 
 fn tmp_path(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join("noiselab-resilience");
-    std::fs::create_dir_all(&dir).expect("create tmp dir");
-    dir.join(name)
+    noiselab_testutil::tmp_path("noiselab-resilience", name)
 }
 
 // ---------------------------------------------------------------------

@@ -17,11 +17,7 @@ use proptest::prelude::*;
 // Small but long enough (several ms) to cross timer ticks, noise
 // activations and migrations.
 fn tiny_nbody() -> NBody {
-    NBody {
-        bodies: 4_096,
-        steps: 3,
-        sycl_kernel_efficiency: 1.3,
-    }
+    noiselab_testutil::tiny_nbody(3)
 }
 
 /// (stream_hash, exec ns) of a fully instrumented run: telemetry with

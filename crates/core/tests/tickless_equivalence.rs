@@ -7,58 +7,17 @@
 use noiselab_core::harness::run_once_with;
 use noiselab_core::{ExecConfig, Mitigation, Model, Platform};
 use noiselab_kernel::KernelConfig;
-use noiselab_workloads::{Babelstream, MiniFE, NBody, Workload};
+use noiselab_testutil::{platforms, scaled_nbody, scaled_workloads as workloads, tickless_config};
+use noiselab_workloads::Workload;
 
 fn eager() -> KernelConfig {
-    KernelConfig {
-        tickless: false,
-        ..KernelConfig::default()
-    }
+    tickless_config(false)
 }
 
 fn tickless() -> KernelConfig {
     let cfg = KernelConfig::default();
     assert!(cfg.tickless, "tickless must be the default kernel mode");
     cfg
-}
-
-fn platforms() -> Vec<(&'static str, Platform)> {
-    vec![
-        ("intel", Platform::intel()),
-        ("amd", Platform::amd()),
-        ("a64fx", Platform::a64fx(false)),
-    ]
-}
-
-/// Scaled-down instances of the paper's three core workloads — small
-/// enough for a test matrix, long enough to span many timer ticks.
-fn workloads() -> Vec<(&'static str, Box<dyn Workload + Sync>)> {
-    vec![
-        (
-            "nbody",
-            Box::new(NBody {
-                bodies: 2_048,
-                steps: 2,
-                sycl_kernel_efficiency: 1.3,
-            }),
-        ),
-        (
-            "babelstream",
-            Box::new(Babelstream {
-                elements: 200_000,
-                iterations: 3,
-                ..Babelstream::default()
-            }),
-        ),
-        (
-            "minife",
-            Box::new(MiniFE {
-                nx: 16,
-                cg_iterations: 6,
-                ..MiniFE::default()
-            }),
-        ),
-    ]
 }
 
 fn assert_cell_equivalent(
@@ -117,11 +76,7 @@ fn mitigations_and_smt_cells_are_equivalent() {
     // SMT siblings) — exactly the CPUs whose ticks park. Cover the
     // remaining configuration shapes on one platform/workload.
     let p = Platform::intel();
-    let w = NBody {
-        bodies: 2_048,
-        steps: 2,
-        sycl_kernel_efficiency: 1.3,
-    };
+    let w = scaled_nbody();
     for mitigation in [Mitigation::RmHK, Mitigation::Tp, Mitigation::TpHK] {
         let cfg = ExecConfig::new(Model::Omp, mitigation);
         assert_cell_equivalent(&p, "intel", &w, "nbody", &cfg, 23);
@@ -133,11 +88,7 @@ fn mitigations_and_smt_cells_are_equivalent() {
 #[test]
 fn equivalence_holds_across_seeds() {
     let p = Platform::amd();
-    let w = NBody {
-        bodies: 2_048,
-        steps: 2,
-        sycl_kernel_efficiency: 1.3,
-    };
+    let w = scaled_nbody();
     let cfg = ExecConfig::new(Model::Omp, Mitigation::Rm);
     for seed in 100..110 {
         assert_cell_equivalent(&p, "amd", &w, "nbody", &cfg, seed);

@@ -16,7 +16,7 @@ use crate::config::KernelConfig;
 use crate::cpu::Cpu;
 use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::ids::{BarrierId, ThreadId, WaitId};
-use crate::observe::{HostProfiler, KernelObserver, Phase, SchedRecord};
+use crate::observe::{DecisionPoint, HostProfiler, KernelObserver, Phase, SchedRecord};
 use crate::policy::Policy;
 use crate::sanitize::{EventKind, EventRecord, EventSanitizer, SanitizerConfig, SanitizerReport};
 use crate::thread::{ActiveCompute, BlockReason, Thread, ThreadKind, ThreadState};
@@ -675,6 +675,7 @@ impl Kernel {
                 // Preempted while spinning; remove from the runqueue.
                 let cpu = self.threads[i].cpu.unwrap().index();
                 self.dequeue_ready(cpu, tid);
+                self.note_dequeue(cpu, tid);
                 self.threads[i].compute = None;
                 self.threads[i].state = ThreadState::Blocked;
                 self.threads[i].cpu = None;
@@ -822,6 +823,7 @@ impl Kernel {
                 if ran >= self.config.min_granularity {
                     if let Some((v, _)) = self.cpus[ci].cfs.peek() {
                         if v < cur_t.vruntime {
+                            self.note_decision(ci, DecisionPoint::TickPreempt);
                             self.preempt_current(ci);
                             self.dispatch(ci);
                         }
@@ -954,6 +956,7 @@ impl Kernel {
                     .expect("ready thread without cpu")
                     .index();
                 self.dequeue_ready(cpu, tid);
+                self.note_dequeue(cpu, tid);
                 self.threads[i].state = ThreadState::Exited;
                 self.threads[i].cpu = None;
                 self.threads[i].compute = None;
@@ -1001,7 +1004,8 @@ impl Kernel {
             _ => return,
         }
         self.threads[i].block_reason = BlockReason::None;
-        let cpu = self.select_rq(tid);
+        let (cpu, placement) = self.select_rq(tid);
+        self.note_decision(cpu.index(), placement);
         if let Some(last) = self.threads[i].last_cpu {
             if last != cpu {
                 self.threads[i].pending_migration = true;
@@ -1020,7 +1024,10 @@ impl Kernel {
     /// ties break on lowest CPU id. The idle-core preference is what
     /// routes unpinned noise onto housekeeping cores instead of the SMT
     /// siblings of busy workload cores.
-    fn select_rq(&self, tid: ThreadId) -> CpuId {
+    ///
+    /// Returns the chosen CPU together with the placement branch taken,
+    /// so the caller can announce the decision point.
+    fn select_rq(&self, tid: ThreadId) -> (CpuId, DecisionPoint) {
         let t = &self.threads[tid.index()];
         let allowed = t.affinity.intersection(self.machine.all_cpus());
         assert!(!allowed.is_empty(), "thread {} has empty affinity", t.name);
@@ -1036,7 +1043,7 @@ impl Kernel {
 
         if let Some(last) = t.last_cpu {
             if allowed.contains(last) && core_idle(last) {
-                return last;
+                return (last, DecisionPoint::PlaceLastCore);
             }
         }
         // Any fully idle physical core — preferring the previous NUMA
@@ -1058,21 +1065,21 @@ impl Kernel {
                             idle_core_remote = Some(c);
                         }
                     }
-                    _ => return c,
+                    _ => return (c, DecisionPoint::PlaceHomeIdleCore),
                 }
             }
         }
         if let Some(c) = idle_core_remote {
-            return c;
+            return (c, DecisionPoint::PlaceRemoteIdleCore);
         }
         // Previous CPU if idle (cache affinity), else any idle CPU.
         if let Some(last) = t.last_cpu {
             if allowed.contains(last) && is_idle(last) {
-                return last;
+                return (last, DecisionPoint::PlaceLastIdle);
             }
         }
         if let Some(c) = idle_any {
-            return c;
+            return (c, DecisionPoint::PlaceAnyIdle);
         }
         // Least loaded.
         let mut best = allowed.first().unwrap();
@@ -1084,7 +1091,7 @@ impl Kernel {
                 best = c;
             }
         }
-        best
+        (best, DecisionPoint::PlaceLeastLoaded)
     }
 
     fn enqueue(&mut self, ci: usize, tid: ThreadId) {
@@ -1143,6 +1150,14 @@ impl Kernel {
                         new_t.vruntime + self.config.wakeup_granularity.nanos() < cur_t.vruntime
                     }
                 };
+                self.note_decision(
+                    ci,
+                    if should {
+                        DecisionPoint::WakePreempt
+                    } else {
+                        DecisionPoint::WakeNoPreempt
+                    },
+                );
                 if should {
                     self.preempt_current(ci);
                     self.dispatch(ci);
@@ -1234,24 +1249,64 @@ impl Kernel {
         self.recompute_rates_for(ci);
     }
 
+    /// Announce a scheduler decision point to the attached observer.
+    /// Pure observation: no kernel state is read back.
+    #[inline]
+    fn note_decision(&mut self, ci: usize, point: DecisionPoint) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.sched(&SchedRecord::Decision {
+                cpu: ci as u32,
+                time: self.queue.now(),
+                point,
+            });
+        }
+    }
+
+    #[inline]
+    fn note_dequeue(&mut self, ci: usize, tid: ThreadId) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.sched(&SchedRecord::Dequeue {
+                cpu: ci as u32,
+                thread: tid.0,
+                time: self.queue.now(),
+            });
+        }
+    }
+
     /// Pick and start the next thread on CPU `ci`.
     fn dispatch(&mut self, ci: usize) {
         debug_assert!(self.cpus[ci].current.is_none());
         self.prof_enter(Phase::Scheduler);
+        let mut from_rt = false;
         let local = self.cpus[ci]
             .rt
             .pop()
-            .map(|(_, t)| t)
+            .map(|(_, t)| {
+                from_rt = true;
+                t
+            })
             .or_else(|| self.cpus[ci].cfs.pop().map(|(_, t)| t));
         if local.is_some() {
             self.queued_total -= 1;
         }
+        let stolen = local.is_none();
         let next = local.or_else(|| self.try_steal(ci));
         let Some(tid) = next else {
             self.cpus[ci].cfs.refresh_floor(None);
+            self.note_decision(ci, DecisionPoint::PickNone);
             self.prof_exit(Phase::Scheduler);
             return;
         };
+        self.note_decision(
+            ci,
+            if stolen {
+                DecisionPoint::PickSteal
+            } else if from_rt {
+                DecisionPoint::PickRt
+            } else {
+                DecisionPoint::PickFair
+            },
+        );
         let now = self.now();
         let i = tid.index();
         debug_assert_eq!(self.threads[i].state, ThreadState::Ready);
@@ -1365,7 +1420,18 @@ impl Kernel {
                 best = Some((queued, t, rt));
             }
         }
-        let (_, tid, _) = best?;
+        let Some((_, tid, rt)) = best else {
+            self.note_decision(ci, DecisionPoint::StealNone);
+            return None;
+        };
+        self.note_decision(
+            ci,
+            if rt {
+                DecisionPoint::StealRt
+            } else {
+                DecisionPoint::StealFair
+            },
+        );
         let victim = self.threads[tid.index()]
             .cpu
             .expect("queued thread without cpu")
@@ -1522,7 +1588,8 @@ impl Kernel {
                         // Forced migration off this CPU.
                         let ci = cpu.index();
                         self.off_cpu(tid, ThreadState::Ready);
-                        let target = self.select_rq(tid);
+                        let (target, placement) = self.select_rq(tid);
+                        self.note_decision(target.index(), placement);
                         self.threads[i].pending_migration = true;
                         self.threads[i].cpu = Some(target);
                         self.enqueue(target.index(), tid);

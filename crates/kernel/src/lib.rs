@@ -55,7 +55,7 @@ pub use config::KernelConfig;
 pub use fault::{CpuStallSpec, FaultPlan, FaultStats, SpuriousIrqSpec, ThreadAbortSpec};
 pub use ids::{BarrierId, ThreadId, WaitId};
 pub use kernel::{Kernel, RunError, ThreadSpec};
-pub use observe::{HostProfiler, KernelObserver, Phase, SchedRecord};
+pub use observe::{DecisionPoint, HostProfiler, KernelObserver, Phase, SchedRecord};
 pub use policy::Policy;
 pub use sanitize::{
     EventKind, EventRecord, EventSanitizer, HashCheckpoint, LoggedEvent, SanitizerConfig,

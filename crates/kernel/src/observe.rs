@@ -75,12 +75,118 @@ pub enum SchedRecord<'a> {
         source: &'a str,
         softirq: bool,
     },
+    /// A queued (Ready) thread was removed from its runqueue without
+    /// going on-CPU: a preempted spinner gave up, or a fault abort tore
+    /// the thread down while it waited. Steal-path dequeues are *not*
+    /// reported here — they surface as [`SchedRecord::Migrate`]. With
+    /// this record, runqueue membership is fully reconstructible from
+    /// the stream (the conformance invariants depend on that).
+    Dequeue {
+        cpu: u32,
+        thread: u32,
+        time: SimTime,
+    },
     /// A thread changed scheduling class.
     PolicySwitch {
         thread: u32,
         time: SimTime,
         rt: bool,
     },
+    /// The scheduler passed a decision point (pick, placement,
+    /// preemption check, steal). The conformance suite derives its
+    /// branch-coverage signature from this stream; telemetry counts it.
+    Decision {
+        cpu: u32,
+        time: SimTime,
+        point: DecisionPoint,
+    },
+}
+
+/// A branch the scheduler can take at one of its decision sites. Each
+/// variant is one edge of the decision graph the conformance fuzzer
+/// tries to cover; [`DecisionPoint::index`] gives a dense coverage-map
+/// slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionPoint {
+    /// Dispatch picked the head of the local RT queue.
+    PickRt,
+    /// Dispatch picked the local CFS argmin-vruntime thread.
+    PickFair,
+    /// Dispatch pulled a thread from another CPU (idle balance).
+    PickSteal,
+    /// Dispatch found nothing runnable; the CPU goes idle.
+    PickNone,
+    /// A wakeup preempted the current thread.
+    WakePreempt,
+    /// A wakeup left the current thread running.
+    WakeNoPreempt,
+    /// The scheduler tick preempted the fair current thread.
+    TickPreempt,
+    /// Placement: previous CPU, on a fully idle physical core.
+    PlaceLastCore,
+    /// Placement: a fully idle core in the thread's home domain.
+    PlaceHomeIdleCore,
+    /// Placement: a fully idle core in a remote NUMA domain.
+    PlaceRemoteIdleCore,
+    /// Placement: the merely-idle previous CPU (busy sibling).
+    PlaceLastIdle,
+    /// Placement: the first idle CPU in the allowed mask.
+    PlaceAnyIdle,
+    /// Placement: no idle CPU — the least-loaded allowed CPU.
+    PlaceLeastLoaded,
+    /// Idle balance stole an RT thread.
+    StealRt,
+    /// Idle balance stole a fair (CFS-tail) thread.
+    StealFair,
+    /// Idle balance found no eligible victim.
+    StealNone,
+}
+
+impl DecisionPoint {
+    pub const ALL: [DecisionPoint; 16] = [
+        DecisionPoint::PickRt,
+        DecisionPoint::PickFair,
+        DecisionPoint::PickSteal,
+        DecisionPoint::PickNone,
+        DecisionPoint::WakePreempt,
+        DecisionPoint::WakeNoPreempt,
+        DecisionPoint::TickPreempt,
+        DecisionPoint::PlaceLastCore,
+        DecisionPoint::PlaceHomeIdleCore,
+        DecisionPoint::PlaceRemoteIdleCore,
+        DecisionPoint::PlaceLastIdle,
+        DecisionPoint::PlaceAnyIdle,
+        DecisionPoint::PlaceLeastLoaded,
+        DecisionPoint::StealRt,
+        DecisionPoint::StealFair,
+        DecisionPoint::StealNone,
+    ];
+
+    /// Dense index into coverage maps; `ALL[p.index()] == p`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionPoint::PickRt => "pick-rt",
+            DecisionPoint::PickFair => "pick-fair",
+            DecisionPoint::PickSteal => "pick-steal",
+            DecisionPoint::PickNone => "pick-none",
+            DecisionPoint::WakePreempt => "wake-preempt",
+            DecisionPoint::WakeNoPreempt => "wake-no-preempt",
+            DecisionPoint::TickPreempt => "tick-preempt",
+            DecisionPoint::PlaceLastCore => "place-last-core",
+            DecisionPoint::PlaceHomeIdleCore => "place-home-idle-core",
+            DecisionPoint::PlaceRemoteIdleCore => "place-remote-idle-core",
+            DecisionPoint::PlaceLastIdle => "place-last-idle",
+            DecisionPoint::PlaceAnyIdle => "place-any-idle",
+            DecisionPoint::PlaceLeastLoaded => "place-least-loaded",
+            DecisionPoint::StealRt => "steal-rt",
+            DecisionPoint::StealFair => "steal-fair",
+            DecisionPoint::StealNone => "steal-none",
+        }
+    }
 }
 
 /// A pure observer of kernel activity. Both methods default to no-ops
@@ -156,6 +262,14 @@ mod tests {
     #[test]
     fn phase_names_and_indices_are_stable() {
         for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn decision_point_names_and_indices_are_stable() {
+        for (i, p) in DecisionPoint::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
             assert!(!p.name().is_empty());
         }

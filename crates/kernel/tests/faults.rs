@@ -5,58 +5,12 @@
 //! harness maps to a typed run failure).
 
 use noiselab_kernel::{
-    Action, CpuStallSpec, FaultPlan, Kernel, KernelConfig, NoiseClass, ScriptBehavior,
-    SpuriousIrqSpec, ThreadId, ThreadKind, ThreadSpec, TraceSink,
+    Action, CpuStallSpec, FaultPlan, Kernel, KernelConfig, ScriptBehavior, SpuriousIrqSpec,
+    ThreadKind, ThreadSpec,
 };
-use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_machine::{CpuId, CpuSet, WorkUnit};
 use noiselab_sim::{Rng, SimDuration, SimTime};
-use std::cell::RefCell;
-use std::rc::Rc;
-
-fn machine(cores: usize, smt: usize) -> Machine {
-    Machine {
-        name: "f".into(),
-        cores,
-        smt,
-        perf: PerfModel {
-            flops_per_ns: 1.0,
-            smt_factor: 0.5,
-            per_core_bw: 10.0,
-            socket_bw: 20.0,
-        },
-        migration_cost: SimDuration::from_nanos(500),
-        ctx_switch: SimDuration::from_nanos(300),
-        wake_latency: SimDuration::from_nanos(700),
-        tick_period: SimDuration::from_millis(4),
-        reserved_cpus: CpuSet::EMPTY,
-        numa_domains: 1,
-    }
-}
-
-fn horizon() -> SimTime {
-    SimTime::from_secs_f64(100.0)
-}
-
-type TraceTuple = (u32, NoiseClass, String, u64, u64);
-
-#[derive(Default)]
-struct Recorder(Rc<RefCell<Vec<TraceTuple>>>);
-
-impl TraceSink for Recorder {
-    fn record(
-        &mut self,
-        cpu: CpuId,
-        class: NoiseClass,
-        source: &str,
-        _tid: Option<ThreadId>,
-        start: SimTime,
-        duration: SimDuration,
-    ) {
-        self.0
-            .borrow_mut()
-            .push((cpu.0, class, source.to_string(), start.0, duration.nanos()));
-    }
-}
+use noiselab_testutil::{costed_machine as machine, horizon, recorder, TraceTuple};
 
 /// Two workers meeting at a barrier, one pinned, plus FIFO noise — the
 /// common scenario all fault tests run under.
@@ -65,8 +19,8 @@ fn run_scenario(seed: u64, plan: Option<&FaultPlan>) -> (Vec<u64>, Vec<TraceTupl
     if let Some(p) = plan {
         k.install_faults(p, Rng::new(p.seed ^ seed));
     }
-    let store = Rc::new(RefCell::new(Vec::new()));
-    k.attach_tracer(Box::new(Recorder(store.clone())));
+    let (rec, store) = recorder();
+    k.attach_tracer(Box::new(rec));
     let bar = k.new_barrier(2);
     let a = k.spawn(
         ThreadSpec::new("a", ThreadKind::Workload).affinity(CpuSet::single(CpuId(0))),

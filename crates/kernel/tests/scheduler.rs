@@ -5,62 +5,11 @@
 use noiselab_kernel::{
     Action, Kernel, KernelConfig, Policy, ScriptBehavior, ThreadKind, ThreadSpec,
 };
-use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_machine::{CpuId, CpuSet, WorkUnit};
 use noiselab_sim::{SimDuration, SimTime};
-
-/// A quiet 4-core test machine: no SMT, zero overheads, fast ticks kept
-/// but with negligible IRQ cost so timing maths stays exact.
-fn quiet_machine(cores: usize, smt: usize) -> Machine {
-    Machine {
-        name: "test".into(),
-        cores,
-        smt,
-        perf: PerfModel {
-            flops_per_ns: 1.0,
-            smt_factor: 0.5,
-            per_core_bw: 10.0,
-            socket_bw: 20.0,
-        },
-        migration_cost: SimDuration::ZERO,
-        ctx_switch: SimDuration::ZERO,
-        wake_latency: SimDuration::ZERO,
-        tick_period: SimDuration::from_millis(4),
-        reserved_cpus: CpuSet::EMPTY,
-        numa_domains: 1,
-    }
-}
-
-fn quiet_config() -> KernelConfig {
-    KernelConfig {
-        timer_irq_mean: SimDuration::from_nanos(200),
-        timer_irq_sd: SimDuration::ZERO,
-        softirq_prob: 0.0,
-        ..KernelConfig::default()
-    }
-}
-
-fn kernel(cores: usize, smt: usize) -> Kernel {
-    Kernel::new(quiet_machine(cores, smt), quiet_config(), 1)
-}
-
-fn horizon() -> SimTime {
-    SimTime::from_secs_f64(100.0)
-}
-
-/// Spawn a thread that computes `flops` then exits.
-fn spawn_compute(
-    k: &mut Kernel,
-    name: &str,
-    flops: f64,
-    policy: Policy,
-) -> noiselab_kernel::ThreadId {
-    k.spawn(
-        ThreadSpec::new(name, ThreadKind::Workload).policy(policy),
-        Box::new(ScriptBehavior::new(vec![Action::Compute(
-            WorkUnit::compute(flops),
-        )])),
-    )
-}
+use noiselab_testutil::{
+    horizon, quiet_config, quiet_kernel as kernel, quiet_machine, spawn_compute,
+};
 
 #[test]
 fn single_compute_takes_solo_time() {

@@ -2,77 +2,21 @@
 //! observable — exec times, traces and noise accounting match an eager
 //! kernel at the same seed — while the event count drops.
 
-use noiselab_kernel::{
-    Action, Kernel, KernelConfig, NoiseClass, Policy, ScriptBehavior, ThreadId, ThreadKind,
-    ThreadSpec, TraceSink,
-};
-use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_kernel::{Action, Kernel, Policy, ScriptBehavior, ThreadId, ThreadKind, ThreadSpec};
+use noiselab_machine::{CpuId, CpuSet, WorkUnit};
 use noiselab_sim::{SimDuration, SimTime};
+use noiselab_testutil::{
+    costed_machine as machine, horizon, recorder, tickless_config as config, TraceTuple,
+};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
-
-fn machine(cores: usize, smt: usize) -> Machine {
-    Machine {
-        name: "t".into(),
-        cores,
-        smt,
-        perf: PerfModel {
-            flops_per_ns: 1.0,
-            smt_factor: 0.5,
-            per_core_bw: 10.0,
-            socket_bw: 20.0,
-        },
-        migration_cost: SimDuration::from_nanos(500),
-        ctx_switch: SimDuration::from_nanos(300),
-        wake_latency: SimDuration::from_nanos(700),
-        tick_period: SimDuration::from_millis(4),
-        reserved_cpus: CpuSet::EMPTY,
-        numa_domains: 1,
-    }
-}
-
-fn config(tickless: bool) -> KernelConfig {
-    KernelConfig {
-        tickless,
-        ..KernelConfig::default()
-    }
-}
-
-fn horizon() -> SimTime {
-    SimTime::from_secs_f64(100.0)
-}
-
-/// One recorded trace event: (cpu, class, source, start, duration).
-type TraceTuple = (u32, NoiseClass, String, u64, u64);
-
-/// A trace sink recording full event tuples for comparison across runs.
-#[derive(Default)]
-struct Recorder(Rc<RefCell<Vec<TraceTuple>>>);
-
-impl TraceSink for Recorder {
-    fn record(
-        &mut self,
-        cpu: CpuId,
-        class: NoiseClass,
-        source: &str,
-        _tid: Option<ThreadId>,
-        start: SimTime,
-        duration: SimDuration,
-    ) {
-        self.0
-            .borrow_mut()
-            .push((cpu.0, class, source.to_string(), start.0, duration.nanos()));
-    }
-}
 
 /// A mixed scenario: barriers, sleeps, pinned + roaming threads, FIFO
 /// noise and a device IRQ, leaving several CPUs idle for long spans.
 fn run_scenario(tickless: bool, seed: u64, traced: bool) -> (Vec<u64>, Vec<TraceTuple>) {
     let mut k = Kernel::new(machine(4, 2), config(tickless), seed);
-    let store = Rc::new(RefCell::new(Vec::new()));
+    let (rec, store) = recorder();
     if traced {
-        k.attach_tracer(Box::new(Recorder(store.clone())));
+        k.attach_tracer(Box::new(rec));
     }
     let bar = k.new_barrier(2);
     let a = k.spawn(

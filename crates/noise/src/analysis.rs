@@ -4,7 +4,6 @@
 //! run-to-run spread.
 
 use crate::trace::{RunTrace, TraceSet};
-#[cfg(test)]
 use noiselab_kernel::NoiseClass;
 use noiselab_sim::SimDuration;
 use std::collections::BTreeMap;
@@ -71,6 +70,84 @@ pub fn summarize_run(run: &RunTrace) -> RunSummary {
         dropped_events: run.dropped_events,
         completeness: run.completeness(),
     }
+}
+
+/// One CPU's slice of a run: what the tracer recorded there, what its
+/// ring buffer dropped there, and how the recorded noise splits by
+/// class — the `osnoise`-style per-CPU accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuSummary {
+    pub cpu: u32,
+    /// Events recorded for this CPU.
+    pub recorded: u64,
+    /// Events the ring buffer dropped for this CPU on overflow.
+    pub dropped: u64,
+    /// Recorded noise per class: `[irq, softirq, thread]`.
+    pub by_class: [SimDuration; 3],
+}
+
+impl CpuSummary {
+    /// Everything the tracer was offered for this CPU.
+    pub fn emitted(&self) -> u64 {
+        self.recorded + self.dropped
+    }
+}
+
+/// Break a run down per CPU, sorted by CPU id. CPUs that only appear
+/// in the drop counters (every recorded slot was taken before their
+/// first event) still get a row.
+pub fn per_cpu_summary(run: &RunTrace) -> Vec<CpuSummary> {
+    let mut cpus: BTreeMap<u32, CpuSummary> = BTreeMap::new();
+    fn row(cpus: &mut BTreeMap<u32, CpuSummary>, cpu: u32) -> &mut CpuSummary {
+        cpus.entry(cpu).or_insert(CpuSummary {
+            cpu,
+            recorded: 0,
+            dropped: 0,
+            by_class: [SimDuration::ZERO; 3],
+        })
+    }
+    for e in &run.events {
+        let s = row(&mut cpus, e.cpu.0);
+        s.recorded += 1;
+        let idx = match e.class {
+            NoiseClass::Irq => 0,
+            NoiseClass::Softirq => 1,
+            NoiseClass::Thread => 2,
+        };
+        s.by_class[idx] += e.duration;
+    }
+    for &(cpu, dropped) in &run.dropped_by_cpu {
+        row(&mut cpus, cpu).dropped += dropped;
+    }
+    cpus.into_values().collect()
+}
+
+/// Render the per-CPU breakdown as the fixed-width table the golden
+/// fixture pins (`crates/noise/tests/golden_per_cpu.rs`).
+pub fn render_per_cpu_summary(run: &RunTrace) -> String {
+    let rows = per_cpu_summary(run);
+    let emitted: u64 = rows.iter().map(|r| r.emitted()).sum();
+    let mut out = format!(
+        "run #{}: exec {:.4}s, {} event(s) emitted, {} dropped, degraded: {}\n",
+        run.run_index,
+        run.exec_time.as_secs_f64(),
+        emitted,
+        run.dropped_events,
+        run.degraded
+    );
+    out.push_str("  cpu   recorded   dropped        irq    softirq     thread\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "  {:<3} {:>10} {:>9} {:>9.3}ms {:>8.3}ms {:>8.3}ms\n",
+            r.cpu,
+            r.recorded,
+            r.dropped,
+            r.by_class[0].as_millis_f64(),
+            r.by_class[1].as_millis_f64(),
+            r.by_class[2].as_millis_f64()
+        ));
+    }
+    out
 }
 
 /// Characterisation of a whole trace set.

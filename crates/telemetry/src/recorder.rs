@@ -350,6 +350,15 @@ impl Inner {
                 self.metrics.counter_add("sched.policy_switches", 1);
                 self.push_instant(0, "policy-switch", time);
             }
+            // Decision points are high-frequency conformance breadcrumbs;
+            // count them, but emit no timeline events (a span per pick
+            // would swamp the Perfetto track).
+            SchedRecord::Decision { .. } => {
+                self.metrics.counter_add("sched.decisions", 1);
+            }
+            SchedRecord::Dequeue { .. } => {
+                self.metrics.counter_add("sched.dequeues", 1);
+            }
         }
     }
 

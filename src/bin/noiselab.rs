@@ -16,6 +16,9 @@
 //! noiselab audit    [--static] [--dual-run] [--json] [--root .]
 //!                   [--platform intel] [--workload nbody] [--model omp] [--mitigation Rm]
 //!                   [--seed 1] [--perturb N] [--cadence 64]
+//! noiselab conform  [--fuzz N] [--seed S] [--corpus <dir>] [--json]
+//!                   [--mutate swap-pick|drop-irq-span|affinity-break|ghost-run]
+//! noiselab conform  --replay <case.json | repro-line-file | '// conform:repro {...}'>
 //! ```
 //!
 //! `trace --run <seed>` runs one seed with the telemetry recorder and
@@ -31,6 +34,15 @@
 //! `--resume true` and the same flags (`--verify-resume true`, the
 //! default, re-runs the last completed cell and requires its event
 //! stream hash to match the checkpoint before continuing).
+//!
+//! `conform` runs the scheduler conformance suite: a coverage-guided
+//! fuzz campaign whose every scenario is re-derived by a naive
+//! differential oracle and checked against the metamorphic invariants
+//! (work conservation, FIFO supremacy, affinity, osnoise conservation,
+//! bounded fairness). Failures are shrunk to one-line
+//! `// conform:repro` cases replayable with `--replay`; `--mutate`
+//! seeds a known scheduler bug to prove the suite catches it (the exit
+//! code flips: a mutated campaign that PASSES is the failure).
 //!
 //! `audit` enforces the determinism contract: `--static` sweeps the
 //! deterministic crates for nondeterminism (HashMap iteration, wall
@@ -594,6 +606,118 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Campaign seeds read naturally in either base: `--seed 0xC0DE` or
+/// `--seed 49374`.
+fn parse_seed(s: &str) -> u64 {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).unwrap_or(0xC0DE),
+        None => s.parse().unwrap_or(0xC0DE),
+    }
+}
+
+/// `conform`: drive the scheduler conformance suite — either a fuzz
+/// campaign (oracle + invariants over generated scenarios, shrunk
+/// repros on failure) or a single-case replay of a shrunk repro.
+fn cmd_conform(args: &Args) -> Result<(), String> {
+    use noiselab::conform::{
+        check_scenario, fuzz, render_json, render_text, FuzzConfig, Mutation, Scenario,
+        REPRO_MARKER,
+    };
+
+    let json = args.get("json", "false") == "true";
+    let mutation = match args.opts.get("mutate") {
+        None => None,
+        Some(name) => Some(Mutation::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown mutation '{name}' ({})",
+                Mutation::ALL.map(|m| m.name()).join("|")
+            )
+        })?),
+    };
+
+    if let Some(case) = args.opts.get("replay") {
+        // Accept a corpus case file (scenario JSON), a file holding a
+        // `// conform:repro` line, or the repro line pasted directly.
+        let text = match std::fs::read_to_string(case) {
+            Ok(contents) => contents,
+            Err(_) if case.contains(REPRO_MARKER) || case.trim_start().starts_with('{') => {
+                case.clone()
+            }
+            Err(e) => return Err(format!("cannot read replay case {case}: {e}")),
+        };
+        let sc: Scenario = if text.contains(REPRO_MARKER) {
+            let line = text
+                .lines()
+                .find(|l| l.contains(REPRO_MARKER))
+                .expect("marker present");
+            Scenario::from_repro_line(line)?
+        } else {
+            serde_json::from_str(text.trim()).map_err(|e| format!("bad scenario JSON: {e}"))?
+        };
+        match check_scenario(&sc, mutation) {
+            None => {
+                if json {
+                    println!("{{\"replay\": \"pass\"}}");
+                } else {
+                    println!("replay PASS: oracle and invariants agree");
+                    println!("  {}", sc.repro_line());
+                }
+                Ok(())
+            }
+            Some(v) => {
+                if json {
+                    println!(
+                        "{{\"replay\": \"fail\", \"violation\": {}}}",
+                        serde::write_json(&serde::Value::Str(v.to_string()), false)
+                    );
+                } else {
+                    println!("replay FAIL: {v}");
+                    println!("  {}", sc.repro_line());
+                }
+                Err("conformance replay failed".into())
+            }
+        }
+    } else {
+        let iterations: u64 = args.get("fuzz", "500").parse().unwrap_or(500);
+        let cfg = FuzzConfig {
+            iterations,
+            seed: parse_seed(&args.get("seed", "0xC0DE")),
+            corpus_dir: args.opts.get("corpus").map(std::path::PathBuf::from),
+            mutation,
+            ..FuzzConfig::default()
+        };
+        let report = fuzz(&cfg);
+        if json {
+            println!("{}", render_json(&report));
+        } else {
+            print!("{}", render_text(&report));
+        }
+        match (report.ok(), mutation) {
+            // A clean campaign must pass; a mutated campaign must fail,
+            // proving the suite detects the seeded scheduler bug.
+            (true, None) => Ok(()),
+            (false, None) => Err(format!(
+                "conformance campaign failed with {} violation(s)",
+                report.failures.len()
+            )),
+            (false, Some(m)) => {
+                if !json {
+                    println!(
+                        "mutation '{}' detected as intended ({} failure(s) shrunk)",
+                        m.name(),
+                        report.failures.len()
+                    );
+                }
+                Ok(())
+            }
+            (true, Some(m)) => Err(format!(
+                "mutation '{}' went UNDETECTED across {iterations} scenarios",
+                m.name()
+            )),
+        }
+    }
+}
+
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let traces_path = args.required("traces")?;
     let data = std::fs::read_to_string(&traces_path).map_err(|e| e.to_string())?;
@@ -624,7 +748,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "noiselab <baseline|trace|generate|inject|analyze|report|campaign|metrics|audit> \
+        "noiselab <baseline|trace|generate|inject|analyze|report|campaign|metrics|audit|conform> \
          [--key value ...]\n\
          see the module docs (src/bin/noiselab.rs) for the full flag list"
     );
@@ -645,6 +769,7 @@ fn main() -> ExitCode {
         "campaign" => cmd_campaign(&args),
         "metrics" => cmd_metrics(&args),
         "audit" => cmd_audit(&args),
+        "conform" => cmd_conform(&args),
         _ => {
             usage();
             return ExitCode::FAILURE;

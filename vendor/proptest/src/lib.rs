@@ -8,11 +8,21 @@
 //!
 //! Differences from real proptest, by design:
 //! * no shrinking — a failing case reports its inputs via the
-//!   assertion message only;
+//!   assertion message only, plus a `cc <hex>` replay seed that can be
+//!   pinned in a `proptest-regressions/<test>.txt` file;
 //! * deterministic: the RNG is seeded from the test's module path and
 //!   name, so failures reproduce across runs;
 //! * `any::<T>()` covers the primitive types used here, not arbitrary
 //!   derives.
+//!
+//! Regression pinning mirrors real proptest's persistence: when a
+//! property fails, the panic message carries the RNG state that
+//! produced the failing case (`cc 0123…`). Committing that line to
+//! `<crate>/proptest-regressions/<module>__<test>.txt` makes every
+//! future run replay the pinned case *first*, before the random
+//! sweep. The `PROPTEST_CASES` environment variable overrides the
+//! per-property case count (used by the nightly CI job to widen the
+//! sweep without slowing the PR gate).
 
 use std::ops::Range;
 
@@ -41,6 +51,19 @@ impl TestRng {
             h = h.wrapping_mul(0x100_0000_01b3);
         }
         Self::new(h)
+    }
+
+    /// Resume from a raw state captured by [`TestRng::state`]. Unlike
+    /// [`TestRng::new`] this applies no seed whitening, so the replayed
+    /// draws are bit-identical to the original sequence.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The raw RNG state. Captured immediately before a property case
+    /// generates its inputs, it is an exact replay seed for that case.
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -295,6 +318,40 @@ impl Default for ProptestConfig {
     }
 }
 
+/// `PROPTEST_CASES` override for the per-property case count. The
+/// nightly CI job sets this to widen the sweep; unset or unparsable
+/// values fall back to the in-source config.
+pub fn cases_override() -> Option<u32> {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Load pinned replay seeds for a property from
+/// `<manifest_dir>/proptest-regressions/<sanitized test name>.txt`.
+/// Lines of the form `cc <hex>` are RNG states captured from past
+/// failures; everything else (comments, blanks) is ignored. A missing
+/// file means no pinned cases.
+pub fn load_regressions(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let path = std::path::Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{}.txt", sanitize_test_name(test_name)));
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            u64::from_str_radix(rest.trim(), 16).ok()
+        })
+        .collect()
+}
+
+/// `module::path::test` → `module__path__test` (a portable filename).
+pub fn sanitize_test_name(name: &str) -> String {
+    name.replace("::", "__")
+}
+
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
@@ -376,16 +433,38 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let __cfg: $crate::ProptestConfig = $cfg;
-            let mut __rng =
-                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for __case in 0..__cfg.cases {
+            let __cases = $crate::cases_override().unwrap_or(__cfg.cases);
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            // Pinned regressions replay first, before the random sweep.
+            for __pinned in $crate::load_regressions(env!("CARGO_MANIFEST_DIR"), __test_name) {
+                let mut __rng = $crate::TestRng::from_state(__pinned);
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
                 let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
                     $body
                     ::std::result::Result::Ok(())
                 })();
                 if let ::std::result::Result::Err(__msg) = __outcome {
-                    panic!("property {} failed on case {}: {}", stringify!($name), __case, __msg);
+                    panic!(
+                        "property {} failed on pinned regression cc {:016x}: {}",
+                        stringify!($name), __pinned, __msg
+                    );
+                }
+            }
+            let mut __rng = $crate::TestRng::from_name(__test_name);
+            for __case in 0..__cases {
+                let __replay = __rng.state();
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "property {} failed on case {} (pin with `cc {:016x}` in \
+                         proptest-regressions/{}.txt): {}",
+                        stringify!($name), __case, __replay,
+                        $crate::sanitize_test_name(__test_name), __msg
+                    );
                 }
             }
         }
@@ -415,6 +494,32 @@ mod tests {
         let mut a = crate::TestRng::from_name("x::y");
         let mut b = crate::TestRng::from_name("x::y");
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_capture_replays_exactly() {
+        let mut rng = crate::TestRng::from_name("x::y");
+        rng.next_u64();
+        let snap = rng.state();
+        let ahead = (0..4).map(|_| rng.next_u64()).collect::<Vec<_>>();
+        let mut replay = crate::TestRng::from_state(snap);
+        let again = (0..4).map(|_| replay.next_u64()).collect::<Vec<_>>();
+        assert_eq!(ahead, again);
+    }
+
+    #[test]
+    fn regression_files_parse_cc_lines_only() {
+        let dir = std::env::temp_dir().join("noiselab-proptest-stub-test");
+        std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+        std::fs::write(
+            dir.join("proptest-regressions/m__t.txt"),
+            "# comment\ncc 00000000000000ff\nnot a seed\ncc 10\n",
+        )
+        .unwrap();
+        let seeds = crate::load_regressions(dir.to_str().unwrap(), "m::t");
+        assert_eq!(seeds, vec![0xff, 0x10]);
+        assert!(crate::load_regressions(dir.to_str().unwrap(), "m::absent").is_empty());
+        assert_eq!(crate::sanitize_test_name("a::b::c"), "a__b__c");
     }
 
     #[test]

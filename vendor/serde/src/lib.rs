@@ -97,6 +97,20 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+/// `Value` round-trips through itself, so dynamically built JSON trees
+/// can be fed to the same entry points as derived types.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------
