@@ -1,0 +1,212 @@
+//! Hot-path cost sweep: host ns/event for every workload × scheduling
+//! config, in all four observation modes, consolidated into
+//! `BENCH_hotpath.json` at the repository root.
+//!
+//! The file keeps a history so an optimization trajectory stays
+//! honest: the first run on a tree writes the `baseline` snapshot;
+//! every later run appends a labelled snapshot to `steps` (label from
+//! `NOISELAB_BENCH_LABEL`, default `step-N`). CI runs the same binary
+//! in check mode (`NOISELAB_BENCH_CHECK=1`), which re-measures at low
+//! reps and fails on a >25 % bare-ns/event regression against the last
+//! committed snapshot instead of writing anything.
+//!
+//! Env knobs:
+//! * `NOISELAB_BENCH_REPS`  — reps per mode (default 5; nightly uses 9)
+//! * `NOISELAB_BENCH_LABEL` — snapshot label for the history
+//! * `NOISELAB_BENCH_CHECK` — compare, don't write; exit 1 on regression
+
+use noiselab_core::experiments::suite;
+use noiselab_core::{measure_overhead, ExecConfig, Mitigation, Model, Platform};
+use noiselab_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+const OUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+/// Allowed bare-path regression before the check mode fails the run.
+const GATE_PCT: f64 = 25.0;
+
+/// One (workload, config) cell's per-mode cost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Cell {
+    workload: String,
+    config: String,
+    events_per_run: u64,
+    bare_ns_per_event: f64,
+    telemetry_ns_per_event: f64,
+    telemetry_overhead_pct: f64,
+    tracer_overhead_pct: f64,
+    both_overhead_pct: f64,
+}
+
+/// One labelled measurement of the whole sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Snapshot {
+    label: String,
+    reps: u32,
+    cells: Vec<Cell>,
+}
+
+/// The on-disk history: baseline first, then one snapshot per
+/// optimization step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct History {
+    bench: String,
+    baseline: Snapshot,
+    steps: Vec<Snapshot>,
+}
+
+impl History {
+    fn latest(&self) -> &Snapshot {
+        self.steps.last().unwrap_or(&self.baseline)
+    }
+}
+
+fn sweep(reps: u32, label: String) -> Snapshot {
+    let platform = Platform::intel();
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(suite::nbody_for(&platform)),
+        Box::new(suite::babelstream_for(&platform)),
+        Box::new(suite::minife_for(&platform)),
+    ];
+    // Roam (the paper's default placement) and pinned.
+    let configs = [
+        ExecConfig::new(Model::Omp, Mitigation::Rm),
+        ExecConfig::new(Model::Omp, Mitigation::Tp),
+    ];
+    let mut cells = Vec::new();
+    for w in &workloads {
+        for cfg in &configs {
+            let rep = measure_overhead(&platform, w.as_ref(), cfg, 1, reps)
+                .expect("hotpath bench cell failed");
+            let row = |mode: &str| {
+                rep.rows
+                    .iter()
+                    .find(|r| r.mode == mode)
+                    .unwrap_or_else(|| panic!("mode {mode} missing"))
+            };
+            cells.push(Cell {
+                workload: rep.workload.clone(),
+                config: rep.config.clone(),
+                events_per_run: rep.events,
+                bare_ns_per_event: row("bare").host_ns_per_event,
+                telemetry_ns_per_event: row("+telemetry").host_ns_per_event,
+                telemetry_overhead_pct: row("+telemetry").overhead_pct,
+                tracer_overhead_pct: row("+tracer").overhead_pct,
+                both_overhead_pct: row("+both").overhead_pct,
+            });
+            println!(
+                "{:<12} {:<8} {:>7} ev  bare {:>7.1} ns/ev  tel {:>+6.1}%  trc {:>+6.1}%  both {:>+6.1}%",
+                cells.last().unwrap().workload,
+                cells.last().unwrap().config,
+                cells.last().unwrap().events_per_run,
+                cells.last().unwrap().bare_ns_per_event,
+                cells.last().unwrap().telemetry_overhead_pct,
+                cells.last().unwrap().tracer_overhead_pct,
+                cells.last().unwrap().both_overhead_pct,
+            );
+        }
+    }
+    Snapshot { label, reps, cells }
+}
+
+/// Compare a fresh sweep against the committed history; returns the
+/// regressions as `(workload/config key, human-readable line)` pairs.
+fn check(history: &History, fresh: &Snapshot) -> Vec<(String, String)> {
+    let committed = history.latest();
+    let mut bad = Vec::new();
+    for cell in &fresh.cells {
+        let Some(prev) = committed
+            .cells
+            .iter()
+            .find(|c| c.workload == cell.workload && c.config == cell.config)
+        else {
+            continue;
+        };
+        let pct =
+            (cell.bare_ns_per_event - prev.bare_ns_per_event) / prev.bare_ns_per_event * 100.0;
+        if pct > GATE_PCT {
+            bad.push((
+                format!("{}/{}", cell.workload, cell.config),
+                format!(
+                    "{} / {}: bare {:.1} -> {:.1} ns/event ({:+.1}% > {:.0}% gate)",
+                    cell.workload,
+                    cell.config,
+                    prev.bare_ns_per_event,
+                    cell.bare_ns_per_event,
+                    pct,
+                    GATE_PCT
+                ),
+            ));
+        }
+    }
+    bad
+}
+
+fn main() {
+    let t0 = noiselab_bench::wall_clock();
+    let reps: u32 = std::env::var("NOISELAB_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let check_mode = std::env::var("NOISELAB_BENCH_CHECK").is_ok_and(|v| v == "1");
+    let existing: Option<History> = std::fs::read_to_string(OUT)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+
+    if check_mode {
+        let history = existing.expect("check mode needs a committed BENCH_hotpath.json");
+        let fresh = sweep(reps, "check".into());
+        let mut bad = check(&history, &fresh);
+        if !bad.is_empty() {
+            // A genuine regression reproduces; a transient load spike
+            // on a shared host does not. Re-measure once and keep only
+            // the cells that exceed the gate in both sweeps.
+            let retry = sweep(reps, "check-retry".into());
+            let confirmed = check(&history, &retry);
+            bad.retain(|(key, _)| confirmed.iter().any(|(k, _)| k == key));
+        }
+        if bad.is_empty() {
+            println!(
+                "hotpath perf gate: OK vs '{}' ({} cells within {:.0}%)",
+                history.latest().label,
+                fresh.cells.len(),
+                GATE_PCT
+            );
+        } else {
+            eprintln!("hotpath perf gate: REGRESSION");
+            for (_, line) in &bad {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        noiselab_bench::finish("hotpath", t0);
+        return;
+    }
+
+    let history = match existing {
+        None => {
+            let label = std::env::var("NOISELAB_BENCH_LABEL").unwrap_or_else(|_| "baseline".into());
+            History {
+                bench: "hotpath".into(),
+                baseline: sweep(reps, label),
+                steps: Vec::new(),
+            }
+        }
+        Some(mut h) => {
+            let label = std::env::var("NOISELAB_BENCH_LABEL")
+                .unwrap_or_else(|_| format!("step-{}", h.steps.len() + 1));
+            h.steps.push(sweep(reps, label));
+            h
+        }
+    };
+    match serde_json::to_string_pretty(&history) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(OUT, json + "\n") {
+                eprintln!("noiselab-bench: hotpath history not written: {e}");
+            } else {
+                println!("wrote {OUT} (snapshot '{}')", history.latest().label);
+            }
+        }
+        Err(e) => eprintln!("noiselab-bench: hotpath history not serialized: {e}"),
+    }
+    noiselab_bench::finish("hotpath", t0);
+}

@@ -15,9 +15,11 @@ use crate::failure::{RetryPolicy, RunFailure};
 use crate::platform::Platform;
 use noiselab_injector::{spawn_injectors, InjectionConfig};
 use noiselab_kernel::{
-    FaultPlan, Kernel, KernelConfig, RunError, SanitizerConfig, SanitizerReport,
+    FaultPlan, Kernel, KernelConfig, KernelStorage, RunError, SanitizerConfig, SanitizerReport,
 };
-use noiselab_noise::{install, OsNoiseTracer, RunTrace, TraceSet};
+use noiselab_noise::{
+    install, OsNoiseTracer, RunTrace, TraceBuffer, TraceSet, DEFAULT_TRACE_CAPACITY,
+};
 use noiselab_runtime::{omp, sycl};
 use noiselab_sim::{Rng, SimDuration, SimTime};
 use noiselab_stats::Summary;
@@ -196,9 +198,26 @@ pub struct InstrumentedRun {
     pub telemetry: Option<TelemetryReport>,
 }
 
+/// Reusable per-run state for repetition loops: the kernel's growable
+/// buffers, the tracer ring, and the telemetry pipeline, all kept warm
+/// between runs so back-to-back reps (overhead measurement, campaign
+/// cells, the hot-path bench) stop paying allocation churn per run.
+/// One arena serves one host thread; `run_many_*` keeps one per worker.
+/// Reuse is observationally pure: the arena conformance suite asserts
+/// a run through a dirty arena is bit-identical (stream hash, metrics,
+/// trace) to a run through a fresh one.
+#[derive(Default)]
+pub struct RunArena {
+    kernel: KernelStorage,
+    tracer: TraceBuffer,
+    telemetry: Telemetry,
+}
+
 /// The fully-instrumented single-run entry point every other
 /// `run_once_*` delegates to: sanitizer always, telemetry recorder and
-/// host-time profiler on request.
+/// host-time profiler on request. Allocates fresh state per call; use
+/// [`run_once_instrumented_in`] with a retained [`RunArena`] in
+/// repetition loops.
 #[allow(clippy::too_many_arguments)]
 pub fn run_once_instrumented(
     platform: &Platform,
@@ -210,6 +229,34 @@ pub fn run_once_instrumented(
     inject: Option<&InjectionConfig>,
     faults: Option<&FaultPlan>,
     observe: Observe,
+) -> Result<InstrumentedRun, RunFailure> {
+    run_once_instrumented_in(
+        platform,
+        workload,
+        cfg,
+        kconfig,
+        seed,
+        tracing,
+        inject,
+        faults,
+        observe,
+        &mut RunArena::default(),
+    )
+}
+
+/// [`run_once_instrumented`] drawing all per-run state from `arena`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_instrumented_in(
+    platform: &Platform,
+    workload: &dyn Workload,
+    cfg: &ExecConfig,
+    kconfig: &KernelConfig,
+    seed: u64,
+    tracing: bool,
+    inject: Option<&InjectionConfig>,
+    faults: Option<&FaultPlan>,
+    observe: Observe,
+    arena: &mut RunArena,
 ) -> Result<InstrumentedRun, RunFailure> {
     // SMT toggling (paper §5): rows without the SMT label run with SMT
     // disabled at firmware level, so the sibling hardware threads do not
@@ -227,12 +274,15 @@ pub fn run_once_instrumented(
         machine.perf.per_core_bw *= f;
         machine.perf.socket_bw *= f;
     }
-    let mut kernel = Kernel::new(machine.clone(), kconfig.clone(), seed);
+    let mut kernel = Kernel::new_in(machine.clone(), kconfig.clone(), seed, &mut arena.kernel);
     kernel.attach_sanitizer(observe.sanitizer);
 
     // Telemetry and profiling are write-only observers: attaching them
     // cannot perturb the simulation (the purity suite proves it).
-    let telemetry = observe.telemetry.map(Telemetry::new);
+    let telemetry = observe.telemetry.map(|tcfg| {
+        arena.telemetry.reset(tcfg);
+        arena.telemetry.clone()
+    });
     if let Some(tele) = &telemetry {
         kernel.attach_observer(tele.observer());
     }
@@ -246,9 +296,11 @@ pub fn run_once_instrumented(
     let installed = install(&mut kernel, &platform.noise, &mut noise_rng);
 
     let buffer = if tracing {
-        let (tracer, buffer) = OsNoiseTracer::new();
-        kernel.attach_tracer(Box::new(tracer));
-        Some(buffer)
+        // The retained ring may hold leftovers if the previous run
+        // failed before its drain.
+        arena.tracer.reset(DEFAULT_TRACE_CAPACITY);
+        kernel.attach_tracer(Box::new(OsNoiseTracer::from_buffer(arena.tracer.clone())));
+        Some(arena.tracer.clone())
     } else {
         None
     };
@@ -328,11 +380,12 @@ pub fn run_once_instrumented(
     // every surviving worker ran to completion, and it is the root cause
     // behind any Drained/Horizon error its blocked peers produced.
     if let Some(&tid) = kernel.aborted_threads().first() {
-        return Err(RunFailure::WorkloadAborted {
-            thread: kernel.thread(tid).name.clone(),
-        });
+        let thread = kernel.thread(tid).name.clone();
+        kernel.retire(&mut arena.kernel);
+        return Err(RunFailure::WorkloadAborted { thread });
     }
     if let Some(f) = failure {
+        kernel.retire(&mut arena.kernel);
         return Err(f);
     }
     let exec = end.since(SimTime::ZERO);
@@ -363,6 +416,7 @@ pub fn run_once_instrumented(
         .take_sanitizer_report()
         .expect("sanitizer attached at kernel construction");
     let tele_report = telemetry.map(|tele| tele.take_report(end));
+    kernel.retire(&mut arena.kernel);
     if let Some(prof) = &observe.profiler {
         prof.exit(noiselab_kernel::Phase::Stats);
     }
@@ -570,14 +624,14 @@ pub fn run_many_instrumented(
     let mut results: Vec<Option<RunRecord>> = Vec::new();
     results.resize_with(n_runs, || None);
 
-    let attempt_run = |seed: u64| -> Result<RunOutput, RunFailure> {
+    let attempt_run = |seed: u64, arena: &mut RunArena| -> Result<RunOutput, RunFailure> {
         catch_unwind(AssertUnwindSafe(|| {
             let observe = Observe {
                 telemetry,
                 ..Observe::default()
             };
-            run_once_instrumented(
-                platform, workload, cfg, &kconfig, seed, tracing, inject, faults, observe,
+            run_once_instrumented_in(
+                platform, workload, cfg, &kconfig, seed, tracing, inject, faults, observe, arena,
             )
             .map(|r| r.output)
         }))
@@ -595,11 +649,14 @@ pub fn run_many_instrumented(
     std::thread::scope(|scope| {
         for (t, out) in results.chunks_mut(chunk).enumerate() {
             scope.spawn(move || {
+                // One arena per worker: runs within a chunk recycle the
+                // same kernel/tracer/telemetry buffers.
+                let mut arena = RunArena::default();
                 for (j, slot) in out.iter_mut().enumerate() {
                     let i = t * chunk + j;
                     let seed = seed_base + i as u64;
                     let mut attempts = 1u32;
-                    let mut result = attempt_run(seed);
+                    let mut result = attempt_run(seed, &mut arena);
                     while result.is_err() && attempts <= retry.max_retries {
                         let reseed = RetryPolicy::reseed(seed, attempts);
                         eprintln!(
@@ -608,7 +665,7 @@ pub fn run_many_instrumented(
                             result.as_ref().err().map(|f| f.cause()).unwrap_or("?"),
                             retry.max_retries
                         );
-                        result = attempt_run(reseed);
+                        result = attempt_run(reseed, &mut arena);
                         attempts += 1;
                     }
                     *slot = Some(RunRecord {

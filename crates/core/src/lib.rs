@@ -29,8 +29,9 @@ pub use execconfig::{ExecConfig, Mitigation, Model};
 pub use failure::{RetryPolicy, RunFailure};
 pub use harness::{
     run_baseline, run_injected, run_many, run_many_faulted, run_many_instrumented, run_once,
-    run_once_faulted, run_once_instrumented, run_once_observed, run_once_with, Baseline, Injected,
-    InstrumentedRun, Observe, RunLedger, RunOutput, RunRecord,
+    run_once_faulted, run_once_instrumented, run_once_instrumented_in, run_once_observed,
+    run_once_with, Baseline, Injected, InstrumentedRun, Observe, RunArena, RunLedger, RunOutput,
+    RunRecord,
 };
 pub use overhead::{measure_overhead, OverheadReport, OverheadRow};
 pub use platform::Platform;

@@ -20,7 +20,7 @@
 
 use crate::execconfig::ExecConfig;
 use crate::failure::RunFailure;
-use crate::harness::{run_once_instrumented, Observe};
+use crate::harness::{run_once_instrumented, run_once_instrumented_in, Observe, RunArena};
 use crate::platform::Platform;
 use noiselab_kernel::KernelConfig;
 use noiselab_telemetry::{wall_clock, PhaseProfiler, PhaseReport, TelemetryConfig};
@@ -114,6 +114,10 @@ pub fn measure_overhead(
     let reps = reps.max(1);
     let mut rows = Vec::new();
     let mut events = 0u64;
+    // One arena across all modes and reps: after the first (cold) rep,
+    // every measured run recycles the same buffers, which is exactly the
+    // steady state campaign loops run in.
+    let mut arena = RunArena::default();
 
     for (mode, tracing, telemetry) in [
         ("bare", false, false),
@@ -130,8 +134,8 @@ pub fn measure_overhead(
                 ..Observe::default()
             };
             let t0 = wall_clock();
-            let run = run_once_instrumented(
-                platform, workload, cfg, &kconfig, seed, tracing, None, None, observe,
+            let run = run_once_instrumented_in(
+                platform, workload, cfg, &kconfig, seed, tracing, None, None, observe, &mut arena,
             )?;
             let ns = wall_clock().duration_since(t0).as_nanos() as u64;
             best_ns = best_ns.min(ns);

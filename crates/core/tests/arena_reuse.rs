@@ -1,0 +1,153 @@
+//! Arena-reuse conformance: running through a *dirty* [`RunArena`] —
+//! one that already carried a different run (different seed, model,
+//! tracing mode, telemetry mode) — must be observationally identical to
+//! running through a fresh one: same dispatched event stream, same
+//! virtual execution time, same metrics snapshot, same trace. This is
+//! the property that lets repetition loops (overhead reps, campaign
+//! cells) recycle kernel/tracer/telemetry buffers without any risk of
+//! state leaking across runs.
+
+use noiselab_core::{
+    run_once_instrumented_in, ExecConfig, Mitigation, Model, Observe, Platform, RunArena, RunOutput,
+};
+use noiselab_kernel::KernelConfig;
+use noiselab_telemetry::TelemetryConfig;
+use proptest::prelude::*;
+
+struct Cell {
+    seed: u64,
+    model: Model,
+    tracing: bool,
+    telemetry: bool,
+}
+
+fn run_in(arena: &mut RunArena, cell: &Cell) -> RunOutput {
+    let p = Platform::intel();
+    let cfg = ExecConfig::new(cell.model, Mitigation::Rm);
+    let observe = Observe {
+        telemetry: cell.telemetry.then(TelemetryConfig::default),
+        ..Observe::default()
+    };
+    run_once_instrumented_in(
+        &p,
+        &noiselab_testutil::tiny_nbody(2),
+        &cfg,
+        &KernelConfig::default(),
+        cell.seed,
+        cell.tracing,
+        None,
+        None,
+        observe,
+        arena,
+    )
+    .expect("arena run failed")
+    .output
+}
+
+fn assert_identical(fresh: &RunOutput, reused: &RunOutput) {
+    assert_eq!(fresh.stream_hash, reused.stream_hash, "event stream moved");
+    assert_eq!(fresh.exec, reused.exec, "virtual exec time moved");
+    assert_eq!(fresh.metrics, reused.metrics, "metrics snapshot moved");
+    assert_eq!(fresh.trace, reused.trace, "trace moved");
+    assert_eq!(fresh.anomaly, reused.anomaly);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A run through an arena dirtied by a *different* run equals the
+    /// same run through a fresh arena, bit for bit.
+    #[test]
+    fn dirty_arena_is_bit_identical_to_fresh(
+        seed in 1u64..50_000,
+        dirty_seed in 1u64..50_000,
+        sycl in any::<bool>(),
+        dirty_sycl in any::<bool>(),
+        tracing in any::<bool>(),
+        telemetry in any::<bool>(),
+    ) {
+        let cell = Cell {
+            seed,
+            model: if sycl { Model::Sycl } else { Model::Omp },
+            tracing,
+            telemetry,
+        };
+        // Dirty the arena with the most stateful observation mode
+        // (tracer + telemetry both on) of an unrelated cell.
+        let dirty = Cell {
+            seed: dirty_seed,
+            model: if dirty_sycl { Model::Sycl } else { Model::Omp },
+            tracing: true,
+            telemetry: true,
+        };
+
+        let fresh = run_in(&mut RunArena::default(), &cell);
+
+        let mut arena = RunArena::default();
+        let _ = run_in(&mut arena, &dirty);
+        let reused = run_in(&mut arena, &cell);
+
+        prop_assert_eq!(fresh.stream_hash, reused.stream_hash);
+        prop_assert_eq!(fresh.exec, reused.exec);
+        prop_assert_eq!(&fresh.metrics, &reused.metrics);
+        prop_assert_eq!(&fresh.trace, &reused.trace);
+    }
+}
+
+/// Determinism across many consecutive reuses: rep N through one arena
+/// equals a fresh run, for every N — the overhead-measurement loop's
+/// exact access pattern.
+#[test]
+fn repeated_reuse_never_drifts() {
+    let cell = Cell {
+        seed: 42,
+        model: Model::Omp,
+        tracing: true,
+        telemetry: true,
+    };
+    let fresh = run_in(&mut RunArena::default(), &cell);
+    let mut arena = RunArena::default();
+    for rep in 0..5 {
+        let reused = run_in(&mut arena, &cell);
+        assert_identical(&fresh, &reused);
+        // Interleave a different cell so reuse isn't trivially same-run.
+        if rep % 2 == 0 {
+            let other = Cell {
+                seed: 7 + rep,
+                model: Model::Sycl,
+                tracing: false,
+                telemetry: rep % 4 == 0,
+            };
+            let _ = run_in(&mut arena, &other);
+        }
+    }
+}
+
+/// A failed run must not poison the arena for the next one. A seed
+/// whose fault plan aborts a worker returns an error; the arena then
+/// carries whatever the aborted kernel left behind.
+#[test]
+fn arena_survives_mode_flips_after_partial_state() {
+    let cell = Cell {
+        seed: 1234,
+        model: Model::Omp,
+        tracing: false,
+        telemetry: false,
+    };
+    let fresh = run_in(&mut RunArena::default(), &cell);
+    let mut arena = RunArena::default();
+    // Dirty with every observation mode in sequence.
+    for (tracing, telemetry) in [(true, true), (true, false), (false, true)] {
+        let _ = run_in(
+            &mut arena,
+            &Cell {
+                seed: 999,
+                model: Model::Sycl,
+                tracing,
+                telemetry,
+            },
+        );
+    }
+    let reused = run_in(&mut arena, &cell);
+    assert_identical(&fresh, &reused);
+}

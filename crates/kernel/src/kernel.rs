@@ -21,6 +21,7 @@ use crate::policy::Policy;
 use crate::sanitize::{EventKind, EventRecord, EventSanitizer, SanitizerConfig, SanitizerReport};
 use crate::thread::{ActiveCompute, BlockReason, Thread, ThreadKind, ThreadState};
 use crate::trace::{NoiseClass, TraceSink};
+use crate::wire::{InternTable, WireRecord};
 use noiselab_machine::{waterfill_into, CpuId, CpuSet, Machine, SoloProfile};
 use noiselab_sim::{EventQueue, EventToken, Rng, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -116,11 +117,84 @@ struct WaitQueueState {
 #[derive(Default)]
 struct RateScratch {
     /// Running `(thread index, cpu index)` pairs with active computes.
+    /// (Emptied, capacity kept, by [`RateScratch::reset`].)
     running: Vec<(usize, usize)>,
     factors: Vec<f64>,
     demands: Vec<f64>,
     allocs: Vec<f64>,
     order: Vec<usize>,
+    /// Waterfill input of the compute running on each CPU as of the
+    /// last recompute (0.0 when idle or demandless). Only meaningful
+    /// while `cache_valid`; lets [`Kernel::recompute_rates_local`]
+    /// re-derive the saturation check without touching other CPUs.
+    demand_by_cpu: Vec<f64>,
+    /// Whether the last recompute left the waterfill unsaturated, i.e.
+    /// every allocation was a bit-exact copy of its demand.
+    cache_unsaturated: bool,
+    /// Whether `demand_by_cpu` reflects the live running set. Cleared
+    /// by the demandless local path (which does not maintain it).
+    cache_valid: bool,
+}
+
+impl RateScratch {
+    /// Empty every buffer and invalidate the waterfill cache, keeping
+    /// allocations for the next run.
+    fn reset(&mut self) {
+        self.running.clear();
+        self.factors.clear();
+        self.demands.clear();
+        self.allocs.clear();
+        self.order.clear();
+        self.demand_by_cpu.clear();
+        self.cache_unsaturated = false;
+        self.cache_valid = false;
+    }
+}
+
+/// Dense index of the CPUs whose current thread holds an active
+/// compute — the set every rate recompute iterates. A bitmask (visited
+/// in CPU-index order, matching the historical all-CPU scan) plus a
+/// per-CPU thread index keep the hot loops on two small arrays instead
+/// of walking the full `Cpu` and `Thread` structs.
+#[derive(Default)]
+struct RunningSet {
+    mask: Vec<u64>,
+    tid: Vec<u32>,
+}
+
+impl RunningSet {
+    /// Size for `n_cpus` and mark every CPU idle, keeping allocations.
+    fn reset(&mut self, n_cpus: usize) {
+        self.mask.clear();
+        self.mask.resize(n_cpus.div_ceil(64), 0);
+        self.tid.clear();
+        self.tid.resize(n_cpus, u32::MAX);
+    }
+
+    #[inline]
+    fn insert(&mut self, ci: usize, ti: usize) {
+        self.mask[ci >> 6] |= 1u64 << (ci & 63);
+        self.tid[ci] = ti as u32;
+    }
+
+    #[inline]
+    fn remove(&mut self, ci: usize) {
+        self.mask[ci >> 6] &= !(1u64 << (ci & 63));
+        self.tid[ci] = u32::MAX;
+    }
+
+    /// Visit running `(cpu index, thread index)` pairs in CPU order.
+    #[inline]
+    fn for_each(&self, mut f: impl FnMut(usize, usize)) {
+        for (w, &word) in self.mask.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let ci = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(ci, self.tid[ci] as usize);
+            }
+        }
+    }
 }
 
 /// The simulated kernel. See module docs.
@@ -151,6 +225,18 @@ pub struct Kernel {
     /// parked precisely because nothing was pullable), so events that
     /// enqueued nothing can skip the kick scan entirely.
     kick_pending: bool,
+    /// Number of CPUs whose current thread runs a compute with
+    /// `bw_demand > 0` — the O(1) form of the bandwidth-activity scan
+    /// consulted on every rate recompute. Maintained at the four
+    /// mutation points (dispatch, off_cpu, install/clear compute) and
+    /// cross-checked against the scan in debug builds.
+    bw_running: u32,
+    /// Active computes, parallel to `threads`. Kept out of the big
+    /// `Thread` control block so rate recomputes walk a dense array.
+    computes: Vec<Option<ActiveCompute>>,
+    /// CPUs currently running a compute (see [`RunningSet`]).
+    /// Maintained at the same four mutation points as `bw_running`.
+    running: RunningSet,
     scratch: RateScratch,
     /// Installed fault plan state, if any. Faults draw from their own
     /// RNG stream so a `None` here (or an all-zero plan) leaves the
@@ -168,13 +254,68 @@ pub struct Kernel {
     /// Host-time phase profiler; the kernel only announces boundaries,
     /// it never reads a clock itself.
     profiler: Option<Box<dyn HostProfiler>>,
+    /// Precomputed observation mask (see `OBS_*` bits): one load tells
+    /// the dispatch loop whether any event consumer is attached.
+    /// Maintained at the attach/detach/take points.
+    obs_mask: u8,
+    /// Pending batched event records for the observer, flushed at
+    /// `OBS_BATCH` or before any scheduling record / run-loop return.
+    obs_events: Vec<WireRecord>,
+    /// Intern table for the noise-source labels in `obs_events`.
+    obs_intern: InternTable,
+}
+
+/// `obs_mask` bit: an event sanitizer is attached.
+const OBS_SANITIZER: u8 = 1;
+/// `obs_mask` bit: a kernel observer is attached.
+const OBS_OBSERVER: u8 = 2;
+/// Batched-observer flush threshold (records).
+const OBS_BATCH: usize = 64;
+
+/// Recyclable per-run kernel state: every growable buffer the kernel
+/// owns, detached from a finished run by [`Kernel::retire`] and handed
+/// to the next [`Kernel::new_in`], which empties the buffers but keeps
+/// their allocations. Repetition loops (overhead-measurement reps,
+/// campaign cells) thereby stop paying event-heap and control-block
+/// malloc churn on every run. A defaulted storage is empty, so
+/// `new_in(.., &mut KernelStorage::default())` is exactly `new(..)`.
+#[derive(Default)]
+pub struct KernelStorage {
+    queue: EventQueue<KEvent>,
+    threads: Vec<Thread>,
+    behaviors: Vec<Option<Box<dyn Behavior>>>,
+    cpus: Vec<Cpu>,
+    barriers: Vec<BarrierState>,
+    waitqs: Vec<WaitQueueState>,
+    pending_trace_ns: Vec<u64>,
+    computes: Vec<Option<ActiveCompute>>,
+    running: RunningSet,
+    scratch: RateScratch,
+    aborted: Vec<ThreadId>,
+    obs_events: Vec<WireRecord>,
+    obs_intern: InternTable,
 }
 
 impl Kernel {
     pub fn new(machine: Machine, config: KernelConfig, seed: u64) -> Self {
+        Self::new_in(machine, config, seed, &mut KernelStorage::default())
+    }
+
+    /// [`Kernel::new`] drawing its buffers from `storage` (see
+    /// [`KernelStorage`]). The arena conformance suite asserts a kernel
+    /// built this way runs bit-identically to a fresh one.
+    pub fn new_in(
+        machine: Machine,
+        config: KernelConfig,
+        seed: u64,
+        storage: &mut KernelStorage,
+    ) -> Self {
         let n = machine.n_cpus();
-        let mut queue = EventQueue::new();
-        let mut cpus: Vec<Cpu> = (0..n).map(|_| Cpu::new()).collect();
+        let mut queue = std::mem::take(&mut storage.queue);
+        queue.reset();
+        let mut cpus = std::mem::take(&mut storage.cpus);
+        cpus.clear();
+        cpus.extend((0..n).map(|_| Cpu::new()));
         // Ticks live on a fixed per-CPU grid staggered across the tick
         // period, as on real systems where CPUs boot at slightly
         // different times. Eager mode arms every CPU at boot; tickless
@@ -188,29 +329,78 @@ impl Kernel {
                 cpu.tick_armed = true;
             }
         }
+        let mut threads = std::mem::take(&mut storage.threads);
+        threads.clear();
+        let mut behaviors = std::mem::take(&mut storage.behaviors);
+        behaviors.clear();
+        let mut barriers = std::mem::take(&mut storage.barriers);
+        barriers.clear();
+        let mut waitqs = std::mem::take(&mut storage.waitqs);
+        waitqs.clear();
+        let mut pending_trace_ns = std::mem::take(&mut storage.pending_trace_ns);
+        pending_trace_ns.clear();
+        pending_trace_ns.resize(n, 0);
+        let mut computes = std::mem::take(&mut storage.computes);
+        computes.clear();
+        let mut running = std::mem::take(&mut storage.running);
+        running.reset(n);
+        let mut scratch = std::mem::take(&mut storage.scratch);
+        scratch.reset();
+        let mut aborted = std::mem::take(&mut storage.aborted);
+        aborted.clear();
+        let mut obs_events = std::mem::take(&mut storage.obs_events);
+        obs_events.clear();
+        let mut obs_intern = std::mem::take(&mut storage.obs_intern);
+        obs_intern.clear();
         Kernel {
             machine,
             config,
             queue,
-            threads: Vec::new(),
-            behaviors: Vec::new(),
+            threads,
+            behaviors,
             cpus,
-            barriers: Vec::new(),
-            waitqs: Vec::new(),
+            barriers,
+            waitqs,
             rng: Rng::new(seed),
             tracer: None,
-            pending_trace_ns: vec![0; n],
+            pending_trace_ns,
             softirq_flip: false,
             step_depth: 0,
             queued_total: 0,
             kick_pending: false,
-            scratch: RateScratch::default(),
+            bw_running: 0,
+            computes,
+            running,
+            scratch,
             faults: None,
-            aborted: Vec::new(),
+            aborted,
             sanitizer: None,
             observer: None,
             profiler: None,
+            obs_mask: 0,
+            obs_events,
+            obs_intern,
         }
+    }
+
+    /// Tear the kernel down, returning its buffers to `storage` for the
+    /// next [`Kernel::new_in`]. Attached sinks and observers are
+    /// dropped. (Buffer contents are emptied lazily at the next
+    /// `new_in`, off any measured path.)
+    pub fn retire(self, storage: &mut KernelStorage) {
+        storage.queue = self.queue;
+        storage.threads = self.threads;
+        storage.behaviors = self.behaviors;
+        storage.cpus = self.cpus;
+        storage.barriers = self.barriers;
+        storage.waitqs = self.waitqs;
+        storage.pending_trace_ns = self.pending_trace_ns;
+        storage.computes = self.computes;
+        storage.running = self.running;
+        storage.scratch = self.scratch;
+        storage.aborted = self.aborted;
+        storage.obs_events = self.obs_events;
+        storage.obs_intern = self.obs_intern;
     }
 
     #[inline]
@@ -237,6 +427,7 @@ impl Kernel {
     /// this never changes the simulation.
     pub fn attach_sanitizer(&mut self, config: SanitizerConfig) {
         self.sanitizer = Some(EventSanitizer::new(config));
+        self.obs_mask |= OBS_SANITIZER;
     }
 
     /// Running event-stream hash, if a sanitizer is attached.
@@ -246,6 +437,7 @@ impl Kernel {
 
     /// Detach the sanitizer and return its report.
     pub fn take_sanitizer_report(&mut self) -> Option<SanitizerReport> {
+        self.obs_mask &= !OBS_SANITIZER;
         self.sanitizer.take().map(|s| s.into_report())
     }
 
@@ -254,10 +446,27 @@ impl Kernel {
     /// observers are pure, so this never changes the simulation.
     pub fn attach_observer(&mut self, obs: Box<dyn KernelObserver>) {
         self.observer = Some(obs);
+        self.obs_mask |= OBS_OBSERVER;
     }
 
     pub fn detach_observer(&mut self) -> Option<Box<dyn KernelObserver>> {
+        self.flush_obs_events();
+        self.obs_mask &= !OBS_OBSERVER;
         self.observer.take()
+    }
+
+    /// Deliver any batched event records to the observer. A no-op with
+    /// an empty batch, so call sites sprinkle it freely: before every
+    /// scheduling record and at every run-loop return, keeping the
+    /// merged event/sched stream an observer sees in dispatch order.
+    fn flush_obs_events(&mut self) {
+        if self.obs_events.is_empty() {
+            return;
+        }
+        if let Some(obs) = self.observer.as_mut() {
+            obs.events(&self.obs_events, &self.obs_intern);
+        }
+        self.obs_events.clear();
     }
 
     /// Attach a host-time phase profiler (see [`crate::observe`]).
@@ -357,6 +566,7 @@ impl Kernel {
         let id = ThreadId(self.threads.len() as u32);
         let t = Thread::new(id, spec.name, spec.kind, spec.policy, spec.affinity);
         self.threads.push(t);
+        self.computes.push(None);
         self.behaviors.push(Some(behavior));
         let at = spec.start.max(self.now());
         let token = self.queue.schedule(at, KEvent::Start(id));
@@ -397,12 +607,15 @@ impl Kernel {
     pub fn run_until_exit(&mut self, tid: ThreadId, horizon: SimTime) -> Result<SimTime, RunError> {
         loop {
             if let Some(t) = self.threads[tid.index()].exit_time {
+                self.flush_obs_events();
                 return Ok(t);
             }
             let Some(next) = self.queue.peek_time() else {
+                self.flush_obs_events();
                 return Err(RunError::Drained);
             };
             if next > horizon {
+                self.flush_obs_events();
                 return Err(RunError::Horizon(horizon));
             }
             let (_, ev) = self.queue.pop().unwrap();
@@ -416,9 +629,11 @@ impl Kernel {
     pub fn run_until(&mut self, until: SimTime) -> Result<(), RunError> {
         loop {
             let Some(next) = self.queue.peek_time() else {
+                self.flush_obs_events();
                 return Ok(());
             };
             if next > until {
+                self.flush_obs_events();
                 return Ok(());
             }
             let (_, ev) = self.queue.pop().unwrap();
@@ -432,7 +647,7 @@ impl Kernel {
 
     fn handle(&mut self, ev: KEvent) {
         self.prof_enter(Phase::Dispatch);
-        if self.sanitizer.is_some() || self.observer.is_some() {
+        if self.obs_mask != 0 {
             self.observe_event(&ev);
         }
         match ev {
@@ -544,8 +759,19 @@ impl Kernel {
                 source: None,
             },
         };
-        if let Some(obs) = self.observer.as_mut() {
-            obs.event(&rec);
+        if self.obs_mask & OBS_OBSERVER != 0 {
+            let name = rec.source.map_or(u32::MAX, |s| self.obs_intern.intern(s));
+            self.obs_events.push(WireRecord {
+                start: rec.time.0,
+                dur_ns: rec.duration_ns,
+                cpu: rec.cpu.unwrap_or(u32::MAX),
+                thread: rec.thread.unwrap_or(u32::MAX),
+                name,
+                tag: rec.kind.tag(),
+            });
+            if self.obs_events.len() >= OBS_BATCH {
+                self.flush_obs_events();
+            }
         }
         let perturb = self
             .sanitizer
@@ -602,6 +828,7 @@ impl Kernel {
             stall += self.config.trace_event_overhead.nanos();
             self.prof_exit(Phase::Tracer);
         }
+        self.flush_obs_events();
         if let Some(obs) = self.observer.as_mut() {
             obs.sched(&SchedRecord::IrqSpan {
                 cpu: ci as u32,
@@ -635,7 +862,7 @@ impl Kernel {
             debug_assert!(false, "ComputeDone for non-running {tid}");
             return;
         }
-        if let Some(c) = self.threads[i].compute.as_mut() {
+        if let Some(c) = self.computes[i].as_mut() {
             c.advance_to(now);
             debug_assert!(
                 c.remaining < 1.0 && c.overhead_ns < 1.0,
@@ -645,7 +872,7 @@ impl Kernel {
             );
         }
         self.charge_runtime(tid);
-        self.threads[i].compute = None;
+        self.clear_compute(i);
         let cpu = self.threads[i]
             .cpu
             .expect("running thread without cpu")
@@ -667,7 +894,7 @@ impl Kernel {
             ThreadState::Running => {
                 let cpu = self.threads[i].cpu.unwrap().index();
                 self.off_cpu(tid, ThreadState::Blocked);
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 self.recompute_rates_for(cpu);
                 self.dispatch(cpu);
             }
@@ -676,7 +903,7 @@ impl Kernel {
                 let cpu = self.threads[i].cpu.unwrap().index();
                 self.dequeue_ready(cpu, tid);
                 self.note_dequeue(cpu, tid);
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 self.threads[i].state = ThreadState::Blocked;
                 self.threads[i].cpu = None;
                 let _ = now;
@@ -763,6 +990,7 @@ impl Kernel {
                 }
                 self.prof_exit(Phase::Tracer);
             }
+            self.flush_obs_events();
             if let Some(obs) = self.observer.as_mut() {
                 obs.sched(&SchedRecord::IrqSpan {
                     cpu: ci as u32,
@@ -945,7 +1173,7 @@ impl Kernel {
                     .expect("running thread without cpu")
                     .index();
                 self.off_cpu(tid, ThreadState::Exited);
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 self.seal_aborted(tid, now);
                 self.recompute_rates_for(cpu);
                 self.dispatch(cpu);
@@ -959,13 +1187,13 @@ impl Kernel {
                 self.note_dequeue(cpu, tid);
                 self.threads[i].state = ThreadState::Exited;
                 self.threads[i].cpu = None;
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 self.seal_aborted(tid, now);
             }
             ThreadState::New | ThreadState::Sleeping | ThreadState::Blocked => {
                 self.threads[i].state = ThreadState::Exited;
                 self.threads[i].cpu = None;
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 self.seal_aborted(tid, now);
             }
             ThreadState::Exited => unreachable!(),
@@ -1110,6 +1338,7 @@ impl Kernel {
         }
         self.queued_total += 1;
         self.kick_pending = true;
+        self.flush_obs_events();
         if let Some(obs) = self.observer.as_mut() {
             let depth = (self.cpus[ci].rt.len() + self.cpus[ci].cfs.len()) as u32;
             obs.sched(&SchedRecord::Enqueue {
@@ -1204,6 +1433,7 @@ impl Kernel {
             }
         }
 
+        self.flush_obs_events();
         if let Some(obs) = self.observer.as_mut() {
             obs.sched(&SchedRecord::SwitchOut {
                 cpu: cpu.0,
@@ -1213,6 +1443,12 @@ impl Kernel {
             });
         }
 
+        if self.computes[i].is_some() {
+            self.running.remove(cpu.index());
+            if self.thread_demands_bw(i) {
+                self.bw_running -= 1;
+            }
+        }
         self.cpus[cpu.index()].current = None;
         self.threads[i].last_cpu = Some(cpu);
         self.threads[i].state = new_state;
@@ -1224,7 +1460,7 @@ impl Kernel {
         // Cancel any pending completion; it will be rescheduled on resume.
         self.queue.cancel(self.threads[i].compute_token);
         self.threads[i].compute_token = EventToken::NONE;
-        if let Some(c) = self.threads[i].compute.as_mut() {
+        if let Some(c) = self.computes[i].as_mut() {
             // Credit progress at the old rate before the thread stops.
             c.advance_to(now);
             c.rate = 0.0;
@@ -1238,6 +1474,7 @@ impl Kernel {
         };
         self.off_cpu(tid, ThreadState::Ready);
         self.threads[tid.index()].stats.preemptions += 1;
+        self.flush_obs_events();
         if let Some(obs) = self.observer.as_mut() {
             obs.sched(&SchedRecord::Preempt {
                 cpu: ci as u32,
@@ -1253,6 +1490,7 @@ impl Kernel {
     /// Pure observation: no kernel state is read back.
     #[inline]
     fn note_decision(&mut self, ci: usize, point: DecisionPoint) {
+        self.flush_obs_events();
         if let Some(obs) = self.observer.as_mut() {
             obs.sched(&SchedRecord::Decision {
                 cpu: ci as u32,
@@ -1264,6 +1502,7 @@ impl Kernel {
 
     #[inline]
     fn note_dequeue(&mut self, ci: usize, tid: ThreadId) {
+        self.flush_obs_events();
         if let Some(obs) = self.observer.as_mut() {
             obs.sched(&SchedRecord::Dequeue {
                 cpu: ci as u32,
@@ -1311,6 +1550,12 @@ impl Kernel {
         let i = tid.index();
         debug_assert_eq!(self.threads[i].state, ThreadState::Ready);
         self.cpus[ci].current = Some(tid);
+        if self.computes[i].is_some() {
+            self.running.insert(ci, i);
+            if self.thread_demands_bw(i) {
+                self.bw_running += 1;
+            }
+        }
         // A busy CPU always ticks; re-arm if this CPU had parked.
         self.arm_tick(ci);
         self.threads[i].state = ThreadState::Running;
@@ -1333,6 +1578,7 @@ impl Kernel {
                     cross_numa = true;
                 }
             }
+            self.flush_obs_events();
             if let Some(obs) = self.observer.as_mut() {
                 obs.sched(&SchedRecord::Migrate {
                     thread: tid.0,
@@ -1346,6 +1592,7 @@ impl Kernel {
         self.threads[i].pending_overhead_ns += overhead;
         self.threads[i].last_cpu = Some(CpuId(ci as u32));
 
+        self.flush_obs_events();
         if let Some(obs) = self.observer.as_mut() {
             let runq_depth = (self.cpus[ci].rt.len() + self.cpus[ci].cfs.len()) as u32;
             obs.sched(&SchedRecord::SwitchIn {
@@ -1359,9 +1606,9 @@ impl Kernel {
         }
         self.prof_exit(Phase::Scheduler);
 
-        if self.threads[i].compute.is_some() {
+        if self.computes[i].is_some() {
             let pending = std::mem::take(&mut self.threads[i].pending_overhead_ns);
-            let c = self.threads[i].compute.as_mut().unwrap();
+            let c = self.computes[i].as_mut().unwrap();
             c.overhead_ns += pending;
             c.last_update = now;
             self.recompute_rates_for(ci);
@@ -1454,7 +1701,7 @@ impl Kernel {
         let mut instants = 0u32;
         loop {
             let i = tid.index();
-            if self.threads[i].state != ThreadState::Running || self.threads[i].compute.is_some() {
+            if self.threads[i].state != ThreadState::Running || self.computes[i].is_some() {
                 break;
             }
             let mut b = self.behaviors[i]
@@ -1524,7 +1771,7 @@ impl Kernel {
                 }
                 let cpu = self.threads[i].cpu.unwrap().index();
                 self.off_cpu(tid, ThreadState::Sleeping);
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 let token = self.queue.schedule(t, KEvent::WakeTimer(tid));
                 self.threads[i].timer_token = token;
                 self.recompute_rates_for(cpu);
@@ -1567,6 +1814,7 @@ impl Kernel {
             }
             Action::SetPolicy(p) => {
                 self.threads[i].policy = p;
+                self.flush_obs_events();
                 if let Some(obs) = self.observer.as_mut() {
                     obs.sched(&SchedRecord::PolicySwitch {
                         thread: tid.0,
@@ -1616,7 +1864,7 @@ impl Kernel {
             Action::Exit => {
                 let cpu = self.threads[i].cpu.unwrap().index();
                 self.off_cpu(tid, ThreadState::Exited);
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 self.threads[i].exit_time = Some(now);
                 self.queue.cancel(self.threads[i].timer_token);
                 self.queue.cancel(self.threads[i].spin_token);
@@ -1654,18 +1902,25 @@ impl Kernel {
         let i = tid.index();
         debug_assert_eq!(self.threads[i].state, ThreadState::Running);
         let overhead = std::mem::take(&mut self.threads[i].pending_overhead_ns);
-        self.threads[i].compute = Some(ActiveCompute {
+        let had_bw = self.thread_demands_bw(i);
+        self.computes[i] = Some(ActiveCompute {
             solo,
             remaining,
             rate: 0.0,
             last_update: now,
             overhead_ns: overhead,
         });
+        match (had_bw, solo.bw_demand > 0.0) {
+            (false, true) => self.bw_running += 1,
+            (true, false) => self.bw_running -= 1,
+            _ => {}
+        }
         self.threads[i].spinning = spin;
         let cpu = self.threads[i]
             .cpu
             .expect("running thread without cpu")
             .index();
+        self.running.insert(cpu, i);
         self.recompute_rates_for(cpu);
     }
 
@@ -1708,7 +1963,7 @@ impl Kernel {
         } else {
             let cpu = self.threads[i].cpu.unwrap().index();
             self.off_cpu(tid, ThreadState::Blocked);
-            self.threads[i].compute = None;
+            self.clear_compute(i);
             self.recompute_rates_for(cpu);
             self.dispatch(cpu);
         }
@@ -1727,7 +1982,7 @@ impl Kernel {
                 debug_assert!(self.threads[i].spinning);
                 self.threads[i].spinning = false;
                 self.charge_runtime(w);
-                self.threads[i].compute = None;
+                self.clear_compute(i);
                 let cpu = self.threads[i]
                     .cpu
                     .expect("running thread without cpu")
@@ -1739,7 +1994,7 @@ impl Kernel {
                 // Preempted spinner: clear the spin; it proceeds when
                 // dispatched.
                 self.threads[i].spinning = false;
-                self.threads[i].compute = None;
+                self.clear_compute(i);
             }
             ThreadState::Blocked => {
                 // Blocked: wake-up latency applies.
@@ -1786,9 +2041,7 @@ impl Kernel {
         let mut factor = 1.0;
         if let Some(sib) = self.machine.sibling_of(CpuId(ci as u32)) {
             if let Some(sib_cur) = self.cpus[sib.index()].current {
-                if self.threads[sib_cur.index()].compute.is_some()
-                    && !self.cpus[sib.index()].in_irq(now)
-                {
+                if self.computes[sib_cur.index()].is_some() && !self.cpus[sib.index()].in_irq(now) {
                     factor = self.machine.perf.smt_factor;
                 }
             }
@@ -1804,13 +2057,13 @@ impl Kernel {
     /// scheduled event time remains exact, so skip the heap churn — the
     /// dominant cost in steady state.
     fn apply_rate(&mut self, ti: usize, factor: f64, rate: f64, now: SimTime) {
-        let c = self.threads[ti].compute.as_mut().unwrap();
+        let c = self.computes[ti].as_mut().unwrap();
         let unchanged = (c.rate - rate).abs() <= 1e-12 * rate.max(1.0);
         c.rate = rate;
         if unchanged && self.threads[ti].compute_token != EventToken::NONE {
             return;
         }
-        let c = self.threads[ti].compute.as_ref().unwrap();
+        let c = self.computes[ti].as_ref().unwrap();
         let eta = if factor == 0.0 { None } else { c.eta_ns() };
         let tid = ThreadId(ti as u32);
         self.queue.cancel(self.threads[ti].compute_token);
@@ -1822,18 +2075,46 @@ impl Kernel {
         };
     }
 
+    /// Does thread `i` hold a compute that demands memory bandwidth?
+    #[inline]
+    fn thread_demands_bw(&self, i: usize) -> bool {
+        self.computes[i]
+            .as_ref()
+            .is_some_and(|c| c.solo.bw_demand > 0.0)
+    }
+
+    /// Clear thread `i`'s compute, keeping [`Self::bw_running`] and the
+    /// running set in sync when the thread is some CPU's current
+    /// occupant (paths that go through `off_cpu` first have already
+    /// updated both there).
+    fn clear_compute(&mut self, i: usize) {
+        let was_bw = self.thread_demands_bw(i);
+        let had = self.computes[i].take().is_some();
+        if had {
+            if let Some(c) = self.threads[i].cpu {
+                if self.cpus[c.index()].current == Some(ThreadId(i as u32)) {
+                    self.running.remove(c.index());
+                    if was_bw {
+                        self.bw_running -= 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Does any running compute demand memory bandwidth? When none does,
     /// the water-fill couples nothing and rate changes stay local to a
-    /// CPU and its SMT sibling.
+    /// CPU and its SMT sibling. O(1) via the maintained counter; debug
+    /// builds cross-check it against the definitional scan.
     fn bw_demand_active(&self) -> bool {
-        self.cpus.iter().any(|c| {
-            c.current.is_some_and(|t| {
-                self.threads[t.index()]
-                    .compute
-                    .as_ref()
-                    .is_some_and(|cm| cm.solo.bw_demand > 0.0)
-            })
-        })
+        debug_assert_eq!(
+            self.bw_running > 0,
+            self.cpus
+                .iter()
+                .any(|c| { c.current.is_some_and(|t| self.thread_demands_bw(t.index())) }),
+            "bw_running counter drifted from the running set"
+        );
+        self.bw_running > 0
     }
 
     /// Recompute rates after a change confined to CPU `ci` (its current
@@ -1844,9 +2125,22 @@ impl Kernel {
     /// paths produce bit-identical rates.
     fn recompute_rates_for(&mut self, ci: usize) {
         if self.bw_demand_active() {
-            self.recompute_rates();
+            // Bandwidth couples rates through the waterfill; but while
+            // the fill is unsaturated every allocation is a bit-exact
+            // copy of its demand, so the update stays local to `ci` and
+            // its sibling (see recompute_rates_local). Outside that
+            // regime — or before a full pass has primed the demand
+            // cache — fall back to the global pass.
+            if self.scratch.cache_valid && self.scratch.cache_unsaturated {
+                self.recompute_rates_local(ci);
+            } else {
+                self.recompute_rates();
+            }
             return;
         }
+        // No demand cached below, so the next bandwidth-active
+        // recompute must start with a full pass.
+        self.scratch.cache_valid = false;
         let now = self.now();
         let sib = self.machine.sibling_of(CpuId(ci as u32)).map(|c| c.index());
         for cpu in [Some(ci), sib].into_iter().flatten() {
@@ -1854,15 +2148,92 @@ impl Kernel {
                 continue;
             };
             let ti = tid.index();
-            if self.threads[ti].compute.is_none() {
+            if self.computes[ti].is_none() {
                 continue;
             }
-            self.threads[ti].compute.as_mut().unwrap().advance_to(now);
+            self.computes[ti].as_mut().unwrap().advance_to(now);
             let factor = self.compute_factor(cpu, now);
             let rate = {
-                let c = self.threads[ti].compute.as_ref().unwrap();
+                let c = self.computes[ti].as_ref().unwrap();
                 // No bandwidth demand anywhere, so the allocation is 0.
                 self.machine.perf.rate(&c.solo, factor, 0.0)
+            };
+            self.apply_rate(ti, factor, rate, now);
+        }
+    }
+
+    /// Waterfill demand of the compute currently on `cpu`, exactly as
+    /// [`Self::recompute_rates`] would feed it to the fill: zero unless
+    /// the compute can run (`factor > 0`) and wants bandwidth.
+    fn waterfill_demand(&self, cpu: usize, now: SimTime) -> f64 {
+        let Some(tid) = self.cpus[cpu].current else {
+            return 0.0;
+        };
+        let Some(c) = self.computes[tid.index()].as_ref() else {
+            return 0.0;
+        };
+        let factor = self.compute_factor(cpu, now);
+        if factor > 0.0 && c.solo.bw_demand > 0.0 {
+            let r_up = if c.solo.cpu_ns > 0.0 {
+                (factor * c.solo.solo_ns / c.solo.cpu_ns).min(1.0)
+            } else {
+                1.0
+            };
+            c.solo.bw_demand * r_up
+        } else {
+            0.0
+        }
+    }
+
+    /// Bandwidth-active local fast path for a change confined to CPU
+    /// `ci`. Valid only while the waterfill is unsaturated before *and*
+    /// after the change: then `alloc[k] == demands[k]` bit-for-bit
+    /// (see `waterfill_into`), and since an unaffected CPU's factor
+    /// inputs are unchanged between recomputes (any event that changes
+    /// them recomputes that CPU), its demand, allocation and rate are
+    /// bit-identical to what the full pass would produce — so only `ci`
+    /// and its SMT sibling need their rate re-applied. Progress is
+    /// still advanced on *every* running compute, in the same order as
+    /// the full pass: interval splitting is not associative in f64, so
+    /// skipping an advance would change rounding downstream.
+    fn recompute_rates_local(&mut self, ci: usize) {
+        let now = self.now();
+        {
+            let (running, computes) = (&self.running, &mut self.computes);
+            running.for_each(|_, ti| computes[ti].as_mut().unwrap().advance_to(now));
+        }
+        let sib = self.machine.sibling_of(CpuId(ci as u32)).map(|c| c.index());
+        for cpu in [Some(ci), sib].into_iter().flatten() {
+            self.scratch.demand_by_cpu[cpu] = self.waterfill_demand(cpu, now);
+        }
+        // Saturation check with the same value sequence the full pass
+        // would sum (running-set order is CPU-index order there too).
+        let mut total = 0.0;
+        {
+            let (running, demand) = (&self.running, &self.scratch.demand_by_cpu);
+            running.for_each(|cpu, _| total += demand[cpu]);
+        }
+        // Negated so a NaN total falls into the conservative branch.
+        let unsaturated = total <= self.machine.perf.socket_bw;
+        if !unsaturated {
+            // Transitioned into saturation: allocations now couple
+            // globally. The duplicate advances above are exact no-ops.
+            self.recompute_rates();
+            return;
+        }
+        for cpu in [Some(ci), sib].into_iter().flatten() {
+            let Some(tid) = self.cpus[cpu].current else {
+                continue;
+            };
+            let ti = tid.index();
+            if self.computes[ti].is_none() {
+                continue;
+            }
+            let factor = self.compute_factor(cpu, now);
+            let alloc = self.scratch.demand_by_cpu[cpu];
+            let rate = {
+                let c = self.computes[ti].as_ref().unwrap();
+                self.machine.perf.rate(&c.solo, factor, alloc)
             };
             self.apply_rate(ti, factor, rate, now);
         }
@@ -1875,20 +2246,33 @@ impl Kernel {
     fn recompute_rates(&mut self) {
         let now = self.now();
         // Collect running (tid, cpu) pairs with active computes into the
-        // reusable scratch, keeping the hot path allocation-free.
-        self.scratch.running.clear();
-        for (ci, cpu) in self.cpus.iter().enumerate() {
-            if let Some(tid) = cpu.current {
-                if self.threads[tid.index()].compute.is_some() {
-                    self.scratch.running.push((tid.index(), ci));
+        // reusable scratch (CPU-index order), driven by the incrementally
+        // maintained running-set mask rather than a scan of every CPU.
+        {
+            let (running, scratch) = (&self.running, &mut self.scratch);
+            scratch.running.clear();
+            running.for_each(|ci, ti| scratch.running.push((ti, ci)));
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut scan = Vec::new();
+            for (ci, cpu) in self.cpus.iter().enumerate() {
+                if let Some(tid) = cpu.current {
+                    if self.computes[tid.index()].is_some() {
+                        scan.push((tid.index(), ci));
+                    }
                 }
             }
+            debug_assert_eq!(
+                self.scratch.running, scan,
+                "running-set mask drifted from the definitional scan"
+            );
         }
         let n = self.scratch.running.len();
         // First pass: advance progress at old rates.
         for k in 0..n {
             let (ti, _) = self.scratch.running[k];
-            self.threads[ti].compute.as_mut().unwrap().advance_to(now);
+            self.computes[ti].as_mut().unwrap().advance_to(now);
         }
         // Compute factors (SMT) and bandwidth demands.
         self.scratch.factors.clear();
@@ -1900,7 +2284,7 @@ impl Kernel {
             let (ti, ci) = self.scratch.running[k];
             let factor = self.compute_factor(ci, now);
             self.scratch.factors[k] = factor;
-            let c = self.threads[ti].compute.as_ref().unwrap();
+            let c = self.computes[ti].as_ref().unwrap();
             if factor > 0.0 && c.solo.bw_demand > 0.0 {
                 // Upper-bound rate if bandwidth were free.
                 let r_up = if c.solo.cpu_ns > 0.0 {
@@ -1914,24 +2298,35 @@ impl Kernel {
         }
         // Water-fill only when some compute actually wants bandwidth;
         // with all-zero demands every allocation is zero anyway.
-        if any_demand {
+        let unsaturated = if any_demand {
             waterfill_into(
                 &self.scratch.demands,
                 self.machine.perf.socket_bw,
                 &mut self.scratch.allocs,
                 &mut self.scratch.order,
-            );
+            )
         } else {
             self.scratch.allocs.clear();
             self.scratch.allocs.resize(n, 0.0);
+            true
+        };
+        // Prime the per-CPU demand cache for the local fast path.
+        let n_cpus = self.cpus.len();
+        self.scratch.demand_by_cpu.clear();
+        self.scratch.demand_by_cpu.resize(n_cpus, 0.0);
+        for k in 0..n {
+            let (_, ci) = self.scratch.running[k];
+            self.scratch.demand_by_cpu[ci] = self.scratch.demands[k];
         }
+        self.scratch.cache_unsaturated = unsaturated;
+        self.scratch.cache_valid = true;
         // Second pass: set new rates and (re)schedule completions.
         for k in 0..n {
             let (ti, _) = self.scratch.running[k];
             let factor = self.scratch.factors[k];
             let alloc = self.scratch.allocs[k];
             let rate = {
-                let c = self.threads[ti].compute.as_ref().unwrap();
+                let c = self.computes[ti].as_ref().unwrap();
                 self.machine.perf.rate(&c.solo, factor, alloc)
             };
             self.apply_rate(ti, factor, rate, now);

@@ -49,12 +49,13 @@ pub mod policy;
 pub mod sanitize;
 pub mod thread;
 pub mod trace;
+pub mod wire;
 
 pub use action::{Action, Behavior, Ctx, FnBehavior, ScriptBehavior};
 pub use config::KernelConfig;
 pub use fault::{CpuStallSpec, FaultPlan, FaultStats, SpuriousIrqSpec, ThreadAbortSpec};
 pub use ids::{BarrierId, ThreadId, WaitId};
-pub use kernel::{Kernel, RunError, ThreadSpec};
+pub use kernel::{Kernel, KernelStorage, RunError, ThreadSpec};
 pub use observe::{DecisionPoint, HostProfiler, KernelObserver, Phase, SchedRecord};
 pub use policy::Policy;
 pub use sanitize::{
@@ -63,3 +64,4 @@ pub use sanitize::{
 };
 pub use thread::{ThreadKind, ThreadState};
 pub use trace::{NoiseClass, RecordedEvent, TraceSink, VecSink};
+pub use wire::{InternTable, WireRecord, WIRE_NO_THREAD, WIRE_RECORD_BYTES};

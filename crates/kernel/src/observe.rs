@@ -19,8 +19,9 @@
 //! Every call site is guarded by an `Option` check, so a kernel with no
 //! observer attached pays one branch per hook and nothing else.
 
-use crate::sanitize::EventRecord;
+use crate::sanitize::{EventKind, EventRecord};
 use crate::thread::{ThreadKind, ThreadState};
+use crate::wire::{InternTable, WireRecord};
 use noiselab_sim::SimTime;
 
 /// One scheduling-layer occurrence, flattened for observation. Borrowed
@@ -196,6 +197,31 @@ pub trait KernelObserver {
     /// sanitizer hashes.
     fn event(&mut self, rec: &EventRecord<'_>) {
         let _ = rec;
+    }
+
+    /// A batch of consecutively dispatched events, in dispatch order,
+    /// in the compact wire encoding: `tag` is [`EventKind::tag`],
+    /// `name` indexes `intern` (the event's noise-source label, absent
+    /// for `u32::MAX`), `start`/`dur_ns` carry the dispatch time and
+    /// IRQ service length. The kernel buffers small batches and always
+    /// flushes before delivering a scheduling record and before the
+    /// run-loop returns, so the merged event/sched order an observer
+    /// sees is unchanged — only the call granularity differs.
+    /// Implementations that only count can add `batch.len()` in one
+    /// step; the default decodes each record back into an
+    /// [`EventRecord`] and fans out to [`KernelObserver::event`].
+    fn events(&mut self, batch: &[WireRecord], intern: &InternTable) {
+        for w in batch {
+            let rec = EventRecord {
+                kind: EventKind::from_tag(w.tag).expect("invalid event tag in batch"),
+                cpu: (w.cpu != u32::MAX).then_some(w.cpu),
+                thread: (w.thread != u32::MAX).then_some(w.thread),
+                time: SimTime(w.start),
+                duration_ns: w.dur_ns,
+                source: intern.get(w.name),
+            };
+            self.event(&rec);
+        }
     }
 
     /// Called at each scheduling-layer hook.

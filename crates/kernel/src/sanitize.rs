@@ -66,7 +66,9 @@ impl EventKind {
         }
     }
 
-    fn tag(self) -> u8 {
+    /// Stable wire/hash discriminant (also the `tag` byte of the
+    /// batched-observer wire records).
+    pub fn tag(self) -> u8 {
         match self {
             EventKind::Start => 1,
             EventKind::WakeTimer => 2,
@@ -77,6 +79,21 @@ impl EventKind {
             EventKind::DeviceIrq => 7,
             EventKind::Abort => 8,
         }
+    }
+
+    /// Inverse of [`EventKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<EventKind> {
+        Some(match tag {
+            1 => EventKind::Start,
+            2 => EventKind::WakeTimer,
+            3 => EventKind::ComputeDone,
+            4 => EventKind::SpinExpire,
+            5 => EventKind::Tick,
+            6 => EventKind::IrqDone,
+            7 => EventKind::DeviceIrq,
+            8 => EventKind::Abort,
+            _ => return None,
+        })
     }
 }
 

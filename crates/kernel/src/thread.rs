@@ -129,8 +129,6 @@ pub struct Thread {
     pub last_cpu: Option<CpuId>,
     /// CFS virtual runtime (weighted ns).
     pub vruntime: u64,
-    /// The compute in progress (also used for spinning).
-    pub compute: Option<ActiveCompute>,
     /// True while the thread spins in a barrier/wait instead of blocking.
     pub spinning: bool,
     pub block_reason: BlockReason,
@@ -171,7 +169,6 @@ impl Thread {
             cpu: None,
             last_cpu: None,
             vruntime: 0,
-            compute: None,
             spinning: false,
             block_reason: BlockReason::None,
             on_cpu_since: SimTime::ZERO,

@@ -29,23 +29,27 @@ pub fn waterfill(demands: &[f64], capacity: f64) -> Vec<f64> {
 /// scratch, so steady-state callers make no allocations once the
 /// buffers have grown to the working-set size. Produces bit-identical
 /// results to [`waterfill`].
+///
+/// Returns `true` when the fill was unsaturated (`sum(demands) <=
+/// capacity`): in that case `alloc` is a bit-exact copy of `demands`,
+/// a fact hot callers exploit to keep rate updates local.
 pub fn waterfill_into(
     demands: &[f64],
     capacity: f64,
     alloc: &mut Vec<f64>,
     order: &mut Vec<usize>,
-) {
+) -> bool {
     debug_assert!(capacity >= 0.0);
     debug_assert!(demands.iter().all(|&d| d >= 0.0));
     let n = demands.len();
     alloc.clear();
     if n == 0 {
-        return;
+        return true;
     }
     let total: f64 = demands.iter().sum();
     if total <= capacity {
         alloc.extend_from_slice(demands);
-        return;
+        return true;
     }
 
     // Sort indices by demand ascending; satisfy small demands fully while
@@ -68,10 +72,11 @@ pub fn waterfill_into(
             for &j in &order[rank..] {
                 alloc[j] = share;
             }
-            return;
+            return false;
         }
         left -= 1;
     }
+    false
 }
 
 #[cfg(test)]

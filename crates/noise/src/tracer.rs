@@ -15,7 +15,7 @@
 //! downcasting.
 
 use crate::trace::{RunTrace, TraceEvent};
-use noiselab_kernel::{NoiseClass, ThreadId, TraceSink};
+use noiselab_kernel::{InternTable, NoiseClass, ThreadId, TraceSink, WireRecord, WIRE_NO_THREAD};
 use noiselab_machine::CpuId;
 use noiselab_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -27,12 +27,34 @@ use std::rc::Rc;
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
 
 struct BufferInner {
-    events: Vec<TraceEvent>,
+    /// Recorded events in the shared compact wire encoding: `tag` is
+    /// the [`NoiseClass`] discriminant, `name` indexes `intern`.
+    /// Recording is a fixed-width push — the owned-`String` form the
+    /// analysis layer wants is materialized once, at [`TraceBuffer::
+    /// take_trace`] time, not per event.
+    events: Vec<WireRecord>,
+    intern: InternTable,
     capacity: usize,
     /// Per-CPU drop counters, grown on demand (index = cpu id).
     dropped: Vec<u64>,
     /// Everything `record` was asked to store, recorded or not.
     emitted: u64,
+}
+
+fn class_tag(class: NoiseClass) -> u8 {
+    match class {
+        NoiseClass::Irq => 0,
+        NoiseClass::Softirq => 1,
+        NoiseClass::Thread => 2,
+    }
+}
+
+fn class_from_tag(tag: u8) -> NoiseClass {
+    match tag {
+        0 => NoiseClass::Irq,
+        1 => NoiseClass::Softirq,
+        _ => NoiseClass::Thread,
+    }
 }
 
 /// Shared buffer handle.
@@ -58,6 +80,7 @@ impl TraceBuffer {
         TraceBuffer {
             inner: Rc::new(RefCell::new(BufferInner {
                 events: Vec::new(),
+                intern: InternTable::new(),
                 capacity,
                 dropped: Vec::new(),
                 emitted: 0,
@@ -84,6 +107,19 @@ impl TraceBuffer {
         self.inner.borrow().dropped.iter().sum()
     }
 
+    /// Empty the buffer and counters (keeping the ring's and intern
+    /// table's allocations) and set the overflow capacity — the
+    /// arena-reuse hook: a retained buffer reset this way behaves
+    /// exactly like a fresh [`TraceBuffer::with_capacity`].
+    pub fn reset(&self, capacity: usize) {
+        let mut b = self.inner.borrow_mut();
+        b.events.clear();
+        b.intern.clear();
+        b.capacity = capacity;
+        b.dropped.clear();
+        b.emitted = 0;
+    }
+
     /// Drain the buffer into a [`RunTrace`], carrying the drop
     /// accounting; counters reset for the next run.
     pub fn take_trace(&self, run_index: usize, exec_time: SimDuration) -> RunTrace {
@@ -98,10 +134,27 @@ impl TraceBuffer {
         let dropped_events: u64 = dropped_by_cpu.iter().map(|&(_, d)| d).sum();
         b.dropped.clear();
         b.emitted = 0;
+        let events = b
+            .events
+            .iter()
+            .map(|w| TraceEvent {
+                cpu: CpuId(w.cpu),
+                class: class_from_tag(w.tag),
+                source: b
+                    .intern
+                    .get(w.name)
+                    .expect("tracer intern table missing an id it issued")
+                    .to_string(),
+                start: SimTime(w.start),
+                duration: SimDuration(w.dur_ns),
+            })
+            .collect();
+        b.events.clear();
+        b.intern.clear();
         RunTrace {
             run_index,
             exec_time,
-            events: std::mem::take(&mut b.events),
+            events,
             dropped_events,
             dropped_by_cpu,
             degraded: dropped_events > 0,
@@ -125,12 +178,16 @@ impl OsNoiseTracer {
     /// A tracer whose ring buffer holds at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> (OsNoiseTracer, TraceBuffer) {
         let buffer = TraceBuffer::with_capacity(capacity);
-        (
-            OsNoiseTracer {
-                buffer: buffer.clone(),
-            },
-            buffer,
-        )
+        (Self::from_buffer(buffer.clone()), buffer)
+    }
+
+    /// A tracer appending into an existing buffer — the arena-reuse
+    /// hook: a repetition loop keeps one [`TraceBuffer`] and re-attaches
+    /// it run after run, so the ring's allocation stays warm. Callers
+    /// reusing a buffer across runs should [`TraceBuffer::reset`] it
+    /// first in case the previous run ended without a drain.
+    pub fn from_buffer(buffer: TraceBuffer) -> OsNoiseTracer {
+        OsNoiseTracer { buffer }
     }
 }
 
@@ -140,19 +197,21 @@ impl TraceSink for OsNoiseTracer {
         cpu: CpuId,
         class: NoiseClass,
         source: &str,
-        _tid: Option<ThreadId>,
+        tid: Option<ThreadId>,
         start: SimTime,
         duration: SimDuration,
     ) {
         let mut b = self.buffer.inner.borrow_mut();
         b.emitted += 1;
         if b.events.len() < b.capacity {
-            b.events.push(TraceEvent {
-                cpu,
-                class,
-                source: source.to_string(),
-                start,
-                duration,
+            let name = b.intern.intern(source);
+            b.events.push(WireRecord {
+                start: start.0,
+                dur_ns: duration.0,
+                cpu: cpu.0,
+                thread: tid.map_or(WIRE_NO_THREAD, |t| t.0),
+                name,
+                tag: class_tag(class),
             });
         } else {
             let ci = cpu.0 as usize;

@@ -119,6 +119,26 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Return the queue to its boot state (time zero, no events,
+    /// sequence counter restarted) while keeping the heap's and token
+    /// table's allocations — the arena-reuse hook for repetition loops.
+    /// Slot generations are bumped, not cleared, so tokens from the
+    /// previous run stay inert instead of aliasing new events.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.live = 0;
+        self.free.clear();
+        // Rebuild the free list high-to-low so slots are reissued in
+        // ascending order, matching a freshly grown table.
+        for (i, slot) in self.slots.iter_mut().enumerate().rev() {
+            slot.state = SlotState::Free;
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(i as u32);
+        }
+    }
+
     /// Number of live (non-cancelled) events.
     #[inline]
     pub fn len(&self) -> usize {
@@ -263,6 +283,28 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reset_restores_boot_state_and_defuses_old_tokens() {
+        let mut q = EventQueue::new();
+        let stale = q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(20), 2);
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        q.reset();
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // A second run behaves exactly like a fresh queue...
+        q.schedule(SimTime(5), 7);
+        let live = q.schedule(SimTime(6), 8);
+        // ...and a token from the previous run cannot cancel its slot's
+        // new occupant.
+        q.cancel(stale);
+        assert_eq!(q.len(), 2);
+        q.cancel(live);
+        assert_eq!(q.pop(), Some((SimTime(5), 7)));
+        assert_eq!(q.pop(), None);
+    }
 
     #[test]
     fn pops_in_time_order() {

@@ -39,6 +39,12 @@ impl MetricsRegistry {
         self.hists.entry(name).or_default().record(v);
     }
 
+    /// Merge a pre-accumulated histogram in (exact, bucket-wise) — the
+    /// flush path for recorders that batch hot-path samples locally.
+    pub fn hist_merge(&mut self, name: &'static str, h: &Log2Hist) {
+        self.hists.entry(name).or_default().merge(h);
+    }
+
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }

@@ -14,8 +14,11 @@
 //! only the first time a name is seen.
 
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
-use noiselab_kernel::{EventRecord, KernelObserver, SchedRecord, ThreadKind, ThreadState};
+use noiselab_kernel::{
+    EventRecord, InternTable, KernelObserver, SchedRecord, ThreadKind, ThreadState, WireRecord,
+};
 use noiselab_sim::SimTime;
+use noiselab_stats::Log2Hist;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -152,6 +155,70 @@ struct OpenSpan {
     start: SimTime,
 }
 
+/// Counters and histograms touched on every event or scheduling record,
+/// kept as plain fields instead of registry entries: the recording path
+/// is a field increment, and the names are resolved once at
+/// [`HotMetrics::flush`] time. Flushing only materializes metrics that
+/// actually fired, matching the registry's create-on-first-add behavior.
+#[derive(Default)]
+struct HotMetrics {
+    kernel_events: u64,
+    context_switches: u64,
+    blocks: u64,
+    preemptions: u64,
+    enqueues: u64,
+    dequeues: u64,
+    decisions: u64,
+    migrations: u64,
+    numa_migrations: u64,
+    policy_switches: u64,
+    irq_timer: u64,
+    irq_device: u64,
+    irq_softirq: u64,
+    runq_depth: Log2Hist,
+    latency_ns: Log2Hist,
+    irq_service_ns: Log2Hist,
+    run_span_ns: Log2Hist,
+    noise_span_ns: Log2Hist,
+}
+
+impl HotMetrics {
+    fn flush(&self, m: &mut MetricsRegistry) {
+        let counters = [
+            ("kernel.events", self.kernel_events),
+            ("sched.context_switches", self.context_switches),
+            ("sched.blocks", self.blocks),
+            ("sched.preemptions", self.preemptions),
+            ("sched.enqueues", self.enqueues),
+            ("sched.dequeues", self.dequeues),
+            ("sched.decisions", self.decisions),
+            ("sched.migrations", self.migrations),
+            ("sched.numa_migrations", self.numa_migrations),
+            ("sched.policy_switches", self.policy_switches),
+            ("irq.timer", self.irq_timer),
+            ("irq.device", self.irq_device),
+            ("irq.softirq", self.irq_softirq),
+        ];
+        for (name, v) in counters {
+            if v > 0 {
+                m.counter_add(name, v);
+            }
+        }
+        let hists = [
+            ("sched.runq_depth", &self.runq_depth),
+            ("sched.latency_ns", &self.latency_ns),
+            ("irq.service_ns", &self.irq_service_ns),
+            ("run.span_ns", &self.run_span_ns),
+            ("noise.span_ns", &self.noise_span_ns),
+        ];
+        for (name, h) in hists {
+            if h.count > 0 {
+                m.hist_merge(name, h);
+            }
+        }
+    }
+}
+
 struct Inner {
     cfg: TelemetryConfig,
     spans: Vec<Span>,
@@ -164,9 +231,15 @@ struct Inner {
     /// Per-CPU on-CPU nanoseconds (run + noise spans), kept outside the
     /// span store so utilization survives metrics-only mode and caps.
     busy: Vec<u64>,
-    /// Enqueue time per thread, consumed at switch-in for the
-    /// scheduling-latency histogram.
-    enqueued_at: BTreeMap<u32, SimTime>,
+    /// Enqueue time per thread (dense, grown on demand), consumed at
+    /// switch-in for the scheduling-latency histogram.
+    enqueued_at: Vec<Option<SimTime>>,
+    /// Interned name id per thread, so repeat switch-ins of the same
+    /// thread skip the intern-table walk. Valid because a thread's name
+    /// never changes after spawn (debug-checked below).
+    name_of_thread: Vec<u32>,
+    /// Hot-path counters/histograms, folded into `metrics` at finish.
+    hot: HotMetrics,
     n_cpus: u32,
     dropped: u64,
     metrics: MetricsRegistry,
@@ -219,11 +292,10 @@ impl Inner {
             return;
         };
         let dur_ns = end.since(open.start).nanos();
-        let hist = match open.cat {
-            SpanCat::Run => "run.span_ns",
-            _ => "noise.span_ns",
-        };
-        self.metrics.hist_record(hist, dur_ns);
+        match open.cat {
+            SpanCat::Run => self.hot.run_span_ns.record(dur_ns),
+            _ => self.hot.noise_span_ns.record(dur_ns),
+        }
         self.busy[cpu as usize] += dur_ns;
         self.push_span(Span {
             cpu,
@@ -248,19 +320,33 @@ impl Inner {
                 self.saw_cpu(cpu);
                 // Defensive: a switch-in over a still-open span closes it.
                 self.close_open(cpu, time);
-                self.metrics.counter_add("sched.context_switches", 1);
-                self.metrics
-                    .hist_record("sched.runq_depth", runq_depth as u64);
-                if let Some(enq) = self.enqueued_at.remove(&thread) {
-                    self.metrics
-                        .hist_record("sched.latency_ns", time.since(enq).nanos());
+                self.hot.context_switches += 1;
+                self.hot.runq_depth.record(runq_depth as u64);
+                if let Some(enq) = self
+                    .enqueued_at
+                    .get_mut(thread as usize)
+                    .and_then(Option::take)
+                {
+                    self.hot.latency_ns.record(time.since(enq).nanos());
                 }
                 let cat = if kind == ThreadKind::Workload {
                     SpanCat::Run
                 } else {
                     SpanCat::Noise
                 };
-                let name = self.intern(name);
+                let ti = thread as usize;
+                if self.name_of_thread.len() <= ti {
+                    self.name_of_thread.resize(ti + 1, u32::MAX);
+                }
+                let name = if self.name_of_thread[ti] != u32::MAX {
+                    let id = self.name_of_thread[ti];
+                    debug_assert_eq!(self.strings[id as usize], name, "thread renamed mid-run");
+                    id
+                } else {
+                    let id = self.intern(name);
+                    self.name_of_thread[ti] = id;
+                    id
+                };
                 self.open[cpu as usize] = Some(OpenSpan {
                     thread,
                     name,
@@ -274,12 +360,12 @@ impl Inner {
                 self.saw_cpu(cpu);
                 self.close_open(cpu, time);
                 if state == ThreadState::Blocked {
-                    self.metrics.counter_add("sched.blocks", 1);
+                    self.hot.blocks += 1;
                 }
             }
             SchedRecord::Preempt { cpu, time, .. } => {
                 self.saw_cpu(cpu);
-                self.metrics.counter_add("sched.preemptions", 1);
+                self.hot.preemptions += 1;
                 self.push_instant(cpu, "preempt", time);
             }
             SchedRecord::Enqueue {
@@ -289,8 +375,12 @@ impl Inner {
                 depth,
             } => {
                 self.saw_cpu(cpu);
-                self.metrics.counter_add("sched.enqueues", 1);
-                self.enqueued_at.insert(thread, time);
+                self.hot.enqueues += 1;
+                let ti = thread as usize;
+                if self.enqueued_at.len() <= ti {
+                    self.enqueued_at.resize(ti + 1, None);
+                }
+                self.enqueued_at[ti] = Some(time);
                 if self.cfg.timeline {
                     if self.counters.len() >= self.cfg.max_events {
                         self.dropped += 1;
@@ -306,9 +396,9 @@ impl Inner {
                 ..
             } => {
                 self.saw_cpu(to_cpu);
-                self.metrics.counter_add("sched.migrations", 1);
+                self.hot.migrations += 1;
                 if cross_numa {
-                    self.metrics.counter_add("sched.numa_migrations", 1);
+                    self.hot.numa_migrations += 1;
                     self.push_instant(to_cpu, "migrate-numa", time);
                 } else {
                     self.push_instant(to_cpu, "migrate", time);
@@ -322,15 +412,14 @@ impl Inner {
                 softirq,
             } => {
                 self.saw_cpu(cpu);
-                let counter = if softirq {
-                    "irq.softirq"
+                if softirq {
+                    self.hot.irq_softirq += 1;
                 } else if source == "local_timer:236" {
-                    "irq.timer"
+                    self.hot.irq_timer += 1;
                 } else {
-                    "irq.device"
-                };
-                self.metrics.counter_add(counter, 1);
-                self.metrics.hist_record("irq.service_ns", duration_ns);
+                    self.hot.irq_device += 1;
+                }
+                self.hot.irq_service_ns.record(duration_ns);
                 let cat = if softirq {
                     SpanCat::Softirq
                 } else {
@@ -347,17 +436,17 @@ impl Inner {
                 });
             }
             SchedRecord::PolicySwitch { time, .. } => {
-                self.metrics.counter_add("sched.policy_switches", 1);
+                self.hot.policy_switches += 1;
                 self.push_instant(0, "policy-switch", time);
             }
             // Decision points are high-frequency conformance breadcrumbs;
             // count them, but emit no timeline events (a span per pick
             // would swamp the Perfetto track).
             SchedRecord::Decision { .. } => {
-                self.metrics.counter_add("sched.decisions", 1);
+                self.hot.decisions += 1;
             }
             SchedRecord::Dequeue { .. } => {
-                self.metrics.counter_add("sched.dequeues", 1);
+                self.hot.dequeues += 1;
             }
         }
     }
@@ -366,6 +455,8 @@ impl Inner {
         for cpu in 0..self.open.len() as u32 {
             self.close_open(cpu, end);
         }
+        let hot = std::mem::take(&mut self.hot);
+        hot.flush(&mut self.metrics);
         // Per-CPU utilization: busy (run + noise span) time over the
         // observed window.
         let window = end.0.max(1) as f64;
@@ -417,13 +508,38 @@ impl Telemetry {
                 strings: Vec::new(),
                 intern: BTreeMap::new(),
                 open: Vec::new(),
-                enqueued_at: BTreeMap::new(),
+                enqueued_at: Vec::new(),
+                name_of_thread: Vec::new(),
+                hot: HotMetrics::default(),
                 busy: Vec::new(),
                 n_cpus: 0,
                 dropped: 0,
                 metrics: MetricsRegistry::new(),
             })),
         }
+    }
+
+    /// Return the pipeline to its just-constructed state under `cfg`,
+    /// keeping every collection's allocation — the arena-reuse hook for
+    /// repetition loops. Observationally equivalent to replacing the
+    /// handle with `Telemetry::new(cfg)`; the arena conformance suite
+    /// asserts reports from a reused pipeline match a fresh one's.
+    pub fn reset(&self, cfg: TelemetryConfig) {
+        let mut i = self.inner.borrow_mut();
+        i.cfg = cfg;
+        i.spans.clear();
+        i.instants.clear();
+        i.counters.clear();
+        i.strings.clear();
+        i.intern.clear();
+        i.open.clear();
+        i.busy.clear();
+        i.enqueued_at.clear();
+        i.name_of_thread.clear();
+        i.hot = HotMetrics::default();
+        i.n_cpus = 0;
+        i.dropped = 0;
+        i.metrics = MetricsRegistry::new();
     }
 
     /// The boxed observer to attach to a kernel. Cloning the handle
@@ -458,10 +574,13 @@ struct Recorder {
 
 impl KernelObserver for Recorder {
     fn event(&mut self, _rec: &EventRecord<'_>) {
-        self.inner
-            .borrow_mut()
-            .metrics
-            .counter_add("kernel.events", 1);
+        self.inner.borrow_mut().hot.kernel_events += 1;
+    }
+
+    fn events(&mut self, batch: &[WireRecord], _intern: &InternTable) {
+        // The recorder only counts dispatched events, so a batch is one
+        // borrow and one add instead of a fan-out.
+        self.inner.borrow_mut().hot.kernel_events += batch.len() as u64;
     }
 
     fn sched(&mut self, rec: &SchedRecord<'_>) {
