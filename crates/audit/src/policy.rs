@@ -139,4 +139,15 @@ pub const POLICIES: &[CratePolicy] = &[
         rules: BENCH_RULES,
         host_thread_approved: &[],
     },
+    CratePolicy {
+        name: "noiselab-campaignd",
+        root: "crates/campaignd",
+        dirs: &["src"],
+        // The campaign engine crosses process boundaries but the cells
+        // it runs must stay pure functions of the seed: full rules,
+        // with the supervisor's liveness clock as the one annotated
+        // wall-clock site and its stdout-reader threads approved.
+        rules: ALL,
+        host_thread_approved: &["src/supervisor.rs"],
+    },
 ];

@@ -1,0 +1,320 @@
+//! Deterministic merge: fold a drained queue's shard ledgers back into
+//! one [`CampaignState`], independent of who executed what when.
+//!
+//! The merge iterates shards in **manifest order** (ascending id) and
+//! each ledger's cells in ascending index order — never in completion
+//! order. Everything order-sensitive downstream (gauge averaging in the
+//! metrics merge, the state hash, the serialized bytes) therefore sees
+//! the canonical order regardless of how claims interleaved, which is
+//! what makes a 4-worker chaos-ridden campaign byte-identical to the
+//! single-process driver.
+//!
+//! Trust, but verify: before a ledger is folded in, its recorded shard
+//! fingerprint is checked against one recomputed from the manifest
+//! (fingerprint-v2 contract), its fold hash is recomputed from its
+//! cells, and its cell coverage must be exactly the shard's index
+//! range. A ledger that fails any check poisons the merge with a typed
+//! error instead of quietly producing a plausible-looking state.
+
+use crate::queue::{QueueError, WorkQueue};
+use noiselab_core::{CampaignState, CellKey, QuarantineRecord};
+use noiselab_kernel::sanitize::fnv1a_extend;
+use noiselab_telemetry::MetricsSnapshot;
+use std::fmt;
+use std::path::Path;
+
+/// Why shard ledgers could not be merged.
+#[derive(Debug)]
+pub enum MergeError {
+    Queue(QueueError),
+    /// Some shards are neither done nor quarantined.
+    Incomplete {
+        missing: Vec<u32>,
+    },
+    /// A ledger's recorded fingerprint is not this campaign's shard.
+    ShardFingerprint {
+        shard: u32,
+        expected: u64,
+        found: u64,
+    },
+    /// A ledger's recorded fold hash disagrees with its cells.
+    HashMismatch {
+        shard: u32,
+        recorded: u64,
+        recomputed: u64,
+    },
+    /// A ledger does not cover exactly its shard's cell range.
+    Coverage {
+        shard: u32,
+        message: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Queue(e) => write!(f, "{e}"),
+            MergeError::Incomplete { missing } => write!(
+                f,
+                "cannot merge: {} shard(s) still pending: {missing:?}",
+                missing.len()
+            ),
+            MergeError::ShardFingerprint {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {shard} ledger fingerprint {found:016x} != expected \
+                 {expected:016x}; it belongs to a different campaign or geometry"
+            ),
+            MergeError::HashMismatch {
+                shard,
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "shard {shard} ledger hash {recorded:016x} != recomputed \
+                 {recomputed:016x}; the ledger was corrupted after finalization"
+            ),
+            MergeError::Coverage { shard, message } => {
+                write!(f, "shard {shard} ledger coverage: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::Queue(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueueError> for MergeError {
+    fn from(e: QueueError) -> Self {
+        MergeError::Queue(e)
+    }
+}
+
+/// Merge a settled queue into one campaign state. Quarantined shards
+/// contribute a [`QuarantineRecord`] naming their cells; every other
+/// shard must have a verified `done/` ledger.
+pub fn merge_queue(root: &Path) -> Result<CampaignState, MergeError> {
+    let (queue, manifest) = WorkQueue::open(root)?;
+    let mut state = CampaignState::new(manifest.fingerprint.clone());
+    let mut missing = Vec::new();
+
+    for shard in &manifest.shards {
+        if let Some(ledger) = queue.load_done(shard.id)? {
+            let expected = shard.fingerprint(&manifest.fingerprint);
+            if ledger.fingerprint != expected {
+                return Err(MergeError::ShardFingerprint {
+                    shard: shard.id,
+                    expected,
+                    found: ledger.fingerprint,
+                });
+            }
+            let recomputed = ledger.fold_hash();
+            if ledger.hash != recomputed {
+                return Err(MergeError::HashMismatch {
+                    shard: shard.id,
+                    recorded: ledger.hash,
+                    recomputed,
+                });
+            }
+            let got: Vec<usize> = ledger.cells.iter().map(|c| c.index).collect();
+            let want: Vec<usize> = shard.cell_indices().collect();
+            if got != want {
+                return Err(MergeError::Coverage {
+                    shard: shard.id,
+                    message: format!("ledger covers {got:?}, shard owns {want:?}"),
+                });
+            }
+            // Cells within a ledger are already in ascending index
+            // order, and shards are visited in ascending id order over
+            // disjoint ranges — the concatenation is the canonical
+            // single-process cell order.
+            state
+                .cells
+                .extend(ledger.cells.into_iter().map(|c| c.record));
+        } else if let Some(note) = queue.load_quarantine(shard.id)? {
+            state.quarantined.push(QuarantineRecord {
+                shard: shard.id,
+                cells: shard
+                    .cell_indices()
+                    .map(|i| CellKey {
+                        label: manifest.spec.cells[i].label.clone(),
+                        seed: manifest.spec.cell_seed(i),
+                    })
+                    .collect(),
+                crashes: note.crashes,
+                reason: note.reason,
+            });
+        } else {
+            missing.push(shard.id);
+        }
+    }
+    if !missing.is_empty() {
+        return Err(MergeError::Incomplete { missing });
+    }
+    Ok(state)
+}
+
+/// Aggregate the per-cell metrics of a merged state, folding in
+/// canonical (stored) cell order — the gauge averages in
+/// [`MetricsSnapshot::merge`] are weighted means and therefore
+/// order-sensitive, so the fold order is part of the bit-identity
+/// contract.
+pub fn merged_metrics(state: &CampaignState) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for cell in &state.cells {
+        merged.merge(&cell.metrics);
+    }
+    merged
+}
+
+/// One-number identity of a merged campaign: FNV-1a over the
+/// fingerprint, every cell's (label, seed, stream hash, sample bits,
+/// attempts, failure count) and every quarantine record. Printed by the
+/// CLI and compared by the chaos gate — two runs of the same campaign
+/// must agree here no matter how execution was distributed.
+pub fn state_hash(state: &CampaignState) -> u64 {
+    let mut h = fnv1a_extend(0xcbf2_9ce4_8422_2325, state.fingerprint.as_bytes());
+    for cell in &state.cells {
+        h = fnv1a_extend(h, cell.key.label.as_bytes());
+        h = fnv1a_extend(h, &cell.key.seed.to_le_bytes());
+        h = fnv1a_extend(h, &cell.stream_hash.to_le_bytes());
+        for s in &cell.samples {
+            h = fnv1a_extend(h, &s.to_bits().to_le_bytes());
+        }
+        h = fnv1a_extend(h, &cell.attempts.to_le_bytes());
+        h = fnv1a_extend(h, &(cell.failures.len() as u64).to_le_bytes());
+    }
+    for q in &state.quarantined {
+        h = fnv1a_extend(h, &q.shard.to_le_bytes());
+        h = fnv1a_extend(h, &q.crashes.to_le_bytes());
+        h = fnv1a_extend(h, q.reason.as_bytes());
+        for k in &q.cells {
+            h = fnv1a_extend(h, k.label.as_bytes());
+            h = fnv1a_extend(h, &k.seed.to_le_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QuarantineNote;
+    use crate::spec::tiny_spec;
+    use crate::worker::{worker_main, WorkerConfig};
+    use noiselab_core::run_campaign;
+    use std::path::PathBuf;
+
+    fn drained_queue(tag: &str, shard_size: usize) -> (WorkQueue, PathBuf) {
+        let root = std::env::temp_dir().join(format!("noiselab-merge-{tag}"));
+        let _ = std::fs::remove_dir_all(&root);
+        let (queue, _) = WorkQueue::init(&root, &tiny_spec(), shard_size).unwrap();
+        worker_main(&WorkerConfig {
+            queue: root.clone(),
+            worker_id: format!("merge-{tag}"),
+        })
+        .unwrap();
+        (queue, root)
+    }
+
+    #[test]
+    fn merged_state_equals_single_process_campaign() {
+        let (_, root) = drained_queue("equal", 1);
+        let merged = merge_queue(&root).unwrap();
+
+        let spec = tiny_spec();
+        let resolved = spec.resolve().unwrap();
+        let single = run_campaign(&spec.plan(&resolved)).unwrap();
+        assert_eq!(merged, single, "sharded == single-process, bit for bit");
+        assert_eq!(
+            serde_json::to_string_pretty(&merged).unwrap(),
+            serde_json::to_string_pretty(&single).unwrap()
+        );
+        assert_eq!(state_hash(&merged), state_hash(&single));
+        assert_eq!(
+            merged_metrics(&merged).render(),
+            merged_metrics(&single).render()
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn shard_size_does_not_change_the_merge() {
+        let (_, r1) = drained_queue("size1", 1);
+        let (_, r3) = drained_queue("size3", 3);
+        let a = merge_queue(&r1).unwrap();
+        let b = merge_queue(&r3).unwrap();
+        assert_eq!(a, b, "partitioning is invisible in the result");
+        std::fs::remove_dir_all(&r1).ok();
+        std::fs::remove_dir_all(&r3).ok();
+    }
+
+    #[test]
+    fn quarantined_shards_become_named_records() {
+        let root = std::env::temp_dir().join("noiselab-merge-quarantine");
+        let _ = std::fs::remove_dir_all(&root);
+        let spec = tiny_spec();
+        let (queue, manifest) = WorkQueue::init(&root, &spec, 1).unwrap();
+        queue
+            .quarantine(&QuarantineNote {
+                shard: 1,
+                crashes: 3,
+                reason: "worker died 3 times".into(),
+            })
+            .unwrap();
+        worker_main(&WorkerConfig {
+            queue: root.clone(),
+            worker_id: "q".into(),
+        })
+        .unwrap();
+        let merged = merge_queue(&root).unwrap();
+        assert_eq!(merged.cells.len(), 3);
+        assert_eq!(merged.quarantined.len(), 1);
+        let q = &merged.quarantined[0];
+        assert_eq!(q.cells.len(), 1);
+        assert_eq!(q.cells[0].label, spec.cells[1].label);
+        assert_eq!(q.cells[0].seed, spec.cell_seed(1));
+        let report = merged.report(spec.cells.len());
+        assert!(report.complete, "quarantine degrades, never aborts");
+        assert_eq!(report.quarantined.len(), 1);
+        let _ = manifest;
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn tampered_ledger_poisons_the_merge() {
+        let (queue, root) = drained_queue("tamper", 2);
+        let mut ledger = queue.load_done(0).unwrap().unwrap();
+        ledger.cells[0].record.stream_hash ^= 1;
+        // Re-save with the stale hash: merge must recompute and refuse.
+        queue.complete(&ledger).unwrap();
+        let err = merge_queue(&root).unwrap_err();
+        assert!(
+            matches!(err, MergeError::HashMismatch { shard: 0, .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn incomplete_queue_names_missing_shards() {
+        let root = std::env::temp_dir().join("noiselab-merge-incomplete");
+        let _ = std::fs::remove_dir_all(&root);
+        let (_, _) = WorkQueue::init(&root, &tiny_spec(), 2).unwrap();
+        let err = merge_queue(&root).unwrap_err();
+        assert!(
+            matches!(&err, MergeError::Incomplete { missing } if missing == &vec![0, 1]),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

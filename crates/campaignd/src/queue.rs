@@ -1,0 +1,545 @@
+//! The on-disk work queue: how a campaign's shards are claimed,
+//! checkpointed, completed and quarantined across OS processes.
+//!
+//! Layout under the queue root:
+//!
+//! ```text
+//! campaign.json              manifest: schema, fingerprint, spec, shards
+//! leases/shard-NNNNN.lease   exists => shard is claimed (O_EXCL create)
+//! wip/shard-NNNNN.json       in-progress ShardResult (cell-granular)
+//! done/shard-NNNNN.json      finalized ShardResult
+//! quarantine/shard-NNNNN.json QuarantineNote — the shard is given up
+//! crashes/shard-NNNNN.json   crash counter (supervisor-maintained)
+//! ```
+//!
+//! The **lease file is the mutual exclusion primitive**: claiming a
+//! shard is `OpenOptions::create_new`, which the filesystem makes
+//! atomic — exactly one process wins, no coordinator in the loop. Every
+//! mutation of `wip/`, `done/`, `quarantine/` and `crashes/` goes
+//! through [`noiselab_core::durable::write_atomic`] (tmp + fsync +
+//! rename + directory fsync), so any process — worker or supervisor —
+//! can be SIGKILLed at any instruction and the queue remains a
+//! consistent prefix of the campaign.
+//!
+//! Races are closed pessimistically: a claimant re-checks `done/` and
+//! `quarantine/` *after* winning the lease and surrenders if either
+//! appeared in the window, and the supervisor writes quarantine
+//! *before* releasing a dead worker's lease. A shard can therefore
+//! never be executed after being quarantined or completed.
+
+use crate::shard::{ShardResult, ShardSpec};
+use crate::spec::{CampaignSpec, SpecError};
+use noiselab_core::durable::write_atomic;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest schema version for the queue directory itself.
+pub const QUEUE_SCHEMA: u32 = 1;
+
+/// The immutable description of a sharded campaign, written once at
+/// queue initialization and re-read by every worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueManifest {
+    pub schema: u32,
+    /// Campaign fingerprint ([`CampaignSpec::fingerprint`]); workers
+    /// recompute it from `spec` and refuse manifests that disagree.
+    pub fingerprint: String,
+    pub spec: CampaignSpec,
+    pub shards: Vec<ShardSpec>,
+}
+
+/// Why a shard was given up: written to `quarantine/` by the supervisor
+/// when a shard keeps killing workers, merged into the final state as a
+/// [`noiselab_core::QuarantineRecord`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineNote {
+    pub shard: u32,
+    pub crashes: u32,
+    pub reason: String,
+}
+
+/// Persistent crash counter for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct CrashCount {
+    crashes: u32,
+}
+
+/// Queue trouble, always naming the path involved.
+#[derive(Debug)]
+pub enum QueueError {
+    Io {
+        path: PathBuf,
+        source: io::Error,
+    },
+    Corrupt {
+        path: PathBuf,
+        message: String,
+    },
+    Spec(SpecError),
+    /// The directory holds a different campaign's queue.
+    FingerprintMismatch {
+        path: PathBuf,
+        expected: String,
+        found: String,
+    },
+    /// The manifest was written by a newer noiselab.
+    UnsupportedSchema {
+        path: PathBuf,
+        schema: u32,
+    },
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Io { path, source } => {
+                write!(f, "queue I/O error at {}: {source}", path.display())
+            }
+            QueueError::Corrupt { path, message } => {
+                write!(f, "corrupt queue file {}: {message}", path.display())
+            }
+            QueueError::Spec(e) => write!(f, "queue manifest spec: {e}"),
+            QueueError::FingerprintMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "queue {} belongs to a different campaign: manifest fingerprint \
+                 {found:?} != requested {expected:?}; refusing to mix shards",
+                path.display()
+            ),
+            QueueError::UnsupportedSchema { path, schema } => write!(
+                f,
+                "queue manifest {} has schema v{schema}, but this binary supports \
+                 at most v{QUEUE_SCHEMA}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueueError::Io { source, .. } => Some(source),
+            QueueError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for QueueError {
+    fn from(e: SpecError) -> Self {
+        QueueError::Spec(e)
+    }
+}
+
+fn io_err(path: &Path, source: io::Error) -> QueueError {
+    QueueError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Live progress of a queue, derived from the directory contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueStatus {
+    pub total: usize,
+    pub done: usize,
+    pub quarantined: usize,
+    pub leased: usize,
+    /// Shards neither done nor quarantined (leased ones included).
+    pub remaining: Vec<u32>,
+}
+
+impl QueueStatus {
+    /// Nothing left to claim or wait for.
+    pub fn settled(&self) -> bool {
+        self.done + self.quarantined >= self.total
+    }
+}
+
+/// Handle to a queue directory.
+#[derive(Debug, Clone)]
+pub struct WorkQueue {
+    root: PathBuf,
+}
+
+const SUBDIRS: [&str; 5] = ["leases", "wip", "done", "quarantine", "crashes"];
+
+impl WorkQueue {
+    /// Initialize a queue for `spec` under `root`, partitioning its
+    /// cells into shards of at most `shard_size`. If a manifest already
+    /// exists the queue is **resumed**: the existing manifest must carry
+    /// the same fingerprint (else [`QueueError::FingerprintMismatch`]),
+    /// and its shard table — not a re-partition — stays authoritative.
+    pub fn init(
+        root: &Path,
+        spec: &CampaignSpec,
+        shard_size: usize,
+    ) -> Result<(WorkQueue, QueueManifest), QueueError> {
+        let fingerprint = spec.fingerprint()?;
+        let queue = WorkQueue {
+            root: root.to_path_buf(),
+        };
+        for sub in SUBDIRS {
+            let dir = root.join(sub);
+            std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        }
+        let manifest_path = queue.manifest_path();
+        if manifest_path.exists() {
+            let (q, manifest) = WorkQueue::open(root)?;
+            if manifest.fingerprint != fingerprint {
+                return Err(QueueError::FingerprintMismatch {
+                    path: manifest_path,
+                    expected: fingerprint,
+                    found: manifest.fingerprint,
+                });
+            }
+            return Ok((q, manifest));
+        }
+        let manifest = QueueManifest {
+            schema: QUEUE_SCHEMA,
+            fingerprint,
+            spec: spec.clone(),
+            shards: crate::shard::partition(spec.cells.len(), shard_size),
+        };
+        queue.write_json(&manifest_path, &manifest)?;
+        Ok((queue, manifest))
+    }
+
+    /// Open an existing queue, re-verifying that the manifest's recorded
+    /// fingerprint still matches one recomputed from its spec — a worker
+    /// must never run cells under a manifest whose identity drifted.
+    pub fn open(root: &Path) -> Result<(WorkQueue, QueueManifest), QueueError> {
+        let queue = WorkQueue {
+            root: root.to_path_buf(),
+        };
+        let path = queue.manifest_path();
+        let manifest: QueueManifest = queue
+            .read_json(&path)?
+            .ok_or_else(|| io_err(&path, io::Error::from(io::ErrorKind::NotFound)))?;
+        if manifest.schema > QUEUE_SCHEMA {
+            return Err(QueueError::UnsupportedSchema {
+                path,
+                schema: manifest.schema,
+            });
+        }
+        let recomputed = manifest.spec.fingerprint()?;
+        if recomputed != manifest.fingerprint {
+            return Err(QueueError::FingerprintMismatch {
+                path,
+                expected: recomputed,
+                found: manifest.fingerprint,
+            });
+        }
+        Ok((queue, manifest))
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join("campaign.json")
+    }
+
+    fn shard_file(&self, sub: &str, id: u32, ext: &str) -> PathBuf {
+        self.root.join(sub).join(format!("shard-{id:05}.{ext}"))
+    }
+
+    pub fn lease_path(&self, id: u32) -> PathBuf {
+        self.shard_file("leases", id, "lease")
+    }
+
+    pub fn wip_path(&self, id: u32) -> PathBuf {
+        self.shard_file("wip", id, "json")
+    }
+
+    pub fn done_path(&self, id: u32) -> PathBuf {
+        self.shard_file("done", id, "json")
+    }
+
+    pub fn quarantine_path(&self, id: u32) -> PathBuf {
+        self.shard_file("quarantine", id, "json")
+    }
+
+    fn crash_path(&self, id: u32) -> PathBuf {
+        self.shard_file("crashes", id, "json")
+    }
+
+    // ------------------------------------------------------------------
+    // claiming
+
+    /// Atomically claim the first available shard, or `None` when every
+    /// shard is done, quarantined or leased by someone else. `who` is
+    /// recorded in the lease for diagnostics only.
+    pub fn claim(&self, who: &str, shards: &[ShardSpec]) -> Result<Option<ShardSpec>, QueueError> {
+        for shard in shards {
+            if self.is_done(shard.id) || self.is_quarantined(shard.id) {
+                continue;
+            }
+            let lease = self.lease_path(shard.id);
+            match OpenOptions::new().write(true).create_new(true).open(&lease) {
+                Ok(mut f) => {
+                    // Best-effort diagnostics; the file's existence is
+                    // the claim, its content is not load-bearing.
+                    let _ = writeln!(f, "{who} pid={}", std::process::id());
+                    let _ = f.sync_all();
+                    // Close the check-then-act window: if the shard was
+                    // completed or quarantined between our check and the
+                    // create, surrender the lease immediately.
+                    if self.is_done(shard.id) || self.is_quarantined(shard.id) {
+                        self.release(shard.id);
+                        continue;
+                    }
+                    return Ok(Some(*shard));
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(io_err(&lease, e)),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drop a lease (worker finished with the shard, or the supervisor
+    /// reclaims a dead worker's shard). Removing a nonexistent lease is
+    /// a no-op — release must be idempotent across crash recovery.
+    pub fn release(&self, id: u32) {
+        let _ = std::fs::remove_file(self.lease_path(id));
+    }
+
+    pub fn is_leased(&self, id: u32) -> bool {
+        self.lease_path(id).exists()
+    }
+
+    // ------------------------------------------------------------------
+    // per-shard state
+
+    /// Durable per-cell checkpoint of an in-progress shard.
+    pub fn save_wip(&self, result: &ShardResult) -> Result<(), QueueError> {
+        self.write_json(&self.wip_path(result.shard), result)
+    }
+
+    /// Load a wip ledger if present (caller validates it with
+    /// [`ShardResult::is_resumable_prefix_of`]).
+    pub fn load_wip(&self, id: u32) -> Result<Option<ShardResult>, QueueError> {
+        self.read_json(&self.wip_path(id))
+    }
+
+    /// Finalize a shard: durably publish the ledger under `done/`, then
+    /// clear the wip checkpoint and the lease. Ordering matters — once
+    /// `done/` exists the shard can never be claimed again, so a crash
+    /// between these steps only leaves harmless stale files.
+    pub fn complete(&self, result: &ShardResult) -> Result<(), QueueError> {
+        self.write_json(&self.done_path(result.shard), result)?;
+        let _ = std::fs::remove_file(self.wip_path(result.shard));
+        self.release(result.shard);
+        Ok(())
+    }
+
+    pub fn is_done(&self, id: u32) -> bool {
+        self.done_path(id).exists()
+    }
+
+    pub fn load_done(&self, id: u32) -> Result<Option<ShardResult>, QueueError> {
+        self.read_json(&self.done_path(id))
+    }
+
+    /// Give up on a shard. Written **before** the dead worker's lease is
+    /// released so no window exists in which another worker can claim a
+    /// shard the supervisor has condemned.
+    pub fn quarantine(&self, note: &QuarantineNote) -> Result<(), QueueError> {
+        self.write_json(&self.quarantine_path(note.shard), note)?;
+        let _ = std::fs::remove_file(self.wip_path(note.shard));
+        Ok(())
+    }
+
+    pub fn is_quarantined(&self, id: u32) -> bool {
+        self.quarantine_path(id).exists()
+    }
+
+    pub fn load_quarantine(&self, id: u32) -> Result<Option<QuarantineNote>, QueueError> {
+        self.read_json(&self.quarantine_path(id))
+    }
+
+    /// Record one more crash against a shard; returns the new total.
+    /// The counter is persistent, so a *resumed* campaign still counts a
+    /// shard's earlier kills toward its quarantine threshold.
+    pub fn note_crash(&self, id: u32) -> Result<u32, QueueError> {
+        let path = self.crash_path(id);
+        let crashes = self.crash_count(id)? + 1;
+        self.write_json(&path, &CrashCount { crashes })?;
+        Ok(crashes)
+    }
+
+    pub fn crash_count(&self, id: u32) -> Result<u32, QueueError> {
+        Ok(self
+            .read_json::<CrashCount>(&self.crash_path(id))?
+            .map_or(0, |c| c.crashes))
+    }
+
+    /// Derive live progress from the directory contents.
+    pub fn status(&self, manifest: &QueueManifest) -> QueueStatus {
+        let mut status = QueueStatus {
+            total: manifest.shards.len(),
+            done: 0,
+            quarantined: 0,
+            leased: 0,
+            remaining: Vec::new(),
+        };
+        for s in &manifest.shards {
+            if self.is_done(s.id) {
+                status.done += 1;
+            } else if self.is_quarantined(s.id) {
+                status.quarantined += 1;
+            } else {
+                if self.is_leased(s.id) {
+                    status.leased += 1;
+                }
+                status.remaining.push(s.id);
+            }
+        }
+        status
+    }
+
+    // ------------------------------------------------------------------
+    // JSON plumbing
+
+    fn write_json<T: Serialize>(&self, path: &Path, value: &T) -> Result<(), QueueError> {
+        let text = serde_json::to_string_pretty(value).map_err(|e| QueueError::Corrupt {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        write_atomic(path, text.as_bytes()).map_err(|e| io_err(path, e))
+    }
+
+    fn read_json<T: serde::Deserialize>(&self, path: &Path) -> Result<Option<T>, QueueError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(path, e)),
+        };
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| QueueError::Corrupt {
+                path: path.to_path_buf(),
+                message: e.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::tiny_spec;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("noiselab-queue-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn init_partitions_and_reopen_agrees() {
+        let root = tmp_root("init");
+        let spec = tiny_spec();
+        let (_, manifest) = WorkQueue::init(&root, &spec, 2).unwrap();
+        assert_eq!(manifest.shards.len(), 2);
+        assert_eq!(manifest.schema, QUEUE_SCHEMA);
+        let (_, reopened) = WorkQueue::open(&root).unwrap();
+        assert_eq!(manifest, reopened);
+        // Re-init with the same spec resumes; a different spec refuses.
+        let (_, resumed) = WorkQueue::init(&root, &spec, 3).unwrap();
+        assert_eq!(resumed.shards, manifest.shards, "old partition stays");
+        let mut other = spec.clone();
+        other.seed_base += 1;
+        let err = WorkQueue::init(&root, &other, 2).unwrap_err();
+        assert!(
+            matches!(err, QueueError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn claim_is_exclusive_and_skips_done_and_quarantined() {
+        let root = tmp_root("claim");
+        let spec = tiny_spec();
+        let (q, m) = WorkQueue::init(&root, &spec, 1).unwrap();
+        assert_eq!(m.shards.len(), 4);
+        let s0 = q.claim("w0", &m.shards).unwrap().unwrap();
+        assert_eq!(s0.id, 0);
+        let s1 = q.claim("w1", &m.shards).unwrap().unwrap();
+        assert_eq!(s1.id, 1, "second claimant gets the next shard");
+        // Complete shard 2, quarantine shard 3: nothing left to claim.
+        let fp2 = m.shards[2].fingerprint(&m.fingerprint);
+        let mut r2 = ShardResult::new(2, fp2);
+        r2.finalize();
+        q.complete(&r2).unwrap();
+        q.quarantine(&QuarantineNote {
+            shard: 3,
+            crashes: 3,
+            reason: "test".into(),
+        })
+        .unwrap();
+        assert!(q.claim("w2", &m.shards).unwrap().is_none());
+        // Release makes a shard claimable again.
+        q.release(0);
+        assert_eq!(q.claim("w2", &m.shards).unwrap().unwrap().id, 0);
+        let st = q.status(&m);
+        assert_eq!((st.done, st.quarantined, st.leased), (1, 1, 2));
+        assert!(!st.settled());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn wip_complete_lifecycle_is_durable() {
+        let root = tmp_root("wip");
+        let spec = tiny_spec();
+        let (q, m) = WorkQueue::init(&root, &spec, 2).unwrap();
+        let shard = m.shards[0];
+        let fp = shard.fingerprint(&m.fingerprint);
+        let mut r = ShardResult::new(shard.id, fp);
+        q.save_wip(&r).unwrap();
+        assert!(!q.wip_path(shard.id).with_extension("tmp").exists());
+        let loaded = q.load_wip(shard.id).unwrap().unwrap();
+        assert!(loaded.is_resumable_prefix_of(&shard, fp));
+        r.finalize();
+        q.complete(&r).unwrap();
+        assert!(q.is_done(shard.id));
+        assert!(q.load_wip(shard.id).unwrap().is_none(), "wip cleared");
+        assert!(!q.is_leased(shard.id), "lease cleared");
+        assert_eq!(q.load_done(shard.id).unwrap().unwrap(), r);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn crash_counter_persists() {
+        let root = tmp_root("crash");
+        let spec = tiny_spec();
+        let (q, _) = WorkQueue::init(&root, &spec, 2).unwrap();
+        assert_eq!(q.crash_count(7).unwrap(), 0);
+        assert_eq!(q.note_crash(7).unwrap(), 1);
+        assert_eq!(q.note_crash(7).unwrap(), 2);
+        // A fresh handle (new process) still sees the count.
+        let (q2, _) = WorkQueue::open(&root).unwrap();
+        assert_eq!(q2.crash_count(7).unwrap(), 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error() {
+        let root = tmp_root("corrupt");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("campaign.json"), "{nope").unwrap();
+        let err = WorkQueue::open(&root).unwrap_err();
+        assert!(matches!(err, QueueError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("campaign.json"), "{err}");
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,210 @@
+//! Shards: contiguous, disjoint slices of a campaign's cell index
+//! space, each independently executable and checkpointable.
+//!
+//! A shard's identity is a **stable fingerprint**: FNV-1a over the
+//! campaign fingerprint (the v2 contract string) and the shard's
+//! (id, start, len) geometry. A shard ledger written under one campaign
+//! can never be merged into another, and a re-partitioned campaign
+//! (different shard size) produces different fingerprints even when the
+//! cells coincide — resumability is only claimed where bit-identity is
+//! actually guaranteed.
+
+use noiselab_core::CellRecord;
+use noiselab_kernel::sanitize::fnv1a_extend;
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a offset basis, the same fold the run ledgers use.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One shard: cells `start .. start + len` of the campaign cell list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    pub id: u32,
+    pub start: usize,
+    pub len: usize,
+}
+
+impl ShardSpec {
+    /// The cell indices this shard owns, in canonical (ascending) order.
+    pub fn cell_indices(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+
+    /// Stable shard fingerprint, binding the shard geometry to the
+    /// campaign it belongs to.
+    pub fn fingerprint(&self, campaign_fingerprint: &str) -> u64 {
+        let mut h = fnv1a_extend(FNV_OFFSET, campaign_fingerprint.as_bytes());
+        h = fnv1a_extend(h, &self.id.to_le_bytes());
+        h = fnv1a_extend(h, &(self.start as u64).to_le_bytes());
+        h = fnv1a_extend(h, &(self.len as u64).to_le_bytes());
+        h
+    }
+}
+
+/// Partition `n_cells` into shards of at most `shard_size` cells.
+/// Deterministic: same inputs, same shards, same ids.
+pub fn partition(n_cells: usize, shard_size: usize) -> Vec<ShardSpec> {
+    let size = shard_size.max(1);
+    (0..n_cells)
+        .step_by(size)
+        .enumerate()
+        .map(|(id, start)| ShardSpec {
+            id: id as u32,
+            start,
+            len: size.min(n_cells - start),
+        })
+        .collect()
+}
+
+/// A completed cell tagged with its campaign-global index, so shard
+/// ledgers can be folded back in canonical order no matter which worker
+/// produced them when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexedCell {
+    pub index: usize,
+    pub record: CellRecord,
+}
+
+/// The per-shard ledger a worker checkpoints after every cell and
+/// finalizes into `done/` when the shard completes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardResult {
+    pub shard: u32,
+    /// [`ShardSpec::fingerprint`] under the owning campaign — checked
+    /// on wip resume and again at merge time.
+    pub fingerprint: u64,
+    /// Completed cells in ascending index order (a prefix of the
+    /// shard's range while in progress).
+    pub cells: Vec<IndexedCell>,
+    /// Fold of the per-cell stream hashes ([`ShardResult::fold_hash`]);
+    /// zero until finalized.
+    pub hash: u64,
+}
+
+impl ShardResult {
+    pub fn new(shard: u32, fingerprint: u64) -> ShardResult {
+        ShardResult {
+            shard,
+            fingerprint,
+            cells: Vec::new(),
+            hash: 0,
+        }
+    }
+
+    /// Deterministic fold over (index, seed, stream_hash) of every
+    /// completed cell, in stored order. The merge recomputes this from
+    /// the cells and refuses ledgers where they disagree.
+    pub fn fold_hash(&self) -> u64 {
+        let mut h = fnv1a_extend(FNV_OFFSET, &self.fingerprint.to_le_bytes());
+        for c in &self.cells {
+            h = fnv1a_extend(h, &(c.index as u64).to_le_bytes());
+            h = fnv1a_extend(h, &c.record.key.seed.to_le_bytes());
+            h = fnv1a_extend(h, &c.record.stream_hash.to_le_bytes());
+        }
+        h
+    }
+
+    /// Stamp the ledger's own fold hash (done when the shard completes).
+    pub fn finalize(&mut self) {
+        self.hash = self.fold_hash();
+    }
+
+    /// Whether a wip ledger is a sane prefix of `shard` under
+    /// `fingerprint`: right shard, right campaign, and cells form the
+    /// exact leading slice of the shard's index range. Anything else is
+    /// discarded and the shard restarted — wrong resumes are worse than
+    /// slow ones.
+    pub fn is_resumable_prefix_of(&self, shard: &ShardSpec, fingerprint: u64) -> bool {
+        self.shard == shard.id
+            && self.fingerprint == fingerprint
+            && self.cells.len() <= shard.len
+            && self
+                .cells
+                .iter()
+                .zip(shard.cell_indices())
+                .all(|(c, i)| c.index == i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noiselab_core::CellKey;
+
+    fn cell(index: usize) -> IndexedCell {
+        IndexedCell {
+            index,
+            record: CellRecord {
+                key: CellKey {
+                    label: format!("c{index}"),
+                    seed: index as u64 * 10,
+                },
+                samples: vec![0.5],
+                failures: vec![],
+                attempts: 1,
+                stream_hash: 0xFEED ^ index as u64,
+                metrics: Default::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn partition_covers_cells_exactly_once() {
+        for (n, size) in [(0, 4), (1, 4), (7, 3), (8, 4), (9, 4), (5, 100)] {
+            let shards = partition(n, size);
+            let mut seen = vec![];
+            for s in &shards {
+                assert!(s.len >= 1 || n == 0);
+                seen.extend(s.cell_indices());
+            }
+            assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n={n} size={size}");
+            // Ids are dense and ordered.
+            for (k, s) in shards.iter().enumerate() {
+                assert_eq!(s.id, k as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_binds_campaign_and_geometry() {
+        let s = ShardSpec {
+            id: 1,
+            start: 4,
+            len: 4,
+        };
+        let f = s.fingerprint("v2|campaign-a");
+        assert_eq!(f, s.fingerprint("v2|campaign-a"), "stable");
+        assert_ne!(f, s.fingerprint("v2|campaign-b"), "campaign-bound");
+        let widened = ShardSpec { len: 5, ..s };
+        assert_ne!(f, widened.fingerprint("v2|campaign-a"), "geometry-bound");
+    }
+
+    #[test]
+    fn fold_hash_detects_tampering() {
+        let mut r = ShardResult::new(0, 99);
+        r.cells.push(cell(0));
+        r.cells.push(cell(1));
+        r.finalize();
+        assert_eq!(r.hash, r.fold_hash());
+        r.cells[1].record.stream_hash ^= 1;
+        assert_ne!(r.hash, r.fold_hash());
+    }
+
+    #[test]
+    fn resumable_prefix_rules() {
+        let shard = ShardSpec {
+            id: 2,
+            start: 4,
+            len: 3,
+        };
+        let fp = shard.fingerprint("v2|c");
+        let mut r = ShardResult::new(2, fp);
+        assert!(r.is_resumable_prefix_of(&shard, fp), "empty prefix ok");
+        r.cells.push(cell(4));
+        r.cells.push(cell(5));
+        assert!(r.is_resumable_prefix_of(&shard, fp));
+        assert!(!r.is_resumable_prefix_of(&shard, fp ^ 1), "wrong campaign");
+        r.cells[1].index = 6; // gap
+        assert!(!r.is_resumable_prefix_of(&shard, fp), "non-prefix");
+    }
+}

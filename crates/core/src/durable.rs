@@ -1,0 +1,86 @@
+//! Durable atomic file writes: the primitive under every checkpoint,
+//! shard ledger and lease the campaign engines rely on for crash
+//! recovery.
+//!
+//! `write_atomic` guarantees that after it returns, the bytes are on
+//! stable storage under `path` and no intermediate state (a torn file,
+//! a present-but-empty rename target, a surviving `.tmp`) can be
+//! observed by a crashed-and-restarted process:
+//!
+//! 1. the bytes are written to `<path>.tmp` and **fsynced** — a host
+//!    crash after the rename cannot resurrect a zero-length file;
+//! 2. the tmp file is renamed over `path` — readers see either the old
+//!    or the new content, never a mix;
+//! 3. the parent directory is **fsynced** — the rename itself survives
+//!    a host crash, not just the data.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Atomically and durably replace `path` with `bytes`.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // fsync the data before the rename: rename-then-crash must not
+        // leave a truncated checkpoint behind.
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// fsync the directory containing `path`, making a completed rename
+/// durable. A filesystem that does not support fsync on directories
+/// (some network/overlay mounts) degrades to a warning rather than
+/// failing the save — the rename already happened.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    match File::open(&parent).and_then(|d| d.sync_all()) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            eprintln!(
+                "noiselab: warning: cannot fsync directory {} ({e}); \
+                 a host crash may undo the last checkpoint rename",
+                parent.display()
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_leaves_no_tmp_and_replaces_content() {
+        let dir = std::env::temp_dir().join("noiselab-durable-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        assert!(!path.with_extension("tmp").exists());
+        write_atomic(&path, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer content");
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_in_cwd_relative_path_syncs_dot() {
+        // A bare filename has an empty parent; the directory fsync must
+        // fall back to "." instead of erroring.
+        let dir = std::env::temp_dir().join("noiselab-durable-rel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rel.bin");
+        write_atomic(&path, b"x").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"x");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

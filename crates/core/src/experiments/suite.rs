@@ -55,6 +55,44 @@ pub fn minife_for(platform: &Platform) -> MiniFE {
     }
 }
 
+/// Construct a workload from its CLI/spec name, sized for `platform`.
+/// The single source of truth for workload-name resolution, shared by
+/// the `noiselab` binary and the sharded campaign workers — a worker
+/// process must resolve "nbody" to exactly the instance the supervisor
+/// fingerprinted. `*-small` names select the proportionally reduced
+/// instances of [`small`]; `nbody-tiny` is a milliseconds-scale
+/// instance for integration tests and chaos gates.
+pub fn workload_by_name(
+    platform: &Platform,
+    name: &str,
+) -> Option<Box<dyn noiselab_workloads::Workload + Sync>> {
+    Some(match name {
+        "nbody" => Box::new(nbody_for(platform)),
+        "babelstream" => Box::new(babelstream_for(platform)),
+        "minife" => Box::new(minife_for(platform)),
+        "nbody-small" => Box::new(small::nbody_for(platform)),
+        "babelstream-small" => Box::new(small::babelstream_for(platform)),
+        "minife-small" => Box::new(small::minife_for(platform)),
+        "nbody-tiny" => Box::new(NBody {
+            bodies: 4_096,
+            steps: 3,
+            ..NBody::default()
+        }),
+        _ => return None,
+    })
+}
+
+/// Names accepted by [`workload_by_name`], for error messages.
+pub const WORKLOAD_NAMES: [&str; 7] = [
+    "nbody",
+    "babelstream",
+    "minife",
+    "nbody-small",
+    "babelstream-small",
+    "minife-small",
+    "nbody-tiny",
+];
+
 /// Proportionally reduced instances for smoke-scale runs (~10x smaller),
 /// preserving each workload's phase structure.
 pub mod small {

@@ -10,6 +10,7 @@
 
 pub mod campaign;
 pub mod divergence;
+pub mod durable;
 pub mod execconfig;
 pub mod experiments;
 pub mod failure;
@@ -18,8 +19,9 @@ pub mod overhead;
 pub mod platform;
 
 pub use campaign::{
-    run_campaign, CampaignPlan, CampaignReport, CampaignState, CellKey, CellRecord, CellReport,
-    FailureRecord,
+    render_campaign_report, run_campaign, run_cell, CampaignError, CampaignPlan, CampaignReport,
+    CampaignState, CellKey, CellRecord, CellReport, CheckpointError, FailureRecord,
+    QuarantineRecord, CHECKPOINT_SCHEMA,
 };
 pub use divergence::{
     dual_run, dual_run_harness, DivergenceReport, DivergentEvent, DualRunOutcome, StreamRunner,

@@ -73,6 +73,23 @@ impl Platform {
     pub fn label(&self) -> &str {
         &self.machine.name
     }
+
+    /// CLI/spec names accepted by [`Platform::by_name`].
+    pub const NAMES: [&'static str; 4] = ["intel", "amd", "a64fx", "a64fx-reserved"];
+
+    /// Construct a preset platform from its CLI/spec name. The single
+    /// source of truth for name resolution, shared by the `noiselab`
+    /// binary and the sharded campaign workers so both sides of a
+    /// multi-process campaign agree on what "intel" means.
+    pub fn by_name(name: &str) -> Option<Platform> {
+        match name {
+            "intel" => Some(Platform::intel()),
+            "amd" => Some(Platform::amd()),
+            "a64fx" => Some(Platform::a64fx(false)),
+            "a64fx-reserved" => Some(Platform::a64fx(true)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

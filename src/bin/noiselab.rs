@@ -13,6 +13,8 @@
 //! noiselab campaign --platform intel --workload nbody [--runs 20] [--checkpoint state.json]
 //!                   [--resume true] [--crash-prob 0.05] [--crash-window-ms 2]
 //!                   [--fault-seed 1] [--retries 0] [--limit N] [--verify-resume true]
+//! noiselab campaign --workers N [--queue DIR] [--shard-size 2] [--heartbeat-secs 120]
+//!                   [--shard-timeout-secs 3600] [--max-shard-crashes 3] [--chaos-kills 0]
 //! noiselab audit    [--static] [--dual-run] [--json] [--root .]
 //!                   [--platform intel] [--workload nbody] [--model omp] [--mitigation Rm]
 //!                   [--seed 1] [--perturb N] [--cadence 64]
@@ -34,6 +36,14 @@
 //! `--resume true` and the same flags (`--verify-resume true`, the
 //! default, re-runs the last completed cell and requires its event
 //! stream hash to match the checkpoint before continuing).
+//! `campaign --workers N` runs the same sweep on the sharded
+//! multi-process engine (crates/campaignd): cells are partitioned into
+//! shards on an on-disk work queue, claimed under lease files by N
+//! supervised worker processes, and merged with per-shard hash
+//! verification into a state bit-identical to the single-process path;
+//! killed workers are respawned with backoff, repeat-lethal shards are
+//! quarantined and reported by name, and re-running the command against
+//! the same `--queue` resumes at cell granularity.
 //!
 //! `conform` runs the scheduler conformance suite: a coverage-guided
 //! fuzz campaign whose every scenario is re-derived by a naive
@@ -100,27 +110,23 @@ impl Args {
             .ok_or_else(|| format!("missing required --{key}"))
     }
 
+    /// Platform/workload names resolve through the same tables the
+    /// sharded campaign workers use, so `--workers N` and the
+    /// single-process path can never disagree on what a name means.
     fn platform(&self) -> Result<Platform, String> {
-        match self.get("platform", "intel").as_str() {
-            "intel" => Ok(Platform::intel()),
-            "amd" => Ok(Platform::amd()),
-            "a64fx" => Ok(Platform::a64fx(false)),
-            "a64fx-reserved" => Ok(Platform::a64fx(true)),
-            other => Err(format!(
-                "unknown platform '{other}' (intel|amd|a64fx|a64fx-reserved)"
-            )),
-        }
+        let name = self.get("platform", "intel");
+        Platform::by_name(&name)
+            .ok_or_else(|| format!("unknown platform '{name}' ({})", Platform::NAMES.join("|")))
     }
 
     fn workload(&self, platform: &Platform) -> Result<Box<dyn Workload + Sync>, String> {
-        match self.get("workload", "nbody").as_str() {
-            "nbody" => Ok(Box::new(suite::nbody_for(platform))),
-            "babelstream" => Ok(Box::new(suite::babelstream_for(platform))),
-            "minife" => Ok(Box::new(suite::minife_for(platform))),
-            other => Err(format!(
-                "unknown workload '{other}' (nbody|babelstream|minife)"
-            )),
-        }
+        let name = self.get("workload", "nbody");
+        suite::workload_by_name(platform, &name).ok_or_else(|| {
+            format!(
+                "unknown workload '{name}' ({})",
+                suite::WORKLOAD_NAMES.join("|")
+            )
+        })
     }
 
     fn exec_config(&self) -> Result<ExecConfig, String> {
@@ -359,10 +365,37 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The model x mitigation sweep both campaign engines run.
+fn campaign_cells() -> Vec<(String, ExecConfig)> {
+    Mitigation::ALL
+        .iter()
+        .flat_map(|&mit| {
+            [Model::Omp, Model::Sycl].map(|model| {
+                let cfg = ExecConfig::new(model, mit);
+                (cfg.label(), cfg)
+            })
+        })
+        .collect()
+}
+
+/// The optional deterministic fault plan shared by both engines:
+/// `--crash-prob p` with `--crash-window-ms w` and `--fault-seed s`.
+fn campaign_faults(args: &Args) -> Option<noiselab::kernel::FaultPlan> {
+    let crash_prob: f64 = args.get("crash-prob", "0").parse().unwrap_or(0.0);
+    let fault_seed: u64 = args.get("fault-seed", "1").parse().unwrap_or(1);
+    let window_ms: u64 = args.get("crash-window-ms", "2").parse().unwrap_or(2);
+    (crash_prob > 0.0)
+        .then(|| noiselab::kernel::FaultPlan::crashy(fault_seed, crash_prob, window_ms))
+}
+
 fn cmd_campaign(args: &Args) -> Result<(), String> {
     use noiselab::core::campaign::{render_campaign_report, run_campaign, CampaignPlan};
     use noiselab::core::RetryPolicy;
-    use noiselab::kernel::FaultPlan;
+
+    // `--workers N` switches to the sharded multi-process engine.
+    if args.opts.contains_key("workers") {
+        return cmd_campaign_sharded(args);
+    }
 
     let platform = args.platform()?;
     let workload = args.workload(&platform)?;
@@ -384,23 +417,9 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         }
     }
 
-    // Optional fault plan: --crash-prob p (per-run thread-abort
-    // probability) with --crash-window-ms w, plus --fault-seed.
-    let crash_prob: f64 = args.get("crash-prob", "0").parse().unwrap_or(0.0);
-    let fault_seed: u64 = args.get("fault-seed", "1").parse().unwrap_or(1);
-    let window_ms: u64 = args.get("crash-window-ms", "2").parse().unwrap_or(2);
-    let faults = (crash_prob > 0.0).then(|| FaultPlan::crashy(fault_seed, crash_prob, window_ms));
+    let faults = campaign_faults(args);
     let retry = RetryPolicy::retries(args.get("retries", "0").parse().unwrap_or(0));
-
-    let cells: Vec<(String, ExecConfig)> = Mitigation::ALL
-        .iter()
-        .flat_map(|&mit| {
-            [Model::Omp, Model::Sycl].map(|model| {
-                let cfg = ExecConfig::new(model, mit);
-                (cfg.label(), cfg)
-            })
-        })
-        .collect();
+    let cells = campaign_cells();
     let n_cells = cells.len();
 
     let plan = CampaignPlan {
@@ -426,6 +445,109 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `campaign --workers N`: the sharded multi-process engine. The cell
+/// space is partitioned into shards on an on-disk work queue
+/// (`--queue DIR`), N worker processes (this same binary, re-invoked
+/// with the hidden `campaign-worker` subcommand) claim and execute
+/// them under lease files, and the supervisor merges the verified
+/// shard ledgers into a state bit-identical to `campaign` without
+/// `--workers`. Re-running the same command against the same queue
+/// resumes; shards that repeatedly kill workers are quarantined and
+/// reported by name instead of aborting the campaign.
+fn cmd_campaign_sharded(args: &Args) -> Result<(), String> {
+    use noiselab::campaignd::{
+        run_supervised, CampaignSpec, CellSpec, SupervisorConfig, WorkQueue,
+    };
+    use noiselab::core::campaign::render_campaign_report;
+    use noiselab::core::RetryPolicy;
+    use std::time::Duration;
+
+    let workers: usize = args
+        .get("workers", "4")
+        .parse()
+        .map_err(|_| "--workers wants a count".to_string())?;
+    let spec = CampaignSpec {
+        platform: args.get("platform", "intel"),
+        workload: args.get("workload", "nbody"),
+        cells: campaign_cells()
+            .into_iter()
+            .map(|(label, config)| CellSpec { label, config })
+            .collect(),
+        runs_per_cell: args.runs(20),
+        seed_base: args.seed(),
+        faults: campaign_faults(args),
+        retry: RetryPolicy::retries(args.get("retries", "0").parse().unwrap_or(0)),
+    };
+    spec.resolve().map_err(|e| e.to_string())?;
+    let n_cells = spec.cells.len();
+
+    let queue_root = std::path::PathBuf::from(args.get("queue", "campaign.queue"));
+    let shard_size: usize = args.get("shard-size", "2").parse().unwrap_or(2);
+    let (_queue, manifest) =
+        WorkQueue::init(&queue_root, &spec, shard_size).map_err(|e| e.to_string())?;
+    eprintln!(
+        "noiselab: sharded campaign: {} cell(s) in {} shard(s), {workers} worker(s), queue {}",
+        n_cells,
+        manifest.shards.len(),
+        queue_root.display()
+    );
+
+    let secs = |key: &str, default: u64| {
+        Duration::from_secs(
+            args.get(key, &default.to_string())
+                .parse()
+                .unwrap_or(default),
+        )
+    };
+    let cfg = SupervisorConfig {
+        workers,
+        heartbeat_timeout: secs("heartbeat-secs", 120),
+        shard_timeout: secs("shard-timeout-secs", 3600),
+        max_shard_crashes: args.get("max-shard-crashes", "3").parse().unwrap_or(3),
+        max_respawns_per_slot: args.get("max-respawns", "16").parse().unwrap_or(16),
+        chaos_kills: args.get("chaos-kills", "0").parse().unwrap_or(0),
+        ..SupervisorConfig::default()
+    };
+    let binary = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let report = run_supervised(&binary, &queue_root, &cfg)?;
+
+    print!("{}", render_campaign_report(&report.state.report(n_cells)));
+    for cell in &report.state.cells {
+        for f in &cell.failures {
+            println!(
+                "  {}: failed run seed {}: {}",
+                cell.key.label, f.seed, f.cause
+            );
+        }
+    }
+    println!(
+        "merged ledger hash {:016x} ({} worker(s) spawned, {} crash(es), \
+         {} chaos kill(s), {} timeout(s), {} shard(s) quarantined)",
+        report.state_hash,
+        report.spawned,
+        report.crashes,
+        report.chaos_kills,
+        report.timeouts,
+        report.quarantined_shards.len()
+    );
+    if let Some(path) = args.opts.get("checkpoint") {
+        let path = std::path::Path::new(path);
+        report.state.save(path).map_err(|e| e.to_string())?;
+        eprintln!("noiselab: merged state saved to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Hidden subcommand: one sharded-campaign worker process. Spawned by
+/// the supervisor, never by hand; claims shards from `--queue` until
+/// the queue is drained, streaming progress frames on stdout.
+fn cmd_campaign_worker(args: &Args) -> Result<(), String> {
+    use noiselab::campaignd::{worker_main, WorkerConfig};
+    let queue = std::path::PathBuf::from(args.required("queue")?);
+    let worker_id = args.get("id", &format!("pid{}", std::process::id()));
+    worker_main(&WorkerConfig { queue, worker_id })
 }
 
 /// `metrics`: aggregate the telemetry metrics registry over a few runs
@@ -767,6 +889,8 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args),
         "report" => cmd_report(&args),
         "campaign" => cmd_campaign(&args),
+        // Hidden: spawned by `campaign --workers N`, not user-facing.
+        "campaign-worker" => cmd_campaign_worker(&args),
         "metrics" => cmd_metrics(&args),
         "audit" => cmd_audit(&args),
         "conform" => cmd_conform(&args),

@@ -5,6 +5,7 @@
 //! entry point.
 
 pub use noiselab_audit as audit;
+pub use noiselab_campaignd as campaignd;
 pub use noiselab_conform as conform;
 pub use noiselab_core as core;
 pub use noiselab_injector as injector;

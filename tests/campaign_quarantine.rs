@@ -1,0 +1,83 @@
+//! A shard whose cells crash the worker every time must not wedge the
+//! campaign: after `max_shard_crashes` attempts the supervisor
+//! quarantines it, the remaining shards complete, and the report names
+//! every lost cell.
+//!
+//! Lives in its own integration-test binary because it sets the
+//! process-wide [`CRASH_SHARD_ENV`] variable, which spawned workers
+//! inherit — it must not leak into other campaign tests.
+
+use noiselab::campaignd::{
+    run_supervised, CampaignSpec, CellSpec, SupervisorConfig, WorkQueue, CRASH_SHARD_ENV,
+};
+use noiselab::core::{ExecConfig, Mitigation, Model, RetryPolicy};
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[test]
+fn lethal_shard_is_quarantined_and_named() {
+    let cells: Vec<CellSpec> = [Mitigation::Rm, Mitigation::Tp, Mitigation::RmHK]
+        .iter()
+        .flat_map(|&mit| {
+            [Model::Omp, Model::Sycl].map(|model| {
+                let cfg = ExecConfig::new(model, mit);
+                CellSpec {
+                    label: cfg.label(),
+                    config: cfg,
+                }
+            })
+        })
+        .collect();
+    let spec = CampaignSpec {
+        platform: "intel".into(),
+        workload: "nbody-tiny".into(),
+        cells,
+        runs_per_cell: 2,
+        seed_base: 11,
+        faults: None,
+        retry: RetryPolicy::none(),
+    };
+
+    let root = std::env::temp_dir().join("noiselab-it-quarantine");
+    let _ = std::fs::remove_dir_all(&root);
+    // Shard size 2 over 6 cells -> shards 0..3; shard 1 = cells 2,3.
+    WorkQueue::init(&root, &spec, 2).unwrap();
+    std::env::set_var(CRASH_SHARD_ENV, "1");
+
+    let cfg = SupervisorConfig {
+        workers: 2,
+        max_shard_crashes: 3,
+        respawn_backoff: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(100),
+        ..SupervisorConfig::default()
+    };
+    let report =
+        run_supervised(&PathBuf::from(env!("CARGO_BIN_EXE_noiselab")), &root, &cfg).unwrap();
+    std::env::remove_var(CRASH_SHARD_ENV);
+
+    assert_eq!(report.quarantined_shards, vec![1]);
+    assert_eq!(report.crashes, 3, "exactly max_shard_crashes attempts");
+
+    // Healthy shards all completed despite the lethal one.
+    assert_eq!(report.state.cells.len(), 4);
+    for cell in &report.state.cells {
+        assert_eq!(cell.samples.len(), 2, "cell {}", cell.key.label);
+        assert!(cell.failures.is_empty(), "cell {}", cell.key.label);
+    }
+
+    // The quarantine record names the lost cells: shard 1 covers cells
+    // 2 and 3, the TP pair in spec order.
+    assert_eq!(report.state.quarantined.len(), 1);
+    let q = &report.state.quarantined[0];
+    assert_eq!(q.shard, 1);
+    assert_eq!(q.crashes, 3);
+    let lost: Vec<&str> = q.cells.iter().map(|k| k.label.as_str()).collect();
+    assert_eq!(lost, vec!["TP-OMP", "TP-SYCL"]);
+
+    // The rendered report surfaces the quarantine to a human.
+    let rendered = noiselab::core::render_campaign_report(&report.state.report(6));
+    assert!(rendered.contains("QUARANTINED"), "{rendered}");
+    assert!(rendered.contains("TP-OMP"), "{rendered}");
+
+    std::fs::remove_dir_all(&root).ok();
+}

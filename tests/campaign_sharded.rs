@@ -1,0 +1,157 @@
+//! End-to-end contract of the sharded multi-process campaign engine:
+//! real OS worker processes (the compiled `noiselab` binary), a real
+//! on-disk queue, real SIGKILLs — and a merged state that must be
+//! **bit-identical** to the single-process driver's.
+
+use noiselab::campaignd::{
+    merge_queue, merged_metrics, run_supervised, state_hash, CampaignSpec, CellSpec,
+    SupervisorConfig, WorkQueue,
+};
+use noiselab::core::{run_campaign, CampaignState, ExecConfig, Mitigation, Model, RetryPolicy};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_noiselab"))
+}
+
+fn spec() -> CampaignSpec {
+    let cells = Mitigation::ALL
+        .iter()
+        .flat_map(|&mit| {
+            [Model::Omp, Model::Sycl].map(|model| {
+                let cfg = ExecConfig::new(model, mit);
+                CellSpec {
+                    label: cfg.label(),
+                    config: cfg,
+                }
+            })
+        })
+        .collect();
+    CampaignSpec {
+        platform: "intel".into(),
+        workload: "nbody-tiny".into(),
+        cells,
+        runs_per_cell: 2,
+        seed_base: 0xC0DE,
+        faults: None,
+        retry: RetryPolicy::none(),
+    }
+}
+
+fn single_process_baseline() -> CampaignState {
+    let spec = spec();
+    let resolved = spec.resolve().unwrap();
+    run_campaign(&spec.plan(&resolved)).unwrap()
+}
+
+fn test_config(workers: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        workers,
+        heartbeat_timeout: Duration::from_secs(60),
+        shard_timeout: Duration::from_secs(120),
+        respawn_backoff: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(200),
+        ..SupervisorConfig::default()
+    }
+}
+
+fn assert_bit_identical(sharded: &CampaignState, baseline: &CampaignState) {
+    assert_eq!(sharded, baseline, "merged state != single-process state");
+    assert_eq!(
+        serde_json::to_string_pretty(sharded).unwrap(),
+        serde_json::to_string_pretty(baseline).unwrap(),
+        "serialized checkpoints differ"
+    );
+    assert_eq!(state_hash(sharded), state_hash(baseline));
+    // Stream hashes cell by cell (the fingerprint-v2 contract)...
+    for (s, b) in sharded.cells.iter().zip(&baseline.cells) {
+        assert_eq!(s.stream_hash, b.stream_hash, "cell {}", b.key.label);
+    }
+    // ...and the merged metrics registries (counters, histograms,
+    // order-sensitive gauge averages).
+    assert_eq!(
+        merged_metrics(sharded).render(),
+        merged_metrics(baseline).render()
+    );
+}
+
+#[test]
+fn four_workers_merge_bit_identical_to_single_process() {
+    let root = std::env::temp_dir().join("noiselab-it-sharded-clean");
+    let _ = std::fs::remove_dir_all(&root);
+    WorkQueue::init(&root, &spec(), 2).unwrap();
+    let report = run_supervised(&worker_binary(), &root, &test_config(4)).unwrap();
+    assert!(report.spawned >= 4);
+    assert_eq!(report.crashes, 0);
+    assert!(report.quarantined_shards.is_empty());
+    assert_bit_identical(&report.state, &single_process_baseline());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn sigkilled_worker_mid_shard_recovers_bit_identical() {
+    let root = std::env::temp_dir().join("noiselab-it-sharded-chaos");
+    let _ = std::fs::remove_dir_all(&root);
+    // Shards of 3 cells so a kill after one CellDone is mid-shard.
+    WorkQueue::init(&root, &spec(), 3).unwrap();
+    let cfg = SupervisorConfig {
+        chaos_kills: 2,
+        ..test_config(4)
+    };
+    let report = run_supervised(&worker_binary(), &root, &cfg).unwrap();
+    assert_eq!(report.chaos_kills, 2, "both chaos kills must have fired");
+    assert!(
+        report.quarantined_shards.is_empty(),
+        "chaos kills must not quarantine shards"
+    );
+    assert_bit_identical(&report.state, &single_process_baseline());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn supervisor_resumes_a_previously_killed_campaign() {
+    // Simulate a supervisor killed wholesale: a queue where some shards
+    // are done, one is mid-flight (wip + stale lease), the rest
+    // untouched. A fresh supervisor must reclaim the lease, finish the
+    // rest, and still merge bit-identical.
+    let root = std::env::temp_dir().join("noiselab-it-sharded-resume");
+    let _ = std::fs::remove_dir_all(&root);
+    let (queue, manifest) = WorkQueue::init(&root, &spec(), 2).unwrap();
+
+    // First pass: drain the whole queue once, then rewind it into the
+    // interrupted shape using the real ledgers.
+    let report = run_supervised(&worker_binary(), &root, &test_config(2)).unwrap();
+    let full = report.state;
+    let ledger1 = queue.load_done(1).unwrap().unwrap();
+    for s in &manifest.shards {
+        if s.id >= 2 {
+            std::fs::remove_file(queue.done_path(s.id)).unwrap();
+        }
+    }
+    let mut wip = ledger1.clone();
+    wip.cells.truncate(1);
+    wip.hash = 0;
+    std::fs::remove_file(queue.done_path(1)).unwrap();
+    queue.save_wip(&wip).unwrap();
+    std::fs::write(queue.lease_path(1), "dead-supervisor pid=0\n").unwrap();
+
+    let report = run_supervised(&worker_binary(), &root, &test_config(2)).unwrap();
+    assert_bit_identical(&report.state, &full);
+    assert_bit_identical(&report.state, &single_process_baseline());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn merge_queue_matches_supervisor_report() {
+    let root = std::env::temp_dir().join("noiselab-it-sharded-merge");
+    let _ = std::fs::remove_dir_all(&root);
+    WorkQueue::init(&root, &spec(), 4).unwrap();
+    let report = run_supervised(&worker_binary(), &root, &test_config(2)).unwrap();
+    // An independent merge of the same queue directory reproduces the
+    // supervisor's state exactly — merging is a pure disk function.
+    let independent = merge_queue(&root).unwrap();
+    assert_eq!(independent, report.state);
+    assert_eq!(state_hash(&independent), report.state_hash);
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -71,11 +71,31 @@ pub fn __field<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> 
 #[derive(Debug, Clone)]
 pub struct DeError {
     msg: String,
+    /// Byte offset into the input where the error struck, when the
+    /// error came from the JSON lexer/parser (`None` for shape errors
+    /// raised after parsing, which have no single input position).
+    pos: Option<usize>,
 }
 
 impl DeError {
     pub fn new(msg: impl Into<String>) -> Self {
-        DeError { msg: msg.into() }
+        DeError {
+            msg: msg.into(),
+            pos: None,
+        }
+    }
+
+    /// A parse error anchored at a byte offset of the input.
+    pub fn at(msg: impl Into<String>, pos: usize) -> Self {
+        DeError {
+            msg: msg.into(),
+            pos: Some(pos),
+        }
+    }
+
+    /// Byte offset into the input, when known.
+    pub fn pos(&self) -> Option<usize> {
+        self.pos
     }
 }
 
@@ -432,10 +452,10 @@ pub fn parse_json(s: &str) -> Result<Value, DeError> {
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(DeError::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(DeError::at(
+            format!("trailing characters at byte {}", p.pos),
+            p.pos,
+        ));
     }
     Ok(v)
 }
@@ -465,10 +485,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(DeError::new(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            )))
+            Err(DeError::at(
+                format!("expected '{}' at byte {}", b as char, self.pos),
+                self.pos,
+            ))
         }
     }
 
@@ -490,10 +510,10 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            _ => Err(DeError::new(format!(
-                "unexpected input at byte {}",
-                self.pos
-            ))),
+            _ => Err(DeError::at(
+                format!("unexpected input at byte {}", self.pos),
+                self.pos,
+            )),
         }
     }
 
@@ -516,10 +536,10 @@ impl<'a> Parser<'a> {
                     return Ok(Value::Array(items));
                 }
                 _ => {
-                    return Err(DeError::new(format!(
-                        "expected ',' or ']' at byte {}",
-                        self.pos
-                    )))
+                    return Err(DeError::at(
+                        format!("expected ',' or ']' at byte {}", self.pos),
+                        self.pos,
+                    ))
                 }
             }
         }
@@ -549,10 +569,10 @@ impl<'a> Parser<'a> {
                     return Ok(Value::Object(fields));
                 }
                 _ => {
-                    return Err(DeError::new(format!(
-                        "expected ',' or '}}' at byte {}",
-                        self.pos
-                    )))
+                    return Err(DeError::at(
+                        format!("expected ',' or '}}' at byte {}", self.pos),
+                        self.pos,
+                    ))
                 }
             }
         }
@@ -563,14 +583,14 @@ impl<'a> Parser<'a> {
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
-                return Err(DeError::new("unterminated string"));
+                return Err(DeError::at("unterminated string", self.pos));
             };
             self.pos += 1;
             match b {
                 b'"' => return Ok(out),
                 b'\\' => {
                     let Some(esc) = self.peek() else {
-                        return Err(DeError::new("unterminated escape"));
+                        return Err(DeError::at("unterminated escape", self.pos));
                     };
                     self.pos += 1;
                     match esc {
@@ -587,7 +607,7 @@ impl<'a> Parser<'a> {
                             let code = if (0xD800..0xDC00).contains(&hi) {
                                 // Surrogate pair.
                                 if !(self.eat_keyword("\\u")) {
-                                    return Err(DeError::new("lone high surrogate"));
+                                    return Err(DeError::at("lone high surrogate", self.pos));
                                 }
                                 let lo = self.hex4()?;
                                 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
@@ -596,10 +616,10 @@ impl<'a> Parser<'a> {
                             };
                             out.push(
                                 char::from_u32(code)
-                                    .ok_or_else(|| DeError::new("invalid \\u escape"))?,
+                                    .ok_or_else(|| DeError::at("invalid \\u escape", self.pos))?,
                             );
                         }
-                        _ => return Err(DeError::new("unknown escape")),
+                        _ => return Err(DeError::at("unknown escape", self.pos)),
                     }
                 }
                 b if b < 0x80 => out.push(b as char),
@@ -615,7 +635,7 @@ impl<'a> Parser<'a> {
                     };
                     let end = (start + width).min(self.bytes.len());
                     let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| DeError::new("invalid utf-8 in string"))?;
+                        .map_err(|_| DeError::at("invalid utf-8 in string", start))?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos = start + c.len_utf8();
@@ -626,11 +646,12 @@ impl<'a> Parser<'a> {
 
     fn hex4(&mut self) -> Result<u32, DeError> {
         if self.pos + 4 > self.bytes.len() {
-            return Err(DeError::new("truncated \\u escape"));
+            return Err(DeError::at("truncated \\u escape", self.pos));
         }
         let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| DeError::new("invalid \\u escape"))?;
-        let v = u32::from_str_radix(s, 16).map_err(|_| DeError::new("invalid \\u escape"))?;
+            .map_err(|_| DeError::at("invalid \\u escape", self.pos))?;
+        let v =
+            u32::from_str_radix(s, 16).map_err(|_| DeError::at("invalid \\u escape", self.pos))?;
         self.pos += 4;
         Ok(v)
     }
@@ -665,7 +686,7 @@ impl<'a> Parser<'a> {
         }
         text.parse::<f64>()
             .map(Value::Float)
-            .map_err(|_| DeError::new(format!("invalid number '{text}'")))
+            .map_err(|_| DeError::at(format!("invalid number '{text}'"), start))
     }
 }
 

@@ -7,11 +7,23 @@ pub use serde::Value;
 
 /// JSON (de)serialization error.
 #[derive(Debug, Clone)]
-pub struct Error(String);
+pub struct Error {
+    msg: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    /// Byte offset into the input where parsing failed, when the error
+    /// came from the JSON parser (`None` for shape errors raised after
+    /// parsing).
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.msg)
     }
 }
 
@@ -19,7 +31,10 @@ impl std::error::Error for Error {}
 
 impl From<serde::DeError> for Error {
     fn from(e: serde::DeError) -> Self {
-        Error(e.to_string())
+        Error {
+            msg: e.to_string(),
+            offset: e.pos(),
+        }
     }
 }
 
