@@ -1,0 +1,524 @@
+//! Incremental per-file artifact cache.
+//!
+//! A warm `noiselab audit --static` should not re-lex, re-parse and
+//! re-lower 27k lines of workspace source: the sweep stores each
+//! file's lexical violations, allow annotations, and lowered CFGs,
+//! keyed by an FNV-1a hash of the file's bytes (plus the policy inputs
+//! that shaped the scan). Only the taint fixpoint — which is global by
+//! nature — reruns every time.
+//!
+//! The format is a line-oriented, tab-separated text file (the auditor
+//! is dependency-free, so no serde). Any malformed line invalidates
+//! the whole cache: correctness never depends on it, it is purely a
+//! speedup, so the failure mode is "recompute".
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::cfg::{BasicBlock, Cfg, Instr, Rv};
+use crate::rules::{Allow, RuleId, Violation};
+
+const MAGIC: &str = "noiselab-audit-cache v1";
+
+/// FNV-1a over raw bytes — same constants as the kernel's stream hash,
+/// reimplemented here so the auditor stays dependency-free.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonical cache key for a rule set.
+pub fn rules_key(rules: &[RuleId]) -> String {
+    let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+    names.sort_unstable();
+    names.join(",")
+}
+
+/// Everything the sweep derives from one file.
+#[derive(Debug, Default, Clone)]
+pub struct FileArtifacts {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<Allow>,
+    pub cfgs: Vec<Cfg>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    hash: u64,
+    host_ok: bool,
+    rules_key: String,
+    art: FileArtifacts,
+}
+
+/// The on-disk cache: path → entry.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, Entry>,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Load a cache file; a missing or corrupt file yields an empty
+    /// cache (never an error — the cache is advisory).
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        parse_cache(&text).unwrap_or_default()
+    }
+
+    pub fn get(
+        &mut self,
+        file: &str,
+        hash: u64,
+        host_ok: bool,
+        rules_key: &str,
+    ) -> Option<FileArtifacts> {
+        let hit = self.entries.get(file).and_then(|e| {
+            if e.hash == hash && e.host_ok == host_ok && e.rules_key == rules_key {
+                Some(e.art.clone())
+            } else {
+                None
+            }
+        });
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    pub fn put(
+        &mut self,
+        file: &str,
+        hash: u64,
+        host_ok: bool,
+        rules_key: String,
+        art: FileArtifacts,
+    ) {
+        self.entries.insert(
+            file.to_string(),
+            Entry {
+                hash,
+                host_ok,
+                rules_key,
+                art,
+            },
+        );
+    }
+
+    /// Drop entries for files no longer in the sweep.
+    pub fn retain_files(&mut self, live: &[String]) {
+        let keep: std::collections::BTreeSet<&String> = live.iter().collect();
+        self.entries.retain(|k, _| keep.contains(k));
+    }
+
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from(MAGIC);
+        out.push('\n');
+        for (file, e) in &self.entries {
+            out.push_str(&format!(
+                "file\t{}\t{:016x}\t{}\t{}\n",
+                file,
+                e.hash,
+                u8::from(e.host_ok),
+                e.rules_key
+            ));
+            for v in &e.art.violations {
+                out.push_str(&format!(
+                    "V\t{}\t{}\t{}\n",
+                    v.rule.name(),
+                    v.line,
+                    clean_field(&v.message)
+                ));
+            }
+            for a in &e.art.allows {
+                out.push_str(&format!(
+                    "A\t{}\t{}\t{}\t{}\n",
+                    a.line,
+                    u8::from(a.used),
+                    clean_field(&a.raw_rule),
+                    clean_field(&a.reason)
+                ));
+            }
+            for c in &e.art.cfgs {
+                out.push_str(&format!(
+                    "F\t{}\t{}\t{}\t{}\t{}\n",
+                    c.name,
+                    if c.qual.is_empty() { "-" } else { &c.qual },
+                    c.line,
+                    u8::from(c.in_test),
+                    csv(&c.params)
+                ));
+                for b in &c.blocks {
+                    let succs: Vec<String> = b.succs.iter().map(|s| s.to_string()).collect();
+                    out.push_str(&format!("B\t{}\n", opt_csv(&succs)));
+                    for i in &b.instrs {
+                        out.push_str(&render_instr(i));
+                    }
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+}
+
+fn clean_field(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+fn csv(items: &[String]) -> String {
+    if items.is_empty() {
+        "-".to_string()
+    } else {
+        items.join(",")
+    }
+}
+
+fn opt_csv(items: &[String]) -> String {
+    csv(items)
+}
+
+fn rv_enc(rv: &Rv) -> String {
+    match rv {
+        Rv::Var(n) => format!("v:{n}"),
+        Rv::Tmp(n) => format!("t:{n}"),
+        Rv::Const(p) => format!("c:{p}"),
+    }
+}
+
+fn rv_dec(s: &str) -> Option<Rv> {
+    let (tag, rest) = s.split_once(':')?;
+    match tag {
+        "v" => Some(Rv::Var(rest.to_string())),
+        "t" => rest.parse().ok().map(Rv::Tmp),
+        "c" => Some(Rv::Const(rest.to_string())),
+        _ => None,
+    }
+}
+
+fn render_instr(i: &Instr) -> String {
+    match i {
+        Instr::Copy { dst, srcs, line } => {
+            let srcs: Vec<String> = srcs.iter().map(rv_enc).collect();
+            format!("IC\t{}\t{}\t{}\n", line, rv_enc(dst), opt_csv(&srcs))
+        }
+        Instr::Call {
+            dst,
+            name,
+            full,
+            recv,
+            args,
+            line,
+            is_method,
+        } => {
+            let args: Vec<String> = args.iter().map(rv_enc).collect();
+            format!(
+                "IL\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                line,
+                u8::from(*is_method),
+                rv_enc(dst),
+                clean_field(name),
+                clean_field(full),
+                recv.as_ref().map(rv_enc).unwrap_or_else(|| "-".into()),
+                opt_csv(&args)
+            )
+        }
+        Instr::Cast {
+            dst,
+            src,
+            ty,
+            addr_like,
+            line,
+        } => format!(
+            "IX\t{}\t{}\t{}\t{}\t{}\n",
+            line,
+            u8::from(*addr_like),
+            rv_enc(dst),
+            clean_field(ty),
+            rv_enc(src)
+        ),
+        Instr::Ret { src, line } => format!(
+            "IR\t{}\t{}\n",
+            line,
+            src.as_ref().map(rv_enc).unwrap_or_else(|| "-".into())
+        ),
+    }
+}
+
+fn dec_csv_rvs(s: &str) -> Option<Vec<Rv>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',').map(rv_dec).collect()
+}
+
+fn dec_bool(s: &str) -> Option<bool> {
+    match s {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+/// Parse the whole cache file; `None` on any malformed content.
+fn parse_cache(text: &str) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let mut cache = Cache::default();
+    let mut cur: Option<(String, Entry)> = None;
+
+    let finish = |cur: &mut Option<(String, Entry)>, cache: &mut Cache| {
+        if let Some((file, entry)) = cur.take() {
+            cache.entries.insert(file, entry);
+        }
+    };
+
+    for line in lines {
+        let mut parts = line.split('\t');
+        let tag = parts.next()?;
+        match tag {
+            "end" => {
+                finish(&mut cur, &mut cache);
+                return Some(cache);
+            }
+            "file" => {
+                finish(&mut cur, &mut cache);
+                let file = parts.next()?.to_string();
+                let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+                let host_ok = dec_bool(parts.next()?)?;
+                let rules_key = parts.next()?.to_string();
+                cur = Some((
+                    file,
+                    Entry {
+                        hash,
+                        host_ok,
+                        rules_key,
+                        art: FileArtifacts::default(),
+                    },
+                ));
+            }
+            "V" => {
+                let (file, entry) = cur.as_mut()?;
+                // bad-allow is outside from_name's allow namespace but
+                // does appear in cached violations.
+                let rule_name = parts.next()?;
+                let rule = if rule_name == RuleId::BadAllow.name() {
+                    RuleId::BadAllow
+                } else {
+                    RuleId::from_name(rule_name)?
+                };
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let message = parts.next()?.to_string();
+                entry
+                    .art
+                    .violations
+                    .push(Violation::new(file, line_no, rule, message));
+            }
+            "A" => {
+                let (_, entry) = cur.as_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let used = dec_bool(parts.next()?)?;
+                let raw_rule = parts.next()?.to_string();
+                let reason = parts.next().unwrap_or("").to_string();
+                entry.art.allows.push(Allow {
+                    line: line_no,
+                    rule: RuleId::from_name(&raw_rule),
+                    raw_rule,
+                    reason,
+                    used,
+                });
+            }
+            "F" => {
+                let (_, entry) = cur.as_mut()?;
+                let name = parts.next()?.to_string();
+                let qual = match parts.next()? {
+                    "-" => String::new(),
+                    q => q.to_string(),
+                };
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let in_test = dec_bool(parts.next()?)?;
+                let params = match parts.next()? {
+                    "-" => Vec::new(),
+                    p => p.split(',').map(str::to_string).collect(),
+                };
+                entry.art.cfgs.push(Cfg {
+                    name,
+                    qual,
+                    params,
+                    blocks: Vec::new(),
+                    line: line_no,
+                    in_test,
+                });
+            }
+            "B" => {
+                let (_, entry) = cur.as_mut()?;
+                let cfg = entry.art.cfgs.last_mut()?;
+                let succs = match parts.next()? {
+                    "-" => Vec::new(),
+                    s => s
+                        .split(',')
+                        .map(|x| x.parse::<usize>().ok())
+                        .collect::<Option<Vec<usize>>>()?,
+                };
+                cfg.blocks.push(BasicBlock {
+                    instrs: Vec::new(),
+                    succs,
+                });
+            }
+            "IC" | "IL" | "IX" | "IR" => {
+                let (_, entry) = cur.as_mut()?;
+                let block = entry.art.cfgs.last_mut()?.blocks.last_mut()?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let instr = match tag {
+                    "IC" => Instr::Copy {
+                        dst: rv_dec(parts.next()?)?,
+                        srcs: dec_csv_rvs(parts.next()?)?,
+                        line: line_no,
+                    },
+                    "IL" => {
+                        let is_method = dec_bool(parts.next()?)?;
+                        let dst = rv_dec(parts.next()?)?;
+                        let name = parts.next()?.to_string();
+                        let full = parts.next()?.to_string();
+                        let recv = match parts.next()? {
+                            "-" => None,
+                            r => Some(rv_dec(r)?),
+                        };
+                        let args = dec_csv_rvs(parts.next()?)?;
+                        Instr::Call {
+                            dst,
+                            name,
+                            full,
+                            recv,
+                            args,
+                            line: line_no,
+                            is_method,
+                        }
+                    }
+                    "IX" => {
+                        let addr_like = dec_bool(parts.next()?)?;
+                        let dst = rv_dec(parts.next()?)?;
+                        let ty = parts.next()?.to_string();
+                        let src = rv_dec(parts.next()?)?;
+                        Instr::Cast {
+                            dst,
+                            src,
+                            ty,
+                            addr_like,
+                            line: line_no,
+                        }
+                    }
+                    _ => Instr::Ret {
+                        src: match parts.next()? {
+                            "-" => None,
+                            s => Some(rv_dec(s)?),
+                        },
+                        line: line_no,
+                    },
+                };
+                block.instrs.push(instr);
+            }
+            _ => return None,
+        }
+    }
+    // No `end` marker: truncated write — discard.
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::lower_fn;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+    use crate::rules::scan_file;
+
+    fn artifacts(file: &str, src: &str) -> FileArtifacts {
+        let scan = scan_file(file, src, &RuleId::ALL, false);
+        let cfgs = parse_file(&lex(src)).iter().map(lower_fn).collect();
+        FileArtifacts {
+            violations: scan.violations,
+            allows: scan.allows,
+            cfgs,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let src = "// audit:allow(wall-clock): banner\n\
+                   fn f(x: u64) -> u64 { let h = g(x); if h > 0 { h } else { fnv1a(&x.to_le_bytes()) } }\n";
+        let art = artifacts("a.rs", src);
+        let mut cache = Cache::default();
+        cache.put(
+            "a.rs",
+            fnv1a64(src.as_bytes()),
+            false,
+            rules_key(&RuleId::ALL),
+            art.clone(),
+        );
+        let text = cache.render();
+        let parsed = parse_cache(&text).expect("cache parses");
+        let mut parsed = parsed;
+        let got = parsed
+            .get(
+                "a.rs",
+                fnv1a64(src.as_bytes()),
+                false,
+                &rules_key(&RuleId::ALL),
+            )
+            .expect("hit");
+        assert_eq!(got.allows.len(), art.allows.len());
+        assert_eq!(got.cfgs.len(), art.cfgs.len());
+        assert_eq!(got.cfgs[0].params, art.cfgs[0].params);
+        let count = |a: &FileArtifacts| -> usize {
+            a.cfgs
+                .iter()
+                .flat_map(|c| c.blocks.iter())
+                .map(|b| b.instrs.len())
+                .sum()
+        };
+        assert_eq!(count(&got), count(&art));
+    }
+
+    #[test]
+    fn stale_hash_misses() {
+        let art = artifacts("a.rs", "fn f() {}\n");
+        let mut cache = Cache::default();
+        cache.put("a.rs", 1, false, rules_key(&RuleId::ALL), art);
+        assert!(cache
+            .get("a.rs", 2, false, &rules_key(&RuleId::ALL))
+            .is_none());
+        assert!(cache
+            .get("a.rs", 1, true, &rules_key(&RuleId::ALL))
+            .is_none());
+        assert!(cache
+            .get("a.rs", 1, false, &rules_key(&RuleId::ALL))
+            .is_some());
+    }
+
+    #[test]
+    fn corrupt_cache_is_discarded() {
+        assert!(parse_cache("not-a-cache\n").is_none());
+        assert!(parse_cache(MAGIC).is_none(), "missing end marker");
+        let truncated = format!("{MAGIC}\nfile\ta.rs\t00\t0\tk\nV\tbroken\n");
+        assert!(parse_cache(&truncated).is_none());
+    }
+}

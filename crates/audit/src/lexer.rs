@@ -118,11 +118,16 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 let end = skip_string(bytes, i);
+                // Capture the line *before* bumping past the literal's
+                // newlines: a multi-line string tokenizes at its start
+                // line, not its end line (the raw-string arm below
+                // already did this; this arm used to report the end).
+                let tok_line = line;
                 bump_lines!(i..end);
                 out.tokens.push(Token {
                     kind: TokKind::Literal,
                     text: String::new(),
-                    line,
+                    line: tok_line,
                 });
                 i = end;
             }
@@ -399,6 +404,39 @@ mod tests {
         assert!(!ids.contains(&"SystemTime".to_string()));
         assert!(!ids.contains(&"Instant".to_string()));
         assert!(!ids.contains(&"thread_rng".to_string()));
+
+        // Byte-raw strings with more than one hash must not resume
+        // tokenization mid-literal: the `"#` inside the literal is not
+        // its terminator (that needs `"##`).
+        let multi_hash = "let b = br##\"OsRng \"# still inside\"##; let real = SystemTime::now();";
+        let ids = idents(multi_hash);
+        assert!(!ids.contains(&"OsRng".to_string()), "{ids:?}");
+        assert!(ids.contains(&"SystemTime".to_string()), "{ids:?}");
+
+        // An unterminated raw string at EOF swallows the rest of the
+        // file rather than tokenizing its tail as code.
+        let unterminated = "let ok = thread_rng; let r = r#\"HashMap never closes";
+        let ids = idents(unterminated);
+        assert!(ids.contains(&"thread_rng".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn multi_line_string_token_reports_start_line() {
+        let src = "let a = \"line one\nline two\nline three\";\nlet t = SystemTime::now();\n";
+        let lexed = lex(src);
+        let lit = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Literal)
+            .expect("string literal token");
+        assert_eq!(lit.line, 1, "multi-line string starts on line 1");
+        let st = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("SystemTime"))
+            .expect("SystemTime token");
+        assert_eq!(st.line, 4, "code after the string keeps true lines");
     }
 
     #[test]

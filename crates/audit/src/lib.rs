@@ -1,18 +1,26 @@
 //! # noiselab-audit
 //!
-//! The determinism auditor: a dependency-free static-analysis pass that
+//! The determinism auditor: a dependency-free static analyzer that
 //! walks the workspace's deterministic crates and enforces the
-//! determinism contract — no std hash iteration, no wall-clock reads,
-//! no entropy-seeded RNGs, no host threads outside the harness, no
-//! `static mut`, no `.unwrap()`/`.expect()` on I/O or parse paths.
+//! determinism contract.
 //!
-//! The paper's methodology (and every guarantee this repo has shipped —
-//! tickless/eager bit-identity, no-op fault plans, bit-identical
-//! checkpoint resume) rests on runs being a pure function of the seed.
-//! Example-based tests prove those properties hold *today*; this pass
-//! keeps future PRs from quietly breaking them. Escape hatches are
-//! explicit and reviewed: `// audit:allow(<rule>): <reason>` on (or
-//! directly above) the offending line.
+//! Two generations of rules share one pipeline:
+//!
+//! * **Lexical** (PR 3): token-level bans — no std hash containers, no
+//!   wall-clock reads, no entropy-seeded RNGs, no host threads outside
+//!   the harness, no `static mut`, no `.unwrap()` on I/O paths.
+//! * **Taint** (this PR): a recursive-descent parser ([`parse`])
+//!   lowers every function to a CFG ([`cfg`]); an intra-procedural
+//!   dataflow ([`taint`]) plus a call-graph summary fixpoint
+//!   ([`summary`]) track nondeterministic *values* — a wall-clock read
+//!   laundered through two helper functions, a hash-iteration fold, an
+//!   address cast — until they reach a determinism sink (stream hash,
+//!   fingerprint, checkpoint, metrics merge, event-queue key).
+//!
+//! Findings carry a source→sink hop chain in human, JSON, and SARIF
+//! output. Escape hatches are explicit and reviewed:
+//! `// audit:allow(<rule>): <reason>` on (or directly above) the
+//! source or sink line; allows that match nothing are reported stale.
 //!
 //! The runtime counterpart — the event-stream sanitizer and the
 //! dual-run divergence bisector — lives in `noiselab-kernel` and
@@ -24,23 +32,195 @@
 //! assert_eq!(v[0].rule, RuleId::WallClock);
 //! ```
 
+pub mod cache;
+pub mod cfg;
 pub mod lexer;
+pub mod parse;
 pub mod policy;
 pub mod report;
 pub mod rules;
+pub mod summary;
+pub mod taint;
 
 pub use policy::{CratePolicy, POLICIES};
-pub use report::AuditReport;
-pub use rules::{scan_source, RuleId, Violation};
+pub use report::{AuditReport, StaleAllow};
+pub use rules::{scan_file, scan_source, Allow, FileScan, RuleId, Violation};
+pub use taint::{TaintFinding, TaintKind};
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use cache::{fnv1a64, rules_key, Cache, FileArtifacts};
+
+/// One source file handed to the pure analysis entry point.
+pub struct SourceSpec<'a> {
+    /// Diagnostic path (repo-relative in the workspace sweep).
+    pub path: String,
+    pub src: String,
+    /// Rules enforced for findings whose *sink* is in this file.
+    pub rules: &'a [RuleId],
+    pub host_thread_ok: bool,
+}
+
+/// Options for the workspace sweep.
+#[derive(Debug, Default)]
+pub struct AuditOptions {
+    /// Where to read/write the incremental per-file cache; `None`
+    /// disables caching.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl AuditOptions {
+    /// The conventional cache location under a workspace root.
+    pub fn default_cache_path(root: &Path) -> PathBuf {
+        root.join("target").join("audit-cache.txt")
+    }
+}
+
+fn compute_artifacts(spec: &SourceSpec) -> FileArtifacts {
+    let lexed = lexer::lex(&spec.src);
+    let scan = rules::scan_file(&spec.path, &spec.src, spec.rules, spec.host_thread_ok);
+    let cfgs = parse::parse_file(&lexed)
+        .iter()
+        .map(cfg::lower_fn)
+        .collect();
+    FileArtifacts {
+        violations: scan.violations,
+        allows: scan.allows,
+        cfgs,
+    }
+}
+
+/// Run the full analysis (lexical + taint + stale-allow detection)
+/// over in-memory sources. This is the byte-deterministic core: the
+/// output depends only on the *set* of inputs, not their order.
+pub fn analyze_sources(files: &[SourceSpec]) -> AuditReport {
+    let units: Vec<(usize, FileArtifacts)> = files
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| (i, compute_artifacts(spec)))
+        .collect();
+    finish(files, units)
+}
+
+/// Combine per-file artifacts into the final report: run the taint
+/// fixpoint, apply allows to taint findings, judge stale allows, sort.
+fn finish(files: &[SourceSpec], units: Vec<(usize, FileArtifacts)>) -> AuditReport {
+    let mut report = AuditReport {
+        files_scanned: files.len(),
+        ..AuditReport::default()
+    };
+
+    // Assemble the global CFG list in path order so the fixpoint sees
+    // a canonical input regardless of sweep order.
+    let mut order: Vec<usize> = (0..units.len()).collect();
+    order.sort_by(|&a, &b| files[units[a].0].path.cmp(&files[units[b].0].path));
+
+    let mut cfgs: Vec<(String, cfg::Cfg)> = Vec::new();
+    let mut allows: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
+    let mut rules_for: BTreeMap<String, &[RuleId]> = BTreeMap::new();
+    for &u in &order {
+        let (idx, art) = &units[u];
+        let spec = &files[*idx];
+        report.violations.extend(art.violations.iter().cloned());
+        allows.insert(spec.path.clone(), art.allows.clone());
+        rules_for.insert(spec.path.clone(), spec.rules);
+        for c in &art.cfgs {
+            cfgs.push((spec.path.clone(), c.clone()));
+        }
+    }
+
+    let findings = summary::analyze_workspace(&cfgs);
+    for f in findings {
+        // Policy: the rule must be enabled where the sink lives.
+        let enabled = rules_for
+            .get(&f.file)
+            .is_some_and(|rules| rules.contains(&f.rule));
+        if !enabled {
+            continue;
+        }
+        let (sfile, sline) = {
+            let (sf, sl) = f.source();
+            (sf.to_string(), sl)
+        };
+        // An allow suppresses at the sink line, at the source line, or
+        // (for kinds with a lexical ancestor, e.g. wall-clock) via the
+        // base rule's allow at the source — so the bench harness's
+        // existing `audit:allow(wall-clock)` keeps covering flows born
+        // at that site.
+        let mut suppressed = false;
+        if let Some(list) = allows.get_mut(&f.file) {
+            if let Some(a) = list.iter_mut().find(|a| a.covers(f.rule, f.line)) {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if let Some(list) = allows.get_mut(&sfile) {
+            if let Some(a) = list.iter_mut().find(|a| a.covers(f.rule, sline)) {
+                a.used = true;
+                suppressed = true;
+            }
+            if let Some(base) = f.kind.base_rule() {
+                if let Some(a) = list.iter_mut().find(|a| a.covers(base, sline)) {
+                    a.used = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if suppressed {
+            continue;
+        }
+        report.violations.push(Violation {
+            file: f.file.clone(),
+            line: f.line,
+            rule: f.rule,
+            message: f.message.clone(),
+            path: f.hops.clone(),
+        });
+    }
+
+    for (file, list) in &allows {
+        for a in list {
+            if !a.used && a.rule.is_some() {
+                report.stale_allows.push(StaleAllow {
+                    file: file.clone(),
+                    line: a.line,
+                    rule: a.raw_rule.clone(),
+                });
+            }
+        }
+    }
+    report.stale_allows.sort();
+
+    report.violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name(), a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule.name(),
+            b.message.as_str(),
+        ))
+    });
+    report
+}
+
+/// Sweep the whole workspace rooted at `root` under [`POLICIES`] with
+/// default options (no cache).
+pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
+    audit_workspace_with(root, &AuditOptions::default())
+}
 
 /// Sweep the whole workspace rooted at `root` under [`POLICIES`].
 /// Missing crates are an error (the policy table and the workspace must
 /// agree), missing optional dirs (a crate without `benches/`) are not.
-pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
-    let mut report = AuditReport::default();
+pub fn audit_workspace_with(root: &Path, opts: &AuditOptions) -> io::Result<AuditReport> {
+    let mut cache = match &opts.cache_path {
+        Some(p) => Cache::load(p),
+        None => Cache::default(),
+    };
+    let mut specs: Vec<SourceSpec> = Vec::new();
+    let mut crates_scanned = 0usize;
+
     for policy in POLICIES {
         let crate_dir = root.join(policy.root);
         if !crate_dir.is_dir() {
@@ -53,7 +233,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
                 ),
             ));
         }
-        report.crates_scanned += 1;
+        crates_scanned += 1;
         for dir in policy.dirs {
             let d = crate_dir.join(dir);
             if !d.is_dir() {
@@ -76,14 +256,41 @@ pub fn audit_workspace(root: &Path) -> io::Result<AuditReport> {
                     .to_string_lossy()
                     .replace('\\', "/");
                 let host_ok = policy.host_thread_approved.contains(&crate_rel.as_str());
-                report.files_scanned += 1;
-                report
-                    .violations
-                    .extend(scan_source(&rel, &src, policy.rules, host_ok));
+                specs.push(SourceSpec {
+                    path: rel,
+                    src,
+                    rules: policy.rules,
+                    host_thread_ok: host_ok,
+                });
             }
         }
     }
-    report.violations.sort_by_key(|v| (v.file.clone(), v.line));
+
+    let key_of = |spec: &SourceSpec| rules_key(spec.rules);
+    let mut units: Vec<(usize, FileArtifacts)> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let hash = fnv1a64(spec.src.as_bytes());
+        let key = key_of(spec);
+        let art = match cache.get(&spec.path, hash, spec.host_thread_ok, &key) {
+            Some(art) => art,
+            None => {
+                let art = compute_artifacts(spec);
+                cache.put(&spec.path, hash, spec.host_thread_ok, key, art.clone());
+                art
+            }
+        };
+        units.push((i, art));
+    }
+
+    if let Some(p) = &opts.cache_path {
+        let live: Vec<String> = specs.iter().map(|s| s.path.clone()).collect();
+        cache.retain_files(&live);
+        // The cache is advisory; a failed write must not fail the audit.
+        let _ = cache.save(p);
+    }
+
+    let mut report = finish(&specs, units);
+    report.crates_scanned = crates_scanned;
     Ok(report)
 }
 
@@ -112,11 +319,70 @@ mod tests {
             assert!(!p.rules.is_empty(), "{}: empty rule set", p.name);
             assert!(!p.dirs.is_empty(), "{}: no swept dirs", p.name);
         }
+        assert_eq!(POLICIES.len(), 15, "every workspace crate has a row");
     }
 
     #[test]
     fn missing_crate_is_an_error() {
         let err = audit_workspace(Path::new("/nonexistent-root")).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    fn spec(path: &str, src: &str) -> SourceSpec<'static> {
+        SourceSpec {
+            path: path.to_string(),
+            src: src.to_string(),
+            rules: &RuleId::ALL,
+            host_thread_ok: false,
+        }
+    }
+
+    #[test]
+    fn cross_file_taint_is_reported_with_path() {
+        let report = analyze_sources(&[
+            spec(
+                "a.rs",
+                "pub fn stamp() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }\n",
+            ),
+            spec(
+                "b.rs",
+                "pub fn fold(seed: u64) -> u64 { fnv1a_extend(seed, stamp()) }\n",
+            ),
+        ]);
+        // One lexical wall-clock hit in a.rs plus the taint path in b.rs.
+        let taint: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == RuleId::TaintWallClock)
+            .collect();
+        assert_eq!(taint.len(), 1, "{:#?}", report.violations);
+        assert_eq!(taint[0].file, "b.rs");
+        assert!(taint[0].path.len() >= 2);
+        assert_eq!(taint[0].path[0].file, "a.rs");
+    }
+
+    #[test]
+    fn allow_at_source_suppresses_taint_and_is_not_stale() {
+        let report = analyze_sources(&[spec(
+            "a.rs",
+            "pub fn f(seed: u64) -> u64 {\n\
+             // audit:allow(taint-addr): dense id, stable across runs in this test double\n\
+             let k = &seed as *const u64 as usize;\n\
+             fnv1a_extend(seed, k as u64)\n}\n",
+        )]);
+        assert!(report.clean(), "{:#?}", report.violations);
+        assert!(report.stale_allows.is_empty(), "{:#?}", report.stale_allows);
+    }
+
+    #[test]
+    fn unused_allow_is_stale_with_rule_and_line() {
+        let report = analyze_sources(&[spec(
+            "a.rs",
+            "// audit:allow(taint-wall-clock): nothing here anymore\npub fn f() {}\n",
+        )]);
+        assert!(report.clean());
+        assert_eq!(report.stale_allows.len(), 1);
+        assert_eq!(report.stale_allows[0].rule, "taint-wall-clock");
+        assert_eq!(report.stale_allows[0].line, 1);
     }
 }

@@ -30,12 +30,20 @@ const ALL: &[RuleId] = &RuleId::ALL;
 /// The bench crate runs on the host by design (criterion timing), so
 /// wall-clock reads are routed through its single annotated
 /// `wall_clock()` helper rather than banned outright; host threads and
-/// panic paths in bench targets are out of scope.
+/// panic paths in bench targets are out of scope. Likewise its whole
+/// purpose is feeding wall-clock durations into reports, so the
+/// wall-clock *taint* rule is off; the other taint flows stay banned.
 const BENCH_RULES: &[RuleId] = &[
     RuleId::HashIteration,
     RuleId::WallClock,
     RuleId::Entropy,
     RuleId::StaticMut,
+    RuleId::TaintHashOrder,
+    RuleId::TaintAddr,
+    RuleId::TaintEnv,
+    RuleId::TaintRelaxed,
+    RuleId::TaintFloatOrder,
+    RuleId::TaintThreadId,
 ];
 
 /// The determinism contract: the crates whose simulated results must be
@@ -149,5 +157,16 @@ pub const POLICIES: &[CratePolicy] = &[
         // wall-clock site and its stdout-reader threads approved.
         rules: ALL,
         host_thread_approved: &["src/supervisor.rs"],
+    },
+    CratePolicy {
+        name: "noiselab-audit",
+        root: "crates/audit",
+        dirs: &["src"],
+        // The analyzer audits itself: its output must be a pure
+        // function of the sources it reads, so it is under the same
+        // contract it enforces (BTree containers, no wall-clock, no
+        // hash-order dependence in its own fixpoint).
+        rules: ALL,
+        host_thread_approved: &[],
     },
 ];

@@ -1,16 +1,25 @@
-//! The determinism ruleset and the token-level checkers behind it.
+//! The determinism ruleset: token-level (lexical) checkers plus the
+//! rule identities shared with the taint analyzer.
 //!
-//! Every rule is a pure function over the lexed token stream of one
-//! file. Rules never fire inside string literals or comments (the
-//! lexer already stripped those), and the panic-path rule additionally
-//! skips `#[cfg(test)]` / `#[test]` regions — test code is allowed to
-//! unwrap.
+//! Every lexical rule is a pure function over the lexed token stream
+//! of one file. Rules never fire inside string literals or comments
+//! (the lexer already stripped those), and the panic-path rule
+//! additionally skips `#[cfg(test)]` / `#[test]` regions — test code
+//! is allowed to unwrap.
+//!
+//! The seven `Taint*` rules are produced by [`crate::taint`] /
+//! [`crate::summary`] rather than here, but they share the same
+//! [`RuleId`] namespace so `// audit:allow(<rule>)` annotations,
+//! stale-allow detection, and per-crate policy tables treat both
+//! generations of rules uniformly. The six PR-3 lexical rules are, in
+//! taint terms, degenerate: source and sink at the same token.
 
 use crate::lexer::{test_regions, Comment, Lexed, TokKind, Token};
+use crate::taint::Hop;
 
 /// Stable identifiers for the rules; these names are what the
 /// `// audit:allow(<rule>): <reason>` grammar refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// `HashMap` / `HashSet`: std hash iteration order is seeded per
     /// process (`RandomState`), so any iteration over them is a
@@ -33,10 +42,47 @@ pub enum RuleId {
     /// A malformed `audit:allow` annotation (unknown rule, missing
     /// reason). Not suppressible.
     BadAllow,
+    /// Taint: a wall-clock value (including one laundered through
+    /// variables and function calls) reaches a determinism sink.
+    TaintWallClock,
+    /// Taint: a hash-container iteration-order-dependent value reaches
+    /// a determinism sink.
+    TaintHashOrder,
+    /// Taint: an address observed as an integer (`&x as *const _ as
+    /// usize`) reaches a determinism sink — ASLR makes it run-unique.
+    TaintAddr,
+    /// Taint: an environment-variable read reaches a determinism sink.
+    TaintEnv,
+    /// Taint: a `Ordering::Relaxed` atomic read reaches a determinism
+    /// sink — unsynchronized interleavings make the value racy.
+    TaintRelaxed,
+    /// Taint: an unordered (parallel) float reduction reaches a
+    /// determinism sink — float addition is not associative.
+    TaintFloatOrder,
+    /// Taint: a thread-identity value reaches a determinism sink.
+    TaintThreadId,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 6] = [
+    /// Every rule, lexical and taint.
+    pub const ALL: [RuleId; 13] = [
+        RuleId::HashIteration,
+        RuleId::WallClock,
+        RuleId::Entropy,
+        RuleId::HostThread,
+        RuleId::StaticMut,
+        RuleId::PanicPath,
+        RuleId::TaintWallClock,
+        RuleId::TaintHashOrder,
+        RuleId::TaintAddr,
+        RuleId::TaintEnv,
+        RuleId::TaintRelaxed,
+        RuleId::TaintFloatOrder,
+        RuleId::TaintThreadId,
+    ];
+
+    /// The PR-3 token-level rules only.
+    pub const LEXICAL: [RuleId; 6] = [
         RuleId::HashIteration,
         RuleId::WallClock,
         RuleId::Entropy,
@@ -44,6 +90,21 @@ impl RuleId {
         RuleId::StaticMut,
         RuleId::PanicPath,
     ];
+
+    /// The dataflow rules produced by the taint engine.
+    pub const TAINT: [RuleId; 7] = [
+        RuleId::TaintWallClock,
+        RuleId::TaintHashOrder,
+        RuleId::TaintAddr,
+        RuleId::TaintEnv,
+        RuleId::TaintRelaxed,
+        RuleId::TaintFloatOrder,
+        RuleId::TaintThreadId,
+    ];
+
+    pub fn is_taint(self) -> bool {
+        RuleId::TAINT.contains(&self)
+    }
 
     pub fn name(self) -> &'static str {
         match self {
@@ -54,6 +115,13 @@ impl RuleId {
             RuleId::StaticMut => "static-mut",
             RuleId::PanicPath => "panic-path",
             RuleId::BadAllow => "bad-allow",
+            RuleId::TaintWallClock => "taint-wall-clock",
+            RuleId::TaintHashOrder => "taint-hash-order",
+            RuleId::TaintAddr => "taint-addr",
+            RuleId::TaintEnv => "taint-env",
+            RuleId::TaintRelaxed => "taint-relaxed",
+            RuleId::TaintFloatOrder => "taint-float-order",
+            RuleId::TaintThreadId => "taint-thread-id",
         }
     }
 
@@ -91,27 +159,89 @@ impl RuleId {
                 "write `// audit:allow(<rule>): <reason>` with a known rule \
                  name and a non-empty reason"
             }
+            RuleId::TaintWallClock => {
+                "cut the flow: derive the sunk value from SimTime or the run \
+                 seed, or annotate the source/sink with a reasoned allow"
+            }
+            RuleId::TaintHashOrder => {
+                "sort before folding, or switch the container to \
+                 BTreeMap/BTreeSet so iteration order is canonical"
+            }
+            RuleId::TaintAddr => {
+                "replace the address with a dense id assigned at creation; \
+                 ASLR makes addresses differ across runs"
+            }
+            RuleId::TaintEnv => {
+                "thread configuration through the typed spec/config structs \
+                 instead of reading the environment near a determinism sink"
+            }
+            RuleId::TaintRelaxed => {
+                "use a deterministic accumulator owned by one thread, or \
+                 upgrade the ordering and prove the schedule is fixed"
+            }
+            RuleId::TaintFloatOrder => {
+                "reduce floats in a canonical order (sorted keys, tree \
+                 reduction with fixed shape) before hashing or merging"
+            }
+            RuleId::TaintThreadId => {
+                "key on the simulated task id (dense, seed-stable), never \
+                 the host thread identity"
+            }
         }
     }
 }
 
-/// One diagnostic: file, line, rule, message, suggestion.
+/// One diagnostic. Lexical findings have an empty `path`; taint
+/// findings carry the full source→sink hop chain (`path[0]` is the
+/// source site, the last hop the sink call).
 #[derive(Debug, Clone)]
 pub struct Violation {
     pub file: String,
     pub line: u32,
     pub rule: RuleId,
     pub message: String,
+    pub path: Vec<Hop>,
 }
 
-/// A parsed `audit:allow` annotation.
+impl Violation {
+    pub fn new(file: &str, line: u32, rule: RuleId, message: String) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+            path: Vec::new(),
+        }
+    }
+}
+
+/// A parsed `audit:allow` annotation. `used` is set once any finding
+/// (lexical or taint) is suppressed by it; allows still unused at the
+/// end of a sweep are reported as stale.
 #[derive(Debug, Clone)]
-struct Allow {
-    line: u32,
-    rule: Option<RuleId>,
-    raw_rule: String,
-    reason: String,
-    used: bool,
+pub struct Allow {
+    pub line: u32,
+    pub rule: Option<RuleId>,
+    pub raw_rule: String,
+    pub reason: String,
+    pub used: bool,
+}
+
+impl Allow {
+    /// Does this allow cover a finding of `rule` at `line` (same line
+    /// or the line directly above)?
+    pub fn covers(&self, rule: RuleId, line: u32) -> bool {
+        self.rule == Some(rule) && (self.line == line || self.line + 1 == line)
+    }
+}
+
+/// One file's lexical scan: suppressed violations plus every allow
+/// annotation found (with `used` flags from lexical matching — the
+/// taint pass may mark more of them used before staleness is judged).
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub violations: Vec<Violation>,
+    pub allows: Vec<Allow>,
 }
 
 /// Markers that put a statement on an "I/O or parse path" for the
@@ -154,26 +284,31 @@ const IO_PARSE_MARKERS: &[&str] = &[
 fn parse_allows(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> Vec<Allow> {
     let mut allows = Vec::new();
     for c in comments {
-        let Some(pos) = c.text.find("audit:allow") else {
+        // The annotation must be the comment's content, not a prose
+        // mention: strip the comment markers and require the text to
+        // *start* with `audit:allow` (docs that merely talk about the
+        // grammar, like this crate's own, are not annotations).
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        if !body.starts_with("audit:allow") {
             continue;
-        };
-        let rest = &c.text[pos + "audit:allow".len()..];
+        }
+        let rest = &body["audit:allow".len()..];
         let Some(open) = rest.find('(') else {
-            bad.push(Violation {
-                file: file.to_string(),
-                line: c.line,
-                rule: RuleId::BadAllow,
-                message: "audit:allow without a (rule) argument".into(),
-            });
+            bad.push(Violation::new(
+                file,
+                c.line,
+                RuleId::BadAllow,
+                "audit:allow without a (rule) argument".into(),
+            ));
             continue;
         };
         let Some(close) = rest[open..].find(')') else {
-            bad.push(Violation {
-                file: file.to_string(),
-                line: c.line,
-                rule: RuleId::BadAllow,
-                message: "audit:allow with an unclosed (rule) argument".into(),
-            });
+            bad.push(Violation::new(
+                file,
+                c.line,
+                RuleId::BadAllow,
+                "audit:allow with an unclosed (rule) argument".into(),
+            ));
             continue;
         };
         let raw_rule = rest[open + 1..open + close].trim().to_string();
@@ -185,23 +320,23 @@ fn parse_allows(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> V
             .unwrap_or_default();
         let rule = RuleId::from_name(&raw_rule);
         if rule.is_none() {
-            bad.push(Violation {
-                file: file.to_string(),
-                line: c.line,
-                rule: RuleId::BadAllow,
-                message: format!("audit:allow names unknown rule '{raw_rule}'"),
-            });
+            bad.push(Violation::new(
+                file,
+                c.line,
+                RuleId::BadAllow,
+                format!("audit:allow names unknown rule '{raw_rule}'"),
+            ));
         }
         if reason.is_empty() {
-            bad.push(Violation {
-                file: file.to_string(),
-                line: c.line,
-                rule: RuleId::BadAllow,
-                message: format!(
+            bad.push(Violation::new(
+                file,
+                c.line,
+                RuleId::BadAllow,
+                format!(
                     "audit:allow({raw_rule}) carries no reason; write \
                      `audit:allow({raw_rule}): <why this is safe>`"
                 ),
-            });
+            ));
         }
         allows.push(Allow {
             line: c.line,
@@ -214,14 +349,11 @@ fn parse_allows(comments: &[Comment], file: &str, bad: &mut Vec<Violation>) -> V
     allows
 }
 
-/// Scan one file's source under the given rule set. `host_thread_ok`
-/// marks the file as an approved host-thread module (the harness).
-pub fn scan_source(
-    file: &str,
-    src: &str,
-    rules: &[RuleId],
-    host_thread_ok: bool,
-) -> Vec<Violation> {
+/// Lexically scan one file under the given rule set, returning both
+/// the surviving violations and the allow annotations (for the taint
+/// pass and stale-allow detection). `host_thread_ok` marks the file as
+/// an approved host-thread module (the harness).
+pub fn scan_file(file: &str, src: &str, rules: &[RuleId], host_thread_ok: bool) -> FileScan {
     let lexed: Lexed = crate::lexer::lex(src);
     let in_test = test_regions(&lexed.tokens);
     let mut out = Vec::new();
@@ -239,38 +371,38 @@ pub fn scan_source(
         let enabled = |r: RuleId| rules.contains(&r);
         match t.text.as_str() {
             "HashMap" | "HashSet" if enabled(RuleId::HashIteration) => {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::HashIteration,
-                    message: format!("use of {} in a deterministic crate", t.text),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::HashIteration,
+                    format!("use of {} in a deterministic crate", t.text),
+                ));
             }
             "Instant" if enabled(RuleId::WallClock) && matches_path_call(toks, i, "now") => {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::WallClock,
-                    message: "wall-clock read via Instant::now()".into(),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::WallClock,
+                    "wall-clock read via Instant::now()".into(),
+                ));
             }
             "SystemTime" if enabled(RuleId::WallClock) => {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::WallClock,
-                    message: "wall-clock read via SystemTime".into(),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::WallClock,
+                    "wall-clock read via SystemTime".into(),
+                ));
             }
             "thread_rng" | "from_entropy" | "OsRng" | "RandomState" | "getrandom"
                 if enabled(RuleId::Entropy) =>
             {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::Entropy,
-                    message: format!("entropy-seeded RNG construction via {}", t.text),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::Entropy,
+                    format!("entropy-seeded RNG construction via {}", t.text),
+                ));
             }
             "thread"
                 if enabled(RuleId::HostThread)
@@ -278,31 +410,31 @@ pub fn scan_source(
                     && (matches_path_call(toks, i, "spawn")
                         || matches_path_call(toks, i, "scope")) =>
             {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::HostThread,
-                    message: "host thread creation outside the approved harness module".into(),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::HostThread,
+                    "host thread creation outside the approved harness module".into(),
+                ));
             }
             "available_parallelism" if enabled(RuleId::HostThread) && !host_thread_ok => {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::HostThread,
-                    message: "host-parallelism probe outside the approved harness module".into(),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::HostThread,
+                    "host-parallelism probe outside the approved harness module".into(),
+                ));
             }
             "static"
                 if enabled(RuleId::StaticMut)
                     && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) =>
             {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::StaticMut,
-                    message: "static mut item".into(),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::StaticMut,
+                    "static mut item".into(),
+                ));
             }
             "unwrap" | "expect"
                 if enabled(RuleId::PanicPath)
@@ -310,12 +442,12 @@ pub fn scan_source(
                     && is_method_call(toks, i)
                     && statement_has_io_marker(toks, i) =>
             {
-                raw.push(Violation {
-                    file: file.into(),
-                    line: t.line,
-                    rule: RuleId::PanicPath,
-                    message: format!(".{}() on an I/O or parse path", t.text),
-                });
+                raw.push(Violation::new(
+                    file,
+                    t.line,
+                    RuleId::PanicPath,
+                    format!(".{}() on an I/O or parse path", t.text),
+                ));
             }
             _ => {}
         }
@@ -323,9 +455,7 @@ pub fn scan_source(
 
     // Apply allow annotations: same line or the line directly above.
     for v in raw {
-        let allowed = allows
-            .iter_mut()
-            .find(|a| a.rule == Some(v.rule) && (a.line == v.line || a.line + 1 == v.line));
+        let allowed = allows.iter_mut().find(|a| a.covers(v.rule, v.line));
         match allowed {
             Some(a) if !a.reason.is_empty() => a.used = true,
             Some(a) => {
@@ -337,22 +467,38 @@ pub fn scan_source(
         }
     }
 
-    // An allow that matched nothing is itself suspicious: it will
-    // silently mask a future violation on that line.
-    for a in &allows {
+    out.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
+    FileScan {
+        violations: out,
+        allows,
+    }
+}
+
+/// Legacy single-file entry point: lexical scan with unused allows
+/// folded back in as [`RuleId::BadAllow`] violations. The workspace
+/// sweep uses [`scan_file`] instead so that taint findings get a
+/// chance to use an allow before it is judged stale.
+pub fn scan_source(
+    file: &str,
+    src: &str,
+    rules: &[RuleId],
+    host_thread_ok: bool,
+) -> Vec<Violation> {
+    let scan = scan_file(file, src, rules, host_thread_ok);
+    let mut out = scan.violations;
+    for a in &scan.allows {
         if !a.used && a.rule.is_some() {
-            out.push(Violation {
-                file: file.into(),
-                line: a.line,
-                rule: RuleId::BadAllow,
-                message: format!(
+            out.push(Violation::new(
+                file,
+                a.line,
+                RuleId::BadAllow,
+                format!(
                     "unused audit:allow({}) — no matching violation on this or the next line",
                     a.raw_rule
                 ),
-            });
+            ));
         }
     }
-
     out.sort_by(|a, b| (a.line, a.rule.name()).cmp(&(b.line, b.rule.name())));
     out
 }
@@ -482,6 +628,32 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, RuleId::BadAllow);
         assert!(v[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn scan_file_defers_staleness_and_exposes_allows() {
+        let scan = scan_file(
+            "t.rs",
+            "// audit:allow(taint-wall-clock): covered by the dataflow pass\nlet x = 1;\n",
+            &RuleId::ALL,
+            false,
+        );
+        // No BadAllow here: the taint pass gets a chance to use it.
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert_eq!(scan.allows.len(), 1);
+        assert_eq!(scan.allows[0].rule, Some(RuleId::TaintWallClock));
+        assert!(!scan.allows[0].used);
+    }
+
+    #[test]
+    fn taint_rule_names_round_trip() {
+        for r in RuleId::TAINT {
+            assert_eq!(RuleId::from_name(r.name()), Some(r));
+            assert!(r.is_taint());
+        }
+        for r in RuleId::LEXICAL {
+            assert!(!r.is_taint());
+        }
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Taint fixture: address-as-value → EventQueue ordering key.
+//! ASLR makes addresses run-unique; a dense id is the fix.
+
+pub fn pos(q: &mut Queue, ev: &Event) {
+    let key = ev as *const Event as usize;
+    q.schedule(key as u64, 0);
+}
+
+pub fn neg(q: &mut Queue, dense_id: u64) {
+    q.schedule(dense_id, 0);
+}
+
+pub fn allowed(q: &mut Queue, ev: &Event) {
+    // audit:allow(taint-addr): fixture — single-process scratch queue, never serialized
+    let key = ev as *const Event as usize;
+    q.schedule(key as u64, 0);
+}

@@ -1,0 +1,18 @@
+//! Cross-function taint fixture, "application" half: taints born here
+//! flow into the library file's sinks (param_sinks summaries), and a
+//! clean flow stays clean.
+
+pub fn pos_digest() -> u64 {
+    let t = std::time::SystemTime::now();
+    let n = t.elapsed().as_nanos() as u64;
+    digest_cell(n)
+}
+
+pub fn pos_checkpoint(p: &Path, c: &AtomicU64) {
+    let n = c.load(Ordering::Relaxed);
+    checkpoint_cell(p, n);
+}
+
+pub fn neg(seed: u64) -> u64 {
+    digest_cell(seed.rotate_left(7))
+}

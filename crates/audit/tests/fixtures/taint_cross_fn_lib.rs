@@ -1,0 +1,10 @@
+//! Cross-function taint fixture, "library" half: the sink is in here,
+//! behind a helper — callers passing tainted values are the bug.
+
+pub fn digest_cell(v: u64) -> u64 {
+    fnv1a(&v.to_le_bytes())
+}
+
+pub fn checkpoint_cell(p: &Path, v: u64) {
+    write_atomic(p, &v.to_le_bytes());
+}

@@ -1,0 +1,18 @@
+//! Taint fixture: environment read → campaign fingerprint.
+
+pub fn pos() -> u64 {
+    let v = std::env::var("NOISELAB_SEED").unwrap_or_default();
+    let n = v.parse().unwrap_or(0u64);
+    fingerprint(n)
+}
+
+pub fn neg(spec_seed: u64) -> u64 {
+    fingerprint(spec_seed)
+}
+
+pub fn allowed() -> u64 {
+    // audit:allow(taint-env): fixture — env value is itself recorded in the spec
+    let v = std::env::var("NOISELAB_SEED").unwrap_or_default();
+    let n = v.parse().unwrap_or(0u64);
+    fingerprint(n)
+}

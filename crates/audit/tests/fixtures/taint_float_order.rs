@@ -1,0 +1,18 @@
+//! Taint fixture: unordered parallel float reduction → fingerprint.
+//! Float addition is not associative; steal order changes the bits.
+
+pub fn pos(data: &Vec<f64>) -> u64 {
+    let s = data.par_iter().map(|x| x * 2.0).sum();
+    fingerprint(s as u64)
+}
+
+pub fn neg(data: &Vec<f64>) -> u64 {
+    let s = data.iter().map(|x| x * 2.0).sum();
+    fingerprint(s as u64)
+}
+
+pub fn allowed(data: &Vec<f64>) -> u64 {
+    // audit:allow(taint-float-order): fixture — values are integral powers of two, addition exact
+    let s = data.par_iter().map(|x| x * 2.0).sum();
+    fingerprint(s as u64)
+}

@@ -1,0 +1,30 @@
+//! Taint fixture: hash-container iteration order → stream hash.
+//! Building or querying the map is fine; folding its iteration order
+//! into the stream hash is not.
+
+pub fn pos(acc: u64) -> u64 {
+    let mut m = HashMap::new();
+    m.insert(1u64, 2u64);
+    let mut h = acc;
+    for (k, v) in m.iter() {
+        h = fnv1a_extend(h, k + v);
+    }
+    h
+}
+
+pub fn neg(acc: u64) -> u64 {
+    // A carrier that is never iterated: size queries are order-free.
+    let mut m = HashMap::new();
+    m.insert(1u64, 2u64);
+    fnv1a_extend(acc, m.len() as u64)
+}
+
+pub fn allowed(acc: u64) -> u64 {
+    // audit:allow(taint-hash-order): fixture — order-independent XOR fold, reviewed
+    let m = HashMap::new();
+    let mut h = acc;
+    for k in m.keys() {
+        h = fnv1a_extend(h, k);
+    }
+    h
+}

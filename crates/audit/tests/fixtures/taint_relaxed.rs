@@ -1,0 +1,20 @@
+//! Taint fixture: `Ordering::Relaxed` atomic read → metrics merge.
+
+pub fn pos(snap: &mut Snapshot, c: &AtomicU64) {
+    let n = c.load(Ordering::Relaxed);
+    snap.merge(n);
+}
+
+pub fn neg(snap: &mut Snapshot, c: &AtomicU64) {
+    // SeqCst still races in wall time, but the merged value is read
+    // after the barrier the harness establishes; only Relaxed is a
+    // taint source here.
+    let n = c.load(Ordering::SeqCst);
+    snap.merge(n);
+}
+
+pub fn allowed(snap: &mut Snapshot, c: &AtomicU64) {
+    // audit:allow(taint-relaxed): fixture — monotonic counter, merged as max
+    let n = c.load(Ordering::Relaxed);
+    snap.merge(n);
+}

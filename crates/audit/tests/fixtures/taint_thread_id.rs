@@ -1,0 +1,16 @@
+//! Taint fixture: host thread identity → stream hash.
+
+pub fn pos(acc: u64) -> u64 {
+    let id = std::thread::current().id();
+    fnv1a_extend(acc, id as u64)
+}
+
+pub fn neg(acc: u64, task_id: u64) -> u64 {
+    fnv1a_extend(acc, task_id)
+}
+
+pub fn allowed(acc: u64) -> u64 {
+    // audit:allow(taint-thread-id): fixture — debug-only stream, stripped in release
+    let id = std::thread::current().id();
+    fnv1a_extend(acc, id as u64)
+}

@@ -1,0 +1,19 @@
+//! Taint fixture: wall-clock → stream hash.
+//! Sections: positive, negative, allowed.
+
+pub fn pos(acc: u64) -> u64 {
+    let t = std::time::Instant::now();
+    let stamp = t.elapsed().as_nanos() as u64;
+    fnv1a_extend(acc, stamp)
+}
+
+pub fn neg(acc: u64, ticks: u64) -> u64 {
+    let stamp = ticks.wrapping_mul(31);
+    fnv1a_extend(acc, stamp)
+}
+
+pub fn allowed(acc: u64) -> u64 {
+    // audit:allow(taint-wall-clock): fixture — reviewed flow, host timing only labels the report
+    let stamp = std::time::Instant::now().elapsed().as_nanos() as u64;
+    fnv1a_extend(acc, stamp)
+}

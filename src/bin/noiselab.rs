@@ -16,6 +16,7 @@
 //! noiselab campaign --workers N [--queue DIR] [--shard-size 2] [--heartbeat-secs 120]
 //!                   [--shard-timeout-secs 3600] [--max-shard-crashes 3] [--chaos-kills 0]
 //! noiselab audit    [--static] [--dual-run] [--json] [--root .]
+//!                   [--sarif <path|->] [--fail-on-stale-allow] [--cache <path>] [--no-cache]
 //!                   [--platform intel] [--workload nbody] [--model omp] [--mitigation Rm]
 //!                   [--seed 1] [--perturb N] [--cadence 64]
 //! noiselab conform  [--fuzz N] [--seed S] [--corpus <dir>] [--json]
@@ -55,13 +56,18 @@
 //! code flips: a mutated campaign that PASSES is the failure).
 //!
 //! `audit` enforces the determinism contract: `--static` sweeps the
-//! deterministic crates for nondeterminism (HashMap iteration, wall
-//! clocks, entropy, host threads, static mut, unwrap on I/O paths) and
-//! fails on any unannotated violation; `--dual-run` executes the same
-//! cell twice and bisects the event streams, naming the first divergent
-//! event if they differ (`--perturb N` deliberately forks run B after
-//! event N to exercise the pipeline). Flags given without a value
-//! (`--static --json`) are booleans.
+//! deterministic crates with the token lexer *and* the taint analyzer
+//! (parse → CFG → dataflow), reporting any unannotated nondeterminism
+//! source that reaches a determinism sink as a source→sink path;
+//! `--sarif` emits a SARIF 2.1.0 report (to a file, or stdout with
+//! `-`), `--fail-on-stale-allow` makes unused `audit:allow`
+//! annotations fatal, and the per-file cache under `target/` (relocate
+//! with `--cache <path>`, disable with `--no-cache`) keeps warm sweeps
+//! fast. `--dual-run` executes the same cell twice and bisects the
+//! event streams, naming the first divergent event if they differ
+//! (`--perturb N` deliberately forks run B after event N to exercise
+//! the pipeline). Flags given without a value (`--static --json`) are
+//! booleans.
 
 use noiselab::core::experiments::{
     ablation, fig1, fig2, numa, runlevel, suite, table1, table2, Scale,
@@ -651,7 +657,7 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_audit(args: &Args) -> Result<(), String> {
-    use noiselab::audit::audit_workspace;
+    use noiselab::audit::{audit_workspace_with, AuditOptions};
     use noiselab::core::divergence::{dual_run_harness, DualRunOutcome, DEFAULT_CADENCE};
 
     let json = args.get("json", "false") == "true";
@@ -662,16 +668,54 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
 
     if want_static {
         let root = std::path::PathBuf::from(args.get("root", "."));
-        let report = audit_workspace(&root).map_err(|e| format!("audit: {e}"))?;
-        if json {
-            println!("{}", report.render_json());
+        let fail_stale = args.get("fail-on-stale-allow", "false") == "true";
+        // Incremental cache is on by default; `--no-cache` forces a
+        // cold sweep, `--cache <path>` relocates the cache file.
+        let opts = if args.get("no-cache", "false") == "true" {
+            AuditOptions { cache_path: None }
         } else {
+            let path = match args.opts.get("cache") {
+                // Bare `--cache` parses as "true": keep the default path.
+                Some(p) if p != "true" => std::path::PathBuf::from(p),
+                _ => AuditOptions::default_cache_path(&root),
+            };
+            AuditOptions {
+                cache_path: Some(path),
+            }
+        };
+        let started = std::time::Instant::now();
+        let report = audit_workspace_with(&root, &opts).map_err(|e| format!("audit: {e}"))?;
+        let elapsed = started.elapsed();
+        if let Some(sarif) = args.opts.get("sarif") {
+            if sarif == "-" {
+                println!("{}", report.render_sarif());
+            } else {
+                std::fs::write(sarif, report.render_sarif())
+                    .map_err(|e| format!("audit: write {sarif}: {e}"))?;
+            }
+        }
+        // `--sarif -` owns stdout; keep it parseable and move the
+        // human summary to stderr.
+        let sarif_on_stdout = args.opts.get("sarif").is_some_and(|s| s == "-");
+        if json && !sarif_on_stdout {
+            println!("{}", report.render_json());
+        } else if !sarif_on_stdout {
             print!("{}", report.render_human());
+            eprintln!("audit: static pass took {:.3}s", elapsed.as_secs_f64());
+        } else {
+            eprint!("{}", report.render_human());
+            eprintln!("audit: static pass took {:.3}s", elapsed.as_secs_f64());
         }
         if !report.clean() {
             return Err(format!(
                 "audit: {} unannotated determinism violation(s)",
                 report.violations.len()
+            ));
+        }
+        if fail_stale && !report.stale_allows.is_empty() {
+            return Err(format!(
+                "audit: {} stale audit:allow annotation(s)",
+                report.stale_allows.len()
             ));
         }
     }
