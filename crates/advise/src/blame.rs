@@ -1,0 +1,156 @@
+//! Pass 2: blame attribution — name the dominant noise source *and*
+//! CPU behind a flagged cell's variance.
+//!
+//! The question a flagged cell raises is not "was there noise" (there
+//! always is) but "what made some runs slower than others". So blame
+//! is computed over *excess* osnoise: for every (source, CPU) pair,
+//! each run's contribution above that pair's cross-run median is
+//! excess; the pair owning the largest share of total excess is the
+//! culprit. A source that hammers every run identically (constant
+//! background) produces no excess and correctly escapes blame; only
+//! when nothing varies at all do we fall back to the largest absolute
+//! budget.
+
+use noiselab_kernel::NoiseClass;
+use noiselab_noise::analysis::source_cpu_budgets;
+use noiselab_noise::TraceSet;
+use noiselab_stats::{fmt_ns, median};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The attribution for one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Blame {
+    pub cell: String,
+    pub source: String,
+    pub cpu: u32,
+    /// Dominant noise class of the blamed pair: `irq`, `softirq`,
+    /// `thread`.
+    pub class: String,
+    /// Share of the set's excess osnoise owned by this (source, CPU),
+    /// in percent.
+    pub share_pct: f64,
+    /// Nanoseconds of excess attributed to this pair.
+    pub excess_ns: u64,
+    /// Total excess nanoseconds across all pairs.
+    pub total_excess_ns: u64,
+    /// True when no run-to-run excess existed and the blame fell back
+    /// to absolute totals.
+    pub uniform: bool,
+    pub summary: String,
+}
+
+fn class_label(c: NoiseClass) -> &'static str {
+    match c {
+        NoiseClass::Irq => "irq",
+        NoiseClass::Softirq => "softirq",
+        NoiseClass::Thread => "thread",
+    }
+}
+
+/// Attribute a cell's trace set. Returns `None` for an empty set.
+pub fn attribute_set(cell: &str, set: &TraceSet) -> Option<Blame> {
+    if set.runs.is_empty() {
+        return None;
+    }
+    let n_runs = set.runs.len();
+    // Per-(source, cpu): that pair's total in each run (0 when absent).
+    let mut per_key: BTreeMap<(String, u32), Vec<f64>> = BTreeMap::new();
+    let mut class_ns: BTreeMap<(String, u32), [u64; 3]> = BTreeMap::new();
+    for (i, run) in set.runs.iter().enumerate() {
+        for (key, budget) in source_cpu_budgets(run) {
+            let series = per_key.entry(key).or_insert_with(|| vec![0.0; n_runs]);
+            series[i] = budget.total.nanos() as f64;
+        }
+        for e in &run.events {
+            let idx = match e.class {
+                NoiseClass::Irq => 0,
+                NoiseClass::Softirq => 1,
+                NoiseClass::Thread => 2,
+            };
+            class_ns
+                .entry((e.source.clone(), e.cpu.0))
+                .or_insert([0; 3])[idx] += e.duration.nanos();
+        }
+    }
+    if per_key.is_empty() {
+        return None;
+    }
+    // Excess per pair: contribution above the pair's cross-run median.
+    let mut excess: BTreeMap<&(String, u32), f64> = BTreeMap::new();
+    let mut total_excess = 0.0f64;
+    for (key, series) in &per_key {
+        let med = median(series);
+        let e: f64 = series.iter().map(|&x| (x - med).max(0.0)).sum();
+        excess.insert(key, e);
+        total_excess += e;
+    }
+    let (key, owned, uniform) = if total_excess > 0.0 {
+        // Largest excess; BTreeMap order breaks exact ties by key.
+        let (key, owned) = excess
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(k, v)| (*k, *v))
+            .expect("non-empty excess map");
+        (key, owned, false)
+    } else {
+        // Perfectly uniform noise: blame the largest absolute budget.
+        let totals: BTreeMap<&(String, u32), f64> = per_key
+            .iter()
+            .map(|(k, series)| (k, series.iter().sum::<f64>()))
+            .collect();
+        total_excess = totals.values().sum();
+        let (key, owned) = totals
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(k, v)| (*k, *v))
+            .expect("non-empty totals map");
+        (key, owned, true)
+    };
+    let share_pct = if total_excess > 0.0 {
+        owned / total_excess * 100.0
+    } else {
+        0.0
+    };
+    let classes = class_ns.get(key).copied().unwrap_or([0; 3]);
+    let class_idx = (0..3).max_by_key(|&i| (classes[i], std::cmp::Reverse(i)))?;
+    let class = class_label(match class_idx {
+        0 => NoiseClass::Irq,
+        1 => NoiseClass::Softirq,
+        _ => NoiseClass::Thread,
+    });
+    let summary = if uniform {
+        format!(
+            "{} ({class}) on CPU {} carries {:.1}% of total osnoise \
+             ({} of {}); noise is uniform across runs, so it inflates the \
+             mean but not the variance",
+            key.0,
+            key.1,
+            share_pct,
+            fmt_ns(owned),
+            fmt_ns(total_excess),
+        )
+    } else {
+        format!(
+            "{} ({class}) on CPU {} accounts for {:.1}% of excess osnoise \
+             ({} of {} excess over {} run(s))",
+            key.0,
+            key.1,
+            share_pct,
+            fmt_ns(owned),
+            fmt_ns(total_excess),
+            n_runs,
+        )
+    };
+    Some(Blame {
+        cell: cell.to_string(),
+        source: key.0.clone(),
+        cpu: key.1,
+        class: class.to_string(),
+        share_pct,
+        excess_ns: owned as u64,
+        total_excess_ns: total_excess as u64,
+        uniform,
+        summary,
+    })
+}

@@ -1,0 +1,290 @@
+//! Artifact loaders: bench histories (with schema refusal) and trace
+//! sets (file or directory, visit-order independent).
+
+use noiselab_noise::TraceSet;
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why an advise input could not be used. Every variant names the
+/// offending path; `BenchSchema` is the "refuse mismatched bench
+/// files" contract — a clear sentence, not a parse backtrace.
+#[derive(Debug)]
+pub enum AdviseError {
+    Io { path: PathBuf, detail: String },
+    BenchSchema { path: PathBuf, detail: String },
+    Traces { path: PathBuf, detail: String },
+}
+
+impl fmt::Display for AdviseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdviseError::Io { path, detail } => {
+                write!(f, "cannot read {}: {detail}", path.display())
+            }
+            AdviseError::BenchSchema { path, detail } => {
+                write!(f, "refusing bench file {}: {detail}", path.display())
+            }
+            AdviseError::Traces { path, detail } => {
+                write!(f, "cannot load traces from {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdviseError {}
+
+/// Mirror of one `BENCH_hotpath.json` cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, Deserialize)]
+pub struct HotpathCell {
+    pub workload: String,
+    pub config: String,
+    pub events_per_run: u64,
+    pub bare_ns_per_event: f64,
+    pub telemetry_ns_per_event: f64,
+    pub telemetry_overhead_pct: f64,
+    pub tracer_overhead_pct: f64,
+    pub both_overhead_pct: f64,
+}
+
+/// One labelled snapshot of the hotpath sweep.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, Deserialize)]
+pub struct HotpathSnapshot {
+    pub label: String,
+    pub reps: u32,
+    pub cells: Vec<HotpathCell>,
+}
+
+/// The committed `BENCH_hotpath.json` trajectory.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, Deserialize)]
+pub struct HotpathHistory {
+    pub bench: String,
+    pub baseline: HotpathSnapshot,
+    pub steps: Vec<HotpathSnapshot>,
+}
+
+impl HotpathHistory {
+    pub fn latest(&self) -> &HotpathSnapshot {
+        self.steps.last().unwrap_or(&self.baseline)
+    }
+
+    /// All snapshots oldest-first (baseline, then each step).
+    pub fn snapshots(&self) -> Vec<&HotpathSnapshot> {
+        std::iter::once(&self.baseline)
+            .chain(self.steps.iter())
+            .collect()
+    }
+
+    /// The `(workload, config)` keys present in any snapshot, sorted.
+    pub fn cell_keys(&self) -> Vec<(String, String)> {
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for snap in self.snapshots() {
+            for c in &snap.cells {
+                let key = (c.workload.clone(), c.config.clone());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort();
+        keys
+    }
+
+    /// The metric's series for one cell, oldest-first; snapshots
+    /// missing the cell are skipped.
+    pub fn series<F>(&self, workload: &str, config: &str, metric: F) -> Vec<f64>
+    where
+        F: Fn(&HotpathCell) -> f64,
+    {
+        self.snapshots()
+            .iter()
+            .filter_map(|snap| {
+                snap.cells
+                    .iter()
+                    .find(|c| c.workload == workload && c.config == config)
+                    .map(&metric)
+            })
+            .collect()
+    }
+}
+
+/// Mirror of `BENCH_telemetry.json` (the nested full `report` is
+/// ignored; the summary fields are what the cross-check needs).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, Deserialize)]
+pub struct TelemetryBench {
+    pub bench: String,
+    pub workload: String,
+    pub config: String,
+    pub seed: u64,
+    pub reps: u32,
+    pub events_per_run: u64,
+    pub host_ns_per_event_off: f64,
+    pub host_ns_per_event_on: f64,
+    pub telemetry_overhead_pct: f64,
+    pub tracer_overhead_pct: f64,
+    pub both_overhead_pct: f64,
+}
+
+/// Read a bench file, insisting on `"bench": "<expected>"` before any
+/// shape parsing — a file from the wrong emitter (or from before the
+/// tag existed) is refused with a sentence naming both schemas.
+fn load_bench_value(path: &Path, expected: &str) -> Result<serde::Value, AdviseError> {
+    let text = std::fs::read_to_string(path).map_err(|e| AdviseError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let value = serde::parse_json(&text).map_err(|e| AdviseError::BenchSchema {
+        path: path.to_path_buf(),
+        detail: format!("not valid JSON ({e})"),
+    })?;
+    let obj = value.as_object().ok_or_else(|| AdviseError::BenchSchema {
+        path: path.to_path_buf(),
+        detail: "not a JSON object".to_string(),
+    })?;
+    match serde::__field(obj, "bench").and_then(|v| v.as_str()) {
+        None => Err(AdviseError::BenchSchema {
+            path: path.to_path_buf(),
+            detail: format!(
+                "no `bench` schema tag; expected a `{expected}` bench file \
+                 (regenerate it with `cargo bench -p noiselab-bench`)"
+            ),
+        }),
+        Some(tag) if tag != expected => Err(AdviseError::BenchSchema {
+            path: path.to_path_buf(),
+            detail: format!("schema mismatch: this is a `{tag}` bench file, expected `{expected}`"),
+        }),
+        Some(_) => Ok(value),
+    }
+}
+
+/// Load and validate `BENCH_hotpath.json`.
+pub fn load_hotpath(path: &Path) -> Result<HotpathHistory, AdviseError> {
+    let value = load_bench_value(path, "hotpath")?;
+    HotpathHistory::from_value(&value).map_err(|e| AdviseError::BenchSchema {
+        path: path.to_path_buf(),
+        detail: format!("malformed hotpath history: {e}"),
+    })
+}
+
+/// Load and validate `BENCH_telemetry.json`.
+pub fn load_telemetry(path: &Path) -> Result<TelemetryBench, AdviseError> {
+    let value = load_bench_value(path, "telemetry_overhead")?;
+    TelemetryBench::from_value(&value).map_err(|e| AdviseError::BenchSchema {
+        path: path.to_path_buf(),
+        detail: format!("malformed telemetry bench summary: {e}"),
+    })
+}
+
+/// Load trace evidence for blame attribution. A file is one
+/// [`TraceSet`] applied to any flagged cell (key `"*"`); a directory
+/// contributes one set per `<cell-label>.json`, iterated in sorted
+/// filename order so the report never depends on readdir order.
+pub fn load_traces(path: &Path) -> Result<BTreeMap<String, TraceSet>, AdviseError> {
+    let mut out = BTreeMap::new();
+    let meta = std::fs::metadata(path).map_err(|e| AdviseError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    if meta.is_file() {
+        out.insert("*".to_string(), load_trace_file(path)?);
+        return Ok(out);
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+        .map_err(|e| AdviseError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        })?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    for file in files {
+        let label = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if label.is_empty() {
+            continue;
+        }
+        out.insert(label, load_trace_file(&file)?);
+    }
+    if out.is_empty() {
+        return Err(AdviseError::Traces {
+            path: path.to_path_buf(),
+            detail: "directory holds no *.json trace sets".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+fn load_trace_file(path: &Path) -> Result<TraceSet, AdviseError> {
+    let text = std::fs::read_to_string(path).map_err(|e| AdviseError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    serde_json::from_str(&text).map_err(|e| AdviseError::Traces {
+        path: path.to_path_buf(),
+        detail: format!("not a TraceSet: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nl-advise-input-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    #[test]
+    fn refuses_untagged_and_mistagged_bench_files() {
+        let dir = tmpdir("schema");
+        let untagged = dir.join("old.json");
+        std::fs::write(&untagged, "{\"workload\": \"nbody\"}").unwrap();
+        let err = load_hotpath(&untagged).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("refusing bench file"), "{msg}");
+        assert!(msg.contains("no `bench` schema tag"), "{msg}");
+
+        let mistagged = dir.join("telem.json");
+        std::fs::write(&mistagged, "{\"bench\": \"telemetry_overhead\"}").unwrap();
+        let err = load_hotpath(&mistagged).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("this is a `telemetry_overhead` bench file, expected `hotpath`"),
+            "{msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_malformed_body_with_path() {
+        let dir = tmpdir("body");
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"bench\": \"hotpath\", \"baseline\": 3}").unwrap();
+        let err = load_hotpath(&bad).unwrap_err();
+        assert!(matches!(err, AdviseError::BenchSchema { .. }), "{err}");
+        assert!(err.to_string().contains("malformed hotpath history"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_dir_is_sorted_by_filename() {
+        let dir = tmpdir("traces");
+        let empty = TraceSet::default();
+        let json = serde_json::to_string(&empty).unwrap();
+        for name in ["b-cell.json", "a-cell.json", "ignore.txt"] {
+            std::fs::write(dir.join(name), &json).unwrap();
+        }
+        let sets = load_traces(&dir).unwrap();
+        let keys: Vec<&String> = sets.keys().collect();
+        assert_eq!(keys, ["a-cell", "b-cell"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,208 @@
+//! The mitigation recommendation table: the paper's Table-2 judgment
+//! (which placement, how much housekeeping, which runtime) re-derived
+//! from the campaign's own samples with rank-sum significance.
+//!
+//! Every comparison is a two-sided Mann-Whitney test between the
+//! sample vectors of two cells; a recommendation is only *significant*
+//! when p < alpha, and the table says "either" rather than inventing a
+//! preference from noise.
+
+use crate::AdviseConfig;
+use noiselab_core::{CampaignState, CellRecord};
+use noiselab_stats::{mann_whitney_u, median};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One row of the recommendation table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// `placement`, `housekeeping`, `runtime`, or `sched-policy`.
+    pub topic: String,
+    pub pick: String,
+    pub against: String,
+    /// Median exec-time change of pick vs against, as a fraction
+    /// (negative = pick is faster).
+    pub delta_pct: f64,
+    /// Rank-sum p-value (1.0 for heuristic rows).
+    pub p: f64,
+    pub significant: bool,
+    pub rationale: String,
+}
+
+/// `(mitigation, model)` parsed from a `ExecConfig::label()` string
+/// like `TPHK2-SYCL-SMT`.
+fn parse_label(label: &str) -> Option<(String, String)> {
+    let mut parts = label.split('-');
+    let mitigation = parts.next()?.to_string();
+    let model = parts.next()?.to_string();
+    Some((mitigation, model))
+}
+
+fn is_pinned(mitigation: &str) -> bool {
+    mitigation.starts_with("TP")
+}
+
+/// Median of a cell's samples (cells with no samples are excluded
+/// before this is called).
+fn cell_median(cell: &CellRecord) -> f64 {
+    median(&cell.samples)
+}
+
+fn compare(
+    topic: &str,
+    a: (&str, &CellRecord),
+    b: (&str, &CellRecord),
+    cfg: &AdviseConfig,
+    rationale_for: impl Fn(&str, &str, f64, bool) -> String,
+) -> Recommendation {
+    let (med_a, med_b) = (cell_median(a.1), cell_median(b.1));
+    let r = mann_whitney_u(&a.1.samples, &b.1.samples);
+    let significant = r.significant(cfg.alpha);
+    // Pick the faster side; without significance, report "either" and
+    // keep the simpler/default side (b) as the nominal pick.
+    let (pick, against, delta) = if significant && med_a < med_b {
+        (a.0, b.0, med_a / med_b - 1.0)
+    } else if significant {
+        (b.0, a.0, med_b / med_a - 1.0)
+    } else {
+        ("either", if med_a < med_b { a.0 } else { b.0 }, 0.0)
+    };
+    Recommendation {
+        topic: topic.to_string(),
+        pick: pick.to_string(),
+        against: against.to_string(),
+        delta_pct: delta,
+        p: r.p,
+        significant,
+        rationale: rationale_for(pick, against, delta, significant),
+    }
+}
+
+/// Build the table from a checkpoint. Rows are ordered by
+/// (topic, pick) via a final sort.
+pub fn recommend(state: &CampaignState, cfg: &AdviseConfig) -> Vec<Recommendation> {
+    // model -> mitigation -> cell (only cells with enough samples to
+    // test; label collisions keep the first occurrence).
+    let mut by_model: BTreeMap<String, BTreeMap<String, &CellRecord>> = BTreeMap::new();
+    for cell in &state.cells {
+        if cell.samples.len() < 2 {
+            continue;
+        }
+        if let Some((mitigation, model)) = parse_label(&cell.key.label) {
+            by_model
+                .entry(model)
+                .or_default()
+                .entry(mitigation)
+                .or_insert(cell);
+        }
+    }
+    let mut out = Vec::new();
+    let mut best_per_model: BTreeMap<String, (String, &CellRecord)> = BTreeMap::new();
+    for (model, cells) in &by_model {
+        // Fastest pinned vs fastest roaming variant.
+        let best_of = |pinned: bool| -> Option<(&String, &&CellRecord)> {
+            cells
+                .iter()
+                .filter(|(m, _)| is_pinned(m) == pinned)
+                .min_by(|a, b| {
+                    cell_median(a.1)
+                        .total_cmp(&cell_median(b.1))
+                        .then_with(|| a.0.cmp(b.0))
+                })
+        };
+        if let (Some((pin_label, pin)), Some((roam_label, roam))) = (best_of(true), best_of(false))
+        {
+            let a = (format!("{pin_label}-{model}"), *pin);
+            let b = (format!("{roam_label}-{model}"), *roam);
+            out.push(compare(
+                "placement",
+                (&a.0, a.1),
+                (&b.0, b.1),
+                cfg,
+                |pick, against, delta, sig| {
+                    if sig {
+                        format!(
+                            "{pick} beats {against} by {:.1}% median exec time",
+                            -delta * 100.0
+                        )
+                    } else {
+                        format!(
+                            "no significant placement effect for {model}; \
+                             pinning is not buying anything here"
+                        )
+                    }
+                },
+            ));
+        }
+        // Housekeeping width within the base placement families.
+        for (base, hks) in [("Rm", ["RmHK", "RmHK2"]), ("TP", ["TPHK", "TPHK2"])] {
+            let Some(base_cell) = cells.get(base) else {
+                continue;
+            };
+            let best_hk = hks
+                .iter()
+                .filter_map(|m| cells.get(*m).map(|c| (*m, *c)))
+                .min_by(|a, b| cell_median(a.1).total_cmp(&cell_median(b.1)));
+            if let Some((hk_label, hk_cell)) = best_hk {
+                let a = (format!("{hk_label}-{model}"), hk_cell);
+                let b = (format!("{base}-{model}"), *base_cell);
+                out.push(compare(
+                    "housekeeping",
+                    (&a.0, a.1),
+                    (&b.0, b.1),
+                    cfg,
+                    |_pick, _against, delta, sig| {
+                        if sig && delta < 0.0 {
+                            format!(
+                                "reserving housekeeping CPUs pays for itself \
+                                 ({:.1}% median)",
+                                -delta * 100.0
+                            )
+                        } else if sig {
+                            format!(
+                                "housekeeping reservation costs more than the noise \
+                                 it deflects ({:.1}% median)",
+                                -delta * 100.0
+                            )
+                        } else {
+                            "housekeeping width makes no significant difference".to_string()
+                        }
+                    },
+                ));
+            }
+        }
+        // Remember the model's fastest cell for the runtime comparison.
+        if let Some((label, cell)) = cells.iter().min_by(|a, b| {
+            cell_median(a.1)
+                .total_cmp(&cell_median(b.1))
+                .then_with(|| a.0.cmp(b.0))
+        }) {
+            best_per_model.insert(model.clone(), (format!("{label}-{model}"), *cell));
+        }
+    }
+    if let (Some((omp_label, omp)), Some((sycl_label, sycl))) =
+        (best_per_model.get("OMP"), best_per_model.get("SYCL"))
+    {
+        out.push(compare(
+            "runtime",
+            (omp_label, omp),
+            (sycl_label, sycl),
+            cfg,
+            |pick, against, delta, sig| {
+                if sig {
+                    format!(
+                        "{pick} beats {against} by {:.1}% median exec time at \
+                         each runtime's best mitigation",
+                        -delta * 100.0
+                    )
+                } else {
+                    "runtime choice makes no significant difference at best \
+                     mitigations"
+                        .to_string()
+                }
+            },
+        ));
+    }
+    out.sort_by(|a, b| a.topic.cmp(&b.topic).then_with(|| a.pick.cmp(&b.pick)));
+    out
+}

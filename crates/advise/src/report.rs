@@ -1,0 +1,186 @@
+//! Rendering: the same [`AdviseReport`] as a terminal report and as a
+//! markdown document (the CI artifact). Both are pure functions of the
+//! report struct — byte-identical output for identical inputs.
+
+use crate::regress::Verdict;
+use crate::AdviseReport;
+
+fn header_line(r: &AdviseReport) -> String {
+    let mut s = String::from("noiselab advise");
+    if !r.workload.is_empty() {
+        s.push_str(&format!(" \u{2014} workload {}", r.workload));
+    }
+    s.push('\n');
+    if !r.fingerprint.is_empty() {
+        s.push_str(&format!("campaign {}\n", r.fingerprint));
+    }
+    s
+}
+
+fn verdict_counts(r: &AdviseReport) -> String {
+    let crit = r
+        .smells
+        .iter()
+        .filter(|s| s.severity == crate::Severity::Critical)
+        .count();
+    let warn = r
+        .smells
+        .iter()
+        .filter(|s| s.severity == crate::Severity::Warning)
+        .count();
+    let reg = r
+        .bench
+        .iter()
+        .filter(|b| b.verdict == Verdict::Regression)
+        .count();
+    format!(
+        "verdict: {} critical smell(s), {} warning(s), {} bench regression(s) \u{2014} {}",
+        crit,
+        warn,
+        reg,
+        if r.check_failed() {
+            "NOT trustworthy as-is"
+        } else {
+            "measurements look trustworthy"
+        }
+    )
+}
+
+/// Plain-text report for the terminal.
+pub fn render_human(r: &AdviseReport) -> String {
+    let mut out = header_line(r);
+    out.push_str(&verdict_counts(r));
+    out.push('\n');
+
+    out.push_str(&format!("\nsmells ({}):\n", r.smells.len()));
+    if r.smells.is_empty() {
+        out.push_str("  none \u{2014} no cell crossed a trust threshold\n");
+    }
+    for s in &r.smells {
+        out.push_str(&format!(
+            "  [{}] {:<22} {:<16} {}\n",
+            s.severity.label(),
+            s.kind.label(),
+            s.cell,
+            s.summary
+        ));
+    }
+
+    if !r.blames.is_empty() {
+        out.push_str(&format!("\nblame ({}):\n", r.blames.len()));
+        for b in &r.blames {
+            out.push_str(&format!("  {:<16} {}\n", b.cell, b.summary));
+        }
+    }
+
+    if !r.bench.is_empty() {
+        out.push_str(&format!("\nbench watch ({}):\n", r.bench.len()));
+        for b in &r.bench {
+            out.push_str(&format!(
+                "  [{}] {:<22} {:<24} {}\n",
+                b.verdict.label(),
+                b.cell,
+                b.metric,
+                b.summary
+            ));
+        }
+    }
+
+    if !r.recommendations.is_empty() {
+        out.push_str(&format!(
+            "\nmitigation recommendations ({}):\n",
+            r.recommendations.len()
+        ));
+        for rec in &r.recommendations {
+            let evidence = if rec.p < 1.0 {
+                format!("p={:.4}", rec.p)
+            } else {
+                "heuristic".to_string()
+            };
+            out.push_str(&format!(
+                "  {:<13} {:<14} vs {:<14} {:<9} {}\n",
+                rec.topic, rec.pick, rec.against, evidence, rec.rationale
+            ));
+        }
+    }
+    out
+}
+
+/// Markdown report (the CI artifact).
+pub fn render_markdown(r: &AdviseReport) -> String {
+    let mut out = String::from("# noiselab advise report\n\n");
+    if !r.workload.is_empty() {
+        out.push_str(&format!("**Workload:** `{}`  \n", r.workload));
+    }
+    if !r.fingerprint.is_empty() {
+        out.push_str(&format!("**Campaign:** `{}`  \n", r.fingerprint));
+    }
+    out.push_str(&format!("**{}**\n", verdict_counts(r)));
+
+    out.push_str("\n## Measurement smells\n\n");
+    if r.smells.is_empty() {
+        out.push_str("None — no cell crossed a trust threshold.\n");
+    } else {
+        out.push_str("| severity | kind | cell | finding |\n|---|---|---|---|\n");
+        for s in &r.smells {
+            out.push_str(&format!(
+                "| {} | {} | `{}` | {} |\n",
+                s.severity.label(),
+                s.kind.label(),
+                s.cell,
+                s.summary
+            ));
+        }
+    }
+
+    if !r.blames.is_empty() {
+        out.push_str("\n## Blame attribution\n\n");
+        out.push_str("| cell | source | CPU | class | share of excess | finding |\n|---|---|---|---|---|---|\n");
+        for b in &r.blames {
+            out.push_str(&format!(
+                "| `{}` | `{}` | {} | {} | {:.1}% | {} |\n",
+                b.cell, b.source, b.cpu, b.class, b.share_pct, b.summary
+            ));
+        }
+    }
+
+    if !r.bench.is_empty() {
+        out.push_str("\n## Bench regression watch\n\n");
+        out.push_str("| verdict | file | cell | metric | previous | latest | change | z |\n|---|---|---|---|---|---|---|---|\n");
+        for b in &r.bench {
+            out.push_str(&format!(
+                "| {} | `{}` | `{}` | {} | {:.1} | {:.1} | {:+.1}% | {:+.1} |\n",
+                b.verdict.label(),
+                b.file,
+                b.cell,
+                b.metric,
+                b.previous,
+                b.latest,
+                b.change * 100.0,
+                b.z
+            ));
+        }
+    }
+
+    if !r.recommendations.is_empty() {
+        out.push_str("\n## Mitigation recommendations\n\n");
+        out.push_str("| topic | pick | against | median delta | p | rationale |\n|---|---|---|---|---|---|\n");
+        for rec in &r.recommendations {
+            let evidence = if rec.p < 1.0 {
+                format!("{:.4}", rec.p)
+            } else {
+                "—".to_string()
+            };
+            out.push_str(&format!(
+                "| {} | `{}` | `{}` | {:+.1}% | {} | {} |\n",
+                rec.topic,
+                rec.pick,
+                rec.against,
+                rec.delta_pct * 100.0,
+                evidence,
+                rec.rationale
+            ));
+        }
+    }
+    out
+}

@@ -319,7 +319,7 @@ mod tests {
             assert!(!p.rules.is_empty(), "{}: empty rule set", p.name);
             assert!(!p.dirs.is_empty(), "{}: no swept dirs", p.name);
         }
-        assert_eq!(POLICIES.len(), 15, "every workspace crate has a row");
+        assert_eq!(POLICIES.len(), 16, "every workspace crate has a row");
     }
 
     #[test]

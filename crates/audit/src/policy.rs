@@ -106,6 +106,15 @@ pub const POLICIES: &[CratePolicy] = &[
         host_thread_approved: &[],
     },
     CratePolicy {
+        name: "noiselab-advise",
+        root: "crates/advise",
+        dirs: &["src"],
+        // The advisor must be byte-stable across runs and file-visit
+        // orders: seeded bootstrap, BTree maps, total-order sort keys.
+        rules: ALL,
+        host_thread_approved: &[],
+    },
+    CratePolicy {
         name: "noiselab-core",
         root: "crates/core",
         dirs: &["src"],

@@ -1,5 +1,5 @@
-use noiselab_audit::{analyze_sources, RuleId};
 use noiselab_audit::SourceSpec;
+use noiselab_audit::{analyze_sources, RuleId};
 
 fn spec(path: &str, src: &str) -> SourceSpec<'static> {
     SourceSpec {
@@ -28,7 +28,12 @@ fn method_arg_reaching_sink_in_callee_is_found() {
         .iter()
         .filter(|v| v.rule == RuleId::TaintWallClock)
         .collect();
-    assert_eq!(taint.len(), 1, "method arg flow missed: {:#?}", report.violations);
+    assert_eq!(
+        taint.len(),
+        1,
+        "method arg flow missed: {:#?}",
+        report.violations
+    );
 }
 
 #[test]
@@ -49,5 +54,10 @@ fn receiver_reaching_sink_in_method_is_found() {
         .iter()
         .filter(|v| v.rule == RuleId::TaintWallClock)
         .collect();
-    assert_eq!(taint.len(), 1, "receiver flow missed: {:#?}", report.violations);
+    assert_eq!(
+        taint.len(),
+        1,
+        "receiver flow missed: {:#?}",
+        report.violations
+    );
 }

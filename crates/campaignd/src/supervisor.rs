@@ -88,6 +88,43 @@ pub struct SupervisedReport {
     pub quarantined_shards: Vec<u32>,
 }
 
+impl SupervisedReport {
+    /// The supervisor's health record as `campaignd.*` counters, in
+    /// sorted name order (the invariant `MetricsSnapshot` keeps
+    /// everywhere else). The CLI folds this into the saved checkpoint
+    /// *after* the deterministic merge so `noiselab metrics` and
+    /// `noiselab advise` can read respawn/timeout/chaos/quarantine
+    /// history without scraping stderr or crash-counter files. The
+    /// quarantined-cell *names* already live in `state.quarantined`;
+    /// these counters carry the magnitudes.
+    pub fn health_metrics(&self) -> noiselab_telemetry::MetricsSnapshot {
+        let lost_cells: usize = self.state.quarantined.iter().map(|q| q.cells.len()).sum();
+        let counters = vec![
+            ("campaignd.chaos_kills", u64::from(self.chaos_kills)),
+            ("campaignd.heartbeat_timeouts", u64::from(self.timeouts)),
+            ("campaignd.lost_cells", lost_cells as u64),
+            (
+                "campaignd.quarantined_shards",
+                self.quarantined_shards.len() as u64,
+            ),
+            ("campaignd.worker_crashes", u64::from(self.crashes)),
+            ("campaignd.workers_spawned", u64::from(self.spawned)),
+        ];
+        noiselab_telemetry::MetricsSnapshot {
+            runs: 0,
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| noiselab_telemetry::CounterEntry {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+}
+
 /// Wall-clock read for supervision timing only; results never flow into
 /// simulated data. The single annotated site the whole module uses.
 fn now() -> Instant {

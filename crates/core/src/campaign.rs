@@ -149,6 +149,17 @@ pub struct CampaignState {
     /// single-process campaigns and legacy checkpoints.
     #[serde(default)]
     pub quarantined: Vec<QuarantineRecord>,
+    /// Supervisor health for the sharded engine (worker spawns/crashes,
+    /// heartbeat timeouts, chaos kills, quarantine counts) as
+    /// `campaignd.*` counters. Folded in by the CLI *after* the
+    /// deterministic merge, excluded from `state_hash`, and
+    /// default-empty in every state the bit-identity suites compare —
+    /// so calm and chaos campaigns still merge to identical ledgers
+    /// while `noiselab metrics`/`advise` can read the health record
+    /// from the saved checkpoint. Additive like `CellRecord::metrics`:
+    /// older checkpoints load with an empty snapshot.
+    #[serde(default)]
+    pub supervisor: MetricsSnapshot,
 }
 
 /// Why a checkpoint could not be loaded: the path, the claimed schema
@@ -287,6 +298,7 @@ impl CampaignState {
             fingerprint,
             cells: Vec::new(),
             quarantined: Vec::new(),
+            supervisor: MetricsSnapshot::default(),
         }
     }
 

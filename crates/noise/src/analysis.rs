@@ -72,6 +72,51 @@ pub fn summarize_run(run: &RunTrace) -> RunSummary {
     }
 }
 
+/// Total recorded noise in a run (sum of all event durations).
+pub fn total_noise(run: &RunTrace) -> SimDuration {
+    SimDuration(run.events.iter().map(|e| e.duration.nanos()).sum())
+}
+
+/// Per-(source, CPU) noise budgets for one run — the joint breakdown
+/// blame attribution needs to say "irq storms *on CPU 3*" rather than
+/// naming source and CPU from independent marginals (which can blame a
+/// pairing that never co-occurred). BTreeMap keys give a deterministic
+/// iteration order.
+pub fn source_cpu_budgets(run: &RunTrace) -> BTreeMap<(String, u32), SourceBudget> {
+    let mut out: BTreeMap<(String, u32), SourceBudget> = BTreeMap::new();
+    for e in &run.events {
+        let b = out
+            .entry((e.source.clone(), e.cpu.0))
+            .or_insert(SourceBudget {
+                events: 0,
+                total: SimDuration::ZERO,
+                max_event: SimDuration::ZERO,
+            });
+        b.events += 1;
+        b.total += e.duration;
+        b.max_event = b.max_event.max(e.duration);
+    }
+    out
+}
+
+/// Per-(source, CPU) budgets summed over every run of a set.
+pub fn set_source_cpu_budgets(set: &TraceSet) -> BTreeMap<(String, u32), SourceBudget> {
+    let mut out: BTreeMap<(String, u32), SourceBudget> = BTreeMap::new();
+    for run in &set.runs {
+        for (key, b) in source_cpu_budgets(run) {
+            let agg = out.entry(key).or_insert(SourceBudget {
+                events: 0,
+                total: SimDuration::ZERO,
+                max_event: SimDuration::ZERO,
+            });
+            agg.events += b.events;
+            agg.total += b.total;
+            agg.max_event = agg.max_event.max(b.max_event);
+        }
+    }
+    out
+}
+
 /// One CPU's slice of a run: what the tracer recorded there, what its
 /// ring buffer dropped there, and how the recorded noise splits by
 /// class — the `osnoise`-style per-CPU accounting.
@@ -314,6 +359,33 @@ mod tests {
         assert_eq!(s.top_sources[0].0, "b");
         assert_eq!(s.top_sources[1].1.total, SimDuration(30));
         assert!(render_set_summary(&s).contains("top noise sources"));
+    }
+
+    #[test]
+    fn source_cpu_budgets_are_joint_not_marginal() {
+        let r = run(
+            0,
+            1_000,
+            vec![
+                ev(0, "kworker", 100),
+                ev(3, "irq", 900),
+                ev(3, "irq", 500),
+                ev(0, "irq", 10),
+            ],
+        );
+        let by = source_cpu_budgets(&r);
+        assert_eq!(by.len(), 3);
+        assert_eq!(by[&("irq".to_string(), 3)].events, 2);
+        assert_eq!(by[&("irq".to_string(), 3)].total, SimDuration(1_400));
+        assert_eq!(by[&("irq".to_string(), 3)].max_event, SimDuration(900));
+        assert_eq!(by[&("irq".to_string(), 0)].total, SimDuration(10));
+        assert_eq!(total_noise(&r), SimDuration(1_510));
+        let set = TraceSet {
+            runs: vec![r.clone(), r],
+        };
+        let agg = set_source_cpu_budgets(&set);
+        assert_eq!(agg[&("irq".to_string(), 3)].events, 4);
+        assert_eq!(agg[&("irq".to_string(), 3)].total, SimDuration(2_800));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Seeded bootstrap resampling and rank-based significance tests.
+//!
+//! The advise subsystem decides whether a cell's dispersion or a bench
+//! regression is *statistically* meaningful, not merely above a raw
+//! threshold. Everything here is deterministic: resampling uses a
+//! hand-rolled SplitMix64 stream seeded by the caller (no entropy, no
+//! platform RNG), so the same inputs always produce byte-identical
+//! verdicts — a hard requirement for the advise report and the CI gate
+//! built on it.
+
+/// Deterministic 64-bit PRNG (SplitMix64). Small state, full period,
+/// and — unlike `thread_rng` — seeded explicitly so every consumer is
+/// reproducible by construction.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, n)` via the multiply-high reduction. The
+    /// residual bias at realistic `n` (sample sizes, resample counts)
+    /// is far below 2^-32 and irrelevant next to bootstrap noise.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A percentile-bootstrap confidence interval on a statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapCi {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower CI bound.
+    pub lo: f64,
+    /// Upper CI bound.
+    pub hi: f64,
+    pub resamples: usize,
+    /// Two-sided confidence level, e.g. 0.95.
+    pub confidence: f64,
+}
+
+/// Percentile bootstrap CI on `stat`, resampling `samples` with
+/// replacement `resamples` times from a stream seeded by `seed`.
+/// Deterministic for fixed inputs. Panics on an empty sample or a
+/// confidence outside `(0, 1)`.
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    resamples: usize,
+    seed: u64,
+    confidence: f64,
+    stat: F,
+) -> BootstrapCi
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!samples.is_empty(), "bootstrap of empty sample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let point = stat(samples);
+    if samples.len() == 1 {
+        // Resampling a singleton only ever reproduces it; skip the work.
+        return BootstrapCi {
+            point,
+            lo: point,
+            hi: point,
+            resamples,
+            confidence,
+        };
+    }
+    let mut rng = SplitMix64::new(seed);
+    let n = samples.len();
+    let mut scratch = vec![0.0f64; n];
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for slot in scratch.iter_mut() {
+            *slot = samples[rng.next_below(n as u64) as usize];
+        }
+        stats.push(stat(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("NaN in bootstrap statistic"));
+    let alpha = 1.0 - confidence;
+    BootstrapCi {
+        point,
+        lo: crate::percentile_sorted(&stats, alpha / 2.0 * 100.0),
+        hi: crate::percentile_sorted(&stats, (1.0 - alpha / 2.0) * 100.0),
+        resamples,
+        confidence,
+    }
+}
+
+/// Result of a two-sided Mann-Whitney U (Wilcoxon rank-sum) test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSum {
+    /// U statistic for the first sample.
+    pub u: f64,
+    /// Tie-corrected normal-approximation z score (0 when the combined
+    /// sample is constant).
+    pub z: f64,
+    /// Two-sided p-value under the normal approximation.
+    pub p: f64,
+    pub n_a: usize,
+    pub n_b: usize,
+}
+
+impl RankSum {
+    /// Is the difference significant at level `alpha`?
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p < alpha
+    }
+}
+
+/// Two-sided Mann-Whitney U test: are `a` and `b` drawn from the same
+/// distribution? Uses midranks for ties and the tie-corrected normal
+/// approximation with continuity correction — adequate for the rep
+/// counts campaigns use (>= ~5 per side) and, crucially,
+/// deterministic. Panics if either sample is empty.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> RankSum {
+    assert!(!a.is_empty() && !b.is_empty(), "rank-sum of empty sample");
+    let n_a = a.len();
+    let n_b = b.len();
+    let n = n_a + n_b;
+    // (value, belongs_to_a)
+    let mut all: Vec<(f64, bool)> = a
+        .iter()
+        .map(|&x| (x, true))
+        .chain(b.iter().map(|&x| (x, false)))
+        .collect();
+    all.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN in rank-sum sample"));
+    // Midrank assignment and tie-correction accumulator sum(t^3 - t).
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64;
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && all[j].0 == all[i].0 {
+            j += 1;
+        }
+        let t = (j - i) as f64;
+        // Ranks are 1-based: positions i..j share the average rank.
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for item in &all[i..j] {
+            if item.1 {
+                rank_sum_a += midrank;
+            }
+        }
+        tie_term += t * t * t - t;
+        i = j;
+    }
+    let u = rank_sum_a - (n_a * (n_a + 1)) as f64 / 2.0;
+    let mean_u = (n_a * n_b) as f64 / 2.0;
+    let nf = n as f64;
+    let var_u = (n_a * n_b) as f64 / 12.0 * ((nf + 1.0) - tie_term / (nf * (nf - 1.0)).max(1.0));
+    if var_u <= 0.0 {
+        // Entirely tied data: no evidence of any difference.
+        return RankSum {
+            u,
+            z: 0.0,
+            p: 1.0,
+            n_a,
+            n_b,
+        };
+    }
+    let diff = u - mean_u;
+    // Continuity correction toward the mean.
+    let corrected = if diff > 0.5 {
+        diff - 0.5
+    } else if diff < -0.5 {
+        diff + 0.5
+    } else {
+        0.0
+    };
+    let z = corrected / var_u.sqrt();
+    RankSum {
+        u,
+        z,
+        p: (2.0 * normal_cdf(-z.abs())).min(1.0),
+        n_a,
+        n_b,
+    }
+}
+
+/// Standard normal CDF via the Abramowitz-Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7 — far tighter than anything the
+/// advise thresholds can resolve).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(t))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Median of a sample (midpoint of the two central order statistics
+/// for even n). Panics on an empty sample.
+pub fn median(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation (unscaled). Robust spread estimate used
+/// by the regression watch so one historical outlier cannot widen the
+/// acceptance band. Panics on an empty sample.
+pub fn mad(samples: &[f64]) -> f64 {
+    let m = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut seen = std::collections::BTreeSet::new();
+        for x in xs {
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 8, "outputs must not repeat immediately");
+    }
+
+    #[test]
+    fn next_below_stays_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.next_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let samples: Vec<f64> = (0..40).map(|i| 10.0 + (i % 7) as f64).collect();
+        let ci = bootstrap_ci(&samples, 500, 1, 0.95, |xs| {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        });
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.lo > 9.0 && ci.hi < 17.0);
+    }
+
+    #[test]
+    fn bootstrap_is_seed_deterministic() {
+        let samples = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 4.0];
+        let stat = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let a = bootstrap_ci(&samples, 200, 99, 0.9, stat);
+        let b = bootstrap_ci(&samples, 200, 99, 0.9, stat);
+        assert_eq!(a, b);
+        assert!(
+            a.lo < a.hi,
+            "dispersed sample must give a non-degenerate CI"
+        );
+    }
+
+    #[test]
+    fn bootstrap_singleton_collapses() {
+        let ci = bootstrap_ci(&[4.0], 100, 0, 0.95, |xs| xs[0]);
+        assert_eq!((ci.point, ci.lo, ci.hi), (4.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn rank_sum_separated_samples_are_significant() {
+        let a: Vec<f64> = (0..12).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..12).map(|i| 2.0 + i as f64 * 0.01).collect();
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p < 0.001, "p={}", r.p);
+        assert!(r.significant(0.05));
+    }
+
+    #[test]
+    fn rank_sum_identical_samples_are_not_significant() {
+        let a = [3.0, 3.0, 3.0, 3.0];
+        let r = mann_whitney_u(&a, &a);
+        assert_eq!(r.p, 1.0);
+        assert_eq!(r.z, 0.0);
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let r2 = mann_whitney_u(&b, &b);
+        assert!(r2.p > 0.9, "same data must not be significant, p={}", r2.p);
+    }
+
+    #[test]
+    fn rank_sum_handles_ties_without_blowing_up() {
+        let a = [1.0, 2.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 4.0, 4.0, 4.0];
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.p > 0.0 && r.p <= 1.0);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959_964) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.959_964) - 0.025).abs() < 1e-4);
+    }
+
+    #[test]
+    fn median_and_mad() {
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(mad(&[1.0, 1.0, 1.0]), 0.0);
+        // median 3, deviations [2,1,0,1,2] -> mad 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), 1.0);
+    }
+}

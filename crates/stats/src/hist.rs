@@ -228,6 +228,43 @@ mod tests {
     }
 
     #[test]
+    fn empty_hist_quantile_boundaries() {
+        let h = Log2Hist::new();
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        // Out-of-range q is clamped, never panics or goes negative.
+        assert_eq!(h.quantile(-3.0), 0.0);
+        assert_eq!(h.quantile(7.0), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_collapse_to_the_sample() {
+        // Every sample in one bucket: all quantiles clamp to the
+        // observed [min, max] regardless of q.
+        let mut h = Log2Hist::new();
+        for _ in 0..5 {
+            h.record(9); // bucket 4 covers [8, 15]
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 9.0, "q={q}");
+        }
+        // Single sample, q extremes.
+        let mut one = Log2Hist::new();
+        one.record(1000);
+        assert_eq!(one.quantile(0.0), 1000.0);
+        assert_eq!(one.quantile(1.0), 1000.0);
+        // q=0 still means "the first sample", not "below the data".
+        let mut two = Log2Hist::new();
+        two.record(1);
+        two.record(1 << 20);
+        assert_eq!(two.quantile(0.0), 1.0);
+        assert_eq!(two.quantile(1.0), (1u64 << 20) as f64);
+        // Clamped out-of-range q behaves like the endpoints.
+        assert_eq!(two.quantile(-1.0), two.quantile(0.0));
+        assert_eq!(two.quantile(2.0), two.quantile(1.0));
+    }
+
+    #[test]
     fn serde_round_trip() {
         let mut h = Log2Hist::new();
         h.record(42);

@@ -145,4 +145,32 @@ mod tests {
         assert!(Summary::try_of(&[]).is_none());
         assert_eq!(Summary::try_of(&[7.0]).unwrap().mean, 7.0);
     }
+
+    // Boundary behaviour the advise CI math leans on: cv() must not
+    // divide by a zero mean, and a 1-element percentile query must
+    // return that element at every p (the bootstrap can draw
+    // degenerate resamples).
+
+    #[test]
+    fn cv_at_zero_mean_is_zero_not_nan() {
+        let s = Summary::of(&[-1.0, 1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.cv(), 0.0);
+        assert!(!s.cv().is_nan());
+        let all_zero = Summary::of(&[0.0, 0.0, 0.0]);
+        assert_eq!(all_zero.cv(), 0.0);
+    }
+
+    #[test]
+    fn percentile_sorted_singleton_every_p() {
+        for p in [0.0, 1.0, 37.5, 50.0, 99.9, 100.0] {
+            assert_eq!(percentile_sorted(&[42.0], p), 42.0, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_sorted_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
 }

@@ -6,6 +6,11 @@
 //! noiselab trace    --platform intel --workload nbody --out traces.json [--boost 10]
 //! noiselab trace    --run <seed> --out trace.json [--binary trace.nltb]   # Perfetto timeline
 //! noiselab metrics  [--runs 5] [--tracing true] [--json] [--profile] [--overhead [--reps 3]]
+//! noiselab metrics  --checkpoint state.json [--json]   # merged campaign + supervisor metrics
+//! noiselab advise   [--checkpoint state.json] [--traces <file|dir>] [--check]
+//!                   [--bench-hotpath BENCH_hotpath.json] [--bench-telemetry BENCH_telemetry.json]
+//!                   [--json] [--markdown <path|->] [--cv-threshold 0.05] [--alpha 0.01]
+//!                   [--resamples 800] [--advise-seed N]
 //! noiselab generate --traces traces.json --out config.json [--merge improved|naive]
 //! noiselab inject   --platform intel --workload nbody --config config.json [--runs 20]
 //! noiselab analyze  --traces traces.json [--top 10]
@@ -68,6 +73,21 @@
 //! (`--perturb N` deliberately forks run B after event N to exercise
 //! the pipeline). Flags given without a value (`--static --json`) are
 //! booleans.
+//!
+//! `advise` is the measurement-quality advisor (crates/advise): it
+//! reads whatever artifacts exist — a campaign checkpoint, per-cell
+//! trace sets (a single JSON file, or a directory of
+//! `<cell-label>.json` files), and the committed `BENCH_*.json`
+//! history — and prints the ranked diagnosis: measurement smells
+//! (high-CV cells by seeded bootstrap CI, retry/degraded clusters,
+//! quarantined cells, supervisor instability), per-cell noise blame
+//! (dominant source and CPU by share of excess osnoise), the bench
+//! regression watch (robust z against the trajectory's own step
+//! noise), and the mitigation recommendation table. `--check` exits
+//! nonzero when any critical smell or significant regression is
+//! present (the CI gate); `--markdown <path|->` writes the report as
+//! markdown. Bench files with a missing or foreign schema tag are
+//! refused with an error naming the file.
 
 use noiselab::core::experiments::{
     ablation, fig1, fig2, numa, runlevel, suite, table1, table2, Scale,
@@ -540,7 +560,14 @@ fn cmd_campaign_sharded(args: &Args) -> Result<(), String> {
     );
     if let Some(path) = args.opts.get("checkpoint") {
         let path = std::path::Path::new(path);
-        report.state.save(path).map_err(|e| e.to_string())?;
+        // Fold the supervisor health record in only at save time, after
+        // the deterministic merge: the merged ledger (and its
+        // state_hash) stays bit-identical to the single-process path,
+        // while the checkpoint carries the campaignd.* counters for
+        // `noiselab metrics --checkpoint` and `noiselab advise`.
+        let mut state = report.state.clone();
+        state.supervisor = report.health_metrics();
+        state.save(path).map_err(|e| e.to_string())?;
         eprintln!("noiselab: merged state saved to {}", path.display());
     }
     Ok(())
@@ -565,6 +592,16 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     use noiselab::core::{measure_overhead, run_many_instrumented, run_once_instrumented, Observe};
     use noiselab::kernel::KernelConfig;
     use noiselab::telemetry::{MetricsSnapshot, PhaseProfiler, TelemetryConfig};
+
+    // `--checkpoint <path>` is a read-only mode: render the merged
+    // per-cell metrics and the supervisor health record of a saved
+    // campaign checkpoint instead of running anything.
+    if let Some(path) = args.opts.get("checkpoint") {
+        return cmd_metrics_checkpoint(
+            std::path::Path::new(path),
+            args.get("json", "false") == "true",
+        );
+    }
 
     let platform = args.platform()?;
     let workload = args.workload(&platform)?;
@@ -651,6 +688,131 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
         print!("{}", merged.render());
         if let Some(p) = &profile {
             print!("{}", p.render());
+        }
+    }
+    Ok(())
+}
+
+/// `advise`: the measurement-quality advisor. Consumes whatever
+/// artifacts exist — a campaign checkpoint, trace sets (file or
+/// directory of `<cell-label>.json`), and the committed BENCH_*.json
+/// history — and emits the ranked diagnosis: smells, blame, bench
+/// regression verdicts, and the mitigation recommendation table.
+/// `--check` exits nonzero on any critical smell or significant bench
+/// regression (the CI gate).
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    use noiselab::advise::{
+        advise, load_hotpath, load_telemetry, load_traces, AdviseConfig, AdviseInputs,
+    };
+    use noiselab::core::CampaignState;
+    use std::path::Path;
+
+    let mut cfg = AdviseConfig::default();
+    let parse_f64 = |key: &str, into: &mut f64| -> Result<(), String> {
+        if let Some(v) = args.opts.get(key) {
+            *into = v.parse().map_err(|_| format!("--{key} wants a number"))?;
+        }
+        Ok(())
+    };
+    parse_f64("cv-threshold", &mut cfg.cv_threshold)?;
+    parse_f64("alpha", &mut cfg.alpha)?;
+    if let Some(v) = args.opts.get("resamples") {
+        cfg.resamples = v
+            .parse()
+            .map_err(|_| "--resamples wants a count".to_string())?;
+    }
+    if let Some(v) = args.opts.get("advise-seed") {
+        cfg.seed = v
+            .parse()
+            .map_err(|_| "--advise-seed wants a u64".to_string())?;
+    }
+
+    let mut inputs = AdviseInputs::default();
+    if let Some(p) = args.opts.get("checkpoint") {
+        inputs.checkpoint = Some(CampaignState::load(Path::new(p)).map_err(|e| e.to_string())?);
+    }
+    if let Some(p) = args.opts.get("traces") {
+        inputs.traces = load_traces(Path::new(p)).map_err(|e| e.to_string())?;
+    }
+    // Bench files: an explicit flag must load (a schema mismatch is a
+    // hard, clearly-worded refusal); the default path loads only when
+    // the file exists.
+    let bench_path = |flag: &str, default: &str| -> Option<std::path::PathBuf> {
+        match args.opts.get(flag) {
+            Some(p) => Some(std::path::PathBuf::from(p)),
+            None => {
+                let p = std::path::PathBuf::from(default);
+                p.exists().then_some(p)
+            }
+        }
+    };
+    if let Some(p) = bench_path("bench-hotpath", "BENCH_hotpath.json") {
+        let history = load_hotpath(&p).map_err(|e| e.to_string())?;
+        inputs.hotpath = Some((p.display().to_string(), history));
+    }
+    if let Some(p) = bench_path("bench-telemetry", "BENCH_telemetry.json") {
+        let telem = load_telemetry(&p).map_err(|e| e.to_string())?;
+        inputs.telemetry = Some((p.display().to_string(), telem));
+    }
+    if inputs.checkpoint.is_none() && inputs.traces.is_empty() && inputs.hotpath.is_none() {
+        return Err(
+            "nothing to advise on: pass --checkpoint <state.json>, --traces <file|dir>, \
+             or --bench-hotpath <BENCH_hotpath.json>"
+                .into(),
+        );
+    }
+
+    let report = advise(&inputs, &cfg);
+    let markdown_on_stdout = args.opts.get("markdown").is_some_and(|p| p == "-");
+    if let Some(md) = args.opts.get("markdown") {
+        if md == "-" {
+            println!("{}", report.render_markdown());
+        } else {
+            std::fs::write(md, report.render_markdown())
+                .map_err(|e| format!("advise: write {md}: {e}"))?;
+            eprintln!("noiselab: markdown report saved to {md}");
+        }
+    }
+    if args.get("json", "false") == "true" && !markdown_on_stdout {
+        println!("{}", report.to_json());
+    } else if !markdown_on_stdout {
+        print!("{}", report.render_human());
+    }
+    if args.get("check", "false") == "true" && report.check_failed() {
+        return Err("advise --check: measurements are not trustworthy as-is \
+             (critical smell or significant bench regression; see report)"
+            .into());
+    }
+    Ok(())
+}
+
+/// `metrics --checkpoint <path>`: the merged campaign metrics plus the
+/// `campaignd.*` supervisor health counters a sharded run folded into
+/// the saved checkpoint.
+fn cmd_metrics_checkpoint(path: &std::path::Path, json: bool) -> Result<(), String> {
+    use noiselab::campaignd::merged_metrics;
+    use noiselab::core::CampaignState;
+    use serde::Serialize as _;
+
+    let state = CampaignState::load(path).map_err(|e| e.to_string())?;
+    let merged = merged_metrics(&state);
+    if json {
+        let mut doc = vec![("metrics".to_string(), merged.to_value())];
+        if !state.supervisor.counters.is_empty() {
+            doc.push(("supervisor".to_string(), state.supervisor.to_value()));
+        }
+        println!("{}", serde::write_json(&serde::Value::Object(doc), true));
+    } else {
+        println!(
+            "checkpoint {}: {} cell(s), {} quarantined",
+            path.display(),
+            state.cells.len(),
+            state.quarantined.len()
+        );
+        print!("{}", merged.render());
+        if !state.supervisor.counters.is_empty() {
+            println!("supervisor health:");
+            print!("{}", state.supervisor.render());
         }
     }
     Ok(())
@@ -914,7 +1076,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
 
 fn usage() {
     eprintln!(
-        "noiselab <baseline|trace|generate|inject|analyze|report|campaign|metrics|audit|conform> \
+        "noiselab <baseline|trace|generate|inject|analyze|report|campaign|metrics|advise|audit|conform> \
          [--key value ...]\n\
          see the module docs (src/bin/noiselab.rs) for the full flag list"
     );
@@ -936,6 +1098,7 @@ fn main() -> ExitCode {
         // Hidden: spawned by `campaign --workers N`, not user-facing.
         "campaign-worker" => cmd_campaign_worker(&args),
         "metrics" => cmd_metrics(&args),
+        "advise" => cmd_advise(&args),
         "audit" => cmd_audit(&args),
         "conform" => cmd_conform(&args),
         _ => {

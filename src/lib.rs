@@ -4,6 +4,7 @@
 //! individual crates for details; `noiselab_core::prelude` is the usual
 //! entry point.
 
+pub use noiselab_advise as advise;
 pub use noiselab_audit as audit;
 pub use noiselab_campaignd as campaignd;
 pub use noiselab_conform as conform;

@@ -155,3 +155,35 @@ fn merge_queue_matches_supervisor_report() {
     assert_eq!(state_hash(&independent), report.state_hash);
     std::fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn supervisor_health_folds_into_checkpoints_without_changing_the_ledger() {
+    let root = std::env::temp_dir().join("noiselab-it-sharded-health");
+    let _ = std::fs::remove_dir_all(&root);
+    WorkQueue::init(&root, &spec(), 2).unwrap();
+    let report = run_supervised(&worker_binary(), &root, &test_config(2)).unwrap();
+
+    // The fold the CLI performs at checkpoint-save time: health counters
+    // ride along in the saved state but stay outside the ledger hash,
+    // so calm and chaotic campaigns still merge to identical ledgers.
+    let mut folded = report.state.clone();
+    folded.supervisor = report.health_metrics();
+    assert_eq!(state_hash(&folded), report.state_hash);
+    assert_eq!(
+        folded.supervisor.counter("campaignd.workers_spawned"),
+        u64::from(report.spawned)
+    );
+    assert!(report.spawned >= 2);
+
+    // Round-trip through the checkpoint file preserves the counters.
+    let path = root.join("state.json");
+    folded.save(&path).unwrap();
+    let loaded = CampaignState::load(&path).unwrap();
+    assert_eq!(loaded.supervisor, folded.supervisor);
+    // Strip the health annex and the ledger underneath is still
+    // bit-identical to the single-process driver's.
+    let mut ledger = loaded;
+    ledger.supervisor = Default::default();
+    assert_bit_identical(&ledger, &single_process_baseline());
+    std::fs::remove_dir_all(&root).ok();
+}
