@@ -29,13 +29,19 @@ pub struct Recommendation {
     pub rationale: String,
 }
 
-/// `(mitigation, model)` parsed from a `ExecConfig::label()` string
-/// like `TPHK2-SYCL-SMT`.
-fn parse_label(label: &str) -> Option<(String, String)> {
+/// The governor tags `ExecConfig::label()` appends to DVFS cells.
+const GOVERNOR_TAGS: [&str; 3] = ["PERF", "SAVE", "UTIL"];
+
+/// `(mitigation, model, governor)` parsed from a `ExecConfig::label()`
+/// string like `TPHK2-SYCL-SMT` or `TP-OMP-UTIL`.
+fn parse_label(label: &str) -> Option<(String, String, Option<String>)> {
     let mut parts = label.split('-');
     let mitigation = parts.next()?.to_string();
     let model = parts.next()?.to_string();
-    Some((mitigation, model))
+    let governor = parts
+        .find(|p| GOVERNOR_TAGS.contains(p))
+        .map(str::to_string);
+    Some((mitigation, model, governor))
 }
 
 fn is_pinned(mitigation: &str) -> bool {
@@ -84,16 +90,30 @@ pub fn recommend(state: &CampaignState, cfg: &AdviseConfig) -> Vec<Recommendatio
     // model -> mitigation -> cell (only cells with enough samples to
     // test; label collisions keep the first occurrence).
     let mut by_model: BTreeMap<String, BTreeMap<String, &CellRecord>> = BTreeMap::new();
+    // DVFS governor cells form their own matrix, keyed
+    // (model, mitigation) -> governor tag; they must not shadow the
+    // frequency-free cells of the same mitigation in `by_model`.
+    let mut by_gov: BTreeMap<(String, String), BTreeMap<String, &CellRecord>> = BTreeMap::new();
     for cell in &state.cells {
         if cell.samples.len() < 2 {
             continue;
         }
-        if let Some((mitigation, model)) = parse_label(&cell.key.label) {
-            by_model
-                .entry(model)
-                .or_default()
-                .entry(mitigation)
-                .or_insert(cell);
+        match parse_label(&cell.key.label) {
+            Some((mitigation, model, None)) => {
+                by_model
+                    .entry(model)
+                    .or_default()
+                    .entry(mitigation)
+                    .or_insert(cell);
+            }
+            Some((mitigation, model, Some(tag))) => {
+                by_gov
+                    .entry((model, mitigation))
+                    .or_default()
+                    .entry(tag)
+                    .or_insert(cell);
+            }
+            None => {}
         }
     }
     let mut out = Vec::new();
@@ -202,6 +222,92 @@ pub fn recommend(state: &CampaignState, cfg: &AdviseConfig) -> Vec<Recommendatio
                 }
             },
         ));
+    }
+    // The DVFS mitigation matrix. Within each (mitigation, model)
+    // family, rank the governors; across families, compare the best
+    // pinned against the best roaming cell per governor — does pinning
+    // still pay once threads also fight over a shared turbo budget and
+    // thermal headroom?
+    for ((model, mitigation), govs) in &by_gov {
+        if govs.len() < 2 {
+            continue;
+        }
+        let mut ranked: Vec<(&String, &&CellRecord)> = govs.iter().collect();
+        ranked.sort_by(|a, b| {
+            cell_median(a.1)
+                .total_cmp(&cell_median(b.1))
+                .then_with(|| a.0.cmp(b.0))
+        });
+        let (fast_tag, fast) = ranked[0];
+        let (slow_tag, slow) = ranked[ranked.len() - 1];
+        let a = (format!("{mitigation}-{model}-{fast_tag}"), *fast);
+        let b = (format!("{mitigation}-{model}-{slow_tag}"), *slow);
+        out.push(compare(
+            "governor",
+            (&a.0, a.1),
+            (&b.0, b.1),
+            cfg,
+            |pick, against, delta, sig| {
+                if sig {
+                    format!(
+                        "{pick} beats {against} by {:.1}% median exec time \
+                         under frequency/thermal noise",
+                        -delta * 100.0
+                    )
+                } else {
+                    format!(
+                        "governor choice makes no significant difference \
+                         for {mitigation}-{model}"
+                    )
+                }
+            },
+        ));
+    }
+    let mut per_tag: BTreeMap<&String, Vec<(&String, &String, &CellRecord)>> = BTreeMap::new();
+    for ((model, mitigation), govs) in &by_gov {
+        for (tag, cell) in govs {
+            per_tag
+                .entry(tag)
+                .or_default()
+                .push((mitigation, model, cell));
+        }
+    }
+    for (tag, cells) in &per_tag {
+        let best_of = |pinned: bool| {
+            cells
+                .iter()
+                .filter(|(m, _, _)| is_pinned(m) == pinned)
+                .min_by(|a, b| {
+                    cell_median(a.2)
+                        .total_cmp(&cell_median(b.2))
+                        .then_with(|| (a.0, a.1).cmp(&(b.0, b.1)))
+                })
+        };
+        if let (Some((pm, pmod, pin)), Some((rm, rmod, roam))) = (best_of(true), best_of(false)) {
+            let a = (format!("{pm}-{pmod}-{tag}"), *pin);
+            let b = (format!("{rm}-{rmod}-{tag}"), *roam);
+            out.push(compare(
+                "governor-placement",
+                (&a.0, a.1),
+                (&b.0, b.1),
+                cfg,
+                |pick, against, delta, sig| {
+                    if sig {
+                        format!(
+                            "{pick} beats {against} by {:.1}% median under the \
+                             {tag} governor; placement still matters when CPUs \
+                             share turbo slots and thermal headroom",
+                            -delta * 100.0
+                        )
+                    } else {
+                        format!(
+                            "no significant placement effect under the {tag} \
+                             governor"
+                        )
+                    }
+                },
+            ));
+        }
     }
     out.sort_by(|a, b| a.topic.cmp(&b.topic).then_with(|| a.pick.cmp(&b.pick)));
     out

@@ -204,6 +204,131 @@ fn tight_campaign_is_trustworthy_and_recommends_with_significance() {
     assert!(runtime.p < 0.01);
 }
 
+/// The DVFS mitigation matrix: governor cells rank within their
+/// (mitigation, model) family, pinned-vs-roaming is re-asked per
+/// governor, throttling blame lands on `dvfs:throttle` by (source,
+/// CPU), and governor cells never shadow the frequency-free cells of
+/// the same mitigation.
+#[test]
+fn dvfs_matrix_ranks_governors_and_blames_throttling() {
+    let mut state = CampaignState::new(
+        "v2|intel-dvfs|nbody|[Rm-OMP,TP-OMP,TP-OMP-PERF,TP-OMP-SAVE,Rm-OMP-PERF,\
+         Rm-OMP-SAVE,Rm-OMP-UTIL]|runs=8"
+            .to_string(),
+    );
+    state.cells = vec![
+        // Frequency-free reference cells keep the classic topics alive.
+        cell(
+            "Rm-OMP",
+            1,
+            &[1.000, 1.001, 0.999, 1.002, 0.998, 1.000, 1.001, 0.999],
+        ),
+        cell(
+            "TP-OMP",
+            9,
+            &[0.950, 0.951, 0.949, 0.952, 0.948, 0.950, 0.951, 0.949],
+        ),
+        // The governor matrix: pinned and roaming under PERF and SAVE
+        // (tight samples, PERF clearly faster), plus a throttling
+        // roaming UTIL cell whose runs swing wildly.
+        cell(
+            "TP-OMP-PERF",
+            33,
+            &[0.900, 0.901, 0.899, 0.902, 0.898, 0.900, 0.901, 0.899],
+        ),
+        cell(
+            "TP-OMP-SAVE",
+            41,
+            &[1.400, 1.401, 1.399, 1.402, 1.398, 1.400, 1.401, 1.399],
+        ),
+        cell(
+            "Rm-OMP-PERF",
+            49,
+            &[0.970, 0.971, 0.969, 0.972, 0.968, 0.970, 0.971, 0.969],
+        ),
+        cell(
+            "Rm-OMP-SAVE",
+            57,
+            &[1.480, 1.481, 1.479, 1.482, 1.478, 1.480, 1.481, 1.479],
+        ),
+        cell(
+            "Rm-OMP-UTIL",
+            65,
+            &[0.80, 1.90, 0.85, 2.40, 0.90, 1.70, 0.82, 2.10],
+        ),
+    ];
+    // Trace evidence for the volatile UTIL cell: a constant timer
+    // (zero excess) and throttle windows on CPU 2 that hit some runs
+    // and spare others — `dvfs:throttle` owns the excess.
+    let throttle_us = [0u64, 600, 0, 1_100, 0, 500];
+    let runs = throttle_us
+        .iter()
+        .enumerate()
+        .map(|(i, &th)| {
+            let mut events = vec![event(0, NoiseClass::Irq, "local_timer:236", 50)];
+            if th > 0 {
+                events.push(event(2, NoiseClass::Thread, "dvfs:throttle", th));
+            }
+            RunTrace::new(i, SimDuration::from_millis(450 + th / 10), events)
+        })
+        .collect();
+    let mut inputs = AdviseInputs {
+        checkpoint: Some(state),
+        ..Default::default()
+    };
+    inputs
+        .traces
+        .insert("Rm-OMP-UTIL".to_string(), TraceSet { runs });
+
+    let report = advise(&inputs, &AdviseConfig::default());
+
+    // Governor ranking within each family, with rank-sum significance.
+    let tp_row = report
+        .recommendations
+        .iter()
+        .find(|r| r.topic == "governor" && r.pick == "TP-OMP-PERF")
+        .unwrap_or_else(|| panic!("TP governor row missing: {:#?}", report.recommendations));
+    assert_eq!(tp_row.against, "TP-OMP-SAVE");
+    assert!(tp_row.significant, "{tp_row:#?}");
+    assert!(tp_row.delta_pct < -0.3, "{tp_row:#?}");
+    assert!(report
+        .recommendations
+        .iter()
+        .any(|r| r.topic == "governor" && r.pick == "Rm-OMP-PERF"));
+
+    // Placement re-asked per governor: pinning wins under PERF here.
+    let placement = report
+        .recommendations
+        .iter()
+        .find(|r| r.topic == "governor-placement" && r.pick == "TP-OMP-PERF")
+        .expect("governor-placement row");
+    assert_eq!(placement.against, "Rm-OMP-PERF");
+    assert!(placement.rationale.contains("PERF"), "{placement:#?}");
+
+    // Governor cells must not shadow the frequency-free matrix: the
+    // classic placement row still compares TP-OMP against Rm-OMP.
+    let classic = report
+        .recommendations
+        .iter()
+        .find(|r| r.topic == "placement")
+        .expect("classic placement row");
+    assert_eq!(classic.pick, "TP-OMP");
+    assert_eq!(classic.against, "Rm-OMP");
+
+    // The volatile cell smells, and its blame names dvfs:throttle on
+    // the CPU that throttled.
+    let b = report
+        .blames
+        .iter()
+        .find(|b| b.cell == "Rm-OMP-UTIL")
+        .unwrap_or_else(|| panic!("throttle blame missing: {:#?}", report.blames));
+    assert_eq!(b.source, "dvfs:throttle");
+    assert_eq!(b.cpu, 2);
+    assert_eq!(b.class, "thread");
+    assert!(b.share_pct > 90.0, "{:.1}%", b.share_pct);
+    assert!(b.summary.contains("dvfs:throttle"), "{}", b.summary);
+}
+
 fn snapshot(label: &str, bare: f64, telemetry: f64) -> HotpathSnapshot {
     HotpathSnapshot {
         label: label.to_string(),

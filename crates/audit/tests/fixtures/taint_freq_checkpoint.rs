@@ -1,0 +1,24 @@
+//! Taint fixture: DVFS frequency state → checkpoint sink.
+//!
+//! The positive path folds per-CPU frequency factors with an unordered
+//! parallel float reduction before checkpointing — steal order changes
+//! the bits of the saved state. The negative path is the production
+//! DVFS discipline: integer kHz and milli-heat accumulators, combined
+//! in CPU order, are exact whatever the host threads do.
+
+pub fn pos(freq_factor: &Vec<f64>) -> u64 {
+    let avg: f64 = freq_factor.par_iter().map(|f| f / 8.0).sum();
+    save_checkpoint((avg * 1000.0) as u64)
+}
+
+pub fn neg(khz: &Vec<u64>, heat_milli: &Vec<u64>) -> u64 {
+    let cycles: u64 = khz.iter().sum();
+    let heat: u64 = heat_milli.iter().sum();
+    save_checkpoint(cycles ^ heat)
+}
+
+pub fn allowed(freq_factor: &Vec<f64>) -> u64 {
+    // audit:allow(taint-float-order): fixture — factors are dyadic rationals, addition exact
+    let avg: f64 = freq_factor.par_iter().map(|f| f / 8.0).sum();
+    save_checkpoint((avg * 1000.0) as u64)
+}

@@ -42,6 +42,9 @@ fn taint_fixtures_trigger_exactly_their_rule() {
         ("taint_relaxed.rs", RuleId::TaintRelaxed),
         ("taint_float_order.rs", RuleId::TaintFloatOrder),
         ("taint_thread_id.rs", RuleId::TaintThreadId),
+        // DVFS axis: float-derived frequency state must never reach a
+        // checkpoint sink; the integer kHz/milli-heat path is clean.
+        ("taint_freq_checkpoint.rs", RuleId::TaintFloatOrder),
     ];
     for (file, rule) in cases {
         let report = analyze_taint(&[file]);

@@ -164,4 +164,24 @@ mod tests {
         // a handful of exotic branches may stay rare per-seed.
         assert!(covered.len() >= 10, "only covered {covered:?}");
     }
+
+    #[test]
+    fn dvfs_scenarios_reach_the_governor_decision_points() {
+        let mut rng = Rng::new(0xF4E9);
+        let mut map = CoverageMap::new();
+        for _ in 0..80 {
+            let sc = Scenario::generate(&mut rng, true);
+            let out = run(&sc);
+            map.merge(&Signature::of(&out.records));
+        }
+        let covered = map.covered_points();
+        for p in [
+            "turbo-grant",
+            "throttle-enter",
+            "throttle-exit",
+            "freq-idle",
+        ] {
+            assert!(covered.contains(&p), "{p} never covered: {covered:?}");
+        }
+    }
 }

@@ -125,6 +125,9 @@ fn check_out(
         acc.stable_instants += inv.stats.stable_instants;
         acc.affinity_checks += inv.stats.affinity_checks;
         acc.fairness_samples += inv.stats.fairness_samples;
+        acc.freq_transitions += inv.stats.freq_transitions;
+        acc.throttle_events += inv.stats.throttle_events;
+        acc.cycle_checks += inv.stats.cycle_checks;
     }
     inv.violations.into_iter().next()
 }
@@ -317,6 +320,54 @@ mod tests {
         // The shrunk repro must still fail when replayed.
         let back = Scenario::from_repro_line(&f.repro()).unwrap();
         assert!(check_scenario(&back, Some(Mutation::GhostRun)).is_some());
+    }
+
+    #[test]
+    fn campaign_exercises_the_dvfs_axis() {
+        let report = fuzz(&FuzzConfig {
+            iterations: 150,
+            seed: 0xD1F5,
+            ..FuzzConfig::default()
+        });
+        assert!(report.ok(), "{}", report.failures[0].repro());
+        // Full-mode generation turns DVFS on often enough that the
+        // frequency invariants must actually fire over a campaign.
+        assert!(
+            report.invariants.freq_transitions > 20,
+            "{:?}",
+            report.invariants
+        );
+        assert!(
+            report.invariants.cycle_checks > 0,
+            "{:?}",
+            report.invariants
+        );
+    }
+
+    #[test]
+    fn dvfs_mutation_campaign_fails_with_a_shrunk_repro() {
+        for m in [
+            Mutation::TurboLeak,
+            Mutation::ThrottleEarly,
+            Mutation::GhostTurbo,
+            Mutation::ThrottleStuck,
+        ] {
+            let report = fuzz(&FuzzConfig {
+                iterations: 200,
+                seed: 0xBADF + m as u64,
+                mutation: Some(m),
+                max_failures: 1,
+                ..FuzzConfig::default()
+            });
+            assert!(!report.ok(), "seeded {} escaped the campaign", m.name());
+            let f = &report.failures[0];
+            assert!(f.repro().contains("conform:repro"));
+            // The shrunk repro stays a DVFS scenario (the mutation has
+            // no site otherwise) and still fails on replay.
+            assert!(f.scenario.dvfs.enabled, "{}", f.repro());
+            let back = Scenario::from_repro_line(&f.repro()).unwrap();
+            assert!(check_scenario(&back, Some(m)).is_some(), "{}", f.repro());
+        }
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //! 5. **Bounded fairness** — in fairness-probe scenarios (equal-weight
 //!    CPU hogs pinned to one CPU), cumulative on-CPU time across live
 //!    threads never spreads beyond a few scheduling quanta.
+//! 6. **Frequency conservation** (DVFS scenarios) — per-CPU frequency
+//!    transitions chain exactly (each `from_khz` equals the previous
+//!    `to_khz`, starting from `min_khz`), only configured levels
+//!    appear, the per-package turbo budget is never exceeded, throttle
+//!    records alternate with open hysteresis (enter at or above
+//!    `throttle_at`, exit at or below `release_at`), no CPU raises its
+//!    frequency while throttled, and — when every thread exited — the
+//!    kernel's cycle accounting equals the stint stream replayed at
+//!    the recorded frequencies, exactly. A disabled-DVFS run must
+//!    contain no frequency records at all.
 
 use crate::oracle::Violation;
 use crate::record::Rec;
@@ -39,6 +49,9 @@ pub struct InvariantStats {
     pub stable_instants: u64,
     pub affinity_checks: u64,
     pub fairness_samples: u64,
+    pub freq_transitions: u64,
+    pub throttle_events: u64,
+    pub cycle_checks: u64,
 }
 
 /// Everything the invariant pass produces.
@@ -106,6 +119,16 @@ pub fn check_invariants(out: &RunOutcome, fairness_probe: bool) -> InvariantOutc
     let mut irq_ns: Vec<u64> = vec![0; n_cpus];
     let fairness_bound = fairness_bound_ns(&out.params);
     let mut cur_time = 0u64;
+    // Frequency replay (invariant 6): per-CPU frequency reconstructed
+    // from the transition stream, cycle accumulation at the replayed
+    // frequency, and throttle state for hysteresis/raise checks. Every
+    // CPU boots at `min_khz`.
+    let dvfs = &out.dvfs;
+    let mut khz: Vec<u64> = vec![dvfs.min_khz as u64; n_cpus];
+    let mut cyc: Vec<u128> = vec![0; n_cpus];
+    let mut cyc_mark: Vec<Option<u64>> = vec![None; n_cpus];
+    let mut throttled: Vec<bool> = vec![false; n_cpus];
+    let mut turbo_now: Vec<u32> = vec![0; dvfs.n_packages(n_cpus as u32) as usize];
 
     let fail = |res: &mut InvariantOutcome, index: Option<usize>, time: u64, what: String| {
         res.violations.push(Violation { index, time, what });
@@ -123,7 +146,10 @@ pub fn check_invariants(out: &RunOutcome, fairness_probe: bool) -> InvariantOutc
             | Rec::Enqueue { cpu, thread, .. }
             | Rec::Dequeue { cpu, thread, .. } => (Some(cpu), Some(thread)),
             Rec::Migrate { thread, to_cpu, .. } => (Some(to_cpu), Some(thread)),
-            Rec::IrqSpan { cpu, .. } | Rec::Decision { cpu, .. } => (Some(cpu), None),
+            Rec::IrqSpan { cpu, .. }
+            | Rec::Decision { cpu, .. }
+            | Rec::FreqTransition { cpu, .. }
+            | Rec::Throttle { cpu, .. } => (Some(cpu), None),
             Rec::PolicySwitch { thread, .. } => (None, Some(thread)),
         };
         if rec_cpu.is_some_and(|c| c as usize >= n_cpus)
@@ -194,6 +220,7 @@ pub fn check_invariants(out: &RunOutcome, fairness_probe: bool) -> InvariantOutc
                     );
                 }
                 running[cpu as usize] = Some(thread);
+                cyc_mark[cpu as usize] = Some(time);
                 let t = &mut threads[thread as usize];
                 t.queued_on = None;
                 t.running_on = Some(cpu);
@@ -221,6 +248,10 @@ pub fn check_invariants(out: &RunOutcome, fairness_probe: bool) -> InvariantOutc
                     );
                 } else {
                     running[cpu as usize] = None;
+                    if let Some(m) = cyc_mark[cpu as usize].take() {
+                        cyc[cpu as usize] +=
+                            time.saturating_sub(m) as u128 * khz[cpu as usize] as u128;
+                    }
                     let t = &mut threads[thread as usize];
                     let dur = time - t.stint_start;
                     t.cum_ns += dur;
@@ -268,6 +299,136 @@ pub fn check_invariants(out: &RunOutcome, fairness_probe: bool) -> InvariantOutc
                 };
             }
             Rec::Decision { .. } => {}
+            Rec::FreqTransition {
+                cpu,
+                from_khz,
+                to_khz,
+                ..
+            } => {
+                res.stats.freq_transitions += 1;
+                let c = cpu as usize;
+                if !dvfs.enabled {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("DVFS disabled but cpu {cpu} recorded a frequency transition"),
+                    );
+                    continue;
+                }
+                if from_khz as u64 != khz[c] {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!(
+                            "cpu {cpu} frequency chain broken: transition claims from \
+                             {from_khz} kHz but the replayed frequency is {} kHz",
+                            khz[c]
+                        ),
+                    );
+                }
+                if ![dvfs.min_khz, dvfs.base_khz, dvfs.turbo_khz].contains(&to_khz) {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("cpu {cpu} transitioned to unconfigured frequency {to_khz} kHz"),
+                    );
+                }
+                if throttled[c] && to_khz > dvfs.min_khz {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("cpu {cpu} raised frequency to {to_khz} kHz while throttled"),
+                    );
+                }
+                // Close the cycle segment at the old frequency; the
+                // kernel charges the running thread before every
+                // frequency change, so this is exact.
+                if let Some(m) = cyc_mark[c] {
+                    cyc[c] += time.saturating_sub(m) as u128 * khz[c] as u128;
+                    cyc_mark[c] = Some(time);
+                }
+                // Per-package turbo budget, meaningful only when turbo
+                // is a distinct level.
+                if dvfs.turbo_khz > dvfs.base_khz {
+                    let pkg = dvfs.package_of(cpu) as usize;
+                    if khz[c] == dvfs.turbo_khz as u64 {
+                        turbo_now[pkg] = turbo_now[pkg].saturating_sub(1);
+                    }
+                    if to_khz == dvfs.turbo_khz {
+                        turbo_now[pkg] += 1;
+                        if turbo_now[pkg] > dvfs.turbo_slots {
+                            fail(
+                                &mut res,
+                                Some(idx),
+                                time,
+                                format!(
+                                    "package {pkg}: {} CPUs at turbo exceeds the budget of {}",
+                                    turbo_now[pkg], dvfs.turbo_slots
+                                ),
+                            );
+                        }
+                    }
+                }
+                khz[c] = to_khz as u64;
+            }
+            Rec::Throttle {
+                cpu,
+                heat_milli,
+                entered,
+                ..
+            } => {
+                res.stats.throttle_events += 1;
+                let c = cpu as usize;
+                if !dvfs.enabled {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!("DVFS disabled but cpu {cpu} recorded a throttle event"),
+                    );
+                    continue;
+                }
+                if entered == throttled[c] {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!(
+                            "cpu {cpu} throttle records do not alternate: {} twice in a row",
+                            if entered { "entered" } else { "exited" }
+                        ),
+                    );
+                }
+                if entered && heat_milli < dvfs.throttle_at {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!(
+                            "cpu {cpu} throttled at {heat_milli} milli-heat, below the \
+                             threshold of {}",
+                            dvfs.throttle_at
+                        ),
+                    );
+                }
+                if !entered && heat_milli > dvfs.release_at {
+                    fail(
+                        &mut res,
+                        Some(idx),
+                        time,
+                        format!(
+                            "cpu {cpu} left throttle at {heat_milli} milli-heat, above the \
+                             release point of {}",
+                            dvfs.release_at
+                        ),
+                    );
+                }
+                throttled[c] = entered;
+            }
         }
     }
     stable_instant_checks(
@@ -301,6 +462,23 @@ pub fn check_invariants(out: &RunOutcome, fairness_probe: bool) -> InvariantOutc
                     stint_ns[c], out.cpu_busy[c]
                 ),
             });
+        }
+        // Frequency-scaled cycle conservation: the kernel's cycle
+        // counter must equal the stint stream replayed at the recorded
+        // frequencies, nanosecond for nanosecond.
+        if dvfs.enabled && out.all_exited && c < out.cycles.len() {
+            res.stats.cycle_checks += 1;
+            if cyc[c] != out.cycles[c] {
+                res.violations.push(Violation {
+                    index: None,
+                    time: cur_time,
+                    what: format!(
+                        "cpu {c}: replaying stints at the recorded frequencies yields {} \
+                         cycles but the kernel charged {}",
+                        cyc[c], out.cycles[c]
+                    ),
+                });
+            }
         }
     }
     res
@@ -581,6 +759,176 @@ mod tests {
             cpu_busy: vec![0],
             cpu_irq: vec![0],
             all_exited: false,
+            dvfs: noiselab_machine::DvfsConfig::default(),
+            cycles: Vec::new(),
         }
+    }
+
+    /// A scenario guaranteed to boost and throttle: one hot CPU-bound
+    /// thread under an aggressive thermal envelope.
+    fn dvfs_scenario(seed: u64, governor: noiselab_machine::Governor) -> Scenario {
+        use crate::scenario::{FaultKnobs, Step, ThreadPlan};
+        use noiselab_machine::DvfsConfig;
+        let mut sc = Scenario {
+            seed,
+            cores: 2,
+            smt: 1,
+            numa: 1,
+            tickless: false,
+            tick_us: 1_000,
+            horizon_us: 0,
+            fairness_probe: false,
+            threads: vec![
+                ThreadPlan {
+                    rt_prio: 0,
+                    nice: 0,
+                    pin: None,
+                    start_us: 0,
+                    steps: vec![Step::Burn { us: 2_000 }],
+                },
+                ThreadPlan {
+                    rt_prio: 0,
+                    nice: 0,
+                    pin: None,
+                    start_us: 0,
+                    steps: vec![
+                        Step::Burn { us: 1_000 },
+                        Step::Sleep { us: 500 },
+                        Step::Burn { us: 1_000 },
+                    ],
+                },
+            ],
+            irqs: Vec::new(),
+            faults: FaultKnobs::default(),
+            dvfs: DvfsConfig {
+                enabled: true,
+                governor,
+                turbo_slots: 1,
+                heat_turbo: 4_000,
+                heat_base: 500,
+                cool: 1_000,
+                throttle_at: 200_000,
+                release_at: 100_000,
+                ..DvfsConfig::default()
+            },
+        };
+        sc.sanitize();
+        sc
+    }
+
+    #[test]
+    fn clean_dvfs_runs_satisfy_frequency_invariants() {
+        use noiselab_machine::Governor;
+        let mut total = InvariantStats::default();
+        for (i, gov) in Governor::ALL.iter().enumerate() {
+            let sc = dvfs_scenario(0xD1F5 + i as u64, *gov);
+            let out = run(&sc);
+            let r = check_invariants(&out, false);
+            assert!(
+                r.violations.is_empty(),
+                "{}\n{}",
+                r.violations[0],
+                sc.repro_line()
+            );
+            total.freq_transitions += r.stats.freq_transitions;
+            total.throttle_events += r.stats.throttle_events;
+            total.cycle_checks += r.stats.cycle_checks;
+        }
+        // The checks must actually fire: boosts happen under every
+        // governor with runnable work, and the hot envelope throttles.
+        assert!(total.freq_transitions >= 6, "{total:?}");
+        assert!(total.throttle_events >= 2, "{total:?}");
+        assert!(total.cycle_checks >= 6, "{total:?}");
+    }
+
+    #[test]
+    fn disabled_dvfs_stream_has_no_frequency_records() {
+        let mut sc = dvfs_scenario(0x0FF, noiselab_machine::Governor::Performance);
+        sc.dvfs = noiselab_machine::DvfsConfig::default();
+        sc.sanitize();
+        let out = run(&sc);
+        assert!(out.records.iter().all(|r| !matches!(
+            r,
+            crate::record::Rec::FreqTransition { .. } | crate::record::Rec::Throttle { .. }
+        )));
+        assert!(out.cycles.is_empty());
+        let r = check_invariants(&out, false);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn turbo_leak_breaks_the_frequency_chain() {
+        let sc = dvfs_scenario(0x7EA6, noiselab_machine::Governor::Performance);
+        let mut out = run(&sc);
+        let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+        assert!(
+            Mutation::TurboLeak.apply(&mut out.records, &masks, out.topo.n_cpus() as u32),
+            "no turbo-leaving transition with a successor to drop\n{}",
+            sc.repro_line()
+        );
+        let r = check_invariants(&out, false);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.what.contains("chain") || v.what.contains("cycles")),
+            "turbo leak not caught: {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn throttle_early_violates_hysteresis() {
+        let sc = dvfs_scenario(0x7E01, noiselab_machine::Governor::Performance);
+        let mut out = run(&sc);
+        let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+        assert!(
+            Mutation::ThrottleEarly.apply(&mut out.records, &masks, out.topo.n_cpus() as u32),
+            "no throttle-enter to rewrite\n{}",
+            sc.repro_line()
+        );
+        let r = check_invariants(&out, false);
+        assert!(
+            r.violations.iter().any(|v| v.what.contains("below the")),
+            "early throttle not caught: {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn ghost_turbo_is_caught() {
+        let sc = dvfs_scenario(0x0006_0572, noiselab_machine::Governor::Performance);
+        let mut out = run(&sc);
+        let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+        assert!(
+            Mutation::GhostTurbo.apply(&mut out.records, &masks, out.topo.n_cpus() as u32),
+            "no boost to duplicate\n{}",
+            sc.repro_line()
+        );
+        let r = check_invariants(&out, false);
+        assert!(
+            r.violations.iter().any(|v| v.what.contains("chain")),
+            "ghost turbo not caught: {:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn throttle_stuck_is_caught() {
+        let sc = dvfs_scenario(0x57CC, noiselab_machine::Governor::Performance);
+        let mut out = run(&sc);
+        let masks: Vec<u64> = out.threads.iter().map(|t| t.affinity).collect();
+        assert!(
+            Mutation::ThrottleStuck.apply(&mut out.records, &masks, out.topo.n_cpus() as u32),
+            "no throttle-exit to drop\n{}",
+            sc.repro_line()
+        );
+        let r = check_invariants(&out, false);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.what.contains("while throttled") || v.what.contains("alternate")),
+            "stuck throttle not caught: {:?}",
+            r.violations
+        );
     }
 }

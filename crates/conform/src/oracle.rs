@@ -365,7 +365,10 @@ impl Oracle<'_> {
             | Rec::Enqueue { cpu, thread, .. }
             | Rec::Dequeue { cpu, thread, .. } => (Some(cpu), Some(thread)),
             Rec::Migrate { thread, to_cpu, .. } => (Some(to_cpu), Some(thread)),
-            Rec::IrqSpan { cpu, .. } | Rec::Decision { cpu, .. } => (Some(cpu), None),
+            Rec::IrqSpan { cpu, .. }
+            | Rec::Decision { cpu, .. }
+            | Rec::FreqTransition { cpu, .. }
+            | Rec::Throttle { cpu, .. } => (Some(cpu), None),
             Rec::PolicySwitch { thread, .. } => (None, Some(thread)),
         };
         if rec_cpu.is_some_and(|c| c as usize >= self.cpus.len())
@@ -429,6 +432,10 @@ impl Oracle<'_> {
                 self.threads[thread as usize].fair = !rt;
                 Ok(())
             }
+            // DVFS records never affect pick/placement decisions; the
+            // frequency invariants own them (DVFS scenarios are not
+            // oracle-eligible, so these only appear on corrupt streams).
+            Rec::FreqTransition { .. } | Rec::Throttle { .. } => Ok(()),
         }
     }
 
@@ -529,6 +536,10 @@ impl Oracle<'_> {
                 self.stolen = Some((t, cpu));
                 self.stats.steals += 1;
             }
+            // Governor decisions carry no scheduling state the oracle
+            // replays; the frequency invariants cross-check them against
+            // the transition stream instead.
+            D::TurboGrant | D::TurboDeny | D::ThrottleEnter | D::ThrottleExit | D::FreqIdle => {}
         }
         Ok(())
     }

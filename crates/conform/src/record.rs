@@ -75,6 +75,18 @@ pub enum Rec {
         time: u64,
         point: DecisionPoint,
     },
+    FreqTransition {
+        cpu: u32,
+        time: u64,
+        from_khz: u32,
+        to_khz: u32,
+    },
+    Throttle {
+        cpu: u32,
+        time: u64,
+        heat_milli: u64,
+        entered: bool,
+    },
 }
 
 impl Rec {
@@ -88,7 +100,9 @@ impl Rec {
             | Rec::Migrate { time, .. }
             | Rec::IrqSpan { time, .. }
             | Rec::PolicySwitch { time, .. }
-            | Rec::Decision { time, .. } => time,
+            | Rec::Decision { time, .. }
+            | Rec::FreqTransition { time, .. }
+            | Rec::Throttle { time, .. } => time,
         }
     }
 
@@ -174,6 +188,28 @@ impl Rec {
                 time: time.0,
                 point,
             },
+            SchedRecord::FreqTransition {
+                cpu,
+                time,
+                from_khz,
+                to_khz,
+            } => Rec::FreqTransition {
+                cpu,
+                time: time.0,
+                from_khz,
+                to_khz,
+            },
+            SchedRecord::Throttle {
+                cpu,
+                time,
+                heat_milli,
+                entered,
+            } => Rec::Throttle {
+                cpu,
+                time: time.0,
+                heat_milli,
+                entered,
+            },
         }
     }
 }
@@ -217,14 +253,36 @@ pub enum Mutation {
     /// threads "running" on one CPU. Caught by the stint-overlap check
     /// of the conservation invariant.
     GhostRun,
+    /// Drop the first transition that leaves the turbo frequency: the
+    /// governor "forgot" to release the boost (a budget leak on
+    /// downclock). Caught by the frequency-chain invariant when the
+    /// same CPU later transitions again, and by cycle conservation.
+    TurboLeak,
+    /// Zero the recorded heat on the first throttle-enter: the thermal
+    /// model "tripped" below the configured threshold. Caught by the
+    /// hysteresis invariant (enter heat must be at least
+    /// `throttle_at`).
+    ThrottleEarly,
+    /// Duplicate the first boost-to-turbo transition one nanosecond
+    /// later: a CPU claims turbo entry from a frequency it no longer
+    /// holds. Caught by the frequency-chain invariant.
+    GhostTurbo,
+    /// Drop the first throttle-exit record: the CPU raises its
+    /// frequency while the stream still shows it throttled. Caught by
+    /// the no-raise-while-throttled check and throttle alternation.
+    ThrottleStuck,
 }
 
 impl Mutation {
-    pub const ALL: [Mutation; 4] = [
+    pub const ALL: [Mutation; 8] = [
         Mutation::SwapPick,
         Mutation::DropIrqSpan,
         Mutation::AffinityBreak,
         Mutation::GhostRun,
+        Mutation::TurboLeak,
+        Mutation::ThrottleEarly,
+        Mutation::GhostTurbo,
+        Mutation::ThrottleStuck,
     ];
 
     pub fn name(self) -> &'static str {
@@ -233,6 +291,10 @@ impl Mutation {
             Mutation::DropIrqSpan => "drop-irq-span",
             Mutation::AffinityBreak => "affinity-break",
             Mutation::GhostRun => "ghost-run",
+            Mutation::TurboLeak => "turbo-leak",
+            Mutation::ThrottleEarly => "throttle-early",
+            Mutation::GhostTurbo => "ghost-turbo",
+            Mutation::ThrottleStuck => "throttle-stuck",
         }
     }
 
@@ -304,8 +366,87 @@ impl Mutation {
                     None => false,
                 }
             }
+            Mutation::TurboLeak => {
+                let top = max_khz(recs);
+                // A transition leaving turbo, with a later transition on
+                // the same CPU so the break in the chain is observable.
+                for i in 0..recs.len() {
+                    if let Rec::FreqTransition { cpu, from_khz, .. } = recs[i] {
+                        if from_khz == top
+                            && recs[i + 1..].iter().any(
+                                |r| matches!(r, Rec::FreqTransition { cpu: c, .. } if *c == cpu),
+                            )
+                        {
+                            recs.remove(i);
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            Mutation::ThrottleEarly => {
+                for r in recs.iter_mut() {
+                    if let Rec::Throttle {
+                        heat_milli,
+                        entered: true,
+                        ..
+                    } = r
+                    {
+                        *heat_milli = 0;
+                        return true;
+                    }
+                }
+                false
+            }
+            Mutation::GhostTurbo => {
+                let top = max_khz(recs);
+                let pos = recs.iter().position(|r| {
+                    matches!(
+                        r,
+                        Rec::FreqTransition { from_khz, to_khz, .. }
+                            if *to_khz == top && *from_khz != *to_khz
+                    )
+                });
+                match pos {
+                    Some(i) => {
+                        let mut ghost = recs[i].clone();
+                        if let Rec::FreqTransition { time, .. } = &mut ghost {
+                            *time += 1;
+                        }
+                        recs.insert(i + 1, ghost);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            Mutation::ThrottleStuck => {
+                let pos = recs
+                    .iter()
+                    .position(|r| matches!(r, Rec::Throttle { entered: false, .. }));
+                match pos {
+                    Some(i) => {
+                        recs.remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
         }
     }
+}
+
+/// The highest frequency appearing in any transition record — the
+/// stream's own notion of "turbo" (mutations cannot see the config).
+fn max_khz(recs: &[Rec]) -> u32 {
+    recs.iter()
+        .filter_map(|r| match *r {
+            Rec::FreqTransition {
+                from_khz, to_khz, ..
+            } => Some(from_khz.max(to_khz)),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 fn set_switch_in_thread(rec: &mut Rec, tid: u32) {
@@ -390,5 +531,123 @@ mod tests {
             .filter(|r| matches!(r, Rec::SwitchIn { .. }))
             .count();
         assert_eq!(ins, 3);
+    }
+
+    /// A stream with a boost, a throttle episode, and a re-boost.
+    fn dvfs_sample() -> Vec<Rec> {
+        vec![
+            Rec::FreqTransition {
+                cpu: 0,
+                time: 10,
+                from_khz: 800_000,
+                to_khz: 5_200_000,
+            },
+            Rec::Throttle {
+                cpu: 0,
+                time: 200,
+                heat_milli: 2_600_000,
+                entered: true,
+            },
+            Rec::FreqTransition {
+                cpu: 0,
+                time: 200,
+                from_khz: 5_200_000,
+                to_khz: 800_000,
+            },
+            Rec::Throttle {
+                cpu: 0,
+                time: 400,
+                heat_milli: 1_900_000,
+                entered: false,
+            },
+            Rec::FreqTransition {
+                cpu: 0,
+                time: 400,
+                from_khz: 800_000,
+                to_khz: 5_200_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn dvfs_mutations_need_a_dvfs_stream() {
+        // A stream without frequency records offers no site for any of
+        // the DVFS mutations.
+        for m in [
+            Mutation::TurboLeak,
+            Mutation::ThrottleEarly,
+            Mutation::GhostTurbo,
+            Mutation::ThrottleStuck,
+        ] {
+            let mut recs = sample();
+            assert!(!m.apply(&mut recs, &[3, 3], 2), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn turbo_leak_drops_a_transition_leaving_turbo() {
+        let mut recs = dvfs_sample();
+        assert!(Mutation::TurboLeak.apply(&mut recs, &[3, 3], 2));
+        let freq = recs
+            .iter()
+            .filter(|r| matches!(r, Rec::FreqTransition { .. }))
+            .count();
+        assert_eq!(freq, 2);
+        assert!(!recs.iter().any(|r| matches!(
+            r,
+            Rec::FreqTransition {
+                from_khz: 5_200_000,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn throttle_early_zeroes_the_enter_heat() {
+        let mut recs = dvfs_sample();
+        assert!(Mutation::ThrottleEarly.apply(&mut recs, &[3, 3], 2));
+        assert!(matches!(
+            recs[1],
+            Rec::Throttle {
+                heat_milli: 0,
+                entered: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ghost_turbo_duplicates_the_boost() {
+        let mut recs = dvfs_sample();
+        assert!(Mutation::GhostTurbo.apply(&mut recs, &[3, 3], 2));
+        let boosts = recs
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Rec::FreqTransition {
+                        to_khz: 5_200_000,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(boosts, 3);
+    }
+
+    #[test]
+    fn throttle_stuck_swallows_the_exit() {
+        let mut recs = dvfs_sample();
+        assert!(Mutation::ThrottleStuck.apply(&mut recs, &[3, 3], 2));
+        assert!(!recs
+            .iter()
+            .any(|r| matches!(r, Rec::Throttle { entered: false, .. })));
+    }
+
+    #[test]
+    fn every_mutation_round_trips_its_name() {
+        for m in Mutation::ALL {
+            assert_eq!(Mutation::from_name(m.name()), Some(m));
+        }
     }
 }

@@ -8,7 +8,7 @@ use noiselab_kernel::{
     Action, FaultPlan, Kernel, KernelConfig, Policy, ScriptBehavior, SpuriousIrqSpec, ThreadKind,
     ThreadSpec,
 };
-use noiselab_machine::{CpuId, CpuSet, Machine, PerfModel, WorkUnit};
+use noiselab_machine::{CpuId, CpuSet, DvfsConfig, Machine, PerfModel, WorkUnit};
 use noiselab_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -83,6 +83,13 @@ pub struct RunOutcome {
     /// charge-based accounting is then complete and exactly
     /// cross-checkable against the record stream).
     pub all_exited: bool,
+    /// The DVFS config the run executed under (disabled ⇒ the stream
+    /// must contain no frequency records at all).
+    pub dvfs: DvfsConfig,
+    /// Kernel-side per-CPU cycle accounting (`Σ busy_ns × kHz`), empty
+    /// when DVFS is disabled. Cross-checked against the stint stream
+    /// replayed at the recorded frequencies.
+    pub cycles: Vec<u128>,
 }
 
 fn step_to_action(step: &Step, barriers: &BTreeMap<u32, noiselab_kernel::BarrierId>) -> Action {
@@ -121,6 +128,7 @@ pub fn run(sc: &Scenario) -> RunOutcome {
         tick_period: SimDuration::from_micros(sc.tick_us),
         reserved_cpus: CpuSet::EMPTY,
         numa_domains: sc.numa,
+        dvfs: sc.dvfs.clone(),
     };
     let config = KernelConfig {
         tickless: sc.tickless,
@@ -249,6 +257,7 @@ pub fn run(sc: &Scenario) -> RunOutcome {
     let (cpu_busy, cpu_irq): (Vec<u64>, Vec<u64>) = (0..n_cpus)
         .map(|c| kernel.cpu_stats(CpuId(c as u32)))
         .unzip();
+    let cycles = kernel.dvfs_summary().map(|s| s.cycles).unwrap_or_default();
 
     let records = store.borrow().clone();
     RunOutcome {
@@ -259,6 +268,8 @@ pub fn run(sc: &Scenario) -> RunOutcome {
         cpu_busy,
         cpu_irq,
         all_exited,
+        dvfs: sc.dvfs.clone(),
+        cycles,
     }
 }
 
@@ -316,6 +327,7 @@ mod tests {
             tick_period: SimDuration::from_millis(1),
             reserved_cpus: CpuSet::EMPTY,
             numa_domains: 2,
+            dvfs: DvfsConfig::default(),
         };
         for c in 0..8u32 {
             assert_eq!(

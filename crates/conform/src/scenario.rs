@@ -19,6 +19,7 @@
 //! repro string (`// conform:repro {...}`) so a fuzzer failure can be
 //! pasted straight into a test or `noiselab conform --replay`.
 
+use noiselab_machine::{DvfsConfig, Governor};
 use noiselab_sim::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +52,12 @@ pub struct Scenario {
     pub irqs: Vec<IrqPlan>,
     #[serde(default)]
     pub faults: FaultKnobs,
+    /// DVFS axis: per-CPU frequency governors, turbo budget and
+    /// thermal throttling. Disabled by default (and absent from old
+    /// repro lines), which keeps the record stream bit-identical to a
+    /// frequency-free kernel.
+    #[serde(default)]
+    pub dvfs: DvfsConfig,
 }
 
 /// One simulated thread: policy, pinning, start time and script.
@@ -130,6 +137,12 @@ impl Scenario {
     /// CFS floor exactly. Yields, barriers and policy switches have
     /// hidden charge points and disqualify a scenario.
     pub fn is_oracle_eligible(&self) -> bool {
+        // Frequency scaling changes compute rates mid-run at instants
+        // the oracle does not replay; the frequency invariants own the
+        // DVFS axis instead.
+        if self.dvfs.enabled {
+            return false;
+        }
         self.threads.iter().all(|t| {
             (t.rt_prio > 0 || t.nice == 0)
                 && t.steps.iter().enumerate().all(|(i, s)| match s {
@@ -208,6 +221,14 @@ impl Scenario {
             });
         }
 
+        // DVFS rides only on full scenarios so the eligible-mode random
+        // stream (and every oracle test seeded against it) is untouched.
+        let dvfs = if full && rng.chance(0.35) {
+            Self::gen_dvfs(rng)
+        } else {
+            DvfsConfig::default()
+        };
+
         let mut sc = Scenario {
             seed: rng.next_u64(),
             cores,
@@ -220,9 +241,33 @@ impl Scenario {
             threads,
             irqs,
             faults,
+            dvfs,
         };
         sc.sanitize();
         sc
+    }
+
+    /// A DVFS configuration hot enough that generated scripts actually
+    /// exercise turbo contention and thermal throttling within the
+    /// scenario horizon (the shipped desktop defaults take ~100 ms of
+    /// sustained turbo to throttle; fuzz scripts burn ~1 ms).
+    fn gen_dvfs(rng: &mut Rng) -> DvfsConfig {
+        let governor = Governor::ALL[rng.index(Governor::ALL.len())];
+        let throttle_at = 100_000 + rng.below(400_000);
+        let mut cfg = DvfsConfig {
+            enabled: true,
+            governor,
+            package_cpus: if rng.chance(0.5) { 0 } else { 2 },
+            turbo_slots: 1 + rng.below(2) as u32,
+            heat_turbo: 2_000 + rng.below(4_000),
+            heat_base: 200 + rng.below(800),
+            cool: 500 + rng.below(1_500),
+            throttle_at,
+            release_at: throttle_at / 2,
+            ..DvfsConfig::default()
+        };
+        cfg.sanitize();
+        cfg
     }
 
     /// Equal-weight CPU-bound threads pinned to CPU 0: the fairness
@@ -251,6 +296,7 @@ impl Scenario {
             threads,
             irqs: Vec::new(),
             faults: FaultKnobs::default(),
+            dvfs: DvfsConfig::default(),
         };
         sc.sanitize();
         sc
@@ -350,7 +396,8 @@ impl Scenario {
     /// Derive one mutant: a structural tweak of an existing scenario.
     pub fn mutate(&self, rng: &mut Rng, full: bool) -> Scenario {
         let mut sc = self.clone();
-        match rng.index(7) {
+        let arms = if full { 8 } else { 7 };
+        match rng.index(arms) {
             0 => sc.seed = rng.next_u64(),
             1 => sc.tickless = !sc.tickless,
             2 => {
@@ -386,13 +433,31 @@ impl Scenario {
                     }
                 }
             }
-            _ => {
+            6 => {
                 let i = rng.index(sc.threads.len());
                 sc.threads[i].rt_prio = if rng.chance(0.5) {
                     0
                 } else {
                     1 + rng.below(5) as u8
                 };
+            }
+            _ => {
+                // DVFS axis (full mode only, `arms == 8`): toggle the
+                // subsystem, hop governor, or squeeze the turbo budget.
+                if sc.dvfs.enabled {
+                    match rng.index(3) {
+                        0 => sc.dvfs = DvfsConfig::default(),
+                        1 => {
+                            sc.dvfs.governor = Governor::ALL[rng.index(Governor::ALL.len())];
+                        }
+                        _ => {
+                            sc.dvfs.turbo_slots = 1 + rng.below(2) as u32;
+                            sc.dvfs.package_cpus = if rng.chance(0.5) { 0 } else { 2 };
+                        }
+                    }
+                } else {
+                    sc.dvfs = Self::gen_dvfs(rng);
+                }
             }
         }
         sc.sanitize();
@@ -404,7 +469,7 @@ impl Scenario {
     /// threads, all pinned to CPU 0, each burning the same amount from
     /// t = 0, with no interrupts or faults?
     pub fn has_fairness_probe_shape(&self) -> bool {
-        if self.threads.len() < 2 || !self.irqs.is_empty() {
+        if self.threads.len() < 2 || !self.irqs.is_empty() || self.dvfs.enabled {
             return false;
         }
         let f = &self.faults;
@@ -456,6 +521,7 @@ impl Scenario {
         self.irqs.retain(|i| i.cpu < n_cpus);
         let n_threads = self.threads.len() as u32;
         self.faults.aborts.retain(|a| a.thread < n_threads);
+        self.dvfs.sanitize();
 
         // Barrier groups: every id must be referenced by >= 2 threads,
         // each the same number of times; otherwise strip the steps.
@@ -514,7 +580,15 @@ impl Scenario {
             }
         }
         let irq_us: u64 = self.irqs.iter().map(|i| i.dur_ns / 1_000 + 1).sum();
-        self.horizon_us = 20_000 + start_max + 4 * work_us + sleep_us + irq_us;
+        // Under DVFS a powersave or throttled CPU computes at
+        // `min_khz / turbo_khz` of the roofline rate, stretching every
+        // work step by up to the inverse ratio.
+        let freq_stretch = if self.dvfs.enabled {
+            (self.dvfs.turbo_khz as u64).div_ceil(self.dvfs.min_khz.max(1) as u64)
+        } else {
+            1
+        };
+        self.horizon_us = 20_000 + start_max + 4 * work_us * freq_stretch + sleep_us + irq_us;
     }
 }
 
@@ -576,6 +650,7 @@ mod tests {
             threads: vec![t],
             irqs: Vec::new(),
             faults: FaultKnobs::default(),
+            dvfs: DvfsConfig::default(),
         };
         // Back-to-back work steps hide a charge at the first completion.
         assert!(!sc(base.clone()).is_oracle_eligible());
@@ -631,6 +706,7 @@ mod tests {
                     at_us: 0,
                 }],
             },
+            dvfs: DvfsConfig::default(),
         };
         sc.sanitize();
         assert_eq!(sc.cores, MAX_CORES);

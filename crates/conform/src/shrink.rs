@@ -71,6 +71,19 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         out.push(c);
     }
 
+    // Drop the DVFS axis entirely, then try the tamest governor: a
+    // failure that survives either is not a frequency bug.
+    if sc.dvfs.enabled {
+        let mut c = sc.clone();
+        c.dvfs = noiselab_machine::DvfsConfig::default();
+        out.push(c);
+        if sc.dvfs.governor != noiselab_machine::Governor::Powersave {
+            let mut c = sc.clone();
+            c.dvfs.governor = noiselab_machine::Governor::Powersave;
+            out.push(c);
+        }
+    }
+
     // Drop fault knobs.
     if sc.faults.lost_tick_prob > 0.0 {
         let mut c = sc.clone();
@@ -202,6 +215,7 @@ mod tests {
                     at_us: 50,
                 }],
             },
+            dvfs: noiselab_machine::DvfsConfig::default(),
         };
         sc.sanitize();
         // Require the abort to survive: only thread removals that keep

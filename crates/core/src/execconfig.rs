@@ -1,7 +1,7 @@
 //! Execution configurations: programming model × mitigation strategy ×
 //! SMT usage (the row/column labels of the paper's tables).
 
-use noiselab_machine::{CpuSet, Machine};
+use noiselab_machine::{CpuSet, Governor, Machine};
 use noiselab_runtime::omp::OmpSchedule;
 use serde::{Deserialize, Serialize};
 
@@ -91,6 +91,12 @@ pub struct ExecConfig {
     /// Override the thread count (Fig. 2 thread sweeps); `None` = one
     /// thread per available CPU.
     pub threads: Option<usize>,
+    /// DVFS governor override for frequency-noise cells. `None` leaves
+    /// the platform's DVFS config untouched (disabled on every shipped
+    /// preset except `intel-dvfs`); `Some` enables DVFS under that
+    /// governor. Absent from old serialized configs, hence the default.
+    #[serde(default)]
+    pub governor: Option<Governor>,
 }
 
 impl ExecConfig {
@@ -101,6 +107,7 @@ impl ExecConfig {
             smt: false,
             schedule: None,
             threads: None,
+            governor: None,
         }
     }
 
@@ -119,11 +126,23 @@ impl ExecConfig {
         self
     }
 
-    /// Row label, e.g. `Rm-OMP`, `TPHK2-SYCL-SMT`.
+    pub fn with_governor(mut self, g: Governor) -> Self {
+        self.governor = Some(g);
+        self
+    }
+
+    /// Row label, e.g. `Rm-OMP`, `TPHK2-SYCL-SMT`, `TP-OMP-UTIL`. The
+    /// governor tag must appear here: campaign fingerprints cover cell
+    /// labels, so two cells differing only in governor need distinct
+    /// labels to be distinct cells.
     pub fn label(&self) -> String {
         let mut s = format!("{}-{}", self.mitigation.label(), self.model.label());
         if self.smt {
             s.push_str("-SMT");
+        }
+        if let Some(g) = self.governor {
+            s.push('-');
+            s.push_str(g.tag());
         }
         s
     }
@@ -179,6 +198,12 @@ mod tests {
                 .with_smt()
                 .label(),
             "TPHK2-SYCL-SMT"
+        );
+        assert_eq!(
+            ExecConfig::new(Model::Omp, Mitigation::Tp)
+                .with_governor(Governor::Schedutil)
+                .label(),
+            "TP-OMP-UTIL"
         );
     }
 

@@ -265,6 +265,17 @@ pub fn run_once_instrumented_in(
     if !cfg.smt && machine.smt > 1 {
         machine.smt = 1;
     }
+    // DVFS governor cells: `Some(governor)` switches the frequency axis
+    // on under that governor (keeping the platform's frequency/thermal
+    // parameters when the platform already enables DVFS); `None` leaves
+    // the platform untouched, so every existing cell stays bit-identical.
+    if let Some(g) = cfg.governor {
+        if machine.dvfs.enabled {
+            machine.dvfs.governor = g;
+        } else {
+            machine.dvfs = noiselab_machine::DvfsConfig::enabled_default(g);
+        }
+    }
     // Per-run machine speed jitter (frequency/thermal/layout effects):
     // the mitigation-independent component of baseline variability.
     if platform.run_jitter_sd > 0.0 {
@@ -903,6 +914,34 @@ mod tests {
             "sycl {} vs omp {}",
             sycl.exec,
             omp.exec
+        );
+    }
+
+    #[test]
+    fn governor_cells_change_the_run_and_stay_deterministic() {
+        use noiselab_machine::Governor;
+        let p = Platform::intel();
+        let w = tiny_nbody();
+        let base = ExecConfig::new(Model::Omp, Mitigation::Tp);
+        let perf = base.clone().with_governor(Governor::Performance);
+        let plain = run_once(&p, &w, &base, 5, false, None).unwrap();
+        let a = run_once(&p, &w, &perf, 5, false, None).unwrap();
+        let b = run_once(&p, &w, &perf, 5, false, None).unwrap();
+        assert_eq!(a.stream_hash, b.stream_hash, "governor cells must replay");
+        assert_eq!(a.exec, b.exec);
+        assert_ne!(
+            a.stream_hash, plain.stream_hash,
+            "enabling DVFS must change the dispatched stream"
+        );
+        // Powersave holds every CPU at the floor frequency: the same
+        // workload must take visibly longer than under Performance.
+        let save = base.clone().with_governor(Governor::Powersave);
+        let slow = run_once(&p, &w, &save, 5, false, None).unwrap();
+        assert!(
+            slow.exec > a.exec,
+            "powersave {} should be slower than performance {}",
+            slow.exec,
+            a.exec
         );
     }
 

@@ -50,6 +50,17 @@ impl Platform {
         self
     }
 
+    /// The Intel desktop with the DVFS axis switched on: per-CPU
+    /// frequency governors, a shared turbo budget and thermal
+    /// throttling. The governor here is only the default; campaign
+    /// cells override it per [`crate::ExecConfig::governor`].
+    pub fn intel_dvfs() -> Platform {
+        let mut p = Platform::intel();
+        p.machine.dvfs =
+            noiselab_machine::DvfsConfig::enabled_default(noiselab_machine::Governor::Performance);
+        p
+    }
+
     /// A64FX HPC node. With `reserved = true`, two firmware-reserved
     /// cores exist and all OS noise threads are pinned to them (the BSC
     /// system); otherwise noise roams over the 48 user cores (the MACC
@@ -75,7 +86,7 @@ impl Platform {
     }
 
     /// CLI/spec names accepted by [`Platform::by_name`].
-    pub const NAMES: [&'static str; 4] = ["intel", "amd", "a64fx", "a64fx-reserved"];
+    pub const NAMES: [&'static str; 5] = ["intel", "amd", "a64fx", "a64fx-reserved", "intel-dvfs"];
 
     /// Construct a preset platform from its CLI/spec name. The single
     /// source of truth for name resolution, shared by the `noiselab`
@@ -87,6 +98,7 @@ impl Platform {
             "amd" => Some(Platform::amd()),
             "a64fx" => Some(Platform::a64fx(false)),
             "a64fx-reserved" => Some(Platform::a64fx(true)),
+            "intel-dvfs" => Some(Platform::intel_dvfs()),
             _ => None,
         }
     }
@@ -113,5 +125,22 @@ mod tests {
     fn runlevel3_removes_gui() {
         let p = Platform::intel().runlevel3();
         assert!(p.noise.daemons.iter().all(|d| d.name != "gnome-shell"));
+    }
+
+    #[test]
+    fn intel_dvfs_enables_the_frequency_axis() {
+        let p = Platform::intel_dvfs();
+        assert!(p.machine.dvfs.enabled);
+        assert!(p.machine.dvfs.is_sane());
+        // Every other preset ships the axis disabled.
+        for name in Platform::NAMES {
+            if name != "intel-dvfs" {
+                assert!(
+                    !Platform::by_name(name).unwrap().machine.dvfs.enabled,
+                    "{name}"
+                );
+            }
+        }
+        assert_eq!(Platform::by_name("intel-dvfs"), Some(p));
     }
 }

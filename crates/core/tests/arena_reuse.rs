@@ -19,11 +19,16 @@ struct Cell {
     model: Model,
     tracing: bool,
     telemetry: bool,
+    /// `Some(g)` runs the cell with the DVFS axis enabled under that
+    /// governor — frequency state lives in the kernel arena too, so
+    /// reuse must be clean across the dimension in both directions.
+    governor: Option<noiselab_machine::Governor>,
 }
 
 fn run_in(arena: &mut RunArena, cell: &Cell) -> RunOutput {
     let p = Platform::intel();
-    let cfg = ExecConfig::new(cell.model, Mitigation::Rm);
+    let mut cfg = ExecConfig::new(cell.model, Mitigation::Rm);
+    cfg.governor = cell.governor;
     let observe = Observe {
         telemetry: cell.telemetry.then(TelemetryConfig::default),
         ..Observe::default()
@@ -65,20 +70,27 @@ proptest! {
         dirty_sycl in any::<bool>(),
         tracing in any::<bool>(),
         telemetry in any::<bool>(),
+        dvfs in any::<bool>(),
+        dirty_dvfs in any::<bool>(),
     ) {
+        use noiselab_machine::Governor;
         let cell = Cell {
             seed,
             model: if sycl { Model::Sycl } else { Model::Omp },
             tracing,
             telemetry,
+            governor: dvfs.then_some(Governor::Schedutil),
         };
         // Dirty the arena with the most stateful observation mode
-        // (tracer + telemetry both on) of an unrelated cell.
+        // (tracer + telemetry both on) of an unrelated cell — with the
+        // DVFS dimension flipped independently, so enabled-after-disabled
+        // and disabled-after-enabled both get exercised.
         let dirty = Cell {
             seed: dirty_seed,
             model: if dirty_sycl { Model::Sycl } else { Model::Omp },
             tracing: true,
             telemetry: true,
+            governor: dirty_dvfs.then_some(Governor::Performance),
         };
 
         let fresh = run_in(&mut RunArena::default(), &cell);
@@ -104,19 +116,22 @@ fn repeated_reuse_never_drifts() {
         model: Model::Omp,
         tracing: true,
         telemetry: true,
+        governor: None,
     };
     let fresh = run_in(&mut RunArena::default(), &cell);
     let mut arena = RunArena::default();
     for rep in 0..5 {
         let reused = run_in(&mut arena, &cell);
         assert_identical(&fresh, &reused);
-        // Interleave a different cell so reuse isn't trivially same-run.
+        // Interleave a different cell so reuse isn't trivially same-run
+        // — a DVFS-enabled one, so frequency state must wash out too.
         if rep % 2 == 0 {
             let other = Cell {
                 seed: 7 + rep,
                 model: Model::Sycl,
                 tracing: false,
                 telemetry: rep % 4 == 0,
+                governor: Some(noiselab_machine::Governor::Performance),
             };
             let _ = run_in(&mut arena, &other);
         }
@@ -133,11 +148,16 @@ fn arena_survives_mode_flips_after_partial_state() {
         model: Model::Omp,
         tracing: false,
         telemetry: false,
+        governor: None,
     };
     let fresh = run_in(&mut RunArena::default(), &cell);
     let mut arena = RunArena::default();
-    // Dirty with every observation mode in sequence.
-    for (tracing, telemetry) in [(true, true), (true, false), (false, true)] {
+    // Dirty with every observation mode in sequence, alternating the
+    // DVFS axis so stale frequency state gets a chance to leak.
+    for (i, (tracing, telemetry)) in [(true, true), (true, false), (false, true)]
+        .into_iter()
+        .enumerate()
+    {
         let _ = run_in(
             &mut arena,
             &Cell {
@@ -145,6 +165,7 @@ fn arena_survives_mode_flips_after_partial_state() {
                 model: Model::Sycl,
                 tracing,
                 telemetry,
+                governor: (i % 2 == 0).then_some(noiselab_machine::Governor::Powersave),
             },
         );
     }

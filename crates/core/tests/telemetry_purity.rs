@@ -55,9 +55,14 @@ proptest! {
         seed in 1u64..50_000,
         sycl in any::<bool>(),
         tracing in any::<bool>(),
+        dvfs in any::<bool>(),
     ) {
         let model = if sycl { Model::Sycl } else { Model::Omp };
-        let cfg = ExecConfig::new(model, Mitigation::Rm);
+        // Half the cases run with the DVFS axis on: frequency-transition
+        // and throttle records flow through the observer wire path, so
+        // the purity property must hold across the new record kinds too.
+        let mut cfg = ExecConfig::new(model, Mitigation::Rm);
+        cfg.governor = dvfs.then_some(noiselab_machine::Governor::Schedutil);
         let p = Platform::intel();
         let bare = run_once(&p, &tiny_nbody(), &cfg, seed, tracing, None)
             .expect("bare run failed");

@@ -158,6 +158,7 @@ mod tests {
             tick_period: SimDuration::from_millis(4),
             reserved_cpus: CpuSet::EMPTY,
             numa_domains: 1,
+            dvfs: Default::default(),
         }
     }
 

@@ -1,0 +1,427 @@
+//! Kernel-side DVFS state: per-CPU frequency levels, the shared turbo
+//! budget, and the integer thermal accumulator.
+//!
+//! [`DvfsRuntime`] is the live half of
+//! [`noiselab_machine::dvfs::DvfsConfig`]. The kernel holds it as an
+//! `Option` — `None` when the machine's DVFS axis is disabled — so a
+//! disabled run executes *zero* DVFS code: no events, no records, no
+//! floating-point perturbation, which is what keeps pre-DVFS outputs
+//! bit-identical (proven by the `dvfs_identity` test in
+//! `noiselab-core`).
+//!
+//! Determinism rules, in order of importance:
+//!
+//! * **No randomness.** Governor decisions are pure functions of
+//!   `(level, heat, runqueue depth, turbo budget)`.
+//! * **Integer thermal state.** The accumulator is
+//!   `milli-heat x 1000` (i.e. milli-heat per *micro*second rates
+//!   applied per *nano*second without dividing), so it is exact no
+//!   matter how the kernel slices runtime charges. Floats appear only
+//!   in the cached `freq_factor`, which is a pure function of two
+//!   config integers and never feeds back into integer state.
+//! * **Busy-only evaluation.** Frequency and throttle transitions are
+//!   evaluated at busy-CPU activity points (dispatch of a thread, the
+//!   busy tick). An idle CPU sits at min frequency and its parked
+//!   (tickless) ticks touch no DVFS state, preserving eager/tickless
+//!   equivalence.
+//!
+//! Cycle accounting: every charged busy nanosecond adds
+//! `ns x current_khz` to a per-CPU `u128`. Every frequency change site
+//! charges the running thread *first*, so the cycle total is exactly
+//! reconstructible from the `SwitchIn`/`SwitchOut`/`FreqTransition`
+//! record stream — the conformance suite's frequency-conservation
+//! invariant replays precisely that.
+
+use crate::observe::DecisionPoint;
+use noiselab_machine::dvfs::{DvfsConfig, FreqLevel, Governor};
+use noiselab_sim::SimTime;
+
+/// What one governor/throttle evaluation decided; the kernel turns this
+/// into `SchedRecord`s and `Decision` notes. At most one throttle edge
+/// and one frequency transition can happen per evaluation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DvfsOutcome {
+    /// `(heat_milli, entered)` when the CPU crossed a throttle boundary.
+    pub throttle: Option<(u64, bool)>,
+    /// `(from_khz, to_khz, why)` when the CPU changed frequency.
+    pub transition: Option<(u32, u32, DecisionPoint)>,
+}
+
+/// End-of-run summary for telemetry and the conformance runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DvfsSummary {
+    /// Per-CPU `sum(busy_ns x khz)` — the exact cycle account.
+    pub cycles: Vec<u128>,
+    /// Frequency transitions over the whole run.
+    pub transitions: u64,
+    /// Throttle-enter edges over the whole run.
+    pub throttle_enters: u64,
+    /// Per-CPU wall time spent throttled (closed at `now` for CPUs
+    /// still throttled when the run ends).
+    pub throttled_ns: Vec<u64>,
+}
+
+pub struct DvfsRuntime {
+    cfg: DvfsConfig,
+    level: Vec<FreqLevel>,
+    /// Cached `cfg.freq_factor(level[c])`; multiplied into the compute
+    /// factor on the rate path.
+    factor: Vec<f64>,
+    /// Thermal accumulator in milli-heat x 1000 (see module docs).
+    heat_x1000: Vec<u64>,
+    /// Wall time (ns) up to which heating/cooling has been applied.
+    heat_updated: Vec<u64>,
+    throttled: Vec<bool>,
+    /// Throttle-enter time (ns), valid while `throttled[c]`.
+    throttle_since: Vec<u64>,
+    /// Closed throttle window total per CPU.
+    throttled_ns: Vec<u64>,
+    /// CPUs currently at turbo, per package.
+    turbo_used: Vec<u32>,
+    cycles: Vec<u128>,
+    transitions: u64,
+    throttle_enters: u64,
+}
+
+impl DvfsRuntime {
+    pub fn new(cfg: DvfsConfig, n_cpus: usize) -> Self {
+        debug_assert!(cfg.enabled && cfg.is_sane());
+        let n_pkg = cfg.n_packages(n_cpus as u32) as usize;
+        let min_factor = cfg.freq_factor(FreqLevel::Min);
+        DvfsRuntime {
+            level: vec![FreqLevel::Min; n_cpus],
+            factor: vec![min_factor; n_cpus],
+            heat_x1000: vec![0; n_cpus],
+            heat_updated: vec![0; n_cpus],
+            throttled: vec![false; n_cpus],
+            throttle_since: vec![0; n_cpus],
+            throttled_ns: vec![0; n_cpus],
+            turbo_used: vec![0; n_pkg],
+            cycles: vec![0; n_cpus],
+            transitions: 0,
+            throttle_enters: 0,
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &DvfsConfig {
+        &self.cfg
+    }
+
+    /// Compute-roof multiplier for the rate path: current frequency
+    /// over turbo, in (0, 1].
+    #[inline]
+    pub fn factor(&self, cpu: usize) -> f64 {
+        self.factor[cpu]
+    }
+
+    #[inline]
+    pub fn khz(&self, cpu: usize) -> u32 {
+        self.cfg.khz(self.level[cpu])
+    }
+
+    #[inline]
+    pub fn level(&self, cpu: usize) -> FreqLevel {
+        self.level[cpu]
+    }
+
+    #[inline]
+    pub fn is_throttled(&self, cpu: usize) -> bool {
+        self.throttled[cpu]
+    }
+
+    /// Account `busy_ns` of charged runtime on `cpu` ending at `now`:
+    /// cycles at the current frequency, heat at the current level's
+    /// rate. Called from the kernel's single runtime-charge site, which
+    /// every frequency-change site flushes first.
+    pub fn charge(&mut self, cpu: usize, busy_ns: u64, now: SimTime) {
+        self.cycles[cpu] += busy_ns as u128 * self.khz(cpu) as u128;
+        self.settle_heat(cpu, now, busy_ns);
+    }
+
+    /// Advance the thermal accumulator to `now`: `busy_ns` of heating
+    /// at the current level plus always-on cooling over the wall gap.
+    /// Pure cooling composes exactly (settling twice equals settling
+    /// once over the union), so lazy evaluation cannot diverge.
+    fn settle_heat(&mut self, cpu: usize, now: SimTime, busy_ns: u64) {
+        let wall = now.nanos().saturating_sub(self.heat_updated[cpu]);
+        self.heat_updated[cpu] = now.nanos();
+        let h = &mut self.heat_x1000[cpu];
+        *h += busy_ns * self.cfg.heat_rate(self.level[cpu]);
+        *h = h.saturating_sub(wall * self.cfg.cool);
+    }
+
+    /// Heat in milli-heat, as reported in `Throttle` records.
+    pub fn heat_milli(&self, cpu: usize) -> u64 {
+        self.heat_x1000[cpu] / 1000
+    }
+
+    /// Move `cpu` to `to`, maintaining the package turbo budget.
+    /// Returns `(from_khz, to_khz)`.
+    fn set_level(&mut self, cpu: usize, to: FreqLevel) -> (u32, u32) {
+        let from = self.level[cpu];
+        debug_assert_ne!(from, to);
+        let pkg = self.cfg.package_of(cpu as u32) as usize;
+        if from == FreqLevel::Turbo {
+            debug_assert!(self.turbo_used[pkg] > 0);
+            self.turbo_used[pkg] -= 1;
+        }
+        if to == FreqLevel::Turbo {
+            self.turbo_used[pkg] += 1;
+            debug_assert!(self.turbo_used[pkg] <= self.cfg.turbo_slots);
+        }
+        self.level[cpu] = to;
+        self.factor[cpu] = self.cfg.freq_factor(to);
+        self.transitions += 1;
+        (self.cfg.khz(from), self.cfg.khz(to))
+    }
+
+    /// Busy-CPU evaluation: settle heat, run the throttle state
+    /// machine, then let the governor pick a level. `depth` is the
+    /// number of threads still queued on the CPU (the schedutil load
+    /// signal). Called after the running thread's time has been
+    /// charged, so heat and cycles are current.
+    pub fn eval(&mut self, cpu: usize, now: SimTime, depth: u32) -> DvfsOutcome {
+        self.settle_heat(cpu, now, 0);
+        let mut out = DvfsOutcome::default();
+        let heat = self.heat_x1000[cpu];
+
+        if !self.throttled[cpu] {
+            if heat >= self.cfg.throttle_at * 1000 {
+                self.throttled[cpu] = true;
+                self.throttle_since[cpu] = now.nanos();
+                self.throttle_enters += 1;
+                out.throttle = Some((heat / 1000, true));
+                if self.level[cpu] != FreqLevel::Min {
+                    let (f, t) = self.set_level(cpu, FreqLevel::Min);
+                    out.transition = Some((f, t, DecisionPoint::ThrottleEnter));
+                }
+                return out;
+            }
+        } else if heat <= self.cfg.release_at * 1000 {
+            self.throttled[cpu] = false;
+            self.throttled_ns[cpu] += now.nanos() - self.throttle_since[cpu];
+            out.throttle = Some((heat / 1000, false));
+            // Fall through: the governor reclaims control below.
+        } else {
+            // Still hot: clamped to min; nothing to decide.
+            debug_assert_eq!(self.level[cpu], FreqLevel::Min);
+            return out;
+        }
+
+        let exiting = out.throttle.is_some();
+        let want_turbo = match self.cfg.governor {
+            Governor::Performance => true,
+            Governor::Powersave => false,
+            Governor::Schedutil => depth > 0,
+        };
+        let pkg = self.cfg.package_of(cpu as u32) as usize;
+        let (target, why) = if want_turbo {
+            // Already holding a slot, or a free slot exists in the
+            // package: turbo is granted.
+            if self.level[cpu] == FreqLevel::Turbo || self.turbo_used[pkg] < self.cfg.turbo_slots {
+                (FreqLevel::Turbo, DecisionPoint::TurboGrant)
+            } else {
+                (FreqLevel::Base, DecisionPoint::TurboDeny)
+            }
+        } else if self.cfg.governor == Governor::Powersave {
+            (FreqLevel::Min, DecisionPoint::FreqIdle)
+        } else {
+            (FreqLevel::Base, DecisionPoint::TurboDeny)
+        };
+        if target != self.level[cpu] {
+            let why = if exiting {
+                DecisionPoint::ThrottleExit
+            } else {
+                why
+            };
+            let (f, t) = self.set_level(cpu, target);
+            out.transition = Some((f, t, why));
+        }
+        out
+    }
+
+    /// Idle-entry evaluation: drop to min and release any turbo slot.
+    /// Returns the transition, or `None` when the CPU is already at min
+    /// — the no-op fast path that makes redundant calls (idle ticks)
+    /// side-effect free.
+    pub fn idle(&mut self, cpu: usize, now: SimTime) -> Option<(u32, u32)> {
+        if self.level[cpu] == FreqLevel::Min {
+            return None;
+        }
+        self.settle_heat(cpu, now, 0);
+        Some(self.set_level(cpu, FreqLevel::Min))
+    }
+
+    /// Close a throttle window for reporting: wall time spent throttled
+    /// up to `now` on `cpu`, counting a still-open window.
+    pub fn throttled_ns_at(&self, cpu: usize, now: SimTime) -> u64 {
+        let open = if self.throttled[cpu] {
+            now.nanos() - self.throttle_since[cpu]
+        } else {
+            0
+        };
+        self.throttled_ns[cpu] + open
+    }
+
+    /// The time the current throttle window opened (valid while
+    /// [`Self::is_throttled`]).
+    pub fn throttle_since(&self, cpu: usize) -> SimTime {
+        SimTime(self.throttle_since[cpu])
+    }
+
+    pub fn summary(&self, now: SimTime) -> DvfsSummary {
+        DvfsSummary {
+            cycles: self.cycles.clone(),
+            transitions: self.transitions,
+            throttle_enters: self.throttle_enters,
+            throttled_ns: (0..self.level.len())
+                .map(|c| self.throttled_ns_at(c, now))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_cfg(governor: Governor) -> DvfsConfig {
+        DvfsConfig {
+            // Heats fast, cools slowly: throttles within microseconds.
+            heat_turbo: 4000,
+            heat_base: 1000,
+            cool: 100,
+            throttle_at: 1000,
+            release_at: 500,
+            turbo_slots: 1,
+            ..DvfsConfig::enabled_default(governor)
+        }
+    }
+
+    #[test]
+    fn boots_at_min_and_performance_boosts_to_turbo() {
+        let mut d = DvfsRuntime::new(DvfsConfig::enabled_default(Governor::Performance), 2);
+        assert_eq!(d.level(0), FreqLevel::Min);
+        let out = d.eval(0, SimTime(100), 0);
+        assert!(out.throttle.is_none());
+        let (f, t, why) = out.transition.unwrap();
+        assert_eq!((f, t), (800_000, 5_200_000));
+        assert_eq!(why, DecisionPoint::TurboGrant);
+        assert_eq!(d.level(0), FreqLevel::Turbo);
+    }
+
+    #[test]
+    fn turbo_budget_denies_third_cpu() {
+        let cfg = DvfsConfig {
+            turbo_slots: 2,
+            ..DvfsConfig::enabled_default(Governor::Performance)
+        };
+        let mut d = DvfsRuntime::new(cfg, 4);
+        d.eval(0, SimTime(1), 0);
+        d.eval(1, SimTime(1), 0);
+        let out = d.eval(2, SimTime(1), 0);
+        let (_, t, why) = out.transition.unwrap();
+        assert_eq!(t, 3_600_000);
+        assert_eq!(why, DecisionPoint::TurboDeny);
+        // CPU 0 going idle frees a slot for CPU 2.
+        assert!(d.idle(0, SimTime(2)).is_some());
+        let out = d.eval(2, SimTime(2), 0);
+        assert_eq!(out.transition.unwrap().2, DecisionPoint::TurboGrant);
+    }
+
+    #[test]
+    fn powersave_stays_at_min() {
+        let mut d = DvfsRuntime::new(DvfsConfig::enabled_default(Governor::Powersave), 1);
+        let out = d.eval(0, SimTime(100), 3);
+        assert!(out.transition.is_none());
+        assert_eq!(d.level(0), FreqLevel::Min);
+        assert!(d.idle(0, SimTime(200)).is_none());
+    }
+
+    #[test]
+    fn schedutil_follows_queue_depth() {
+        let mut d = DvfsRuntime::new(DvfsConfig::enabled_default(Governor::Schedutil), 1);
+        // Lone runner: base.
+        let out = d.eval(0, SimTime(1), 0);
+        assert_eq!(out.transition.unwrap().1, 3_600_000);
+        // Work queued behind it: turbo.
+        let out = d.eval(0, SimTime(2), 2);
+        assert_eq!(out.transition.unwrap().2, DecisionPoint::TurboGrant);
+        // Queue drains: back to base.
+        let out = d.eval(0, SimTime(3), 0);
+        assert_eq!(out.transition.unwrap().1, 3_600_000);
+        assert_eq!(out.transition.unwrap().2, DecisionPoint::TurboDeny);
+    }
+
+    #[test]
+    fn throttle_hysteresis_enter_and_exit() {
+        let mut d = DvfsRuntime::new(hot_cfg(Governor::Performance), 1);
+        d.eval(0, SimTime(0), 0); // -> turbo
+                                  // 300 ns busy at turbo: heat_x1000 = 300*4000 = 1_200_000
+                                  // minus 300*100 cooling = 1_170_000 >= throttle_at*1000.
+        d.charge(0, 300, SimTime(300));
+        let out = d.eval(0, SimTime(300), 0);
+        let (heat, entered) = out.throttle.unwrap();
+        assert!(entered);
+        assert!(heat >= 1000, "enter heat {heat} below threshold");
+        assert_eq!(out.transition.unwrap().2, DecisionPoint::ThrottleEnter);
+        assert_eq!(d.level(0), FreqLevel::Min);
+        assert!(d.is_throttled(0));
+
+        // Still hot shortly after: no event, stays clamped.
+        let out = d.eval(0, SimTime(600), 0);
+        assert!(out.throttle.is_none() && out.transition.is_none());
+
+        // Cooling 100/us: from ~1.17e6 needs ~6700 ns to reach
+        // release_at*1000 = 500_000.
+        let out = d.eval(0, SimTime(10_000), 0);
+        let (heat, entered) = out.throttle.unwrap();
+        assert!(!entered);
+        assert!(heat <= 500, "exit heat {heat} above release");
+        // Governor reclaims control in the same evaluation.
+        let (_, t, why) = out.transition.unwrap();
+        assert_eq!(t, 5_200_000);
+        assert_eq!(why, DecisionPoint::ThrottleExit);
+        assert_eq!(d.throttled_ns_at(0, SimTime(10_000)), 9_700);
+    }
+
+    #[test]
+    fn cycles_account_busy_time_at_current_khz() {
+        let mut d = DvfsRuntime::new(DvfsConfig::enabled_default(Governor::Performance), 1);
+        d.charge(0, 100, SimTime(100)); // at min
+        d.eval(0, SimTime(100), 0); // -> turbo
+        d.charge(0, 50, SimTime(150));
+        let s = d.summary(SimTime(150));
+        assert_eq!(s.cycles[0], 100 * 800_000 + 50 * 5_200_000);
+        assert_eq!(s.transitions, 1);
+    }
+
+    #[test]
+    fn settle_composes_exactly() {
+        // Settling in two steps equals settling once over the union —
+        // the property that makes lazy heat evaluation safe.
+        let mut a = DvfsRuntime::new(hot_cfg(Governor::Performance), 1);
+        let mut b = DvfsRuntime::new(hot_cfg(Governor::Performance), 1);
+        a.charge(0, 500, SimTime(500));
+        a.settle_heat(0, SimTime(700), 0);
+        a.settle_heat(0, SimTime(9000), 0);
+        b.charge(0, 500, SimTime(500));
+        b.settle_heat(0, SimTime(9000), 0);
+        assert_eq!(a.heat_x1000[0], b.heat_x1000[0]);
+    }
+
+    #[test]
+    fn idle_releases_turbo_slot_and_is_idempotent() {
+        let cfg = DvfsConfig {
+            turbo_slots: 1,
+            ..DvfsConfig::enabled_default(Governor::Performance)
+        };
+        let mut d = DvfsRuntime::new(cfg, 2);
+        d.eval(0, SimTime(1), 0);
+        assert_eq!(d.turbo_used[0], 1);
+        assert_eq!(d.idle(0, SimTime(2)), Some((5_200_000, 800_000)));
+        assert_eq!(d.turbo_used[0], 0);
+        assert_eq!(d.idle(0, SimTime(3)), None);
+    }
+}

@@ -263,6 +263,13 @@ pub struct Kernel {
     obs_events: Vec<WireRecord>,
     /// Intern table for the noise-source labels in `obs_events`.
     obs_intern: InternTable,
+    /// Live DVFS state (frequency levels, turbo budget, thermal
+    /// accumulator). `None` when the machine's DVFS axis is disabled:
+    /// no events, no rate scaling, no state — bit-identical to the
+    /// pre-DVFS simulator. Deliberately *not* recycled through
+    /// [`KernelStorage`]: the vectors are tiny (per-CPU) and a fresh
+    /// runtime per run keeps arena reuse trivially pure.
+    dvfs: Option<crate::dvfs::DvfsRuntime>,
 }
 
 /// `obs_mask` bit: an event sanitizer is attached.
@@ -352,6 +359,10 @@ impl Kernel {
         obs_events.clear();
         let mut obs_intern = std::mem::take(&mut storage.obs_intern);
         obs_intern.clear();
+        let dvfs = machine
+            .dvfs
+            .enabled
+            .then(|| crate::dvfs::DvfsRuntime::new(machine.dvfs.clone(), n));
         Kernel {
             machine,
             config,
@@ -380,6 +391,7 @@ impl Kernel {
             obs_mask: 0,
             obs_events,
             obs_intern,
+            dvfs,
         }
     }
 
@@ -1032,6 +1044,10 @@ impl Kernel {
                 self.queue.cancel(self.cpus[ci].irq_token);
                 self.cpus[ci].irq_token = self.queue.schedule(end, KEvent::IrqDone(ci as u32));
             }
+            // The busy tick is the periodic governor/thermal evaluation
+            // point (runtime was just charged, so heat is current); the
+            // recompute below then applies any new frequency.
+            self.dvfs_eval(ci);
             self.recompute_rates_for(ci);
         } else {
             // --- periodic idle balancing --------------------------------
@@ -1533,6 +1549,7 @@ impl Kernel {
         let Some(tid) = next else {
             self.cpus[ci].cfs.refresh_floor(None);
             self.note_decision(ci, DecisionPoint::PickNone);
+            self.dvfs_idle(ci);
             self.prof_exit(Phase::Scheduler);
             return;
         };
@@ -1558,6 +1575,12 @@ impl Kernel {
         }
         // A busy CPU always ticks; re-arm if this CPU had parked.
         self.arm_tick(ci);
+        // Idle-to-busy governor evaluation (the previous occupant, if
+        // any, was charged in `off_cpu`, so heat and cycles are
+        // current). Emitted before `SwitchIn` so a replay of the record
+        // stream sees the new frequency from the very start of the
+        // stint.
+        self.dvfs_eval(ci);
         self.threads[i].state = ThreadState::Running;
         self.threads[i].cpu = Some(CpuId(ci as u32));
         self.threads[i].on_cpu_since = now;
@@ -2027,6 +2050,12 @@ impl Kernel {
             self.threads[i].stats.cpu_ns += delta.nanos();
             if let Some(cpu) = self.threads[i].cpu {
                 self.cpus[cpu.index()].busy_ns += delta.nanos();
+                // DVFS cycle/heat accounting shares the single charge
+                // site, so every frequency-change point (which charges
+                // first) sees exact totals at the old frequency.
+                if let Some(d) = self.dvfs.as_mut() {
+                    d.charge(cpu.index(), delta.nanos(), now);
+                }
                 if !self.threads[i].policy.is_rt() {
                     let v = self.threads[i].vruntime;
                     self.cpus[cpu.index()].cfs.refresh_floor(Some(v));
@@ -2036,7 +2065,10 @@ impl Kernel {
         self.threads[i].charged_until = now;
     }
 
-    /// SMT/IRQ throughput factor for the compute running on `ci`.
+    /// SMT/IRQ/frequency throughput factor for the compute running on
+    /// `ci`. Frequency multiplies in here (and nowhere else), so both
+    /// the rate and the water-fill demand paths see it consistently; a
+    /// disabled DVFS axis contributes exactly nothing.
     fn compute_factor(&self, ci: usize, now: SimTime) -> f64 {
         let mut factor = 1.0;
         if let Some(sib) = self.machine.sibling_of(CpuId(ci as u32)) {
@@ -2046,10 +2078,116 @@ impl Kernel {
                 }
             }
         }
+        if let Some(d) = self.dvfs.as_ref() {
+            factor *= d.factor(ci);
+        }
         if self.cpus[ci].in_irq(now) {
             factor = 0.0;
         }
         factor
+    }
+
+    // ------------------------------------------------------------------
+    // DVFS
+    // ------------------------------------------------------------------
+
+    /// Governor/thermal evaluation for a busy CPU (dispatch pick, busy
+    /// tick). A single `None` check when the axis is disabled.
+    fn dvfs_eval(&mut self, ci: usize) {
+        if self.dvfs.is_none() {
+            return;
+        }
+        let now = self.now();
+        let depth = (self.cpus[ci].rt.len() + self.cpus[ci].cfs.len()) as u32;
+        // A throttle exit needs the window start before `eval` closes it.
+        let d = self.dvfs.as_ref().unwrap();
+        let window_start = d.is_throttled(ci).then(|| d.throttle_since(ci));
+        let out = self.dvfs.as_mut().unwrap().eval(ci, now, depth);
+        if let Some((heat_milli, entered)) = out.throttle {
+            self.note_decision(
+                ci,
+                if entered {
+                    DecisionPoint::ThrottleEnter
+                } else {
+                    DecisionPoint::ThrottleExit
+                },
+            );
+            self.flush_obs_events();
+            if let Some(obs) = self.observer.as_mut() {
+                obs.sched(&SchedRecord::Throttle {
+                    cpu: ci as u32,
+                    time: now,
+                    heat_milli,
+                    entered,
+                });
+            }
+            // A closed throttle window is an interference interval like
+            // any other: report it to the osnoise tracer so the advisor
+            // can blame "dvfs:throttle" per (source, CPU).
+            if !entered {
+                if let Some(start) = window_start {
+                    if self.tracer.is_some() {
+                        self.prof_enter(Phase::Tracer);
+                        self.pending_trace_ns[ci] += self.config.trace_event_overhead.nanos();
+                    }
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.record(
+                            CpuId(ci as u32),
+                            NoiseClass::Thread,
+                            "dvfs:throttle",
+                            None,
+                            start,
+                            SimDuration(now.nanos() - start.nanos()),
+                        );
+                        self.prof_exit(Phase::Tracer);
+                    }
+                }
+            }
+        }
+        if let Some((from_khz, to_khz, why)) = out.transition {
+            self.note_decision(ci, why);
+            self.flush_obs_events();
+            if let Some(obs) = self.observer.as_mut() {
+                obs.sched(&SchedRecord::FreqTransition {
+                    cpu: ci as u32,
+                    time: now,
+                    from_khz,
+                    to_khz,
+                });
+            }
+        }
+    }
+
+    /// Idle-entry frequency drop (dispatch found nothing runnable).
+    /// Redundant calls — an idle CPU's tick-driven dispatch attempts —
+    /// are no-ops that touch no DVFS state, preserving eager/tickless
+    /// equivalence.
+    fn dvfs_idle(&mut self, ci: usize) {
+        let now = self.now();
+        let Some((from_khz, to_khz)) = self.dvfs.as_mut().and_then(|d| d.idle(ci, now)) else {
+            return;
+        };
+        self.note_decision(ci, DecisionPoint::FreqIdle);
+        self.flush_obs_events();
+        if let Some(obs) = self.observer.as_mut() {
+            obs.sched(&SchedRecord::FreqTransition {
+                cpu: ci as u32,
+                time: now,
+                from_khz,
+                to_khz,
+            });
+        }
+    }
+
+    /// End-of-run DVFS summary (cycle totals, transition and throttle
+    /// counts), when the axis is enabled.
+    pub fn dvfs_summary(&self) -> Option<crate::dvfs::DvfsSummary> {
+        self.dvfs.as_ref().map(|d| d.summary(self.now()))
+    }
+
+    /// Current frequency of a CPU in kHz, when DVFS is enabled.
+    pub fn cpu_khz(&self, cpu: CpuId) -> Option<u32> {
+        self.dvfs.as_ref().map(|d| d.khz(cpu.index()))
     }
 
     /// Set `tid`'s rate and (re)schedule its completion. When the rate is

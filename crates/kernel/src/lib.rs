@@ -41,6 +41,7 @@
 pub mod action;
 pub mod config;
 pub mod cpu;
+pub mod dvfs;
 pub mod fault;
 pub mod ids;
 pub mod kernel;
@@ -53,6 +54,7 @@ pub mod wire;
 
 pub use action::{Action, Behavior, Ctx, FnBehavior, ScriptBehavior};
 pub use config::KernelConfig;
+pub use dvfs::{DvfsRuntime, DvfsSummary};
 pub use fault::{CpuStallSpec, FaultPlan, FaultStats, SpuriousIrqSpec, ThreadAbortSpec};
 pub use ids::{BarrierId, ThreadId, WaitId};
 pub use kernel::{Kernel, KernelStorage, RunError, ThreadSpec};

@@ -101,6 +101,27 @@ pub enum SchedRecord<'a> {
         time: SimTime,
         point: DecisionPoint,
     },
+    /// A CPU changed frequency (DVFS). `from_khz`/`to_khz` name the
+    /// levels; the conformance invariants chain these per CPU (each
+    /// record's `from_khz` must equal the previous record's `to_khz`)
+    /// and audit the per-package turbo budget from the stream alone.
+    FreqTransition {
+        cpu: u32,
+        time: SimTime,
+        from_khz: u32,
+        to_khz: u32,
+    },
+    /// A CPU crossed a thermal-throttle boundary. `heat_milli` is the
+    /// integer thermal accumulator at the transition; `entered == true`
+    /// means the CPU is now clamped to its minimum frequency. The
+    /// hysteresis invariant checks enter-heat against the configured
+    /// threshold and exit-heat against the release point.
+    Throttle {
+        cpu: u32,
+        time: SimTime,
+        heat_milli: u64,
+        entered: bool,
+    },
 }
 
 /// A branch the scheduler can take at one of its decision sites. Each
@@ -141,10 +162,24 @@ pub enum DecisionPoint {
     StealFair,
     /// Idle balance found no eligible victim.
     StealNone,
+    /// The governor requested turbo and a package slot was free.
+    TurboGrant,
+    /// The governor settled the CPU at base: turbo was requested but
+    /// the package budget was exhausted, or load no longer warrants a
+    /// boost (schedutil downshift).
+    TurboDeny,
+    /// The thermal accumulator crossed the throttle threshold; the CPU
+    /// clamped to min.
+    ThrottleEnter,
+    /// A throttled CPU cooled past the release point and rejoined
+    /// governor control.
+    ThrottleExit,
+    /// A CPU with no runnable work dropped to its idle (min) frequency.
+    FreqIdle,
 }
 
 impl DecisionPoint {
-    pub const ALL: [DecisionPoint; 16] = [
+    pub const ALL: [DecisionPoint; 21] = [
         DecisionPoint::PickRt,
         DecisionPoint::PickFair,
         DecisionPoint::PickSteal,
@@ -161,6 +196,11 @@ impl DecisionPoint {
         DecisionPoint::StealRt,
         DecisionPoint::StealFair,
         DecisionPoint::StealNone,
+        DecisionPoint::TurboGrant,
+        DecisionPoint::TurboDeny,
+        DecisionPoint::ThrottleEnter,
+        DecisionPoint::ThrottleExit,
+        DecisionPoint::FreqIdle,
     ];
 
     /// Dense index into coverage maps; `ALL[p.index()] == p`.
@@ -186,6 +226,11 @@ impl DecisionPoint {
             DecisionPoint::StealRt => "steal-rt",
             DecisionPoint::StealFair => "steal-fair",
             DecisionPoint::StealNone => "steal-none",
+            DecisionPoint::TurboGrant => "turbo-grant",
+            DecisionPoint::TurboDeny => "turbo-deny",
+            DecisionPoint::ThrottleEnter => "throttle-enter",
+            DecisionPoint::ThrottleExit => "throttle-exit",
+            DecisionPoint::FreqIdle => "freq-idle",
         }
     }
 }

@@ -10,11 +10,13 @@
 //! cores) behind the motivation figures.
 
 pub mod cpuset;
+pub mod dvfs;
 pub mod machine;
 pub mod perf;
 pub mod waterfill;
 
 pub use cpuset::{CpuId, CpuSet};
+pub use dvfs::{DvfsConfig, FreqLevel, Governor};
 pub use machine::Machine;
 pub use perf::{PerfModel, SoloProfile, WorkUnit};
 pub use waterfill::{waterfill, waterfill_into};

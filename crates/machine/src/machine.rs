@@ -1,6 +1,7 @@
 //! Machine topology and platform presets.
 
 use crate::cpuset::{CpuId, CpuSet};
+use crate::dvfs::DvfsConfig;
 use crate::perf::PerfModel;
 use noiselab_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,12 @@ pub struct Machine {
     /// placement prefers the previous domain — the mechanism that makes
     /// thread pinning valuable on large systems (paper §5.1/§6).
     pub numa_domains: usize,
+    /// Frequency/thermal model (DVFS noise axis). Disabled by default
+    /// — and absent from configs written before it existed — so every
+    /// machine without it behaves bit-identically to the pre-DVFS
+    /// simulator.
+    #[serde(default)]
+    pub dvfs: DvfsConfig,
 }
 
 /// Cross-domain migration cost multiplier (cache refill from a remote
@@ -127,6 +134,7 @@ impl Machine {
             tick_period: SimDuration::from_millis(4),
             reserved_cpus: CpuSet::EMPTY,
             numa_domains: 1,
+            dvfs: DvfsConfig::default(),
         }
     }
 
@@ -150,6 +158,7 @@ impl Machine {
             tick_period: SimDuration::from_millis(4),
             reserved_cpus: CpuSet::EMPTY,
             numa_domains: 1,
+            dvfs: DvfsConfig::default(),
         }
     }
 
@@ -187,6 +196,7 @@ impl Machine {
             tick_period: SimDuration::from_millis(4),
             reserved_cpus,
             numa_domains: 1,
+            dvfs: DvfsConfig::default(),
         }
     }
 
@@ -212,6 +222,7 @@ impl Machine {
             tick_period: SimDuration::from_millis(4),
             reserved_cpus: CpuSet::EMPTY,
             numa_domains: 8,
+            dvfs: DvfsConfig::default(),
         }
     }
 }

@@ -129,6 +129,27 @@ impl PerfModel {
         };
         compute_rate.min(mem_rate).clamp(0.0, 1.0)
     }
+
+    /// Frequency-aware execution rate: `freq_factor` (current frequency
+    /// over turbo, in (0, 1]; see [`crate::dvfs::DvfsConfig::freq_factor`])
+    /// scales the *compute* roof only. A throttled compute-bound unit
+    /// slows in proportion to frequency, while a memory-bound unit keeps
+    /// streaming at its bandwidth allocation — DRAM does not slow down
+    /// with the core clock.
+    ///
+    /// At `freq_factor == 1.0` this is exactly [`Self::rate`] (the
+    /// multiplication is by the IEEE-exact identity), which is what
+    /// keeps DVFS-disabled runs bit-identical.
+    pub fn rate_at_freq(
+        &self,
+        solo: &SoloProfile,
+        compute_factor: f64,
+        bw_alloc: f64,
+        freq_factor: f64,
+    ) -> f64 {
+        debug_assert!(freq_factor > 0.0 && freq_factor <= 1.0);
+        self.rate(solo, compute_factor * freq_factor, bw_alloc)
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +236,32 @@ mod tests {
     fn intensity() {
         assert_eq!(WorkUnit::new(10.0, 5.0).intensity(), 2.0);
         assert!(WorkUnit::compute(10.0).intensity().is_infinite());
+    }
+
+    #[test]
+    fn throttle_slows_compute_bound_but_not_memory_bound() {
+        let m = model();
+        let compute = m.solo(&WorkUnit::compute(1000.0));
+        let stream = m.solo(&WorkUnit::stream(2000.0));
+        // Base/turbo factor ~0.69: compute-bound work slows in exact
+        // proportion, memory-bound keeps its bandwidth-limited rate.
+        let f = 3_600_000.0 / 5_200_000.0;
+        let rc = m.rate_at_freq(&compute, 1.0, 0.0, f);
+        assert!((rc - f).abs() < 1e-12, "rc={rc}");
+        let rm = m.rate_at_freq(&stream, 1.0, stream.bw_demand, f);
+        assert_eq!(rm, 1.0);
+    }
+
+    #[test]
+    fn full_frequency_rate_is_bitwise_plain_rate() {
+        let m = model();
+        let s = m.solo(&WorkUnit::new(500.0, 2000.0));
+        for (cf, bw) in [(1.0, s.bw_demand), (0.6, 3.0), (0.0, 0.0)] {
+            assert_eq!(
+                m.rate_at_freq(&s, cf, bw, 1.0).to_bits(),
+                m.rate(&s, cf, bw).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn machine(cores: usize) -> Machine {
         tick_period: SimDuration::from_millis(1),
         reserved_cpus: CpuSet::EMPTY,
         numa_domains: 1,
+        dvfs: Default::default(),
     }
 }
 

@@ -28,6 +28,7 @@ fn machine(cores: usize) -> Machine {
         tick_period: SimDuration::from_millis(4),
         reserved_cpus: CpuSet::EMPTY,
         numa_domains: 1,
+        dvfs: Default::default(),
     }
 }
 

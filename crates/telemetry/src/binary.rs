@@ -25,26 +25,49 @@
 //! `extend`-style cursor bump per record instead of per-field varint
 //! branching.
 //!
+//! Schema **v3** appends one section to the v2 layout:
+//!
+//! ```text
+//! freq    varint count, then per sample one wire record:
+//!           start = time, dur = khz, thread = MAX, name = MAX, tag = 0
+//! ```
+//!
+//! [`encode`] writes v3 *only when the report carries frequency
+//! samples* (a DVFS-enabled run); any report without them — every run
+//! on a machine with the DVFS axis disabled — encodes to exactly the
+//! v2 bytes it always did, which is what keeps the pre-DVFS golden
+//! fixtures byte-identical.
+//!
 //! [`decode`] also still reads schema **v1** (the all-varint layout
 //! this module shipped with); `tests/golden_binary.rs` pins a v1
 //! fixture byte-for-byte to keep that promise, and pins the v2
 //! encoding of the same report so a format change must update the
 //! fixture (and bump the version).
 
-use crate::recorder::{CounterSample, InstantMark, Span, SpanCat, TelemetryReport};
+use crate::recorder::{CounterSample, FreqSample, InstantMark, Span, SpanCat, TelemetryReport};
 use noiselab_kernel::{WireRecord, WIRE_NO_THREAD, WIRE_RECORD_BYTES};
 use noiselab_sim::SimTime;
 
 pub const MAGIC: &[u8; 4] = b"NLTB";
-/// The schema version [`encode`] writes.
+/// The schema version [`encode`] writes for reports without frequency
+/// samples (every DVFS-disabled run).
 pub const VERSION: u8 = 2;
 /// The legacy all-varint schema [`decode`] still accepts.
 pub const VERSION_V1: u8 = 1;
+/// The v2-plus-freq-section schema [`encode`] writes when the report
+/// carries DVFS frequency samples.
+pub const VERSION_V3: u8 = 3;
 
 /// The schema string embedded in every v2 file.
 pub const SCHEMA: &str = "strings[len,bytes];wire:29B-le[start:u64,dur:u64,cpu:u32,\
                           thread:u32(MAX=none),name:u32,tag:u8];spans[wire,tag=cat];\
                           instants[wire,dur=0];counters[wire,dur=depth,name=MAX]";
+
+/// The schema string embedded in every v3 file.
+pub const SCHEMA_V3: &str = "strings[len,bytes];wire:29B-le[start:u64,dur:u64,cpu:u32,\
+                          thread:u32(MAX=none),name:u32,tag:u8];spans[wire,tag=cat];\
+                          instants[wire,dur=0];counters[wire,dur=depth,name=MAX];\
+                          freq[wire,dur=khz,name=MAX]";
 
 /// The schema string v1 files carry (kept for the decode-compat test).
 pub const SCHEMA_V1: &str = "strings[len,bytes];spans[cpu,thread+1,name,cat:u8,start,dur];\
@@ -67,15 +90,20 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-/// Encode the timeline sections of a report (schema v2).
+/// Encode the timeline sections of a report: schema v2, or v3 when the
+/// report carries DVFS frequency samples.
 pub fn encode(report: &TelemetryReport) -> Vec<u8> {
+    let v3 = !report.freq.is_empty();
     let mut out = Vec::with_capacity(
-        64 + (report.spans.len() + report.instants.len() + report.counters.len())
+        64 + (report.spans.len()
+            + report.instants.len()
+            + report.counters.len()
+            + report.freq.len())
             * WIRE_RECORD_BYTES,
     );
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
-    put_str(&mut out, SCHEMA);
+    out.push(if v3 { VERSION_V3 } else { VERSION });
+    put_str(&mut out, if v3 { SCHEMA_V3 } else { SCHEMA });
     put_varint(&mut out, report.strings.len() as u64);
     for s in &report.strings {
         put_str(&mut out, s);
@@ -116,6 +144,20 @@ pub fn encode(report: &TelemetryReport) -> Vec<u8> {
         }
         .encode_into(&mut out);
     }
+    if v3 {
+        put_varint(&mut out, report.freq.len() as u64);
+        for f in &report.freq {
+            WireRecord {
+                start: f.time.0,
+                dur_ns: f.khz as u64,
+                cpu: f.cpu,
+                thread: WIRE_NO_THREAD,
+                name: u32::MAX,
+                tag: 0,
+            }
+            .encode_into(&mut out);
+        }
+    }
     out
 }
 
@@ -127,6 +169,8 @@ pub struct BinaryTrace {
     pub spans: Vec<Span>,
     pub instants: Vec<InstantMark>,
     pub counters: Vec<CounterSample>,
+    /// DVFS frequency samples; empty for v1/v2 files.
+    pub freq: Vec<FreqSample>,
 }
 
 /// Decode error with byte offset context and, once the header has been
@@ -232,9 +276,10 @@ pub fn decode(buf: &[u8]) -> Result<BinaryTrace, DecodeError> {
     r.version = Some(version);
     match version {
         VERSION_V1 => decode_v1(&mut r),
-        VERSION => decode_v2(&mut r),
+        VERSION => decode_v2(&mut r, false),
+        VERSION_V3 => decode_v2(&mut r, true),
         v => r.err(format!(
-            "unsupported schema version {v} (supported: {VERSION_V1}, {VERSION})"
+            "unsupported schema version {v} (supported: {VERSION_V1}, {VERSION}, {VERSION_V3})"
         )),
     }
 }
@@ -299,11 +344,11 @@ fn decode_v1(r: &mut Reader) -> Result<BinaryTrace, DecodeError> {
         let depth = r.varint()? as u32;
         counters.push(CounterSample { cpu, time, depth });
     }
-    finish(r, schema, strings, spans, instants, counters)
+    finish(r, schema, strings, spans, instants, counters, Vec::new())
 }
 
-/// The fixed-width wire-record layout.
-fn decode_v2(r: &mut Reader) -> Result<BinaryTrace, DecodeError> {
+/// The fixed-width wire-record layout (v2, and v3 with `with_freq`).
+fn decode_v2(r: &mut Reader, with_freq: bool) -> Result<BinaryTrace, DecodeError> {
     let (schema, strings) = decode_strings(r)?;
     let n_spans = r.varint()? as usize;
     let mut spans = Vec::with_capacity(n_spans.min(1 << 16));
@@ -350,9 +395,26 @@ fn decode_v2(r: &mut Reader) -> Result<BinaryTrace, DecodeError> {
             depth: w.dur_ns as u32,
         });
     }
-    finish(r, schema, strings, spans, instants, counters)
+    let mut freq = Vec::new();
+    if with_freq {
+        let n_freq = r.varint()? as usize;
+        freq.reserve(n_freq.min(1 << 16));
+        for _ in 0..n_freq {
+            let w = r.wire("freq")?;
+            if w.dur_ns > u32::MAX as u64 {
+                return r.err(format!("frequency {} kHz overflows u32", w.dur_ns));
+            }
+            freq.push(FreqSample {
+                cpu: w.cpu,
+                time: SimTime(w.start),
+                khz: w.dur_ns as u32,
+            });
+        }
+    }
+    finish(r, schema, strings, spans, instants, counters, freq)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     r: &mut Reader,
     schema: String,
@@ -360,6 +422,7 @@ fn finish(
     spans: Vec<Span>,
     instants: Vec<InstantMark>,
     counters: Vec<CounterSample>,
+    freq: Vec<FreqSample>,
 ) -> Result<BinaryTrace, DecodeError> {
     if r.pos != r.buf.len() {
         return r.err(format!("{} trailing bytes", r.buf.len() - r.pos));
@@ -370,6 +433,7 @@ fn finish(
         spans,
         instants,
         counters,
+        freq,
     })
 }
 
@@ -397,6 +461,7 @@ mod tests {
                 time: SimTime(130),
                 depth: 2,
             }],
+            freq: vec![],
             strings: vec!["w".to_string()],
             n_cpus: 1,
             end: SimTime(200),
@@ -488,7 +553,33 @@ mod tests {
         assert_eq!(err.version, Some(9));
         let msg = err.to_string();
         assert!(msg.contains("unsupported schema version 9"), "{msg}");
-        assert!(msg.contains("supported: 1, 2"), "{msg}");
+        assert!(msg.contains("supported: 1, 2, 3"), "{msg}");
+    }
+
+    #[test]
+    fn freq_samples_promote_to_v3_and_round_trip() {
+        let mut report = small_report();
+        report.freq = vec![
+            FreqSample {
+                cpu: 0,
+                time: SimTime(110),
+                khz: 5_200_000,
+            },
+            FreqSample {
+                cpu: 1,
+                time: SimTime(140),
+                khz: 800_000,
+            },
+        ];
+        let bytes = encode(&report);
+        assert_eq!(bytes[4], VERSION_V3);
+        let trace = decode(&bytes).expect("decode v3");
+        assert_eq!(trace.schema, SCHEMA_V3);
+        assert_eq!(trace.freq, report.freq);
+        assert_eq!(trace.spans, report.spans);
+        // A freq-free report stays on v2, byte for byte.
+        report.freq.clear();
+        assert_eq!(encode(&report)[4], VERSION);
     }
 
     #[test]

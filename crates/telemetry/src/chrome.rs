@@ -111,6 +111,21 @@ pub fn chrome_trace(report: &TelemetryReport, label: &str) -> String {
         ]));
     }
 
+    // Per-CPU frequency counter tracks (DVFS runs only). Reported in
+    // MHz so the Perfetto axis stays readable next to depth counters.
+    for f in &report.freq {
+        events.push(obj(vec![
+            ("ph", s("C")),
+            ("pid", Value::UInt(0)),
+            ("ts", us(f.time.0)),
+            ("name", s(&format!("freq_mhz.cpu{}", f.cpu))),
+            (
+                "args",
+                obj(vec![("mhz", Value::UInt(f.khz as u128 / 1000))]),
+            ),
+        ]));
+    }
+
     let doc = obj(vec![
         ("traceEvents", Value::Array(events)),
         ("displayTimeUnit", s("ns")),

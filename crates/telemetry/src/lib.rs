@@ -32,5 +32,6 @@ pub use chrome::chrome_trace;
 pub use metrics::{CounterEntry, GaugeEntry, HistEntry, MetricsRegistry, MetricsSnapshot};
 pub use profile::{wall_clock, PhaseProfiler, PhaseReport, PhaseRow};
 pub use recorder::{
-    CounterSample, InstantMark, Span, SpanCat, Telemetry, TelemetryConfig, TelemetryReport,
+    CounterSample, FreqSample, InstantMark, Span, SpanCat, Telemetry, TelemetryConfig,
+    TelemetryReport,
 };

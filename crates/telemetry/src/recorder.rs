@@ -131,12 +131,24 @@ pub struct CounterSample {
     pub depth: u32,
 }
 
+/// One frequency sample on a CPU's DVFS counter track, emitted at each
+/// `FreqTransition` record. Empty (and absent from the binary
+/// encoding) unless the machine's DVFS axis is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqSample {
+    pub cpu: u32,
+    pub time: SimTime,
+    pub khz: u32,
+}
+
 /// Everything a finished recorder hands back.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryReport {
     pub spans: Vec<Span>,
     pub instants: Vec<InstantMark>,
     pub counters: Vec<CounterSample>,
+    /// Per-CPU frequency samples (DVFS runs only; otherwise empty).
+    pub freq: Vec<FreqSample>,
     /// Interned span/instant names; `Span::name` indexes this.
     pub strings: Vec<String>,
     /// Highest CPU index seen, plus one.
@@ -175,6 +187,9 @@ struct HotMetrics {
     irq_timer: u64,
     irq_device: u64,
     irq_softirq: u64,
+    freq_transitions: u64,
+    throttle_enters: u64,
+    throttle_exits: u64,
     runq_depth: Log2Hist,
     latency_ns: Log2Hist,
     irq_service_ns: Log2Hist,
@@ -198,6 +213,9 @@ impl HotMetrics {
             ("irq.timer", self.irq_timer),
             ("irq.device", self.irq_device),
             ("irq.softirq", self.irq_softirq),
+            ("dvfs.freq_transitions", self.freq_transitions),
+            ("dvfs.throttle_enters", self.throttle_enters),
+            ("dvfs.throttle_exits", self.throttle_exits),
         ];
         for (name, v) in counters {
             if v > 0 {
@@ -224,6 +242,7 @@ struct Inner {
     spans: Vec<Span>,
     instants: Vec<InstantMark>,
     counters: Vec<CounterSample>,
+    freq: Vec<FreqSample>,
     strings: Vec<String>,
     intern: BTreeMap<String, u32>,
     /// Per-CPU currently-open run/noise span.
@@ -448,6 +467,35 @@ impl Inner {
             SchedRecord::Dequeue { .. } => {
                 self.hot.dequeues += 1;
             }
+            SchedRecord::FreqTransition {
+                cpu, time, to_khz, ..
+            } => {
+                self.saw_cpu(cpu);
+                self.hot.freq_transitions += 1;
+                if self.cfg.timeline {
+                    if self.freq.len() >= self.cfg.max_events {
+                        self.dropped += 1;
+                    } else {
+                        self.freq.push(FreqSample {
+                            cpu,
+                            time,
+                            khz: to_khz,
+                        });
+                    }
+                }
+            }
+            SchedRecord::Throttle {
+                cpu, time, entered, ..
+            } => {
+                self.saw_cpu(cpu);
+                if entered {
+                    self.hot.throttle_enters += 1;
+                    self.push_instant(cpu, "throttle-enter", time);
+                } else {
+                    self.hot.throttle_exits += 1;
+                    self.push_instant(cpu, "throttle-exit", time);
+                }
+            }
         }
     }
 
@@ -474,6 +522,7 @@ impl Inner {
             spans: std::mem::take(&mut self.spans),
             instants: std::mem::take(&mut self.instants),
             counters: std::mem::take(&mut self.counters),
+            freq: std::mem::take(&mut self.freq),
             strings: self.strings.clone(),
             n_cpus: self.n_cpus,
             end,
@@ -505,6 +554,7 @@ impl Telemetry {
                 spans: Vec::new(),
                 instants: Vec::new(),
                 counters: Vec::new(),
+                freq: Vec::new(),
                 strings: Vec::new(),
                 intern: BTreeMap::new(),
                 open: Vec::new(),
@@ -530,6 +580,7 @@ impl Telemetry {
         i.spans.clear();
         i.instants.clear();
         i.counters.clear();
+        i.freq.clear();
         i.strings.clear();
         i.intern.clear();
         i.open.clear();

@@ -12,6 +12,7 @@ use noiselab_sim::SimTime;
 use noiselab_telemetry::{Telemetry, TelemetryConfig, TelemetryReport};
 use std::path::PathBuf;
 
+#[allow(dead_code)] // each test binary compiles its own copy of this module
 pub fn fixture_report() -> TelemetryReport {
     let tele = Telemetry::new(TelemetryConfig::default());
     {
@@ -99,4 +100,76 @@ pub fn fixture_path(name: &str) -> PathBuf {
 /// (`UPDATE_GOLDEN=1 cargo test -p noiselab-telemetry`).
 pub fn update_golden() -> bool {
     std::env::var_os("UPDATE_GOLDEN").is_some()
+}
+
+/// A second fixture with the DVFS axis hot: boost, throttle-drop and
+/// recovery transitions plus throttle enter/exit events on two CPUs,
+/// alongside an ordinary workload span. Non-empty frequency samples
+/// make [`noiselab_telemetry::binary::encode`] emit NLTB **v3**, and
+/// the Chrome exporter grow per-CPU `freq_mhz` counter tracks — both
+/// pinned by `golden_dvfs.rs`.
+#[allow(dead_code)] // each test binary compiles its own copy of this module
+pub fn dvfs_fixture_report() -> TelemetryReport {
+    let tele = Telemetry::new(TelemetryConfig::default());
+    {
+        let mut obs = tele.observer();
+        for rec in [
+            SchedRecord::SwitchIn {
+                cpu: 0,
+                thread: 1,
+                name: "omp-worker-0",
+                kind: ThreadKind::Workload,
+                time: SimTime(100),
+                runq_depth: 0,
+            },
+            // Boost both CPUs out of the boot floor.
+            SchedRecord::FreqTransition {
+                cpu: 0,
+                time: SimTime(150),
+                from_khz: 800_000,
+                to_khz: 5_200_000,
+            },
+            SchedRecord::FreqTransition {
+                cpu: 1,
+                time: SimTime(200),
+                from_khz: 800_000,
+                to_khz: 3_600_000,
+            },
+            // CPU 0 overheats: throttle entry pins it to the floor.
+            SchedRecord::Throttle {
+                cpu: 0,
+                time: SimTime(1_000),
+                heat_milli: 2_600_000,
+                entered: true,
+            },
+            SchedRecord::FreqTransition {
+                cpu: 0,
+                time: SimTime(1_000),
+                from_khz: 5_200_000,
+                to_khz: 800_000,
+            },
+            // ... cools past the release point and recovers to base.
+            SchedRecord::Throttle {
+                cpu: 0,
+                time: SimTime(1_800),
+                heat_milli: 1_900_000,
+                entered: false,
+            },
+            SchedRecord::FreqTransition {
+                cpu: 0,
+                time: SimTime(1_850),
+                from_khz: 800_000,
+                to_khz: 3_600_000,
+            },
+            SchedRecord::SwitchOut {
+                cpu: 0,
+                thread: 1,
+                time: SimTime(2_000),
+                state: ThreadState::Ready,
+            },
+        ] {
+            obs.sched(&rec);
+        }
+    }
+    tele.take_report(SimTime(2_500))
 }

@@ -1,0 +1,125 @@
+//! Golden tests for the DVFS wire surface: the NLTB **v3** encoding
+//! (v2 plus a trailing frequency section) and the Chrome export (per-CPU
+//! `freq_mhz` counter tracks, throttle instant marks) of the DVFS
+//! fixture report are pinned byte-for-byte. Regenerate after a
+//! deliberate format change with
+//! `UPDATE_GOLDEN=1 cargo test -p noiselab-telemetry`.
+//!
+//! The companion property — a report with *no* frequency samples still
+//! encodes as plain v2, so every pre-DVFS golden stays byte-identical —
+//! is pinned by `golden_binary.rs` against the original fixture.
+
+mod common;
+
+use noiselab_telemetry::binary::{decode, encode, MAGIC, SCHEMA_V3, VERSION_V3};
+use noiselab_telemetry::chrome_trace;
+
+const FIXTURE_NLTB: &str = "golden_trace_dvfs.nltb";
+const FIXTURE_JSON: &str = "golden_trace_dvfs.json";
+
+fn golden_nltb() -> Vec<u8> {
+    let bytes = encode(&common::dvfs_fixture_report());
+    let path = common::fixture_path(FIXTURE_NLTB);
+    if common::update_golden() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &bytes).expect("write fixture");
+    }
+    bytes
+}
+
+fn golden_json() -> String {
+    let json = chrome_trace(&common::dvfs_fixture_report(), "dvfs golden fixture");
+    let path = common::fixture_path(FIXTURE_JSON);
+    if common::update_golden() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, &json).expect("write fixture");
+    }
+    json
+}
+
+#[test]
+fn dvfs_encoding_matches_golden_fixture_and_is_v3() {
+    let bytes = golden_nltb();
+    let want = std::fs::read(common::fixture_path(FIXTURE_NLTB))
+        .expect("fixture missing — regenerate with UPDATE_GOLDEN=1 cargo test");
+    assert_eq!(
+        bytes, want,
+        "NLTB v3 encoding drifted from the golden fixture; a deliberate \
+         format change must regenerate the fixture AND bump the version"
+    );
+    assert_eq!(&bytes[0..4], MAGIC);
+    assert_eq!(
+        bytes[4], VERSION_V3,
+        "a report with frequency samples must encode as v3"
+    );
+}
+
+#[test]
+fn dvfs_golden_decodes_back_to_the_report() {
+    let report = common::dvfs_fixture_report();
+    let trace = decode(&golden_nltb()).expect("golden v3 bytes decode");
+    assert_eq!(trace.schema, SCHEMA_V3);
+    assert_eq!(trace.freq, report.freq, "frequency samples round-trip");
+    // Fixture coverage: boost on both CPUs, throttle drop, recovery.
+    assert_eq!(trace.freq.len(), 4);
+    assert_eq!(trace.freq[0].khz, 5_200_000);
+    assert_eq!(trace.freq[1].cpu, 1);
+    // Throttle enter/exit travel as interned instant marks.
+    assert_eq!(trace.instants, report.instants);
+    let names: Vec<&str> = trace
+        .instants
+        .iter()
+        .map(|i| trace.strings[i.name as usize].as_str())
+        .collect();
+    assert_eq!(names, ["throttle-enter", "throttle-exit"]);
+}
+
+#[test]
+fn dvfs_chrome_export_matches_golden_and_has_freq_tracks() {
+    let json = golden_json();
+    let want = std::fs::read_to_string(common::fixture_path(FIXTURE_JSON))
+        .expect("fixture missing — regenerate with UPDATE_GOLDEN=1 cargo test");
+    assert_eq!(
+        json, want,
+        "Chrome DVFS trace drifted from the golden fixture; if the \
+         change is deliberate, regenerate with UPDATE_GOLDEN=1"
+    );
+
+    let doc = serde::parse_json(&json).expect("exporter emits valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    // One counter sample per frequency transition, on a per-CPU
+    // `freq_mhz` track, reported in MHz.
+    let freq_counters: Vec<(&str, u128)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("C"))
+        .filter_map(|e| {
+            let name = e.get("name")?.as_str()?;
+            if !name.starts_with("freq_mhz.cpu") {
+                return None;
+            }
+            match e.get("args")?.get("mhz")? {
+                serde::Value::UInt(v) => Some((name, *v)),
+                _ => None,
+            }
+        })
+        .collect();
+    assert_eq!(
+        freq_counters,
+        [
+            ("freq_mhz.cpu0", 5_200),
+            ("freq_mhz.cpu1", 3_600),
+            ("freq_mhz.cpu0", 800),
+            ("freq_mhz.cpu0", 3_600),
+        ]
+    );
+    // Throttle windows stay visible as instant marks.
+    let instants: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("i"))
+        .filter_map(|e| e.get("name")?.as_str())
+        .collect();
+    assert_eq!(instants, ["throttle-enter", "throttle-exit"]);
+}

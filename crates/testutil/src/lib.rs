@@ -46,6 +46,7 @@ pub fn quiet_machine(cores: usize, smt: usize) -> Machine {
         tick_period: SimDuration::from_millis(4),
         reserved_cpus: CpuSet::EMPTY,
         numa_domains: 1,
+        dvfs: noiselab_machine::DvfsConfig::default(),
     }
 }
 
@@ -84,6 +85,7 @@ pub fn costed_machine(cores: usize, smt: usize) -> Machine {
         tick_period: SimDuration::from_millis(4),
         reserved_cpus: CpuSet::EMPTY,
         numa_domains: 1,
+        dvfs: noiselab_machine::DvfsConfig::default(),
     }
 }
 

@@ -18,6 +18,7 @@
 //! noiselab campaign --platform intel --workload nbody [--runs 20] [--checkpoint state.json]
 //!                   [--resume true] [--crash-prob 0.05] [--crash-window-ms 2]
 //!                   [--fault-seed 1] [--retries 0] [--limit N] [--verify-resume true]
+//!                   [--dvfs true]   # grow the grid by the governor mitigation matrix
 //! noiselab campaign --workers N [--queue DIR] [--shard-size 2] [--heartbeat-secs 120]
 //!                   [--shard-timeout-secs 3600] [--max-shard-crashes 3] [--chaos-kills 0]
 //! noiselab audit    [--static] [--dual-run] [--json] [--root .]
@@ -25,7 +26,8 @@
 //!                   [--platform intel] [--workload nbody] [--model omp] [--mitigation Rm]
 //!                   [--seed 1] [--perturb N] [--cadence 64]
 //! noiselab conform  [--fuzz N] [--seed S] [--corpus <dir>] [--json]
-//!                   [--mutate swap-pick|drop-irq-span|affinity-break|ghost-run]
+//!                   [--mutate swap-pick|drop-irq-span|affinity-break|ghost-run
+//!                             |turbo-leak|throttle-early|ghost-turbo|throttle-stuck]
 //! noiselab conform  --replay <case.json | repro-line-file | '// conform:repro {...}'>
 //! ```
 //!
@@ -391,9 +393,13 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// The model x mitigation sweep both campaign engines run.
-fn campaign_cells() -> Vec<(String, ExecConfig)> {
-    Mitigation::ALL
+/// The model x mitigation sweep both campaign engines run. With
+/// `dvfs`, the grid also grows the frequency mitigation matrix —
+/// pinned and roaming cells under every governor — so `advise` can
+/// rank governors and re-ask the placement question under a shared
+/// turbo budget and thermal throttling.
+fn campaign_cells(dvfs: bool) -> Vec<(String, ExecConfig)> {
+    let mut cells: Vec<(String, ExecConfig)> = Mitigation::ALL
         .iter()
         .flat_map(|&mit| {
             [Model::Omp, Model::Sycl].map(|model| {
@@ -401,7 +407,16 @@ fn campaign_cells() -> Vec<(String, ExecConfig)> {
                 (cfg.label(), cfg)
             })
         })
-        .collect()
+        .collect();
+    if dvfs {
+        for mit in [Mitigation::Rm, Mitigation::Tp] {
+            for g in noiselab::machine::Governor::ALL {
+                let cfg = ExecConfig::new(Model::Omp, mit).with_governor(g);
+                cells.push((cfg.label(), cfg));
+            }
+        }
+    }
+    cells
 }
 
 /// The optional deterministic fault plan shared by both engines:
@@ -445,7 +460,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
 
     let faults = campaign_faults(args);
     let retry = RetryPolicy::retries(args.get("retries", "0").parse().unwrap_or(0));
-    let cells = campaign_cells();
+    let cells = campaign_cells(args.get("dvfs", "false") == "true");
     let n_cells = cells.len();
 
     let plan = CampaignPlan {
@@ -497,7 +512,7 @@ fn cmd_campaign_sharded(args: &Args) -> Result<(), String> {
     let spec = CampaignSpec {
         platform: args.get("platform", "intel"),
         workload: args.get("workload", "nbody"),
-        cells: campaign_cells()
+        cells: campaign_cells(args.get("dvfs", "false") == "true")
             .into_iter()
             .map(|(label, config)| CellSpec { label, config })
             .collect(),
